@@ -1,0 +1,158 @@
+//! Aggregate-stratified `#count` rules.
+//!
+//! The DLV-Complex extensions the paper uses for responsibilities
+//! (`preresp(t, n) :- #count{t' : CauCon(t, t')} = n`, Example 7.2) are
+//! *stratified on top of* the stable models: the counted predicate is fully
+//! decided by the model, so the aggregate head atoms can be derived by a
+//! post-pass per model. [`apply_count_rules`] implements that pass.
+
+use crate::ast::{AspProgram, CountRule};
+use crate::ground::{GroundAtom, GroundProgram};
+use crate::solve::Model;
+use cqa_relation::{Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Derive the count-rule heads for one stable model.
+///
+/// For each [`CountRule`], source atoms of the model are grouped by the rule's
+/// `group_positions`; one head atom `head(ḡ, n)` is derived per non-empty
+/// group, with `n` the number of *distinct* source atoms in the group.
+/// Groups with no source atoms derive nothing (matching `#count{…} = n`
+/// with `n ≥ 1` joins; a zero count has no witnessing group key).
+pub fn apply_count_rules(
+    program: &AspProgram,
+    ground: &GroundProgram,
+    model: &Model,
+) -> Vec<GroundAtom> {
+    let mut out = Vec::new();
+    for rule in &program.counts {
+        out.extend(apply_one(rule, ground, model));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn apply_one(rule: &CountRule, ground: &GroundProgram, model: &Model) -> Vec<GroundAtom> {
+    let mut groups: BTreeMap<Tuple, std::collections::BTreeSet<Tuple>> = BTreeMap::new();
+    for &id in model {
+        let atom = ground.atom(id);
+        if atom.predicate != rule.source_predicate {
+            continue;
+        }
+        if rule.group_positions.iter().any(|&p| p >= atom.args.arity()) {
+            continue;
+        }
+        let key = atom.args.project(&rule.group_positions);
+        let rest_positions: Vec<usize> = (0..atom.args.arity())
+            .filter(|p| !rule.group_positions.contains(p))
+            .collect();
+        groups
+            .entry(key)
+            .or_default()
+            .insert(atom.args.project(&rest_positions));
+    }
+    groups
+        .into_iter()
+        .map(|(key, counted)| {
+            let mut args: Vec<Value> = key.values().to_vec();
+            args.push(Value::Int(counted.len() as i64));
+            GroundAtom {
+                predicate: rule.head_predicate.clone(),
+                args: Tuple::new(args),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::parser::parse_asp;
+    use crate::solve::stable_models;
+    use cqa_relation::tuple;
+
+    #[test]
+    fn counts_group_by_first_position() {
+        let mut p = parse_asp(
+            "caucon(T1, T3).\n\
+             caucon(T1, T4).\n\
+             caucon(T2, T3).",
+        )
+        .unwrap();
+        p.counts.push(CountRule {
+            head_predicate: "preresp".into(),
+            source_predicate: "caucon".into(),
+            group_positions: vec![0],
+        });
+        let g = ground(&p).unwrap();
+        let models = stable_models(&g);
+        assert_eq!(models.len(), 1);
+        let derived = apply_count_rules(&p, &g, &models[0]);
+        assert_eq!(derived.len(), 2);
+        assert!(derived.contains(&GroundAtom {
+            predicate: "preresp".into(),
+            args: tuple!["T1", 2],
+        }));
+        assert!(derived.contains(&GroundAtom {
+            predicate: "preresp".into(),
+            args: tuple!["T2", 1],
+        }));
+    }
+
+    #[test]
+    fn distinct_counting() {
+        let mut p = parse_asp(
+            "s(A, 1).\n\
+             s(A, 1).\n\
+             s(A, 2).",
+        )
+        .unwrap();
+        p.counts.push(CountRule {
+            head_predicate: "n".into(),
+            source_predicate: "s".into(),
+            group_positions: vec![0],
+        });
+        let g = ground(&p).unwrap();
+        let models = stable_models(&g);
+        let derived = apply_count_rules(&p, &g, &models[0]);
+        // Duplicate facts collapse (set semantics): count = 2.
+        assert_eq!(derived[0].args, tuple!["A", 2]);
+    }
+
+    #[test]
+    fn per_model_counts_differ() {
+        let mut p = parse_asp(
+            "pick(A) | pick(B).\n\
+             chosen(x, 1) :- pick(x).",
+        )
+        .unwrap();
+        p.counts.push(CountRule {
+            head_predicate: "n".into(),
+            source_predicate: "chosen".into(),
+            group_positions: vec![0],
+        });
+        let g = ground(&p).unwrap();
+        let models = stable_models(&g);
+        assert_eq!(models.len(), 2);
+        for m in &models {
+            let derived = apply_count_rules(&p, &g, m);
+            assert_eq!(derived.len(), 1); // only the chosen branch counts
+            assert_eq!(derived[0].args.at(1), &cqa_relation::Value::int(1));
+        }
+    }
+
+    #[test]
+    fn empty_source_derives_nothing() {
+        let mut p = parse_asp("other(A).").unwrap();
+        p.counts.push(CountRule {
+            head_predicate: "n".into(),
+            source_predicate: "missing".into(),
+            group_positions: vec![0],
+        });
+        let g = ground(&p).unwrap();
+        let models = stable_models(&g);
+        assert!(apply_count_rules(&p, &g, &models[0]).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Abstract syntax for disjunctive answer-set programs.
+//!
+//! Reuses the term/atom/variable machinery of `cqa-query`; an ASP rule adds
+//! a *disjunctive head* and default negation in the body, plus DLV-style
+//! weak constraints (`:~ body. [w@l]`) used for C-repairs (§4.1, Ex. 4.2).
+
+use cqa_query::{Atom, Comparison, Term, Var, VarTable};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A disjunctive rule `h₁ | … | hₘ :- b₁, …, not c₁, …, cmp…`.
+///
+/// `head.is_empty()` makes it a *hard constraint* (`:- body`): no stable
+/// model may satisfy the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AspRule {
+    /// Head disjuncts (empty = hard constraint).
+    pub head: Vec<Atom>,
+    /// Positive body atoms.
+    pub pos: Vec<Atom>,
+    /// Default-negated body atoms.
+    pub neg: Vec<Atom>,
+    /// Built-in comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl AspRule {
+    /// A ground fact.
+    pub fn fact(atom: Atom) -> AspRule {
+        AspRule {
+            head: vec![atom],
+            pos: Vec::new(),
+            neg: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Is this a fact (single ground head, empty body)?
+    pub fn is_fact(&self) -> bool {
+        self.head.len() == 1
+            && self.pos.is_empty()
+            && self.neg.is_empty()
+            && self.comparisons.is_empty()
+            && self.head[0].vars().next().is_none()
+    }
+
+    /// Check safety: every head/neg/comparison variable occurs in `pos`.
+    pub fn check_safety(&self, vars: &VarTable) -> Result<(), String> {
+        let bound: BTreeSet<Var> = self.pos.iter().flat_map(|a| a.vars()).collect();
+        let mut need: Vec<Var> = Vec::new();
+        need.extend(self.head.iter().flat_map(|a| a.vars()));
+        need.extend(self.neg.iter().flat_map(|a| a.vars()));
+        need.extend(self.comparisons.iter().flat_map(|c| c.vars()));
+        for v in need {
+            if !bound.contains(&v) {
+                return Err(format!("unsafe variable `{}`", vars.name(v)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A weak constraint `:~ body. [weight@level]` (DLV semantics: minimize
+/// total weight of violated instances, lexicographically by level, higher
+/// levels first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeakConstraint {
+    /// Positive body atoms.
+    pub pos: Vec<Atom>,
+    /// Default-negated body atoms.
+    pub neg: Vec<Atom>,
+    /// Built-in comparisons.
+    pub comparisons: Vec<Comparison>,
+    /// Violation weight.
+    pub weight: i64,
+    /// Priority level (higher = more important).
+    pub level: u32,
+}
+
+/// A stratified counting rule `head(ḡ, n) :- #count{ source(ḡ, x) } = n`,
+/// evaluated *after* stable models are computed (aggregate stratification).
+///
+/// `group_positions` are the positions of `source` that form the group key;
+/// the remaining positions are counted (as distinct tuples). The head must
+/// have arity `group_positions.len() + 1`, the last position receiving the
+/// count. This is exactly what the responsibility computation of Example 7.2
+/// needs (`preresp(t, n) :- #count{t' : CauCon(t, t')} = n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountRule {
+    /// Head predicate name.
+    pub head_predicate: String,
+    /// Source predicate whose atoms are counted.
+    pub source_predicate: String,
+    /// Positions of the source atom forming the group key.
+    pub group_positions: Vec<usize>,
+}
+
+/// A disjunctive ASP program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AspProgram {
+    /// The rules (facts included).
+    pub rules: Vec<AspRule>,
+    /// Weak constraints.
+    pub weak: Vec<WeakConstraint>,
+    /// Aggregate-stratified counting rules.
+    pub counts: Vec<CountRule>,
+    /// Shared variable names.
+    pub vars: VarTable,
+}
+
+impl AspProgram {
+    /// Empty program.
+    pub fn new() -> AspProgram {
+        AspProgram::default()
+    }
+
+    /// Add a rule.
+    pub fn push(&mut self, rule: AspRule) {
+        self.rules.push(rule);
+    }
+
+    /// Add a ground fact.
+    pub fn push_fact(&mut self, atom: Atom) {
+        self.rules.push(AspRule::fact(atom));
+    }
+
+    /// Check safety of every rule and weak constraint.
+    pub fn check_safety(&self) -> Result<(), String> {
+        for (i, r) in self.rules.iter().enumerate() {
+            r.check_safety(&self.vars)
+                .map_err(|e| format!("rule {i}: {e}"))?;
+        }
+        for (i, w) in self.weak.iter().enumerate() {
+            let shim = AspRule {
+                head: Vec::new(),
+                pos: w.pos.clone(),
+                neg: w.neg.clone(),
+                comparisons: w.comparisons.clone(),
+            };
+            shim.check_safety(&self.vars)
+                .map_err(|e| format!("weak constraint {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+fn write_atom(f: &mut fmt::Formatter<'_>, atom: &Atom, vars: &VarTable) -> fmt::Result {
+    write!(f, "{}", atom.relation)?;
+    if atom.terms.is_empty() {
+        return Ok(());
+    }
+    write!(f, "(")?;
+    for (i, t) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        match t {
+            Term::Var(v) => write!(f, "{}", vars.name(*v))?,
+            Term::Const(c) => write!(f, "{c}")?,
+        }
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for AspProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            for (i, h) in r.head.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write_atom(f, h, &self.vars)?;
+            }
+            let has_body = !r.pos.is_empty() || !r.neg.is_empty() || !r.comparisons.is_empty();
+            if has_body {
+                write!(f, " :- ")?;
+                let mut first = true;
+                for a in &r.pos {
+                    if !std::mem::take(&mut first) {
+                        write!(f, ", ")?;
+                    }
+                    write_atom(f, a, &self.vars)?;
+                }
+                for a in &r.neg {
+                    if !std::mem::take(&mut first) {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "not ")?;
+                    write_atom(f, a, &self.vars)?;
+                }
+                for c in &r.comparisons {
+                    if !std::mem::take(&mut first) {
+                        write!(f, ", ")?;
+                    }
+                    let t = |t: &Term| match t {
+                        Term::Var(v) => self.vars.name(*v).to_string(),
+                        Term::Const(c) => c.to_string(),
+                    };
+                    write!(f, "{} {} {}", t(&c.left), c.op, t(&c.right))?;
+                }
+            }
+            writeln!(f, ".")?;
+        }
+        for w in &self.weak {
+            write!(f, ":~ ")?;
+            let mut first = true;
+            for a in &w.pos {
+                if !std::mem::take(&mut first) {
+                    write!(f, ", ")?;
+                }
+                write_atom(f, a, &self.vars)?;
+            }
+            for a in &w.neg {
+                if !std::mem::take(&mut first) {
+                    write!(f, ", ")?;
+                }
+                write!(f, "not ")?;
+                write_atom(f, a, &self.vars)?;
+            }
+            writeln!(f, ". [{}@{}]", w.weight, w.level)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::Value;
+
+    #[test]
+    fn fact_detection() {
+        let f = AspRule::fact(Atom::new("p", vec![Term::Const(Value::int(1))]));
+        assert!(f.is_fact());
+        let mut vars = VarTable::new();
+        let x = vars.var("x");
+        let r = AspRule {
+            head: vec![Atom::new("p", vec![Term::Var(x)])],
+            pos: vec![Atom::new("q", vec![Term::Var(x)])],
+            neg: vec![],
+            comparisons: vec![],
+        };
+        assert!(!r.is_fact());
+        assert!(r.check_safety(&vars).is_ok());
+    }
+
+    #[test]
+    fn safety_rejects_unbound_head_var() {
+        let mut vars = VarTable::new();
+        let x = vars.var("x");
+        let r = AspRule {
+            head: vec![Atom::new("p", vec![Term::Var(x)])],
+            pos: vec![],
+            neg: vec![],
+            comparisons: vec![],
+        };
+        assert!(r.check_safety(&vars).is_err());
+    }
+
+    #[test]
+    fn program_display_roundtrips_shape() {
+        let mut p = AspProgram::new();
+        let x = p.vars.var("x");
+        p.push(AspRule {
+            head: vec![
+                Atom::new("a", vec![Term::Var(x)]),
+                Atom::new("b", vec![Term::Var(x)]),
+            ],
+            pos: vec![Atom::new("c", vec![Term::Var(x)])],
+            neg: vec![Atom::new("d", vec![Term::Var(x)])],
+            comparisons: vec![],
+        });
+        p.weak.push(WeakConstraint {
+            pos: vec![Atom::new("a", vec![Term::Var(x)])],
+            neg: vec![],
+            comparisons: vec![],
+            weight: 1,
+            level: 1,
+        });
+        let s = p.to_string();
+        assert!(s.contains("a(x) | b(x) :- c(x), not d(x)."));
+        assert!(s.contains(":~ a(x). [1@1]"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Grounding: from a safe, variable-carrying program to a propositional one.
+//!
+//! The grounder computes a bottom-up **over-approximation** of the derivable
+//! atoms (treating every head disjunct as derivable and ignoring default
+//! negation — a standard sound over-estimate), then instantiates each rule
+//! once per satisfying assignment of its positive body over that universe.
+//! Comparisons are evaluated away during instantiation; negative literals on
+//! atoms outside the universe are dropped (they can never hold).
+
+use crate::ast::{AspProgram, WeakConstraint};
+use cqa_query::{match_atom, Atom, Bindings, NullSemantics};
+use cqa_relation::{fxhash::FxHashMap, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A ground atom id (index into [`GroundProgram::atom_table`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomId(pub u32);
+
+/// A ground atom: predicate plus constant tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundAtom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Constant arguments.
+    pub args: Tuple,
+}
+
+impl fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.arity() == 0 {
+            write!(f, "{}", self.predicate)
+        } else {
+            write!(f, "{}{}", self.predicate, self.args)
+        }
+    }
+}
+
+/// A ground rule over atom ids.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroundRule {
+    /// Head disjuncts (empty = hard constraint).
+    pub head: Vec<AtomId>,
+    /// Positive body.
+    pub pos: Vec<AtomId>,
+    /// Negative body.
+    pub neg: Vec<AtomId>,
+}
+
+/// A ground weak constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundWeak {
+    /// Positive body.
+    pub pos: Vec<AtomId>,
+    /// Negative body.
+    pub neg: Vec<AtomId>,
+    /// Violation weight.
+    pub weight: i64,
+    /// Priority level.
+    pub level: u32,
+}
+
+/// The result of grounding.
+#[derive(Debug, Clone, Default)]
+pub struct GroundProgram {
+    /// Ground rules (deduplicated, deterministic order).
+    pub rules: Vec<GroundRule>,
+    /// Ground weak constraints.
+    pub weak: Vec<GroundWeak>,
+    /// Id → ground atom.
+    pub atom_table: Vec<GroundAtom>,
+}
+
+impl GroundProgram {
+    /// Number of distinct ground atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atom_table.len()
+    }
+
+    /// The ground atom for an id.
+    pub fn atom(&self, id: AtomId) -> &GroundAtom {
+        &self.atom_table[id.0 as usize]
+    }
+
+    /// Find the id of a ground atom, if present.
+    pub fn lookup(&self, predicate: &str, args: &Tuple) -> Option<AtomId> {
+        self.atom_table
+            .iter()
+            .position(|a| a.predicate == predicate && &a.args == args)
+            .map(|i| AtomId(i as u32))
+    }
+}
+
+struct Interner {
+    map: FxHashMap<(String, Tuple), AtomId>,
+    table: Vec<GroundAtom>,
+}
+
+impl Interner {
+    fn intern(&mut self, predicate: &str, args: Tuple) -> AtomId {
+        if let Some(&id) = self.map.get(&(predicate.to_string(), args.clone())) {
+            return id;
+        }
+        let id = AtomId(self.table.len() as u32);
+        self.table.push(GroundAtom {
+            predicate: predicate.to_string(),
+            args: args.clone(),
+        });
+        self.map.insert((predicate.to_string(), args), id);
+        id
+    }
+}
+
+/// The universe of potentially-derivable atoms, stored per predicate for
+/// body matching.
+#[derive(Default)]
+struct Universe {
+    by_predicate: BTreeMap<String, Vec<Tuple>>,
+    seen: FxHashMap<(String, Tuple), ()>,
+}
+
+impl Universe {
+    fn insert(&mut self, predicate: &str, args: Tuple) -> bool {
+        if self
+            .seen
+            .insert((predicate.to_string(), args.clone()), ())
+            .is_some()
+        {
+            return false;
+        }
+        self.by_predicate
+            .entry(predicate.to_string())
+            .or_default()
+            .push(args);
+        true
+    }
+
+    fn tuples(&self, predicate: &str) -> &[Tuple] {
+        self.by_predicate
+            .get(predicate)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn contains(&self, predicate: &str, args: &Tuple) -> bool {
+        self.seen
+            .contains_key(&(predicate.to_string(), args.clone()))
+    }
+}
+
+/// Enumerate all assignments of `rule`'s positive body over `universe`,
+/// calling `sink` with the complete binding. Comparisons are checked as soon
+/// as both sides are bound.
+fn for_each_body_match(
+    rule_pos: &[Atom],
+    comparisons: &[cqa_query::Comparison],
+    n_vars: usize,
+    universe: &Universe,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    fn recurse(
+        pos: &[Atom],
+        comparisons: &[cqa_query::Comparison],
+        depth: usize,
+        universe: &Universe,
+        binding: &mut Bindings,
+        sink: &mut dyn FnMut(&Bindings),
+    ) {
+        if depth == pos.len() {
+            for c in comparisons {
+                let (Some(a), Some(b)) = (binding.resolve(&c.left), binding.resolve(&c.right))
+                else {
+                    return;
+                };
+                if !c.op.eval(&a, &b) {
+                    return;
+                }
+            }
+            sink(binding);
+            return;
+        }
+        let atom = &pos[depth];
+        for t in universe.tuples(&atom.relation) {
+            if t.arity() != atom.terms.len() {
+                continue;
+            }
+            if let Some(newly) = match_atom(atom, t, binding, NullSemantics::Structural) {
+                // Early comparison pruning.
+                let pruned = comparisons.iter().any(|c| {
+                    match (binding.resolve(&c.left), binding.resolve(&c.right)) {
+                        (Some(a), Some(b)) => !c.op.eval(&a, &b),
+                        _ => false,
+                    }
+                });
+                if !pruned {
+                    recurse(pos, comparisons, depth + 1, universe, binding, sink);
+                }
+                for v in newly {
+                    binding.unset(v);
+                }
+            }
+        }
+    }
+    let mut binding = Bindings::new(n_vars);
+    recurse(rule_pos, comparisons, 0, universe, &mut binding, sink);
+}
+
+fn instantiate(atom: &Atom, binding: &Bindings) -> Option<(String, Tuple)> {
+    let args: Option<Vec<Value>> = atom.terms.iter().map(|t| binding.resolve(t)).collect();
+    args.map(|a| (atom.relation.clone(), Tuple::new(a)))
+}
+
+/// Ground `program`.
+pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
+    program.check_safety()?;
+    let n_vars = program.vars.len();
+
+    // 1. Over-approximate the universe: fix-point treating all head
+    //    disjuncts as derivable, negation ignored.
+    let mut universe = Universe::default();
+    loop {
+        let mut grew = false;
+        for rule in &program.rules {
+            let mut additions: Vec<(String, Tuple)> = Vec::new();
+            for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
+                for h in &rule.head {
+                    if let Some(ga) = instantiate(h, b) {
+                        additions.push(ga);
+                    }
+                }
+            });
+            for (p, t) in additions {
+                grew |= universe.insert(&p, t);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // 2. Instantiate rules over the universe.
+    let mut interner = Interner {
+        map: FxHashMap::default(),
+        table: Vec::new(),
+    };
+    let mut rules: Vec<GroundRule> = Vec::new();
+    for rule in &program.rules {
+        for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
+            let mut head = Vec::with_capacity(rule.head.len());
+            for h in &rule.head {
+                let (p, t) = instantiate(h, b).expect("safe rule: head fully bound");
+                head.push(interner.intern(&p, t));
+            }
+            let mut pos = Vec::with_capacity(rule.pos.len());
+            for a in &rule.pos {
+                let (p, t) = instantiate(a, b).expect("positive body bound");
+                pos.push(interner.intern(&p, t));
+            }
+            let mut neg = Vec::new();
+            for a in &rule.neg {
+                let (p, t) = instantiate(a, b).expect("safe rule: neg fully bound");
+                if universe.contains(&p, &t) {
+                    neg.push(interner.intern(&p, t));
+                }
+                // Atoms outside the universe can never be derived: the
+                // literal `not a` is true and is dropped.
+            }
+            head.sort_unstable();
+            head.dedup();
+            pos.sort_unstable();
+            pos.dedup();
+            neg.sort_unstable();
+            neg.dedup();
+            rules.push(GroundRule { head, pos, neg });
+        });
+    }
+    rules.sort();
+    rules.dedup();
+
+    // 3. Ground weak constraints the same way.
+    let mut weak: Vec<GroundWeak> = Vec::new();
+    for wc in &program.weak {
+        ground_weak(wc, n_vars, &universe, &mut interner, &mut weak);
+    }
+
+    Ok(GroundProgram {
+        rules,
+        weak,
+        atom_table: interner.table,
+    })
+}
+
+fn ground_weak(
+    wc: &WeakConstraint,
+    n_vars: usize,
+    universe: &Universe,
+    interner: &mut Interner,
+    out: &mut Vec<GroundWeak>,
+) {
+    for_each_body_match(&wc.pos, &wc.comparisons, n_vars, universe, &mut |b| {
+        let mut pos = Vec::with_capacity(wc.pos.len());
+        for a in &wc.pos {
+            let (p, t) = instantiate(a, b).expect("positive body bound");
+            pos.push(interner.intern(&p, t));
+        }
+        let mut neg = Vec::new();
+        let mut dead = false;
+        for a in &wc.neg {
+            let (p, t) = instantiate(a, b).expect("safe weak constraint");
+            if universe.contains(&p, &t) {
+                neg.push(interner.intern(&p, t));
+            }
+            let _ = &mut dead;
+        }
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        out.push(GroundWeak {
+            pos,
+            neg,
+            weight: wc.weight,
+            level: wc.level,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_asp;
+
+    #[test]
+    fn grounds_facts_and_rules() {
+        let p = parse_asp(
+            "p(A).\n\
+             p(B).\n\
+             q(x) :- p(x).",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        // Universe: p(A), p(B), q(A), q(B); rules: 2 facts + 2 instances.
+        assert_eq!(g.atom_count(), 4);
+        assert_eq!(g.rules.len(), 4);
+    }
+
+    #[test]
+    fn negation_outside_universe_is_dropped() {
+        let p = parse_asp(
+            "p(A).\n\
+             q(x) :- p(x), not r(x).",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        // r(A) is underivable: the ground rule has empty neg.
+        let rule = g.rules.iter().find(|r| !r.pos.is_empty()).unwrap();
+        assert!(rule.neg.is_empty());
+    }
+
+    #[test]
+    fn negation_inside_universe_is_kept() {
+        let p = parse_asp(
+            "p(A).\n\
+             r(A).\n\
+             q(x) :- p(x), not r(x).",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let rule = g.rules.iter().find(|r| !r.pos.is_empty()).unwrap();
+        assert_eq!(rule.neg.len(), 1);
+    }
+
+    #[test]
+    fn comparisons_are_evaluated_away() {
+        let p = parse_asp(
+            "p(1).\np(2).\np(3).\n\
+             big(x) :- p(x), x >= 2.",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let big: Vec<&GroundAtom> = g
+            .atom_table
+            .iter()
+            .filter(|a| a.predicate == "big")
+            .collect();
+        assert_eq!(big.len(), 2);
+    }
+
+    #[test]
+    fn disjunctive_heads_expand_universe() {
+        let p = parse_asp(
+            "base(A).\n\
+             left(x) | right(x) :- base(x).\n\
+             l2(x) :- left(x).",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        // left(A) is only *possibly* derivable, but the universe includes it
+        // so the dependent rule is grounded.
+        assert!(g.lookup("l2", &cqa_relation::tuple!["A"]).is_some());
+    }
+
+    #[test]
+    fn recursive_rules_terminate() {
+        let p = parse_asp(
+            "e(1, 2).\ne(2, 3).\n\
+             t(x, y) :- e(x, y).\n\
+             t(x, z) :- e(x, y), t(y, z).",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        assert!(g.lookup("t", &cqa_relation::tuple![1, 3]).is_some());
+    }
+
+    #[test]
+    fn hard_constraints_ground_with_empty_head() {
+        let p = parse_asp(
+            "p(A).\n\
+             :- p(x).",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        assert!(g
+            .rules
+            .iter()
+            .any(|r| r.head.is_empty() && !r.pos.is_empty()));
+    }
+
+    #[test]
+    fn weak_constraints_ground() {
+        let p = parse_asp(
+            "p(A).\np(B).\n\
+             :~ p(x). [2@1]",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        assert_eq!(g.weak.len(), 2);
+        assert!(g.weak.iter().all(|w| w.weight == 2 && w.level == 1));
+    }
+
+    #[test]
+    fn unsafe_program_rejected() {
+        let p = parse_asp("p(x) :- q(y).");
+        // Parsed fine, grounding rejects.
+        let p = p.unwrap();
+        assert!(ground(&p).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # cqa-asp
+//!
+//! An answer-set programming engine and the *repair programs* of §3.3 of the
+//! paper — the workspace's replacement for DLV \[82\] at survey scale.
+//!
+//! * [`ast`]/[`parser`] — disjunctive rules with default negation, hard
+//!   constraints, DLV-style weak constraints, aggregate-stratified `#count`.
+//! * [`mod@ground`] — safe grounding via a bottom-up over-approximation.
+//! * [`solve`] — stable models by branch-and-propagate with a GL-reduct
+//!   minimality check (exact for disjunctive programs).
+//! * [`weak`] — level-lexicographic weak-constraint optimization (Ex. 4.2).
+//! * [`aggregate`] — post-pass `#count` rules (Ex. 7.2's responsibilities).
+//! * [`repair_program`] — compile a database + constraints into a repair
+//!   program whose stable models *are* the repairs (Ex. 3.5), with weak
+//!   constraints selecting C-repairs.
+//!
+//! ```
+//! use cqa_asp::{ground, parse_asp, stable_models};
+//!
+//! // The classic even-negation choice: two stable models, {a} and {b}.
+//! let program = parse_asp("a :- not b().\nb :- not a().")?;
+//! let g = ground(&program).map_err(cqa_relation::RelationError::Parse)?;
+//! assert_eq!(stable_models(&g).len(), 2);
+//! # Ok::<(), cqa_relation::RelationError>(())
+//! ```
+
+pub mod aggregate;
+pub mod ast;
+pub mod ground;
+pub mod parser;
+pub mod repair_program;
+pub mod solve;
+pub mod weak;
+
+pub use aggregate::apply_count_rules;
+pub use ast::{AspProgram, AspRule, CountRule, WeakConstraint};
+pub use ground::{ground, AtomId, GroundAtom, GroundProgram, GroundRule, GroundWeak};
+pub use parser::parse_asp;
+pub use repair_program::{ins_pred, primed, RepairModel, RepairProgram};
+pub use solve::{brave, cautious, stable_models, stable_models_with_limit, Model};
+pub use weak::{compare_costs, cost_of, optimal_among, optimal_models, Cost};

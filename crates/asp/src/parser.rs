@@ -1,0 +1,279 @@
+//! Text syntax for ASP programs (a DLV/clingo-flavoured subset).
+//!
+//! * Rules: `a(x) | b(x) :- c(x), not d(x), x != y.`
+//! * Facts: `p(A, 1).`
+//! * Hard constraints: `:- a(x), b(x).`
+//! * Weak constraints: `:~ a(x). [2@1]` (weight 2, level 1; both default 1).
+//!
+//! Term conventions match `cqa-query`: lowercase identifiers are variables,
+//! uppercase identifiers / quoted strings / numbers are constants.
+
+use crate::ast::{AspProgram, AspRule, WeakConstraint};
+use cqa_query::{parse_query, Atom, Comparison};
+use cqa_relation::RelationError;
+
+/// Parse an ASP program; one statement per line (terminating `.` required,
+/// except the `[w@l]` annotation follows a weak constraint's `.`).
+pub fn parse_asp(input: &str) -> Result<AspProgram, RelationError> {
+    let mut program = AspProgram::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        parse_statement(line, &mut program)
+            .map_err(|e| RelationError::Parse(format!("line {}: {e}", lineno + 1)))?;
+    }
+    Ok(program)
+}
+
+fn parse_statement(line: &str, program: &mut AspProgram) -> Result<(), String> {
+    if let Some(rest) = line.strip_prefix(":~") {
+        return parse_weak(rest, program);
+    }
+    // Split "head :- body." / "head." / ":- body."
+    let line = line.trim_end();
+    let (head_txt, body_txt) = match line.split_once(":-") {
+        Some((h, b)) => (h.trim(), Some(b.trim().trim_end_matches('.').trim())),
+        None => (line.trim_end_matches('.').trim(), None),
+    };
+    let head = if head_txt.is_empty() {
+        Vec::new()
+    } else {
+        head_txt
+            .split('|')
+            .map(|h| parse_atom(h.trim()))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    let (pos, neg, comparisons) = match body_txt {
+        Some(b) if !b.is_empty() => parse_body(b, program)?,
+        _ => (Vec::new(), Vec::new(), Vec::new()),
+    };
+    // Re-intern head variables through the shared var table by re-parsing
+    // heads in the same namespace.
+    let head = head
+        .into_iter()
+        .map(|h| reintern_atom(&h, program))
+        .collect();
+    program.push(AspRule {
+        head,
+        pos,
+        neg,
+        comparisons,
+    });
+    Ok(())
+}
+
+fn parse_weak(rest: &str, program: &mut AspProgram) -> Result<(), String> {
+    // ":~ body. [w@l]" — annotation optional.
+    let (body_txt, annotation) = match rest.split_once('[') {
+        Some((b, a)) => (b.trim().trim_end_matches('.').trim(), Some(a.trim())),
+        None => (rest.trim().trim_end_matches('.').trim(), None),
+    };
+    let (weight, level) = match annotation {
+        None => (1, 1),
+        Some(a) => {
+            let a = a.trim_end_matches(']').trim();
+            match a.split_once('@') {
+                Some((w, l)) => (
+                    w.trim().parse::<i64>().map_err(|e| e.to_string())?,
+                    l.trim().parse::<u32>().map_err(|e| e.to_string())?,
+                ),
+                None => (a.parse::<i64>().map_err(|e| e.to_string())?, 1),
+            }
+        }
+    };
+    let (pos, neg, comparisons) = parse_body(body_txt, program)?;
+    program.weak.push(WeakConstraint {
+        pos,
+        neg,
+        comparisons,
+        weight,
+        level,
+    });
+    Ok(())
+}
+
+/// Parse a rule body by delegating to the query parser (shared conventions),
+/// then re-intern variables into the program's shared table.
+#[allow(clippy::type_complexity)]
+fn parse_body(
+    body: &str,
+    program: &mut AspProgram,
+) -> Result<(Vec<Atom>, Vec<Atom>, Vec<Comparison>), String> {
+    let q = parse_query(&format!("ZZhead() :- {body}")).map_err(|e| e.to_string())?;
+    let remap = |a: &Atom, program: &mut AspProgram| remap_atom(a, &q.vars, program);
+    let pos = q.atoms.iter().map(|a| remap(a, program)).collect();
+    let neg = q.negated.iter().map(|a| remap(a, program)).collect();
+    let comparisons = q
+        .comparisons
+        .iter()
+        .map(|c| Comparison {
+            left: remap_term(&c.left, &q.vars, program),
+            op: c.op,
+            right: remap_term(&c.right, &q.vars, program),
+        })
+        .collect();
+    Ok((pos, neg, comparisons))
+}
+
+fn remap_term(
+    t: &cqa_query::Term,
+    from: &cqa_query::VarTable,
+    program: &mut AspProgram,
+) -> cqa_query::Term {
+    match t {
+        cqa_query::Term::Var(v) => cqa_query::Term::Var(program.vars.var(from.name(*v))),
+        c => c.clone(),
+    }
+}
+
+fn remap_atom(a: &Atom, from: &cqa_query::VarTable, program: &mut AspProgram) -> Atom {
+    Atom::new(
+        a.relation.clone(),
+        a.terms
+            .iter()
+            .map(|t| remap_term(t, from, program))
+            .collect(),
+    )
+}
+
+/// Parse a single head atom (own namespace, re-interned by caller).
+fn parse_atom(text: &str) -> Result<Atom, String> {
+    if !text.contains('(') {
+        // Propositional atom.
+        return Ok(Atom::new(text.trim(), Vec::new()));
+    }
+    let q = parse_query(&format!("ZZhead() :- {text}")).map_err(|e| e.to_string())?;
+    if q.atoms.len() != 1 {
+        return Err(format!("expected one atom, found `{text}`"));
+    }
+    // Tag along the var table via a marker: the caller re-interns by name, so
+    // embed names through a private convention — simplest is to return the
+    // atom with terms naming vars through the parsed table; reintern happens
+    // in `reintern_atom` using display names.
+    let vars = q.vars.clone();
+    let a = &q.atoms[0];
+    Ok(Atom::new(
+        a.relation.clone(),
+        a.terms
+            .iter()
+            .map(|t| match t {
+                cqa_query::Term::Var(v) => {
+                    // Encode the name as a temporary string constant marker;
+                    // decoded by `reintern_atom`.
+                    cqa_query::Term::Const(cqa_relation::Value::str(format!(
+                        "\u{1}var:{}",
+                        vars.name(*v)
+                    )))
+                }
+                c => c.clone(),
+            })
+            .collect(),
+    ))
+}
+
+fn reintern_atom(a: &Atom, program: &mut AspProgram) -> Atom {
+    Atom::new(
+        a.relation.clone(),
+        a.terms
+            .iter()
+            .map(|t| match t {
+                cqa_query::Term::Const(cqa_relation::Value::Str(s))
+                    if s.starts_with("\u{1}var:") =>
+                {
+                    let name = &s["\u{1}var:".len()..];
+                    cqa_query::Term::Var(program.vars.var(name))
+                }
+                other => other.clone(),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::Term;
+    use cqa_relation::Value;
+
+    #[test]
+    fn parses_facts_rules_constraints() {
+        let p = parse_asp(
+            "p(A).\n\
+             q(x) :- p(x), not r(x).\n\
+             :- q(x), r(x).\n\
+             % a comment\n\
+             \n\
+             a | b :- p(A).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 4);
+        assert!(p.rules[0].is_fact());
+        assert_eq!(p.rules[1].neg.len(), 1);
+        assert!(p.rules[2].head.is_empty());
+        assert_eq!(p.rules[3].head.len(), 2);
+    }
+
+    #[test]
+    fn head_and_body_share_variables() {
+        let p = parse_asp("q(x, y) :- p(x), r(y).").unwrap();
+        let r = &p.rules[0];
+        let head_vars: Vec<_> = r.head[0].vars().collect();
+        let body_vars: Vec<_> = r.pos.iter().flat_map(|a| a.vars()).collect();
+        assert_eq!(head_vars.len(), 2);
+        assert!(head_vars.iter().all(|v| body_vars.contains(v)));
+        assert!(r.check_safety(&p.vars).is_ok());
+    }
+
+    #[test]
+    fn disjunction_shares_variables_too() {
+        let p = parse_asp("a(x) | b(x) :- c(x).").unwrap();
+        let r = &p.rules[0];
+        let a = r.head[0].vars().next().unwrap();
+        let b = r.head[1].vars().next().unwrap();
+        let c = r.pos[0].vars().next().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn weak_constraint_annotations() {
+        let p = parse_asp(
+            ":~ p(x). [2@3]\n\
+             :~ q(x). [5]\n\
+             :~ r(x).",
+        )
+        .unwrap();
+        assert_eq!(p.weak[0].weight, 2);
+        assert_eq!(p.weak[0].level, 3);
+        assert_eq!(p.weak[1].weight, 5);
+        assert_eq!(p.weak[1].level, 1);
+        assert_eq!(p.weak[2].weight, 1);
+    }
+
+    #[test]
+    fn constants_and_numbers() {
+        let p = parse_asp("p(A, 1, 'text', x) :- q(x).").unwrap();
+        let h = &p.rules[0].head[0];
+        assert_eq!(h.terms[0], Term::Const(Value::str("A")));
+        assert_eq!(h.terms[1], Term::Const(Value::int(1)));
+        assert_eq!(h.terms[2], Term::Const(Value::str("text")));
+        assert!(matches!(h.terms[3], Term::Var(_)));
+    }
+
+    #[test]
+    fn propositional_atoms() {
+        // Zero-arity atoms: bare names in heads, `name()` in bodies.
+        let p = parse_asp("a | b.\n:- a(), b().").unwrap();
+        assert_eq!(p.rules[0].head.len(), 2);
+        assert!(p.rules[0].head[0].terms.is_empty());
+        assert_eq!(p.rules[1].pos.len(), 2);
+    }
+
+    #[test]
+    fn bad_syntax_is_an_error_with_line_number() {
+        let err = parse_asp("p(A).\nq(x :- r(x).").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,550 @@
+//! Repair programs (§3.3 of the paper): answer-set programs whose stable
+//! models are exactly the repairs of an inconsistent database.
+//!
+//! For a denial constraint `κ: ¬∃x̄ (P₁(x̄₁) ∧ … ∧ Pₖ(x̄ₖ) ∧ φ)` over a
+//! database with tids, the generated program contains (Example 3.5):
+//!
+//! ```text
+//! P₁'(t₁; x̄₁, d) | … | Pₖ'(tₖ; x̄ₖ, d) :- P₁(t₁; x̄₁), …, Pₖ(tₖ; x̄ₖ), φ.
+//! P'(t; x̄, s) :- P(t; x̄), not P'(t; x̄, d).        (inertia, per relation)
+//! ```
+//!
+//! plus the database tuples as facts. A stable model's `s`-annotated atoms
+//! are one S-repair; adding the weak constraints of Example 4.2
+//! (`:~ P'(t; x̄, d)`) keeps only C-repairs.
+//!
+//! Full and existential tgds with non-interacting head relations are also
+//! supported (deletion of the body tuple vs. insertion of the — possibly
+//! null-padded — head tuple, §4.2); genuinely *interacting* ICs would need
+//! the extra transition annotations the paper mentions and are rejected.
+
+use crate::ast::{AspProgram, AspRule, WeakConstraint};
+use crate::ground::{ground, GroundProgram};
+use crate::solve::{stable_models, Model};
+use crate::weak::optimal_among;
+use cqa_constraints::ConstraintSet;
+use cqa_query::{Atom, Comparison, Term};
+use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// Annotation constants.
+fn ann_d() -> Value {
+    Value::str("d")
+}
+fn ann_s() -> Value {
+    Value::str("s")
+}
+
+/// The primed predicate of relation `r`.
+pub fn primed(r: &str) -> String {
+    format!("{r}_p")
+}
+
+/// The insertion predicate of relation `r`.
+pub fn ins_pred(r: &str) -> String {
+    format!("{r}_ins")
+}
+
+/// A compiled repair program together with the original instance.
+#[derive(Debug, Clone)]
+pub struct RepairProgram {
+    /// The generated ASP program (facts included).
+    pub program: AspProgram,
+    /// Relations of the original database mentioned anywhere.
+    pub relations: Vec<String>,
+    original: Database,
+}
+
+/// One repair read off a stable model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairModel {
+    /// Tids annotated `s` (kept).
+    pub kept: BTreeSet<Tid>,
+    /// Tids annotated `d` (deleted).
+    pub deleted: BTreeSet<Tid>,
+    /// Inserted tuples `(relation, tuple)` from tgd head insertions.
+    pub inserted: Vec<(String, Tuple)>,
+}
+
+impl RepairProgram {
+    /// Build the repair program of `db` w.r.t. `sigma`.
+    ///
+    /// `sigma` may contain denial-class constraints and tgds whose head
+    /// relations are not mentioned by any denial constraint or other tgd
+    /// body (the non-interacting condition).
+    pub fn build(db: &Database, sigma: &ConstraintSet) -> Result<RepairProgram, RelationError> {
+        let mut program = AspProgram::new();
+        let mut relations: BTreeSet<String> = BTreeSet::new();
+
+        // Facts with tids.
+        for (rel, tid, tuple) in db.facts() {
+            relations.insert(rel.to_string());
+            let mut terms: Vec<Term> = vec![Term::Const(Value::Int(tid.0 as i64))];
+            terms.extend(tuple.iter().cloned().map(Term::Const));
+            program.push_fact(Atom::new(rel, terms));
+        }
+
+        // Denial constraints → disjunctive deletion rules.
+        let denials = sigma.all_denials(db)?;
+        for dc in &denials {
+            let body = dc.body();
+            // Remap the DC's variables into the program's shared table and
+            // mint one tid variable per atom.
+            let mut pos: Vec<Atom> = Vec::with_capacity(body.atoms.len());
+            let mut head: Vec<Atom> = Vec::with_capacity(body.atoms.len());
+            for (i, atom) in body.atoms.iter().enumerate() {
+                let tid_var = program
+                    .vars
+                    .var(format!("t_{}_{}", dc.name.replace(' ', "_"), i));
+                let mut fact_terms: Vec<Term> = vec![Term::Var(tid_var)];
+                fact_terms.extend(
+                    atom.terms
+                        .iter()
+                        .map(|t| remap(t, &body.vars, &mut program)),
+                );
+                let mut del_terms = fact_terms.clone();
+                del_terms.push(Term::Const(ann_d()));
+                pos.push(Atom::new(atom.relation.clone(), fact_terms));
+                head.push(Atom::new(primed(&atom.relation), del_terms));
+                relations.insert(atom.relation.clone());
+            }
+            let comparisons: Vec<Comparison> = body
+                .comparisons
+                .iter()
+                .map(|c| Comparison {
+                    left: remap(&c.left, &body.vars, &mut program),
+                    op: c.op,
+                    right: remap(&c.right, &body.vars, &mut program),
+                })
+                .collect();
+            program.push(AspRule {
+                head,
+                pos,
+                neg: Vec::new(),
+                comparisons,
+            });
+        }
+
+        // Tgds: check non-interaction, then add exists-projection and
+        // delete-or-insert rules.
+        let dc_relations: BTreeSet<&str> = denials
+            .iter()
+            .flat_map(|d| d.atoms().iter().map(|a| a.relation.as_str()))
+            .collect();
+        for tgd in sigma.tgds() {
+            let head_rel = &tgd.head().relation;
+            if dc_relations.contains(head_rel.as_str()) {
+                return Err(RelationError::Parse(format!(
+                    "tgd `{}` interacts with a denial constraint on `{head_rel}`; \
+                     interacting ICs need transition annotations (not supported)",
+                    tgd.name
+                )));
+            }
+            if sigma
+                .tgds()
+                .any(|other| other.body().atoms.iter().any(|a| &a.relation == head_rel))
+            {
+                return Err(RelationError::Parse(format!(
+                    "tgd `{}` feeds relation `{head_rel}` consumed by another tgd body; \
+                     cascading tgds are not supported by the ASP encoding",
+                    tgd.name
+                )));
+            }
+            relations.insert(head_rel.clone());
+
+            let body = tgd.body();
+            let bound: BTreeSet<cqa_query::Var> = body.positive_vars();
+            let exists_pred = format!("ex_{}", tgd.name.replace(' ', "_"));
+
+            // Projection rule: ex_T(bound head args) :- Head(t, all args).
+            let head_arity = tgd.head().terms.len();
+            let proj_tid = program
+                .vars
+                .var(format!("tex_{}", tgd.name.replace(' ', "_")));
+            let mut proj_body_terms: Vec<Term> = vec![Term::Var(proj_tid)];
+            let mut proj_head_terms: Vec<Term> = Vec::new();
+            for (i, t) in tgd.head().terms.iter().enumerate() {
+                let pv = program
+                    .vars
+                    .var(format!("hex_{}_{}", tgd.name.replace(' ', "_"), i));
+                proj_body_terms.push(Term::Var(pv));
+                let keep = match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                };
+                if keep {
+                    proj_head_terms.push(Term::Var(pv));
+                }
+            }
+            debug_assert_eq!(proj_body_terms.len(), head_arity + 1);
+            program.push(AspRule {
+                head: vec![Atom::new(exists_pred.clone(), proj_head_terms)],
+                pos: vec![Atom::new(head_rel.clone(), proj_body_terms)],
+                neg: Vec::new(),
+                comparisons: Vec::new(),
+            });
+
+            // Delete-or-insert rule.
+            let mut pos: Vec<Atom> = Vec::new();
+            let mut head: Vec<Atom> = Vec::new();
+            for (i, atom) in body.atoms.iter().enumerate() {
+                let tid_var = program
+                    .vars
+                    .var(format!("tt_{}_{}", tgd.name.replace(' ', "_"), i));
+                let mut fact_terms: Vec<Term> = vec![Term::Var(tid_var)];
+                fact_terms.extend(
+                    atom.terms
+                        .iter()
+                        .map(|t| remap(t, &body.vars, &mut program)),
+                );
+                let mut del_terms = fact_terms.clone();
+                del_terms.push(Term::Const(ann_d()));
+                pos.push(Atom::new(atom.relation.clone(), fact_terms));
+                head.push(Atom::new(primed(&atom.relation), del_terms));
+                relations.insert(atom.relation.clone());
+            }
+            // Insertion head: bound head vars remapped; existentials → NULL.
+            let mut ins_terms: Vec<Term> = Vec::new();
+            let mut guard_terms: Vec<Term> = Vec::new();
+            for t in &tgd.head().terms {
+                let keep = match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                };
+                if keep {
+                    let rt = remap(t, &body.vars, &mut program);
+                    ins_terms.push(rt.clone());
+                    guard_terms.push(rt);
+                } else {
+                    ins_terms.push(Term::Const(Value::NULL));
+                }
+            }
+            head.push(Atom::new(ins_pred(head_rel), ins_terms));
+            let comparisons: Vec<Comparison> = body
+                .comparisons
+                .iter()
+                .map(|c| Comparison {
+                    left: remap(&c.left, &body.vars, &mut program),
+                    op: c.op,
+                    right: remap(&c.right, &body.vars, &mut program),
+                })
+                .collect();
+            program.push(AspRule {
+                head,
+                pos,
+                neg: vec![Atom::new(exists_pred, guard_terms)],
+                comparisons,
+            });
+        }
+
+        // Inertia rules for every relation that can lose tuples.
+        let deletable: BTreeSet<String> = program
+            .rules
+            .iter()
+            .flat_map(|r| r.head.iter())
+            .filter_map(|h| h.relation.strip_suffix("_p").map(str::to_string))
+            .collect();
+        for rel in &deletable {
+            let Some(relation) = db.relation(rel) else {
+                continue;
+            };
+            let arity = relation.schema().arity();
+            let t = program.vars.var(format!("ti_{rel}"));
+            let mut fact_terms: Vec<Term> = vec![Term::Var(t)];
+            for i in 0..arity {
+                fact_terms.push(Term::Var(program.vars.var(format!("xi_{rel}_{i}"))));
+            }
+            let mut keep_terms = fact_terms.clone();
+            keep_terms.push(Term::Const(ann_s()));
+            let mut del_terms = fact_terms.clone();
+            del_terms.push(Term::Const(ann_d()));
+            program.push(AspRule {
+                head: vec![Atom::new(primed(rel), keep_terms)],
+                pos: vec![Atom::new(rel.clone(), fact_terms)],
+                neg: vec![Atom::new(primed(rel), del_terms)],
+                comparisons: Vec::new(),
+            });
+        }
+
+        Ok(RepairProgram {
+            program,
+            relations: relations.into_iter().collect(),
+            original: db.clone(),
+        })
+    }
+
+    /// Add the weak constraints of Example 4.2, turning stable models into
+    /// C-repair models when filtered by [`RepairProgram::c_repair_models`].
+    pub fn add_c_repair_weak_constraints(&mut self) {
+        let deletable: Vec<(String, usize)> = self
+            .relations
+            .iter()
+            .filter_map(|r| {
+                self.original
+                    .relation(r)
+                    .map(|rel| (r.clone(), rel.schema().arity()))
+            })
+            .collect();
+        for (rel, arity) in deletable {
+            let t = self.program.vars.var(format!("tw_{rel}"));
+            let mut terms: Vec<Term> = vec![Term::Var(t)];
+            for i in 0..arity {
+                terms.push(Term::Var(self.program.vars.var(format!("xw_{rel}_{i}"))));
+            }
+            let mut del_terms = terms.clone();
+            del_terms.push(Term::Const(ann_d()));
+            self.program.weak.push(WeakConstraint {
+                pos: vec![
+                    Atom::new(rel.clone(), terms),
+                    Atom::new(primed(&rel), del_terms),
+                ],
+                neg: Vec::new(),
+                comparisons: Vec::new(),
+                weight: 1,
+                level: 1,
+            });
+            // Insertions cost too.
+            let ins = ins_pred(&rel);
+            let mut ins_terms: Vec<Term> = Vec::new();
+            for i in 0..arity {
+                ins_terms.push(Term::Var(self.program.vars.var(format!("yw_{rel}_{i}"))));
+            }
+            self.program.weak.push(WeakConstraint {
+                pos: vec![Atom::new(ins, ins_terms)],
+                neg: Vec::new(),
+                comparisons: Vec::new(),
+                weight: 1,
+                level: 1,
+            });
+        }
+    }
+
+    /// Ground the program.
+    pub fn ground(&self) -> Result<GroundProgram, RelationError> {
+        ground(&self.program).map_err(RelationError::Parse)
+    }
+
+    /// Read one stable model as a [`RepairModel`].
+    pub fn read_model(&self, g: &GroundProgram, model: &Model) -> RepairModel {
+        let mut kept = BTreeSet::new();
+        let mut deleted = BTreeSet::new();
+        let mut inserted = Vec::new();
+        for &id in model {
+            let atom = g.atom(id);
+            if let Some(rel) = atom.predicate.strip_suffix("_p") {
+                let _ = rel;
+                let n = atom.args.arity();
+                let tid = atom.args.at(0).as_i64().expect("tid is int") as u64;
+                let ann = atom.args.at(n - 1);
+                if ann == &ann_s() {
+                    kept.insert(Tid(tid));
+                } else if ann == &ann_d() {
+                    deleted.insert(Tid(tid));
+                }
+            } else if let Some(rel) = atom.predicate.strip_suffix("_ins") {
+                inserted.push((rel.to_string(), Tuple::new(atom.args.iter().cloned())));
+            }
+        }
+        inserted.sort();
+        inserted.dedup();
+        RepairModel {
+            kept,
+            deleted,
+            inserted,
+        }
+    }
+
+    /// Enumerate all S-repair models.
+    pub fn s_repair_models(&self) -> Result<Vec<RepairModel>, RelationError> {
+        let g = self.ground()?;
+        let models = stable_models(&g);
+        let mut out: Vec<RepairModel> = models.iter().map(|m| self.read_model(&g, m)).collect();
+        out.sort_by(|a, b| (&a.deleted, &a.inserted).cmp(&(&b.deleted, &b.inserted)));
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Enumerate the cost-optimal (C-repair) models; requires
+    /// [`RepairProgram::add_c_repair_weak_constraints`] to have been called.
+    pub fn c_repair_models(&self) -> Result<Vec<RepairModel>, RelationError> {
+        let g = self.ground()?;
+        let models = stable_models(&g);
+        let (opt, _) = optimal_among(&g, models);
+        let mut out: Vec<RepairModel> = opt.iter().map(|m| self.read_model(&g, m)).collect();
+        out.sort_by(|a, b| (&a.deleted, &a.inserted).cmp(&(&b.deleted, &b.inserted)));
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Materialize a repair model as a database instance.
+    pub fn materialize(&self, model: &RepairModel) -> Result<Database, RelationError> {
+        let (db, _) = self
+            .original
+            .with_changes(&model.deleted, &model.inserted)?;
+        Ok(db)
+    }
+}
+
+fn remap(t: &Term, from: &cqa_query::VarTable, program: &mut AspProgram) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(program.vars.var(format!("q_{}", from.name(*v)))),
+        c => c.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{DenialConstraint, KeyConstraint, Tgd};
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn example_3_5_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+        db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+        db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+        db.insert("S", tuple!["a4"]).unwrap(); // ι4
+        db.insert("S", tuple!["a2"]).unwrap(); // ι5
+        db.insert("S", tuple!["a3"]).unwrap(); // ι6
+        db
+    }
+
+    fn kappa() -> ConstraintSet {
+        ConstraintSet::from_iter([DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()])
+    }
+
+    #[test]
+    fn example_3_5_stable_models_are_the_three_s_repairs() {
+        let db = example_3_5_db();
+        let rp = RepairProgram::build(&db, &kappa()).unwrap();
+        let models = rp.s_repair_models().unwrap();
+        assert_eq!(models.len(), 3);
+        let deletions: BTreeSet<BTreeSet<Tid>> = models.iter().map(|m| m.deleted.clone()).collect();
+        assert!(deletions.contains(&[Tid(6)].into()));
+        assert!(deletions.contains(&[Tid(1), Tid(3)].into()));
+        assert!(deletions.contains(&[Tid(3), Tid(4)].into()));
+        // Each model partitions the tuples into kept + deleted.
+        for m in &models {
+            assert_eq!(m.kept.len() + m.deleted.len(), 6);
+            assert!(m.inserted.is_empty());
+        }
+    }
+
+    #[test]
+    fn asp_repairs_match_direct_engine() {
+        let db = example_3_5_db();
+        let sigma = kappa();
+        let rp = RepairProgram::build(&db, &sigma).unwrap();
+        let asp: BTreeSet<BTreeSet<Tid>> = rp
+            .s_repair_models()
+            .unwrap()
+            .into_iter()
+            .map(|m| m.deleted)
+            .collect();
+        let direct: BTreeSet<BTreeSet<Tid>> = cqa_core::s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.deleted)
+            .collect();
+        assert_eq!(asp, direct);
+    }
+
+    #[test]
+    fn example_4_2_weak_constraints_give_c_repairs() {
+        let db = example_3_5_db();
+        let mut rp = RepairProgram::build(&db, &kappa()).unwrap();
+        rp.add_c_repair_weak_constraints();
+        let models = rp.c_repair_models().unwrap();
+        // The unique C-repair deletes only ι6.
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].deleted, [Tid(6)].into());
+    }
+
+    #[test]
+    fn key_constraint_repair_program() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+        let rp = RepairProgram::build(&db, &sigma).unwrap();
+        let models = rp.s_repair_models().unwrap();
+        assert_eq!(models.len(), 2);
+        for m in &models {
+            assert_eq!(m.deleted.len(), 1);
+            let inst = rp.materialize(m).unwrap();
+            assert!(sigma.is_satisfied(&inst).unwrap());
+        }
+    }
+
+    #[test]
+    fn example_2_1_tgd_repair_program() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1"]).unwrap();
+        db.insert("Articles", tuple!["I2"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap()]);
+        let rp = RepairProgram::build(&db, &sigma).unwrap();
+        let models = rp.s_repair_models().unwrap();
+        assert_eq!(models.len(), 2);
+        let del = models.iter().find(|m| !m.deleted.is_empty()).unwrap();
+        assert_eq!(del.deleted, [Tid(3)].into());
+        let ins = models.iter().find(|m| !m.inserted.is_empty()).unwrap();
+        assert_eq!(ins.inserted, vec![("Articles".to_string(), tuple!["I3"])]);
+    }
+
+    #[test]
+    fn existential_tgd_inserts_null_via_asp() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Supply", ["C", "R", "I"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["I", "Cost"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([
+                Tgd::parse("IDp", "Articles(z, v) :- Supply(x, y, z)").unwrap()
+            ]);
+        let rp = RepairProgram::build(&db, &sigma).unwrap();
+        let models = rp.s_repair_models().unwrap();
+        assert_eq!(models.len(), 2);
+        let ins = models.iter().find(|m| !m.inserted.is_empty()).unwrap();
+        let t = &ins.inserted[0].1;
+        assert_eq!(t.at(0), &Value::str("I3"));
+        assert!(t.at(1).is_null());
+    }
+
+    #[test]
+    fn interacting_ics_are_rejected() {
+        let db = example_3_5_db();
+        let mut sigma = kappa();
+        sigma.push(Tgd::parse("bad", "S(x) :- R(x, y)").unwrap());
+        assert!(RepairProgram::build(&db, &sigma).is_err());
+    }
+
+    #[test]
+    fn consistent_db_has_single_model_keeping_everything() {
+        let mut db = example_3_5_db();
+        db.delete(Tid(6)).unwrap();
+        let rp = RepairProgram::build(&db, &kappa()).unwrap();
+        let models = rp.s_repair_models().unwrap();
+        assert_eq!(models.len(), 1);
+        assert!(models[0].deleted.is_empty());
+        assert_eq!(models[0].kept.len(), 5);
+    }
+}

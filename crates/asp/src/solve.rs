@@ -1,0 +1,481 @@
+//! Stable-model computation for ground disjunctive programs.
+//!
+//! DPLL-style branch-and-propagate over atom truth values, with a
+//! stability check at the leaves:
+//!
+//! * **Propagation.** (a) A rule whose positive body is all-true and whose
+//!   negative body is all-false must have a true head disjunct: if all but
+//!   one are false, the last is forced true; if all are false, conflict.
+//!   (b) An atom with no *potentially applicable* rule containing it in the
+//!   head must be false (minimality would drop it).
+//! * **Stability check.** A total model `M` is stable iff it is a minimal
+//!   model of the GL-reduct `P^M`. For normal rules we would compare with the
+//!   least model; the general (disjunctive) check used here searches for a
+//!   proper submodel of the reduct with a tiny clause-level DPLL — exactly
+//!   the co-NP flavour the paper attributes to disjunctive programs, bounded
+//!   in practice by `|M|`.
+//!
+//! Weak-constraint optimization (C-repairs, Ex. 4.2) lives in
+//! [`crate::weak`].
+
+use crate::ground::{AtomId, GroundProgram, GroundRule};
+use std::collections::BTreeSet;
+
+/// A stable model: the set of true atoms.
+pub type Model = BTreeSet<AtomId>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Truth {
+    True,
+    False,
+    Open,
+}
+
+struct Solver<'a> {
+    program: &'a GroundProgram,
+    assign: Vec<Truth>,
+    models: Vec<Model>,
+    limit: Option<usize>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(program: &'a GroundProgram, limit: Option<usize>) -> Solver<'a> {
+        Solver {
+            program,
+            assign: vec![Truth::Open; program.atom_count()],
+            models: Vec::new(),
+            limit,
+        }
+    }
+
+    fn value(&self, a: AtomId) -> Truth {
+        self.assign[a.0 as usize]
+    }
+
+    /// Could this rule's body still become satisfied?
+    fn body_possible(&self, r: &GroundRule) -> bool {
+        r.pos.iter().all(|&a| self.value(a) != Truth::False)
+            && r.neg.iter().all(|&a| self.value(a) != Truth::True)
+    }
+
+    /// Is this rule's body definitely satisfied?
+    fn body_satisfied(&self, r: &GroundRule) -> bool {
+        r.pos.iter().all(|&a| self.value(a) == Truth::True)
+            && r.neg.iter().all(|&a| self.value(a) == Truth::False)
+    }
+
+    /// Run propagation; `Ok(changes)` lists atoms assigned (for undo),
+    /// `Err(changes)` signals a conflict (caller must undo).
+    fn propagate(&mut self) -> Result<Vec<AtomId>, Vec<AtomId>> {
+        let mut trail: Vec<AtomId> = Vec::new();
+        loop {
+            let mut changed = false;
+            // (a) head propagation on satisfied bodies.
+            for r in &self.program.rules {
+                if !self.body_satisfied(r) {
+                    continue;
+                }
+                if r.head.iter().any(|&h| self.value(h) == Truth::True) {
+                    continue;
+                }
+                let open: Vec<AtomId> = r
+                    .head
+                    .iter()
+                    .copied()
+                    .filter(|&h| self.value(h) == Truth::Open)
+                    .collect();
+                match open.len() {
+                    0 => return Err(trail), // body satisfied, head all false
+                    1 => {
+                        self.assign[open[0].0 as usize] = Truth::True;
+                        trail.push(open[0]);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            // (b) unsupported atoms must be false.
+            for id in 0..self.program.atom_count() as u32 {
+                let a = AtomId(id);
+                if self.value(a) != Truth::Open {
+                    continue;
+                }
+                let supported = self
+                    .program
+                    .rules
+                    .iter()
+                    .any(|r| r.head.contains(&a) && self.body_possible(r));
+                if !supported {
+                    self.assign[id as usize] = Truth::False;
+                    trail.push(a);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(trail);
+            }
+        }
+    }
+
+    fn undo(&mut self, trail: &[AtomId]) {
+        for &a in trail {
+            self.assign[a.0 as usize] = Truth::Open;
+        }
+    }
+
+    fn search(&mut self) {
+        if self.limit.is_some_and(|l| self.models.len() >= l) {
+            return;
+        }
+        let trail = match self.propagate() {
+            Ok(t) => t,
+            Err(t) => {
+                self.undo(&t);
+                return;
+            }
+        };
+        // Choose a branching atom: first open atom (deterministic).
+        let open = (0..self.program.atom_count() as u32)
+            .map(AtomId)
+            .find(|&a| self.value(a) == Truth::Open);
+        match open {
+            None => {
+                let model: Model = (0..self.program.atom_count() as u32)
+                    .map(AtomId)
+                    .filter(|&a| self.value(a) == Truth::True)
+                    .collect();
+                if self.is_model(&model) && self.is_stable(&model) {
+                    self.models.push(model);
+                }
+            }
+            Some(a) => {
+                // False first (bias toward minimal models).
+                for v in [Truth::False, Truth::True] {
+                    self.assign[a.0 as usize] = v;
+                    self.search();
+                    self.assign[a.0 as usize] = Truth::Open;
+                    if self.limit.is_some_and(|l| self.models.len() >= l) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.undo(&trail);
+    }
+
+    /// Classical model check.
+    fn is_model(&self, m: &Model) -> bool {
+        self.program.rules.iter().all(|r| {
+            let body = r.pos.iter().all(|a| m.contains(a)) && r.neg.iter().all(|a| !m.contains(a));
+            !body || r.head.iter().any(|h| m.contains(h))
+        })
+    }
+
+    /// GL-reduct minimality: is `m` a minimal model of `P^m`?
+    fn is_stable(&self, m: &Model) -> bool {
+        // Reduct rules relevant below m: keep rules whose neg-part is
+        // m-satisfied and whose pos-part lies inside m (others are satisfied
+        // by any subset of m). Restrict heads to m.
+        let atoms: Vec<AtomId> = m.iter().copied().collect();
+        if atoms.is_empty() {
+            return true;
+        }
+        let index_of = |a: AtomId| atoms.binary_search(&a).ok();
+        let mut clauses: Vec<(Vec<usize>, Vec<usize>)> = Vec::new(); // (¬pos…, head…)
+        for r in &self.program.rules {
+            if r.neg.iter().any(|a| m.contains(a)) {
+                continue; // dropped by the reduct
+            }
+            if !r.pos.iter().all(|a| m.contains(a)) {
+                continue; // body false under every subset of m
+            }
+            let pos: Vec<usize> = r.pos.iter().filter_map(|&a| index_of(a)).collect();
+            let head: Vec<usize> = r.head.iter().filter_map(|&a| index_of(a)).collect();
+            // Rule must stay satisfied: ⋁¬pos ∨ ⋁head.
+            clauses.push((pos, head));
+        }
+        // Search for a proper submodel: an assignment over `atoms` (true ⊆
+        // m) satisfying all clauses with at least one atom false.
+        !has_proper_submodel(atoms.len(), &clauses)
+    }
+}
+
+/// Tiny DPLL over `n` variables: find an assignment satisfying every clause
+/// `(⋁ ¬pos) ∨ (⋁ head)` with at least one variable false.
+fn has_proper_submodel(n: usize, clauses: &[(Vec<usize>, Vec<usize>)]) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum V {
+        T,
+        F,
+        O,
+    }
+    fn sat(clauses: &[(Vec<usize>, Vec<usize>)], assign: &mut Vec<V>, any_false: bool) -> bool {
+        // Unit propagation.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut changed = false;
+            for (pos, head) in clauses {
+                // Clause satisfied if some pos var false or some head true.
+                if pos.iter().any(|&p| assign[p] == V::F) || head.iter().any(|&h| assign[h] == V::T)
+                {
+                    continue;
+                }
+                let open_pos: Vec<usize> =
+                    pos.iter().copied().filter(|&p| assign[p] == V::O).collect();
+                let open_head: Vec<usize> = head
+                    .iter()
+                    .copied()
+                    .filter(|&h| assign[h] == V::O)
+                    .collect();
+                match open_pos.len() + open_head.len() {
+                    0 => {
+                        for &t in &trail {
+                            assign[t] = V::O;
+                        }
+                        return false; // conflict
+                    }
+                    1 => {
+                        if let Some(&p) = open_pos.first() {
+                            assign[p] = V::F;
+                            trail.push(p);
+                        } else {
+                            assign[open_head[0]] = V::T;
+                            trail.push(open_head[0]);
+                        }
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let have_false = any_false || assign.contains(&V::F);
+        match assign.iter().position(|&v| v == V::O) {
+            None => {
+                let ok = have_false;
+                for &t in &trail {
+                    assign[t] = V::O;
+                }
+                ok
+            }
+            Some(i) => {
+                for v in [V::F, V::T] {
+                    assign[i] = v;
+                    if sat(clauses, assign, have_false) {
+                        assign[i] = V::O;
+                        for &t in &trail {
+                            assign[t] = V::O;
+                        }
+                        return true;
+                    }
+                }
+                assign[i] = V::O;
+                for &t in &trail {
+                    assign[t] = V::O;
+                }
+                false
+            }
+        }
+    }
+    let mut assign = vec![V::O; n];
+    let _ = n;
+    sat(clauses, &mut assign, false)
+}
+
+/// Enumerate all stable models of a ground program (deterministic order).
+pub fn stable_models(program: &GroundProgram) -> Vec<Model> {
+    stable_models_with_limit(program, None)
+}
+
+/// Enumerate up to `limit` stable models.
+pub fn stable_models_with_limit(program: &GroundProgram, limit: Option<usize>) -> Vec<Model> {
+    let mut solver = Solver::new(program, limit);
+    solver.search();
+    solver.models.sort();
+    solver.models.dedup();
+    solver.models
+}
+
+/// Brave consequence: is `atom` true in *some* stable model?
+pub fn brave(program: &GroundProgram, models: &[Model], atom: AtomId) -> bool {
+    let _ = program;
+    models.iter().any(|m| m.contains(&atom))
+}
+
+/// Cautious consequence: is `atom` true in *every* stable model?
+pub fn cautious(program: &GroundProgram, models: &[Model], atom: AtomId) -> bool {
+    let _ = program;
+    !models.is_empty() && models.iter().all(|m| m.contains(&atom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::parser::parse_asp;
+    use cqa_relation::tuple;
+
+    fn models_of(src: &str) -> (GroundProgram, Vec<Model>) {
+        let p = parse_asp(src).unwrap();
+        let g = ground(&p).unwrap();
+        let m = stable_models(&g);
+        (g, m)
+    }
+
+    fn model_strings(g: &GroundProgram, m: &Model) -> Vec<String> {
+        m.iter().map(|&a| g.atom(a).to_string()).collect()
+    }
+
+    #[test]
+    fn facts_have_one_model() {
+        let (g, ms) = models_of("p(A).\nq(B).");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].len(), 2);
+        let _ = g;
+    }
+
+    #[test]
+    fn definite_rules_compute_least_model() {
+        let (g, ms) = models_of(
+            "e(1, 2).\ne(2, 3).\n\
+             t(x, y) :- e(x, y).\n\
+             t(x, z) :- e(x, y), t(y, z).",
+        );
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].contains(&g.lookup("t", &tuple![1, 3]).unwrap()));
+        assert_eq!(ms[0].len(), 5); // 2 e-facts + 3 t-atoms
+    }
+
+    #[test]
+    fn choice_via_even_negation_loop() {
+        // a :- not b. b :- not a. — two stable models {a}, {b}.
+        let (g, ms) = models_of("a :- not b().\nb :- not a().");
+        assert_eq!(ms.len(), 2);
+        let names: Vec<Vec<String>> = ms.iter().map(|m| model_strings(&g, m)).collect();
+        assert!(names.contains(&vec!["a".to_string()]));
+        assert!(names.contains(&vec!["b".to_string()]));
+    }
+
+    #[test]
+    fn odd_negation_loop_has_no_model() {
+        let (_, ms) = models_of("a :- not a().");
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn positive_loop_is_not_self_supporting() {
+        // a :- b. b :- a. — only the empty model is stable.
+        let (_, ms) = models_of("a :- b().\nb :- a().");
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].is_empty());
+    }
+
+    #[test]
+    fn disjunction_is_minimal() {
+        let (g, ms) = models_of("a | b.");
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert_eq!(m.len(), 1);
+        }
+        let _ = g;
+        // {a, b} is a classical model but not minimal → not stable.
+    }
+
+    #[test]
+    fn disjunction_with_constraint() {
+        let (g, ms) = models_of("a | b.\n:- a().");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(model_strings(&g, &ms[0]), vec!["b"]);
+    }
+
+    #[test]
+    fn head_shared_by_rules_non_minimal_pruned() {
+        // a | b. a :- b. — {b} is not stable ({b} model? rule2: b→a so {b}
+        // violates rule2; {a} stable; {a,b}? reduct minimality fails).
+        let (g, ms) = models_of("a | b.\na :- b().");
+        let names: Vec<Vec<String>> = ms.iter().map(|m| model_strings(&g, m)).collect();
+        assert_eq!(names, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn hard_constraint_kills_all_models() {
+        let (_, ms) = models_of("a | b.\n:- a().\n:- b().");
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn example_3_5_repair_program_shape() {
+        // Hand-written version of the paper's repair program for κ on the
+        // R/S instance; tids as first arguments, annotations d/s.
+        let src = "\
+            s(4, A4).\n\
+            s(5, A2).\n\
+            s(6, A3).\n\
+            r(1, A4, A3).\n\
+            r(2, A2, A1).\n\
+            r(3, A3, A3).\n\
+            sp(t1, x, D) | rp(t2, x, y, D) | sp(t3, y, D) :- s(t1, x), r(t2, x, y), s(t3, y).\n\
+            sp(t, x, S) :- s(t, x), not sp(t, x, D).\n\
+            rp(t, x, y, S) :- r(t, x, y), not rp(t, x, y, D).";
+        let (g, ms) = models_of(src);
+        assert_eq!(ms.len(), 3, "three S-repairs = three stable models");
+        // Each model keeps exactly the tuples of one of D1, D2, D3.
+        let kept: Vec<BTreeSet<String>> = ms
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .map(|&a| g.atom(a))
+                    .filter(|a| {
+                        (a.predicate == "sp" || a.predicate == "rp")
+                            && a.args.values().last().unwrap() == &cqa_relation::Value::str("S")
+                    })
+                    .map(|a| format!("{}{}", a.predicate, a.args.at(0)))
+                    .collect()
+            })
+            .collect();
+        // D1 deletes ι6 → keeps sp4, sp5, rp1, rp2, rp3.
+        assert!(kept.contains(
+            &["sp4", "sp5", "rp1", "rp2", "rp3"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        ));
+        // D2 = {ι2, ι4, ι5, ι6} keeps rp2, sp4, sp5, sp6.
+        assert!(kept.contains(
+            &["rp2", "sp4", "sp5", "sp6"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        ));
+        // D3 = {ι1, ι2, ι5, ι6} keeps rp1, rp2, sp5, sp6.
+        assert!(kept.contains(
+            &["rp1", "rp2", "sp5", "sp6"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        ));
+    }
+
+    #[test]
+    fn brave_and_cautious() {
+        let (g, ms) = models_of("a | b.\nc :- a().\nc :- b().");
+        let a = g.lookup("a", &Tuple::new(vec![])).unwrap();
+        let c = g.lookup("c", &Tuple::new(vec![])).unwrap();
+        assert!(brave(&g, &ms, a));
+        assert!(!cautious(&g, &ms, a));
+        assert!(cautious(&g, &ms, c));
+    }
+
+    #[test]
+    fn model_limit() {
+        let (_, _) = models_of("a | b.");
+        let p = parse_asp("a | b.\nc | d.").unwrap();
+        let g = ground(&p).unwrap();
+        assert_eq!(stable_models(&g).len(), 4);
+        assert_eq!(stable_models_with_limit(&g, Some(2)).len(), 2);
+    }
+
+    use cqa_relation::Tuple;
+}

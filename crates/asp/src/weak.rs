@@ -1,0 +1,154 @@
+//! Weak-constraint optimization (DLV semantics, \[82\]; used for C-repairs in
+//! Ex. 4.2 and for maximum-responsibility causes in §7).
+//!
+//! A weak constraint `:~ body. [w@l]` charges weight `w` at level `l` for
+//! every ground instance whose body a model satisfies. Models are compared
+//! by their cost vectors, **higher levels first**; `optimal_models` keeps
+//! the minima.
+
+use crate::ground::{GroundProgram, GroundWeak};
+use crate::solve::{stable_models, Model};
+use std::collections::BTreeMap;
+
+/// Cost of a model: level → total weight of violated instances. Missing
+/// levels count as zero.
+pub type Cost = BTreeMap<u32, i64>;
+
+/// Compute the cost vector of `model`.
+pub fn cost_of(program: &GroundProgram, model: &Model) -> Cost {
+    let mut cost = Cost::new();
+    for w in &program.weak {
+        if violated(w, model) {
+            *cost.entry(w.level).or_insert(0) += w.weight;
+        }
+    }
+    cost
+}
+
+fn violated(w: &GroundWeak, model: &Model) -> bool {
+    w.pos.iter().all(|a| model.contains(a)) && w.neg.iter().all(|a| !model.contains(a))
+}
+
+/// Compare two costs lexicographically by level, higher levels first.
+pub fn compare_costs(a: &Cost, b: &Cost) -> std::cmp::Ordering {
+    let levels: std::collections::BTreeSet<u32> = a.keys().chain(b.keys()).copied().collect();
+    for level in levels.into_iter().rev() {
+        let va = a.get(&level).copied().unwrap_or(0);
+        let vb = b.get(&level).copied().unwrap_or(0);
+        match va.cmp(&vb) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// All cost-optimal stable models, with their (shared) cost.
+pub fn optimal_models(program: &GroundProgram) -> (Vec<Model>, Cost) {
+    let all = stable_models(program);
+    optimal_among(program, all)
+}
+
+/// Filter an explicit model list down to the cost-optimal ones.
+pub fn optimal_among(program: &GroundProgram, models: Vec<Model>) -> (Vec<Model>, Cost) {
+    let mut best: Option<Cost> = None;
+    let mut kept: Vec<Model> = Vec::new();
+    for m in models {
+        let c = cost_of(program, &m);
+        match &best {
+            None => {
+                best = Some(c);
+                kept = vec![m];
+            }
+            Some(b) => match compare_costs(&c, b) {
+                std::cmp::Ordering::Less => {
+                    best = Some(c);
+                    kept = vec![m];
+                }
+                std::cmp::Ordering::Equal => kept.push(m),
+                std::cmp::Ordering::Greater => {}
+            },
+        }
+    }
+    (kept, best.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::parser::parse_asp;
+
+    #[test]
+    fn weak_constraints_pick_cheapest_models() {
+        // Two independent choices; penalize a and c.
+        let p = parse_asp(
+            "a | b.\nc | d.\n\
+             :~ a().\n\
+             :~ c().",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let (opt, cost) = optimal_models(&g);
+        assert_eq!(opt.len(), 1); // {b, d}
+        assert_eq!(cost.get(&1).copied().unwrap_or(0), 0);
+        let names: Vec<String> = opt[0].iter().map(|&a| g.atom(a).to_string()).collect();
+        assert_eq!(names, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn weights_accumulate() {
+        let p = parse_asp(
+            "a | b.\n\
+             :~ a(). [3]\n\
+             :~ b(). [1]\n\
+             :~ b(). [1]",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        // Duplicate ground weak constraints dedupe? No: both :~ b() lines
+        // are distinct constraints; b costs 2 < a costs 3.
+        let (opt, cost) = optimal_models(&g);
+        let names: Vec<String> = opt[0].iter().map(|&a| g.atom(a).to_string()).collect();
+        assert_eq!(names, vec!["b"]);
+        assert_eq!(cost.get(&1).copied().unwrap(), 2);
+    }
+
+    #[test]
+    fn levels_dominate_weights() {
+        // a violates level 2 weight 1; b violates level 1 weight 100.
+        let p = parse_asp(
+            "a | b.\n\
+             :~ a(). [1@2]\n\
+             :~ b(). [100@1]",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let (opt, _) = optimal_models(&g);
+        let names: Vec<String> = opt[0].iter().map(|&a| g.atom(a).to_string()).collect();
+        assert_eq!(names, vec!["b"]); // level 2 is minimized first
+    }
+
+    #[test]
+    fn ties_keep_all_optima() {
+        let p = parse_asp(
+            "a | b.\n\
+             :~ a().\n\
+             :~ b().",
+        )
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let (opt, cost) = optimal_models(&g);
+        assert_eq!(opt.len(), 2);
+        assert_eq!(cost.get(&1).copied().unwrap(), 1);
+    }
+
+    #[test]
+    fn cost_comparison_orders() {
+        use std::cmp::Ordering::*;
+        let c = |pairs: &[(u32, i64)]| -> Cost { pairs.iter().copied().collect() };
+        assert_eq!(compare_costs(&c(&[(1, 1)]), &c(&[(1, 2)])), Less);
+        assert_eq!(compare_costs(&c(&[(2, 1)]), &c(&[(1, 100)])), Greater);
+        assert_eq!(compare_costs(&c(&[]), &c(&[(1, 0)])), Equal);
+    }
+}

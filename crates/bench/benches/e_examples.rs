@@ -1,0 +1,98 @@
+//! E-series micro-benchmarks: the cost of each paper example's headline
+//! operation, so regressions in the core paths are visible.
+
+use cqa_constraints::{ConstraintSet, DenialConstraint, KeyConstraint, Tgd};
+use cqa_core::RepairClass;
+use cqa_query::{parse_query, NullSemantics, UnionQuery};
+use cqa_relation::{tuple, Database, RelationSchema};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn supply_db() -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Supply",
+        ["Company", "Receiver", "Item"],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new("Articles", ["Item"]))
+        .unwrap();
+    db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+    db.insert("Articles", tuple!["I1"]).unwrap();
+    db.insert("Articles", tuple!["I2"]).unwrap();
+    let sigma =
+        ConstraintSet::from_iter([Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap()]);
+    (db, sigma)
+}
+
+fn rs_db() -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("R", ["A", "B"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+    db.insert("R", tuple!["a4", "a3"]).unwrap();
+    db.insert("R", tuple!["a2", "a1"]).unwrap();
+    db.insert("R", tuple!["a3", "a3"]).unwrap();
+    db.insert("S", tuple!["a4"]).unwrap();
+    db.insert("S", tuple!["a2"]).unwrap();
+    db.insert("S", tuple!["a3"]).unwrap();
+    let sigma =
+        ConstraintSet::from_iter(
+            [DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()],
+        );
+    (db, sigma)
+}
+
+fn bench(c: &mut Criterion) {
+    let (supply, supply_sigma) = supply_db();
+    let (rs, kappa) = rs_db();
+
+    c.bench_function("e1_residue_rewrite", |b| {
+        let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        b.iter(|| {
+            let rr = cqa_core::residue_rewrite(&q, &supply_sigma).unwrap();
+            cqa_query::eval_fo(&supply, &rr.query, NullSemantics::Structural).len()
+        })
+    });
+
+    c.bench_function("e2_supply_s_repairs", |b| {
+        b.iter(|| cqa_core::s_repairs(&supply, &supply_sigma).unwrap().len())
+    });
+
+    c.bench_function("e3_employee_cqa", |b| {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+        let q = UnionQuery::single(parse_query("Q(x, y) :- Employee(x, y)").unwrap());
+        b.iter(|| {
+            cqa_core::consistent_answers(&db, &sigma, &q, &RepairClass::Subset)
+                .unwrap()
+                .len()
+        })
+    });
+
+    c.bench_function("e4_repair_program_stable_models", |b| {
+        b.iter(|| {
+            let rp = cqa_asp::RepairProgram::build(&rs, &kappa).unwrap();
+            rp.s_repair_models().unwrap().len()
+        })
+    });
+
+    c.bench_function("e8_attribute_repairs", |b| {
+        b.iter(|| cqa_core::attribute_repairs(&rs, &kappa).unwrap().len())
+    });
+
+    c.bench_function("e11_actual_causes", |b| {
+        let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+        b.iter(|| cqa_causality::actual_causes(&rs, &q).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! F10: mediation cost (§5) — GAV (materialize + query) vs LAV (inverse
+//! rules with skolems), both roughly linear in source size, LAV paying the
+//! skolemization overhead.
+
+use cqa_bench::university_sources;
+use cqa_integration::{GavMediator, LavMapping, LavMediator};
+use cqa_query::{parse_program, parse_query, UnionQuery};
+use cqa_relation::RelationSchema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let views_src = "Stds(x, y, 'cu', z) :- CUstds(x, y), SpecCU(x, z).\n\
+                     Stds(x, y, 'ou', z) :- OUstds(x, y), SpecOU(x, z).";
+    let q = UnionQuery::single(parse_query("Q(y) :- Stds(x, y, u, z)").unwrap());
+
+    let mut group = c.benchmark_group("f10_integration");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [50usize, 150, 400] {
+        let sources = university_sources(n, n / 10, 11);
+        let gav = GavMediator::new(sources.clone(), parse_program(views_src).unwrap());
+        group.bench_with_input(BenchmarkId::new("gav_answer", n), &n, |b, _| {
+            b.iter(|| gav.answer(&q).unwrap().len())
+        });
+        let lav = LavMediator::new(
+            sources.clone(),
+            vec![RelationSchema::new(
+                "Stds",
+                ["Number", "Name", "Univ", "Field"],
+            )],
+            vec![
+                LavMapping::parse("CUstds(x, y) :- Stds(x, y, 'cu', z)").unwrap(),
+                LavMapping::parse("OUstds(x, y) :- Stds(x, y, 'ou', z)").unwrap(),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("lav_certain_answers", n), &n, |b, _| {
+            b.iter(|| lav.certain_answers(&q).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! F11: "the data complexity of CQA was bound to be higher than polynomial
+//! time … coNP-complete" (§3.2, [48]). The classic witness is the
+//! self-join-free but *attack-cyclic* query `∃x∃y (R(x,y) ∧ S(y,x))` under
+//! primary keys: the rewriting procedure certifies non-rewritability and the
+//! only exact route is repair enumeration, whose cost grows exponentially
+//! with the number of key conflicts.
+
+use cqa_constraints::{ConstraintSet, KeyConstraint};
+use cqa_core::rewrite::keys::{rewrite_key_query, KeyPositions, KeyRewriteError};
+use cqa_core::RepairClass;
+use cqa_query::{parse_query, UnionQuery};
+use cqa_relation::{tuple, Database};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// `k` interlocked R/S key groups so that certainty requires case analysis.
+fn cyclic_instance(k: usize) -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(cqa_relation::RelationSchema::new("R", ["A", "B"]))
+        .unwrap();
+    db.create_relation(cqa_relation::RelationSchema::new("S", ["A", "B"]))
+        .unwrap();
+    for i in 0..k as i64 {
+        // R(i, ·) can point at i or i+1; S mirrors back only one of them.
+        db.insert("R", tuple![i, i]).unwrap();
+        db.insert("R", tuple![i, i + 1]).unwrap();
+        db.insert("S", tuple![i, i]).unwrap();
+        db.insert("S", tuple![i + 1, 1_000 + i]).unwrap();
+    }
+    let sigma = ConstraintSet::from_iter([
+        KeyConstraint::new("R", ["A"]),
+        KeyConstraint::new("S", ["A"]),
+    ]);
+    (db, sigma)
+}
+
+fn bench(c: &mut Criterion) {
+    let q = parse_query("Q() :- R(x, y), S(y, x)").unwrap();
+    // The dichotomy says: no FO rewriting for this query.
+    let keys: KeyPositions = [
+        ("R".to_string(), vec![0usize]),
+        ("S".to_string(), vec![0usize]),
+    ]
+    .into();
+    assert!(matches!(
+        rewrite_key_query(&q, &keys),
+        Err(KeyRewriteError::CyclicAttackGraph { .. })
+    ));
+
+    let mut group = c.benchmark_group("f11_conp_query");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [2usize, 4, 6] {
+        let (db, sigma) = cyclic_instance(k);
+        group.bench_with_input(BenchmarkId::new("repair_enumeration_cqa", k), &k, |b, _| {
+            b.iter(|| {
+                cqa_core::certainly_true(
+                    &db,
+                    &sigma,
+                    &UnionQuery::single(q.clone()),
+                    &RepairClass::Subset,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

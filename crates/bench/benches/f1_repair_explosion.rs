@@ -1,0 +1,27 @@
+//! F1: "it is easy to produce examples of databases that have
+//! exponentially many repairs" (§3.1). S-repair enumeration time doubles
+//! (roughly) with each extra independent key conflict.
+
+use cqa_bench::key_conflict_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_repair_explosion");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [2usize, 4, 6, 8, 10] {
+        let (db, sigma) = key_conflict_instance(50, k, 2, 1);
+        group.bench_with_input(BenchmarkId::new("enumerate_s_repairs", k), &k, |b, _| {
+            b.iter(|| {
+                let repairs = cqa_core::s_repairs(&db, &sigma).unwrap();
+                assert_eq!(repairs.len(), 1usize << k);
+                repairs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

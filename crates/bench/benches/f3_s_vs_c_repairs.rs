@@ -1,0 +1,36 @@
+//! F3: "the complexity of computational problems related to C-repairs tends
+//! to be higher than for S-repairs" (§4.1). One greedy S-repair is cheap;
+//! the branch-and-bound minimum hitting set (C-repair distance) costs more;
+//! full enumeration dominates both.
+
+use cqa_bench::dc_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_s_vs_c_repairs");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (i, (n_r, n_s, dom)) in [(15, 8, 6), (30, 14, 9), (50, 18, 11)]
+        .into_iter()
+        .enumerate()
+    {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 3);
+        let graph = sigma.conflict_hypergraph(&db).unwrap();
+        group.bench_with_input(BenchmarkId::new("one_s_repair_greedy", i), &i, |b, _| {
+            b.iter(|| graph.greedy_hitting_set().len())
+        });
+        group.bench_with_input(BenchmarkId::new("c_repair_distance_bnb", i), &i, |b, _| {
+            b.iter(|| graph.minimum_hitting_set_size())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("enumerate_all_s_repairs", i),
+            &i,
+            |b, _| b.iter(|| graph.minimal_hitting_sets(None).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! F4: "repair programs have exactly the required expressive power" (§3.3):
+//! the ASP route (ground + solve) computes the same S-repairs as the direct
+//! hitting-set engine, at a constant-factor overhead that grows with the
+//! grounding.
+
+use cqa_asp::RepairProgram;
+use cqa_bench::dc_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_asp_overhead");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (i, (n_r, n_s, dom)) in [(6, 4, 4), (10, 6, 5), (14, 8, 6)].into_iter().enumerate() {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 4);
+        group.bench_with_input(BenchmarkId::new("direct_engine", i), &i, |b, _| {
+            b.iter(|| cqa_core::s_repairs(&db, &sigma).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("asp_ground_and_solve", i), &i, |b, _| {
+            b.iter(|| {
+                let rp = RepairProgram::build(&db, &sigma).unwrap();
+                rp.s_repair_models().unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! F5: responsibility computation (§7) — `FP^NP(log n)`-flavoured: the
+//! minimum-contingency search cost grows with the conflict width, and the
+//! repair connection (S-/C-repairs of κ(Q)) pays the repair-enumeration
+//! price on top.
+
+use cqa_bench::star_instance;
+use cqa_query::{parse_query, UnionQuery};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let q = UnionQuery::single(parse_query("Q() :- Hub(x), Spoke(x, y)").unwrap());
+    let mut group = c.benchmark_group("f5_responsibility");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for width in [4usize, 8, 12, 16] {
+        let db = star_instance(width);
+        group.bench_with_input(
+            BenchmarkId::new("direct_hypergraph", width),
+            &width,
+            |b, _| b.iter(|| cqa_causality::actual_causes(&db, &q).len()),
+        );
+        group.bench_with_input(BenchmarkId::new("via_repairs", width), &width, |b, _| {
+            b.iter(|| cqa_causality::causes_via_repairs(&db, &q).unwrap().len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mracs_via_c_repairs", width),
+            &width,
+            |b, _| b.iter(|| cqa_causality::mracs_via_c_repairs(&db, &q).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! F6: aggregate CQA under range semantics \[5\] — the certain SUM interval
+//! widens with the number of conflicts; computing it costs one aggregate
+//! evaluation per repair.
+
+use cqa_bench::key_conflict_instance;
+use cqa_core::RepairClass;
+use cqa_query::{parse_query, AggOp, AggregateQuery};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_aggregate_cqa");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [1usize, 3, 5, 7] {
+        let (db, sigma) = key_conflict_instance(20, k, 2, 6);
+        let body = parse_query("Q() :- T(k, v)").unwrap();
+        let v = body.vars.lookup("v").unwrap();
+        let agg = AggregateQuery {
+            body,
+            group_by: vec![],
+            target: Some(v),
+            op: AggOp::Sum,
+        };
+        group.bench_with_input(BenchmarkId::new("sum_range", k), &k, |b, _| {
+            b.iter(|| {
+                cqa_core::consistent_aggregate_range(&db, &sigma, &agg, &RepairClass::Subset)
+                    .unwrap()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

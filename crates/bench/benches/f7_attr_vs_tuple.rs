@@ -1,0 +1,26 @@
+//! F7: attribute-level null repairs (§4.3) vs tuple deletions — both
+//! minimal-change semantics, measured side by side on the same DC
+//! workloads.
+
+use cqa_bench::dc_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7_attr_vs_tuple");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (i, (n_r, n_s, dom)) in [(8, 5, 4), (14, 7, 6), (20, 9, 7)].into_iter().enumerate() {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 8);
+        group.bench_with_input(BenchmarkId::new("tuple_s_repairs", i), &i, |b, _| {
+            b.iter(|| cqa_core::s_repairs(&db, &sigma).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("attribute_null_repairs", i), &i, |b, _| {
+            b.iter(|| cqa_core::attribute_repairs(&db, &sigma).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! F8: the repair-based inconsistency degree of §8 (\[16, 17\]) — measure
+//! computation time as violation density grows (the dominant cost is the
+//! minimum-hitting-set branch and bound).
+
+use cqa_bench::key_conflict_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f8_inconsistency_measure");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dirty in [0usize, 5, 10, 20] {
+        let (db, sigma) = key_conflict_instance(40 - dirty, dirty, 2, 9);
+        group.bench_with_input(BenchmarkId::new("degree", dirty), &dirty, |b, _| {
+            b.iter(|| cqa_core::inconsistency_degree(&db, &sigma).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! F9: grounding scale for disjunctive repair programs (§3.3) — the
+//! grounding grows polynomially with the instance while the stable-model
+//! count grows with the independent conflicts.
+
+use cqa_asp::RepairProgram;
+use cqa_bench::dc_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f9_grounding");
+    // Scaling probes, not micro-benchmarks: few samples, short windows.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (i, (n_r, n_s, dom)) in [(6, 4, 4), (14, 8, 6), (24, 12, 9)].into_iter().enumerate() {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 10);
+        group.bench_with_input(BenchmarkId::new("build_and_ground", i), &i, |b, _| {
+            b.iter(|| {
+                let rp = RepairProgram::build(&db, &sigma).unwrap();
+                rp.ground().unwrap().atom_count()
+            })
+        });
+        let rp = RepairProgram::build(&db, &sigma).unwrap();
+        let ground = rp.ground().unwrap();
+        group.bench_with_input(BenchmarkId::new("solve_only", i), &i, |b, _| {
+            b.iter(|| cqa_asp::stable_models(&ground).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

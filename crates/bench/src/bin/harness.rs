@@ -1,0 +1,665 @@
+//! The experiment harness: regenerates every table/figure of DESIGN.md's
+//! experiment index as printed tables (E-series: exact paper examples;
+//! F-series: scaling shapes for the survey's complexity claims).
+//!
+//! Run with `cargo run --release --bin harness` (optionally
+//! `harness F2 F4 …` to select experiments). Output is recorded in
+//! EXPERIMENTS.md.
+
+use cqa_bench::{dc_instance, key_conflict_instance, star_instance, timed, university_sources};
+use cqa_constraints::{ConstraintSet, DenialConstraint, FunctionalDependency, KeyConstraint};
+use cqa_core::RepairClass;
+use cqa_query::{parse_program, parse_query, AggOp, AggregateQuery, NullSemantics, UnionQuery};
+use cqa_relation::{tuple, Database, RelationSchema};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    println!("inconsistent-db experiment harness");
+    println!("==================================\n");
+
+    if want("E") || args.is_empty() {
+        e_series();
+    }
+    if want("F1") {
+        f1_repair_explosion();
+    }
+    if want("F2") {
+        f2_rewriting_vs_enumeration();
+    }
+    if want("F3") {
+        f3_s_vs_c_repairs();
+    }
+    if want("F4") {
+        f4_asp_overhead();
+    }
+    if want("F5") {
+        f5_responsibility_scaling();
+    }
+    if want("F6") {
+        f6_aggregate_cqa();
+    }
+    if want("F7") {
+        f7_attr_vs_tuple();
+    }
+    if want("F8") {
+        f8_inconsistency_measure();
+    }
+    if want("F9") {
+        f9_grounding();
+    }
+    if want("F10") {
+        f10_integration();
+    }
+    if want("F11") {
+        f11_conp_query();
+    }
+}
+
+/// E-series: one line per paper example, checked programmatically.
+/// One E-series check: label + the closure asserting the paper's output.
+type Check = (&'static str, Box<dyn Fn() -> bool>);
+
+fn e_series() {
+    println!("E-series: exact reproduction of the paper's examples");
+    println!("----------------------------------------------------");
+    let checks: Vec<Check> = vec![
+        (
+            "E1  Ex 2.1/2.2  residue rewriting -> {I1, I2}",
+            Box::new(e1),
+        ),
+        (
+            "E2  Ex 3.1/3.2  two S-repairs; Cons(Q) = {I1, I2}",
+            Box::new(e2),
+        ),
+        ("E3  Ex 3.3/3.4  key repairs + SQL rewriting", Box::new(e3)),
+        (
+            "E4  Ex 3.5      3 stable models = 3 S-repairs",
+            Box::new(e4),
+        ),
+        (
+            "E5  Ex 4.1      Fig. 1 hypergraph; 4 S-, 3 C-repairs",
+            Box::new(e5),
+        ),
+        (
+            "E6  Ex 4.2      weak constraints -> C-repair {ι6}",
+            Box::new(e6),
+        ),
+        ("E7  Ex 4.3      delete vs insert(I3, NULL)", Box::new(e7)),
+        (
+            "E8  Ex 4.4      attr repairs {ι6[1]}, {ι1[2], ι3[2]}",
+            Box::new(e8),
+        ),
+        ("E9  Ex 5.1/5.2  GAV/LAV + global CQA", Box::new(e9)),
+        (
+            "E10 §6          CFD violated, FDs hold, cleaner fixes",
+            Box::new(e10),
+        ),
+        (
+            "E11 Ex 7.1      causes ρ: ι6=1, ι1=ι3=ι4=1/2",
+            Box::new(e11),
+        ),
+        (
+            "E12 Ex 7.2      causes via repair programs agree",
+            Box::new(e12),
+        ),
+        (
+            "E13 Ex 7.3      attribute causes ι6[1], ι1[2], ι3[2]",
+            Box::new(e13),
+        ),
+        (
+            "E14 Ex 7.4      responsibilities under ψ: 1, 0, 1/3",
+            Box::new(e14),
+        ),
+    ];
+    for (label, check) in checks {
+        let (ok, secs) = timed(check);
+        println!(
+            "  [{}] {label}   ({:.1} ms)",
+            if ok { "ok" } else { "FAIL" },
+            secs * 1e3
+        );
+    }
+    println!();
+}
+
+fn supply_db() -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Supply",
+        ["Company", "Receiver", "Item"],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new("Articles", ["Item"]))
+        .unwrap();
+    db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+    db.insert("Articles", tuple!["I1"]).unwrap();
+    db.insert("Articles", tuple!["I2"]).unwrap();
+    let sigma = ConstraintSet::from_iter([cqa_constraints::Tgd::parse(
+        "ID",
+        "Articles(z) :- Supply(x, y, z)",
+    )
+    .unwrap()]);
+    (db, sigma)
+}
+
+fn rs_db() -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("R", ["A", "B"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+    db.insert("R", tuple!["a4", "a3"]).unwrap();
+    db.insert("R", tuple!["a2", "a1"]).unwrap();
+    db.insert("R", tuple!["a3", "a3"]).unwrap();
+    db.insert("S", tuple!["a4"]).unwrap();
+    db.insert("S", tuple!["a2"]).unwrap();
+    db.insert("S", tuple!["a3"]).unwrap();
+    let sigma =
+        ConstraintSet::from_iter(
+            [DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()],
+        );
+    (db, sigma)
+}
+
+fn employee_db() -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+        .unwrap();
+    db.insert("Employee", tuple!["page", 5000]).unwrap();
+    db.insert("Employee", tuple!["page", 8000]).unwrap();
+    db.insert("Employee", tuple!["smith", 3000]).unwrap();
+    db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+    let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+    (db, sigma)
+}
+
+fn e1() -> bool {
+    let (db, sigma) = supply_db();
+    let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+    let rr = cqa_core::residue_rewrite(&q, &sigma).unwrap();
+    cqa_query::eval_fo(&db, &rr.query, NullSemantics::Structural)
+        == [tuple!["I1"], tuple!["I2"]].into()
+}
+
+fn e2() -> bool {
+    let (db, sigma) = supply_db();
+    let repairs = cqa_core::s_repairs(&db, &sigma).unwrap();
+    let q = UnionQuery::single(parse_query("Q(z) :- Supply(x, y, z)").unwrap());
+    let cons = cqa_core::consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+    repairs.len() == 2 && cons == [tuple!["I1"], tuple!["I2"]].into()
+}
+
+fn e3() -> bool {
+    let (db, sigma) = employee_db();
+    let q1 = UnionQuery::single(parse_query("Q(x, y) :- Employee(x, y)").unwrap());
+    let cons = cqa_core::consistent_answers(&db, &sigma, &q1, &RepairClass::Subset).unwrap();
+    let fo =
+        cqa_query::parse_fo("x, y : Employee(x, y) & !exists z (Employee(x, z) & z != y)").unwrap();
+    cons == cqa_query::eval_fo(&db, &fo, NullSemantics::Structural)
+        && cons == [tuple!["smith", 3000], tuple!["stowe", 7000]].into()
+}
+
+fn e4() -> bool {
+    let (db, sigma) = rs_db();
+    let rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+    rp.s_repair_models().unwrap().len() == 3
+}
+
+fn e5() -> bool {
+    let mut db = Database::new();
+    for r in ["A", "B", "C", "D", "E"] {
+        db.create_relation(RelationSchema::new(r, ["X"])).unwrap();
+        db.insert(r, tuple!["a"]).unwrap();
+    }
+    let sigma = ConstraintSet::from_iter([
+        DenialConstraint::parse("d1", "B(x), E(x)").unwrap(),
+        DenialConstraint::parse("d2", "B(x), C(x), D(x)").unwrap(),
+        DenialConstraint::parse("d3", "A(x), C(x)").unwrap(),
+    ]);
+    let g = sigma.conflict_hypergraph(&db).unwrap();
+    g.maximal_independent_sets(None).len() == 4
+        && cqa_core::c_repairs(&db, &sigma).unwrap().len() == 3
+}
+
+fn e6() -> bool {
+    let (db, sigma) = rs_db();
+    let mut rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+    rp.add_c_repair_weak_constraints();
+    let models = rp.c_repair_models().unwrap();
+    models.len() == 1 && models[0].deleted == [cqa_relation::Tid(6)].into()
+}
+
+fn e7() -> bool {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("Supply", ["C", "R", "I"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("Articles", ["I", "Cost"]))
+        .unwrap();
+    db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+    let sigma = ConstraintSet::from_iter([cqa_constraints::Tgd::parse(
+        "IDp",
+        "Articles(z, v) :- Supply(x, y, z)",
+    )
+    .unwrap()]);
+    let repairs = cqa_core::null_tuple_repairs(&db, &sigma).unwrap();
+    repairs.len() == 2
+        && repairs.iter().any(|r| {
+            r.repair
+                .inserted
+                .first()
+                .is_some_and(|(_, t)| t.at(1).is_null())
+        })
+}
+
+fn e8() -> bool {
+    let (db, sigma) = rs_db();
+    let repairs = cqa_core::attribute_repairs(&db, &sigma).unwrap();
+    use cqa_core::attr_repair::CellChange;
+    use cqa_relation::Tid;
+    let sets: Vec<_> = repairs.iter().map(|r| r.changes.clone()).collect();
+    sets.contains(
+        &[CellChange {
+            tid: Tid(6),
+            position: 0,
+        }]
+        .into(),
+    ) && sets.contains(
+        &[
+            CellChange {
+                tid: Tid(1),
+                position: 1,
+            },
+            CellChange {
+                tid: Tid(3),
+                position: 1,
+            },
+        ]
+        .into(),
+    )
+}
+
+fn e9() -> bool {
+    let sources = university_sources(2, 1, 7);
+    let views = parse_program(
+        "Stds(x, y, 'cu', z) :- CUstds(x, y), SpecCU(x, z).\n\
+         Stds(x, y, 'ou', z) :- OUstds(x, y), SpecOU(x, z).",
+    )
+    .unwrap();
+    let system = cqa_integration::GlobalSystem::new(
+        cqa_integration::GavMediator::new(sources, views),
+        vec![RelationSchema::new(
+            "Stds",
+            ["Number", "Name", "Univ", "Field"],
+        )],
+        ConstraintSet::from_iter([FunctionalDependency::new("Stds", ["Number"], ["Name"])]),
+    );
+    !system.is_globally_consistent().unwrap()
+        && !system
+            .consistent_answers(
+                &UnionQuery::single(parse_query("Q(x, y) :- Stds(x, y, u, z)").unwrap()),
+                &RepairClass::Subset,
+            )
+            .unwrap()
+            .is_empty()
+}
+
+fn e10() -> bool {
+    let db = cqa_bench::cfd_customers(10, 0.9, 11);
+    let cfd = cqa_constraints::ConditionalFd::new(
+        "Cust",
+        vec![("CC", Some(cqa_relation::Value::int(44))), ("Zip", None)],
+        "Street",
+        None,
+    );
+    let spec = cqa_cleaning::CleaningSpec::new().with_cfd(cfd);
+    let result = cqa_cleaning::clean(&db, &spec, &cqa_cleaning::CostModel::uniform()).unwrap();
+    spec.is_clean(&result.db).unwrap()
+}
+
+fn e11() -> bool {
+    let (db, _) = rs_db();
+    let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+    let causes = cqa_causality::actual_causes(&db, &q);
+    causes.len() == 4
+        && causes
+            .iter()
+            .find(|c| c.tid == cqa_relation::Tid(6))
+            .is_some_and(|c| c.responsibility == 1.0)
+}
+
+fn e12() -> bool {
+    let (db, _) = rs_db();
+    let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+    let a = cqa_causality::causes_via_asp(&db, &q).unwrap();
+    let d = cqa_causality::actual_causes(&db, &q);
+    a.len() == d.len()
+}
+
+fn e13() -> bool {
+    let (db, _) = rs_db();
+    let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+    let causes = cqa_causality::attribute_causes(&db, &q).unwrap();
+    causes
+        .iter()
+        .any(|c| c.cell.tid == cqa_relation::Tid(6) && c.counterfactual)
+}
+
+fn e14() -> bool {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("Dep", ["DName", "TStaff"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("Course", ["CName", "TStaff", "DName"]))
+        .unwrap();
+    db.insert("Dep", tuple!["Computing", "John"]).unwrap();
+    db.insert("Dep", tuple!["Philosophy", "Patrick"]).unwrap();
+    db.insert("Dep", tuple!["Math", "Kevin"]).unwrap();
+    db.insert("Course", tuple!["COM08", "John", "Computing"])
+        .unwrap();
+    db.insert("Course", tuple!["Math01", "Kevin", "Math"])
+        .unwrap();
+    db.insert("Course", tuple!["HIST02", "Patrick", "Philosophy"])
+        .unwrap();
+    db.insert("Course", tuple!["Math08", "Eli", "Math"])
+        .unwrap();
+    db.insert("Course", tuple!["COM01", "John", "Computing"])
+        .unwrap();
+    let psi = ConstraintSet::from_iter([cqa_constraints::Tgd::parse(
+        "psi",
+        "Course(u, y, x) :- Dep(x, y)",
+    )
+    .unwrap()]);
+    let q_c = UnionQuery::single(parse_query("Q() :- Course(z, 'John', y)").unwrap());
+    let causes = cqa_causality::causes_under_ics(&db, &psi, &q_c, None).unwrap();
+    causes.len() == 2
+        && causes
+            .iter()
+            .all(|c| (c.responsibility - 1.0 / 3.0).abs() < 1e-12)
+}
+
+// ---------------------------------------------------------------- F-series
+
+fn f1_repair_explosion() {
+    println!("F1: exponentially many repairs (§3.1)");
+    println!("--------------------------------------");
+    println!("  conflicts |   repairs | enumerate (ms)");
+    for k in [2usize, 4, 6, 8, 10, 12] {
+        let (db, sigma) = key_conflict_instance(50, k, 2, 1);
+        let (repairs, secs) = timed(|| cqa_core::s_repairs(&db, &sigma).unwrap());
+        println!("  {k:>9} | {:>9} | {:>12.2}", repairs.len(), secs * 1e3);
+    }
+    println!();
+}
+
+fn f2_rewriting_vs_enumeration() {
+    println!("F2: FO rewriting vs repair enumeration (§3.2)");
+    println!("---------------------------------------------");
+    println!("  conflicts | rewriting (ms) | enumeration (ms) | equal");
+    let q = parse_query("Q(k, v) :- T(k, v)").unwrap();
+    let keys: cqa_core::rewrite::keys::KeyPositions = [("T".to_string(), vec![0usize])].into();
+    for k in [2usize, 4, 6, 8, 10, 12] {
+        let (db, sigma) = key_conflict_instance(500, k, 2, 2);
+        let fo = cqa_core::rewrite_key_query(&q, &keys).unwrap();
+        let (via_rw, t_rw) = timed(|| cqa_query::eval_fo(&db, &fo, NullSemantics::Structural));
+        let (via_rep, t_rep) = timed(|| {
+            cqa_core::consistent_answers(
+                &db,
+                &sigma,
+                &UnionQuery::single(q.clone()),
+                &RepairClass::Subset,
+            )
+            .unwrap()
+        });
+        println!(
+            "  {k:>9} | {:>14.2} | {:>16.2} | {}",
+            t_rw * 1e3,
+            t_rep * 1e3,
+            via_rw == via_rep
+        );
+    }
+    println!();
+}
+
+fn f3_s_vs_c_repairs() {
+    println!("F3: one S-repair (greedy) vs C-repair (B&B) vs full enumeration (§4.1)");
+    println!("-----------------------------------------------------------------------");
+    println!("  |R| x |S| | edges | greedy-S (ms) | min-C (ms) | enumerate-all (ms) | #S");
+    for (n_r, n_s, dom) in [(15, 8, 6), (25, 12, 8), (40, 16, 10)] {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 3);
+        let g = sigma.conflict_hypergraph(&db).unwrap();
+        let (_, t_greedy) = timed(|| g.greedy_hitting_set());
+        let (_, t_min) = timed(|| g.minimum_hitting_set_size());
+        let (all, t_all) = timed(|| g.minimal_hitting_sets(None));
+        println!(
+            "  {:>4} x {:<3} | {:>5} | {:>13.3} | {:>10.3} | {:>18.2} | {}",
+            n_r,
+            n_s,
+            g.edge_count(),
+            t_greedy * 1e3,
+            t_min * 1e3,
+            t_all * 1e3,
+            all.len()
+        );
+    }
+    println!();
+}
+
+fn f4_asp_overhead() {
+    println!("F4: repair programs vs direct engine (§3.3)");
+    println!("-------------------------------------------");
+    println!("  |R| x |S| | direct (ms) | ASP ground+solve (ms) | models == repairs");
+    for (n_r, n_s, dom) in [(6, 4, 4), (10, 6, 5), (14, 8, 6)] {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 4);
+        let (direct, t_direct) = timed(|| cqa_core::s_repairs(&db, &sigma).unwrap());
+        let (asp, t_asp) = timed(|| {
+            let rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+            rp.s_repair_models().unwrap()
+        });
+        println!(
+            "  {:>4} x {:<3} | {:>11.2} | {:>21.2} | {}",
+            n_r,
+            n_s,
+            t_direct * 1e3,
+            t_asp * 1e3,
+            direct.len() == asp.len()
+        );
+    }
+    println!();
+}
+
+fn f5_responsibility_scaling() {
+    println!("F5: responsibility computation (§7)");
+    println!("-----------------------------------");
+    println!("  width | hub ρ | spoke ρ | direct (ms) | via repairs (ms)");
+    for width in [2usize, 4, 8, 12, 16] {
+        let db = star_instance(width);
+        let q = UnionQuery::single(parse_query("Q() :- Hub(x), Spoke(x, y)").unwrap());
+        let (direct, t_direct) = timed(|| cqa_causality::actual_causes(&db, &q));
+        let (via, t_via) = timed(|| cqa_causality::causes_via_repairs(&db, &q).unwrap());
+        let hub = direct
+            .iter()
+            .find(|c| c.tid == cqa_relation::Tid(1))
+            .map(|c| c.responsibility)
+            .unwrap_or(0.0);
+        let spoke = direct
+            .iter()
+            .find(|c| c.tid == cqa_relation::Tid(2))
+            .map(|c| c.responsibility)
+            .unwrap_or(0.0);
+        assert_eq!(direct.len(), via.len());
+        println!(
+            "  {width:>5} | {hub:>5.2} | {spoke:>7.3} | {:>11.2} | {:>16.2}",
+            t_direct * 1e3,
+            t_via * 1e3
+        );
+    }
+    println!();
+}
+
+fn f6_aggregate_cqa() {
+    println!("F6: aggregate CQA with range semantics (§3.2, [5])");
+    println!("--------------------------------------------------");
+    println!("  conflicts | glb SUM | lub SUM | width | time (ms)");
+    for k in [1usize, 2, 4, 6, 8] {
+        let (db, sigma) = key_conflict_instance(20, k, 2, 6);
+        let body = parse_query("Q() :- T(k, v)").unwrap();
+        let v = body.vars.lookup("v").unwrap();
+        let agg = AggregateQuery {
+            body,
+            group_by: vec![],
+            target: Some(v),
+            op: AggOp::Sum,
+        };
+        let ((lo, hi), secs) = timed(|| {
+            cqa_core::consistent_aggregate_range(&db, &sigma, &agg, &RepairClass::Subset)
+                .unwrap()
+                .unwrap()
+        });
+        let (lo_f, hi_f) = (lo.as_f64().unwrap(), hi.as_f64().unwrap());
+        println!(
+            "  {k:>9} | {lo_f:>7.0} | {hi_f:>7.0} | {:>5.0} | {:>9.2}",
+            hi_f - lo_f,
+            secs * 1e3
+        );
+    }
+    println!();
+}
+
+fn f7_attr_vs_tuple() {
+    println!("F7: attribute repairs change less than tuple repairs (§4.3)");
+    println!("------------------------------------------------------------");
+    println!("  |R| x |S| | avg tuples deleted (S) | avg cells nulled (attr)");
+    for (n_r, n_s, dom) in [(8, 5, 4), (12, 6, 5), (16, 8, 6)] {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 8);
+        let s = cqa_core::s_repairs(&db, &sigma).unwrap();
+        let a = cqa_core::attribute_repairs(&db, &sigma).unwrap();
+        let avg_s = s.iter().map(|r| r.delta_size()).sum::<usize>() as f64 / s.len() as f64;
+        let avg_a = a.iter().map(|r| r.changes.len()).sum::<usize>() as f64 / a.len() as f64;
+        println!("  {n_r:>4} x {n_s:<3} | {avg_s:>22.2} | {avg_a:>23.2}");
+    }
+    println!();
+}
+
+fn f8_inconsistency_measure() {
+    println!("F8: repair-based inconsistency degree (§8, [16, 17])");
+    println!("-----------------------------------------------------");
+    println!("  conflict pairs (of 20 groups) | degree | core gap");
+    for dirty in [0usize, 2, 5, 10, 15, 20] {
+        let (db, sigma) = key_conflict_instance(20 - dirty, dirty, 2, 9);
+        let deg = cqa_core::inconsistency_degree(&db, &sigma).unwrap();
+        let gap = cqa_core::core_gap(&db, &sigma).unwrap();
+        println!("  {dirty:>29} | {deg:>6.3} | {gap:>8.3}");
+    }
+    println!();
+}
+
+fn f9_grounding() {
+    println!("F9: grounding size and stable-model counts (§3.3)");
+    println!("--------------------------------------------------");
+    println!("  |R| x |S| | ground atoms | ground rules | models | ground (ms)");
+    for (n_r, n_s, dom) in [(6, 4, 4), (12, 8, 6), (20, 12, 8), (30, 16, 10)] {
+        let (db, sigma) = dc_instance(n_r, n_s, dom, 10);
+        let rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+        let (g, t_ground) = timed(|| rp.ground().unwrap());
+        let models = cqa_asp::stable_models_with_limit(&g, Some(2000));
+        println!(
+            "  {:>4} x {:<3} | {:>12} | {:>12} | {:>6} | {:>10.2}",
+            n_r,
+            n_s,
+            g.atom_count(),
+            g.rules.len(),
+            models.len(),
+            t_ground * 1e3
+        );
+    }
+    println!();
+}
+
+fn f10_integration() {
+    println!("F10: GAV vs LAV mediation (§5)");
+    println!("------------------------------");
+    println!("  students/univ | GAV answer (ms) | LAV answer (ms) | GAV rows");
+    for n in [50usize, 100, 200, 400] {
+        let sources = university_sources(n, n / 10, 11);
+        let views = parse_program(
+            "Stds(x, y, 'cu', z) :- CUstds(x, y), SpecCU(x, z).\n\
+             Stds(x, y, 'ou', z) :- OUstds(x, y), SpecOU(x, z).",
+        )
+        .unwrap();
+        let gav = cqa_integration::GavMediator::new(sources.clone(), views);
+        let q = UnionQuery::single(parse_query("Q(y) :- Stds(x, y, u, z)").unwrap());
+        let (gav_ans, t_gav) = timed(|| gav.answer(&q).unwrap());
+        let lav = cqa_integration::LavMediator::new(
+            sources,
+            vec![RelationSchema::new(
+                "Stds",
+                ["Number", "Name", "Univ", "Field"],
+            )],
+            vec![
+                cqa_integration::LavMapping::parse("CUstds(x, y) :- Stds(x, y, 'cu', z)").unwrap(),
+                cqa_integration::LavMapping::parse("OUstds(x, y) :- Stds(x, y, 'ou', z)").unwrap(),
+            ],
+        );
+        let (_lav_ans, t_lav) = timed(|| lav.certain_answers(&q).unwrap());
+        println!(
+            "  {n:>13} | {:>15.2} | {:>15.2} | {:>8}",
+            t_gav * 1e3,
+            t_lav * 1e3,
+            gav_ans.len()
+        );
+    }
+    println!();
+}
+
+fn f11_conp_query() {
+    use cqa_core::rewrite::keys::{rewrite_key_query, KeyPositions, KeyRewriteError};
+    println!("F11: coNP-complete CQA — the attack-cyclic query (§3.2, [48])");
+    println!("--------------------------------------------------------------");
+    let q = parse_query("Q() :- R(x, y), S(y, x)").unwrap();
+    let keys: KeyPositions = [
+        ("R".to_string(), vec![0usize]),
+        ("S".to_string(), vec![0usize]),
+    ]
+    .into();
+    match rewrite_key_query(&q, &keys) {
+        Err(KeyRewriteError::CyclicAttackGraph { .. }) => {
+            println!("  rewriting: refused (attack graph cyclic) — as the dichotomy demands")
+        }
+        other => println!("  UNEXPECTED: {other:?}"),
+    }
+    println!("  conflicts | repairs | enumeration CQA (ms)");
+    for k in [2usize, 4, 6, 8] {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A", "B"]))
+            .unwrap();
+        for i in 0..k as i64 {
+            db.insert("R", tuple![i, i]).unwrap();
+            db.insert("R", tuple![i, i + 1]).unwrap();
+            db.insert("S", tuple![i, i]).unwrap();
+            db.insert("S", tuple![i + 1, 1_000 + i]).unwrap();
+        }
+        let sigma = ConstraintSet::from_iter([
+            KeyConstraint::new("R", ["A"]),
+            KeyConstraint::new("S", ["A"]),
+        ]);
+        let n_repairs = cqa_core::s_repairs(&db, &sigma).unwrap().len();
+        let (certain, secs) = timed(|| {
+            cqa_core::certainly_true(
+                &db,
+                &sigma,
+                &UnionQuery::single(q.clone()),
+                &RepairClass::Subset,
+            )
+            .unwrap()
+        });
+        println!(
+            "  {k:>9} | {n_repairs:>7} | {:>19.2}  (certain: {certain})",
+            secs * 1e3
+        );
+    }
+    println!();
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # cqa-bench
+//!
+//! Workload generators and the experiment harness regenerating every
+//! experiment in DESIGN.md (E-series: paper examples; F-series: scaling
+//! shapes for the paper's complexity claims). See `src/bin/harness.rs` for
+//! the printable tables and `benches/` for the Criterion versions.
+
+pub mod workload;
+
+pub use workload::{
+    cfd_customers, dc_instance, key_conflict_instance, star_instance, university_sources,
+};
+
+/// Wall-clock one closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Right-pad to a column width (tiny table helper for the harness).
+pub fn pad(s: impl ToString, width: usize) -> String {
+    let s = s.to_string();
+    format!("{s:>width$}")
+}

@@ -1,0 +1,213 @@
+//! Workload generators for the F-series experiments (see DESIGN.md).
+//!
+//! All generators are deterministic given a seed, so benchmark runs and the
+//! EXPERIMENTS.md tables are reproducible.
+
+use cqa_constraints::{ConstraintSet, DenialConstraint, KeyConstraint};
+use cqa_relation::{tuple, Database, RelationSchema};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `T(K, V)` with `n_clean` singleton key groups and `n_conflicts` key
+/// groups of size `group_size` (≥ 2). The number of S-repairs is
+/// `group_size ^ n_conflicts`.
+pub fn key_conflict_instance(
+    n_clean: usize,
+    n_conflicts: usize,
+    group_size: usize,
+    seed: u64,
+) -> (Database, ConstraintSet) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("T", ["K", "V"]))
+        .unwrap();
+    for i in 0..n_clean {
+        db.insert("T", tuple![i as i64, rng.gen_range(0..1_000_000i64)])
+            .unwrap();
+    }
+    for i in 0..n_conflicts {
+        let k = (1_000_000 + i) as i64;
+        for v in 0..group_size {
+            db.insert("T", tuple![k, v as i64]).unwrap();
+        }
+    }
+    let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+    (db, sigma)
+}
+
+/// The κ-scenario of Example 3.5 at scale: `R(A, B)` and `S(A)` over a
+/// domain of `domain` constants, with the denial constraint
+/// `¬∃x∃y (S(x) ∧ R(x, y) ∧ S(y))`. Violation density rises as the domain
+/// shrinks relative to the tuple counts.
+pub fn dc_instance(n_r: usize, n_s: usize, domain: usize, seed: u64) -> (Database, ConstraintSet) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("R", ["A", "B"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+    for _ in 0..n_r {
+        let a = rng.gen_range(0..domain) as i64;
+        let b = rng.gen_range(0..domain) as i64;
+        db.insert("R", tuple![a, b]).unwrap();
+    }
+    for _ in 0..n_s {
+        let a = rng.gen_range(0..domain) as i64;
+        db.insert("S", tuple![a]).unwrap();
+    }
+    let sigma =
+        ConstraintSet::from_iter(
+            [DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()],
+        );
+    (db, sigma)
+}
+
+/// A "hub" instance whose Boolean query `∃x∃y (Hub(x) ∧ Spoke(x, y))` has
+/// one counterfactual cause (the hub) and `width` half-responsible spokes;
+/// contingency sets grow with `width`.
+pub fn star_instance(width: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("Hub", ["A"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("Spoke", ["A", "B"]))
+        .unwrap();
+    db.insert("Hub", tuple![0]).unwrap();
+    for i in 0..width {
+        db.insert("Spoke", tuple![0, i as i64]).unwrap();
+    }
+    db
+}
+
+/// Scaled university sources for the integration experiment: `n` students
+/// per university, every student with a specialization; `dirty` of the
+/// student numbers are shared between the universities with different names
+/// (global FD violations).
+pub fn university_sources(n: usize, dirty: usize, seed: u64) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for (r, attrs) in [
+        ("CUstds", ["Number", "Name"]),
+        ("SpecCU", ["Number", "Field"]),
+        ("OUstds", ["Number", "Name"]),
+        ("SpecOU", ["Number", "Field"]),
+    ] {
+        db.create_relation(RelationSchema::new(r, attrs)).unwrap();
+    }
+    let fields = ["alg", "ai", "db", "cs", "hci"];
+    for i in 0..n {
+        let num = i as i64;
+        db.insert("CUstds", tuple![num, format!("cu_student_{i}")])
+            .unwrap();
+        db.insert(
+            "SpecCU",
+            tuple![num, fields[rng.gen_range(0..fields.len())]],
+        )
+        .unwrap();
+        let ou_num = (n + i) as i64;
+        db.insert("OUstds", tuple![ou_num, format!("ou_student_{i}")])
+            .unwrap();
+        db.insert(
+            "SpecOU",
+            tuple![ou_num, fields[rng.gen_range(0..fields.len())]],
+        )
+        .unwrap();
+    }
+    for i in 0..dirty.min(n) {
+        // Shared number, different name at OU.
+        let num = i as i64;
+        db.insert("OUstds", tuple![num, format!("clash_{i}")])
+            .unwrap();
+        db.insert(
+            "SpecOU",
+            tuple![num, fields[rng.gen_range(0..fields.len())]],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Customers for the CFD cleaning experiment: `n` tuples, a fraction of
+/// which violate the paper's CFD `[CC = 44, Zip] → [Street]`.
+pub fn cfd_customers(n: usize, dirty_rate: f64, seed: u64) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Cust",
+        ["CC", "AC", "Phone", "Name", "Street", "City", "Zip"],
+    ))
+    .unwrap();
+    for i in 0..n {
+        let zip = format!("Z{:04}", i / 2); // pairs share zips
+        let street = if rng.gen_bool(dirty_rate) {
+            format!("street_{}", rng.gen_range(0..1000))
+        } else {
+            format!("street_of_{zip}")
+        };
+        db.insert(
+            "Cust",
+            tuple![
+                44,
+                131,
+                format!("555{i:05}"),
+                format!("name{i}"),
+                street,
+                "EDI",
+                zip
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_conflict_counts() {
+        let (db, sigma) = key_conflict_instance(10, 3, 2, 7);
+        assert_eq!(db.total_tuples(), 16);
+        assert!(!sigma.is_satisfied(&db).unwrap());
+        let repairs = cqa_core::s_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 8); // 2^3
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let (a, _) = dc_instance(20, 10, 5, 42);
+        let (b, _) = dc_instance(20, 10, 5, 42);
+        assert!(a.same_content(&b));
+        // A different seed produces a different instance.
+        let (c, _) = dc_instance(20, 10, 5, 43);
+        assert!(!a.same_content(&c));
+    }
+
+    #[test]
+    fn star_instance_shape() {
+        let db = star_instance(4);
+        assert_eq!(db.relation("Hub").unwrap().len(), 1);
+        assert_eq!(db.relation("Spoke").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn university_sources_have_conflicts() {
+        let db = university_sources(5, 2, 1);
+        assert_eq!(db.relation("CUstds").unwrap().len(), 5);
+        assert_eq!(db.relation("OUstds").unwrap().len(), 7);
+    }
+
+    #[test]
+    fn cfd_customers_dirty_rate() {
+        let db = cfd_customers(20, 1.0, 3);
+        assert_eq!(db.total_tuples(), 20);
+        let cfd = cqa_constraints::ConditionalFd::new(
+            "Cust",
+            vec![("CC", Some(cqa_relation::Value::int(44))), ("Zip", None)],
+            "Street",
+            None,
+        );
+        assert!(!cfd.is_satisfied(&db).unwrap());
+        let clean = cfd_customers(20, 0.0, 3);
+        assert!(cfd.is_satisfied(&clean).unwrap());
+    }
+}

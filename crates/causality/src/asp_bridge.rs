@@ -1,0 +1,263 @@
+//! Cause and responsibility computation through repair programs
+//! (§7, Example 7.2 of the paper).
+//!
+//! On top of the repair program of `κ(Q)` we add the paper's query rules
+//!
+//! ```text
+//! ans(t)        :- P'(t, x̄, d).                       (one per predicate)
+//! caucon(t, t') :- P'(t, x̄, d), P''(t', ȳ, d) [, t ≠ t'].
+//! preresp(t, n) :- #count{t' : caucon(t, t')} = n.    (stratified count)
+//! ```
+//!
+//! Causes are the brave consequences of `ans`; a cause's responsibility is
+//! `1 / (1 + m)` where `m` is the minimum `preresp` count over the models
+//! deleting it. Adding the weak constraints of Example 4.2 restricts the
+//! models to C-repairs and yields the most responsible causes.
+
+use crate::causes::Cause;
+use crate::via_repairs::kappa;
+use cqa_asp::{apply_count_rules, ins_pred, primed, AspRule, CountRule, RepairProgram};
+use cqa_constraints::ConstraintSet;
+use cqa_query::{Atom, CmpOp, Comparison, Term, UnionQuery};
+use cqa_relation::{Database, RelationError, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Build the extended repair program of `κ(Q)` with `ans`/`caucon` rules and
+/// the `preresp` count rule.
+pub fn causality_program(
+    db: &Database,
+    query: &UnionQuery,
+) -> Result<RepairProgram, RelationError> {
+    let kappas = query
+        .disjuncts
+        .iter()
+        .map(kappa)
+        .collect::<Result<Vec<_>, _>>()?;
+    let sigma = ConstraintSet::from_iter(kappas);
+    let mut rp = RepairProgram::build(db, &sigma)?;
+
+    // Predicates (relations) mentioned; add ans and caucon rules.
+    let rels: Vec<(String, usize)> = rp
+        .relations
+        .iter()
+        .filter_map(|r| db.relation(r).map(|rel| (r.clone(), rel.schema().arity())))
+        .collect();
+
+    let deleted_atom = |rp: &mut RepairProgram, rel: &str, arity: usize, tag: &str| -> Atom {
+        let t = rp.program.vars.var(format!("tc_{tag}_{rel}"));
+        let mut terms: Vec<Term> = vec![Term::Var(t)];
+        for i in 0..arity {
+            terms.push(Term::Var(
+                rp.program.vars.var(format!("xc_{tag}_{rel}_{i}")),
+            ));
+        }
+        terms.push(Term::Const(cqa_relation::Value::str("d")));
+        Atom::new(primed(rel), terms)
+    };
+
+    for (rel, arity) in &rels {
+        // ans(t) :- P'(t, x̄, d).
+        let del = deleted_atom(&mut rp, rel, *arity, "ans");
+        let t_var = del.terms[0].clone();
+        rp.program.push(AspRule {
+            head: vec![Atom::new("ans", vec![t_var])],
+            pos: vec![del],
+            neg: Vec::new(),
+            comparisons: Vec::new(),
+        });
+    }
+    for (rel_a, arity_a) in &rels {
+        for (rel_b, arity_b) in &rels {
+            let a = deleted_atom(&mut rp, rel_a, *arity_a, &format!("cc1_{rel_b}"));
+            let b = deleted_atom(&mut rp, rel_b, *arity_b, &format!("cc2_{rel_a}"));
+            let ta = a.terms[0].clone();
+            let tb = b.terms[0].clone();
+            let comparisons = vec![Comparison::new(ta.clone(), CmpOp::Ne, tb.clone())];
+            rp.program.push(AspRule {
+                head: vec![Atom::new("caucon", vec![ta, tb])],
+                pos: vec![a, b],
+                neg: Vec::new(),
+                comparisons,
+            });
+        }
+    }
+    rp.program.counts.push(CountRule {
+        head_predicate: "preresp".into(),
+        source_predicate: "caucon".into(),
+        group_positions: vec![0],
+    });
+    Ok(rp)
+}
+
+/// Causes and responsibilities computed by solving the causality program:
+/// brave `ans` membership for causes, minimum `preresp` for responsibility.
+pub fn causes_via_asp(db: &Database, query: &UnionQuery) -> Result<Vec<Cause>, RelationError> {
+    let rp = causality_program(db, query)?;
+    let g = rp.ground()?;
+    let models = cqa_asp::stable_models(&g);
+
+    // tid → (min contingency count, witnessing contingency tids).
+    let mut best: BTreeMap<Tid, (usize, BTreeSet<Tid>)> = BTreeMap::new();
+    for m in &models {
+        // Deleted tids in this model (the model's cause + contingency pool).
+        let mut deleted: BTreeSet<Tid> = BTreeSet::new();
+        for &id in m {
+            let atom = g.atom(id);
+            if atom.predicate == "ans" {
+                if let Some(t) = atom.args.at(0).as_i64() {
+                    deleted.insert(Tid(t as u64));
+                }
+            }
+        }
+        if deleted.is_empty() {
+            continue;
+        }
+        // preresp counts per tid, derived by the stratified count pass.
+        let derived = apply_count_rules(&rp.program, &g, m);
+        let mut counts: BTreeMap<Tid, usize> = deleted.iter().map(|&t| (t, 0)).collect();
+        for atom in &derived {
+            if atom.predicate == "preresp" {
+                if let (Some(t), Some(n)) = (atom.args.at(0).as_i64(), atom.args.at(1).as_i64()) {
+                    counts.insert(Tid(t as u64), n as usize);
+                }
+            }
+        }
+        for (&tid, &m_count) in &counts {
+            let gamma: BTreeSet<Tid> = deleted.iter().copied().filter(|&t| t != tid).collect();
+            debug_assert_eq!(gamma.len(), m_count);
+            let better = best.get(&tid).is_none_or(|(old, _)| m_count < *old);
+            if better {
+                best.insert(tid, (m_count, gamma));
+            }
+        }
+    }
+    Ok(best
+        .into_iter()
+        .map(|(tid, (m_count, gamma))| Cause {
+            tid,
+            responsibility: 1.0 / (1.0 + m_count as f64),
+            counterfactual: m_count == 0,
+            min_contingency: gamma,
+        })
+        .collect())
+}
+
+/// Most responsible causes via weak constraints (C-repair models), the
+/// paper's closing move in Example 7.2.
+pub fn mracs_via_asp(db: &Database, query: &UnionQuery) -> Result<Vec<Cause>, RelationError> {
+    let mut rp = causality_program(db, query)?;
+    rp.add_c_repair_weak_constraints();
+    let g = rp.ground()?;
+    let models = cqa_asp::stable_models(&g);
+    let (opt, _) = cqa_asp::optimal_among(&g, models);
+    let mut out: BTreeMap<Tid, Cause> = BTreeMap::new();
+    for m in &opt {
+        let deleted: BTreeSet<Tid> = m
+            .iter()
+            .filter_map(|&id| {
+                let atom = g.atom(id);
+                (atom.predicate == "ans")
+                    .then(|| atom.args.at(0).as_i64().map(|t| Tid(t as u64)))
+                    .flatten()
+            })
+            .collect();
+        for &tid in &deleted {
+            let gamma: BTreeSet<Tid> = deleted.iter().copied().filter(|&t| t != tid).collect();
+            out.entry(tid).or_insert_with(|| Cause {
+                tid,
+                responsibility: 1.0 / (1.0 + gamma.len() as f64),
+                counterfactual: gamma.is_empty(),
+                min_contingency: gamma,
+            });
+        }
+    }
+    let _ = ins_pred("unused"); // (insertions cannot occur for κ(Q) programs)
+    Ok(out.into_values().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causes::actual_causes;
+    use cqa_query::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn example_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+        db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+        db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+        db.insert("S", tuple!["a4"]).unwrap(); // ι4
+        db.insert("S", tuple!["a2"]).unwrap(); // ι5
+        db.insert("S", tuple!["a3"]).unwrap(); // ι6
+        db
+    }
+
+    fn q() -> UnionQuery {
+        UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap())
+    }
+
+    #[test]
+    fn example_7_2_asp_causes_match_direct() {
+        let db = example_db();
+        let via_asp = causes_via_asp(&db, &q()).unwrap();
+        let direct = actual_causes(&db, &q());
+        let norm = |cs: &[Cause]| -> Vec<(Tid, String)> {
+            let mut v: Vec<_> = cs
+                .iter()
+                .map(|c| (c.tid, format!("{:.4}", c.responsibility)))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&via_asp), norm(&direct));
+    }
+
+    #[test]
+    fn example_7_2_caucon_pairs_present() {
+        // From model M2 (repair D2 deleting {ι1, ι3}) the paper reads off
+        // CauCon(ι1, ι3) and CauCon(ι3, ι1).
+        let db = example_db();
+        let rp = causality_program(&db, &q()).unwrap();
+        let g = rp.ground().unwrap();
+        let models = cqa_asp::stable_models(&g);
+        let caucon_sets: Vec<BTreeSet<(i64, i64)>> = models
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .map(|&id| g.atom(id))
+                    .filter(|a| a.predicate == "caucon")
+                    .map(|a| {
+                        (
+                            a.args.at(0).as_i64().unwrap(),
+                            a.args.at(1).as_i64().unwrap(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(caucon_sets
+            .iter()
+            .any(|s| s.contains(&(1, 3)) && s.contains(&(3, 1)) && s.len() == 2));
+    }
+
+    #[test]
+    fn mracs_via_asp_match_example_7_1() {
+        let db = example_db();
+        let mracs = mracs_via_asp(&db, &q()).unwrap();
+        assert_eq!(mracs.len(), 1);
+        assert_eq!(mracs[0].tid, Tid(6));
+        assert!(mracs[0].counterfactual);
+    }
+
+    #[test]
+    fn false_query_no_asp_causes() {
+        let mut db = example_db();
+        db.delete(Tid(6)).unwrap();
+        assert!(causes_via_asp(&db, &q()).unwrap().is_empty());
+        assert!(mracs_via_asp(&db, &q()).unwrap().is_empty());
+    }
+}

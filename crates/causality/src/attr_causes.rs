@@ -1,0 +1,139 @@
+//! Attribute-level causes (§7.1; Example 7.3), via the attribute-based null
+//! repairs of §4.3.
+//!
+//! For a Boolean CQ `Q` true in `D`, the minimal attribute repairs of `D`
+//! w.r.t. `κ(Q)` are sets of cell changes; each change set `{c} ∪ Γ`
+//! identifies the cell `c` as an actual cause with contingency set Γ (of
+//! cells). Responsibility is `1/(1 + |Γ|)` for the smallest such Γ.
+
+use cqa_constraints::ConstraintSet;
+use cqa_core::attr_repair::{attribute_repairs, CellChange};
+use cqa_query::UnionQuery;
+use cqa_relation::{Database, RelationError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An attribute-level actual cause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrCause {
+    /// The causing cell.
+    pub cell: CellChange,
+    /// `1 / (1 + |Γ|)` for a smallest cell-contingency set.
+    pub responsibility: f64,
+    /// One smallest contingency set of cells.
+    pub min_contingency: BTreeSet<CellChange>,
+    /// Counterfactual (`Γ = ∅`)?
+    pub counterfactual: bool,
+}
+
+impl fmt::Display for AttrCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (ρ = {})", self.cell, self.responsibility)
+    }
+}
+
+/// Attribute-level actual causes of a Boolean UCQ being true in `db`.
+pub fn attribute_causes(
+    db: &Database,
+    query: &UnionQuery,
+) -> Result<Vec<AttrCause>, RelationError> {
+    let kappas = query
+        .disjuncts
+        .iter()
+        .map(crate::via_repairs::kappa)
+        .collect::<Result<Vec<_>, _>>()?;
+    let sigma = ConstraintSet::from_iter(kappas);
+    let repairs = attribute_repairs(db, &sigma)?;
+    let mut best: BTreeMap<CellChange, BTreeSet<CellChange>> = BTreeMap::new();
+    for r in &repairs {
+        for &cell in &r.changes {
+            let mut gamma = r.changes.clone();
+            gamma.remove(&cell);
+            let better = best.get(&cell).is_none_or(|old| gamma.len() < old.len());
+            if better {
+                best.insert(cell, gamma);
+            }
+        }
+    }
+    Ok(best
+        .into_iter()
+        .map(|(cell, gamma)| AttrCause {
+            cell,
+            responsibility: 1.0 / (1.0 + gamma.len() as f64),
+            counterfactual: gamma.is_empty(),
+            min_contingency: gamma,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::parse_query;
+    use cqa_relation::{tuple, RelationSchema, Tid};
+
+    fn example_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+        db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+        db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+        db.insert("S", tuple!["a4"]).unwrap(); // ι4
+        db.insert("S", tuple!["a2"]).unwrap(); // ι5
+        db.insert("S", tuple!["a3"]).unwrap(); // ι6
+        db
+    }
+
+    fn q() -> UnionQuery {
+        UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap())
+    }
+
+    #[test]
+    fn example_7_3_attribute_causes() {
+        let db = example_db();
+        let causes = attribute_causes(&db, &q()).unwrap();
+        let find = |tid: u64, pos: usize| {
+            causes.iter().find(|c| {
+                c.cell
+                    == CellChange {
+                        tid: Tid(tid),
+                        position: pos,
+                    }
+            })
+        };
+        // ι6[1] (paper notation; 0-based position 0) is a counterfactual
+        // cause.
+        let i6 = find(6, 0).expect("ι6[1] is a cause");
+        assert!(i6.counterfactual);
+        assert_eq!(i6.responsibility, 1.0);
+        // ι1[2] is an actual cause with a singleton contingency (the paper
+        // exhibits {ι3[2]}).
+        let i1 = find(1, 1).expect("ι1[2] is a cause");
+        assert!(!i1.counterfactual);
+        assert_eq!(i1.responsibility, 0.5);
+        // And symmetrically ι3[2].
+        let i3 = find(3, 1).expect("ι3[2] is a cause");
+        assert_eq!(i3.responsibility, 0.5);
+        // ι2's cells cause nothing.
+        assert!(find(2, 0).is_none());
+        assert!(find(2, 1).is_none());
+    }
+
+    #[test]
+    fn false_query_has_no_attribute_causes() {
+        let mut db = example_db();
+        db.delete(Tid(6)).unwrap();
+        let causes = attribute_causes(&db, &q()).unwrap();
+        assert!(causes.is_empty());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let db = example_db();
+        let causes = attribute_causes(&db, &q()).unwrap();
+        let i6 = causes.iter().find(|c| c.cell.tid == Tid(6)).unwrap();
+        assert!(i6.to_string().starts_with("ι6[1]"));
+    }
+}

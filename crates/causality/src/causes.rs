@@ -1,0 +1,406 @@
+//! Actual causes, contingency sets and responsibility for query answers
+//! (§7 of the paper; Meliou et al. \[91\], Bertossi–Salimi \[26\]).
+//!
+//! For a Boolean UCQ `Q` true in `D`:
+//!
+//! * τ ∈ D is a **counterfactual cause** if `D ∖ {τ} ⊭ Q`;
+//! * τ is an **actual cause** if some contingency set Γ makes it
+//!   counterfactual in `D ∖ Γ`;
+//! * its **responsibility** is `1 / (1 + |Γ|)` for the smallest such Γ.
+//!
+//! The implementation works on the *support hyper-graph*: each witness of
+//! `Q` contributes its matched tid-set as a hyper-edge (the exact dual of
+//! the conflict hyper-graph of the DC `κ(Q) = ¬Q`). With superset edges
+//! dropped, every vertex of an edge is an actual cause (the poly-time result
+//! for CQs/UCQs the paper cites), and responsibility is computed by a
+//! branch-and-bound minimum hitting set through the candidate tuple — the
+//! `FP^NP(log n)`-flavoured part.
+
+use cqa_constraints::ConflictHypergraph;
+use cqa_query::{witnesses, NullSemantics, UnionQuery};
+use cqa_relation::{Database, Tid};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An actual cause for a query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cause {
+    /// The causing tuple.
+    pub tid: Tid,
+    /// `1 / (1 + |Γ|)` for a smallest contingency set Γ.
+    pub responsibility: f64,
+    /// One smallest contingency set.
+    pub min_contingency: BTreeSet<Tid>,
+    /// Is it a counterfactual cause (`Γ = ∅`)?
+    pub counterfactual: bool,
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (ρ = {}", self.tid, self.responsibility)?;
+        if self.counterfactual {
+            write!(f, ", counterfactual")?;
+        }
+        if !self.min_contingency.is_empty() {
+            write!(f, ", Γ = {{")?;
+            for (i, t) in self.min_contingency.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The support hyper-graph of a Boolean UCQ: one edge per witness (matched
+/// tid-set), superset edges dropped.
+pub fn support_hypergraph(db: &Database, query: &UnionQuery) -> ConflictHypergraph {
+    let mut edges: Vec<BTreeSet<Tid>> = Vec::new();
+    for cq in &query.disjuncts {
+        for w in witnesses(db, cq, NullSemantics::Structural) {
+            edges.push(w.tids.into_iter().collect());
+        }
+    }
+    ConflictHypergraph::new(db.tids(), edges)
+}
+
+/// All actual causes of a Boolean UCQ being true in `db`, with
+/// responsibilities and minimum contingency sets. Empty if `Q` is false.
+///
+/// For a non-Boolean query and a specific answer `ā`, substitute the answer
+/// constants into the head first (causes are defined per answer).
+///
+/// ```
+/// use cqa_relation::{tuple, Database, RelationSchema, Tid};
+/// use cqa_query::{parse_query, UnionQuery};
+///
+/// let mut db = Database::new();
+/// db.create_relation(RelationSchema::new("P", ["A"]))?;
+/// db.insert("P", tuple!["a"])?; // ι1
+/// db.insert("P", tuple!["b"])?; // ι2
+/// let q = UnionQuery::single(parse_query("Q() :- P(x)")?);
+///
+/// // Two independent witnesses: each tuple is an actual cause with ρ = ½.
+/// let causes = cqa_causality::actual_causes(&db, &q);
+/// assert_eq!(causes.len(), 2);
+/// assert!(causes.iter().all(|c| c.responsibility == 0.5));
+/// # Ok::<(), cqa_relation::RelationError>(())
+/// ```
+pub fn actual_causes(db: &Database, query: &UnionQuery) -> Vec<Cause> {
+    let graph = support_hypergraph(db, query);
+    if graph.edges.is_empty() {
+        return Vec::new(); // Q false: no causes
+    }
+    // Every vertex of the (antichain) edge set is an actual cause.
+    let candidates: BTreeSet<Tid> = graph.edges.iter().flatten().copied().collect();
+    let mut out = Vec::with_capacity(candidates.len());
+    for tid in candidates {
+        let (rho, gamma) = responsibility_in_graph(&graph, tid);
+        debug_assert!(rho > 0.0);
+        out.push(Cause {
+            tid,
+            responsibility: rho,
+            counterfactual: gamma.is_empty(),
+            min_contingency: gamma,
+        });
+    }
+    out
+}
+
+/// The responsibility of `tid` (0.0 when it is not an actual cause), with a
+/// witnessing minimum contingency set.
+pub fn responsibility(db: &Database, query: &UnionQuery, tid: Tid) -> (f64, BTreeSet<Tid>) {
+    let graph = support_hypergraph(db, query);
+    if graph.edges.is_empty() || !graph.edges.iter().any(|e| e.contains(&tid)) {
+        return (0.0, BTreeSet::new());
+    }
+    responsibility_in_graph(&graph, tid)
+}
+
+/// Smallest contingency set for `tid`.
+///
+/// Γ must (a) break every support not containing `tid` — otherwise `Q`
+/// survives `D ∖ (Γ ∪ {τ})` — while (b) leaving some support `e ∋ τ`
+/// untouched apart from τ itself, otherwise `Q` is already false in
+/// `D ∖ Γ`. So: for each candidate private support `e ∋ τ`, forbid the
+/// vertices of `e ∖ {τ}` and hit the remaining supports minimally; take the
+/// best `e`. (Equivalently: ρ(τ) = 1 / min{|H| : H minimal hitting set of
+/// the supports with τ ∈ H} — the S-repair connection of §7.)
+fn responsibility_in_graph(graph: &ConflictHypergraph, tid: Tid) -> (f64, BTreeSet<Tid>) {
+    let others: Vec<&BTreeSet<Tid>> = graph.edges.iter().filter(|e| !e.contains(&tid)).collect();
+    let mut best: Option<BTreeSet<Tid>> = None;
+    for e in graph.edges.iter().filter(|e| e.contains(&tid)) {
+        let mut forbidden = e.clone();
+        forbidden.remove(&tid);
+        // Γ may not use `forbidden` vertices; an edge losing all its
+        // vertices makes this private support infeasible.
+        let mut reduced: Vec<BTreeSet<Tid>> = Vec::with_capacity(others.len());
+        let mut feasible = true;
+        for f in &others {
+            let r: BTreeSet<Tid> = f.difference(&forbidden).copied().collect();
+            if r.is_empty() {
+                feasible = false;
+                break;
+            }
+            reduced.push(r);
+        }
+        if !feasible {
+            continue;
+        }
+        let sub = ConflictHypergraph::new(graph.nodes.clone(), reduced);
+        let gamma = sub.minimum_hitting_set();
+        if best.as_ref().is_none_or(|b| gamma.len() < b.len()) {
+            best = Some(gamma);
+        }
+    }
+    match best {
+        Some(gamma) => {
+            let rho = 1.0 / (1.0 + gamma.len() as f64);
+            (rho, gamma)
+        }
+        None => (0.0, BTreeSet::new()),
+    }
+}
+
+/// The most responsible actual causes (MRACs): causes of maximum
+/// responsibility. Via the C-repair connection, these are the tuples of the
+/// minimum hitting sets of the support hyper-graph.
+pub fn most_responsible_causes(db: &Database, query: &UnionQuery) -> Vec<Cause> {
+    let causes = actual_causes(db, query);
+    let Some(max) = causes
+        .iter()
+        .map(|c| c.responsibility)
+        .max_by(f64::total_cmp)
+    else {
+        return Vec::new();
+    };
+    causes
+        .into_iter()
+        .filter(|c| c.responsibility == max)
+        .collect()
+}
+
+/// Generic causality for any *monotone* Boolean query given as a closure
+/// (e.g. a Datalog query: materialize and test). Breadth-first search over
+/// contingency sets by size — exponential, as expected for Datalog causality
+/// (the paper notes cause computation is NP-complete there).
+///
+/// `max_contingency` bounds `|Γ|`; `None` searches up to `|D| − 1`.
+pub fn actual_causes_monotone(
+    db: &Database,
+    holds: &dyn Fn(&Database) -> bool,
+    max_contingency: Option<usize>,
+) -> Vec<Cause> {
+    if !holds(db) {
+        return Vec::new();
+    }
+    let tids: Vec<Tid> = db.tids().into_iter().collect();
+    let cap = max_contingency.unwrap_or(tids.len().saturating_sub(1));
+
+    /// Visit every `k`-subset of `pool[start..]`; `visit` returns `true` to
+    /// stop early (a smallest contingency set was found).
+    fn combos(
+        pool: &[Tid],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<Tid>,
+        visit: &mut dyn FnMut(&[Tid]) -> bool,
+    ) -> bool {
+        if cur.len() == k {
+            return visit(cur);
+        }
+        for i in start..pool.len() {
+            cur.push(pool[i]);
+            if combos(pool, k, i + 1, cur, visit) {
+                return true;
+            }
+            cur.pop();
+        }
+        false
+    }
+
+    let without = |excluded: &BTreeSet<Tid>| -> Database {
+        let keep: BTreeSet<Tid> = tids
+            .iter()
+            .copied()
+            .filter(|t| !excluded.contains(t))
+            .collect();
+        db.restricted_to(&keep)
+    };
+
+    let mut out = Vec::new();
+    for &tid in &tids {
+        let others: Vec<Tid> = tids.iter().copied().filter(|&t| t != tid).collect();
+        'sizes: for k in 0..=cap.min(others.len()) {
+            let mut cur = Vec::with_capacity(k);
+            let mut found: Option<BTreeSet<Tid>> = None;
+            combos(&others, k, 0, &mut cur, &mut |gamma_slice| {
+                let gamma: BTreeSet<Tid> = gamma_slice.iter().copied().collect();
+                if !holds(&without(&gamma)) {
+                    return false; // (b) fails: Q must survive D ∖ Γ
+                }
+                let mut with_tid = gamma.clone();
+                with_tid.insert(tid);
+                if holds(&without(&with_tid)) {
+                    return false; // (d) fails: removing τ must kill Q
+                }
+                found = Some(gamma);
+                true
+            });
+            if let Some(gamma) = found {
+                out.push(Cause {
+                    tid,
+                    responsibility: 1.0 / (1.0 + k as f64),
+                    counterfactual: k == 0,
+                    min_contingency: gamma,
+                });
+                break 'sizes;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::{parse_query, UnionQuery};
+    use cqa_relation::{tuple, RelationSchema};
+
+    /// Example 3.5/7.1's instance.
+    fn example_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+        db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+        db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+        db.insert("S", tuple!["a4"]).unwrap(); // ι4
+        db.insert("S", tuple!["a2"]).unwrap(); // ι5
+        db.insert("S", tuple!["a3"]).unwrap(); // ι6
+        db
+    }
+
+    fn q() -> UnionQuery {
+        UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap())
+    }
+
+    #[test]
+    fn example_7_1_causes_and_responsibilities() {
+        let db = example_db();
+        let causes = actual_causes(&db, &q());
+        let by_tid = |t: u64| causes.iter().find(|c| c.tid == Tid(t));
+        // S(a3) = ι6 is a counterfactual cause with ρ = 1.
+        let i6 = by_tid(6).expect("ι6 is a cause");
+        assert!(i6.counterfactual);
+        assert_eq!(i6.responsibility, 1.0);
+        // R(a4, a3) = ι1, R(a3, a3) = ι3, S(a4) = ι4: actual causes, ρ = ½.
+        for t in [1, 3, 4] {
+            let c = by_tid(t).unwrap_or_else(|| panic!("ι{t} should be a cause"));
+            assert!(!c.counterfactual);
+            assert_eq!(c.responsibility, 0.5, "ι{t}");
+            assert_eq!(c.min_contingency.len(), 1);
+        }
+        // ι2 and ι5 are not causes.
+        assert!(by_tid(2).is_none());
+        assert!(by_tid(5).is_none());
+        assert_eq!(causes.len(), 4);
+    }
+
+    #[test]
+    fn example_7_1_contingency_sets() {
+        let db = example_db();
+        let causes = actual_causes(&db, &q());
+        let i1 = causes.iter().find(|c| c.tid == Tid(1)).unwrap();
+        // The paper: R(a4, a3) has contingency set {R(a3, a3)} = {ι3} — or
+        // symmetric alternatives through the S tuples; the minimum size is 1.
+        assert_eq!(i1.min_contingency.len(), 1);
+    }
+
+    #[test]
+    fn mrac_is_the_counterfactual_cause() {
+        let db = example_db();
+        let mracs = most_responsible_causes(&db, &q());
+        assert_eq!(mracs.len(), 1);
+        assert_eq!(mracs[0].tid, Tid(6));
+    }
+
+    #[test]
+    fn false_query_has_no_causes() {
+        let mut db = example_db();
+        db.delete(Tid(6)).unwrap();
+        assert!(actual_causes(&db, &q()).is_empty());
+        assert_eq!(responsibility(&db, &q(), Tid(1)).0, 0.0);
+    }
+
+    #[test]
+    fn non_cause_has_zero_responsibility() {
+        let db = example_db();
+        assert_eq!(responsibility(&db, &q(), Tid(2)).0, 0.0);
+        let (rho, gamma) = responsibility(&db, &q(), Tid(6));
+        assert_eq!(rho, 1.0);
+        assert!(gamma.is_empty());
+    }
+
+    #[test]
+    fn ucq_causes_union_supports() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("P", ["A"])).unwrap();
+        db.create_relation(RelationSchema::new("Q", ["A"])).unwrap();
+        db.insert("P", tuple!["a"]).unwrap(); // ι1
+        db.insert("Q", tuple!["b"]).unwrap(); // ι2
+        let u = cqa_query::parse_ucq("Ans() :- P(x)\nAns() :- Q(x)").unwrap();
+        let causes = actual_causes(&db, &u);
+        // Both are causes with ρ = 1/2 (delete the other first).
+        assert_eq!(causes.len(), 2);
+        assert!(causes.iter().all(|c| c.responsibility == 0.5));
+    }
+
+    #[test]
+    fn monotone_generic_agrees_with_hypergraph_path() {
+        let db = example_db();
+        let query = q();
+        let generic = actual_causes_monotone(
+            &db,
+            &|d| cqa_query::holds_ucq(d, &query, NullSemantics::Structural),
+            None,
+        );
+        let fast = actual_causes(&db, &query);
+        let gs: BTreeSet<(Tid, String)> = generic
+            .iter()
+            .map(|c| (c.tid, format!("{:.3}", c.responsibility)))
+            .collect();
+        let fs: BTreeSet<(Tid, String)> = fast
+            .iter()
+            .map(|c| (c.tid, format!("{:.3}", c.responsibility)))
+            .collect();
+        assert_eq!(gs, fs);
+    }
+
+    #[test]
+    fn datalog_style_causality_via_generic_path() {
+        // Reachability 1→3 over edges; each edge on the unique path is a
+        // counterfactual cause.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("E", ["From", "To"]))
+            .unwrap();
+        db.insert("E", tuple![1, 2]).unwrap();
+        db.insert("E", tuple![2, 3]).unwrap();
+        db.insert("E", tuple![9, 9]).unwrap(); // irrelevant
+        let program =
+            cqa_query::parse_program("Path(x, y) :- E(x, y).\nPath(x, z) :- E(x, y), Path(y, z).")
+                .unwrap();
+        let goal = parse_query("Q() :- Path(1, 3)").unwrap();
+        let holds = |d: &Database| {
+            let out = program.evaluate(d).unwrap();
+            cqa_query::holds(&out, &goal, NullSemantics::Structural)
+        };
+        let causes = actual_causes_monotone(&db, &holds, None);
+        assert_eq!(causes.len(), 2);
+        assert!(causes.iter().all(|c| c.counterfactual));
+    }
+}

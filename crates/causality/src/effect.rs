@@ -1,0 +1,182 @@
+//! Causal effect — the alternative to responsibility the paper points to at
+//! the end of §7.2 (Salimi–Bertossi–Suciu–Van den Broeck \[102\]).
+//!
+//! Endogenous tuples become independent Bernoulli(½) events; the **causal
+//! effect** of τ on a Boolean monotone query `Q` is the difference of
+//! interventional probabilities
+//!
+//! `CE(τ) = P(Q | do(τ in)) − P(Q | do(τ out))`
+//!
+//! over the induced distribution of subinstances. Exogenous tuples are
+//! always present. Computation is exact by enumeration over the endogenous
+//! tuples *relevant to the query's support hyper-graph* (the others cancel),
+//! which keeps the 2ⁿ manageable for the instance sizes of the paper's
+//! examples.
+
+use crate::causes::support_hypergraph;
+use cqa_query::UnionQuery;
+use cqa_relation::{Database, Tid};
+use std::collections::BTreeSet;
+
+/// The causal effect of `tid` on the Boolean UCQ `query`, with
+/// `endogenous` tuples probabilistic and everything else exogenous
+/// (always in). `None` if `tid` is not endogenous.
+pub fn causal_effect(
+    db: &Database,
+    query: &UnionQuery,
+    endogenous: &BTreeSet<Tid>,
+    tid: Tid,
+) -> Option<f64> {
+    if !endogenous.contains(&tid) {
+        return None;
+    }
+    // Supports of Q over the *full* instance; monotonicity makes the truth
+    // of Q in a subinstance equivalent to one support surviving.
+    let graph = support_hypergraph(db, query);
+    // Only endogenous tuples on some support matter; others split both
+    // probabilities identically and cancel.
+    let relevant: Vec<Tid> = endogenous
+        .iter()
+        .copied()
+        .filter(|t| *t != tid && graph.edges.iter().any(|e| e.contains(t)))
+        .collect();
+    let n = relevant.len();
+    assert!(
+        n <= 24,
+        "causal effect enumeration capped at 24 relevant tuples"
+    );
+
+    let prob_with = |tid_in: bool| -> f64 {
+        let mut sat = 0u64;
+        for mask in 0u64..(1 << n) {
+            let mut present: BTreeSet<Tid> = relevant
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, t)| *t)
+                .collect();
+            if tid_in {
+                present.insert(tid);
+            }
+            // Q true iff some support's endogenous part ⊆ present (its
+            // exogenous part is always in).
+            let holds = graph.edges.iter().any(|e| {
+                e.iter()
+                    .all(|t| !endogenous.contains(t) || present.contains(t))
+            });
+            if holds {
+                sat += 1;
+            }
+        }
+        sat as f64 / (1u64 << n) as f64
+    };
+
+    Some(prob_with(true) - prob_with(false))
+}
+
+/// Causal effects of every endogenous tuple, sorted descending.
+pub fn causal_effects(
+    db: &Database,
+    query: &UnionQuery,
+    endogenous: &BTreeSet<Tid>,
+) -> Vec<(Tid, f64)> {
+    let mut out: Vec<(Tid, f64)> = endogenous
+        .iter()
+        .filter_map(|&t| causal_effect(db, query, endogenous, t).map(|e| (t, e)))
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    /// Example 3.5's instance; all tuples endogenous.
+    fn example() -> (Database, UnionQuery, BTreeSet<Tid>) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+        db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+        db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+        db.insert("S", tuple!["a4"]).unwrap(); // ι4
+        db.insert("S", tuple!["a2"]).unwrap(); // ι5
+        db.insert("S", tuple!["a3"]).unwrap(); // ι6
+        let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+        let endo = db.tids();
+        (db, q, endo)
+    }
+
+    #[test]
+    fn counterfactual_cause_has_the_largest_effect() {
+        let (db, q, endo) = example();
+        let effects = causal_effects(&db, &q, &endo);
+        // ι6 participates in every support: largest causal effect.
+        assert_eq!(effects[0].0, Tid(6));
+        // Non-causes (ι2, ι5) have zero effect.
+        let eff = |t: u64| effects.iter().find(|(x, _)| *x == Tid(t)).unwrap().1;
+        assert_eq!(eff(2), 0.0);
+        assert_eq!(eff(5), 0.0);
+        // Actual causes have strictly positive effect, smaller than ι6's.
+        for t in [1u64, 3, 4] {
+            assert!(eff(t) > 0.0);
+            assert!(eff(t) < eff(6));
+        }
+    }
+
+    #[test]
+    fn effect_values_match_hand_computation() {
+        // Single support {h, s}: CE(h) = P(s in) = 1/2.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("H", ["A"])).unwrap();
+        db.create_relation(RelationSchema::new("S", ["A", "B"]))
+            .unwrap();
+        db.insert("H", tuple![0]).unwrap();
+        db.insert("S", tuple![0, 1]).unwrap();
+        let q = UnionQuery::single(parse_query("Q() :- H(x), S(x, y)").unwrap());
+        let endo = db.tids();
+        assert_eq!(causal_effect(&db, &q, &endo, Tid(1)), Some(0.5));
+        assert_eq!(causal_effect(&db, &q, &endo, Tid(2)), Some(0.5));
+    }
+
+    #[test]
+    fn exogenous_tuples_boost_certainty() {
+        // Same shape but S exogenous: CE(h) = 1 (h alone decides Q).
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("H", ["A"])).unwrap();
+        db.create_relation(RelationSchema::new("S", ["A", "B"]))
+            .unwrap();
+        db.insert("H", tuple![0]).unwrap();
+        db.insert("S", tuple![0, 1]).unwrap();
+        let q = UnionQuery::single(parse_query("Q() :- H(x), S(x, y)").unwrap());
+        let endo: BTreeSet<Tid> = [Tid(1)].into();
+        assert_eq!(causal_effect(&db, &q, &endo, Tid(1)), Some(1.0));
+        assert_eq!(causal_effect(&db, &q, &endo, Tid(2)), None); // exogenous
+    }
+
+    #[test]
+    fn disjunctive_supports_dilute_effect() {
+        // Two independent supports: removing one leaves the other.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("P", ["A"])).unwrap();
+        db.insert("P", tuple![1]).unwrap();
+        db.insert("P", tuple![2]).unwrap();
+        let q = UnionQuery::single(parse_query("Q() :- P(x)").unwrap());
+        let endo = db.tids();
+        // CE = P(Q | t in) − P(Q | t out) = 1 − 1/2 = 1/2.
+        assert_eq!(causal_effect(&db, &q, &endo, Tid(1)), Some(0.5));
+    }
+
+    #[test]
+    fn false_query_zero_effects() {
+        let (mut db, q, _) = example();
+        db.delete(Tid(6)).unwrap();
+        let endo = db.tids();
+        let effects = causal_effects(&db, &q, &endo);
+        assert!(effects.iter().all(|(_, e)| *e == 0.0));
+    }
+}

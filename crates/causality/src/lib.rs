@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # cqa-causality
+//!
+//! Causality in databases (§7 of the paper): counterfactual and actual
+//! causes, contingency sets, responsibility and most-responsible causes —
+//! implemented three ways and cross-checked:
+//!
+//! * [`causes`] — directly, on the support hyper-graph of the query (with a
+//!   generic monotone-query fallback for Datalog-style queries);
+//! * [`via_repairs`] — through S-/C-repairs of the denial constraint
+//!   `κ(Q) = ¬Q` (Bertossi–Salimi \[26\]);
+//! * [`asp_bridge`] — through extended repair programs with `ans`/`caucon`
+//!   rules and stratified `#count` (Example 7.2).
+//!
+//! Plus [`attr_causes`] for attribute-level causes (§7.1, via attribute
+//! repairs) and [`under_ics`] for causality under integrity constraints
+//! (§7.2, Example 7.4).
+
+pub mod asp_bridge;
+pub mod attr_causes;
+pub mod causes;
+pub mod effect;
+pub mod under_ics;
+pub mod via_repairs;
+
+pub use asp_bridge::{causality_program, causes_via_asp, mracs_via_asp};
+pub use attr_causes::{attribute_causes, AttrCause};
+pub use causes::{
+    actual_causes, actual_causes_monotone, most_responsible_causes, responsibility,
+    support_hypergraph, Cause,
+};
+pub use effect::{causal_effect, causal_effects};
+pub use under_ics::causes_under_ics;
+pub use via_repairs::{causes_via_repairs, kappa, mracs_via_c_repairs, repairs_from_causes};

@@ -1,0 +1,256 @@
+//! Causality under integrity constraints (§7.2; Example 7.4).
+//!
+//! With a constraint set Σ that `D` satisfies, a contingency set Γ for a
+//! candidate cause τ must keep Σ satisfied on the way: τ is an actual cause
+//! for the Boolean monotone query `Q` under Σ iff there is Γ ⊆ D ∖ {τ} with
+//!
+//! (a) `D ∖ Γ ⊨ Σ`   (b) `D ∖ Γ ⊨ Q`
+//! (c) `D ∖ (Γ ∪ {τ}) ⊨ Σ`   (d) `D ∖ (Γ ∪ {τ}) ⊭ Q`.
+//!
+//! The search is breadth-first over |Γ| (so the first hit per τ is a minimum
+//! contingency set, giving the responsibility `ρ^{Q,Σ}` directly). Deciding
+//! causality under ICs is NP-complete even for CQs + one IND \[27\], so an
+//! exponential search with pruning is the honest algorithm here.
+
+use crate::causes::Cause;
+use cqa_constraints::ConstraintSet;
+use cqa_query::{holds_ucq, NullSemantics, UnionQuery};
+use cqa_relation::{Database, RelationError, Tid};
+use std::collections::BTreeSet;
+
+/// Actual causes of a Boolean UCQ under Σ, with responsibilities.
+///
+/// Requires `D ⊨ Σ` (errors otherwise). `max_contingency` bounds `|Γ|`
+/// (`None`: up to `|D| − 1`).
+pub fn causes_under_ics(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    max_contingency: Option<usize>,
+) -> Result<Vec<Cause>, RelationError> {
+    if !sigma.is_satisfied(db)? {
+        return Err(RelationError::Parse(
+            "causality under ICs requires D ⊨ Σ".into(),
+        ));
+    }
+    if !holds_ucq(db, query, NullSemantics::Structural) {
+        return Ok(Vec::new());
+    }
+    let tids: Vec<Tid> = db.tids().into_iter().collect();
+    let cap = max_contingency.unwrap_or(tids.len().saturating_sub(1));
+
+    let keep = |excluded: &BTreeSet<Tid>| -> Database {
+        let kept: BTreeSet<Tid> = tids
+            .iter()
+            .copied()
+            .filter(|t| !excluded.contains(t))
+            .collect();
+        db.restricted_to(&kept)
+    };
+
+    let mut out = Vec::new();
+    for &tid in &tids {
+        let others: Vec<Tid> = tids.iter().copied().filter(|&t| t != tid).collect();
+        let mut found: Option<BTreeSet<Tid>> = None;
+        'sizes: for k in 0..=cap.min(others.len()) {
+            let mut cur: Vec<Tid> = Vec::with_capacity(k);
+            if search(
+                db, sigma, query, &keep, tid, &others, k, 0, &mut cur, &mut found,
+            )? {
+                break 'sizes;
+            }
+        }
+        if let Some(gamma) = found {
+            out.push(Cause {
+                tid,
+                responsibility: 1.0 / (1.0 + gamma.len() as f64),
+                counterfactual: gamma.is_empty(),
+                min_contingency: gamma,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    keep: &dyn Fn(&BTreeSet<Tid>) -> Database,
+    tid: Tid,
+    others: &[Tid],
+    k: usize,
+    start: usize,
+    cur: &mut Vec<Tid>,
+    found: &mut Option<BTreeSet<Tid>>,
+) -> Result<bool, RelationError> {
+    if cur.len() == k {
+        let gamma: BTreeSet<Tid> = cur.iter().copied().collect();
+        let d_gamma = keep(&gamma);
+        // (a) and (b).
+        if !sigma.is_satisfied(&d_gamma)? || !holds_ucq(&d_gamma, query, NullSemantics::Structural)
+        {
+            return Ok(false);
+        }
+        let mut with_tid = gamma.clone();
+        with_tid.insert(tid);
+        let d_both = keep(&with_tid);
+        // (c) and (d).
+        if sigma.is_satisfied(&d_both)? && !holds_ucq(&d_both, query, NullSemantics::Structural) {
+            *found = Some(gamma);
+            return Ok(true);
+        }
+        return Ok(false);
+    }
+    for i in start..others.len() {
+        cur.push(others[i]);
+        let hit = search(db, sigma, query, keep, tid, others, k, i + 1, cur, found)?;
+        cur.pop();
+        if hit {
+            return Ok(true);
+        }
+    }
+    let _ = db;
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::Tgd;
+    use cqa_query::{parse_query, UnionQuery};
+    use cqa_relation::{tuple, RelationSchema};
+
+    /// The Dep/Course instance of Example 7.4.
+    /// tids: ι1..ι3 = Dep rows, ι4..ι8 = Course rows.
+    fn example_7_4() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Dep", ["DName", "TStaff"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Course", ["CName", "TStaff", "DName"]))
+            .unwrap();
+        db.insert("Dep", tuple!["Computing", "John"]).unwrap(); // ι1
+        db.insert("Dep", tuple!["Philosophy", "Patrick"]).unwrap(); // ι2
+        db.insert("Dep", tuple!["Math", "Kevin"]).unwrap(); // ι3
+        db.insert("Course", tuple!["COM08", "John", "Computing"])
+            .unwrap(); // ι4
+        db.insert("Course", tuple!["Math01", "Kevin", "Math"])
+            .unwrap(); // ι5
+        db.insert("Course", tuple!["HIST02", "Patrick", "Philosophy"])
+            .unwrap(); // ι6
+        db.insert("Course", tuple!["Math08", "Eli", "Math"])
+            .unwrap(); // ι7
+        db.insert("Course", tuple!["COM01", "John", "Computing"])
+            .unwrap(); // ι8
+        db
+    }
+
+    fn psi() -> ConstraintSet {
+        // ψ: ∀x∀y (Dep(x, y) → ∃u Course(u, y, x))
+        ConstraintSet::from_iter([Tgd::parse("psi", "Course(u, y, x) :- Dep(x, y)").unwrap()])
+    }
+
+    /// Query (A) instantiated with the answer John.
+    fn q_a() -> UnionQuery {
+        UnionQuery::single(parse_query("Q() :- Dep(y, 'John'), Course(z, 'John', y)").unwrap())
+    }
+
+    /// Query (B): ∃y Dep(y, John).
+    fn q_b() -> UnionQuery {
+        UnionQuery::single(parse_query("Q() :- Dep(y, 'John')").unwrap())
+    }
+
+    /// Query (C): ∃y∃z Course(z, John, y).
+    fn q_c() -> UnionQuery {
+        UnionQuery::single(parse_query("Q() :- Course(z, 'John', y)").unwrap())
+    }
+
+    fn rho(causes: &[Cause], tid: u64) -> f64 {
+        causes
+            .iter()
+            .find(|c| c.tid == Tid(tid))
+            .map(|c| c.responsibility)
+            .unwrap_or(0.0)
+    }
+
+    #[test]
+    fn query_a_without_constraints() {
+        let db = example_7_4();
+        let causes = causes_under_ics(&db, &ConstraintSet::new(), &q_a(), None).unwrap();
+        assert_eq!(rho(&causes, 1), 1.0); // ι1 counterfactual
+        assert_eq!(rho(&causes, 4), 0.5); // ι4 with Γ = {ι8}
+        assert_eq!(rho(&causes, 8), 0.5); // ι8 with Γ = {ι4}
+        assert_eq!(causes.len(), 3);
+    }
+
+    #[test]
+    fn query_a_under_psi_drops_course_causes() {
+        let db = example_7_4();
+        assert!(psi().is_satisfied(&db).unwrap());
+        let causes = causes_under_ics(&db, &psi(), &q_a(), None).unwrap();
+        assert_eq!(rho(&causes, 1), 1.0); // ι1 still counterfactual
+        assert_eq!(rho(&causes, 4), 0.0); // ι4 no longer a cause
+        assert_eq!(rho(&causes, 8), 0.0); // ι8 no longer a cause
+        assert_eq!(causes.len(), 1);
+    }
+
+    #[test]
+    fn query_b_under_psi_matches_query_a() {
+        // Q ≡_ψ Q₁: same causes, same responsibilities.
+        let db = example_7_4();
+        let a = causes_under_ics(&db, &psi(), &q_a(), None).unwrap();
+        let b = causes_under_ics(&db, &psi(), &q_b(), None).unwrap();
+        let norm = |cs: &[Cause]| -> Vec<(Tid, String)> {
+            let mut v: Vec<_> = cs
+                .iter()
+                .map(|c| (c.tid, format!("{:.4}", c.responsibility)))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&a), norm(&b));
+    }
+
+    #[test]
+    fn query_c_responsibilities_decrease_under_psi() {
+        let db = example_7_4();
+        // Without ψ: ι4 and ι8 are causes with ρ = ½; ι1 is not a cause.
+        let plain = causes_under_ics(&db, &ConstraintSet::new(), &q_c(), None).unwrap();
+        assert_eq!(rho(&plain, 4), 0.5);
+        assert_eq!(rho(&plain, 8), 0.5);
+        assert_eq!(rho(&plain, 1), 0.0);
+        // Under ψ: still causes, but the smallest contingency sets must now
+        // include ι1 (deleting both courses without deleting the Dep row
+        // would violate ψ): ρ drops to ⅓.
+        let under = causes_under_ics(&db, &psi(), &q_c(), None).unwrap();
+        assert_eq!(rho(&under, 4), 1.0 / 3.0);
+        assert_eq!(rho(&under, 8), 1.0 / 3.0);
+        assert_eq!(rho(&under, 1), 0.0); // ι1 affects ρ but is not a cause
+                                         // Check the witnessing contingency sets contain ι1.
+        for t in [4u64, 8u64] {
+            let c = under.iter().find(|c| c.tid == Tid(t)).unwrap();
+            assert!(
+                c.min_contingency.contains(&Tid(1)),
+                "Γ for ι{t} includes ι1"
+            );
+            assert_eq!(c.min_contingency.len(), 2);
+        }
+    }
+
+    #[test]
+    fn inconsistent_start_is_rejected() {
+        let mut db = example_7_4();
+        db.delete(Tid(4)).unwrap();
+        db.delete(Tid(8)).unwrap();
+        // Now Dep(Computing, John) has no course: D ⊭ ψ.
+        assert!(causes_under_ics(&db, &psi(), &q_b(), None).is_err());
+    }
+
+    #[test]
+    fn false_query_has_no_causes() {
+        let db = example_7_4();
+        let q = UnionQuery::single(parse_query("Q() :- Dep(y, 'Nobody')").unwrap());
+        assert!(causes_under_ics(&db, &psi(), &q, None).unwrap().is_empty());
+    }
+}

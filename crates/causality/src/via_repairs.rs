@@ -1,0 +1,193 @@
+//! The causality ↔ repair connection of §7 (Bertossi–Salimi \[26\]).
+//!
+//! For a Boolean CQ `Q` true in `D`, consider the denial constraint
+//! `κ(Q) = ¬Q`. Then:
+//!
+//! * τ is an actual cause with ⊆-minimal contingency set Γ **iff**
+//!   `D ∖ (Γ ∪ {τ})` is an S-repair of `D` w.r.t. `κ(Q)`;
+//! * τ is a cause with *minimum-cardinality* contingency set Γ (hence an
+//!   MRAC) **iff** `D ∖ (Γ ∪ {τ})` is a C-repair.
+//!
+//! This module computes causes by literally running the repair engine on
+//! `κ(Q)` — an executable proof of the correspondence, cross-checked against
+//! the direct implementation in [`crate::causes`].
+
+use crate::causes::Cause;
+use cqa_constraints::{ConstraintSet, DenialConstraint};
+use cqa_query::{ConjunctiveQuery, UnionQuery};
+use cqa_relation::{Database, RelationError, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The denial constraint `κ(Q) = ¬Q` of a Boolean CQ.
+pub fn kappa(query: &ConjunctiveQuery) -> Result<DenialConstraint, RelationError> {
+    if !query.is_boolean() {
+        return Err(RelationError::Parse(
+            "κ(Q) is defined for Boolean queries".into(),
+        ));
+    }
+    let mut body = query.clone();
+    body.negated.clear(); // κ is built from the positive part
+    DenialConstraint::new("kappa(Q)", body)
+}
+
+/// Actual causes of a Boolean UCQ computed through S-/C-repairs of `κ(Q)`.
+pub fn causes_via_repairs(db: &Database, query: &UnionQuery) -> Result<Vec<Cause>, RelationError> {
+    let sigma = ConstraintSet::from_iter(
+        query
+            .disjuncts
+            .iter()
+            .map(kappa)
+            .collect::<Result<Vec<_>, _>>()?,
+    );
+    let repairs = cqa_core::s_repairs(db, &sigma)?;
+    // Every S-repair is deletion-only here (κ is a DC).
+    let mut best: BTreeMap<Tid, BTreeSet<Tid>> = BTreeMap::new();
+    for r in &repairs {
+        for &tid in &r.deleted {
+            let mut gamma = r.deleted.clone();
+            gamma.remove(&tid);
+            let better = match best.get(&tid) {
+                None => true,
+                Some(old) => gamma.len() < old.len(),
+            };
+            if better {
+                best.insert(tid, gamma);
+            }
+        }
+    }
+    Ok(best
+        .into_iter()
+        .map(|(tid, gamma)| Cause {
+            tid,
+            responsibility: 1.0 / (1.0 + gamma.len() as f64),
+            counterfactual: gamma.is_empty(),
+            min_contingency: gamma,
+        })
+        .collect())
+}
+
+/// MRACs via C-repairs of `κ(Q)`: the tuples deleted by some C-repair.
+pub fn mracs_via_c_repairs(db: &Database, query: &UnionQuery) -> Result<Vec<Cause>, RelationError> {
+    let sigma = ConstraintSet::from_iter(
+        query
+            .disjuncts
+            .iter()
+            .map(kappa)
+            .collect::<Result<Vec<_>, _>>()?,
+    );
+    let crepairs = cqa_core::c_repairs(db, &sigma)?;
+    if crepairs.first().is_none_or(|r| r.delta_size() == 0) {
+        return Ok(Vec::new()); // consistent w.r.t. κ(Q) ⇒ Q false
+    }
+    let mut out: BTreeMap<Tid, Cause> = BTreeMap::new();
+    for r in &crepairs {
+        for &tid in &r.deleted {
+            let mut gamma = r.deleted.clone();
+            gamma.remove(&tid);
+            out.entry(tid).or_insert_with(|| Cause {
+                tid,
+                responsibility: 1.0 / (1.0 + gamma.len() as f64),
+                counterfactual: gamma.is_empty(),
+                min_contingency: gamma,
+            });
+        }
+    }
+    Ok(out.into_values().collect())
+}
+
+/// The converse direction: read repairs of `κ(Q)` off causes and their
+/// contingency sets — `D ∖ (Γ ∪ {τ})` for each cause. Returns the kept-tid
+/// sets; used by tests to certify the bijection.
+pub fn repairs_from_causes(db: &Database, causes: &[Cause]) -> Vec<BTreeSet<Tid>> {
+    let all = db.tids();
+    let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+    for c in causes {
+        let mut removed = c.min_contingency.clone();
+        removed.insert(c.tid);
+        out.insert(all.difference(&removed).copied().collect());
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causes::actual_causes;
+    use cqa_query::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn example_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap();
+        db.insert("R", tuple!["a2", "a1"]).unwrap();
+        db.insert("R", tuple!["a3", "a3"]).unwrap();
+        db.insert("S", tuple!["a4"]).unwrap();
+        db.insert("S", tuple!["a2"]).unwrap();
+        db.insert("S", tuple!["a3"]).unwrap();
+        db
+    }
+
+    fn q() -> UnionQuery {
+        UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap())
+    }
+
+    #[test]
+    fn repair_path_agrees_with_direct_path() {
+        let db = example_db();
+        let via = causes_via_repairs(&db, &q()).unwrap();
+        let direct = actual_causes(&db, &q());
+        let norm = |cs: &[Cause]| -> Vec<(Tid, String)> {
+            let mut v: Vec<(Tid, String)> = cs
+                .iter()
+                .map(|c| (c.tid, format!("{:.4}", c.responsibility)))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&via), norm(&direct));
+    }
+
+    #[test]
+    fn mracs_match_example_7_1() {
+        let db = example_db();
+        let mracs = mracs_via_c_repairs(&db, &q()).unwrap();
+        assert_eq!(mracs.len(), 1);
+        assert_eq!(mracs[0].tid, Tid(6));
+        assert_eq!(mracs[0].responsibility, 1.0);
+    }
+
+    #[test]
+    fn causes_reconstruct_s_repairs() {
+        let db = example_db();
+        let sigma = ConstraintSet::from_iter([kappa(&q().disjuncts[0]).unwrap()]);
+        let repairs: BTreeSet<BTreeSet<Tid>> = cqa_core::s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| db.tids().difference(&r.deleted).copied().collect())
+            .collect();
+        // Causes with ⊆-minimal contingency sets induce repairs. Our Cause
+        // structs carry *minimum-cardinality* contingency sets, which are in
+        // particular ⊆-minimal, so each induced instance is an S-repair.
+        let causes = causes_via_repairs(&db, &q()).unwrap();
+        for kept in repairs_from_causes(&db, &causes) {
+            assert!(repairs.contains(&kept), "induced instance is an S-repair");
+        }
+    }
+
+    #[test]
+    fn false_query_yields_nothing() {
+        let mut db = example_db();
+        db.delete(Tid(6)).unwrap();
+        assert!(causes_via_repairs(&db, &q()).unwrap().is_empty());
+        assert!(mracs_via_c_repairs(&db, &q()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn kappa_rejects_non_boolean() {
+        let nq = parse_query("Q(x) :- S(x)").unwrap();
+        assert!(kappa(&nq).is_err());
+    }
+}

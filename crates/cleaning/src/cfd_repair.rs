@@ -1,0 +1,416 @@
+//! Cost-based CFD/FD cleaning by value modification (§6 of the paper;
+//! Bohannon et al. \[31\], Fan et al. \[58\]).
+//!
+//! Violations are resolved by *changing attribute values* rather than
+//! deleting tuples:
+//!
+//! * a single-tuple CFD violation (constant RHS pattern) is fixed by setting
+//!   the RHS attribute to the pattern constant;
+//! * a pair violation (two tuples agreeing on the LHS but differing on the
+//!   RHS) is fixed by overwriting one side's RHS with the other's, choosing
+//!   the direction of least cost under the [`CostModel`];
+//! * if an attribute has been "churned" too often (evidence of an
+//!   irreparable conflict), it is set to `NULL`, which satisfies no further
+//!   pattern and ends the churn — the standard escape hatch of value-based
+//!   cleaners.
+//!
+//! This is a *heuristic* cleaner (minimum-cost repair is NP-hard, as \[31\]
+//! shows); it terminates and produces a consistent instance, reporting the
+//! changes and their total cost.
+
+use crate::cost::CostModel;
+use cqa_constraints::{ConditionalFd, FunctionalDependency, Pattern};
+use cqa_relation::{Database, RelationError, Tid, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The constraints a cleaner run enforces.
+#[derive(Debug, Clone, Default)]
+pub struct CleaningSpec {
+    /// Plain FDs.
+    pub fds: Vec<FunctionalDependency>,
+    /// Conditional FDs.
+    pub cfds: Vec<ConditionalFd>,
+}
+
+impl CleaningSpec {
+    /// Empty spec.
+    pub fn new() -> CleaningSpec {
+        CleaningSpec::default()
+    }
+
+    /// Add an FD.
+    pub fn with_fd(mut self, fd: FunctionalDependency) -> CleaningSpec {
+        self.fds.push(fd);
+        self
+    }
+
+    /// Add a CFD.
+    pub fn with_cfd(mut self, cfd: ConditionalFd) -> CleaningSpec {
+        self.cfds.push(cfd);
+        self
+    }
+
+    /// Is the instance clean w.r.t. the spec?
+    pub fn is_clean(&self, db: &Database) -> Result<bool, RelationError> {
+        for fd in &self.fds {
+            if !fd.is_satisfied(db)? {
+                return Ok(false);
+            }
+        }
+        for cfd in &self.cfds {
+            if !cfd.is_satisfied(db)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// One applied fix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fix {
+    /// Tuple changed.
+    pub tid: Tid,
+    /// Attribute position changed.
+    pub position: usize,
+    /// Old value.
+    pub old: Value,
+    /// New value.
+    pub new: Value,
+    /// Cost charged.
+    pub cost: f64,
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} -> {} (cost {:.3})",
+            self.tid,
+            self.position + 1,
+            self.old.render(),
+            self.new.render(),
+            self.cost
+        )
+    }
+}
+
+/// The result of a cleaning run.
+#[derive(Debug, Clone)]
+pub struct CleaningResult {
+    /// The cleaned instance.
+    pub db: Database,
+    /// Applied fixes, in order.
+    pub fixes: Vec<Fix>,
+    /// Total cost.
+    pub total_cost: f64,
+    /// Rounds of the fix-point loop.
+    pub rounds: usize,
+}
+
+/// Run the cleaner. `cost` applies to every relation (per-position weights).
+pub fn clean(
+    db: &Database,
+    spec: &CleaningSpec,
+    cost: &CostModel,
+) -> Result<CleaningResult, RelationError> {
+    const MAX_ROUNDS: usize = 64;
+    const MAX_CHURN: usize = 3;
+
+    let mut current = db.clone();
+    let mut fixes: Vec<Fix> = Vec::new();
+    let mut churn: BTreeMap<(Tid, usize), usize> = BTreeMap::new();
+    let mut rounds = 0;
+
+    loop {
+        rounds += 1;
+        if rounds > MAX_ROUNDS {
+            return Err(RelationError::Parse(
+                "cleaner did not converge (churn guard exhausted)".into(),
+            ));
+        }
+        let mut applied = false;
+
+        // Single-tuple CFD violations first: forced by the pattern constant.
+        for cfd in &spec.cfds {
+            if let Pattern::Const(target) = &cfd.rhs_pattern {
+                let rel = current.require_relation(&cfd.relation)?;
+                let rhs_pos = rel.schema().require_position(&cfd.rhs)?;
+                for viol in cfd.violations(&current)? {
+                    for tid in viol {
+                        let Some((_, tuple)) = current.get(tid) else {
+                            continue;
+                        };
+                        let old = tuple.at(rhs_pos).clone();
+                        if &old == target {
+                            continue;
+                        }
+                        let new = bump_churn(&mut churn, tid, rhs_pos, MAX_CHURN, target.clone());
+                        apply_fix(&mut current, &mut fixes, cost, tid, rhs_pos, old, new)?;
+                        applied = true;
+                    }
+                }
+            }
+        }
+
+        // Pair violations: FDs and wildcard-RHS CFDs.
+        let mut pair_jobs: Vec<(String, usize, Tid, Tid)> = Vec::new();
+        for fd in &spec.fds {
+            let rel = current.require_relation(&fd.relation)?;
+            let schema = rel.schema().clone();
+            for rhs in &fd.rhs {
+                let rhs_pos = schema.require_position(rhs)?;
+                let single = FunctionalDependency::new(
+                    fd.relation.clone(),
+                    fd.lhs.clone(),
+                    vec![rhs.clone()],
+                );
+                for viol in single.violations(&current)? {
+                    let pair: Vec<Tid> = viol.into_iter().collect();
+                    if let [a, b] = pair[..] {
+                        pair_jobs.push((fd.relation.clone(), rhs_pos, a, b));
+                    }
+                }
+            }
+        }
+        for cfd in &spec.cfds {
+            if cfd.rhs_pattern == Pattern::Wildcard {
+                let rel = current.require_relation(&cfd.relation)?;
+                let rhs_pos = rel.schema().require_position(&cfd.rhs)?;
+                for viol in cfd.violations(&current)? {
+                    let pair: Vec<Tid> = viol.into_iter().collect();
+                    if let [a, b] = pair[..] {
+                        pair_jobs.push((cfd.relation.clone(), rhs_pos, a, b));
+                    }
+                }
+            }
+        }
+        for (_, rhs_pos, a, b) in pair_jobs {
+            let (Some((_, ta)), Some((_, tb))) = (current.get(a), current.get(b)) else {
+                continue;
+            };
+            let va = ta.at(rhs_pos).clone();
+            let vb = tb.at(rhs_pos).clone();
+            if va == vb {
+                continue; // already resolved this round
+            }
+            // Overwrite the cheaper direction.
+            let cost_a_to_b = cost.change_cost(rhs_pos, &va, &vb);
+            let cost_b_to_a = cost.change_cost(rhs_pos, &vb, &va);
+            let (tid, old, new) = if cost_a_to_b <= cost_b_to_a {
+                (a, va, vb)
+            } else {
+                (b, vb, va)
+            };
+            let new = bump_churn(&mut churn, tid, rhs_pos, MAX_CHURN, new);
+            apply_fix(&mut current, &mut fixes, cost, tid, rhs_pos, old, new)?;
+            applied = true;
+        }
+
+        if !applied {
+            break;
+        }
+    }
+
+    debug_assert!(spec.is_clean(&current)?);
+    let total_cost = fixes.iter().map(|f| f.cost).sum();
+    Ok(CleaningResult {
+        db: current,
+        fixes,
+        total_cost,
+        rounds,
+    })
+}
+
+/// Escalate to NULL after too many rewrites of the same cell.
+fn bump_churn(
+    churn: &mut BTreeMap<(Tid, usize), usize>,
+    tid: Tid,
+    position: usize,
+    max: usize,
+    proposed: Value,
+) -> Value {
+    let n = churn.entry((tid, position)).or_insert(0);
+    *n += 1;
+    if *n > max {
+        Value::NULL
+    } else {
+        proposed
+    }
+}
+
+fn apply_fix(
+    db: &mut Database,
+    fixes: &mut Vec<Fix>,
+    cost: &CostModel,
+    tid: Tid,
+    position: usize,
+    old: Value,
+    new: Value,
+) -> Result<(), RelationError> {
+    let c = cost.change_cost(position, &old, &new);
+    db.update_value(tid, position, new.clone())?;
+    fixes.push(Fix {
+        tid,
+        position,
+        old,
+        new,
+        cost: c,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, RelationSchema};
+
+    /// The customer table from §6 of the paper.
+    fn customer_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Cust",
+            ["CC", "AC", "Phone", "Name", "Street", "City", "Zip"],
+        ))
+        .unwrap();
+        db.insert(
+            "Cust",
+            tuple![44, 131, "1234567", "mike", "mayfield", "NYC", "EH4 8LE"],
+        )
+        .unwrap();
+        db.insert(
+            "Cust",
+            tuple![44, 131, "3456789", "rick", "crichton", "NYC", "EH4 8LE"],
+        )
+        .unwrap();
+        db.insert(
+            "Cust",
+            tuple![1, 908, "3456789", "joe", "mtn ave", "NYC", "07974"],
+        )
+        .unwrap();
+        db
+    }
+
+    fn paper_cfd() -> ConditionalFd {
+        ConditionalFd::new(
+            "Cust",
+            vec![("CC", Some(Value::int(44))), ("Zip", None)],
+            "Street",
+            None,
+        )
+    }
+
+    #[test]
+    fn section_6_cfd_cleaning() {
+        let db = customer_db();
+        let spec = CleaningSpec::new().with_cfd(paper_cfd());
+        assert!(!spec.is_clean(&db).unwrap());
+        let result = clean(&db, &spec, &CostModel::uniform()).unwrap();
+        assert!(spec.is_clean(&result.db).unwrap());
+        assert_eq!(result.fixes.len(), 1);
+        // The street of one of the two UK tuples was harmonized.
+        let rel = result.db.relation("Cust").unwrap();
+        let streets: Vec<String> = rel
+            .tuples()
+            .filter(|t| t.at(0) == &Value::int(44))
+            .map(|t| t.at(4).render().into_owned())
+            .collect();
+        assert_eq!(streets[0], streets[1]);
+        assert!(result.total_cost > 0.0);
+    }
+
+    #[test]
+    fn constant_rhs_cfd_forces_value() {
+        let db = customer_db();
+        let cfd = ConditionalFd::new(
+            "Cust",
+            vec![("CC", Some(Value::int(44)))],
+            "City",
+            Some(Value::str("EDI")),
+        );
+        let spec = CleaningSpec::new().with_cfd(cfd);
+        let result = clean(&db, &spec, &CostModel::uniform()).unwrap();
+        let rel = result.db.relation("Cust").unwrap();
+        assert!(rel
+            .tuples()
+            .filter(|t| t.at(0) == &Value::int(44))
+            .all(|t| t.at(5) == &Value::str("EDI")));
+        // The US tuple keeps NYC.
+        assert!(rel
+            .tuples()
+            .any(|t| t.at(0) == &Value::int(1) && t.at(5) == &Value::str("NYC")));
+        assert_eq!(result.fixes.len(), 2);
+    }
+
+    #[test]
+    fn fd_cleaning_merges_groups() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, "aaa"]).unwrap();
+        db.insert("T", tuple![1, "aab"]).unwrap();
+        db.insert("T", tuple![2, "zzz"]).unwrap();
+        let spec = CleaningSpec::new().with_fd(FunctionalDependency::new("T", ["K"], ["V"]));
+        let result = clean(&db, &spec, &CostModel::uniform()).unwrap();
+        assert!(spec.is_clean(&result.db).unwrap());
+        // One of the group-1 values was overwritten; group 2 untouched.
+        assert!(result.db.relation("T").unwrap().contains(&tuple![2, "zzz"]));
+    }
+
+    #[test]
+    fn clean_instance_needs_no_fixes() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, "a"]).unwrap();
+        let spec = CleaningSpec::new().with_fd(FunctionalDependency::new("T", ["K"], ["V"]));
+        let result = clean(&db, &spec, &CostModel::uniform()).unwrap();
+        assert!(result.fixes.is_empty());
+        assert_eq!(result.total_cost, 0.0);
+        assert!(result.db.same_content(&db));
+    }
+
+    #[test]
+    fn conflicting_constant_cfds_escalate_to_null() {
+        // Two CFDs demand different constants for the same cell: the cleaner
+        // churns, then nulls the cell and terminates.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, "x"]).unwrap();
+        let spec = CleaningSpec::new()
+            .with_cfd(ConditionalFd::new(
+                "T",
+                vec![("K", Some(Value::int(1)))],
+                "V",
+                Some(Value::str("a")),
+            ))
+            .with_cfd(ConditionalFd::new(
+                "T",
+                vec![("K", Some(Value::int(1)))],
+                "V",
+                Some(Value::str("b")),
+            ));
+        let result = clean(&db, &spec, &CostModel::uniform()).unwrap();
+        let (_, t) = result.db.get(Tid(1)).unwrap();
+        assert!(t.at(1).is_null());
+        assert!(spec.is_clean(&result.db).unwrap());
+    }
+
+    #[test]
+    fn cost_weights_steer_direction() {
+        // Changing position 1 of tuple with the longer string is cheaper
+        // per-character; with heavy weights we can force the direction.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, "keepme"]).unwrap();
+        db.insert("T", tuple![1, "other"]).unwrap();
+        let spec = CleaningSpec::new().with_fd(FunctionalDependency::new("T", ["K"], ["V"]));
+        let result = clean(&db, &spec, &CostModel::uniform()).unwrap();
+        // Whatever direction, the result agrees on V and is clean.
+        let vals: Vec<_> = result.db.relation("T").unwrap().tuples().collect();
+        assert_eq!(vals.len(), 1); // both rows converged to the same content
+    }
+}

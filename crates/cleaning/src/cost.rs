@@ -1,0 +1,156 @@
+//! Cost model for value-modification cleaning (after Bohannon et al. \[31\]).
+//!
+//! Each cell change has a cost: a per-attribute weight times a distance
+//! between the old and the new value. The cleaner of
+//! [`crate::cfd_repair`] greedily minimizes total cost.
+
+use cqa_relation::Value;
+
+/// Distance between two values in `\[0, 1\]`.
+///
+/// * equal values: 0;
+/// * numeric pairs: normalized absolute difference (`|a−b| / (|a|+|b|)`,
+///   0 when both are 0);
+/// * string pairs: normalized Levenshtein distance;
+/// * anything else (type mismatch, nulls): 1.
+pub fn value_distance(a: &Value, b: &Value) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if a.is_null() || b.is_null() {
+        return 1.0;
+    }
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let denom = x.abs() + y.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                ((x - y).abs() / denom).min(1.0)
+            }
+        }
+        _ => match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => {
+                let max_len = x.chars().count().max(y.chars().count());
+                if max_len == 0 {
+                    0.0
+                } else {
+                    levenshtein(x, y) as f64 / max_len as f64
+                }
+            }
+            _ => 1.0,
+        },
+    }
+}
+
+/// Levenshtein edit distance (two-row dynamic programming).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Normalized string similarity in `\[0, 1\]` (1 = identical).
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Per-attribute change weights for one relation; defaults to 1.0.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    weights: Vec<(usize, f64)>,
+}
+
+impl CostModel {
+    /// Uniform weights.
+    pub fn uniform() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Set the weight of attribute `position`.
+    pub fn with_weight(mut self, position: usize, weight: f64) -> CostModel {
+        self.weights.retain(|(p, _)| *p != position);
+        self.weights.push((position, weight));
+        self
+    }
+
+    /// Weight of attribute `position`.
+    pub fn weight(&self, position: usize) -> f64 {
+        self.weights
+            .iter()
+            .find(|(p, _)| *p == position)
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0)
+    }
+
+    /// Cost of changing `old` to `new` at `position`.
+    pub fn change_cost(&self, position: usize, old: &Value, new: &Value) -> f64 {
+        self.weight(position) * value_distance(old, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("mayfield", "mayfield"), 0);
+        assert_eq!(levenshtein("crichton", "crichtons"), 1);
+    }
+
+    #[test]
+    fn distances_are_normalized() {
+        assert_eq!(value_distance(&Value::str("a"), &Value::str("a")), 0.0);
+        assert_eq!(value_distance(&Value::str("a"), &Value::str("b")), 1.0);
+        let d = value_distance(&Value::str("mayfield"), &Value::str("mayfair"));
+        assert!(d > 0.0 && d < 1.0);
+        assert_eq!(value_distance(&Value::int(10), &Value::int(10)), 0.0);
+        assert!(value_distance(&Value::int(10), &Value::int(11)) < 0.1);
+        assert_eq!(value_distance(&Value::NULL, &Value::str("x")), 1.0);
+        assert_eq!(value_distance(&Value::int(1), &Value::str("1")), 1.0);
+    }
+
+    #[test]
+    fn similarity_complements_distance() {
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert_eq!(similarity("", ""), 1.0);
+        assert!(similarity("john smith", "jon smith") > 0.8);
+        assert!(similarity("alice", "bob") < 0.4);
+    }
+
+    #[test]
+    fn cost_model_weights() {
+        let m = CostModel::uniform().with_weight(2, 5.0);
+        assert_eq!(m.weight(0), 1.0);
+        assert_eq!(m.weight(2), 5.0);
+        let c = m.change_cost(2, &Value::str("a"), &Value::str("b"));
+        assert_eq!(c, 5.0);
+        // Overwriting a weight replaces it.
+        let m = m.with_weight(2, 2.0);
+        assert_eq!(m.weight(2), 2.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Entity resolution / duplicate detection with matching dependencies
+//! (§6 of the paper; Fan et al. \[59\], Bertossi et al. \[28, 34, 35\]).
+//!
+//! A **matching dependency** (MD) says: if two tuples are *similar* on some
+//! attributes (similarity above a threshold), then their identifier
+//! attributes should be **identified** (merged). The resolver:
+//!
+//! 1. finds all pairs similar under some MD,
+//! 2. clusters them with union–find (transitivity of identification),
+//! 3. merges each cluster into a single tuple, resolving each attribute by
+//!    majority (ties: lexicographically smallest non-null value).
+
+use crate::cost::similarity;
+use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A matching dependency on one relation.
+#[derive(Debug, Clone)]
+pub struct MatchingDependency {
+    /// Relation to deduplicate.
+    pub relation: String,
+    /// `(attribute, minimum similarity)` pairs that must all hold for two
+    /// tuples to match.
+    pub similar_on: Vec<(String, f64)>,
+}
+
+impl MatchingDependency {
+    /// Build an MD.
+    pub fn new<S: Into<String>>(
+        relation: impl Into<String>,
+        similar_on: impl IntoIterator<Item = (S, f64)>,
+    ) -> MatchingDependency {
+        MatchingDependency {
+            relation: relation.into(),
+            similar_on: similar_on.into_iter().map(|(a, t)| (a.into(), t)).collect(),
+        }
+    }
+
+    fn matches(&self, positions: &[usize], a: &Tuple, b: &Tuple) -> bool {
+        positions
+            .iter()
+            .zip(&self.similar_on)
+            .all(|(&p, (_, thr))| {
+                let (va, vb) = (a.at(p), b.at(p));
+                if va.is_null() || vb.is_null() {
+                    return false;
+                }
+                if va == vb {
+                    return true;
+                }
+                match (va.as_str(), vb.as_str()) {
+                    (Some(x), Some(y)) => similarity(x, y) >= *thr,
+                    _ => false,
+                }
+            })
+    }
+}
+
+/// Union–find over tid indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// The result of deduplication.
+#[derive(Debug, Clone)]
+pub struct DedupResult {
+    /// The deduplicated instance (merged tuples get fresh tids).
+    pub db: Database,
+    /// The clusters found: each is the list of original tids merged.
+    pub clusters: Vec<Vec<Tid>>,
+}
+
+/// Deduplicate `db` under the given MDs.
+pub fn deduplicate(
+    db: &Database,
+    mds: &[MatchingDependency],
+) -> Result<DedupResult, RelationError> {
+    let mut result = db.clone();
+    let mut all_clusters = Vec::new();
+
+    // Group MDs by relation.
+    let mut by_rel: BTreeMap<&str, Vec<&MatchingDependency>> = BTreeMap::new();
+    for md in mds {
+        by_rel.entry(md.relation.as_str()).or_default().push(md);
+    }
+
+    for (rel_name, rel_mds) in by_rel {
+        let rel = db.require_relation(rel_name)?;
+        let schema = rel.schema().clone();
+        let entries: Vec<(Tid, Tuple)> = rel.iter().map(|(t, tp)| (t, tp.clone())).collect();
+        let n = entries.len();
+        let mut dsu = Dsu::new(n);
+        for md in &rel_mds {
+            let positions: Vec<usize> = md
+                .similar_on
+                .iter()
+                .map(|(a, _)| schema.require_position(a))
+                .collect::<Result<_, _>>()?;
+            for i in 0..n {
+                for j in i + 1..n {
+                    if md.matches(&positions, &entries[i].1, &entries[j].1) {
+                        dsu.union(i, j);
+                    }
+                }
+            }
+        }
+        // Collect clusters of size ≥ 2 and merge them.
+        let mut clusters: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let root = dsu.find(i);
+            clusters.entry(root).or_default().push(i);
+        }
+        for members in clusters.into_values().filter(|m| m.len() >= 2) {
+            let merged = merge_tuples(members.iter().map(|&i| &entries[i].1));
+            let tids: Vec<Tid> = members.iter().map(|&i| entries[i].0).collect();
+            for &tid in &tids {
+                let _ = result.delete(tid);
+            }
+            result.insert(rel_name, merged)?;
+            all_clusters.push(tids);
+        }
+    }
+
+    Ok(DedupResult {
+        db: result,
+        clusters: all_clusters,
+    })
+}
+
+/// Resolve each attribute by majority vote; ties break to the smallest
+/// non-null value; all-null positions stay null.
+fn merge_tuples<'a>(tuples: impl Iterator<Item = &'a Tuple>) -> Tuple {
+    let tuples: Vec<&Tuple> = tuples.collect();
+    let arity = tuples[0].arity();
+    let mut out: Vec<Value> = Vec::with_capacity(arity);
+    for p in 0..arity {
+        let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
+        for t in &tuples {
+            let v = t.at(p);
+            if !v.is_null() {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+        let winner = counts
+            .iter()
+            .max_by_key(|(v, c)| (**c, std::cmp::Reverse(*v)))
+            .map(|(v, _)| (*v).clone())
+            .unwrap_or(Value::NULL);
+        out.push(winner);
+    }
+    Tuple::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn people_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("People", ["Name", "Phone", "City"]))
+            .unwrap();
+        db.insert("People", tuple!["john smith", "555-1234", "NYC"])
+            .unwrap();
+        db.insert("People", tuple!["jon smith", "555-1234", "NYC"])
+            .unwrap();
+        db.insert("People", tuple!["john smith", "555-1234", "Boston"])
+            .unwrap();
+        db.insert("People", tuple!["alice jones", "555-9999", "NYC"])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn near_duplicates_merge() {
+        let db = people_db();
+        let md = MatchingDependency::new("People", [("Name", 0.8), ("Phone", 1.0)]);
+        let result = deduplicate(&db, &[md]).unwrap();
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.clusters[0].len(), 3);
+        let rel = result.db.relation("People").unwrap();
+        assert_eq!(rel.len(), 2); // merged trio + alice
+                                  // Majority voting picked the dominant spelling and city.
+        assert!(rel.contains(&tuple!["john smith", "555-1234", "NYC"]));
+        assert!(rel.contains(&tuple!["alice jones", "555-9999", "NYC"]));
+    }
+
+    #[test]
+    fn threshold_controls_matching() {
+        let db = people_db();
+        // Exact-match-only MD: only identical names merge.
+        let md = MatchingDependency::new("People", [("Name", 1.0), ("Phone", 1.0)]);
+        let result = deduplicate(&db, &[md]).unwrap();
+        // "john smith" x2 merge; "jon smith" and alice stay.
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.clusters[0].len(), 2);
+        assert_eq!(result.db.relation("People").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn transitivity_through_union_find() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["N"])).unwrap();
+        // a~b and b~c but a~c is below threshold: they still cluster.
+        db.insert("R", tuple!["abcde"]).unwrap();
+        db.insert("R", tuple!["abcdX"]).unwrap();
+        db.insert("R", tuple!["abcXX"]).unwrap();
+        let md = MatchingDependency::new("R", [("N", 0.8)]);
+        let result = deduplicate(&db, &[md]).unwrap();
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.clusters[0].len(), 3);
+        assert_eq!(result.db.relation("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["N"])).unwrap();
+        db.insert("R", Tuple::new(vec![Value::NULL])).unwrap();
+        db.insert("R", Tuple::new(vec![Value::NULL])).unwrap();
+        let md = MatchingDependency::new("R", [("N", 0.5)]);
+        let result = deduplicate(&db, &[md]).unwrap();
+        assert!(result.clusters.is_empty());
+    }
+
+    #[test]
+    fn no_duplicates_is_identity() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["N"])).unwrap();
+        db.insert("R", tuple!["alpha"]).unwrap();
+        db.insert("R", tuple!["omega"]).unwrap();
+        let md = MatchingDependency::new("R", [("N", 0.9)]);
+        let result = deduplicate(&db, &[md]).unwrap();
+        assert!(result.clusters.is_empty());
+        assert!(result.db.same_content(&db));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # cqa-cleaning
+//!
+//! Data cleaning (§6 of the paper): the notion of repair applied to data
+//! quality.
+//!
+//! * [`cfd_repair`] — cost-based value-modification cleaning for FDs and
+//!   conditional FDs (the Bohannon-et-al. \[31\] / Fan-et-al. \[58\] line).
+//! * [`cost`] — the cost model: per-attribute weights × value distance
+//!   (normalized numeric / Levenshtein).
+//! * [`dedup`] — entity resolution with matching dependencies (similarity →
+//!   identification, union–find clustering, majority merge).
+//! * [`numeric`] — numerical attribute repairs under aggregate (SUM)
+//!   constraints with minimal L1 change (§4, \[20, 62\]).
+//! * [`quality`] — quality query answering: certain answers over repairs,
+//!   plus the "true in most repairs" threshold weakening the paper suggests.
+
+pub mod cfd_repair;
+pub mod cost;
+pub mod dedup;
+pub mod numeric;
+pub mod quality;
+
+pub use cfd_repair::{clean, CleaningResult, CleaningSpec, Fix};
+pub use cost::{levenshtein, similarity, value_distance, CostModel};
+pub use dedup::{deduplicate, DedupResult, MatchingDependency};
+pub use numeric::{
+    is_satisfied as numeric_is_satisfied, numeric_repair, NumericConstraint, NumericRepair,
+    SumBound,
+};
+pub use quality::{quality_answers, quality_answers_with_threshold};

@@ -1,0 +1,342 @@
+//! Numerical attribute repairs under aggregate constraints (§4 of the
+//! paper: "attribute-based repairs of databases with numerical values,
+//! numerical queries, and subject to numerical constraints … opens
+//! completely new research challenges" — Bertossi et al. \[20\], Flesca et
+//! al. \[62\]).
+//!
+//! Supported constraints bound a column aggregate: `SUM(R.A) ≤ c`,
+//! `SUM(R.A) ≥ c`, and per-group variants `SUM(R.A | group by G) ≤ c`. A
+//! repair changes numeric cell values (never tuples) and is measured by the
+//! **L1 distance** `Σ |old − new|`; the repairs produced here achieve the
+//! provably minimal distance (`|excess|`), choosing the canonical
+//! distribution that touches the fewest cells (reduce the largest values
+//! first for ≤, raise the largest value for ≥, with an optional floor).
+
+use crate::cfd_repair::Fix;
+use cqa_relation::{Database, RelationError, Tid, Value};
+use std::fmt;
+
+/// A bound on a column sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SumBound {
+    /// `SUM(attr) ≤ c`.
+    AtMost(f64),
+    /// `SUM(attr) ≥ c`.
+    AtLeast(f64),
+}
+
+/// An aggregate constraint on one numeric column, optionally per-group.
+#[derive(Debug, Clone)]
+pub struct NumericConstraint {
+    /// Relation name.
+    pub relation: String,
+    /// Aggregated attribute name.
+    pub attr: String,
+    /// Group-by attribute (None = whole relation).
+    pub group_by: Option<String>,
+    /// The bound.
+    pub bound: SumBound,
+    /// Values may not be driven below this floor (e.g. `0.0` for
+    /// quantities). `None` = unbounded below.
+    pub floor: Option<f64>,
+}
+
+impl NumericConstraint {
+    /// `SUM(relation.attr) ≤ c`, non-negative values.
+    pub fn sum_at_most(relation: impl Into<String>, attr: impl Into<String>, c: f64) -> Self {
+        NumericConstraint {
+            relation: relation.into(),
+            attr: attr.into(),
+            group_by: None,
+            bound: SumBound::AtMost(c),
+            floor: Some(0.0),
+        }
+    }
+
+    /// `SUM(relation.attr) ≥ c`.
+    pub fn sum_at_least(relation: impl Into<String>, attr: impl Into<String>, c: f64) -> Self {
+        NumericConstraint {
+            relation: relation.into(),
+            attr: attr.into(),
+            group_by: None,
+            bound: SumBound::AtLeast(c),
+            floor: Some(0.0),
+        }
+    }
+
+    /// Group the constraint by an attribute.
+    pub fn per_group(mut self, group_attr: impl Into<String>) -> Self {
+        self.group_by = Some(group_attr.into());
+        self
+    }
+}
+
+impl fmt::Display for NumericConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (op, c) = match self.bound {
+            SumBound::AtMost(c) => ("<=", c),
+            SumBound::AtLeast(c) => (">=", c),
+        };
+        match &self.group_by {
+            Some(g) => write!(
+                f,
+                "SUM({}.{}) {op} {c} group by {g}",
+                self.relation, self.attr
+            ),
+            None => write!(f, "SUM({}.{}) {op} {c}", self.relation, self.attr),
+        }
+    }
+}
+
+/// The result of a numerical repair.
+#[derive(Debug, Clone)]
+pub struct NumericRepair {
+    /// The repaired instance.
+    pub db: Database,
+    /// Applied cell changes.
+    pub fixes: Vec<Fix>,
+    /// Total L1 distance `Σ |old − new|`.
+    pub l1_distance: f64,
+}
+
+/// Is the constraint satisfied (within `1e-9`)?
+pub fn is_satisfied(db: &Database, c: &NumericConstraint) -> Result<bool, RelationError> {
+    for (_, total) in group_sums(db, c)? {
+        match c.bound {
+            SumBound::AtMost(b) if total > b + 1e-9 => return Ok(false),
+            SumBound::AtLeast(b) if total < b - 1e-9 => return Ok(false),
+            _ => {}
+        }
+    }
+    Ok(true)
+}
+
+type Groups = Vec<(Vec<(Tid, f64)>, f64)>;
+
+fn group_sums(db: &Database, c: &NumericConstraint) -> Result<Groups, RelationError> {
+    let rel = db.require_relation(&c.relation)?;
+    let attr_pos = rel.schema().require_position(&c.attr)?;
+    let group_pos = match &c.group_by {
+        Some(g) => Some(rel.schema().require_position(g)?),
+        None => None,
+    };
+    let mut groups: std::collections::BTreeMap<Option<Value>, Vec<(Tid, f64)>> =
+        std::collections::BTreeMap::new();
+    for (tid, t) in rel.iter() {
+        let Some(v) = t.at(attr_pos).as_f64() else {
+            continue; // non-numeric and null cells do not participate
+        };
+        let key = group_pos.map(|p| t.at(p).clone());
+        groups.entry(key).or_default().push((tid, v));
+    }
+    Ok(groups
+        .into_values()
+        .map(|members| {
+            let total: f64 = members.iter().map(|(_, v)| v).sum();
+            (members, total)
+        })
+        .collect())
+}
+
+/// Repair `db` to satisfy `c` with minimal L1 change.
+///
+/// For `≤ c`, the excess is removed from the largest values first (fewest
+/// cells touched; the floor caps how much each cell can absorb). For `≥ c`
+/// the deficit is added to the largest value (one cell). Errors if the
+/// floor makes the bound unreachable.
+pub fn numeric_repair(
+    db: &Database,
+    c: &NumericConstraint,
+) -> Result<NumericRepair, RelationError> {
+    let rel = db.require_relation(&c.relation)?;
+    let attr_pos = rel.schema().require_position(&c.attr)?;
+    let mut out = db.clone();
+    let mut fixes: Vec<Fix> = Vec::new();
+    let mut distance = 0.0;
+
+    for (mut members, total) in group_sums(db, c)? {
+        match c.bound {
+            SumBound::AtMost(bound) => {
+                let mut excess = total - bound;
+                if excess <= 1e-9 {
+                    continue;
+                }
+                // Largest first.
+                members.sort_by(|a, b| b.1.total_cmp(&a.1));
+                for (tid, old) in members {
+                    if excess <= 1e-9 {
+                        break;
+                    }
+                    let floor = c.floor.unwrap_or(f64::NEG_INFINITY);
+                    let reducible = (old - floor).max(0.0);
+                    let delta = reducible.min(excess);
+                    if delta <= 0.0 {
+                        continue;
+                    }
+                    let new = old - delta;
+                    apply(&mut out, &mut fixes, tid, attr_pos, old, new)?;
+                    distance += delta;
+                    excess -= delta;
+                }
+                if excess > 1e-9 {
+                    return Err(RelationError::Parse(format!(
+                        "constraint `{c}` unreachable: floor prevents removing the excess"
+                    )));
+                }
+            }
+            SumBound::AtLeast(bound) => {
+                let deficit = bound - total;
+                if deficit <= 1e-9 {
+                    continue;
+                }
+                // Raise the largest value (a single-cell, L1-minimal fix).
+                members.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let Some(&(tid, old)) = members.first() else {
+                    return Err(RelationError::Parse(format!(
+                        "constraint `{c}` unreachable: no numeric cells in group"
+                    )));
+                };
+                apply(&mut out, &mut fixes, tid, attr_pos, old, old + deficit)?;
+                distance += deficit;
+            }
+        }
+    }
+    debug_assert!(is_satisfied(&out, c)?);
+    Ok(NumericRepair {
+        db: out,
+        fixes,
+        l1_distance: distance,
+    })
+}
+
+fn apply(
+    db: &mut Database,
+    fixes: &mut Vec<Fix>,
+    tid: Tid,
+    position: usize,
+    old: f64,
+    new: f64,
+) -> Result<(), RelationError> {
+    let new_val = if new.fract() == 0.0 && new.abs() < i64::MAX as f64 {
+        Value::Int(new as i64)
+    } else {
+        Value::Float(new)
+    };
+    let old_val = db
+        .get(tid)
+        .map(|(_, t)| t.at(position).clone())
+        .unwrap_or(Value::Float(old));
+    db.update_value(tid, position, new_val.clone())?;
+    fixes.push(Fix {
+        tid,
+        position,
+        old: old_val,
+        new: new_val,
+        cost: (new - old).abs(),
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn budget_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Budget", ["Dept", "Amount"]))
+            .unwrap();
+        db.insert("Budget", tuple!["cs", 700]).unwrap();
+        db.insert("Budget", tuple!["math", 300]).unwrap();
+        db.insert("Budget", tuple!["phil", 200]).unwrap();
+        db
+    }
+
+    #[test]
+    fn sum_at_most_reduces_largest_first() {
+        let db = budget_db();
+        let c = NumericConstraint::sum_at_most("Budget", "Amount", 1000.0);
+        assert!(!is_satisfied(&db, &c).unwrap());
+        let r = numeric_repair(&db, &c).unwrap();
+        assert!(is_satisfied(&r.db, &c).unwrap());
+        assert_eq!(r.l1_distance, 200.0); // minimal: remove exactly the excess
+        assert_eq!(r.fixes.len(), 1); // the 700 cell absorbs it all
+        assert_eq!(r.fixes[0].new, Value::Int(500));
+    }
+
+    #[test]
+    fn sum_at_least_raises_one_cell() {
+        let db = budget_db();
+        let c = NumericConstraint::sum_at_least("Budget", "Amount", 1500.0);
+        let r = numeric_repair(&db, &c).unwrap();
+        assert!(is_satisfied(&r.db, &c).unwrap());
+        assert_eq!(r.l1_distance, 300.0);
+        assert_eq!(r.fixes.len(), 1);
+    }
+
+    #[test]
+    fn satisfied_constraint_is_untouched() {
+        let db = budget_db();
+        let c = NumericConstraint::sum_at_most("Budget", "Amount", 2000.0);
+        let r = numeric_repair(&db, &c).unwrap();
+        assert!(r.fixes.is_empty());
+        assert_eq!(r.l1_distance, 0.0);
+        assert!(r.db.same_content(&db));
+    }
+
+    #[test]
+    fn excess_spills_across_cells_respecting_floor() {
+        let db = budget_db();
+        let c = NumericConstraint::sum_at_most("Budget", "Amount", 100.0);
+        let r = numeric_repair(&db, &c).unwrap();
+        assert!(is_satisfied(&r.db, &c).unwrap());
+        assert_eq!(r.l1_distance, 1100.0);
+        assert!(r.fixes.len() >= 2); // 700 floored at 0, more cells needed
+                                     // No value went negative.
+        for t in r.db.relation("Budget").unwrap().tuples() {
+            assert!(t.at(1).as_f64().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unreachable_bound_is_an_error() {
+        let db = budget_db();
+        let c = NumericConstraint::sum_at_most("Budget", "Amount", -5.0);
+        assert!(numeric_repair(&db, &c).is_err());
+    }
+
+    #[test]
+    fn per_group_constraints() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Sales", ["Region", "Amount"]))
+            .unwrap();
+        db.insert("Sales", tuple!["east", 80]).unwrap();
+        db.insert("Sales", tuple!["east", 40]).unwrap();
+        db.insert("Sales", tuple!["west", 30]).unwrap();
+        let c = NumericConstraint::sum_at_most("Sales", "Amount", 100.0).per_group("Region");
+        assert!(!is_satisfied(&db, &c).unwrap());
+        let r = numeric_repair(&db, &c).unwrap();
+        assert!(is_satisfied(&r.db, &c).unwrap());
+        // Only the east group changed; west untouched.
+        assert_eq!(r.l1_distance, 20.0);
+        assert!(r
+            .db
+            .relation("Sales")
+            .unwrap()
+            .contains(&tuple!["west", 30]));
+    }
+
+    #[test]
+    fn nulls_and_non_numerics_are_skipped() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("M", ["A"])).unwrap();
+        db.insert("M", tuple![100]).unwrap();
+        db.insert("M", Tuple::new(vec![Value::NULL])).unwrap();
+        let c = NumericConstraint::sum_at_most("M", "A", 50.0);
+        let r = numeric_repair(&db, &c).unwrap();
+        assert_eq!(r.l1_distance, 50.0);
+        assert_eq!(r.fixes.len(), 1);
+    }
+
+    use cqa_relation::Tuple;
+}

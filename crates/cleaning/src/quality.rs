@@ -1,0 +1,121 @@
+//! Quality query answering (§6 of the paper; Bertossi–Rizzolo–Lei \[22, 23\]).
+//!
+//! When quality concerns are expressed as constraints, the *quality answers*
+//! to a query are the answers that persist under the (possibly virtual)
+//! quality-restoring repairs — the natural generalization of consistent
+//! answers. Two flavours are provided, matching the paper's discussion:
+//!
+//! * the **certain** semantics over all minimal repairs of a chosen class
+//!   (delegating to `cqa-core`);
+//! * a relaxed **majority/threshold** semantics, keeping answers true in at
+//!   least a fraction of the repairs — the "what is true in most repairs"
+//!   weakening the paper suggests for data-cleaning practice.
+
+use cqa_constraints::ConstraintSet;
+use cqa_core::{repairs_of, RepairClass};
+use cqa_query::{eval_ucq, NullSemantics, UnionQuery};
+use cqa_relation::{Database, RelationError, Tuple};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Certain quality answers: answers true in every repair of the class.
+pub fn quality_answers(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+) -> Result<BTreeSet<Tuple>, RelationError> {
+    cqa_core::consistent_answers(db, sigma, query, class)
+}
+
+/// Threshold semantics: answers true in at least `fraction` (0, 1] of the
+/// repairs, with the fraction each answer achieved.
+pub fn quality_answers_with_threshold(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+    fraction: f64,
+) -> Result<Vec<(Tuple, f64)>, RelationError> {
+    let repairs = repairs_of(db, sigma, class)?;
+    if repairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut votes: BTreeMap<Tuple, usize> = BTreeMap::new();
+    for inst in &repairs {
+        for t in eval_ucq(inst, query, NullSemantics::Sql) {
+            if !t.has_null() {
+                *votes.entry(t).or_default() += 1;
+            }
+        }
+    }
+    let n = repairs.len() as f64;
+    Ok(votes
+        .into_iter()
+        .map(|(t, v)| (t, v as f64 / n))
+        .filter(|(_, f)| *f >= fraction)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::KeyConstraint;
+    use cqa_query::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn db() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Emp", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Emp", tuple!["page", 5000]).unwrap();
+        db.insert("Emp", tuple!["page", 8000]).unwrap();
+        db.insert("Emp", tuple!["page", 8000]).unwrap(); // dedup: still 2 rows
+        db.insert("Emp", tuple!["smith", 3000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Emp", ["Name"])]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn certain_quality_answers_match_cqa() {
+        let (db, sigma) = db();
+        let q = UnionQuery::single(parse_query("Q(x, y) :- Emp(x, y)").unwrap());
+        let ans = quality_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        assert_eq!(ans, [tuple!["smith", 3000]].into());
+    }
+
+    #[test]
+    fn threshold_recovers_majority_values() {
+        let (db, sigma) = db();
+        let q = UnionQuery::single(parse_query("Q(x, y) :- Emp(x, y)").unwrap());
+        // Two repairs: {5000} or {8000} for page. Each page-row is true in
+        // half the repairs.
+        let half =
+            quality_answers_with_threshold(&db, &sigma, &q, &RepairClass::Subset, 0.5).unwrap();
+        assert!(half
+            .iter()
+            .any(|(t, f)| t == &tuple!["page", 5000] && *f == 0.5));
+        assert!(half
+            .iter()
+            .any(|(t, f)| t == &tuple!["page", 8000] && *f == 0.5));
+        assert!(half
+            .iter()
+            .any(|(t, f)| t == &tuple!["smith", 3000] && *f == 1.0));
+        // Raising the threshold to 1.0 leaves only the certain answers.
+        let all =
+            quality_answers_with_threshold(&db, &sigma, &q, &RepairClass::Subset, 1.0).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, tuple!["smith", 3000]);
+    }
+
+    #[test]
+    fn threshold_zero_point_epsilon_is_possible_answers() {
+        let (db, sigma) = db();
+        let q = UnionQuery::single(parse_query("Q(x) :- Emp(x, y)").unwrap());
+        let some =
+            quality_answers_with_threshold(&db, &sigma, &q, &RepairClass::Subset, 0.01).unwrap();
+        let names: BTreeSet<Tuple> = some.into_iter().map(|(t, _)| t).collect();
+        let possible = cqa_core::possible_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        assert_eq!(names, possible);
+    }
+}

@@ -1,0 +1,622 @@
+#![warn(missing_docs)]
+
+//! `repairctl` — command-line repairs and consistent query answering.
+//!
+//! Databases are text files in the `cqa-relation` codec format; constraint
+//! sets use the `cqa-constraints` Σ-file format. Run `repairctl help` for
+//! the command reference. The dispatcher lives in a library so the test
+//! suite can drive it end-to-end without spawning processes.
+
+use cqa_constraints::{parse_constraints, ConstraintSet};
+use cqa_core::{RepairClass, Strategy};
+use cqa_query::{parse_query, UnionQuery};
+use cqa_relation::Database;
+use std::fmt::Write as _;
+
+/// Parsed command-line options: positionals and `--flag [value]` pairs.
+struct Opts {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                // Positional arguments are currently unused; tolerate them
+                // so `repairctl cqa extra` degrades gracefully.
+            }
+        }
+        Opts { flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.flag(name)
+            .ok_or_else(|| format!("missing required option --{name} <value>"))
+    }
+}
+
+fn load_db(opts: &Opts) -> Result<Database, String> {
+    let path = opts.require("db")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    cqa_relation::load(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_sigma(opts: &Opts) -> Result<ConstraintSet, String> {
+    let path = opts.require("constraints")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_constraints(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_query(opts: &Opts) -> Result<UnionQuery, String> {
+    let q = opts.require("query")?;
+    parse_query(q)
+        .map(UnionQuery::single)
+        .map_err(|e| format!("--query: {e}"))
+}
+
+fn repair_class(opts: &Opts) -> Result<RepairClass, String> {
+    match opts.flag("class").unwrap_or("subset") {
+        "subset" | "s" => Ok(RepairClass::Subset),
+        "cardinality" | "c" => Ok(RepairClass::Cardinality),
+        "attribute" | "attr" => Ok(RepairClass::AttributeNull),
+        "deletions" => Ok(RepairClass::SubsetDeletionsOnly),
+        other => Err(format!(
+            "unknown repair class `{other}` (use subset|cardinality|attribute|deletions)"
+        )),
+    }
+}
+
+/// Run a command; returns the process exit code. All output goes to `out`.
+pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        out.push_str(HELP);
+        return Ok(2);
+    };
+    let opts = Opts::parse(rest);
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            out.push_str(HELP);
+            Ok(0)
+        }
+        "check" => cmd_check(&opts, out),
+        "repairs" => cmd_repairs(&opts, out),
+        "cqa" => cmd_cqa(&opts, out),
+        "causes" => cmd_causes(&opts, out),
+        "measure" => cmd_measure(&opts, out),
+        "clean" => cmd_clean(&opts, out),
+        "asp" => cmd_asp(&opts, out),
+        "sql" => cmd_sql(&opts, out),
+        other => Err(format!("unknown command `{other}`; see `repairctl help`")),
+    }
+}
+
+const HELP: &str = "\
+repairctl — database repairs and consistent query answering
+
+USAGE:
+  repairctl <command> --db <file.idb> [--constraints <sigma.txt>] [options]
+
+COMMANDS:
+  check     --db F --constraints F          consistency + violation report
+  repairs   --db F --constraints F          enumerate repairs
+            [--class subset|cardinality|attribute|deletions] [--limit N]
+  cqa       --db F --constraints F --query \"Q(x) :- R(x, y)\"
+            [--class …] [--possible]        consistent (or possible) answers
+  causes    --db F --query \"Q() :- …\"       causes + responsibilities
+  measure   --db F --constraints F          inconsistency degree / core gap
+  clean     --db F --constraints F [--out F] cost-based FD/CFD cleaning
+  asp       --db F --constraints F [--c-repairs]
+                                            repair program + stable models
+  sql       --db F --constraints F --query … print the certain FO rewriting
+                                            as a DBMS-ready SQL statement
+  help                                       this text
+
+FILES:
+  databases:   @relation R(A, B) headers + one tuple per line
+  constraints: key/fd/dc/tgd/cfd lines (see cqa-constraints docs)
+";
+
+fn cmd_check(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let db = load_db(opts)?;
+    let sigma = load_sigma(opts)?;
+    let ok = sigma.is_satisfied(&db).map_err(|e| e.to_string())?;
+    writeln!(out, "consistent: {ok}").unwrap();
+    if !ok {
+        let denial = sigma.denial_violations(&db).map_err(|e| e.to_string())?;
+        let tgd = sigma.tgd_violations(&db);
+        writeln!(out, "denial-class violations: {}", denial.len()).unwrap();
+        for v in denial.iter().take(20) {
+            let tids: Vec<String> = v.iter().map(|t| t.to_string()).collect();
+            writeln!(out, "  {{{}}}", tids.join(", ")).unwrap();
+        }
+        writeln!(out, "tgd violations: {}", tgd.len()).unwrap();
+        return Ok(1);
+    }
+    Ok(0)
+}
+
+fn cmd_repairs(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let db = load_db(opts)?;
+    let sigma = load_sigma(opts)?;
+    let class = repair_class(opts)?;
+    let limit: Option<usize> = match opts.flag("limit") {
+        Some(n) => Some(
+            n.parse()
+                .map_err(|_| "--limit expects a number".to_string())?,
+        ),
+        None => None,
+    };
+    match class {
+        RepairClass::AttributeNull => {
+            let repairs = cqa_core::attribute_repairs(&db, &sigma).map_err(|e| e.to_string())?;
+            writeln!(out, "{} attribute repairs", repairs.len()).unwrap();
+            for r in repairs.iter().take(limit.unwrap_or(usize::MAX)) {
+                writeln!(out, "  {r}").unwrap();
+            }
+        }
+        RepairClass::Cardinality => {
+            let repairs = cqa_core::c_repairs(&db, &sigma).map_err(|e| e.to_string())?;
+            writeln!(out, "{} C-repairs", repairs.len()).unwrap();
+            for r in repairs.iter().take(limit.unwrap_or(usize::MAX)) {
+                writeln!(out, "  {r}").unwrap();
+            }
+        }
+        _ => {
+            let options = cqa_core::RepairOptions {
+                limit,
+                allow_insertions: !matches!(class, RepairClass::SubsetDeletionsOnly),
+                ..Default::default()
+            };
+            let repairs =
+                cqa_core::s_repairs_with(&db, &sigma, &options).map_err(|e| e.to_string())?;
+            writeln!(out, "{} S-repairs", repairs.len()).unwrap();
+            for r in &repairs {
+                writeln!(out, "  {r}").unwrap();
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_cqa(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let db = load_db(opts)?;
+    let sigma = load_sigma(opts)?;
+    let query = load_query(opts)?;
+    let class = repair_class(opts)?;
+    if opts.has("possible") {
+        let answers =
+            cqa_core::possible_answers(&db, &sigma, &query, &class).map_err(|e| e.to_string())?;
+        writeln!(out, "{} possible answers", answers.len()).unwrap();
+        for t in &answers {
+            writeln!(out, "  {t}").unwrap();
+        }
+        return Ok(0);
+    }
+    // The planner reports its strategy for the default class.
+    if matches!(class, RepairClass::Subset) {
+        let planned =
+            cqa_core::answer_consistently(&db, &sigma, &query).map_err(|e| e.to_string())?;
+        let strategy = match &planned.strategy {
+            Strategy::FoRewriting => "FO rewriting (no repairs materialized)".to_string(),
+            Strategy::DirectEvaluation => "direct evaluation (instance consistent)".to_string(),
+            Strategy::RepairEnumeration { reason } => {
+                format!("repair enumeration ({reason})")
+            }
+        };
+        writeln!(out, "strategy: {strategy}").unwrap();
+        writeln!(out, "{} consistent answers", planned.answers.len()).unwrap();
+        for t in &planned.answers {
+            writeln!(out, "  {t}").unwrap();
+        }
+    } else {
+        let answers =
+            cqa_core::consistent_answers(&db, &sigma, &query, &class).map_err(|e| e.to_string())?;
+        writeln!(out, "{} consistent answers", answers.len()).unwrap();
+        for t in &answers {
+            writeln!(out, "  {t}").unwrap();
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_causes(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let db = load_db(opts)?;
+    let query = load_query(opts)?;
+    if query.disjuncts.iter().any(|q| !q.is_boolean()) {
+        return Err("causes are computed for Boolean queries; bind the answer constants".into());
+    }
+    let causes = cqa_causality::actual_causes(&db, &query);
+    if causes.is_empty() {
+        writeln!(out, "query is false: no causes").unwrap();
+        return Ok(1);
+    }
+    writeln!(out, "{} actual causes", causes.len()).unwrap();
+    for c in &causes {
+        let (rel, tuple) = db.get(c.tid).map(|(r, t)| (r, t.clone())).unwrap();
+        writeln!(out, "  {} = {rel}{tuple}  {c}", c.tid).unwrap();
+    }
+    Ok(0)
+}
+
+fn cmd_measure(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let db = load_db(opts)?;
+    let sigma = load_sigma(opts)?;
+    let degree = cqa_core::inconsistency_degree(&db, &sigma).map_err(|e| e.to_string())?;
+    let gap = cqa_core::core_gap(&db, &sigma).map_err(|e| e.to_string())?;
+    writeln!(out, "tuples: {}", db.total_tuples()).unwrap();
+    writeln!(out, "inconsistency degree (C-repair): {degree:.4}").unwrap();
+    writeln!(out, "core gap (S-repairs): {gap:.4}").unwrap();
+    Ok(0)
+}
+
+fn cmd_clean(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let db = load_db(opts)?;
+    let sigma = load_sigma(opts)?;
+    let mut spec = cqa_cleaning::CleaningSpec::new();
+    for c in &sigma.constraints {
+        match c {
+            cqa_constraints::Constraint::Fd(fd) => spec.fds.push(fd.clone()),
+            cqa_constraints::Constraint::Cfd(cfd) => spec.cfds.push(cfd.clone()),
+            cqa_constraints::Constraint::Key(k) => {
+                let schema = db
+                    .require_relation(&k.relation)
+                    .map_err(|e| e.to_string())?
+                    .schema()
+                    .clone();
+                spec.fds.push(k.to_fd(&schema));
+            }
+            other => {
+                return Err(format!(
+                    "the cleaner handles FDs/keys/CFDs only; Σ contains: {other}"
+                ))
+            }
+        }
+    }
+    let result = cqa_cleaning::clean(&db, &spec, &cqa_cleaning::CostModel::uniform())
+        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "{} fixes, total cost {:.3}, {} round(s)",
+        result.fixes.len(),
+        result.total_cost,
+        result.rounds
+    )
+    .unwrap();
+    for f in &result.fixes {
+        writeln!(out, "  {f}").unwrap();
+    }
+    if let Some(path) = opts.flag("out") {
+        std::fs::write(path, cqa_relation::save(&result.db))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        writeln!(out, "cleaned instance written to {path}").unwrap();
+    }
+    Ok(0)
+}
+
+fn cmd_sql(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    use cqa_core::rewrite::keys::KeyPositions;
+    let db = load_db(opts)?;
+    let sigma = load_sigma(opts)?;
+    let query = load_query(opts)?;
+    let [cq] = &query.disjuncts[..] else {
+        return Err("sql rendering needs a single conjunctive query".into());
+    };
+    // Keys-only Σ → attack-graph rewriting → SQL.
+    let mut keys = KeyPositions::new();
+    for c in &sigma.constraints {
+        let cqa_constraints::Constraint::Key(k) = c else {
+            return Err("sql rendering supports key-only constraint sets".into());
+        };
+        let schema = db
+            .require_relation(&k.relation)
+            .map_err(|e| e.to_string())?
+            .schema()
+            .clone();
+        let positions = schema
+            .positions_of(k.key.iter().map(String::as_str))
+            .map_err(|e| e.to_string())?;
+        keys.insert(k.relation.clone(), positions);
+    }
+    let fo = cqa_core::rewrite_key_query(cq, &keys).map_err(|e| e.to_string())?;
+    let sql = cqa_query::fo_to_sql(&fo, &db).map_err(|e| e.to_string())?;
+    writeln!(out, "{sql}").unwrap();
+    Ok(0)
+}
+
+fn cmd_asp(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let db = load_db(opts)?;
+    let sigma = load_sigma(opts)?;
+    let mut rp = cqa_asp::RepairProgram::build(&db, &sigma).map_err(|e| e.to_string())?;
+    if opts.has("c-repairs") {
+        rp.add_c_repair_weak_constraints();
+    }
+    writeln!(out, "% generated repair program\n{}", rp.program).unwrap();
+    let models = if opts.has("c-repairs") {
+        rp.c_repair_models().map_err(|e| e.to_string())?
+    } else {
+        rp.s_repair_models().map_err(|e| e.to_string())?
+    };
+    writeln!(out, "% {} repair model(s)", models.len()).unwrap();
+    for m in &models {
+        let deleted: Vec<String> = m.deleted.iter().map(|t| t.to_string()).collect();
+        let inserted: Vec<String> = m.inserted.iter().map(|(r, t)| format!("+{r}{t}")).collect();
+        writeln!(
+            out,
+            "%   delete {{{}}} {}",
+            deleted.join(", "),
+            inserted.join(" ")
+        )
+        .unwrap();
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_files(dir: &std::path::Path) -> (String, String) {
+        let db_path = dir.join("emp.idb");
+        let sigma_path = dir.join("sigma.txt");
+        std::fs::write(
+            &db_path,
+            "@relation Employee(Name, Salary)\n\
+             'page', 5000\n\
+             'page', 8000\n\
+             'smith', 3000\n",
+        )
+        .unwrap();
+        std::fs::write(&sigma_path, "key Employee(Name)\n").unwrap();
+        (
+            db_path.to_string_lossy().into_owned(),
+            sigma_path.to_string_lossy().into_owned(),
+        )
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("repairctl-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_cmd(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out).unwrap();
+        (code, out)
+    }
+
+    #[test]
+    fn check_reports_inconsistency() {
+        let dir = tmpdir("check");
+        let (db, sigma) = write_files(&dir);
+        let (code, out) = run_cmd(&["check", "--db", &db, "--constraints", &sigma]);
+        assert_eq!(code, 1);
+        assert!(out.contains("consistent: false"));
+        assert!(out.contains("denial-class violations: 1"));
+    }
+
+    #[test]
+    fn repairs_listing() {
+        let dir = tmpdir("repairs");
+        let (db, sigma) = write_files(&dir);
+        let (code, out) = run_cmd(&["repairs", "--db", &db, "--constraints", &sigma]);
+        assert_eq!(code, 0);
+        assert!(out.contains("2 S-repairs"));
+        assert!(out.contains("- Employee(page, 5000)") || out.contains("- Employee(page, 8000)"));
+    }
+
+    #[test]
+    fn cqa_uses_rewriting_strategy() {
+        let dir = tmpdir("cqa");
+        let (db, sigma) = write_files(&dir);
+        let (code, out) = run_cmd(&[
+            "cqa",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(x, y) :- Employee(x, y)",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("strategy: FO rewriting"), "{out}");
+        assert!(out.contains("(smith, 3000)"));
+        assert!(!out.contains("(page, 5000)"));
+    }
+
+    #[test]
+    fn possible_answers_flag() {
+        let dir = tmpdir("poss");
+        let (db, sigma) = write_files(&dir);
+        let (_, out) = run_cmd(&[
+            "cqa",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(y) :- Employee('page', y)",
+            "--possible",
+        ]);
+        assert!(out.contains("2 possible answers"));
+    }
+
+    #[test]
+    fn causes_command() {
+        let dir = tmpdir("causes");
+        let (db, _) = write_files(&dir);
+        let (code, out) = run_cmd(&[
+            "causes",
+            "--db",
+            &db,
+            "--query",
+            "Q() :- Employee(x, y), Employee(x, z), y != z",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("2 actual causes"));
+        assert!(out.contains("ρ = 1")); // both are counterfactual here
+    }
+
+    #[test]
+    fn measure_and_asp() {
+        let dir = tmpdir("measure");
+        let (db, sigma) = write_files(&dir);
+        let (_, out) = run_cmd(&["measure", "--db", &db, "--constraints", &sigma]);
+        assert!(out.contains("inconsistency degree"));
+        let (_, asp_out) = run_cmd(&["asp", "--db", &db, "--constraints", &sigma]);
+        assert!(asp_out.contains("% 2 repair model(s)"), "{asp_out}");
+        let (_, c_out) = run_cmd(&["asp", "--db", &db, "--constraints", &sigma, "--c-repairs"]);
+        assert!(c_out.contains("repair model(s)"));
+    }
+
+    #[test]
+    fn clean_writes_output_file() {
+        let dir = tmpdir("clean");
+        let (db, sigma) = write_files(&dir);
+        let out_path = dir.join("cleaned.idb").to_string_lossy().into_owned();
+        let (code, out) = run_cmd(&[
+            "clean",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--out",
+            &out_path,
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("fixes"));
+        let cleaned = cqa_relation::load(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        let spec_sigma = parse_constraints("key Employee(Name)").unwrap();
+        assert!(spec_sigma.is_satisfied(&cleaned).unwrap());
+    }
+
+    #[test]
+    fn sql_command_renders_rewriting() {
+        let dir = tmpdir("sql");
+        let (db, sigma) = write_files(&dir);
+        let (code, out) = run_cmd(&[
+            "sql",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(x, y) :- Employee(x, y)",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("SELECT DISTINCT"), "{out}");
+        assert!(out.contains("NOT EXISTS"), "{out}");
+    }
+
+    #[test]
+    fn help_and_errors() {
+        let (code, out) = run_cmd(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        let args: Vec<String> = vec!["nonsense".into()];
+        assert!(run(&args, &mut String::new()).is_err());
+        let args: Vec<String> = vec!["check".into()];
+        assert!(run(&args, &mut String::new()).is_err()); // missing --db
+    }
+}
+
+#[cfg(test)]
+mod shipped_data_tests {
+    //! Guard the sample files under `examples/data/` against bit-rot: every
+    //! shipped database/Σ pair must parse and produce the documented
+    //! results.
+
+    use super::*;
+
+    fn data(file: &str) -> String {
+        format!("{}/../../examples/data/{file}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    fn run_ok(args: &[String]) -> (i32, String) {
+        let mut out = String::new();
+        let code = run(args, &mut out).unwrap();
+        (code, out)
+    }
+
+    #[test]
+    fn payroll_sample_has_two_repairs() {
+        let (code, out) = run_ok(&[
+            "repairs".into(),
+            "--db".into(),
+            data("payroll.idb"),
+            "--constraints".into(),
+            data("payroll.sigma"),
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("2 S-repairs"), "{out}");
+    }
+
+    #[test]
+    fn supply_sample_repairs_by_delete_or_insert() {
+        let (_, out) = run_ok(&[
+            "repairs".into(),
+            "--db".into(),
+            data("supply.idb"),
+            "--constraints".into(),
+            data("supply.sigma"),
+        ]);
+        assert!(out.contains("+ Articles(I3)"), "{out}");
+        assert!(out.contains("- Supply(C2, R1, I3)"), "{out}");
+    }
+
+    #[test]
+    fn customers_sample_cleans() {
+        let (code, out) = run_ok(&[
+            "clean".into(),
+            "--db".into(),
+            data("customers.idb"),
+            "--constraints".into(),
+            data("customers.sigma"),
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("1 fixes"), "{out}");
+    }
+
+    #[test]
+    fn conflict_sample_matches_example_3_5() {
+        let (_, out) = run_ok(&[
+            "asp".into(),
+            "--db".into(),
+            data("conflict.idb"),
+            "--constraints".into(),
+            data("conflict.sigma"),
+        ]);
+        assert!(out.contains("% 3 repair model(s)"), "{out}");
+        let (_, causes) = run_ok(&[
+            "causes".into(),
+            "--db".into(),
+            data("conflict.idb"),
+            "--query".into(),
+            "Q() :- S(x), R(x, y), S(y)".into(),
+        ]);
+        assert!(causes.contains("4 actual causes"), "{causes}");
+    }
+}

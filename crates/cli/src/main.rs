@@ -1,0 +1,17 @@
+//! The `repairctl` binary: thin wrapper over the testable dispatcher.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match cqa_cli::run(&args, &mut out) {
+        Ok(code) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

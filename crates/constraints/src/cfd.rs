@@ -1,0 +1,316 @@
+//! Conditional functional dependencies (CFDs), after Fan et al. \[58\] as
+//! presented in §6 of the paper.
+//!
+//! A CFD is an embedded FD `R: X → A` plus a *pattern tuple* over `X ∪ {A}`
+//! whose entries are either constants or the wildcard `_`. The CFD
+//! `[CC = 44, Zip] → [Street]` of the paper has pattern
+//! `CC: 44, Zip: _, Street: _`: it enforces `Zip → Street` only on tuples
+//! with `CC = 44`.
+
+use crate::denial::DenialConstraint;
+use cqa_query::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, VarTable};
+use cqa_relation::{Database, RelationError, RelationSchema, Tid, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A pattern entry of a CFD tableau.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Matches any value.
+    Wildcard,
+    /// Matches exactly this constant.
+    Const(Value),
+}
+
+impl Pattern {
+    /// Does `v` match?
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Pattern::Wildcard => true,
+            Pattern::Const(c) => c == v && !v.is_null(),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Wildcard => f.write_str("_"),
+            Pattern::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One attribute of the CFD's LHS together with its pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfdLhs {
+    /// Attribute name.
+    pub attr: String,
+    /// Its pattern.
+    pub pattern: Pattern,
+}
+
+/// A conditional functional dependency with a single-row tableau.
+///
+/// (Multi-row tableaux are modelled as several `ConditionalFd`s, which is
+/// semantically identical.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConditionalFd {
+    /// Relation the CFD applies to.
+    pub relation: String,
+    /// LHS attributes with their patterns.
+    pub lhs: Vec<CfdLhs>,
+    /// RHS attribute name.
+    pub rhs: String,
+    /// RHS pattern.
+    pub rhs_pattern: Pattern,
+}
+
+impl ConditionalFd {
+    /// Build a CFD. LHS entries pair an attribute name with `Some(constant)`
+    /// or `None` (wildcard); `rhs_pattern` follows the same convention.
+    pub fn new(
+        relation: impl Into<String>,
+        lhs: Vec<(&str, Option<Value>)>,
+        rhs: &str,
+        rhs_pattern: Option<Value>,
+    ) -> ConditionalFd {
+        ConditionalFd {
+            relation: relation.into(),
+            lhs: lhs
+                .into_iter()
+                .map(|(a, p)| CfdLhs {
+                    attr: a.to_string(),
+                    pattern: p.map_or(Pattern::Wildcard, Pattern::Const),
+                })
+                .collect(),
+            rhs: rhs.to_string(),
+            rhs_pattern: rhs_pattern.map_or(Pattern::Wildcard, Pattern::Const),
+        }
+    }
+
+    /// Compile to denial constraints.
+    ///
+    /// * Wildcard RHS: a *pair* denial — two tuples matching the LHS
+    ///   patterns, equal on wildcard-LHS attributes, different on the RHS.
+    /// * Constant RHS `c`: a *single-tuple* denial — a tuple matching the LHS
+    ///   patterns whose RHS differs from `c`.
+    pub fn to_denials(
+        &self,
+        schema: &RelationSchema,
+    ) -> Result<Vec<DenialConstraint>, RelationError> {
+        let arity = schema.arity();
+        let rhs_pos = schema.require_position(&self.rhs)?;
+        let mut lhs_pos = Vec::with_capacity(self.lhs.len());
+        for l in &self.lhs {
+            lhs_pos.push((schema.require_position(&l.attr)?, &l.pattern));
+        }
+
+        let mut vars = VarTable::new();
+        let mut comparisons = Vec::new();
+
+        // First atom, with constants where the pattern demands them.
+        let first: Vec<Term> = (0..arity)
+            .map(|i| {
+                if let Some((_, Pattern::Const(c))) = lhs_pos.iter().find(|(p, _)| *p == i) {
+                    Term::Const(c.clone())
+                } else {
+                    Term::Var(vars.var(format!("a{i}")))
+                }
+            })
+            .collect();
+
+        match &self.rhs_pattern {
+            Pattern::Const(c) => {
+                comparisons.push(Comparison::new(
+                    first[rhs_pos].clone(),
+                    CmpOp::Ne,
+                    c.clone(),
+                ));
+                let body = ConjunctiveQuery {
+                    vars,
+                    head: Vec::new(),
+                    atoms: vec![Atom::new(self.relation.clone(), first)],
+                    negated: Vec::new(),
+                    comparisons,
+                };
+                Ok(vec![DenialConstraint::new(format!("{self}"), body)?])
+            }
+            Pattern::Wildcard => {
+                // Second atom: shares wildcard-LHS variables, repeats LHS
+                // constants, fresh elsewhere; RHS must differ.
+                let second: Vec<Term> = (0..arity)
+                    .map(|i| match lhs_pos.iter().find(|(p, _)| *p == i) {
+                        Some((_, Pattern::Const(c))) => Term::Const(c.clone()),
+                        Some((_, Pattern::Wildcard)) => first[i].clone(),
+                        None => Term::Var(vars.var(format!("b{i}"))),
+                    })
+                    .collect();
+                comparisons.push(Comparison::new(
+                    first[rhs_pos].clone(),
+                    CmpOp::Ne,
+                    second[rhs_pos].clone(),
+                ));
+                let body = ConjunctiveQuery {
+                    vars,
+                    head: Vec::new(),
+                    atoms: vec![
+                        Atom::new(self.relation.clone(), first),
+                        Atom::new(self.relation.clone(), second),
+                    ],
+                    negated: Vec::new(),
+                    comparisons,
+                };
+                Ok(vec![DenialConstraint::new(format!("{self}"), body)?])
+            }
+        }
+    }
+
+    /// Is the CFD satisfied?
+    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
+        let schema = db.require_relation(&self.relation)?.schema().clone();
+        Ok(self.to_denials(&schema)?.iter().all(|d| d.is_satisfied(db)))
+    }
+
+    /// Violation sets (singletons or pairs of tids).
+    pub fn violations(&self, db: &Database) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
+        let schema = db.require_relation(&self.relation)?.schema().clone();
+        let mut out = BTreeSet::new();
+        for d in self.to_denials(&schema)? {
+            out.extend(d.violations(db));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for ConditionalFd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [", self.relation)?;
+        for (i, l) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &l.pattern {
+                Pattern::Wildcard => write!(f, "{}", l.attr)?,
+                Pattern::Const(c) => write!(f, "{} = {}", l.attr, c)?,
+            }
+        }
+        write!(f, "] -> [{}", self.rhs)?;
+        if let Pattern::Const(c) = &self.rhs_pattern {
+            write!(f, " = {c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, Database, RelationSchema};
+
+    /// The customer table from §6 of the paper.
+    pub(crate) fn customer_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Cust",
+            ["CC", "AC", "Phone", "Name", "Street", "City", "Zip"],
+        ))
+        .unwrap();
+        db.insert(
+            "Cust",
+            tuple![44, 131, "1234567", "mike", "mayfield", "NYC", "EH4 8LE"],
+        )
+        .unwrap();
+        db.insert(
+            "Cust",
+            tuple![44, 131, "3456789", "rick", "crichton", "NYC", "EH4 8LE"],
+        )
+        .unwrap();
+        db.insert(
+            "Cust",
+            tuple![1, 908, "3456789", "joe", "mtn ave", "NYC", "07974"],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn paper_cfd_is_violated_but_plain_fds_hold() {
+        let db = customer_db();
+        // Plain FDs from the paper hold:
+        let fd1 = crate::fd::FunctionalDependency::new(
+            "Cust",
+            ["CC", "AC", "Phone"],
+            ["Street", "City", "Zip"],
+        );
+        let fd2 = crate::fd::FunctionalDependency::new("Cust", ["CC", "AC"], ["City"]);
+        assert!(fd1.is_satisfied(&db).unwrap());
+        assert!(fd2.is_satisfied(&db).unwrap());
+        // The CFD [CC = 44, Zip] -> [Street] does not:
+        let cfd = ConditionalFd::new(
+            "Cust",
+            vec![("CC", Some(Value::int(44))), ("Zip", None)],
+            "Street",
+            None,
+        );
+        assert!(!cfd.is_satisfied(&db).unwrap());
+        let viols = cfd.violations(&db).unwrap();
+        assert_eq!(viols.len(), 1);
+        assert!(viols.contains(&[Tid(1), Tid(2)].into()));
+    }
+
+    #[test]
+    fn cfd_ignores_non_matching_condition() {
+        let db = customer_db();
+        // Same shape but conditioned on CC = 1: only one such tuple, holds.
+        let cfd = ConditionalFd::new(
+            "Cust",
+            vec![("CC", Some(Value::int(1))), ("Zip", None)],
+            "Street",
+            None,
+        );
+        assert!(cfd.is_satisfied(&db).unwrap());
+    }
+
+    #[test]
+    fn constant_rhs_is_single_tuple() {
+        let db = customer_db();
+        // "Customers with CC = 44 must live in EDI" — violated by both.
+        let cfd = ConditionalFd::new(
+            "Cust",
+            vec![("CC", Some(Value::int(44)))],
+            "City",
+            Some(Value::str("EDI")),
+        );
+        let viols = cfd.violations(&db).unwrap();
+        assert_eq!(viols.len(), 2);
+        assert!(viols.iter().all(|v| v.len() == 1));
+    }
+
+    #[test]
+    fn wildcard_lhs_only_is_a_plain_fd() {
+        let db = customer_db();
+        let cfd = ConditionalFd::new("Cust", vec![("Zip", None)], "City", None);
+        // Zip -> City holds on this instance.
+        assert!(cfd.is_satisfied(&db).unwrap());
+    }
+
+    #[test]
+    fn pattern_matching() {
+        assert!(Pattern::Wildcard.matches(&Value::int(1)));
+        assert!(Pattern::Const(Value::int(1)).matches(&Value::int(1)));
+        assert!(!Pattern::Const(Value::int(1)).matches(&Value::int(2)));
+        assert!(!Pattern::Const(Value::NULL).matches(&Value::NULL));
+    }
+
+    #[test]
+    fn display() {
+        let cfd = ConditionalFd::new(
+            "Cust",
+            vec![("CC", Some(Value::int(44))), ("Zip", None)],
+            "Street",
+            None,
+        );
+        assert_eq!(cfd.to_string(), "Cust: [CC = 44, Zip] -> [Street]");
+    }
+}

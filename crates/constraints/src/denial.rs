@@ -1,0 +1,190 @@
+//! Denial constraints: `¬∃x̄ (A₁ ∧ … ∧ Aₙ ∧ comparisons)`.
+//!
+//! Denial constraints (DCs) are the workhorse class of the paper: keys, FDs
+//! and CFDs all compile into them, every violation is a *set of tuples that
+//! jointly must not coexist*, and those sets are exactly the hyper-edges of
+//! the conflict hyper-graph of §4.1 (Figure 1).
+
+use cqa_query::{
+    eval::for_each_witness, parse_query, Atom, Comparison, ConjunctiveQuery, NullSemantics,
+    VarTable,
+};
+use cqa_relation::{Database, RelationError, Tid};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A denial constraint. Internally a Boolean conjunctive query (the *body*);
+/// the constraint holds iff the body has no witness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenialConstraint {
+    /// Optional human-readable name (`κ`, `KC`, …) used in reports.
+    pub name: String,
+    body: ConjunctiveQuery,
+}
+
+impl DenialConstraint {
+    /// Build from an explicit Boolean CQ body.
+    pub fn new(name: impl Into<String>, body: ConjunctiveQuery) -> Result<Self, RelationError> {
+        if !body.is_boolean() {
+            return Err(RelationError::Parse(
+                "denial constraint body must be Boolean (empty head)".into(),
+            ));
+        }
+        body.check_safety().map_err(RelationError::Parse)?;
+        Ok(DenialConstraint {
+            name: name.into(),
+            body,
+        })
+    }
+
+    /// Parse from a comma-separated body, e.g. `"S(x), R(x, y), S(y)"`,
+    /// meaning `¬∃x∃y (S(x) ∧ R(x, y) ∧ S(y))` (Example 3.5's κ).
+    ///
+    /// ```
+    /// use cqa_constraints::DenialConstraint;
+    /// let kappa = DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)")?;
+    /// assert_eq!(kappa.atoms().len(), 3); // S(x), R(x, y), S(y)
+    /// # Ok::<(), cqa_relation::RelationError>(())
+    /// ```
+    pub fn parse(name: impl Into<String>, body: &str) -> Result<Self, RelationError> {
+        let q = parse_query(&format!("Q() :- {body}"))?;
+        if !q.negated.is_empty() {
+            return Err(RelationError::Parse(
+                "denial constraint body must be negation-free".into(),
+            ));
+        }
+        DenialConstraint::new(name, q)
+    }
+
+    /// The Boolean body as a conjunctive query.
+    pub fn body(&self) -> &ConjunctiveQuery {
+        &self.body
+    }
+
+    /// Body atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.body.atoms
+    }
+
+    /// Body comparisons.
+    pub fn comparisons(&self) -> &[Comparison] {
+        &self.body.comparisons
+    }
+
+    /// Variable names of the body.
+    pub fn vars(&self) -> &VarTable {
+        &self.body.vars
+    }
+
+    /// Is the constraint satisfied by `db`?
+    ///
+    /// Evaluated under SQL null semantics: a null never satisfies a join or a
+    /// comparison, so null-based repairs (§4.3) really do restore consistency.
+    pub fn is_satisfied(&self, db: &Database) -> bool {
+        !cqa_query::holds(db, &self.body, NullSemantics::Sql)
+    }
+
+    /// All violation sets: for every witness of the body, the set of matched
+    /// tids. Duplicate sets (e.g. the two symmetric matches of an FD pair)
+    /// are collapsed.
+    pub fn violations(&self, db: &Database) -> BTreeSet<BTreeSet<Tid>> {
+        let mut out = BTreeSet::new();
+        for_each_witness(db, &self.body, NullSemantics::Sql, &mut |w| {
+            out.insert(w.tids.iter().copied().collect());
+            true
+        });
+        out
+    }
+}
+
+impl fmt::Display for DenialConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render ¬∃(body) reusing the CQ display, stripping the `Q() :- `.
+        let body = self.body.to_string();
+        let body = body.strip_prefix("Q() :- ").unwrap_or(&body);
+        write!(f, "{}: not exists ({body})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, Database, RelationSchema};
+
+    /// The instance of Example 3.5.
+    pub(crate) fn example_3_5_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+        db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+        db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+        db.insert("S", tuple!["a4"]).unwrap(); // ι4
+        db.insert("S", tuple!["a2"]).unwrap(); // ι5
+        db.insert("S", tuple!["a3"]).unwrap(); // ι6
+        db
+    }
+
+    #[test]
+    fn example_3_5_kappa_is_violated() {
+        let db = example_3_5_db();
+        let kappa = DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap();
+        assert!(!kappa.is_satisfied(&db));
+        let viols = kappa.violations(&db);
+        // Two violations: {S(a4), R(a4,a3), S(a3)} = {ι4, ι1, ι6}
+        //             and {S(a3), R(a3,a3), S(a3)} = {ι3, ι6}.
+        assert_eq!(viols.len(), 2);
+        assert!(viols.contains(&[Tid(4), Tid(1), Tid(6)].into()));
+        assert!(viols.contains(&[Tid(3), Tid(6)].into()));
+    }
+
+    #[test]
+    fn satisfied_after_deleting_a_witness_tuple() {
+        let mut db = example_3_5_db();
+        db.delete(Tid(6)).unwrap(); // S(a3)
+        let kappa = DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap();
+        assert!(kappa.is_satisfied(&db));
+        assert!(kappa.violations(&db).is_empty());
+    }
+
+    #[test]
+    fn null_does_not_witness_a_denial() {
+        let mut db = example_3_5_db();
+        // Null out the join attribute of ι6 (the left repair of Example 4.4).
+        db.update_value(Tid(6), 0, cqa_relation::Value::NULL)
+            .unwrap();
+        db.update_value(Tid(3), 1, cqa_relation::Value::NULL)
+            .unwrap();
+        db.update_value(Tid(1), 1, cqa_relation::Value::NULL)
+            .unwrap();
+        let kappa = DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap();
+        assert!(kappa.is_satisfied(&db));
+    }
+
+    #[test]
+    fn rejects_non_boolean_and_negated_bodies() {
+        assert!(DenialConstraint::parse("bad", "S(x), not R(x, x)").is_err());
+        let q = parse_query("Q(x) :- S(x)").unwrap();
+        assert!(DenialConstraint::new("bad", q).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let kappa = DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap();
+        assert_eq!(kappa.to_string(), "kappa: not exists (S(x), R(x, y), S(y))");
+    }
+
+    #[test]
+    fn comparison_constraints() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Acct", ["Id", "Balance"]))
+            .unwrap();
+        db.insert("Acct", tuple![1, 100]).unwrap();
+        db.insert("Acct", tuple![2, -5]).unwrap();
+        let positive = DenialConstraint::parse("pos", "Acct(i, b), b < 0").unwrap();
+        let viols = positive.violations(&db);
+        assert_eq!(viols.len(), 1);
+        assert!(viols.contains(&[Tid(2)].into()));
+    }
+}

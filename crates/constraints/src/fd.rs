@@ -1,0 +1,279 @@
+//! Functional dependencies and key constraints.
+//!
+//! FDs and keys are stored by attribute *name* (resolved against the schema
+//! when compiled), and compile into [`DenialConstraint`]s — one per
+//! right-hand-side attribute — following Example 3.4:
+//!
+//! `Employee: Name → Salary` becomes
+//! `¬∃x y z (Employee(x, y) ∧ Employee(x, z) ∧ y ≠ z)`.
+
+use crate::denial::DenialConstraint;
+use cqa_query::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, VarTable};
+use cqa_relation::{Database, RelationError, RelationSchema, Tid};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A functional dependency `R: X → Y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Relation the FD applies to.
+    pub relation: String,
+    /// Determinant attribute names.
+    pub lhs: Vec<String>,
+    /// Dependent attribute names.
+    pub rhs: Vec<String>,
+}
+
+impl FunctionalDependency {
+    /// Build `relation: lhs → rhs`.
+    pub fn new<S: Into<String>>(
+        relation: impl Into<String>,
+        lhs: impl IntoIterator<Item = S>,
+        rhs: impl IntoIterator<Item = S>,
+    ) -> FunctionalDependency {
+        FunctionalDependency {
+            relation: relation.into(),
+            lhs: lhs.into_iter().map(Into::into).collect(),
+            rhs: rhs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Compile to one denial constraint per RHS attribute.
+    ///
+    /// Each denial's body is
+    /// `R(x̄, y) ∧ R(x̄, z) ∧ y ≠ z` where the two atoms share variables on
+    /// the LHS positions and differ on the chosen RHS position.
+    pub fn to_denials(
+        &self,
+        schema: &RelationSchema,
+    ) -> Result<Vec<DenialConstraint>, RelationError> {
+        let lhs_pos = schema.positions_of(self.lhs.iter().map(String::as_str))?;
+        let rhs_pos = schema.positions_of(self.rhs.iter().map(String::as_str))?;
+        let arity = schema.arity();
+        let mut out = Vec::with_capacity(rhs_pos.len());
+        for (k, &rp) in rhs_pos.iter().enumerate() {
+            let mut vars = VarTable::new();
+            // First atom: fresh var per position.
+            let first: Vec<Term> = (0..arity)
+                .map(|i| Term::Var(vars.var(format!("a{i}"))))
+                .collect();
+            // Second atom: share LHS vars, fresh elsewhere.
+            let second: Vec<Term> = (0..arity)
+                .map(|i| {
+                    if lhs_pos.contains(&i) {
+                        first[i].clone()
+                    } else {
+                        Term::Var(vars.var(format!("b{i}")))
+                    }
+                })
+                .collect();
+            let cmp = Comparison::new(first[rp].clone(), CmpOp::Ne, second[rp].clone());
+            let body = ConjunctiveQuery {
+                vars,
+                head: Vec::new(),
+                atoms: vec![
+                    Atom::new(self.relation.clone(), first.clone()),
+                    Atom::new(self.relation.clone(), second),
+                ],
+                negated: Vec::new(),
+                comparisons: vec![cmp],
+            };
+            out.push(DenialConstraint::new(format!("{self}#{k}"), body)?);
+        }
+        Ok(out)
+    }
+
+    /// Is the FD satisfied by `db`?
+    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
+        let schema = db.require_relation(&self.relation)?.schema().clone();
+        for d in self.to_denials(&schema)? {
+            if !d.is_satisfied(db) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// All violating tuple pairs (as two-element tid sets).
+    pub fn violations(&self, db: &Database) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
+        let schema = db.require_relation(&self.relation)?.schema().clone();
+        let mut out = BTreeSet::new();
+        for d in self.to_denials(&schema)? {
+            out.extend(d.violations(db));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] -> [{}]",
+            self.relation,
+            self.lhs.join(", "),
+            self.rhs.join(", ")
+        )
+    }
+}
+
+/// A key constraint: the key attributes functionally determine all others.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyConstraint {
+    /// Relation the key applies to.
+    pub relation: String,
+    /// Key attribute names.
+    pub key: Vec<String>,
+}
+
+impl KeyConstraint {
+    /// Build a key constraint.
+    pub fn new<S: Into<String>>(
+        relation: impl Into<String>,
+        key: impl IntoIterator<Item = S>,
+    ) -> KeyConstraint {
+        KeyConstraint {
+            relation: relation.into(),
+            key: key.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The equivalent FD `key → (all other attributes)`.
+    pub fn to_fd(&self, schema: &RelationSchema) -> FunctionalDependency {
+        let rhs: Vec<String> = schema
+            .attributes()
+            .iter()
+            .map(|a| a.name.clone())
+            .filter(|n| !self.key.contains(n))
+            .collect();
+        FunctionalDependency {
+            relation: self.relation.clone(),
+            lhs: self.key.clone(),
+            rhs,
+        }
+    }
+
+    /// Compile to denial constraints (one per non-key attribute).
+    pub fn to_denials(
+        &self,
+        schema: &RelationSchema,
+    ) -> Result<Vec<DenialConstraint>, RelationError> {
+        self.to_fd(schema).to_denials(schema)
+    }
+
+    /// Is the key satisfied?
+    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
+        let schema = db.require_relation(&self.relation)?.schema().clone();
+        self.to_fd(&schema).is_satisfied(db)
+    }
+
+    /// Groups of tuples sharing a key value, for groups of size ≥ 2
+    /// (the "key-equal groups" that FO rewriting and repairs quotient by).
+    pub fn conflicting_groups(&self, db: &Database) -> Result<Vec<Vec<Tid>>, RelationError> {
+        let rel = db.require_relation(&self.relation)?;
+        let key_pos = rel
+            .schema()
+            .positions_of(self.key.iter().map(String::as_str))?;
+        let mut groups: std::collections::BTreeMap<cqa_relation::Tuple, Vec<Tid>> =
+            std::collections::BTreeMap::new();
+        for (tid, t) in rel.iter() {
+            groups.entry(t.project(&key_pos)).or_default().push(tid);
+        }
+        Ok(groups.into_values().filter(|g| g.len() >= 2).collect())
+    }
+}
+
+impl fmt::Display for KeyConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key({}: {})", self.relation, self.key.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, Database, RelationSchema};
+
+    /// The Employee instance of Example 3.3.
+    pub(crate) fn employee_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_3_3_key_violated_by_page() {
+        let db = employee_db();
+        let kc = KeyConstraint::new("Employee", ["Name"]);
+        assert!(!kc.is_satisfied(&db).unwrap());
+        let fd = FunctionalDependency::new("Employee", ["Name"], ["Salary"]);
+        let viols = fd.violations(&db).unwrap();
+        assert_eq!(viols.len(), 1);
+        assert!(viols.contains(&[Tid(1), Tid(2)].into()));
+    }
+
+    #[test]
+    fn satisfied_key() {
+        let mut db = employee_db();
+        db.delete(Tid(2)).unwrap();
+        let kc = KeyConstraint::new("Employee", ["Name"]);
+        assert!(kc.is_satisfied(&db).unwrap());
+    }
+
+    #[test]
+    fn key_to_fd_covers_all_non_key_attrs() {
+        let db = employee_db();
+        let schema = db.relation("Employee").unwrap().schema().clone();
+        let kc = KeyConstraint::new("Employee", ["Name"]);
+        let fd = kc.to_fd(&schema);
+        assert_eq!(fd.lhs, vec!["Name"]);
+        assert_eq!(fd.rhs, vec!["Salary"]);
+    }
+
+    #[test]
+    fn conflicting_groups() {
+        let db = employee_db();
+        let kc = KeyConstraint::new("Employee", ["Name"]);
+        let groups = kc.conflicting_groups(&db).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![Tid(1), Tid(2)]);
+    }
+
+    #[test]
+    fn multi_attribute_fd() {
+        // [CC, AC] -> [City], from the CFD section's base table.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Cust", ["CC", "AC", "City"]))
+            .unwrap();
+        db.insert("Cust", tuple![44, 131, "NYC"]).unwrap();
+        db.insert("Cust", tuple![44, 131, "NYC"]).unwrap(); // dedup anyway
+        db.insert("Cust", tuple![1, 908, "NYC"]).unwrap();
+        let fd = FunctionalDependency::new("Cust", ["CC", "AC"], ["City"]);
+        assert!(fd.is_satisfied(&db).unwrap());
+        db.insert("Cust", tuple![44, 131, "EDI"]).unwrap();
+        assert!(!fd.is_satisfied(&db).unwrap());
+    }
+
+    #[test]
+    fn fd_with_multiple_rhs_compiles_to_multiple_denials() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["A", "B", "C"]))
+            .unwrap();
+        db.insert("T", tuple![1, 2, 3]).unwrap();
+        let schema = db.relation("T").unwrap().schema().clone();
+        let fd = FunctionalDependency::new("T", ["A"], ["B", "C"]);
+        assert_eq!(fd.to_denials(&schema).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let db = employee_db();
+        let fd = FunctionalDependency::new("Employee", ["Nope"], ["Salary"]);
+        assert!(fd.is_satisfied(&db).is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! The conflict hyper-graph (§4.1, Figure 1) and hitting-set algorithms.
+//!
+//! Nodes are database tuples (tids); each hyper-edge is a set of tuples that
+//! jointly violate a denial constraint. The repair theory rests on two facts:
+//!
+//! * **S-repairs** (subset repairs) are exactly the complements of the
+//!   *minimal hitting sets* of the edge set — equivalently, the maximal
+//!   independent sets of the hyper-graph.
+//! * **C-repairs** (cardinality repairs) are the complements of the
+//!   *minimum* hitting sets.
+//!
+//! This module owns the purely combinatorial part: enumeration of minimal
+//! hitting sets (with pruning) and branch-and-bound computation of minimum
+//! ones. `cqa-core` wraps these into repair semantics.
+
+use cqa_relation::Tid;
+use std::collections::BTreeSet;
+
+/// A conflict hyper-graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConflictHypergraph {
+    /// All nodes (every tuple of the instance, including conflict-free ones).
+    pub nodes: BTreeSet<Tid>,
+    /// The hyper-edges: minimal violation sets. Kept deduplicated and free of
+    /// supersets (a superset edge is implied by its subset).
+    pub edges: Vec<BTreeSet<Tid>>,
+}
+
+impl ConflictHypergraph {
+    /// Build from nodes and raw violation sets; dedupes and drops edges that
+    /// are supersets of other edges (hitting the subset hits the superset).
+    pub fn new(nodes: BTreeSet<Tid>, raw_edges: impl IntoIterator<Item = BTreeSet<Tid>>) -> Self {
+        let mut edges: Vec<BTreeSet<Tid>> = raw_edges.into_iter().collect();
+        edges.sort_by_key(BTreeSet::len);
+        edges.dedup();
+        let mut kept: Vec<BTreeSet<Tid>> = Vec::with_capacity(edges.len());
+        for e in edges {
+            if !kept.iter().any(|k| k.is_subset(&e)) {
+                kept.push(e);
+            }
+        }
+        ConflictHypergraph { nodes, edges: kept }
+    }
+
+    /// Number of hyper-edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Nodes touching no edge (tuples free of conflicts — they persist in
+    /// every repair, i.e. they are part of the "consistent core").
+    pub fn isolated_nodes(&self) -> BTreeSet<Tid> {
+        let covered: BTreeSet<Tid> = self.edges.iter().flatten().copied().collect();
+        self.nodes.difference(&covered).copied().collect()
+    }
+
+    /// Is `set` a hitting set (touches every edge)?
+    pub fn is_hitting_set(&self, set: &BTreeSet<Tid>) -> bool {
+        self.edges.iter().all(|e| !e.is_disjoint(set))
+    }
+
+    /// Is `set` independent (contains no edge entirely)?
+    pub fn is_independent(&self, set: &BTreeSet<Tid>) -> bool {
+        self.edges.iter().all(|e| !e.is_subset(set))
+    }
+
+    /// Is `set` a *minimal* hitting set?
+    pub fn is_minimal_hitting_set(&self, set: &BTreeSet<Tid>) -> bool {
+        if !self.is_hitting_set(set) {
+            return false;
+        }
+        set.iter().all(|v| {
+            let mut smaller = set.clone();
+            smaller.remove(v);
+            !self.is_hitting_set(&smaller)
+        })
+    }
+
+    /// Enumerate **all minimal hitting sets**, deterministically.
+    ///
+    /// Classic branching: pick the smallest uncovered edge, branch on each of
+    /// its vertices. The raw enumeration can emit non-minimal sets (a vertex
+    /// chosen early may be made redundant by later choices), so results are
+    /// filtered by [`Self::is_minimal_hitting_set`] and deduplicated. With
+    /// `limit = Some(n)` enumeration stops after `n` minimal sets are found.
+    pub fn minimal_hitting_sets(&self, limit: Option<usize>) -> Vec<BTreeSet<Tid>> {
+        let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+        let mut current = BTreeSet::new();
+        self.enumerate_rec(&mut current, &mut out, limit);
+        out.into_iter().collect()
+    }
+
+    fn enumerate_rec(
+        &self,
+        current: &mut BTreeSet<Tid>,
+        out: &mut BTreeSet<BTreeSet<Tid>>,
+        limit: Option<usize>,
+    ) {
+        if limit.is_some_and(|l| out.len() >= l) {
+            return;
+        }
+        // Prune: a superset of an already-found minimal hitting set can only
+        // produce non-minimal sets.
+        if out.iter().any(|m| m.is_subset(current)) {
+            return;
+        }
+        match self
+            .edges
+            .iter()
+            .filter(|e| e.is_disjoint(current))
+            .min_by_key(|e| e.len())
+        {
+            None => {
+                // Every edge hit; keep if minimal.
+                if self.is_minimal_hitting_set(current) {
+                    out.insert(current.clone());
+                }
+            }
+            Some(edge) => {
+                let vertices: Vec<Tid> = edge.iter().copied().collect();
+                for v in vertices {
+                    current.insert(v);
+                    self.enumerate_rec(current, out, limit);
+                    current.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// A (not necessarily minimum) hitting set found greedily: repeatedly
+    /// take the vertex covering the most uncovered edges. Used as the upper
+    /// bound for branch-and-bound and as a fast single-repair heuristic.
+    pub fn greedy_hitting_set(&self) -> BTreeSet<Tid> {
+        let mut uncovered: Vec<&BTreeSet<Tid>> = self.edges.iter().collect();
+        let mut set = BTreeSet::new();
+        while !uncovered.is_empty() {
+            let mut counts: std::collections::BTreeMap<Tid, usize> =
+                std::collections::BTreeMap::new();
+            for e in &uncovered {
+                for &v in e.iter() {
+                    *counts.entry(v).or_default() += 1;
+                }
+            }
+            let (&best, _) = counts
+                .iter()
+                .max_by_key(|(v, c)| (**c, std::cmp::Reverse(**v)))
+                .expect("uncovered edges are non-empty");
+            set.insert(best);
+            uncovered.retain(|e| !e.contains(&best));
+        }
+        // Make it minimal: drop redundant vertices (greedy can overshoot).
+        let chosen: Vec<Tid> = set.iter().copied().collect();
+        for v in chosen {
+            let mut smaller = set.clone();
+            smaller.remove(&v);
+            if self.is_hitting_set(&smaller) {
+                set = smaller;
+            }
+        }
+        set
+    }
+
+    /// Lower bound on the hitting-set size: a greedy matching of pairwise
+    /// disjoint edges (each needs its own vertex).
+    fn disjoint_edge_bound(&self, current: &BTreeSet<Tid>) -> usize {
+        let mut used: BTreeSet<Tid> = BTreeSet::new();
+        let mut bound = 0;
+        for e in &self.edges {
+            if e.is_disjoint(current) && e.iter().all(|v| !used.contains(v)) {
+                used.extend(e.iter().copied());
+                bound += 1;
+            }
+        }
+        bound
+    }
+
+    /// The size of a minimum hitting set (0 if there are no edges).
+    pub fn minimum_hitting_set_size(&self) -> usize {
+        if self.edges.is_empty() {
+            return 0;
+        }
+        let mut best = self.greedy_hitting_set().len();
+        let mut current = BTreeSet::new();
+        self.min_size_rec(&mut current, &mut best);
+        best
+    }
+
+    fn min_size_rec(&self, current: &mut BTreeSet<Tid>, best: &mut usize) {
+        if current.len() + self.disjoint_edge_bound(current) >= *best {
+            return;
+        }
+        match self
+            .edges
+            .iter()
+            .filter(|e| e.is_disjoint(current))
+            .min_by_key(|e| e.len())
+        {
+            None => {
+                *best = current.len();
+            }
+            Some(edge) => {
+                let vertices: Vec<Tid> = edge.iter().copied().collect();
+                for v in vertices {
+                    current.insert(v);
+                    self.min_size_rec(current, best);
+                    current.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// One minimum hitting set (a witness for
+    /// [`Self::minimum_hitting_set_size`]).
+    pub fn minimum_hitting_set(&self) -> BTreeSet<Tid> {
+        let k = self.minimum_hitting_set_size();
+        let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+        let mut current = BTreeSet::new();
+        self.min_enum_first(&mut current, k, &mut out);
+        out.into_iter().next().unwrap_or_default()
+    }
+
+    fn min_enum_first(
+        &self,
+        current: &mut BTreeSet<Tid>,
+        k: usize,
+        out: &mut BTreeSet<BTreeSet<Tid>>,
+    ) {
+        if !out.is_empty() || current.len() > k {
+            return;
+        }
+        match self
+            .edges
+            .iter()
+            .filter(|e| e.is_disjoint(current))
+            .min_by_key(|e| e.len())
+        {
+            None => {
+                out.insert(current.clone());
+            }
+            Some(edge) => {
+                if current.len() == k {
+                    return;
+                }
+                let vertices: Vec<Tid> = edge.iter().copied().collect();
+                for v in vertices {
+                    current.insert(v);
+                    self.min_enum_first(current, k, out);
+                    current.remove(&v);
+                    if !out.is_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// All **minimum** hitting sets (the C-repair deltas).
+    pub fn minimum_hitting_sets(&self) -> Vec<BTreeSet<Tid>> {
+        let k = self.minimum_hitting_set_size();
+        let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+        let mut current = BTreeSet::new();
+        self.min_enum_rec(&mut current, k, &mut out);
+        out.into_iter().collect()
+    }
+
+    fn min_enum_rec(
+        &self,
+        current: &mut BTreeSet<Tid>,
+        k: usize,
+        out: &mut BTreeSet<BTreeSet<Tid>>,
+    ) {
+        if current.len() > k {
+            return;
+        }
+        match self
+            .edges
+            .iter()
+            .filter(|e| e.is_disjoint(current))
+            .min_by_key(|e| e.len())
+        {
+            None => {
+                if current.len() == k {
+                    out.insert(current.clone());
+                } else if self.is_hitting_set(current) && current.len() < k {
+                    // can only happen when k was not tight; defensive
+                    out.insert(current.clone());
+                }
+            }
+            Some(edge) => {
+                if current.len() == k {
+                    return; // budget exhausted but edges uncovered
+                }
+                let vertices: Vec<Tid> = edge.iter().copied().collect();
+                for v in vertices {
+                    current.insert(v);
+                    self.min_enum_rec(current, k, out);
+                    current.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Enumerate all **maximal independent sets** — the S-repairs themselves
+    /// (as sets of surviving tids).
+    pub fn maximal_independent_sets(&self, limit: Option<usize>) -> Vec<BTreeSet<Tid>> {
+        self.minimal_hitting_sets(limit)
+            .into_iter()
+            .map(|h| self.nodes.difference(&h).copied().collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tids(ids: &[u64]) -> BTreeSet<Tid> {
+        ids.iter().map(|&i| Tid(i)).collect()
+    }
+
+    /// The hyper-graph of Example 4.1 / Figure 1:
+    /// nodes A(a)=1, B(a)=2, C(a)=3, D(a)=4, E(a)=5;
+    /// edges {B,E}, {B,C,D}, {A,C}.
+    fn figure_1() -> ConflictHypergraph {
+        ConflictHypergraph::new(
+            tids(&[1, 2, 3, 4, 5]),
+            vec![tids(&[2, 5]), tids(&[2, 3, 4]), tids(&[1, 3])],
+        )
+    }
+
+    #[test]
+    fn figure_1_s_repairs() {
+        let g = figure_1();
+        let repairs = g.maximal_independent_sets(None);
+        assert_eq!(repairs.len(), 4);
+        // D1 = {B, C}, D2 = {C, D, E}, D3 = {A, B, D}, D4 = {E, D, A}.
+        assert!(repairs.contains(&tids(&[2, 3])));
+        assert!(repairs.contains(&tids(&[3, 4, 5])));
+        assert!(repairs.contains(&tids(&[1, 2, 4])));
+        assert!(repairs.contains(&tids(&[1, 4, 5])));
+    }
+
+    #[test]
+    fn figure_1_c_repairs() {
+        let g = figure_1();
+        assert_eq!(g.minimum_hitting_set_size(), 2);
+        let mins = g.minimum_hitting_sets();
+        // C-repairs are D2, D3, D4 (deleting 2 tuples); D1 deletes 3.
+        assert_eq!(mins.len(), 3);
+        let crepairs: Vec<BTreeSet<Tid>> = mins
+            .iter()
+            .map(|h| g.nodes.difference(h).copied().collect())
+            .collect();
+        assert!(crepairs.contains(&tids(&[3, 4, 5])));
+        assert!(crepairs.contains(&tids(&[1, 2, 4])));
+        assert!(crepairs.contains(&tids(&[1, 4, 5])));
+        assert!(!crepairs.contains(&tids(&[2, 3])));
+    }
+
+    #[test]
+    fn superset_edges_are_dropped() {
+        let g = ConflictHypergraph::new(
+            tids(&[1, 2, 3]),
+            vec![tids(&[1, 2]), tids(&[1, 2, 3]), tids(&[1, 2])],
+        );
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_form_consistent_core() {
+        let g = figure_1();
+        assert!(g.isolated_nodes().is_empty());
+        let g2 = ConflictHypergraph::new(tids(&[1, 2, 3]), vec![tids(&[1, 2])]);
+        assert_eq!(g2.isolated_nodes(), tids(&[3]));
+    }
+
+    #[test]
+    fn no_edges_means_one_empty_hitting_set() {
+        let g = ConflictHypergraph::new(tids(&[1, 2]), vec![]);
+        let hs = g.minimal_hitting_sets(None);
+        assert_eq!(hs, vec![BTreeSet::new()]);
+        assert_eq!(g.minimum_hitting_set_size(), 0);
+        assert_eq!(g.maximal_independent_sets(None), vec![tids(&[1, 2])]);
+    }
+
+    #[test]
+    fn greedy_is_hitting_and_minimal() {
+        let g = figure_1();
+        let h = g.greedy_hitting_set();
+        assert!(g.is_hitting_set(&h));
+        assert!(g.is_minimal_hitting_set(&h));
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let g = figure_1();
+        let some = g.minimal_hitting_sets(Some(2));
+        assert_eq!(some.len(), 2);
+    }
+
+    #[test]
+    fn independent_set_check() {
+        let g = figure_1();
+        assert!(g.is_independent(&tids(&[2, 3])));
+        assert!(!g.is_independent(&tids(&[2, 5])));
+    }
+
+    #[test]
+    fn exponential_family_counts() {
+        // k disjoint 2-edges → 2^k minimal hitting sets, min size k.
+        let k = 8;
+        let mut edges = Vec::new();
+        for i in 0..k {
+            edges.push(tids(&[2 * i, 2 * i + 1]));
+        }
+        let nodes: BTreeSet<Tid> = (0..2 * k).map(Tid).collect();
+        let g = ConflictHypergraph::new(nodes, edges);
+        assert_eq!(g.minimal_hitting_sets(None).len(), 1 << k);
+        assert_eq!(g.minimum_hitting_set_size(), k as usize);
+        assert_eq!(g.minimum_hitting_sets().len(), 1 << k);
+    }
+
+    #[test]
+    fn minimality_filter_rejects_redundant_sets() {
+        // Edge {1,2} and {2,3}: {1,2,3} hits both but is not minimal.
+        let g = ConflictHypergraph::new(tids(&[1, 2, 3]), vec![tids(&[1, 2]), tids(&[2, 3])]);
+        let hs = g.minimal_hitting_sets(None);
+        assert!(hs.contains(&tids(&[2])));
+        assert!(hs.contains(&tids(&[1, 3])));
+        assert_eq!(hs.len(), 2);
+        assert!(!g.is_minimal_hitting_set(&tids(&[1, 2, 3])));
+    }
+}

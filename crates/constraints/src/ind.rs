@@ -1,0 +1,427 @@
+//! Inclusion dependencies and tuple-generating dependencies (tgds).
+//!
+//! The paper's two running forms are both here:
+//!
+//! * `ID: ∀x y z (Supply(x, y, z) → Articles(z))` — a *full* tgd (Ex. 2.1):
+//!   every head variable occurs in the body, so the missing head tuple is
+//!   fully determined.
+//! * `ID′: ∀x y z (Supply(x, y, z) → ∃v Articles(z, v))` — an *existential*
+//!   tgd (Ex. 4.3): head repairs must invent a value, canonically `NULL`.
+
+use cqa_query::{
+    eval::for_each_witness, match_atom, parse_query, Atom, Bindings, ConjunctiveQuery,
+    NullSemantics, Term, Var, VarTable,
+};
+use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple-generating dependency `∀x̄ (body → ∃z̄ head)` with a single head
+/// atom. Head variables not occurring in the body are existential.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tgd {
+    /// Optional name used in reports.
+    pub name: String,
+    /// Body atoms (conjunctive, with optional comparisons via `body_cq`).
+    body: ConjunctiveQuery,
+    /// Head atom.
+    head: Atom,
+}
+
+/// One unsatisfied body match of a tgd.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TgdViolation {
+    /// Tids of the matched body atoms.
+    pub body_tids: BTreeSet<Tid>,
+    /// The head tuple demanded by this match: concrete values at positions
+    /// bound by the body, `None` at existential positions.
+    pub required_head: Vec<Option<Value>>,
+    /// Head relation name.
+    pub head_relation: String,
+}
+
+impl TgdViolation {
+    /// The head tuple with existential positions filled by plain `NULL`
+    /// (the null-based repair of §4.2).
+    pub fn head_with_nulls(&self) -> Tuple {
+        Tuple::new(
+            self.required_head
+                .iter()
+                .map(|v| v.clone().unwrap_or(Value::NULL)),
+        )
+    }
+
+    /// A fully determined head tuple, if the tgd is full.
+    pub fn head_if_full(&self) -> Option<Tuple> {
+        self.required_head
+            .iter()
+            .cloned()
+            .collect::<Option<Vec<_>>>()
+            .map(Tuple::new)
+    }
+}
+
+impl Tgd {
+    /// Build from a body CQ (head ignored) and a head atom.
+    pub fn new(
+        name: impl Into<String>,
+        body: ConjunctiveQuery,
+        head: Atom,
+    ) -> Result<Tgd, RelationError> {
+        body.check_safety().map_err(RelationError::Parse)?;
+        Ok(Tgd {
+            name: name.into(),
+            body,
+            head,
+        })
+    }
+
+    /// Parse from rule syntax with the head on the left:
+    /// `Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)")`.
+    ///
+    /// Head variables absent from the body become existential:
+    /// `Tgd::parse("ID'", "Articles(z, v) :- Supply(x, y, z)")`.
+    pub fn parse(name: impl Into<String>, rule: &str) -> Result<Tgd, RelationError> {
+        let Some((head_txt, body_txt)) = rule.split_once(":-") else {
+            return Err(RelationError::Parse("tgd must contain `:-`".into()));
+        };
+        // Reuse the query parser: parse `H(args) :- body` as one rule but
+        // allow head variables that do not occur in the body (existentials),
+        // which `parse_query` would reject. So parse body alone first.
+        let body = parse_query(&format!("Q() :- {}", body_txt.trim()))?;
+        // Parse the head atom in the *same* variable namespace by parsing
+        // "Q() :- Head(...)" with a pre-seeded parser; simplest is to parse
+        // the full rule without safety and merge variables by name.
+        let full = parse_query_unchecked(&format!("{} :- {}", head_txt.trim(), body_txt.trim()))?;
+        let _ = body;
+        let head_atom = Atom::new(
+            head_txt.trim().split('(').next().unwrap_or("").trim(),
+            full.head.clone(),
+        );
+        Tgd::new(
+            name,
+            ConjunctiveQuery {
+                head: Vec::new(),
+                ..full
+            },
+            head_atom,
+        )
+    }
+
+    /// The body as a Boolean CQ.
+    pub fn body(&self) -> &ConjunctiveQuery {
+        &self.body
+    }
+
+    /// The head atom.
+    pub fn head(&self) -> &Atom {
+        &self.head
+    }
+
+    /// Variable names.
+    pub fn vars(&self) -> &VarTable {
+        &self.body.vars
+    }
+
+    /// Existential head variables (not bound by the body).
+    pub fn existential_vars(&self) -> Vec<Var> {
+        let bound = self.body.positive_vars();
+        self.head
+            .vars()
+            .filter(|v| !bound.contains(v))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Is the tgd *full* (no existential variables)?
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Check whether a given body binding has a matching head tuple.
+    fn head_satisfied(&self, db: &Database, bindings: &Bindings) -> bool {
+        let Some(rel) = db.relation(&self.head.relation) else {
+            return false;
+        };
+        let mut scratch = bindings.clone();
+        for (_, t) in rel.iter() {
+            if let Some(newly) = match_atom(&self.head, t, &mut scratch, NullSemantics::Structural)
+            {
+                for v in newly {
+                    scratch.unset(v);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Is the tgd satisfied by `db`?
+    pub fn is_satisfied(&self, db: &Database) -> bool {
+        self.violations(db).is_empty()
+    }
+
+    /// All violations: body matches with no corresponding head tuple.
+    pub fn violations(&self, db: &Database) -> Vec<TgdViolation> {
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(BTreeSet<Tid>, Vec<Option<Value>>)> = BTreeSet::new();
+        for_each_witness(db, &self.body, NullSemantics::Structural, &mut |w| {
+            if !self.head_satisfied(db, &w.bindings) {
+                let required: Vec<Option<Value>> = self
+                    .head
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Some(c.clone()),
+                        Term::Var(v) => w.bindings.get(*v).cloned(),
+                    })
+                    .collect();
+                let tids: BTreeSet<Tid> = w.tids.iter().copied().collect();
+                if seen.insert((tids.clone(), required.clone())) {
+                    out.push(TgdViolation {
+                        body_tids: tids,
+                        required_head: required,
+                        head_relation: self.head.relation.clone(),
+                    });
+                }
+            }
+            true
+        });
+        out
+    }
+}
+
+/// Parse a rule allowing unsafe head variables (internal helper for tgds).
+fn parse_query_unchecked(rule: &str) -> Result<ConjunctiveQuery, RelationError> {
+    // `parse_query` enforces safety, which existential tgd heads violate; we
+    // re-lex here via a tiny wrapper: temporarily append the head vars as a
+    // dummy positive atom, parse, then strip it.
+    let Some((head_txt, body_txt)) = rule.split_once(":-") else {
+        return Err(RelationError::Parse("expected `:-`".into()));
+    };
+    let head_args = head_txt
+        .trim()
+        .trim_end_matches(')')
+        .split_once('(')
+        .map(|(_, a)| a)
+        .unwrap_or("");
+    let dummy = format!(
+        "Q({head_args}) :- {}, ZZdummyZZ({head_args})",
+        body_txt.trim()
+    );
+    let mut q = parse_query(&dummy)?;
+    q.atoms.retain(|a| a.relation != "ZZdummyZZ");
+    Ok(q)
+}
+
+/// A unary/projected inclusion dependency `R[X] ⊆ S[Y]` by attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionDependency {
+    /// Source relation.
+    pub from_relation: String,
+    /// Source attribute names.
+    pub from_attrs: Vec<String>,
+    /// Target relation.
+    pub to_relation: String,
+    /// Target attribute names.
+    pub to_attrs: Vec<String>,
+}
+
+impl InclusionDependency {
+    /// Build `from[from_attrs] ⊆ to[to_attrs]`.
+    pub fn new<S: Into<String>>(
+        from_relation: impl Into<String>,
+        from_attrs: impl IntoIterator<Item = S>,
+        to_relation: impl Into<String>,
+        to_attrs: impl IntoIterator<Item = S>,
+    ) -> InclusionDependency {
+        InclusionDependency {
+            from_relation: from_relation.into(),
+            from_attrs: from_attrs.into_iter().map(Into::into).collect(),
+            to_relation: to_relation.into(),
+            to_attrs: to_attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Compile to a [`Tgd`] against the database's schemas. Target attributes
+    /// not in `to_attrs` become existential variables.
+    pub fn to_tgd(&self, db: &Database) -> Result<Tgd, RelationError> {
+        let from = db.require_relation(&self.from_relation)?.schema().clone();
+        let to = db.require_relation(&self.to_relation)?.schema().clone();
+        let from_pos = from.positions_of(self.from_attrs.iter().map(String::as_str))?;
+        let to_pos = to.positions_of(self.to_attrs.iter().map(String::as_str))?;
+        if from_pos.len() != to_pos.len() {
+            return Err(RelationError::Parse(format!(
+                "inclusion dependency {self}: attribute lists differ in length"
+            )));
+        }
+        let mut vars = VarTable::new();
+        let body_terms: Vec<Term> = (0..from.arity())
+            .map(|i| Term::Var(vars.var(format!("x{i}"))))
+            .collect();
+        let head_terms: Vec<Term> = (0..to.arity())
+            .map(|i| {
+                if let Some(k) = to_pos.iter().position(|&p| p == i) {
+                    body_terms[from_pos[k]].clone()
+                } else {
+                    Term::Var(vars.var(format!("e{i}")))
+                }
+            })
+            .collect();
+        let body = ConjunctiveQuery {
+            vars,
+            head: Vec::new(),
+            atoms: vec![Atom::new(self.from_relation.clone(), body_terms)],
+            negated: Vec::new(),
+            comparisons: Vec::new(),
+        };
+        Tgd::new(
+            format!("{self}"),
+            body,
+            Atom::new(self.to_relation.clone(), head_terms),
+        )
+    }
+}
+
+impl fmt::Display for InclusionDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] <= {}[{}]",
+            self.from_relation,
+            self.from_attrs.join(", "),
+            self.to_relation,
+            self.to_attrs.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, Database, RelationSchema};
+
+    /// The instance of Example 2.1.
+    pub(crate) fn supply_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1"]).unwrap();
+        db.insert("Articles", tuple!["I2"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_2_1_id_is_violated() {
+        let db = supply_db();
+        let id = Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap();
+        assert!(id.is_full());
+        assert!(!id.is_satisfied(&db));
+        let viols = id.violations(&db);
+        assert_eq!(viols.len(), 1);
+        assert_eq!(viols[0].body_tids, [Tid(3)].into());
+        assert_eq!(viols[0].head_if_full(), Some(tuple!["I3"]));
+    }
+
+    #[test]
+    fn example_4_3_existential_tgd() {
+        // Articles now has a Cost column; ID′ demands ∃v Articles(z, v).
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item", "Cost"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1", 50]).unwrap();
+        db.insert("Articles", tuple!["I2", 30]).unwrap();
+        let idp = Tgd::parse("ID'", "Articles(z, v) :- Supply(x, y, z)").unwrap();
+        assert!(!idp.is_full());
+        assert_eq!(idp.existential_vars().len(), 1);
+        let viols = idp.violations(&db);
+        assert_eq!(viols.len(), 1);
+        assert_eq!(viols[0].head_if_full(), None);
+        assert_eq!(
+            viols[0].head_with_nulls(),
+            cqa_relation::Tuple::new(vec![Value::str("I3"), Value::NULL])
+        );
+    }
+
+    #[test]
+    fn satisfied_after_insertion() {
+        let mut db = supply_db();
+        db.insert("Articles", tuple!["I3"]).unwrap();
+        let id = Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap();
+        assert!(id.is_satisfied(&db));
+    }
+
+    #[test]
+    fn satisfied_after_deletion() {
+        let mut db = supply_db();
+        db.delete(Tid(3)).unwrap();
+        let id = Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap();
+        assert!(id.is_satisfied(&db));
+    }
+
+    #[test]
+    fn inclusion_dependency_sugar_compiles() {
+        let db = supply_db();
+        let ind = InclusionDependency::new("Supply", ["Item"], "Articles", ["Item"]);
+        let tgd = ind.to_tgd(&db).unwrap();
+        assert!(tgd.is_full());
+        assert!(!tgd.is_satisfied(&db));
+        assert_eq!(tgd.violations(&db).len(), 1);
+    }
+
+    #[test]
+    fn ind_with_existential_target_positions() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item", "Cost"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        let ind = InclusionDependency::new("Supply", ["Item"], "Articles", ["Item"]);
+        let tgd = ind.to_tgd(&db).unwrap();
+        assert!(!tgd.is_full());
+        assert_eq!(tgd.violations(&db).len(), 1);
+    }
+
+    #[test]
+    fn multi_atom_body_tgd() {
+        // Every supplied official article must have a cost entry:
+        // Cost(z) required when Supply(...z) and Articles(z) both hold.
+        let mut db = supply_db();
+        db.create_relation(RelationSchema::new("Cost", ["Item"]))
+            .unwrap();
+        let tgd = Tgd::parse("C", "Cost(z) :- Supply(x, y, z), Articles(z)").unwrap();
+        let viols = tgd.violations(&db);
+        assert_eq!(viols.len(), 2); // I1 and I2
+        db.insert("Cost", tuple!["I1"]).unwrap();
+        db.insert("Cost", tuple!["I2"]).unwrap();
+        assert!(tgd.is_satisfied(&db));
+    }
+
+    #[test]
+    fn mismatched_attr_lists_rejected() {
+        let db = supply_db();
+        let ind = InclusionDependency::new("Supply", ["Item", "Company"], "Articles", ["Item"]);
+        assert!(ind.to_tgd(&db).is_err());
+    }
+}

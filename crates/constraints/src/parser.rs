@@ -1,0 +1,236 @@
+//! A line-based text format for constraint sets (Σ files).
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! key Employee(Name)
+//! key Orders(Id, Line)
+//! fd  Employee: Name -> Salary
+//! fd  Cust: CC, AC -> City
+//! dc  S(x), R(x, y), S(y)
+//! tgd Articles(z) :- Supply(x, y, z)
+//! cfd Cust: CC=44, Zip -> Street
+//! cfd Cust: CC=44 -> City=EDI
+//! ```
+//!
+//! Values on the right of `=` in CFDs parse like query constants: numbers,
+//! quoted strings, or bare uppercase-initial identifiers.
+
+use crate::cfd::ConditionalFd;
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::denial::DenialConstraint;
+use crate::fd::{FunctionalDependency, KeyConstraint};
+use crate::ind::Tgd;
+use cqa_relation::{RelationError, Value};
+
+fn err(lineno: usize, msg: impl Into<String>) -> RelationError {
+    RelationError::Parse(format!("line {lineno}: {}", msg.into()))
+}
+
+/// Parse a Σ file into a [`ConstraintSet`].
+pub fn parse_constraints(input: &str) -> Result<ConstraintSet, RelationError> {
+    let mut sigma = ConstraintSet::new();
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kind, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(lineno, "expected `<kind> <spec>`"))?;
+        let rest = rest.trim();
+        let c: Constraint = match kind {
+            "key" => parse_key(rest).map_err(|m| err(lineno, m))?.into(),
+            "fd" => parse_fd(rest).map_err(|m| err(lineno, m))?.into(),
+            "dc" => DenialConstraint::parse(format!("dc{lineno}"), rest)
+                .map_err(|e| err(lineno, e.to_string()))?
+                .into(),
+            "tgd" | "ind" => Tgd::parse(format!("tgd{lineno}"), rest)
+                .map_err(|e| err(lineno, e.to_string()))?
+                .into(),
+            "cfd" => parse_cfd(rest).map_err(|m| err(lineno, m))?.into(),
+            other => return Err(err(lineno, format!("unknown constraint kind `{other}`"))),
+        };
+        sigma.push(c);
+    }
+    Ok(sigma)
+}
+
+fn parse_key(spec: &str) -> Result<KeyConstraint, String> {
+    // `Relation(Attr, Attr, …)`
+    let (rel, rest) = spec.split_once('(').ok_or("expected `Relation(attrs…)`")?;
+    let attrs: Vec<String> = rest
+        .trim_end_matches(')')
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if attrs.is_empty() {
+        return Err("key needs at least one attribute".into());
+    }
+    Ok(KeyConstraint::new(rel.trim(), attrs))
+}
+
+fn parse_fd(spec: &str) -> Result<FunctionalDependency, String> {
+    // `Relation: A, B -> C, D`
+    let (rel, rest) = spec
+        .split_once(':')
+        .ok_or("expected `Relation: lhs -> rhs`")?;
+    let (lhs, rhs) = rest.split_once("->").ok_or("expected `lhs -> rhs`")?;
+    let split = |s: &str| -> Vec<String> {
+        s.split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect()
+    };
+    let (lhs, rhs) = (split(lhs), split(rhs));
+    if lhs.is_empty() || rhs.is_empty() {
+        return Err("FD sides may not be empty".into());
+    }
+    Ok(FunctionalDependency::new(rel.trim(), lhs, rhs))
+}
+
+fn parse_cfd(spec: &str) -> Result<ConditionalFd, String> {
+    // `Relation: A=1, B -> C` or `Relation: A=1 -> C=x`
+    let (rel, rest) = spec
+        .split_once(':')
+        .ok_or("expected `Relation: lhs -> rhs`")?;
+    let (lhs_txt, rhs_txt) = rest.split_once("->").ok_or("expected `lhs -> rhs`")?;
+    let mut lhs: Vec<(&str, Option<Value>)> = Vec::new();
+    let mut lhs_storage: Vec<(String, Option<Value>)> = Vec::new();
+    for part in lhs_txt.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            Some((attr, val)) => {
+                lhs_storage.push((attr.trim().to_string(), Some(parse_value(val.trim())?)));
+            }
+            None => lhs_storage.push((part.to_string(), None)),
+        }
+    }
+    if lhs_storage.is_empty() {
+        return Err("CFD LHS may not be empty".into());
+    }
+    for (a, v) in &lhs_storage {
+        lhs.push((a.as_str(), v.clone()));
+    }
+    let rhs_txt = rhs_txt.trim();
+    let (rhs_attr, rhs_pattern) = match rhs_txt.split_once('=') {
+        Some((attr, val)) => (attr.trim(), Some(parse_value(val.trim())?)),
+        None => (rhs_txt, None),
+    };
+    if rhs_attr.is_empty() {
+        return Err("CFD RHS attribute missing".into());
+    }
+    Ok(ConditionalFd::new(rel.trim(), lhs, rhs_attr, rhs_pattern))
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err("empty value".into());
+    }
+    if let Some(stripped) = text.strip_prefix('\'') {
+        return Ok(Value::str(stripped.trim_end_matches('\'')));
+    }
+    if text == "NULL" {
+        return Ok(Value::NULL);
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Ok(Value::str(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_kinds() {
+        let sigma = parse_constraints(
+            "# payroll\n\
+             key Employee(Name)\n\
+             fd  Cust: CC, AC -> City\n\
+             dc  S(x), R(x, y), S(y)\n\
+             tgd Articles(z) :- Supply(x, y, z)\n\
+             cfd Cust: CC=44, Zip -> Street\n\
+             cfd Cust: CC=44 -> City=EDI\n",
+        )
+        .unwrap();
+        assert_eq!(sigma.len(), 6);
+        assert!(matches!(sigma.constraints[0], Constraint::Key(_)));
+        assert!(matches!(sigma.constraints[1], Constraint::Fd(_)));
+        assert!(matches!(sigma.constraints[2], Constraint::Denial(_)));
+        assert!(matches!(sigma.constraints[3], Constraint::Tgd(_)));
+        assert!(matches!(sigma.constraints[4], Constraint::Cfd(_)));
+        assert!(matches!(sigma.constraints[5], Constraint::Cfd(_)));
+    }
+
+    #[test]
+    fn key_and_fd_details() {
+        let sigma = parse_constraints("key Orders(Id, Line)\nfd T: A -> B, C").unwrap();
+        let Constraint::Key(k) = &sigma.constraints[0] else {
+            panic!()
+        };
+        assert_eq!(k.key, vec!["Id", "Line"]);
+        let Constraint::Fd(fd) = &sigma.constraints[1] else {
+            panic!()
+        };
+        assert_eq!(fd.lhs, vec!["A"]);
+        assert_eq!(fd.rhs, vec!["B", "C"]);
+    }
+
+    #[test]
+    fn cfd_values_parse_typed() {
+        let sigma = parse_constraints("cfd T: A=44, B='x y' -> C=2.5").unwrap();
+        let Constraint::Cfd(cfd) = &sigma.constraints[0] else {
+            panic!()
+        };
+        assert_eq!(cfd.lhs.len(), 2);
+        assert_eq!(
+            cfd.lhs[0].pattern,
+            crate::cfd::Pattern::Const(Value::int(44))
+        );
+        assert_eq!(
+            cfd.lhs[1].pattern,
+            crate::cfd::Pattern::Const(Value::str("x y"))
+        );
+        assert_eq!(
+            cfd.rhs_pattern,
+            crate::cfd::Pattern::Const(Value::Float(2.5))
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_constraints("key Employee(Name)\nwhat T: A -> B").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        let e2 = parse_constraints("fd T A -> B").unwrap_err();
+        assert!(e2.to_string().contains("line 1"));
+        assert!(parse_constraints("key T()").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_satisfaction() {
+        use cqa_relation::{tuple, Database, RelationSchema};
+        let sigma = parse_constraints("key T(K)\ncfd T: K=1 -> V=10").unwrap();
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, 10]).unwrap();
+        assert!(sigma.is_satisfied(&db).unwrap());
+        db.insert("T", tuple![1, 20]).unwrap();
+        assert!(!sigma.is_satisfied(&db).unwrap());
+    }
+}

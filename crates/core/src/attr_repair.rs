@@ -1,0 +1,324 @@
+//! Attribute-based repairs via `NULL` (§4.3 of the paper).
+//!
+//! Repair actions replace individual attribute values by the SQL `NULL`
+//! (which never satisfies a join or comparison). For denial constraints this
+//! is monotone: nullifying a cell can destroy violation witnesses but never
+//! create one, so the minimal change sets are exactly the minimal hitting
+//! sets over the *relevant cells* of each violation witness — the cells whose
+//! value the witness actually uses (constants matched, join variables,
+//! comparison variables).
+
+use cqa_constraints::{ConstraintSet, DenialConstraint};
+use cqa_query::{eval::for_each_witness, NullSemantics, Term, Var};
+use cqa_relation::{Database, RelationError, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One attribute-level change: set `tid`'s attribute at `position` to NULL.
+///
+/// Rendered `ι6\[1\]` — following the paper, displayed positions are 1-based
+/// ("the tids use position 0").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellChange {
+    /// The tuple changed.
+    pub tid: Tid,
+    /// 0-based attribute position within the tuple.
+    pub position: usize,
+}
+
+impl fmt::Display for CellChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.tid, self.position + 1)
+    }
+}
+
+/// An attribute-based repair: the set of cells nulled, and the repaired
+/// instance (same tids, updated tuples).
+#[derive(Debug, Clone)]
+pub struct AttributeRepair {
+    /// The minimal set of changes.
+    pub changes: BTreeSet<CellChange>,
+    /// The repaired instance.
+    pub db: Database,
+}
+
+impl AttributeRepair {
+    fn apply(
+        original: &Database,
+        changes: &BTreeSet<CellChange>,
+    ) -> Result<Database, RelationError> {
+        let mut db = original.clone();
+        for c in changes {
+            // Fresh *labelled* nulls keep nulled tuples structurally distinct
+            // (two tuples nulled into the same shape must not collapse — the
+            // paper's repairs are tid-preserving). SQL-semantics evaluation
+            // is label-blind, so constraint checking is unaffected.
+            let null = db.fresh_null();
+            db.update_value(c.tid, c.position, null)?;
+        }
+        Ok(db)
+    }
+}
+
+impl fmt::Display for AttributeRepair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attribute repair {{")?;
+        for (i, c) in self.changes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// For one denial constraint, compute each violation witness's *relevant
+/// cells*: nulling any one of them falsifies that witness.
+fn witness_cell_sets(db: &Database, dc: &DenialConstraint) -> Vec<BTreeSet<CellChange>> {
+    let body = dc.body();
+    // A variable is "join-relevant" if it occurs at ≥ 2 atom positions or in
+    // any comparison; a constant position is always relevant.
+    let mut var_occurrences: BTreeMap<Var, usize> = BTreeMap::new();
+    for atom in &body.atoms {
+        for v in atom.vars() {
+            *var_occurrences.entry(v).or_default() += 1;
+        }
+    }
+    let cmp_vars: BTreeSet<Var> = body.comparisons.iter().flat_map(|c| c.vars()).collect();
+    let relevant = |term: &Term| -> bool {
+        match term {
+            Term::Const(_) => true,
+            Term::Var(v) => {
+                var_occurrences.get(v).copied().unwrap_or(0) >= 2 || cmp_vars.contains(v)
+            }
+        }
+    };
+
+    let mut out = Vec::new();
+    for_each_witness(db, body, NullSemantics::Sql, &mut |w| {
+        let mut cells = BTreeSet::new();
+        for (atom, &tid) in body.atoms.iter().zip(&w.tids) {
+            for (pos, term) in atom.terms.iter().enumerate() {
+                if relevant(term) {
+                    cells.insert(CellChange { tid, position: pos });
+                }
+            }
+        }
+        if cells.is_empty() {
+            // A witness with no relevant cell cannot be repaired by nulls
+            // (e.g. ¬∃x R(x) with a single-use variable). Record an
+            // unhittable marker; the caller reports failure.
+            out.push(BTreeSet::new());
+        } else {
+            out.push(cells);
+        }
+        true
+    });
+    out
+}
+
+/// Enumerate all minimal attribute-based null repairs of `db` w.r.t. the
+/// denial-class constraint set `sigma`.
+///
+/// Errors if `sigma` contains a tgd (attribute repairs are defined for DCs)
+/// or if some violation has no null-repairable cell.
+pub fn attribute_repairs(
+    db: &Database,
+    sigma: &ConstraintSet,
+) -> Result<Vec<AttributeRepair>, RelationError> {
+    if !sigma.is_denial_class() {
+        return Err(RelationError::Parse(
+            "attribute-based repairs are defined for denial-class constraints only".into(),
+        ));
+    }
+    let mut cell_sets: Vec<BTreeSet<CellChange>> = Vec::new();
+    for dc in sigma.all_denials(db)? {
+        for s in witness_cell_sets(db, &dc) {
+            if s.is_empty() {
+                return Err(RelationError::Parse(format!(
+                    "constraint `{}` has a violation no attribute change can repair",
+                    dc.name
+                )));
+            }
+            cell_sets.push(s);
+        }
+    }
+    // Minimal hitting sets over cells. Reuse the tid-based hypergraph by
+    // packing (tid, position) into a synthetic id.
+    let pack = |c: &CellChange| -> Tid { Tid(c.tid.0 * 1_000_000 + c.position as u64) };
+    let unpack = |t: Tid| -> CellChange {
+        CellChange {
+            tid: Tid(t.0 / 1_000_000),
+            position: (t.0 % 1_000_000) as usize,
+        }
+    };
+    let nodes: BTreeSet<Tid> = cell_sets.iter().flatten().map(pack).collect();
+    let graph = cqa_constraints::ConflictHypergraph::new(
+        nodes,
+        cell_sets
+            .iter()
+            .map(|s| s.iter().map(pack).collect::<BTreeSet<Tid>>()),
+    );
+    let mut repairs = Vec::new();
+    for hs in graph.minimal_hitting_sets(None) {
+        let changes: BTreeSet<CellChange> = hs.into_iter().map(unpack).collect();
+        let repaired = AttributeRepair::apply(db, &changes)?;
+        // Nulling is monotone for DCs, so consistency is guaranteed; assert
+        // it in debug builds as a cross-check of the relevance analysis.
+        debug_assert!(sigma.is_satisfied(&repaired).unwrap_or(false));
+        repairs.push(AttributeRepair {
+            changes,
+            db: repaired,
+        });
+    }
+    repairs.sort_by(|a, b| a.changes.cmp(&b.changes));
+    Ok(repairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, RelationSchema};
+
+    /// Example 3.5 / 4.4's instance and κ.
+    fn example_db() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+        db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+        db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+        db.insert("S", tuple!["a4"]).unwrap(); // ι4
+        db.insert("S", tuple!["a2"]).unwrap(); // ι5
+        db.insert("S", tuple!["a3"]).unwrap(); // ι6
+        let sigma =
+            ConstraintSet::from_iter([
+                DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()
+            ]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn example_4_4_two_attribute_repairs() {
+        let (db, sigma) = example_db();
+        let repairs = attribute_repairs(&db, &sigma).unwrap();
+        let change_sets: Vec<BTreeSet<CellChange>> =
+            repairs.iter().map(|r| r.changes.clone()).collect();
+        // The paper's two repairs: {ι6[1]} and {ι1[2], ι3[2]}.
+        let c61 = CellChange {
+            tid: Tid(6),
+            position: 0,
+        };
+        let c12 = CellChange {
+            tid: Tid(1),
+            position: 1,
+        };
+        let c32 = CellChange {
+            tid: Tid(3),
+            position: 1,
+        };
+        assert!(change_sets.contains(&[c61].into()));
+        assert!(change_sets.contains(&[c12, c32].into()));
+        // Minimality: both are minimal under set inclusion; other minimal
+        // hitting sets may exist (e.g. nulling R's first attribute), but the
+        // paper's two must be among them and every repair must be consistent.
+        for r in &repairs {
+            assert!(sigma.is_satisfied(&r.db).unwrap());
+        }
+    }
+
+    #[test]
+    fn nulled_repair_preserves_tuple_count_and_tids() {
+        let (db, sigma) = example_db();
+        let repairs = attribute_repairs(&db, &sigma).unwrap();
+        for r in &repairs {
+            assert_eq!(r.db.total_tuples(), db.total_tuples());
+            assert_eq!(r.db.tids(), db.tids());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let c = CellChange {
+            tid: Tid(6),
+            position: 0,
+        };
+        assert_eq!(c.to_string(), "ι6[1]");
+    }
+
+    #[test]
+    fn consistent_instance_yields_empty_repair() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("S", tuple!["a"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([DenialConstraint::parse("k", "S(x), S(y), x != y").unwrap()]);
+        let repairs = attribute_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].changes.is_empty());
+    }
+
+    #[test]
+    fn tgds_are_rejected() {
+        let (db, mut sigma) = example_db();
+        sigma.push(cqa_constraints::Tgd::parse("t", "S(x) :- R(x, y)").unwrap());
+        assert!(attribute_repairs(&db, &sigma).is_err());
+    }
+
+    #[test]
+    fn unrepairable_single_atom_no_join() {
+        // ¬∃x S(x) — the lone variable joins nothing; no cell change helps.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("S", tuple!["a"]).unwrap();
+        let sigma = ConstraintSet::from_iter([DenialConstraint::parse("empty", "S(x)").unwrap()]);
+        assert!(attribute_repairs(&db, &sigma).is_err());
+    }
+
+    #[test]
+    fn constant_position_is_repairable() {
+        // ¬∃y Articles('I3', y): nulling the constant-matched cell works.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Articles", ["Item", "Cost"]))
+            .unwrap();
+        db.insert("Articles", tuple!["I3", 10]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([
+                DenialConstraint::parse("noI3", "Articles('I3', y)").unwrap()
+            ]);
+        let repairs = attribute_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(
+            repairs[0].changes,
+            [CellChange {
+                tid: Tid(1),
+                position: 0
+            }]
+            .into()
+        );
+        assert!(sigma.is_satisfied(&repairs[0].db).unwrap());
+    }
+
+    #[test]
+    fn fd_attribute_repairs() {
+        // Key violation repaired by nulling a key or value cell.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, 10]).unwrap();
+        db.insert("T", tuple![1, 20]).unwrap();
+        let sigma = ConstraintSet::from_iter([cqa_constraints::FunctionalDependency::new(
+            "T",
+            ["K"],
+            ["V"],
+        )]);
+        let repairs = attribute_repairs(&db, &sigma).unwrap();
+        assert!(!repairs.is_empty());
+        for r in &repairs {
+            assert_eq!(r.changes.len(), 1); // one cell always suffices
+            assert!(sigma.is_satisfied(&r.db).unwrap());
+        }
+    }
+}

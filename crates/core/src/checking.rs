@@ -1,0 +1,291 @@
+//! Repair checking and repair counting (§3.2; Afrati–Kolaitis \[1\],
+//! Maslowski–Wijsen \[90\], Livshits–Kimelfeld \[84\]).
+//!
+//! *Repair checking*: given instances `D` and `D'` and constraints Σ, decide
+//! whether `D'` is a repair of `D` under a given semantics. For the
+//! denial-class deletion semantics this is polynomial (consistency +
+//! maximality of the kept set); for the general S-repair semantics we check
+//! ⊆-minimality of the delta exactly, which is exponential in `|Δ|` — fine in
+//! practice because real deltas are small, and documented here because the
+//! paper stresses the complexity asymmetry.
+
+use crate::repair::Change;
+use cqa_constraints::ConstraintSet;
+use cqa_relation::{Database, RelationError, Tid};
+use std::collections::BTreeSet;
+
+/// Which repair semantics a check refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairSemantics {
+    /// ⊆-minimal symmetric difference (S-repairs).
+    Subset,
+    /// Minimum-cardinality symmetric difference (C-repairs).
+    Cardinality,
+}
+
+/// Compute the content-level symmetric difference `D Δ D'`.
+pub fn symmetric_difference(d: &Database, d_prime: &Database) -> BTreeSet<Change> {
+    let a = d.content_set();
+    let b = d_prime.content_set();
+    let mut delta = BTreeSet::new();
+    for (rel, t) in a.difference(&b) {
+        delta.insert(Change::Delete {
+            relation: rel.clone(),
+            tuple: t.clone(),
+        });
+    }
+    for (rel, t) in b.difference(&a) {
+        delta.insert(Change::Insert {
+            relation: rel.clone(),
+            tuple: t.clone(),
+        });
+    }
+    delta
+}
+
+/// Apply a subset of a delta to `D` (helper for minimality checks).
+fn apply_changes(d: &Database, changes: &BTreeSet<&Change>) -> Result<Database, RelationError> {
+    let mut deletions: BTreeSet<Tid> = BTreeSet::new();
+    let mut insertions: Vec<(String, cqa_relation::Tuple)> = Vec::new();
+    for c in changes {
+        match c {
+            Change::Delete { relation, tuple } => {
+                let rel = d.require_relation(relation)?;
+                if let Some(tid) = rel.tid_of(tuple) {
+                    deletions.insert(tid);
+                }
+            }
+            Change::Insert { relation, tuple } => {
+                insertions.push((relation.clone(), tuple.clone()));
+            }
+        }
+    }
+    Ok(d.with_changes(&deletions, &insertions)?.0)
+}
+
+/// Is `d_prime` an S-repair of `d` w.r.t. `sigma`?
+///
+/// Checks (1) `D' ⊨ Σ` and (2) no proper subset of `D Δ D'` yields a
+/// consistent instance. Step (2) enumerates subsets of the delta
+/// (exponential in `|Δ|`, with early exit on the first consistent subset).
+pub fn is_s_repair(
+    d: &Database,
+    d_prime: &Database,
+    sigma: &ConstraintSet,
+) -> Result<bool, RelationError> {
+    if !sigma.is_satisfied(d_prime)? {
+        return Ok(false);
+    }
+    let delta: Vec<Change> = symmetric_difference(d, d_prime).into_iter().collect();
+    if delta.is_empty() {
+        return Ok(true); // D was consistent and D' = D
+    }
+    // If D itself is consistent, only the empty delta is a repair.
+    if sigma.is_satisfied(d)? {
+        return Ok(false);
+    }
+    // Enumerate proper subsets, largest first (more likely consistent, so
+    // failure is found fast); skip the full set.
+    let n = delta.len();
+    if n > 24 {
+        return Err(RelationError::Parse(format!(
+            "repair checking delta too large ({n} changes > 24): refusing 2^n subset check"
+        )));
+    }
+    let mut masks: Vec<u32> = (0..(1u32 << n) - 1).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    for mask in masks {
+        let subset: BTreeSet<&Change> = delta
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let candidate = apply_changes(d, &subset)?;
+        if sigma.is_satisfied(&candidate)? {
+            return Ok(false); // a smaller delta already repairs D
+        }
+    }
+    Ok(true)
+}
+
+/// Is `d_prime` a C-repair of `d` w.r.t. `sigma`?
+pub fn is_c_repair(
+    d: &Database,
+    d_prime: &Database,
+    sigma: &ConstraintSet,
+) -> Result<bool, RelationError> {
+    if !sigma.is_satisfied(d_prime)? {
+        return Ok(false);
+    }
+    let delta = symmetric_difference(d, d_prime);
+    let min = crate::crepair::min_repair_distance(d, sigma)?;
+    Ok(delta.len() == min)
+}
+
+/// Repair checking under an explicit semantics.
+pub fn is_repair(
+    d: &Database,
+    d_prime: &Database,
+    sigma: &ConstraintSet,
+    semantics: RepairSemantics,
+) -> Result<bool, RelationError> {
+    match semantics {
+        RepairSemantics::Subset => is_s_repair(d, d_prime, sigma),
+        RepairSemantics::Cardinality => is_c_repair(d, d_prime, sigma),
+    }
+}
+
+/// Count the S-repairs of `d` (by enumeration; see \[90\] for the dichotomy
+/// between `#P`-hard and poly-time counting — this engine implements the
+/// general, exponential case, plus [`count_key_repairs`] for the classic
+/// poly-time special case).
+pub fn count_s_repairs(d: &Database, sigma: &ConstraintSet) -> Result<usize, RelationError> {
+    Ok(crate::srepair::s_repairs(d, sigma)?.len())
+}
+
+/// Fast repair counting for a single key constraint: the repairs of a
+/// key-violating relation are the choices of one tuple per key group, so
+/// their number is the product of the group sizes.
+pub fn count_key_repairs(
+    d: &Database,
+    key: &cqa_constraints::KeyConstraint,
+) -> Result<u128, RelationError> {
+    let groups = key.conflicting_groups(d)?;
+    Ok(groups.iter().map(|g| g.len() as u128).product())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{KeyConstraint, Tgd};
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn employee() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn accepts_true_s_repairs() {
+        let (db, sigma) = employee();
+        for r in crate::srepair::s_repairs(&db, &sigma).unwrap() {
+            assert!(is_s_repair(&db, &r.db, &sigma).unwrap());
+            assert!(is_c_repair(&db, &r.db, &sigma).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_and_non_minimal() {
+        let (db, sigma) = employee();
+        // D itself: inconsistent.
+        assert!(!is_s_repair(&db, &db, &sigma).unwrap());
+        // Over-deleting: consistent but not minimal.
+        let (over, _) = db
+            .with_changes(&[Tid(1), Tid(2), Tid(3)].into(), &[])
+            .unwrap();
+        assert!(sigma.is_satisfied(&over).unwrap());
+        assert!(!is_s_repair(&db, &over, &sigma).unwrap());
+        assert!(!is_c_repair(&db, &over, &sigma).unwrap());
+    }
+
+    #[test]
+    fn consistent_original_repairs_only_itself() {
+        let (mut db, sigma) = employee();
+        db.delete(Tid(2)).unwrap();
+        assert!(is_s_repair(&db, &db, &sigma).unwrap());
+        let (smaller, _) = db.with_changes(&[Tid(3)].into(), &[]).unwrap();
+        assert!(!is_s_repair(&db, &smaller, &sigma).unwrap());
+    }
+
+    #[test]
+    fn s_but_not_c() {
+        // Figure-1-style: {B,C} is an S-repair but not a C-repair.
+        let mut db = Database::new();
+        for r in ["A", "B", "C", "D", "E"] {
+            db.create_relation(RelationSchema::new(r, ["X"])).unwrap();
+            db.insert(r, tuple!["a"]).unwrap();
+        }
+        let sigma = ConstraintSet::from_iter([
+            cqa_constraints::DenialConstraint::parse("d1", "B(x), E(x)").unwrap(),
+            cqa_constraints::DenialConstraint::parse("d2", "B(x), C(x), D(x)").unwrap(),
+            cqa_constraints::DenialConstraint::parse("d3", "A(x), C(x)").unwrap(),
+        ]);
+        // keep {B, C} = tids {2, 3}: delete {1, 4, 5}.
+        let (d1, _) = db
+            .with_changes(&[Tid(1), Tid(4), Tid(5)].into(), &[])
+            .unwrap();
+        assert!(is_s_repair(&db, &d1, &sigma).unwrap());
+        assert!(!is_c_repair(&db, &d1, &sigma).unwrap());
+    }
+
+    #[test]
+    fn insertion_repair_checks() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Supply", ["C", "R", "I"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["I"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap()]);
+        let mut d2 = db.clone();
+        d2.insert("Articles", tuple!["I3"]).unwrap();
+        assert!(is_s_repair(&db, &d2, &sigma).unwrap());
+        // Insert the tuple AND delete the supply row: consistent, not minimal.
+        let mut d3 = d2.clone();
+        d3.delete(Tid(1)).unwrap();
+        assert!(!is_s_repair(&db, &d3, &sigma).unwrap());
+    }
+
+    #[test]
+    fn counting_agrees_with_product_formula() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        // Groups of sizes 3, 2, 1 → 6 repairs.
+        for (k, v) in [(1, 1), (1, 2), (1, 3), (2, 4), (2, 5), (3, 6)] {
+            db.insert("T", tuple![k, v]).unwrap();
+        }
+        let key = KeyConstraint::new("T", ["K"]);
+        let sigma = ConstraintSet::from_iter([key.clone()]);
+        assert_eq!(count_key_repairs(&db, &key).unwrap(), 6);
+        assert_eq!(count_s_repairs(&db, &sigma).unwrap(), 6);
+    }
+
+    #[test]
+    fn oversized_delta_is_refused_not_wrong() {
+        let (db, sigma) = employee();
+        let mut far = Database::new();
+        far.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        for i in 0..30 {
+            far.insert("Employee", tuple![format!("e{i}"), i]).unwrap();
+        }
+        assert!(is_s_repair(&db, &far, &sigma).is_err());
+    }
+
+    #[test]
+    fn symmetric_difference_is_content_based() {
+        let (db, _) = employee();
+        let (d2, _) = db
+            .with_changes(&[Tid(1)].into(), &[("Employee".into(), tuple!["new", 1])])
+            .unwrap();
+        let delta = symmetric_difference(&db, &d2);
+        assert_eq!(delta.len(), 2);
+        assert!(delta.contains(&Change::Delete {
+            relation: "Employee".into(),
+            tuple: tuple!["page", 5000]
+        }));
+        assert!(delta.contains(&Change::Insert {
+            relation: "Employee".into(),
+            tuple: tuple!["new", 1]
+        }));
+    }
+}

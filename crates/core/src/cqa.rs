@@ -1,0 +1,529 @@
+//! Consistent query answering (§3.1): certain answers over the class of
+//! repairs.
+//!
+//! `Cons(Q, D, Σ) = ⋂ { Q(D') : D' repair of D }` — the model-theoretic
+//! definition, computed by enumerating repairs. This is the *reference
+//! semantics* of the workspace: the FO rewritings (`crate::rewrite`) and the
+//! ASP repair programs (`cqa-asp`) are validated against it.
+//!
+//! Query evaluation over repairs always uses SQL null semantics: deletion
+//! repairs of null-free instances are unaffected, and null-introducing
+//! repairs (tuple- and attribute-level, §4.2–4.3) get the intended "nulls
+//! don't join" behaviour. Certain answers containing a null are discarded —
+//! a null is not a certain value.
+
+use crate::attr_repair::attribute_repairs;
+use crate::crepair::c_repairs;
+use crate::repair::Repair;
+use crate::srepair::{s_repairs_with, RepairOptions};
+use cqa_constraints::ConstraintSet;
+use cqa_query::{eval_aggregate, eval_ucq, AggregateQuery, NullSemantics, UnionQuery};
+use cqa_relation::{Database, RelationError, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// Which class of repairs CQA quantifies over.
+#[derive(Debug, Clone)]
+pub enum RepairClass {
+    /// S-repairs (⊆-minimal symmetric difference), the default of \[3\].
+    Subset,
+    /// S-repairs restricted to deletions (the semantics of \[48\]).
+    SubsetDeletionsOnly,
+    /// C-repairs (minimum cardinality), §4.1.
+    Cardinality,
+    /// Attribute-based null repairs, §4.3.
+    AttributeNull,
+}
+
+/// Materialize the chosen repair class.
+pub fn repairs_of(
+    db: &Database,
+    sigma: &ConstraintSet,
+    class: &RepairClass,
+) -> Result<Vec<Database>, RelationError> {
+    match class {
+        RepairClass::Subset => Ok(s_repairs_with(db, sigma, &RepairOptions::default())?
+            .into_iter()
+            .map(|r| r.db)
+            .collect()),
+        RepairClass::SubsetDeletionsOnly => {
+            Ok(s_repairs_with(db, sigma, &RepairOptions::deletions_only())?
+                .into_iter()
+                .map(|r| r.db)
+                .collect())
+        }
+        RepairClass::Cardinality => Ok(c_repairs(db, sigma)?.into_iter().map(|r| r.db).collect()),
+        RepairClass::AttributeNull => Ok(attribute_repairs(db, sigma)?
+            .into_iter()
+            .map(|r| r.db)
+            .collect()),
+    }
+}
+
+/// The consistent (certain) answers to `query` over the chosen repair class.
+///
+/// ```
+/// use cqa_relation::{tuple, Database, RelationSchema};
+/// use cqa_constraints::{ConstraintSet, KeyConstraint};
+/// use cqa_query::{parse_query, UnionQuery};
+/// use cqa_core::{consistent_answers, RepairClass};
+///
+/// let mut db = Database::new();
+/// db.create_relation(RelationSchema::new("Emp", ["Name", "Salary"]))?;
+/// db.insert("Emp", tuple!["page", 5000])?;
+/// db.insert("Emp", tuple!["page", 8000])?;
+/// db.insert("Emp", tuple!["smith", 3000])?;
+/// let sigma = ConstraintSet::from_iter([KeyConstraint::new("Emp", ["Name"])]);
+///
+/// let q = UnionQuery::single(parse_query("Q(x, y) :- Emp(x, y)")?);
+/// let certain = consistent_answers(&db, &sigma, &q, &RepairClass::Subset)?;
+/// assert_eq!(certain, [tuple!["smith", 3000]].into());
+/// # Ok::<(), cqa_relation::RelationError>(())
+/// ```
+pub fn consistent_answers(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+) -> Result<BTreeSet<Tuple>, RelationError> {
+    let repairs = repairs_of(db, sigma, class)?;
+    Ok(certain_over(&repairs, query))
+}
+
+/// Certain answers over an explicit list of instances (used by the virtual
+/// data integration crate, whose "repairs" are virtual global instances).
+pub fn certain_over(instances: &[Database], query: &UnionQuery) -> BTreeSet<Tuple> {
+    let mut iter = instances.iter();
+    let Some(first) = iter.next() else {
+        return BTreeSet::new();
+    };
+    let mut acc: BTreeSet<Tuple> = eval_ucq(first, query, NullSemantics::Sql)
+        .into_iter()
+        .filter(|t| !t.has_null())
+        .collect();
+    for inst in iter {
+        if acc.is_empty() {
+            break;
+        }
+        let here = eval_ucq(inst, query, NullSemantics::Sql);
+        acc.retain(|t| here.contains(t));
+    }
+    acc
+}
+
+/// The possible (brave) answers: returned by at least one repair.
+pub fn possible_answers(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+) -> Result<BTreeSet<Tuple>, RelationError> {
+    let repairs = repairs_of(db, sigma, class)?;
+    let mut out = BTreeSet::new();
+    for inst in &repairs {
+        out.extend(
+            eval_ucq(inst, query, NullSemantics::Sql)
+                .into_iter()
+                .filter(|t| !t.has_null()),
+        );
+    }
+    Ok(out)
+}
+
+/// Is a Boolean query certainly (consistently) true — true in *every* repair?
+pub fn certainly_true(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+) -> Result<bool, RelationError> {
+    let repairs = repairs_of(db, sigma, class)?;
+    Ok(repairs
+        .iter()
+        .all(|inst| cqa_query::holds_ucq(inst, query, NullSemantics::Sql)))
+}
+
+/// Range-semantics CQA for scalar aggregates \[5\]: the greatest lower bound
+/// and least upper bound of the aggregate value across all repairs.
+///
+/// Returns `None` when some repair yields no aggregate value (empty body for
+/// `Min`/`Max`/`Sum`/`Avg`), since no finite range is certain then.
+pub fn consistent_aggregate_range(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &AggregateQuery,
+    class: &RepairClass,
+) -> Result<Option<(Value, Value)>, RelationError> {
+    debug_assert!(
+        query.group_by.is_empty(),
+        "range semantics is for scalar aggregates"
+    );
+    let repairs = repairs_of(db, sigma, class)?;
+    let mut lo: Option<Value> = None;
+    let mut hi: Option<Value> = None;
+    for inst in &repairs {
+        let r = eval_aggregate(inst, query, NullSemantics::Sql);
+        let Some((_, v)) = r.into_iter().next() else {
+            match query.op {
+                cqa_query::AggOp::Count | cqa_query::AggOp::CountDistinct => {
+                    let zero = Value::Int(0);
+                    if lo.as_ref().is_none_or(|l| zero < *l) {
+                        lo = Some(zero.clone());
+                    }
+                    if hi.as_ref().is_none_or(|h| zero > *h) {
+                        hi = Some(zero);
+                    }
+                    continue;
+                }
+                _ => return Ok(None),
+            }
+        };
+        if lo.as_ref().is_none_or(|l| v < *l) {
+            lo = Some(v.clone());
+        }
+        if hi.as_ref().is_none_or(|h| v > *h) {
+            hi = Some(v);
+        }
+    }
+    Ok(lo.zip(hi))
+}
+
+/// Range-semantics CQA for *grouped* aggregates: for every group key that
+/// appears in **every** repair (only those have certain ranges), the
+/// greatest lower / least upper bound of its aggregate value.
+pub fn consistent_aggregate_ranges(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &AggregateQuery,
+    class: &RepairClass,
+) -> Result<std::collections::BTreeMap<Tuple, (Value, Value)>, RelationError> {
+    let repairs = repairs_of(db, sigma, class)?;
+    let mut acc: Option<std::collections::BTreeMap<Tuple, (Value, Value)>> = None;
+    for inst in &repairs {
+        let here = eval_aggregate(inst, query, NullSemantics::Sql);
+        acc = Some(match acc {
+            None => here.into_iter().map(|(k, v)| (k, (v.clone(), v))).collect(),
+            Some(mut ranges) => {
+                // Groups absent from this repair are not certain: drop them.
+                ranges.retain(|k, _| here.contains_key(k));
+                for (k, v) in here {
+                    if let Some((lo, hi)) = ranges.get_mut(&k) {
+                        if v < *lo {
+                            *lo = v.clone();
+                        }
+                        if v > *hi {
+                            *hi = v;
+                        }
+                    }
+                }
+                ranges
+            }
+        });
+    }
+    Ok(acc.unwrap_or_default())
+}
+
+/// Summary of a CQA run, for reports and the bench harness.
+#[derive(Debug, Clone)]
+pub struct CqaReport {
+    /// Number of repairs the class contains.
+    pub repair_count: usize,
+    /// The certain answers.
+    pub certain: BTreeSet<Tuple>,
+    /// The possible answers.
+    pub possible: BTreeSet<Tuple>,
+}
+
+/// Run CQA once and report both certain and possible answers.
+pub fn cqa_report(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+) -> Result<CqaReport, RelationError> {
+    let repairs = repairs_of(db, sigma, class)?;
+    let mut possible = BTreeSet::new();
+    let mut certain: Option<BTreeSet<Tuple>> = None;
+    for inst in &repairs {
+        let here: BTreeSet<Tuple> = eval_ucq(inst, query, NullSemantics::Sql)
+            .into_iter()
+            .filter(|t| !t.has_null())
+            .collect();
+        possible.extend(here.iter().cloned());
+        certain = Some(match certain {
+            None => here,
+            Some(mut acc) => {
+                acc.retain(|t| here.contains(t));
+                acc
+            }
+        });
+    }
+    Ok(CqaReport {
+        repair_count: repairs.len(),
+        certain: certain.unwrap_or_default(),
+        possible,
+    })
+}
+
+/// Convenience: keep the `Repair` structs alongside their instances.
+pub fn s_repair_structs(
+    db: &Database,
+    sigma: &ConstraintSet,
+) -> Result<Vec<Repair>, RelationError> {
+    crate::srepair::s_repairs(db, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{KeyConstraint, Tgd};
+    use cqa_query::{parse_query, AggOp};
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn supply() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1"]).unwrap();
+        db.insert("Articles", tuple!["I2"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap()]);
+        (db, sigma)
+    }
+
+    fn employee() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn example_3_2_consistent_answers() {
+        let (db, sigma) = supply();
+        let q = UnionQuery::single(parse_query("Q(z) :- Supply(x, y, z)").unwrap());
+        let ans = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&tuple!["I1"]));
+        assert!(ans.contains(&tuple!["I2"]));
+        // Possible answers include I3 (it survives in the insertion repair).
+        let poss = possible_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        assert!(poss.contains(&tuple!["I3"]));
+    }
+
+    #[test]
+    fn example_3_3_q1_and_q2() {
+        let (db, sigma) = employee();
+        let q1 = UnionQuery::single(parse_query("Q(x, y) :- Employee(x, y)").unwrap());
+        let ans1 = consistent_answers(&db, &sigma, &q1, &RepairClass::Subset).unwrap();
+        assert_eq!(ans1, [tuple!["smith", 3000], tuple!["stowe", 7000]].into());
+        let q2 = UnionQuery::single(parse_query("Q(x) :- Employee(x, y)").unwrap());
+        let ans2 = consistent_answers(&db, &sigma, &q2, &RepairClass::Subset).unwrap();
+        assert_eq!(
+            ans2,
+            [tuple!["page"], tuple!["smith"], tuple!["stowe"]].into()
+        );
+    }
+
+    #[test]
+    fn boolean_certainty() {
+        let (db, sigma) = employee();
+        let yes = UnionQuery::single(parse_query("Q() :- Employee('smith', y)").unwrap());
+        assert!(certainly_true(&db, &sigma, &yes, &RepairClass::Subset).unwrap());
+        let no = UnionQuery::single(parse_query("Q() :- Employee('page', 5000)").unwrap());
+        assert!(!certainly_true(&db, &sigma, &no, &RepairClass::Subset).unwrap());
+        // But it is possibly true.
+        let poss = possible_answers(&db, &sigma, &no, &RepairClass::Subset).unwrap();
+        assert!(!poss.is_empty());
+    }
+
+    #[test]
+    fn aggregate_range_semantics() {
+        let (db, sigma) = employee();
+        let body = parse_query("Q() :- Employee(n, s)").unwrap();
+        let s = body.vars.lookup("s").unwrap();
+        let sum = AggregateQuery {
+            body,
+            group_by: vec![],
+            target: Some(s),
+            op: AggOp::Sum,
+        };
+        let (lo, hi) = consistent_aggregate_range(&db, &sigma, &sum, &RepairClass::Subset)
+            .unwrap()
+            .unwrap();
+        // Repairs keep page at 5000 or 8000: totals 15000 and 18000.
+        assert_eq!(lo, Value::Int(15000));
+        assert_eq!(hi, Value::Int(18000));
+    }
+
+    #[test]
+    fn aggregate_count_range() {
+        let (db, sigma) = employee();
+        let body = parse_query("Q() :- Employee(n, s)").unwrap();
+        let count = AggregateQuery {
+            body,
+            group_by: vec![],
+            target: None,
+            op: AggOp::Count,
+        };
+        let (lo, hi) = consistent_aggregate_range(&db, &sigma, &count, &RepairClass::Subset)
+            .unwrap()
+            .unwrap();
+        assert_eq!(lo, Value::Int(3));
+        assert_eq!(hi, Value::Int(3));
+    }
+
+    #[test]
+    fn grouped_aggregate_ranges() {
+        // Employees grouped by department; one department has a conflicted
+        // salary, the other is clean.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Emp", ["Name", "Dept", "Salary"]))
+            .unwrap();
+        db.insert("Emp", tuple!["page", "cs", 5000]).unwrap();
+        db.insert("Emp", tuple!["page", "cs", 8000]).unwrap();
+        db.insert("Emp", tuple!["smith", "cs", 3000]).unwrap();
+        db.insert("Emp", tuple!["stowe", "math", 7000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Emp", ["Name"])]);
+        let body = parse_query("Q() :- Emp(n, d, s)").unwrap();
+        let (d, s) = (body.vars.lookup("d").unwrap(), body.vars.lookup("s").unwrap());
+        let agg = AggregateQuery {
+            body,
+            group_by: vec![d],
+            target: Some(s),
+            op: AggOp::Sum,
+        };
+        let ranges =
+            consistent_aggregate_ranges(&db, &sigma, &agg, &RepairClass::Subset).unwrap();
+        assert_eq!(
+            ranges.get(&tuple!["cs"]),
+            Some(&(Value::Int(8000), Value::Int(11000)))
+        );
+        // The clean department has a point interval.
+        assert_eq!(
+            ranges.get(&tuple!["math"]),
+            Some(&(Value::Int(7000), Value::Int(7000)))
+        );
+    }
+
+    #[test]
+    fn grouped_ranges_drop_uncertain_groups() {
+        // A department whose *only* employee is conflicted on Dept itself:
+        // it vanishes from some repairs, so it has no certain range.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Emp", ["Name", "Dept", "Salary"]))
+            .unwrap();
+        db.insert("Emp", tuple!["page", "cs", 5000]).unwrap();
+        db.insert("Emp", tuple!["page", "math", 5000]).unwrap();
+        db.insert("Emp", tuple!["smith", "cs", 3000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Emp", ["Name"])]);
+        let body = parse_query("Q() :- Emp(n, d, s)").unwrap();
+        let (d, s) = (body.vars.lookup("d").unwrap(), body.vars.lookup("s").unwrap());
+        let agg = AggregateQuery {
+            body,
+            group_by: vec![d],
+            target: Some(s),
+            op: AggOp::Sum,
+        };
+        let ranges =
+            consistent_aggregate_ranges(&db, &sigma, &agg, &RepairClass::Subset).unwrap();
+        // math exists only in the repair keeping (page, math): not certain.
+        assert!(!ranges.contains_key(&tuple!["math"]));
+        // cs is present in both repairs (smith always; page sometimes).
+        assert_eq!(
+            ranges.get(&tuple!["cs"]),
+            Some(&(Value::Int(3000), Value::Int(8000)))
+        );
+    }
+
+    #[test]
+    fn cardinality_class_can_differ_from_subset() {
+        // Figure 1 instance: query "B(a) holds?" — true in D1 and D3 but D1
+        // is not a C-repair; under C-repairs the answer set differs.
+        let mut db = Database::new();
+        for r in ["A", "B", "C", "D", "E"] {
+            db.create_relation(RelationSchema::new(r, ["X"])).unwrap();
+            db.insert(r, tuple!["a"]).unwrap();
+        }
+        let sigma = ConstraintSet::from_iter([
+            cqa_constraints::DenialConstraint::parse("d1", "B(x), E(x)").unwrap(),
+            cqa_constraints::DenialConstraint::parse("d2", "B(x), C(x), D(x)").unwrap(),
+            cqa_constraints::DenialConstraint::parse("d3", "A(x), C(x)").unwrap(),
+        ]);
+        let q = UnionQuery::single(parse_query("Q() :- D(x)").unwrap());
+        // D(a) is in D2, D3, D4 (all C-repairs) but not in D1 = {B, C}.
+        assert!(!certainly_true(&db, &sigma, &q, &RepairClass::Subset).unwrap());
+        assert!(certainly_true(&db, &sigma, &q, &RepairClass::Cardinality).unwrap());
+    }
+
+    #[test]
+    fn attribute_null_class_certain_answers() {
+        // Example 4.4 + the query Q(x): S(x). Beyond the paper's two
+        // showcased repairs, the full class of minimal attribute repairs
+        // also contains ones that null S(a4) or R's join cells; only a2 is
+        // never touched, so Cons(Q) = {a2}.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a4", "a3"]).unwrap();
+        db.insert("R", tuple!["a2", "a1"]).unwrap();
+        db.insert("R", tuple!["a3", "a3"]).unwrap();
+        db.insert("S", tuple!["a4"]).unwrap();
+        db.insert("S", tuple!["a2"]).unwrap();
+        db.insert("S", tuple!["a3"]).unwrap();
+        let sigma = ConstraintSet::from_iter([cqa_constraints::DenialConstraint::parse(
+            "kappa",
+            "S(x), R(x, y), S(y)",
+        )
+        .unwrap()]);
+        let q = UnionQuery::single(parse_query("Q(x) :- S(x)").unwrap());
+        let ans = consistent_answers(&db, &sigma, &q, &RepairClass::AttributeNull).unwrap();
+        assert_eq!(ans, [tuple!["a2"]].into());
+        // The possible answers do include a4 and a3 (kept by some repairs).
+        let poss = possible_answers(&db, &sigma, &q, &RepairClass::AttributeNull).unwrap();
+        assert!(poss.contains(&tuple!["a4"]));
+        assert!(poss.contains(&tuple!["a3"]));
+        // No null sneaks into answers.
+        assert!(poss.iter().all(|t| !t.has_null()));
+    }
+
+    #[test]
+    fn report_is_consistent_with_parts() {
+        let (db, sigma) = employee();
+        let q = UnionQuery::single(parse_query("Q(x) :- Employee(x, y)").unwrap());
+        let report = cqa_report(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        assert_eq!(report.repair_count, 2);
+        assert_eq!(
+            report.certain,
+            consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap()
+        );
+        assert_eq!(
+            report.possible,
+            possible_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap()
+        );
+        assert!(report.certain.is_subset(&report.possible));
+    }
+
+    #[test]
+    fn consistent_db_cqa_equals_plain_eval() {
+        let (mut db, sigma) = employee();
+        db.delete(cqa_relation::Tid(2)).unwrap();
+        let q = UnionQuery::single(parse_query("Q(x, y) :- Employee(x, y)").unwrap());
+        let cons = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        let plain = cqa_query::eval_ucq(&db, &q, NullSemantics::Structural);
+        assert_eq!(cons, plain);
+    }
+}

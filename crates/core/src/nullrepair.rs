@@ -1,0 +1,138 @@
+//! Tuple-level null-based repairs for tgds (§4.2 of the paper).
+//!
+//! An unsatisfied tgd `∀x̄(body → ∃v head)` can be repaired by deleting a
+//! body tuple or by inserting the demanded head tuple with `NULL` at the
+//! existential positions (the ⟨I3, NULL⟩ insertion of Example 4.3). This
+//! module is a purposeful, documented view over the general S-repair engine:
+//! it classifies each repair by the actions it used and exposes the
+//! peer-data-exchange "solution" terminology of \[25\].
+
+use crate::repair::Repair;
+use crate::srepair::{s_repairs_with, RepairOptions};
+use cqa_constraints::ConstraintSet;
+use cqa_relation::{Database, RelationError};
+
+/// How a null-based tuple repair restored consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStyle {
+    /// The instance was already consistent.
+    Unchanged,
+    /// Only deletions were applied.
+    DeletionOnly,
+    /// Only (null-padded) insertions were applied.
+    InsertionOnly,
+    /// A mix of deletions and insertions.
+    Mixed,
+}
+
+/// A tuple-level null repair with its classification.
+#[derive(Debug, Clone)]
+pub struct NullTupleRepair {
+    /// The underlying repair.
+    pub repair: Repair,
+    /// How consistency was restored.
+    pub style: RepairStyle,
+}
+
+/// Enumerate the tuple-level null-based repairs of `db` w.r.t. `sigma`
+/// (tgds repaired by deletion or null-insertion; denial-class members of
+/// `sigma` repaired by deletion).
+pub fn null_tuple_repairs(
+    db: &Database,
+    sigma: &ConstraintSet,
+) -> Result<Vec<NullTupleRepair>, RelationError> {
+    let repairs = s_repairs_with(db, sigma, &RepairOptions::default())?;
+    Ok(repairs
+        .into_iter()
+        .map(|repair| {
+            let style = match (repair.deleted.is_empty(), repair.inserted.is_empty()) {
+                (true, true) => RepairStyle::Unchanged,
+                (false, true) => RepairStyle::DeletionOnly,
+                (true, false) => RepairStyle::InsertionOnly,
+                (false, false) => RepairStyle::Mixed,
+            };
+            NullTupleRepair { repair, style }
+        })
+        .collect())
+}
+
+/// In peer-data-exchange terms \[25\]: does the instance admit a *solution*,
+/// i.e. at least one repair? (Always true here: deleting every body witness
+/// is available; the function exists to mirror the vocabulary and to guard
+/// future semantics that restrict deletions.)
+pub fn has_solution(db: &Database, sigma: &ConstraintSet) -> Result<bool, RelationError> {
+    Ok(!null_tuple_repairs(db, sigma)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::Tgd;
+    use cqa_relation::{tuple, RelationSchema, Tid, Value};
+
+    /// The modified Articles table of Example 4.3.
+    fn example_4_3() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item", "Cost"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap(); // ι3
+        db.insert("Articles", tuple!["I1", 50]).unwrap();
+        db.insert("Articles", tuple!["I2", 30]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([
+                Tgd::parse("ID'", "Articles(z, v) :- Supply(x, y, z)").unwrap()
+            ]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn example_4_3_two_repairs() {
+        let (db, sigma) = example_4_3();
+        let repairs = null_tuple_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 2);
+        let del = repairs
+            .iter()
+            .find(|r| r.style == RepairStyle::DeletionOnly)
+            .expect("deletion repair");
+        assert_eq!(del.repair.deleted, [Tid(3)].into());
+        let ins = repairs
+            .iter()
+            .find(|r| r.style == RepairStyle::InsertionOnly)
+            .expect("insertion repair");
+        let (rel, t) = &ins.repair.inserted[0];
+        assert_eq!(rel, "Articles");
+        assert_eq!(t.at(0), &Value::str("I3"));
+        assert!(t.at(1).is_null());
+    }
+
+    #[test]
+    fn null_insertion_restores_consistency_under_sql_semantics() {
+        let (db, sigma) = example_4_3();
+        for r in null_tuple_repairs(&db, &sigma).unwrap() {
+            assert!(sigma.is_satisfied(&r.repair.db).unwrap());
+        }
+    }
+
+    #[test]
+    fn consistent_instance_is_unchanged() {
+        let (mut db, sigma) = example_4_3();
+        db.delete(Tid(3)).unwrap();
+        let repairs = null_tuple_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].style, RepairStyle::Unchanged);
+        assert!(has_solution(&db, &sigma).unwrap());
+    }
+
+    #[test]
+    fn solutions_always_exist_for_acyclic_tgds() {
+        let (db, sigma) = example_4_3();
+        assert!(has_solution(&db, &sigma).unwrap());
+    }
+}

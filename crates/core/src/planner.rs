@@ -1,0 +1,211 @@
+//! A ConsEx-style consistency extractor (§3.3 of the paper, \[43\]): one
+//! entry point that *plans* how to answer a query consistently, choosing
+//! the cheapest sound-and-complete strategy available:
+//!
+//! 1. **FO rewriting** (attack graph) when Σ is a set of primary keys and
+//!    the query is a self-join-free CQ with an acyclic attack graph —
+//!    evaluated directly on the inconsistent instance, no repairs;
+//! 2. **repair enumeration** otherwise (the reference semantics).
+//!
+//! The chosen strategy is reported so callers can log/inspect it, mirroring
+//! how ConsEx surfaced its magic-set rewriting decisions.
+
+use crate::cqa::{consistent_answers, RepairClass};
+use crate::rewrite::keys::{rewrite_key_query, KeyPositions, KeyRewriteError};
+use cqa_constraints::{Constraint, ConstraintSet};
+use cqa_query::{eval_fo, NullSemantics, UnionQuery};
+use cqa_relation::{Database, RelationError, Tuple};
+use std::collections::BTreeSet;
+
+/// How the planner answered the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluated a certain FO rewriting on the inconsistent instance.
+    FoRewriting,
+    /// Enumerated repairs and intersected answers.
+    RepairEnumeration {
+        /// Why rewriting was not used.
+        reason: String,
+    },
+    /// The instance was consistent: plain evaluation.
+    DirectEvaluation,
+}
+
+/// The planner's result.
+#[derive(Debug, Clone)]
+pub struct PlannedAnswer {
+    /// The consistent answers.
+    pub answers: BTreeSet<Tuple>,
+    /// The strategy used.
+    pub strategy: Strategy,
+}
+
+/// Extract the key positions from Σ if Σ consists solely of key constraints
+/// (at most one per relation).
+fn keys_only(db: &Database, sigma: &ConstraintSet) -> Option<KeyPositions> {
+    let mut keys = KeyPositions::new();
+    for c in &sigma.constraints {
+        let Constraint::Key(k) = c else {
+            return None;
+        };
+        let schema = db.relation(&k.relation)?.schema().clone();
+        let positions = schema.positions_of(k.key.iter().map(String::as_str)).ok()?;
+        if keys.insert(k.relation.clone(), positions).is_some() {
+            return None; // two keys on one relation: out of the dichotomy
+        }
+    }
+    Some(keys)
+}
+
+/// Answer `query` consistently with the best available strategy.
+pub fn answer_consistently(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+) -> Result<PlannedAnswer, RelationError> {
+    // Consistent instance: certain answers are the plain answers.
+    if sigma.is_satisfied(db)? {
+        return Ok(PlannedAnswer {
+            answers: cqa_query::eval_ucq(db, query, NullSemantics::Sql)
+                .into_iter()
+                .filter(|t| !t.has_null())
+                .collect(),
+            strategy: Strategy::DirectEvaluation,
+        });
+    }
+
+    // Rewriting path: keys-only Σ, single self-join-free CQ.
+    if let Some(keys) = keys_only(db, sigma) {
+        if let [cq] = &query.disjuncts[..] {
+            match rewrite_key_query(cq, &keys) {
+                Ok(fo) => {
+                    return Ok(PlannedAnswer {
+                        answers: eval_fo(db, &fo, NullSemantics::Structural),
+                        strategy: Strategy::FoRewriting,
+                    });
+                }
+                Err(KeyRewriteError::CyclicAttackGraph { witness }) => {
+                    return fallback(
+                        db,
+                        sigma,
+                        query,
+                        format!(
+                            "attack graph cyclic at atoms {} and {}: CQA is coNP-complete",
+                            witness.0, witness.1
+                        ),
+                    );
+                }
+                Err(e) => {
+                    return fallback(db, sigma, query, e.to_string());
+                }
+            }
+        }
+        return fallback(db, sigma, query, "query is a union, not a single CQ".into());
+    }
+    fallback(db, sigma, query, "Σ is not a set of primary keys".into())
+}
+
+fn fallback(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    reason: String,
+) -> Result<PlannedAnswer, RelationError> {
+    Ok(PlannedAnswer {
+        answers: consistent_answers(db, sigma, query, &RepairClass::Subset)?,
+        strategy: Strategy::RepairEnumeration { reason },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{DenialConstraint, KeyConstraint};
+    use cqa_query::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn employee() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn rewritable_query_uses_rewriting() {
+        let (db, sigma) = employee();
+        let q = UnionQuery::single(parse_query("Q(x, y) :- Employee(x, y)").unwrap());
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        assert_eq!(planned.strategy, Strategy::FoRewriting);
+        assert_eq!(planned.answers, [tuple!["smith", 3000]].into());
+        // And it agrees with the reference semantics.
+        let reference = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        assert_eq!(planned.answers, reference);
+    }
+
+    #[test]
+    fn cyclic_query_falls_back() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A", "B"]))
+            .unwrap();
+        db.insert("R", tuple![1, 2]).unwrap();
+        db.insert("R", tuple![1, 3]).unwrap();
+        db.insert("S", tuple![2, 1]).unwrap();
+        let sigma = ConstraintSet::from_iter([
+            KeyConstraint::new("R", ["A"]),
+            KeyConstraint::new("S", ["A"]),
+        ]);
+        let q = UnionQuery::single(parse_query("Q() :- R(x, y), S(y, x)").unwrap());
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        match &planned.strategy {
+            Strategy::RepairEnumeration { reason } => {
+                assert!(reason.contains("coNP"), "reason: {reason}");
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_key_constraints_fall_back() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("S", tuple!["a"]).unwrap();
+        db.insert("S", tuple!["b"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([DenialConstraint::parse("d", "S(x), S(y), x != y").unwrap()]);
+        let q = UnionQuery::single(parse_query("Q(x) :- S(x)").unwrap());
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        assert!(matches!(
+            planned.strategy,
+            Strategy::RepairEnumeration { .. }
+        ));
+        assert!(planned.answers.is_empty()); // each singleton repair differs
+    }
+
+    #[test]
+    fn consistent_instance_short_circuits() {
+        let (mut db, sigma) = employee();
+        db.delete(cqa_relation::Tid(2)).unwrap();
+        let q = UnionQuery::single(parse_query("Q(x) :- Employee(x, y)").unwrap());
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        assert_eq!(planned.strategy, Strategy::DirectEvaluation);
+        assert_eq!(planned.answers.len(), 2);
+    }
+
+    #[test]
+    fn union_queries_fall_back_with_reason() {
+        let (db, sigma) = employee();
+        let q = cqa_query::parse_ucq("Q(x) :- Employee(x, y)\nQ(x) :- Employee(x, 3000)").unwrap();
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        match &planned.strategy {
+            Strategy::RepairEnumeration { reason } => assert!(reason.contains("union")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Prioritized repairs (§4 of the paper; Staworko–Chomicki–Marcinkowski
+//! \[103\], complexity in Fagin–Kimelfeld–Kolaitis \[57\]).
+//!
+//! When a *priority relation* `≻` ranks conflicting tuples (source trust,
+//! recency, …), not all S-repairs are equally reasonable. With conflicts
+//! from denial-class constraints:
+//!
+//! * `D₁` **Pareto-dominates** `D₂` if some tuple kept by `D₁` and not by
+//!   `D₂` beats *every* tuple kept by `D₂` and not by `D₁`;
+//! * `D₁` **globally dominates** `D₂` if every tuple kept by `D₂` and not
+//!   by `D₁` is beaten by *some* tuple kept by `D₁` and not by `D₂`.
+//!
+//! Pareto-optimal (respectively globally-optimal) repairs are the S-repairs
+//! that no consistent instance Pareto-(globally-)dominates; since any
+//! dominating instance extends to a dominating S-repair, filtering the
+//! S-repair set pairwise is exact. The paper's containment chain
+//! `globally-optimal ⊆ Pareto-optimal ⊆ S-repairs` is asserted in tests.
+
+use crate::repair::Repair;
+use crate::srepair::s_repairs;
+use cqa_constraints::ConstraintSet;
+use cqa_relation::{Database, RelationError, Tid};
+use std::collections::BTreeSet;
+
+/// A priority relation on tuples: `prefers.contains(&(a, b))` means
+/// `a ≻ b` (`a` is preferred to `b`). Must be irreflexive; acyclicity on
+/// conflicting tuples is the caller's responsibility (as in \[103\]).
+#[derive(Debug, Clone, Default)]
+pub struct PriorityRelation {
+    prefers: BTreeSet<(Tid, Tid)>,
+}
+
+impl PriorityRelation {
+    /// Empty priority (every S-repair is optimal).
+    pub fn new() -> PriorityRelation {
+        PriorityRelation::default()
+    }
+
+    /// Declare `winner ≻ loser`.
+    pub fn prefer(&mut self, winner: Tid, loser: Tid) -> &mut Self {
+        if winner != loser {
+            self.prefers.insert((winner, loser));
+        }
+        self
+    }
+
+    /// Does `a ≻ b` hold?
+    pub fn beats(&self, a: Tid, b: Tid) -> bool {
+        self.prefers.contains(&(a, b))
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.prefers.is_empty()
+    }
+}
+
+fn kept(db: &Database, r: &Repair) -> BTreeSet<Tid> {
+    db.tids().difference(&r.deleted).copied().collect()
+}
+
+/// Does `a` Pareto-dominate `b`? (Both deletion-only repairs of `db`.)
+fn pareto_dominates(db: &Database, p: &PriorityRelation, a: &Repair, b: &Repair) -> bool {
+    let ka = kept(db, a);
+    let kb = kept(db, b);
+    let a_only: Vec<Tid> = ka.difference(&kb).copied().collect();
+    let b_only: Vec<Tid> = kb.difference(&ka).copied().collect();
+    if a_only.is_empty() || b_only.is_empty() {
+        return false;
+    }
+    a_only
+        .iter()
+        .any(|&t| b_only.iter().all(|&u| p.beats(t, u)))
+}
+
+/// Does `a` globally dominate `b`?
+fn globally_dominates(db: &Database, p: &PriorityRelation, a: &Repair, b: &Repair) -> bool {
+    let ka = kept(db, a);
+    let kb = kept(db, b);
+    let a_only: Vec<Tid> = ka.difference(&kb).copied().collect();
+    let b_only: Vec<Tid> = kb.difference(&ka).copied().collect();
+    if b_only.is_empty() {
+        return false;
+    }
+    b_only
+        .iter()
+        .all(|&u| a_only.iter().any(|&t| p.beats(t, u)))
+}
+
+/// The Pareto-optimal repairs of `db` w.r.t. denial-class `sigma` and the
+/// priority `p`.
+pub fn pareto_optimal_repairs(
+    db: &Database,
+    sigma: &ConstraintSet,
+    p: &PriorityRelation,
+) -> Result<Vec<Repair>, RelationError> {
+    let all = s_repairs(db, sigma)?;
+    Ok(filter_undominated(db, p, all, pareto_dominates))
+}
+
+/// The globally-optimal repairs of `db` w.r.t. denial-class `sigma` and the
+/// priority `p`.
+pub fn globally_optimal_repairs(
+    db: &Database,
+    sigma: &ConstraintSet,
+    p: &PriorityRelation,
+) -> Result<Vec<Repair>, RelationError> {
+    let all = s_repairs(db, sigma)?;
+    Ok(filter_undominated(db, p, all, globally_dominates))
+}
+
+fn filter_undominated(
+    db: &Database,
+    p: &PriorityRelation,
+    repairs: Vec<Repair>,
+    dominates: fn(&Database, &PriorityRelation, &Repair, &Repair) -> bool,
+) -> Vec<Repair> {
+    let mut keep = Vec::new();
+    for (i, r) in repairs.iter().enumerate() {
+        let dominated = repairs
+            .iter()
+            .enumerate()
+            .any(|(j, other)| j != i && dominates(db, p, other, r));
+        if !dominated {
+            keep.push(r.clone());
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::KeyConstraint;
+    use cqa_relation::{tuple, RelationSchema};
+
+    /// Two conflicting pairs: (1,2) on key k=1, (3,4) on key k=2.
+    fn db() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, 10]).unwrap(); // ι1
+        db.insert("T", tuple![1, 20]).unwrap(); // ι2
+        db.insert("T", tuple![2, 30]).unwrap(); // ι3
+        db.insert("T", tuple![2, 40]).unwrap(); // ι4
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn empty_priority_keeps_all_s_repairs() {
+        let (db, sigma) = db();
+        let p = PriorityRelation::new();
+        let pareto = pareto_optimal_repairs(&db, &sigma, &p).unwrap();
+        let global = globally_optimal_repairs(&db, &sigma, &p).unwrap();
+        assert_eq!(pareto.len(), 4);
+        assert_eq!(global.len(), 4);
+    }
+
+    #[test]
+    fn full_priority_selects_one_repair() {
+        let (db, sigma) = db();
+        let mut p = PriorityRelation::new();
+        p.prefer(Tid(1), Tid(2)).prefer(Tid(3), Tid(4));
+        let pareto = pareto_optimal_repairs(&db, &sigma, &p).unwrap();
+        assert_eq!(pareto.len(), 1);
+        assert_eq!(pareto[0].deleted, [Tid(2), Tid(4)].into());
+        let global = globally_optimal_repairs(&db, &sigma, &p).unwrap();
+        assert_eq!(global.len(), 1);
+        assert_eq!(global[0].deleted, pareto[0].deleted);
+    }
+
+    #[test]
+    fn partial_priority_constrains_only_its_conflict() {
+        let (db, sigma) = db();
+        let mut p = PriorityRelation::new();
+        p.prefer(Tid(1), Tid(2)); // only the first conflict is ranked
+        let pareto = pareto_optimal_repairs(&db, &sigma, &p).unwrap();
+        // ι1 must be kept, ι3/ι4 are still a free choice: 2 repairs.
+        assert_eq!(pareto.len(), 2);
+        assert!(pareto.iter().all(|r| !r.deleted.contains(&Tid(1))));
+    }
+
+    #[test]
+    fn containment_chain_holds() {
+        let (db, sigma) = db();
+        let mut p = PriorityRelation::new();
+        p.prefer(Tid(1), Tid(2));
+        let all: BTreeSet<BTreeSet<Tid>> = s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.deleted)
+            .collect();
+        let pareto: BTreeSet<BTreeSet<Tid>> = pareto_optimal_repairs(&db, &sigma, &p)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.deleted)
+            .collect();
+        let global: BTreeSet<BTreeSet<Tid>> = globally_optimal_repairs(&db, &sigma, &p)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.deleted)
+            .collect();
+        assert!(global.is_subset(&pareto));
+        assert!(pareto.is_subset(&all));
+    }
+
+    #[test]
+    fn global_can_be_stricter_than_pareto() {
+        // Three-way conflict (one key group of 3) with a partial order:
+        // ι1 ≻ ι2, ι1 ≻ ι3. Repairs keep exactly one tuple. Keeping ι1
+        // globally dominates both others.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, 10]).unwrap();
+        db.insert("T", tuple![1, 20]).unwrap();
+        db.insert("T", tuple![1, 30]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        let mut p = PriorityRelation::new();
+        p.prefer(Tid(1), Tid(2)).prefer(Tid(1), Tid(3));
+        let pareto = pareto_optimal_repairs(&db, &sigma, &p).unwrap();
+        let global = globally_optimal_repairs(&db, &sigma, &p).unwrap();
+        assert_eq!(global.len(), 1);
+        assert!(global[0].deleted.contains(&Tid(2)) && global[0].deleted.contains(&Tid(3)));
+        assert!(global.len() <= pareto.len());
+    }
+
+    #[test]
+    fn priority_relation_api() {
+        let mut p = PriorityRelation::new();
+        assert!(p.is_empty());
+        p.prefer(Tid(1), Tid(1)); // self-preference ignored
+        assert!(p.is_empty());
+        p.prefer(Tid(1), Tid(2));
+        assert!(p.beats(Tid(1), Tid(2)));
+        assert!(!p.beats(Tid(2), Tid(1)));
+    }
+}

@@ -1,0 +1,183 @@
+//! The repair representation shared by every repair semantics.
+
+use cqa_relation::{Database, Tid, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One element of a symmetric difference `D Δ D'`: a deleted original tuple
+/// or an inserted new tuple.
+///
+/// Changes are compared by *content*, not by tid, so deltas of different
+/// repairs are set-comparable even when insertions received different tids.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Change {
+    /// Deletion of an original tuple.
+    Delete {
+        /// Relation the tuple lived in.
+        relation: String,
+        /// The deleted tuple.
+        tuple: Tuple,
+    },
+    /// Insertion of a new tuple.
+    Insert {
+        /// Relation the tuple goes to.
+        relation: String,
+        /// The inserted tuple.
+        tuple: Tuple,
+    },
+}
+
+impl fmt::Display for Change {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Change::Delete { relation, tuple } => write!(f, "- {relation}{tuple}"),
+            Change::Insert { relation, tuple } => write!(f, "+ {relation}{tuple}"),
+        }
+    }
+}
+
+/// A repair of an original instance: the repaired database plus the delta
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct Repair {
+    /// The repaired, consistent instance.
+    pub db: Database,
+    /// Tids (of the *original* instance) that were deleted.
+    pub deleted: BTreeSet<Tid>,
+    /// Tuples that were inserted, as `(relation, tuple)`.
+    pub inserted: Vec<(String, Tuple)>,
+    /// The symmetric difference as content-level changes.
+    pub delta: BTreeSet<Change>,
+}
+
+impl Repair {
+    /// Build a repair from the original instance and a delta.
+    pub fn from_delta(
+        original: &Database,
+        deleted: BTreeSet<Tid>,
+        inserted: Vec<(String, Tuple)>,
+    ) -> cqa_relation::Result<Repair> {
+        let mut delta = BTreeSet::new();
+        for &tid in &deleted {
+            let (rel, tuple) = original
+                .get(tid)
+                .ok_or(cqa_relation::RelationError::UnknownTid(tid.0))?;
+            delta.insert(Change::Delete {
+                relation: rel.to_string(),
+                tuple: tuple.clone(),
+            });
+        }
+        for (rel, tuple) in &inserted {
+            delta.insert(Change::Insert {
+                relation: rel.clone(),
+                tuple: tuple.clone(),
+            });
+        }
+        let (db, _) = original.with_changes(&deleted, &inserted)?;
+        Ok(Repair {
+            db,
+            deleted,
+            inserted,
+            delta,
+        })
+    }
+
+    /// `|D Δ D'|` — the cardinality the C-repair semantics minimizes.
+    pub fn delta_size(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Deletion-only repair?
+    pub fn is_deletion_only(&self) -> bool {
+        self.inserted.is_empty()
+    }
+}
+
+impl fmt::Display for Repair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "repair (|Δ| = {}):", self.delta_size())?;
+        for c in &self.delta {
+            write!(f, " {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Keep only the ⊆-minimal deltas among `repairs` (the S-repair filter), and
+/// drop content-duplicates.
+pub fn retain_subset_minimal(repairs: Vec<Repair>) -> Vec<Repair> {
+    let mut kept: Vec<Repair> = Vec::with_capacity(repairs.len());
+    for r in repairs {
+        if kept.iter().any(|k| k.delta.is_subset(&r.delta)) {
+            continue; // dominated (or duplicate)
+        }
+        kept.retain(|k| !r.delta.is_subset(&k.delta));
+        kept.push(r);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::new("R", ["A"])).unwrap();
+        d.insert("R", tuple!["a"]).unwrap();
+        d.insert("R", tuple!["b"]).unwrap();
+        d
+    }
+
+    #[test]
+    fn from_delta_builds_instance_and_delta() {
+        let original = db();
+        let r = Repair::from_delta(&original, [Tid(1)].into(), vec![("R".into(), tuple!["c"])])
+            .unwrap();
+        assert_eq!(r.delta_size(), 2);
+        assert!(!r.is_deletion_only());
+        assert!(!r.db.relation("R").unwrap().contains(&tuple!["a"]));
+        assert!(r.db.relation("R").unwrap().contains(&tuple!["c"]));
+        assert_eq!(original.total_tuples(), 2);
+    }
+
+    #[test]
+    fn unknown_tid_in_delta_errors() {
+        assert!(Repair::from_delta(&db(), [Tid(99)].into(), vec![]).is_err());
+    }
+
+    #[test]
+    fn subset_minimal_filter() {
+        let original = db();
+        let small = Repair::from_delta(&original, [Tid(1)].into(), vec![]).unwrap();
+        let big = Repair::from_delta(&original, [Tid(1), Tid(2)].into(), vec![]).unwrap();
+        let other = Repair::from_delta(&original, [Tid(2)].into(), vec![]).unwrap();
+        let kept = retain_subset_minimal(vec![big, small.clone(), other.clone()]);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|r| r.delta == small.delta));
+        assert!(kept.iter().any(|r| r.delta == other.delta));
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let original = db();
+        let a = Repair::from_delta(&original, [Tid(1)].into(), vec![]).unwrap();
+        let b = Repair::from_delta(&original, [Tid(1)].into(), vec![]).unwrap();
+        assert_eq!(retain_subset_minimal(vec![a, b]).len(), 1);
+    }
+
+    #[test]
+    fn change_display() {
+        let c = Change::Delete {
+            relation: "R".into(),
+            tuple: tuple!["a"],
+        };
+        assert_eq!(c.to_string(), "- R(a)");
+        let i = Change::Insert {
+            relation: "S".into(),
+            tuple: tuple![1, 2],
+        };
+        assert_eq!(i.to_string(), "+ S(1, 2)");
+    }
+}

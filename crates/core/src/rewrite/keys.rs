@@ -1,0 +1,510 @@
+//! Certain-answer FO rewriting for self-join-free conjunctive queries under
+//! primary keys — the mature theory the paper credits to Fuxman–Miller \[64\]
+//! and Koutris–Wijsen \[77, 109\].
+//!
+//! The decision procedure is the **attack graph**: for each query atom `F`,
+//! compute the variable closure `F⁺` of `F`'s key variables under the FDs
+//! `key(G) → vars(G)` contributed by the *other* atoms; `F` attacks `G` if
+//! `G` is reachable from `F` through variables outside `F⁺`. If the attack
+//! graph is acyclic, the certain answers are definable in FO and this module
+//! constructs the rewriting recursively (processing an unattacked atom
+//! first); if it is cyclic, CQA for the query is coNP-complete and
+//! [`rewrite_key_query`] returns [`KeyRewriteError::CyclicAttackGraph`] so
+//! the caller can fall back to repair enumeration.
+
+use cqa_query::{Atom, CmpOp, Comparison, ConjunctiveQuery, Fo, FoQuery, Term, Var, VarTable};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Primary keys by relation name → key attribute positions.
+///
+/// A relation absent from the map is treated as *all-key* (it can never
+/// violate its key, so it contributes nothing to repairs).
+pub type KeyPositions = BTreeMap<String, Vec<usize>>;
+
+/// Why a query could not be rewritten.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyRewriteError {
+    /// The query has a self-join; the dichotomy theory covers SJF queries.
+    SelfJoin,
+    /// The query has negated atoms or comparisons.
+    UnsupportedFeatures,
+    /// The attack graph is cyclic: CQA for this query is coNP-complete.
+    CyclicAttackGraph {
+        /// A pair of mutually attacking atom indices witnessing the cycle.
+        witness: (usize, usize),
+    },
+}
+
+impl fmt::Display for KeyRewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyRewriteError::SelfJoin => {
+                f.write_str("query has a self-join; key rewriting covers self-join-free queries")
+            }
+            KeyRewriteError::UnsupportedFeatures => {
+                f.write_str("query has negation or comparisons; key rewriting covers plain CQs")
+            }
+            KeyRewriteError::CyclicAttackGraph { witness } => write!(
+                f,
+                "attack graph is cyclic (atoms {} and {} attack each other): CQA is coNP-complete",
+                witness.0, witness.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KeyRewriteError {}
+
+/// The attack graph of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackGraph {
+    /// `attacks[i]` = indices of atoms attacked by atom `i`.
+    pub attacks: Vec<BTreeSet<usize>>,
+}
+
+impl AttackGraph {
+    /// Is the graph acyclic? (Attack graphs have the property that any cycle
+    /// induces a 2-cycle, so mutual attack detection suffices; we check full
+    /// reachability cycles anyway for robustness.)
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// A witnessing pair on some cycle, if any.
+    pub fn find_cycle(&self) -> Option<(usize, usize)> {
+        let n = self.attacks.len();
+        // Transitive closure (tiny n).
+        let mut reach = self.attacks.clone();
+        for _ in 0..n {
+            for i in 0..n {
+                let mut extra = BTreeSet::new();
+                for &j in &reach[i] {
+                    extra.extend(reach[j].iter().copied());
+                }
+                reach[i].extend(extra);
+            }
+        }
+        for i in 0..n {
+            for &j in &reach[i] {
+                if reach[j].contains(&i) {
+                    return Some((i.min(j), i.max(j)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Atoms with no incoming attack.
+    pub fn unattacked(&self) -> Vec<usize> {
+        let n = self.attacks.len();
+        (0..n)
+            .filter(|&i| (0..n).all(|j| !self.attacks[j].contains(&i)))
+            .collect()
+    }
+}
+
+fn key_positions_of(atom: &Atom, keys: &KeyPositions) -> Vec<usize> {
+    keys.get(&atom.relation)
+        .cloned()
+        .unwrap_or_else(|| (0..atom.terms.len()).collect())
+}
+
+fn key_vars(atom: &Atom, keys: &KeyPositions) -> BTreeSet<Var> {
+    key_positions_of(atom, keys)
+        .iter()
+        .filter_map(|&p| atom.terms.get(p).and_then(Term::as_var))
+        .collect()
+}
+
+fn all_vars(atom: &Atom) -> BTreeSet<Var> {
+    atom.vars().collect()
+}
+
+/// Closure of `seed` under the FDs `key(G) → vars(G)` for `G ≠ skip`.
+fn closure(
+    atoms: &[Atom],
+    skip: usize,
+    keys: &KeyPositions,
+    seed: &BTreeSet<Var>,
+) -> BTreeSet<Var> {
+    let mut out = seed.clone();
+    loop {
+        let mut changed = false;
+        for (i, g) in atoms.iter().enumerate() {
+            if i == skip {
+                continue;
+            }
+            if key_vars(g, keys).iter().all(|v| out.contains(v)) {
+                for v in all_vars(g) {
+                    changed |= out.insert(v);
+                }
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
+/// Build the attack graph of `atoms`, treating `frozen` variables (the free
+/// variables of the query) as constants.
+pub fn attack_graph_of(atoms: &[Atom], keys: &KeyPositions, frozen: &BTreeSet<Var>) -> AttackGraph {
+    let n = atoms.len();
+    let mut attacks = vec![BTreeSet::new(); n];
+    for f in 0..n {
+        let mut seed: BTreeSet<Var> = key_vars(&atoms[f], keys);
+        seed.extend(frozen.iter().copied());
+        let plus = closure(atoms, f, keys, &seed);
+        // BFS over atoms through shared variables outside `plus`.
+        let outside = |a: &Atom, b: &Atom| -> bool {
+            let va = all_vars(a);
+            all_vars(b)
+                .intersection(&va)
+                .any(|v| !plus.contains(v) && !frozen.contains(v))
+        };
+        let mut reached: BTreeSet<usize> = BTreeSet::new();
+        let mut frontier = vec![f];
+        while let Some(h) = frontier.pop() {
+            for g in 0..n {
+                if g != f && !reached.contains(&g) && outside(&atoms[h], &atoms[g]) {
+                    reached.insert(g);
+                    frontier.push(g);
+                }
+            }
+        }
+        attacks[f] = reached;
+    }
+    AttackGraph { attacks }
+}
+
+/// The attack graph of a query (frozen = its head variables).
+pub fn attack_graph(q: &ConjunctiveQuery, keys: &KeyPositions) -> AttackGraph {
+    attack_graph_of(&q.atoms, keys, &q.head_vars())
+}
+
+/// Rewrite a self-join-free CQ under primary keys into an FO query computing
+/// its certain answers on any (possibly inconsistent) instance.
+pub fn rewrite_key_query(
+    q: &ConjunctiveQuery,
+    keys: &KeyPositions,
+) -> Result<FoQuery, KeyRewriteError> {
+    if !q.is_self_join_free() {
+        return Err(KeyRewriteError::SelfJoin);
+    }
+    if !q.negated.is_empty() || !q.comparisons.is_empty() {
+        return Err(KeyRewriteError::UnsupportedFeatures);
+    }
+    let mut vars = q.vars.clone();
+    let frozen: BTreeSet<Var> = q.head_vars();
+    let formula = rewrite_rec(&q.atoms, keys, &frozen, &mut vars)?;
+    let free: Vec<Var> = q.head.iter().filter_map(Term::as_var).collect();
+    Ok(FoQuery {
+        vars,
+        free,
+        formula,
+    })
+}
+
+fn substitute(atom: &Atom, sigma: &BTreeMap<Var, Var>) -> Atom {
+    Atom::new(
+        atom.relation.clone(),
+        atom.terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Term::Var(*sigma.get(v).unwrap_or(v)),
+                c => c.clone(),
+            })
+            .collect(),
+    )
+}
+
+fn rewrite_rec(
+    atoms: &[Atom],
+    keys: &KeyPositions,
+    frozen: &BTreeSet<Var>,
+    vars: &mut VarTable,
+) -> Result<Fo, KeyRewriteError> {
+    if atoms.is_empty() {
+        return Ok(Fo::And(Vec::new())); // true
+    }
+    let graph = attack_graph_of(atoms, keys, frozen);
+    if let Some(witness) = graph.find_cycle() {
+        return Err(KeyRewriteError::CyclicAttackGraph { witness });
+    }
+    let f_idx = *graph
+        .unattacked()
+        .first()
+        .expect("acyclic graph has an unattacked atom");
+    let f = &atoms[f_idx];
+    let key_pos = key_positions_of(f, keys);
+    let kvars = key_vars(f, keys);
+
+    // Fresh variables for every non-key position; conditions enforcing F's
+    // non-key pattern on them; substitution for the purely-non-key vars.
+    let mut conditions: Vec<Fo> = Vec::new();
+    let mut sigma: BTreeMap<Var, Var> = BTreeMap::new();
+    let mut fresh_terms: Vec<Term> = Vec::with_capacity(f.terms.len());
+    let mut fresh_vars: Vec<Var> = Vec::new();
+    for (p, t) in f.terms.iter().enumerate() {
+        if key_pos.contains(&p) {
+            fresh_terms.push(t.clone());
+            continue;
+        }
+        let y = vars.fresh();
+        fresh_vars.push(y);
+        fresh_terms.push(Term::Var(y));
+        match t {
+            Term::Const(c) => {
+                conditions.push(Fo::Cmp(Comparison::new(Term::Var(y), CmpOp::Eq, c.clone())));
+            }
+            Term::Var(v) => {
+                if frozen.contains(v) || kvars.contains(v) {
+                    conditions.push(Fo::Cmp(Comparison::new(
+                        Term::Var(y),
+                        CmpOp::Eq,
+                        Term::Var(*v),
+                    )));
+                } else if let Some(&prev) = sigma.get(v) {
+                    conditions.push(Fo::Cmp(Comparison::new(
+                        Term::Var(y),
+                        CmpOp::Eq,
+                        Term::Var(prev),
+                    )));
+                } else {
+                    sigma.insert(*v, y);
+                }
+            }
+        }
+    }
+
+    // Recurse on the remaining atoms with F's non-key vars replaced by the
+    // fresh copies, everything now in scope frozen.
+    let rest: Vec<Atom> = atoms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != f_idx)
+        .map(|(_, a)| substitute(a, &sigma))
+        .collect();
+    let mut frozen2 = frozen.clone();
+    frozen2.extend(kvars.iter().copied());
+    frozen2.extend(sigma.values().copied());
+    let rec = rewrite_rec(&rest, keys, &frozen2, vars)?;
+
+    // ∀ȳ' (R(x̄, ȳ') → conditions ∧ rec), as ¬∃ȳ' (R(x̄, ȳ') ∧ ¬(…)).
+    let mut inner_parts = conditions;
+    inner_parts.push(rec);
+    let inner = Fo::and(inner_parts);
+    let forall = Fo::Not(Box::new(Fo::Exists(
+        fresh_vars,
+        Box::new(Fo::And(vec![
+            Fo::Atom(Atom::new(f.relation.clone(), fresh_terms)),
+            Fo::Not(Box::new(inner)),
+        ])),
+    )));
+
+    let step = Fo::And(vec![Fo::Atom(f.clone()), forall]);
+    let local: Vec<Var> = all_vars(f)
+        .into_iter()
+        .filter(|v| !frozen.contains(v))
+        .collect();
+    Ok(if local.is_empty() {
+        step
+    } else {
+        Fo::Exists(local, Box::new(step))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqa::{consistent_answers, RepairClass};
+    use cqa_constraints::{ConstraintSet, KeyConstraint};
+    use cqa_query::{eval_fo, parse_query, NullSemantics, UnionQuery};
+    use cqa_relation::{tuple, Database, RelationSchema, Tuple};
+    use std::collections::BTreeSet;
+
+    fn employee_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+        db
+    }
+
+    fn kp(entries: &[(&str, &[usize])]) -> KeyPositions {
+        entries
+            .iter()
+            .map(|(r, p)| (r.to_string(), p.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn q1_rewriting_matches_example_3_4() {
+        let q = parse_query("Q(x, y) :- Employee(x, y)").unwrap();
+        let keys = kp(&[("Employee", &[0])]);
+        let fo = rewrite_key_query(&q, &keys).unwrap();
+        let ans = eval_fo(&employee_db(), &fo, NullSemantics::Structural);
+        assert_eq!(ans, [tuple!["smith", 3000], tuple!["stowe", 7000]].into());
+    }
+
+    #[test]
+    fn q2_projection_keeps_page() {
+        let q = parse_query("Q(x) :- Employee(x, y)").unwrap();
+        let keys = kp(&[("Employee", &[0])]);
+        let fo = rewrite_key_query(&q, &keys).unwrap();
+        let ans = eval_fo(&employee_db(), &fo, NullSemantics::Structural);
+        assert_eq!(
+            ans,
+            [tuple!["page"], tuple!["smith"], tuple!["stowe"]].into()
+        );
+    }
+
+    #[test]
+    fn two_atom_acyclic_rewriting_agrees_with_reference_cqa() {
+        // q(x) :- R(x, y), S(y, z) under keys R[0], S[0].
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A", "B"]))
+            .unwrap();
+        db.insert("R", tuple![1, 10]).unwrap();
+        db.insert("R", tuple![1, 11]).unwrap(); // key conflict on R
+        db.insert("R", tuple![2, 12]).unwrap();
+        db.insert("S", tuple![10, 100]).unwrap();
+        db.insert("S", tuple![11, 101]).unwrap();
+        db.insert("S", tuple![12, 102]).unwrap();
+        db.insert("S", tuple![12, 103]).unwrap(); // key conflict on S
+        let q = parse_query("Q(x) :- R(x, y), S(y, z)").unwrap();
+        let keys = kp(&[("R", &[0]), ("S", &[0])]);
+        let fo = rewrite_key_query(&q, &keys).unwrap();
+        let rewritten = eval_fo(&db, &fo, NullSemantics::Structural);
+        let sigma = ConstraintSet::from_iter([
+            KeyConstraint::new("R", ["A"]),
+            KeyConstraint::new("S", ["A"]),
+        ]);
+        let reference =
+            consistent_answers(&db, &sigma, &UnionQuery::single(q), &RepairClass::Subset).unwrap();
+        assert_eq!(rewritten, reference);
+        // x = 1: both branches (y=10, y=11) have S entries → certain.
+        assert!(rewritten.contains(&tuple![1]));
+        // x = 2 is certain too: S(12, ·) exists in every repair.
+        assert!(rewritten.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn cyclic_attack_graph_detected() {
+        let q = parse_query("Q() :- R(x, y), S(y, x)").unwrap();
+        let keys = kp(&[("R", &[0]), ("S", &[0])]);
+        let g = attack_graph(&q, &keys);
+        assert!(!g.is_acyclic());
+        match rewrite_key_query(&q, &keys) {
+            Err(KeyRewriteError::CyclicAttackGraph { .. }) => {}
+            other => panic!("expected cyclic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let q = parse_query("Q() :- R(x, y), R(y, x)").unwrap();
+        let keys = kp(&[("R", &[0])]);
+        assert_eq!(rewrite_key_query(&q, &keys), Err(KeyRewriteError::SelfJoin));
+    }
+
+    #[test]
+    fn comparisons_rejected() {
+        let q = parse_query("Q(x) :- R(x, y), y > 1").unwrap();
+        let keys = kp(&[("R", &[0])]);
+        assert_eq!(
+            rewrite_key_query(&q, &keys),
+            Err(KeyRewriteError::UnsupportedFeatures)
+        );
+    }
+
+    #[test]
+    fn constants_in_nonkey_positions() {
+        // q(x) :- R(x, 'target'): certain iff every tuple of x's key group
+        // has value 'target'.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["K", "V"]))
+            .unwrap();
+        db.insert("R", tuple![1, "target"]).unwrap();
+        db.insert("R", tuple![1, "other"]).unwrap();
+        db.insert("R", tuple![2, "target"]).unwrap();
+        let q = parse_query("Q(x) :- R(x, 'target')").unwrap();
+        let keys = kp(&[("R", &[0])]);
+        let fo = rewrite_key_query(&q, &keys).unwrap();
+        let ans = eval_fo(&db, &fo, NullSemantics::Structural);
+        assert_eq!(ans, [tuple![2]].into());
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("R", ["K"])]);
+        let reference =
+            consistent_answers(&db, &sigma, &UnionQuery::single(q), &RepairClass::Subset).unwrap();
+        assert_eq!(ans, reference);
+    }
+
+    #[test]
+    fn boolean_query_certainty() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["K", "V"]))
+            .unwrap();
+        db.insert("R", tuple![1, "a"]).unwrap();
+        db.insert("R", tuple![1, "b"]).unwrap();
+        let keys = kp(&[("R", &[0])]);
+        // ∃x, y R(x, y) is certainly true (some tuple survives per group).
+        let q = parse_query("Q() :- R(x, y)").unwrap();
+        let fo = rewrite_key_query(&q, &keys).unwrap();
+        let ans = eval_fo(&db, &fo, NullSemantics::Structural);
+        assert_eq!(ans, BTreeSet::from([Tuple::new(vec![])]));
+        // R(x, 'a') is not certain.
+        let q2 = parse_query("Q() :- R(x, 'a')").unwrap();
+        let fo2 = rewrite_key_query(&q2, &keys).unwrap();
+        assert!(eval_fo(&db, &fo2, NullSemantics::Structural).is_empty());
+    }
+
+    #[test]
+    fn randomized_agreement_with_reference_cqa() {
+        // Deterministic pseudo-random sweep: the rewriting must agree with
+        // repair-based CQA on every generated instance.
+        let keys = kp(&[("R", &[0]), ("S", &[0])]);
+        let q = parse_query("Q(x) :- R(x, y), S(y, z)").unwrap();
+        let sigma = ConstraintSet::from_iter([
+            KeyConstraint::new("R", ["A"]),
+            KeyConstraint::new("S", ["A"]),
+        ]);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _case in 0..25 {
+            let mut db = Database::new();
+            db.create_relation(RelationSchema::new("R", ["A", "B"]))
+                .unwrap();
+            db.create_relation(RelationSchema::new("S", ["A", "B"]))
+                .unwrap();
+            for _ in 0..6 {
+                db.insert("R", tuple![next(3) as i64, next(4) as i64])
+                    .unwrap();
+            }
+            for _ in 0..6 {
+                db.insert("S", tuple![next(4) as i64, next(3) as i64])
+                    .unwrap();
+            }
+            let fo = rewrite_key_query(&q, &keys).unwrap();
+            let rewritten = eval_fo(&db, &fo, NullSemantics::Structural);
+            let reference = consistent_answers(
+                &db,
+                &sigma,
+                &UnionQuery::single(q.clone()),
+                &RepairClass::Subset,
+            )
+            .unwrap();
+            assert_eq!(rewritten, reference, "mismatch on instance:\n{db}");
+        }
+    }
+}

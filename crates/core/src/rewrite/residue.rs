@@ -1,0 +1,396 @@
+//! Residue-based rewriting — the original method of the PODS'99 line of work
+//! as told in §2.2 and Example 3.4 of the paper.
+//!
+//! Each IC, viewed as a clause, is resolved against the query's positive
+//! literals; the surviving disjuncts ("residues") are appended to the query:
+//!
+//! * An inclusion dependency `¬Supply(x,y,z) ∨ Articles(z)` resolved with the
+//!   query atom `Supply(x,y,z)` leaves the positive residue `Articles(z)`
+//!   (Example 2.2).
+//! * A key/FD clause `¬R(x̄,y) ∨ ¬R(x̄,z) ∨ y = z` resolved with `R(x̄,y)`
+//!   leaves `¬∃z (R(x̄,z) ∧ z ≠ y)` (Example 3.4).
+//!
+//! Residues can trigger further residues; the loop runs to a fix-point with a
+//! cycle guard (the termination concern the paper mentions). **Scope**: the
+//! method is sound and complete only on the positive cases identified in
+//! \[3\] (e.g. quantifier-free queries under keys and acyclic INDs); use
+//! [`crate::rewrite::keys`] for the fully characterized key-constraint case,
+//! and repair enumeration as the general fallback.
+
+use cqa_constraints::ConstraintSet;
+use cqa_query::{Atom, CmpOp, Comparison, ConjunctiveQuery, Fo, FoQuery, Term, Var, VarTable};
+use cqa_relation::RelationError;
+use std::collections::BTreeMap;
+
+/// The result of residue rewriting.
+#[derive(Debug, Clone)]
+pub struct ResidueRewriting {
+    /// The rewritten query.
+    pub query: FoQuery,
+    /// Number of residues appended.
+    pub residues_applied: usize,
+    /// `false` if the fix-point loop hit the iteration cap (cyclic ICs).
+    pub terminated: bool,
+}
+
+/// Try to unify a constraint body atom against a query atom; returns the
+/// substitution constraint-var → query term.
+fn unify(constraint_atom: &Atom, query_atom: &Atom) -> Option<BTreeMap<Var, Term>> {
+    if constraint_atom.relation != query_atom.relation
+        || constraint_atom.terms.len() != query_atom.terms.len()
+    {
+        return None;
+    }
+    let mut theta: BTreeMap<Var, Term> = BTreeMap::new();
+    for (c, q) in constraint_atom.terms.iter().zip(&query_atom.terms) {
+        match c {
+            Term::Const(v) => {
+                // A constraint constant must meet the same query constant; a
+                // query variable would need an equality residue — out of
+                // scope for the classic method.
+                if q.as_const() != Some(v) {
+                    return None;
+                }
+            }
+            Term::Var(cv) => match theta.get(cv) {
+                Some(bound) if bound != q => return None,
+                Some(_) => {}
+                None => {
+                    theta.insert(*cv, q.clone());
+                }
+            },
+        }
+    }
+    Some(theta)
+}
+
+/// Run the positive-residue fix-point for single-body-atom tgds.
+fn positive_residues(
+    query: &ConjunctiveQuery,
+    sigma: &ConstraintSet,
+) -> (VarTable, Vec<Atom>, usize, bool) {
+    const MAX_ROUNDS: usize = 64;
+    let mut vars = query.vars.clone();
+    let mut atoms = query.atoms.clone();
+    let mut residues_applied = 0usize;
+    let mut terminated = true;
+
+    let tgds: Vec<_> = sigma
+        .tgds()
+        .filter(|t| t.body().atoms.len() == 1 && t.body().comparisons.is_empty())
+        .collect();
+
+    for round in 0.. {
+        if round >= MAX_ROUNDS {
+            terminated = false;
+            break;
+        }
+        let mut added = false;
+        let snapshot = atoms.clone();
+        for tgd in &tgds {
+            let body_atom = &tgd.body().atoms[0];
+            for qa in &snapshot {
+                let Some(theta) = unify(body_atom, qa) else {
+                    continue;
+                };
+                // Residue head under θ, existentials freshened.
+                let mut fresh: BTreeMap<Var, Var> = BTreeMap::new();
+                let head_terms: Vec<Term> = tgd
+                    .head()
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Term::Const(c.clone()),
+                        Term::Var(v) => theta.get(v).cloned().unwrap_or_else(|| {
+                            Term::Var(*fresh.entry(*v).or_insert_with(|| vars.fresh()))
+                        }),
+                    })
+                    .collect();
+                let residue = Atom::new(tgd.head().relation.clone(), head_terms);
+                // Dedup modulo the freshened positions: an existing atom
+                // subsumes the residue if it agrees on every bound position.
+                let already = atoms.iter().any(|a| {
+                    a.relation == residue.relation
+                        && a.terms.iter().zip(&residue.terms).all(|(x, y)| {
+                            x == y
+                                || matches!(y, Term::Var(fv) if fresh.values().any(|nv| nv == fv))
+                        })
+                });
+                if !already {
+                    atoms.push(residue);
+                    residues_applied += 1;
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    (vars, atoms, residues_applied, terminated)
+}
+
+/// Apply the residue method for the tgd (inclusion-dependency) part of
+/// `sigma`. FDs need attribute positions; use
+/// [`residue_rewrite_with_fds`] to add their negative residues.
+pub fn residue_rewrite(
+    query: &ConjunctiveQuery,
+    sigma: &ConstraintSet,
+) -> Result<ResidueRewriting, RelationError> {
+    let (vars, atoms, residues_applied, terminated) = positive_residues(query, sigma);
+    build_result(query, vars, atoms, Vec::new(), residues_applied, terminated)
+}
+
+/// Residue rewriting with FDs given by attribute *positions*
+/// (`(relation, lhs_positions, rhs_position)`), producing the `¬∃` residues
+/// of Example 3.4 on top of the tgd residues of [`residue_rewrite`].
+pub fn residue_rewrite_with_fds(
+    query: &ConjunctiveQuery,
+    sigma: &ConstraintSet,
+    fds_by_position: &[(String, Vec<usize>, usize)],
+) -> Result<ResidueRewriting, RelationError> {
+    let (mut vars, atoms, mut residues_applied, terminated) = positive_residues(query, sigma);
+
+    let mut neg_residues: Vec<Fo> = Vec::new();
+    for (rel, lhs, rhs) in fds_by_position {
+        for qa in &atoms {
+            if &qa.relation != rel
+                || *rhs >= qa.terms.len()
+                || lhs.iter().any(|&p| p >= qa.terms.len())
+            {
+                continue;
+            }
+            // Residue: ¬∃ fresh (R(lhs shared, z at rhs, fresh elsewhere) ∧ z ≠ t_rhs)
+            let z = vars.fresh();
+            let second: Vec<Term> = (0..qa.terms.len())
+                .map(|i| {
+                    if lhs.contains(&i) {
+                        qa.terms[i].clone()
+                    } else if i == *rhs {
+                        Term::Var(z)
+                    } else {
+                        Term::Var(vars.fresh())
+                    }
+                })
+                .collect();
+            let original_vars: Vec<Var> = qa.terms.iter().filter_map(Term::as_var).collect();
+            let ex_vars: Vec<Var> = second
+                .iter()
+                .filter_map(Term::as_var)
+                .filter(|v| !original_vars.contains(v))
+                .collect();
+            let inner = Fo::And(vec![
+                Fo::Atom(Atom::new(rel.clone(), second)),
+                Fo::Cmp(Comparison::new(
+                    Term::Var(z),
+                    CmpOp::Ne,
+                    qa.terms[*rhs].clone(),
+                )),
+            ]);
+            neg_residues.push(Fo::Not(Box::new(Fo::Exists(ex_vars, Box::new(inner)))));
+            residues_applied += 1;
+        }
+    }
+
+    build_result(
+        query,
+        vars,
+        atoms,
+        neg_residues,
+        residues_applied,
+        terminated,
+    )
+}
+
+fn build_result(
+    query: &ConjunctiveQuery,
+    vars: VarTable,
+    atoms: Vec<Atom>,
+    neg_residues: Vec<Fo>,
+    residues_applied: usize,
+    terminated: bool,
+) -> Result<ResidueRewriting, RelationError> {
+    // Assemble: ∃(non-head vars) [ atoms ∧ comparisons ∧ ¬negated ∧ ¬residues ].
+    let head_vars: Vec<Var> = query.head.iter().filter_map(Term::as_var).collect();
+    let mut parts: Vec<Fo> = atoms.into_iter().map(Fo::Atom).collect();
+    parts.extend(query.comparisons.iter().cloned().map(Fo::Cmp));
+    parts.extend(
+        query
+            .negated
+            .iter()
+            .cloned()
+            .map(|a| Fo::Not(Box::new(Fo::Atom(a)))),
+    );
+    parts.extend(neg_residues);
+    let body = Fo::and(parts);
+    let mut existential: Vec<Var> = body
+        .free_vars()
+        .into_iter()
+        .filter(|v| !head_vars.contains(v))
+        .collect();
+    existential.sort();
+    let formula = if existential.is_empty() {
+        body
+    } else {
+        Fo::Exists(existential, Box::new(body))
+    };
+    Ok(ResidueRewriting {
+        query: FoQuery {
+            vars,
+            free: head_vars,
+            formula,
+        },
+        residues_applied,
+        terminated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::Tgd;
+    use cqa_query::{eval_fo, parse_query, NullSemantics};
+    use cqa_relation::{tuple, Database, RelationSchema};
+
+    fn supply_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1"]).unwrap();
+        db.insert("Articles", tuple!["I2"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_2_2_ind_residue() {
+        let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        let sigma =
+            ConstraintSet::from_iter([Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap()]);
+        let rr = residue_rewrite(&q, &sigma).unwrap();
+        assert_eq!(rr.residues_applied, 1);
+        assert!(rr.terminated);
+        // The rewritten query on the inconsistent instance returns the
+        // consistent answers {I1, I2}.
+        let ans = eval_fo(&supply_db(), &rr.query, NullSemantics::Structural);
+        assert_eq!(ans, [tuple!["I1"], tuple!["I2"]].into());
+    }
+
+    #[test]
+    fn example_3_4_fd_residue() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+        let q = parse_query("Q(x, y) :- Employee(x, y)").unwrap();
+        let rr = residue_rewrite_with_fds(
+            &q,
+            &ConstraintSet::new(),
+            &[("Employee".into(), vec![0], 1)],
+        )
+        .unwrap();
+        assert_eq!(rr.residues_applied, 1);
+        let ans = eval_fo(&db, &rr.query, NullSemantics::Structural);
+        assert_eq!(ans, [tuple!["smith", 3000], tuple!["stowe", 7000]].into());
+    }
+
+    #[test]
+    fn chained_inds_reach_fixpoint() {
+        // Supply ⊆ Articles ⊆ Catalog: two residues appended.
+        let mut db = supply_db();
+        db.create_relation(RelationSchema::new("Catalog", ["Item"]))
+            .unwrap();
+        db.insert("Catalog", tuple!["I1"]).unwrap();
+        let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        let sigma = ConstraintSet::from_iter([
+            Tgd::parse("ID1", "Articles(z) :- Supply(x, y, z)").unwrap(),
+            Tgd::parse("ID2", "Catalog(z) :- Articles(z)").unwrap(),
+        ]);
+        let rr = residue_rewrite(&q, &sigma).unwrap();
+        assert_eq!(rr.residues_applied, 2);
+        assert!(rr.terminated);
+        let ans = eval_fo(&db, &rr.query, NullSemantics::Structural);
+        assert_eq!(ans, [tuple!["I1"]].into());
+    }
+
+    #[test]
+    fn cyclic_inds_stabilize_via_dedup() {
+        // R[A] ⊆ S[A] and S[A] ⊆ R[A]: each atom is added at most once.
+        let q = parse_query("Q(x) :- R(x)").unwrap();
+        let sigma = ConstraintSet::from_iter([
+            Tgd::parse("f", "S(x) :- R(x)").unwrap(),
+            Tgd::parse("b", "R(x) :- S(x)").unwrap(),
+        ]);
+        let rr = residue_rewrite(&q, &sigma).unwrap();
+        assert!(rr.terminated);
+        assert_eq!(rr.residues_applied, 1); // S(x) added; R(x) already present
+    }
+
+    #[test]
+    fn existential_head_residue_gets_fresh_var() {
+        let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        let sigma =
+            ConstraintSet::from_iter([
+                Tgd::parse("ID'", "ArticlesC(z, v) :- Supply(x, y, z)").unwrap()
+            ]);
+        let rr = residue_rewrite(&q, &sigma).unwrap();
+        assert_eq!(rr.residues_applied, 1);
+        let mut db = supply_db();
+        db.create_relation(RelationSchema::new("ArticlesC", ["Item", "Cost"]))
+            .unwrap();
+        db.insert("ArticlesC", tuple!["I1", 50]).unwrap();
+        let ans = eval_fo(&db, &rr.query, NullSemantics::Structural);
+        assert_eq!(ans, [tuple!["I1"]].into());
+    }
+
+    #[test]
+    fn no_matching_constraints_is_identity() {
+        let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        let sigma = ConstraintSet::from_iter([Tgd::parse("x", "B(a) :- Unrelated(a)").unwrap()]);
+        let rr = residue_rewrite(&q, &sigma).unwrap();
+        assert_eq!(rr.residues_applied, 0);
+        let ans = eval_fo(&supply_db(), &rr.query, NullSemantics::Structural);
+        assert_eq!(ans.len(), 3); // plain projection: I1, I2, I3
+    }
+
+    #[test]
+    fn fd_residue_agrees_with_repair_cqa() {
+        // Cross-check Example 3.4's rewriting against the reference CQA.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["a", 1]).unwrap();
+        db.insert("Employee", tuple!["a", 2]).unwrap();
+        db.insert("Employee", tuple!["b", 3]).unwrap();
+        db.insert("Employee", tuple!["c", 4]).unwrap();
+        db.insert("Employee", tuple!["c", 4]).unwrap(); // dedup: consistent pair
+        let q = parse_query("Q(x, y) :- Employee(x, y)").unwrap();
+        let rr = residue_rewrite_with_fds(
+            &q,
+            &ConstraintSet::new(),
+            &[("Employee".into(), vec![0], 1)],
+        )
+        .unwrap();
+        let rewritten = eval_fo(&db, &rr.query, NullSemantics::Structural);
+        let sigma =
+            ConstraintSet::from_iter([cqa_constraints::KeyConstraint::new("Employee", ["Name"])]);
+        let reference = crate::cqa::consistent_answers(
+            &db,
+            &sigma,
+            &cqa_query::UnionQuery::single(q),
+            &crate::cqa::RepairClass::Subset,
+        )
+        .unwrap();
+        assert_eq!(rewritten, reference);
+    }
+}

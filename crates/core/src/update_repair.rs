@@ -1,0 +1,234 @@
+//! Update-based repairs with domain values (§4 of the paper; Wijsen \[108\],
+//! Franconi et al. \[63\]).
+//!
+//! Where §4.3's repairs null cells out, *update repairs* fix an FD violation
+//! by overwriting right-hand-side cells with **values from the data
+//! domain** — here, with another value already present in the same key
+//! group (the natural candidate set: any other choice changes strictly more
+//! information). Every tuple survives; a repair is a choice, per conflicting
+//! group, of one witness value, changing the cells that disagree with it.
+//! Distinct choices change incomparable cell sets, so each is ⊆-minimal.
+
+use cqa_constraints::FunctionalDependency;
+use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One cell overwrite.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellUpdate {
+    /// Tuple updated.
+    pub tid: Tid,
+    /// Attribute position.
+    pub position: usize,
+    /// The new (domain) value.
+    pub new_value: Value,
+}
+
+impl fmt::Display for CellUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] := {}",
+            self.tid,
+            self.position + 1,
+            self.new_value
+        )
+    }
+}
+
+/// An update repair: the repaired instance plus the updates applied.
+#[derive(Debug, Clone)]
+pub struct UpdateRepair {
+    /// The repaired instance (all tuples survive; contents updated).
+    pub db: Database,
+    /// The applied updates.
+    pub updates: Vec<CellUpdate>,
+}
+
+/// Enumerate the minimal update repairs of `db` for a single-RHS FD,
+/// drawing replacement values from each conflicting group.
+///
+/// The number of repairs is the product over conflicting groups of the
+/// number of distinct RHS values in the group; `limit` caps the output.
+pub fn update_repairs(
+    db: &Database,
+    fd: &FunctionalDependency,
+    limit: Option<usize>,
+) -> Result<Vec<UpdateRepair>, RelationError> {
+    let [rhs_attr] = &fd.rhs[..] else {
+        return Err(RelationError::Parse(
+            "update repairs are implemented for single-RHS FDs; split the FD".into(),
+        ));
+    };
+    let rel = db.require_relation(&fd.relation)?;
+    let schema = rel.schema().clone();
+    let lhs_pos = schema.positions_of(fd.lhs.iter().map(String::as_str))?;
+    let rhs_pos = schema.require_position(rhs_attr)?;
+
+    // Group tuples by LHS value; keep groups with ≥ 2 distinct RHS values.
+    let mut groups: BTreeMap<Tuple, Vec<(Tid, Value)>> = BTreeMap::new();
+    for (tid, t) in rel.iter() {
+        groups
+            .entry(t.project(&lhs_pos))
+            .or_default()
+            .push((tid, t.at(rhs_pos).clone()));
+    }
+    let conflicting: Vec<Vec<(Tid, Value)>> = groups
+        .into_values()
+        .filter(|g| {
+            let mut vals: Vec<&Value> = g.iter().map(|(_, v)| v).collect();
+            vals.sort();
+            vals.dedup();
+            vals.len() >= 2
+        })
+        .collect();
+
+    // Cartesian product of per-group witness-value choices.
+    let mut repairs: Vec<Vec<CellUpdate>> = vec![Vec::new()];
+    for group in &conflicting {
+        let mut witnesses: Vec<&Value> = group.iter().map(|(_, v)| v).collect();
+        witnesses.sort();
+        witnesses.dedup();
+        let mut next: Vec<Vec<CellUpdate>> = Vec::with_capacity(repairs.len() * witnesses.len());
+        for base in &repairs {
+            for &target in &witnesses {
+                let mut updates = base.clone();
+                for (tid, v) in group {
+                    if v != target {
+                        updates.push(CellUpdate {
+                            tid: *tid,
+                            position: rhs_pos,
+                            new_value: target.clone(),
+                        });
+                    }
+                }
+                next.push(updates);
+                if limit.is_some_and(|l| next.len() >= l * 2) {
+                    break;
+                }
+            }
+        }
+        repairs = next;
+    }
+
+    let mut out = Vec::with_capacity(repairs.len());
+    for updates in repairs {
+        let mut repaired = db.clone();
+        for u in &updates {
+            repaired.update_value(u.tid, u.position, u.new_value.clone())?;
+        }
+        debug_assert!(fd.is_satisfied(&repaired)?);
+        out.push(UpdateRepair {
+            db: repaired,
+            updates,
+        });
+        if limit.is_some_and(|l| out.len() >= l) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// The cheapest update repair by number of changed cells (ties broken
+/// deterministically): per group, keep the most frequent value.
+pub fn min_change_update_repair(
+    db: &Database,
+    fd: &FunctionalDependency,
+) -> Result<UpdateRepair, RelationError> {
+    let all = update_repairs(db, fd, None)?;
+    all.into_iter()
+        .min_by_key(|r| (r.updates.len(), r.updates.clone()))
+        .ok_or_else(|| RelationError::Parse("no repairs produced".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        db.insert("T", tuple![1, "a"]).unwrap(); // ι1
+        db.insert("T", tuple![1, "a"]).unwrap(); // dedup: same tuple
+        db.insert("T", tuple![1, "b"]).unwrap(); // ι2
+        db.insert("T", tuple![2, "x"]).unwrap(); // ι3 (clean group)
+        db
+    }
+
+    #[test]
+    fn enumerates_one_repair_per_witness_value() {
+        let fd = FunctionalDependency::new("T", ["K"], ["V"]);
+        let repairs = update_repairs(&db(), &fd, None).unwrap();
+        // Group k=1 has values {a, b}: two repairs.
+        assert_eq!(repairs.len(), 2);
+        for r in &repairs {
+            assert!(fd.is_satisfied(&r.db).unwrap());
+            // All tuples survive (set semantics may merge equal results).
+            assert!(r.db.relation("T").unwrap().len() >= 2);
+            assert!(r.db.relation("T").unwrap().contains(&tuple![2, "x"]));
+            assert_eq!(r.updates.len(), 1);
+        }
+    }
+
+    #[test]
+    fn min_change_prefers_majority_value() {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        d.insert("T", tuple![1, "maj"]).unwrap();
+        d.insert("T", tuple![1, "min"]).unwrap();
+        d.insert("T", tuple![1, "maj2"]).unwrap();
+        // values: maj, min, maj2 — all singletons; any choice changes 2 cells.
+        let fd = FunctionalDependency::new("T", ["K"], ["V"]);
+        let best = min_change_update_repair(&d, &fd).unwrap();
+        assert_eq!(best.updates.len(), 2);
+        assert!(fd.is_satisfied(&best.db).unwrap());
+    }
+
+    #[test]
+    fn consistent_instance_yields_identity_repair() {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        d.insert("T", tuple![1, "a"]).unwrap();
+        let fd = FunctionalDependency::new("T", ["K"], ["V"]);
+        let repairs = update_repairs(&d, &fd, None).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].updates.is_empty());
+        assert!(repairs[0].db.same_content(&d));
+    }
+
+    #[test]
+    fn multiple_groups_multiply() {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        for (k, v) in [(1, "a"), (1, "b"), (2, "c"), (2, "d"), (2, "e")] {
+            d.insert("T", tuple![k, v]).unwrap();
+        }
+        let fd = FunctionalDependency::new("T", ["K"], ["V"]);
+        let repairs = update_repairs(&d, &fd, None).unwrap();
+        assert_eq!(repairs.len(), 2 * 3);
+        let limited = update_repairs(&d, &fd, Some(3)).unwrap();
+        assert_eq!(limited.len(), 3);
+    }
+
+    #[test]
+    fn multi_rhs_fd_rejected() {
+        let fd = FunctionalDependency::new("T", ["K"], ["V", "W"]);
+        assert!(update_repairs(&db(), &fd, None).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let u = CellUpdate {
+            tid: Tid(3),
+            position: 1,
+            new_value: Value::str("a"),
+        };
+        assert_eq!(u.to_string(), "ι3[2] := 'a'");
+    }
+}

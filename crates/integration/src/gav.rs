@@ -1,0 +1,164 @@
+//! Global-as-view (GAV) mediation (§5 of the paper).
+//!
+//! Under GAV each global predicate is defined as a Datalog view over the
+//! source relations (the rules (8)–(9) of Example 5.1). Query answering is
+//! view *unfolding*; since the workspace has a materializing Datalog engine,
+//! we equivalently materialize the **retrieved global instance** — the
+//! minimal global instance induced by the sources — and answer queries over
+//! it. The two are identical for sound view definitions.
+
+use cqa_query::{eval_ucq, NullSemantics, Program, UnionQuery};
+use cqa_relation::{Database, RelationError, RelationSchema, Tuple};
+use std::collections::BTreeSet;
+
+/// A GAV mediator: source data plus Datalog view definitions whose heads
+/// are the global predicates.
+#[derive(Debug, Clone)]
+pub struct GavMediator {
+    /// The source relations.
+    pub sources: Database,
+    /// View definitions (global predicates in the heads).
+    pub views: Program,
+}
+
+impl GavMediator {
+    /// Build a mediator.
+    pub fn new(sources: Database, views: Program) -> GavMediator {
+        GavMediator { sources, views }
+    }
+
+    /// The global predicates (view heads).
+    pub fn global_predicates(&self) -> BTreeSet<String> {
+        self.views.idb_predicates()
+    }
+
+    /// Materialize the retrieved global instance: only the global relations,
+    /// with fresh tids.
+    pub fn retrieved_global_instance(&self) -> Result<Database, RelationError> {
+        let materialized = self.views.evaluate(&self.sources)?;
+        let globals = self.global_predicates();
+        let mut db = Database::new();
+        for rel in materialized.relations() {
+            if globals.contains(rel.name()) {
+                db.create_relation((**rel.schema()).clone())?;
+                for t in rel.tuples() {
+                    db.insert(rel.name(), t.clone())?;
+                }
+            }
+        }
+        Ok(db)
+    }
+
+    /// Answer a global query (certain answers under sound views = plain
+    /// evaluation over the retrieved instance).
+    pub fn answer(&self, query: &UnionQuery) -> Result<BTreeSet<Tuple>, RelationError> {
+        let global = self.retrieved_global_instance()?;
+        Ok(eval_ucq(&global, query, NullSemantics::Structural))
+    }
+
+    /// Give the retrieved instance named attributes (Datalog heads default to
+    /// `a0, a1, …`): rebuild with `schema`'s attribute names.
+    pub fn retrieved_with_schema(
+        &self,
+        schemas: &[RelationSchema],
+    ) -> Result<Database, RelationError> {
+        let plain = self.retrieved_global_instance()?;
+        let mut db = Database::new();
+        for schema in schemas {
+            db.create_relation(schema.clone())?;
+        }
+        for (rel, _, tuple) in plain.facts() {
+            if db.relation(rel).is_some() {
+                db.insert(rel, tuple.clone())?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::{parse_program, parse_query};
+    use cqa_relation::tuple;
+
+    /// The two-university sources of Example 5.1.
+    pub(crate) fn university_sources() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("CUstds", ["Number", "Name"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("SpecCU", ["Number", "Field"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("OUstds", ["Number", "Name"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("SpecOU", ["Number", "Field"]))
+            .unwrap();
+        db.insert("CUstds", tuple![101, "john"]).unwrap();
+        db.insert("CUstds", tuple![102, "mary"]).unwrap();
+        db.insert("SpecCU", tuple![101, "alg"]).unwrap();
+        db.insert("SpecCU", tuple![102, "ai"]).unwrap();
+        db.insert("OUstds", tuple![103, "claire"]).unwrap();
+        db.insert("OUstds", tuple![104, "peter"]).unwrap();
+        db.insert("SpecOU", tuple![103, "db"]).unwrap();
+        db
+    }
+
+    pub(crate) fn university_views() -> Program {
+        parse_program(
+            "Stds(x, y, 'cu', z) :- CUstds(x, y), SpecCU(x, z).\n\
+             Stds(x, y, 'ou', z) :- OUstds(x, y), SpecOU(x, z).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_5_1_retrieved_instance() {
+        let m = GavMediator::new(university_sources(), university_views());
+        let global = m.retrieved_global_instance().unwrap();
+        let stds = global.relation("Stds").unwrap();
+        assert_eq!(stds.len(), 3);
+        assert!(stds.contains(&tuple![101, "john", "cu", "alg"]));
+        assert!(stds.contains(&tuple![102, "mary", "cu", "ai"]));
+        assert!(stds.contains(&tuple![103, "claire", "ou", "db"]));
+    }
+
+    #[test]
+    fn example_5_1_same_field_query() {
+        // "names of students who study the same field at both universities"
+        let mut sources = university_sources();
+        // Give mary an OU record in the same field so the join is non-empty.
+        sources.insert("OUstds", tuple![201, "mary"]).unwrap();
+        sources.insert("SpecOU", tuple![201, "ai"]).unwrap();
+        let m = GavMediator::new(sources, university_views());
+        let q = UnionQuery::single(
+            parse_query("Ans(x) :- Stds(z, x, 'cu', u), Stds(w, x, 'ou', u)").unwrap(),
+        );
+        let ans = m.answer(&q).unwrap();
+        assert_eq!(ans, [tuple!["mary"]].into());
+    }
+
+    #[test]
+    fn empty_sources_empty_global() {
+        let mut db = Database::new();
+        for (r, attrs) in [
+            ("CUstds", ["Number", "Name"]),
+            ("SpecCU", ["Number", "Field"]),
+            ("OUstds", ["Number", "Name"]),
+            ("SpecOU", ["Number", "Field"]),
+        ] {
+            db.create_relation(RelationSchema::new(r, attrs)).unwrap();
+        }
+        let m = GavMediator::new(db, university_views());
+        assert_eq!(m.retrieved_global_instance().unwrap().total_tuples(), 0);
+    }
+
+    #[test]
+    fn retrieved_with_named_schema() {
+        let m = GavMediator::new(university_sources(), university_views());
+        let schema = RelationSchema::new("Stds", ["Number", "Name", "Univ", "Field"]);
+        let global = m.retrieved_with_schema(&[schema]).unwrap();
+        let rel = global.relation("Stds").unwrap();
+        assert_eq!(rel.schema().position_of("Univ"), Some(2));
+        assert_eq!(rel.len(), 3);
+    }
+}

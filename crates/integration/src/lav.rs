@@ -1,0 +1,249 @@
+//! Local-as-view (LAV) mediation via inverse rules (§5 of the paper).
+//!
+//! Under LAV a *source* relation is defined as a view over the global
+//! schema, e.g. `CUstds(x, y) :- Stds(x, y, 'cu', z)` (Example 5.1). The
+//! classical inverse-rules algorithm runs the definitions backwards: every
+//! source tuple implies the existence of the global body atoms, with
+//! existential body variables skolemized. We materialize this **canonical
+//! global instance** with fresh labelled nulls as skolems (one per
+//! existential variable per source tuple) and answer CQs over it, dropping
+//! answers that contain a skolem — the textbook certain-answer procedure for
+//! CQs under sound LAV views.
+
+use cqa_query::{
+    eval_ucq, match_atom, Bindings, NullSemantics, Rule, Term, UnionQuery, Var, VarTable,
+};
+use cqa_relation::{Database, RelationError, RelationSchema, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One LAV mapping: `source(x̄) :- global-body` (the source relation defined
+/// as a conjunctive view over global predicates).
+#[derive(Debug, Clone)]
+pub struct LavMapping {
+    /// Head: the source predicate with its distinguished variables.
+    pub rule: Rule,
+    /// The variable table of the rule.
+    pub vars: VarTable,
+}
+
+impl LavMapping {
+    /// Parse from rule syntax: `LavMapping::parse("CUstds(x, y) :- Stds(x, y, 'cu', z)")`.
+    ///
+    /// Existential variables of the body (here `z`) are allowed.
+    pub fn parse(rule: &str) -> Result<LavMapping, RelationError> {
+        // Reuse the tgd parser trick: head vars may not cover body vars and
+        // vice versa, so parse leniently through the program parser.
+        let program = cqa_query::parse_program(rule)?;
+        let [rule] = &program.rules[..] else {
+            return Err(RelationError::Parse("expected exactly one LAV rule".into()));
+        };
+        if rule.negative().count() > 0 {
+            return Err(RelationError::Parse(
+                "LAV views must be conjunctive (no negation)".into(),
+            ));
+        }
+        Ok(LavMapping {
+            rule: rule.clone(),
+            vars: program.vars,
+        })
+    }
+
+    /// Head (source) predicate name.
+    pub fn source_predicate(&self) -> &str {
+        &self.rule.head.relation
+    }
+
+    /// Body variables that do not occur in the head (to be skolemized).
+    pub fn existential_vars(&self) -> BTreeSet<Var> {
+        let head: BTreeSet<Var> = self.rule.head.vars().collect();
+        self.rule
+            .positive()
+            .flat_map(|a| a.vars())
+            .filter(|v| !head.contains(v))
+            .collect()
+    }
+}
+
+/// A LAV mediator.
+#[derive(Debug, Clone)]
+pub struct LavMediator {
+    /// The source relations.
+    pub sources: Database,
+    /// The global relation schemas.
+    pub global_schemas: Vec<RelationSchema>,
+    /// The mappings, one per source relation.
+    pub mappings: Vec<LavMapping>,
+}
+
+impl LavMediator {
+    /// Build a mediator.
+    pub fn new(
+        sources: Database,
+        global_schemas: Vec<RelationSchema>,
+        mappings: Vec<LavMapping>,
+    ) -> LavMediator {
+        LavMediator {
+            sources,
+            global_schemas,
+            mappings,
+        }
+    }
+
+    /// Materialize the canonical global instance by applying the inverse
+    /// rules: one pass over each source relation per mapping, skolemizing
+    /// existential variables with fresh labelled nulls.
+    pub fn canonical_global_instance(&self) -> Result<Database, RelationError> {
+        let mut global = Database::new();
+        for schema in &self.global_schemas {
+            global.create_relation(schema.clone())?;
+        }
+        for mapping in &self.mappings {
+            let Some(source) = self.sources.relation(mapping.source_predicate()) else {
+                continue;
+            };
+            let head = &mapping.rule.head;
+            if head.terms.len() != source.schema().arity() {
+                return Err(RelationError::ArityMismatch {
+                    relation: source.name().to_string(),
+                    expected: source.schema().arity(),
+                    actual: head.terms.len(),
+                });
+            }
+            let existentials = mapping.existential_vars();
+            for (_, tuple) in source.iter() {
+                // Bind the head variables against the source tuple.
+                let mut bindings = Bindings::new(mapping.vars.len());
+                let Some(_newly) =
+                    match_atom(head, tuple, &mut bindings, NullSemantics::Structural)
+                else {
+                    continue; // repeated head vars/constants that don't match
+                };
+                // Skolemize: one fresh labelled null per existential var per
+                // source tuple.
+                let mut skolems: BTreeMap<Var, cqa_relation::Value> = BTreeMap::new();
+                for &v in &existentials {
+                    skolems.insert(v, global.fresh_null());
+                }
+                for atom in mapping.rule.positive() {
+                    let args: Vec<cqa_relation::Value> = atom
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => c.clone(),
+                            Term::Var(v) => bindings
+                                .get(*v)
+                                .cloned()
+                                .or_else(|| skolems.get(v).cloned())
+                                .expect("var is head-bound or skolemized"),
+                        })
+                        .collect();
+                    global.insert(&atom.relation, Tuple::new(args))?;
+                }
+            }
+        }
+        Ok(global)
+    }
+
+    /// Certain answers to a global UCQ under sound views: evaluate over the
+    /// canonical instance (skolems join structurally, as inverse rules
+    /// require) and drop answers containing a skolem.
+    pub fn certain_answers(&self, query: &UnionQuery) -> Result<BTreeSet<Tuple>, RelationError> {
+        let canonical = self.canonical_global_instance()?;
+        Ok(eval_ucq(&canonical, query, NullSemantics::Structural)
+            .into_iter()
+            .filter(|t| !t.has_null())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::parse_query;
+    use cqa_relation::tuple;
+
+    fn global_schemas() -> Vec<RelationSchema> {
+        vec![RelationSchema::new(
+            "Stds",
+            ["Number", "Name", "Univ", "Field"],
+        )]
+    }
+
+    fn sources() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("CUstds", ["Number", "Name"]))
+            .unwrap();
+        db.insert("CUstds", tuple![101, "john"]).unwrap();
+        db.insert("CUstds", tuple![102, "mary"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_5_1_lav_inverse_rules() {
+        // CUstds(x, y) :- Stds(x, y, 'cu', z) — z is skolemized.
+        let mapping = LavMapping::parse("CUstds(x, y) :- Stds(x, y, 'cu', z)").unwrap();
+        let m = LavMediator::new(sources(), global_schemas(), vec![mapping]);
+        let canonical = m.canonical_global_instance().unwrap();
+        let stds = canonical.relation("Stds").unwrap();
+        assert_eq!(stds.len(), 2);
+        // Every tuple has a skolem in the Field position.
+        assert!(stds.tuples().all(|t| t.at(3).is_null()));
+        // Distinct source tuples get distinct skolems.
+        let fields: BTreeSet<_> = stds.tuples().map(|t| t.at(3).clone()).collect();
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn certain_answers_drop_skolems() {
+        let mapping = LavMapping::parse("CUstds(x, y) :- Stds(x, y, 'cu', z)").unwrap();
+        let m = LavMediator::new(sources(), global_schemas(), vec![mapping]);
+        // Names are certain.
+        let q = UnionQuery::single(parse_query("Q(y) :- Stds(x, y, u, z)").unwrap());
+        let ans = m.certain_answers(&q).unwrap();
+        assert_eq!(ans, [tuple!["john"], tuple!["mary"]].into());
+        // Fields are unknown: no certain answers.
+        let qf = UnionQuery::single(parse_query("Q(z) :- Stds(x, y, u, z)").unwrap());
+        assert!(m.certain_answers(&qf).unwrap().is_empty());
+    }
+
+    #[test]
+    fn skolems_join_within_a_view_expansion() {
+        // V(x) :- E(x, z), F(z): the same skolem z must join across the two
+        // body atoms of one expansion.
+        let mut src = Database::new();
+        src.create_relation(RelationSchema::new("V", ["X"]))
+            .unwrap();
+        src.insert("V", tuple!["a"]).unwrap();
+        let mapping = LavMapping::parse("V(x) :- E(x, z), F(z)").unwrap();
+        let m = LavMediator::new(
+            src,
+            vec![
+                RelationSchema::new("E", ["A", "B"]),
+                RelationSchema::new("F", ["A"]),
+            ],
+            vec![mapping],
+        );
+        let q = UnionQuery::single(parse_query("Q(x) :- E(x, z), F(z)").unwrap());
+        let ans = m.certain_answers(&q).unwrap();
+        assert_eq!(ans, [tuple!["a"]].into());
+    }
+
+    #[test]
+    fn constants_in_view_bodies() {
+        let mapping = LavMapping::parse("CUstds(x, y) :- Stds(x, y, 'cu', z)").unwrap();
+        assert_eq!(mapping.source_predicate(), "CUstds");
+        assert_eq!(mapping.existential_vars().len(), 1);
+        let m = LavMediator::new(sources(), global_schemas(), vec![mapping]);
+        let canonical = m.canonical_global_instance().unwrap();
+        assert!(canonical
+            .relation("Stds")
+            .unwrap()
+            .tuples()
+            .all(|t| t.at(2) == &cqa_relation::Value::str("cu")));
+    }
+
+    #[test]
+    fn negation_in_view_rejected() {
+        assert!(LavMapping::parse("V(x) :- E(x), not F(x)").is_err());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # cqa-integration
+//!
+//! Virtual data integration (§5 of the paper): mediators over independent
+//! sources with **GAV** (global-as-view) and **LAV** (local-as-view)
+//! mappings, and consistent query answering against *global* integrity
+//! constraints that no one can enforce on the sources — the scenario the
+//! paper calls "a perfect, if not unavoidable, scenario for CQA".
+//!
+//! * [`gav`] — Datalog view definitions, retrieved global instance,
+//!   unfolding-equivalent query answering (Example 5.1).
+//! * [`lav`] — inverse rules with labelled-null skolems, canonical instance,
+//!   certain answers for CQs under sound views.
+//! * [`peers`] — peer data exchange with protected neighbour data and
+//!   local null-insertion repairs (§4.2, \[25\]).
+//! * [`global_cqa`] — repairs and FO rewriting over the retrieved instance
+//!   (Example 5.2).
+
+pub mod gav;
+pub mod global_cqa;
+pub mod lav;
+pub mod peers;
+
+pub use gav::GavMediator;
+pub use global_cqa::GlobalSystem;
+pub use lav::{LavMapping, LavMediator};
+pub use peers::PeerSystem;

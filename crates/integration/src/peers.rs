@@ -1,0 +1,196 @@
+//! Peer data exchange with local repairs (§4.2 of the paper;
+//! Bertossi–Bravo \[25\]).
+//!
+//! Peers exchange data at query-answering time through inter-peer mappings
+//! (tgds of the `ID′` form, possibly existential). A peer cannot update its
+//! neighbours: when imported data conflicts with its own, the peer repairs
+//! **locally** — neighbour tuples are *protected*, only the peer's own
+//! tuples may be deleted, and missing imported tuples are inserted with
+//! `NULL` for unknown attributes. The consistent instances reachable this
+//! way are the peer's **solutions**; the *peer consistent answers* are the
+//! certain answers over them.
+
+use cqa_constraints::ConstraintSet;
+use cqa_core::{certain_over, s_repairs_with, RepairOptions};
+use cqa_query::UnionQuery;
+use cqa_relation::{Database, RelationError, Tid, Tuple};
+use std::collections::BTreeSet;
+
+/// A peer's view of the exchange: the combined instance (its own relations
+/// plus imported neighbour relations), which relations it owns, and the
+/// constraints it must satisfy locally.
+#[derive(Debug, Clone)]
+pub struct PeerSystem {
+    /// Combined instance: the peer's relations and its neighbours'.
+    pub db: Database,
+    /// Names of the relations the peer owns (deletable).
+    pub local_relations: BTreeSet<String>,
+    /// Inter-peer mappings (tgds, typically neighbour body → local head)
+    /// plus the peer's local ICs.
+    pub sigma: ConstraintSet,
+}
+
+impl PeerSystem {
+    /// Build a peer system.
+    pub fn new(
+        db: Database,
+        local_relations: impl IntoIterator<Item = impl Into<String>>,
+        sigma: ConstraintSet,
+    ) -> PeerSystem {
+        PeerSystem {
+            db,
+            local_relations: local_relations.into_iter().map(Into::into).collect(),
+            sigma,
+        }
+    }
+
+    /// Tids of neighbour tuples (protected from deletion).
+    fn protected(&self) -> BTreeSet<Tid> {
+        self.db
+            .facts()
+            .filter(|(rel, _, _)| !self.local_relations.contains(*rel))
+            .map(|(_, tid, _)| tid)
+            .collect()
+    }
+
+    /// The peer's solutions: local repairs that keep every neighbour tuple.
+    ///
+    /// May be empty when a violation is repairable only by touching
+    /// neighbour data and insertions cannot help — the "no solution" case
+    /// of \[25\].
+    pub fn solutions(&self) -> Result<Vec<Database>, RelationError> {
+        let options = RepairOptions {
+            protected: self.protected(),
+            ..RepairOptions::default()
+        };
+        Ok(s_repairs_with(&self.db, &self.sigma, &options)?
+            .into_iter()
+            .map(|r| r.db)
+            .collect())
+    }
+
+    /// Does the peer have at least one solution?
+    pub fn has_solution(&self) -> Result<bool, RelationError> {
+        Ok(!self.solutions()?.is_empty())
+    }
+
+    /// Peer consistent answers: certain over all solutions (empty when no
+    /// solution exists — the skeptical reading of \[25\]).
+    pub fn peer_consistent_answers(
+        &self,
+        query: &UnionQuery,
+    ) -> Result<BTreeSet<Tuple>, RelationError> {
+        Ok(certain_over(&self.solutions()?, query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{DenialConstraint, Tgd};
+    use cqa_query::parse_query;
+    use cqa_relation::{tuple, RelationSchema, Value};
+
+    /// The peer owns `Articles`; a neighbour exports `Supply`; the mapping
+    /// demands every supplied item to appear locally (ID′ of Ex. 4.3).
+    fn system() -> PeerSystem {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "NbrSupply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item", "Cost"]))
+            .unwrap();
+        db.insert("NbrSupply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("NbrSupply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1", 50]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([
+                Tgd::parse("m", "Articles(z, v) :- NbrSupply(x, y, z)").unwrap()
+            ]);
+        PeerSystem::new(db, ["Articles"], sigma)
+    }
+
+    #[test]
+    fn neighbour_tuples_are_never_deleted() {
+        let sys = system();
+        let solutions = sys.solutions().unwrap();
+        assert!(!solutions.is_empty());
+        for s in &solutions {
+            // Both neighbour tuples survive in every solution.
+            assert_eq!(s.relation("NbrSupply").unwrap().len(), 2);
+            assert!(sys.sigma.is_satisfied(s).unwrap());
+        }
+        // The only way to satisfy the mapping is the null-insertion: the
+        // deletion branch is blocked by protection.
+        assert_eq!(solutions.len(), 1);
+        let arts = solutions[0].relation("Articles").unwrap();
+        assert_eq!(arts.len(), 2);
+        assert!(arts
+            .tuples()
+            .any(|t| t.at(0) == &Value::str("I3") && t.at(1).is_null()));
+    }
+
+    #[test]
+    fn peer_consistent_answers_import_certain_data() {
+        let sys = system();
+        let q = UnionQuery::single(parse_query("Q(z) :- Articles(z, c)").unwrap());
+        let ans = sys.peer_consistent_answers(&q).unwrap();
+        assert_eq!(ans, [tuple!["I1"], tuple!["I3"]].into());
+        // Costs of imported items are unknown (null), hence not certain.
+        let qc = UnionQuery::single(parse_query("Q(c) :- Articles(z, c)").unwrap());
+        let costs = sys.peer_consistent_answers(&qc).unwrap();
+        assert_eq!(costs, [tuple![50]].into());
+    }
+
+    #[test]
+    fn no_solution_when_protection_blocks_every_fix() {
+        // A denial constraint violated purely by neighbour tuples: nothing
+        // the peer may do fixes it.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("NbrS", ["A"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Local", ["A"]))
+            .unwrap();
+        db.insert("NbrS", tuple!["a"]).unwrap();
+        db.insert("NbrS", tuple!["b"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([
+                DenialConstraint::parse("d", "NbrS(x), NbrS(y), x != y").unwrap()
+            ]);
+        let sys = PeerSystem::new(db, ["Local"], sigma);
+        assert!(!sys.has_solution().unwrap());
+        let q = UnionQuery::single(parse_query("Q(x) :- NbrS(x)").unwrap());
+        assert!(sys.peer_consistent_answers(&q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn local_conflicts_are_repaired_locally() {
+        // The peer's own data violates a local DC with imported data: only
+        // the local tuple may go.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("NbrBan", ["Item"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item"]))
+            .unwrap();
+        db.insert("NbrBan", tuple!["I9"]).unwrap();
+        db.insert("Articles", tuple!["I9"]).unwrap();
+        db.insert("Articles", tuple!["I1"]).unwrap();
+        let sigma =
+            ConstraintSet::from_iter([
+                DenialConstraint::parse("ban", "NbrBan(x), Articles(x)").unwrap()
+            ]);
+        let sys = PeerSystem::new(db, ["Articles"], sigma);
+        let solutions = sys.solutions().unwrap();
+        assert_eq!(solutions.len(), 1);
+        assert!(!solutions[0]
+            .relation("Articles")
+            .unwrap()
+            .contains(&tuple!["I9"]));
+        assert!(solutions[0]
+            .relation("NbrBan")
+            .unwrap()
+            .contains(&tuple!["I9"]));
+    }
+}

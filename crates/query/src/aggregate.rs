@@ -1,0 +1,256 @@
+//! Aggregate (scalar) queries over conjunctive bodies.
+//!
+//! §3.2 of the paper cites CQA for *aggregate queries under FDs* \[5\], where
+//! the consistent answer to `SELECT SUM(…)` is an **interval** (greatest
+//! lower / least upper bound over all repairs). This module provides the
+//! underlying single-instance aggregate evaluation; the range-semantics CQA
+//! wrapper lives in `cqa-core::cqa`.
+
+use crate::ast::{ConjunctiveQuery, Term, Var};
+use crate::eval::{for_each_witness, NullSemantics};
+use cqa_relation::{Database, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Aggregate operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// Number of witnesses (bag semantics over the join, as in SQL).
+    Count,
+    /// Number of distinct target values.
+    CountDistinct,
+    /// Sum of the target values.
+    Sum,
+    /// Minimum target value.
+    Min,
+    /// Maximum target value.
+    Max,
+    /// Arithmetic mean of the target values.
+    Avg,
+}
+
+/// An aggregate query: `SELECT group_by, op(target) FROM body GROUP BY group_by`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateQuery {
+    /// The conjunctive body; its head is ignored.
+    pub body: ConjunctiveQuery,
+    /// Grouping variables (empty for a scalar aggregate).
+    pub group_by: Vec<Var>,
+    /// The aggregated variable (`None` only valid for `Count`).
+    pub target: Option<Var>,
+    /// The operator.
+    pub op: AggOp,
+}
+
+/// The result of one group: group key → aggregate value.
+pub type AggResult = BTreeMap<Tuple, Value>;
+
+/// Evaluate an aggregate query over one instance.
+///
+/// Groups with no witnesses are absent from the result (SQL semantics).
+/// `Sum`/`Avg` require numeric targets; non-numeric values make the witness
+/// contribute nothing (documented deviation: SQL would error).
+pub fn eval_aggregate(db: &Database, q: &AggregateQuery, mode: NullSemantics) -> AggResult {
+    let group_terms: Vec<Term> = q.group_by.iter().map(|v| Term::Var(*v)).collect();
+    // group key -> (count, sum, min, max, distinct values)
+    struct Acc {
+        count: u64,
+        sum: f64,
+        numeric: u64,
+        min: Option<Value>,
+        max: Option<Value>,
+        distinct: std::collections::BTreeSet<Value>,
+    }
+    let mut groups: BTreeMap<Tuple, Acc> = BTreeMap::new();
+
+    for_each_witness(db, &q.body, mode, &mut |w| {
+        let Some(key) = w.bindings.project(&group_terms) else {
+            return true;
+        };
+        let acc = groups.entry(key).or_insert_with(|| Acc {
+            count: 0,
+            sum: 0.0,
+            numeric: 0,
+            min: None,
+            max: None,
+            distinct: std::collections::BTreeSet::new(),
+        });
+        acc.count += 1;
+        if let Some(tv) = q.target {
+            if let Some(value) = w.bindings.get(tv) {
+                if !value.is_null() {
+                    acc.distinct.insert(value.clone());
+                    if let Some(f) = value.as_f64() {
+                        acc.sum += f;
+                        acc.numeric += 1;
+                    }
+                    if acc.min.as_ref().is_none_or(|m| value < m) {
+                        acc.min = Some(value.clone());
+                    }
+                    if acc.max.as_ref().is_none_or(|m| value > m) {
+                        acc.max = Some(value.clone());
+                    }
+                }
+            }
+        }
+        true
+    });
+
+    groups
+        .into_iter()
+        .filter_map(|(key, acc)| {
+            let value = match q.op {
+                AggOp::Count => Some(Value::Int(acc.count as i64)),
+                AggOp::CountDistinct => Some(Value::Int(acc.distinct.len() as i64)),
+                AggOp::Sum => (acc.numeric > 0).then(|| {
+                    if acc.sum.fract() == 0.0 && acc.sum.abs() < i64::MAX as f64 {
+                        Value::Int(acc.sum as i64)
+                    } else {
+                        Value::Float(acc.sum)
+                    }
+                }),
+                AggOp::Min => acc.min,
+                AggOp::Max => acc.max,
+                AggOp::Avg => (acc.numeric > 0).then(|| Value::Float(acc.sum / acc.numeric as f64)),
+            };
+            value.map(|v| (key, v))
+        })
+        .collect()
+}
+
+/// Evaluate a scalar (ungrouped) aggregate; `None` when the body is empty
+/// and the operator has no neutral result (`Min`/`Max`/`Sum`/`Avg`).
+/// A `Count` over an empty body returns `Some(0)`.
+pub fn eval_scalar(db: &Database, q: &AggregateQuery, mode: NullSemantics) -> Option<Value> {
+    debug_assert!(q.group_by.is_empty());
+    let r = eval_aggregate(db, q, mode);
+    match r.into_iter().next() {
+        Some((_, v)) => Some(v),
+        None => match q.op {
+            AggOp::Count | AggOp::CountDistinct => Some(Value::Int(0)),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn salary_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Dept", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", "cs", 5000]).unwrap();
+        db.insert("Employee", tuple!["smith", "cs", 3000]).unwrap();
+        db.insert("Employee", tuple!["stowe", "math", 7000])
+            .unwrap();
+        db
+    }
+
+    fn q(db_query: &str, group: &[&str], target: Option<&str>, op: AggOp) -> AggregateQuery {
+        let body = parse_query(db_query).unwrap();
+        let group_by = group
+            .iter()
+            .map(|g| body.vars.lookup(g).expect("group var"))
+            .collect();
+        let target = target.map(|t| body.vars.lookup(t).expect("target var"));
+        AggregateQuery {
+            body,
+            group_by,
+            target,
+            op,
+        }
+    }
+
+    #[test]
+    fn scalar_sum_and_count() {
+        let db = salary_db();
+        let sum = q("Q() :- Employee(n, d, s)", &[], Some("s"), AggOp::Sum);
+        assert_eq!(
+            eval_scalar(&db, &sum, NullSemantics::Structural),
+            Some(Value::Int(15000))
+        );
+        let count = q("Q() :- Employee(n, d, s)", &[], None, AggOp::Count);
+        assert_eq!(
+            eval_scalar(&db, &count, NullSemantics::Structural),
+            Some(Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn grouped_max() {
+        let db = salary_db();
+        let agg = q("Q() :- Employee(n, d, s)", &["d"], Some("s"), AggOp::Max);
+        let r = eval_aggregate(&db, &agg, NullSemantics::Structural);
+        assert_eq!(r.get(&tuple!["cs"]), Some(&Value::int(5000)));
+        assert_eq!(r.get(&tuple!["math"]), Some(&Value::int(7000)));
+    }
+
+    #[test]
+    fn avg_and_min() {
+        let db = salary_db();
+        let avg = q("Q() :- Employee(n, 'cs', s)", &[], Some("s"), AggOp::Avg);
+        assert_eq!(
+            eval_scalar(&db, &avg, NullSemantics::Structural),
+            Some(Value::Float(4000.0))
+        );
+        let min = q("Q() :- Employee(n, d, s)", &[], Some("s"), AggOp::Min);
+        assert_eq!(
+            eval_scalar(&db, &min, NullSemantics::Structural),
+            Some(Value::Int(3000))
+        );
+    }
+
+    #[test]
+    fn count_distinct_vs_count() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.insert("R", tuple![1, 10]).unwrap();
+        db.insert("R", tuple![2, 10]).unwrap();
+        db.insert("R", tuple![3, 20]).unwrap();
+        let c = q("Q() :- R(a, b)", &[], Some("b"), AggOp::Count);
+        let cd = q("Q() :- R(a, b)", &[], Some("b"), AggOp::CountDistinct);
+        assert_eq!(
+            eval_scalar(&db, &c, NullSemantics::Structural),
+            Some(Value::Int(3))
+        );
+        assert_eq!(
+            eval_scalar(&db, &cd, NullSemantics::Structural),
+            Some(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn empty_body_semantics() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("E", ["A"])).unwrap();
+        let c = q("Q() :- E(a)", &[], None, AggOp::Count);
+        assert_eq!(
+            eval_scalar(&db, &c, NullSemantics::Structural),
+            Some(Value::Int(0))
+        );
+        let s = q("Q() :- E(a)", &[], Some("a"), AggOp::Sum);
+        assert_eq!(eval_scalar(&db, &s, NullSemantics::Structural), None);
+    }
+
+    #[test]
+    fn nulls_are_ignored_by_aggregates() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A"])).unwrap();
+        db.insert("R", tuple![5]).unwrap();
+        db.insert("R", Tuple::new(vec![Value::NULL])).unwrap();
+        let s = q("Q() :- R(a)", &[], Some("a"), AggOp::Sum);
+        assert_eq!(
+            eval_scalar(&db, &s, NullSemantics::Structural),
+            Some(Value::Int(5))
+        );
+        let c = q("Q() :- R(a)", &[], Some("a"), AggOp::CountDistinct);
+        assert_eq!(
+            eval_scalar(&db, &c, NullSemantics::Structural),
+            Some(Value::Int(1))
+        );
+    }
+}

@@ -1,0 +1,651 @@
+//! Query abstract syntax: terms, atoms, conjunctive queries, unions and full
+//! first-order formulas.
+//!
+//! Variables are rule-/query-local `u32` indices managed by a [`VarTable`];
+//! this keeps terms `Copy`-cheap in the evaluator's hot loops while still
+//! giving readable names in `Display` output.
+
+use cqa_relation::Value;
+use std::fmt;
+
+/// A query variable: an index into the owning query's [`VarTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// Registry of variable names for one query/rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    /// Empty table.
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    /// Intern `name`, returning its variable (idempotent).
+    pub fn var(&mut self, name: impl AsRef<str>) -> Var {
+        let name = name.as_ref();
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Var(i as u32);
+        }
+        self.names.push(name.to_string());
+        Var((self.names.len() - 1) as u32)
+    }
+
+    /// A fresh variable with a generated name.
+    pub fn fresh(&mut self) -> Var {
+        let name = format!("_v{}", self.names.len());
+        self.names.push(name);
+        Var((self.names.len() - 1) as u32)
+    }
+
+    /// Name of `v`.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// Look up an existing variable by name.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff no variable has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate all variables.
+    pub fn iter(&self) -> impl Iterator<Item = Var> {
+        (0..self.names.len() as u32).map(Var)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+/// A relational atom `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Variables occurring in the atom, with duplicates, in position order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+
+    /// Positions at which `v` occurs.
+    pub fn positions_of(&self, v: Var) -> Vec<usize> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (t.as_var() == Some(v)).then_some(i))
+            .collect()
+    }
+}
+
+/// Comparison operators for built-in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its arguments swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`a < b` ⇔ ¬(`a >= b`)).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Two-valued evaluation on concrete values (structural order).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A built-in comparison `t₁ op t₂`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Comparison {
+    /// Left term.
+    pub left: Term,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right term.
+    pub right: Term,
+}
+
+impl Comparison {
+    /// Build a comparison.
+    pub fn new(left: impl Into<Term>, op: CmpOp, right: impl Into<Term>) -> Comparison {
+        Comparison {
+            left: left.into(),
+            op,
+            right: right.into(),
+        }
+    }
+
+    /// Variables of the comparison.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        [&self.left, &self.right]
+            .into_iter()
+            .filter_map(Term::as_var)
+    }
+}
+
+/// A conjunctive query with optional safe negation and comparisons:
+///
+/// `Q(x̄) :- A₁, …, Aₙ, not B₁, …, not Bₘ, c₁, …`
+///
+/// All variables of the head, the negated atoms and the comparisons must
+/// occur in some positive atom (safety); [`ConjunctiveQuery::check_safety`]
+/// verifies this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveQuery {
+    /// Variable names.
+    pub vars: VarTable,
+    /// Answer terms (usually variables; constants allowed).
+    pub head: Vec<Term>,
+    /// Positive body atoms.
+    pub atoms: Vec<Atom>,
+    /// Negated body atoms (`not R(…)`), evaluated as anti-joins.
+    pub negated: Vec<Atom>,
+    /// Built-in comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ConjunctiveQuery {
+    /// A Boolean query (empty head)?
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// True iff no relation name occurs twice among the positive atoms.
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        self.atoms.iter().all(|a| seen.insert(&a.relation))
+    }
+
+    /// All variables occurring in positive atoms.
+    pub fn positive_vars(&self) -> std::collections::BTreeSet<Var> {
+        self.atoms.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// Head variables.
+    pub fn head_vars(&self) -> std::collections::BTreeSet<Var> {
+        self.head.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Existential (non-head) variables of the positive body.
+    pub fn existential_vars(&self) -> std::collections::BTreeSet<Var> {
+        let head = self.head_vars();
+        self.positive_vars()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
+    }
+
+    /// Verify range-restriction/safety; returns the offending variable name
+    /// on failure.
+    pub fn check_safety(&self) -> Result<(), String> {
+        let pos = self.positive_vars();
+        let check = |v: Var, whr: &str| -> Result<(), String> {
+            if pos.contains(&v) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "unsafe variable `{}` in {whr}: not bound by any positive atom",
+                    self.vars.name(v)
+                ))
+            }
+        };
+        for t in &self.head {
+            if let Some(v) = t.as_var() {
+                check(v, "head")?;
+            }
+        }
+        for a in &self.negated {
+            for v in a.vars() {
+                check(v, "negated atom")?;
+            }
+        }
+        for c in &self.comparisons {
+            for v in c.vars() {
+                check(v, "comparison")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let term = |t: &Term| match t {
+            Term::Var(v) => self.vars.name(*v).to_string(),
+            Term::Const(c) => c.to_string(),
+        };
+        write!(f, "Q(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", term(t))?;
+        }
+        write!(f, ") :- ")?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !std::mem::take(&mut first) {
+                write!(f, ", ")?;
+            }
+            Ok(())
+        };
+        for a in &self.atoms {
+            sep(f)?;
+            write!(f, "{}(", a.relation)?;
+            for (i, t) in a.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", term(t))?;
+            }
+            write!(f, ")")?;
+        }
+        for a in &self.negated {
+            sep(f)?;
+            write!(f, "not {}(", a.relation)?;
+            for (i, t) in a.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", term(t))?;
+            }
+            write!(f, ")")?;
+        }
+        for c in &self.comparisons {
+            sep(f)?;
+            write!(f, "{} {} {}", term(&c.left), c.op, term(&c.right))?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries (all disjuncts must share head arity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionQuery {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Wrap a single CQ.
+    pub fn single(cq: ConjunctiveQuery) -> UnionQuery {
+        UnionQuery {
+            disjuncts: vec![cq],
+        }
+    }
+
+    /// Head arity (0 for Boolean).
+    pub fn arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, |c| c.head.len())
+    }
+}
+
+/// A full first-order formula (for rewritten queries).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fo {
+    /// A relational atom.
+    Atom(Atom),
+    /// A built-in comparison.
+    Cmp(Comparison),
+    /// Conjunction.
+    And(Vec<Fo>),
+    /// Disjunction.
+    Or(Vec<Fo>),
+    /// Negation.
+    Not(Box<Fo>),
+    /// Existential quantification.
+    Exists(Vec<Var>, Box<Fo>),
+}
+
+impl Fo {
+    /// Conjoin, flattening nested `And`s.
+    pub fn and(parts: Vec<Fo>) -> Fo {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Fo::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().unwrap()
+        } else {
+            Fo::And(flat)
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<Var> {
+        fn go(f: &Fo, bound: &mut Vec<Var>, out: &mut std::collections::BTreeSet<Var>) {
+            match f {
+                Fo::Atom(a) => {
+                    for v in a.vars() {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+                Fo::Cmp(c) => {
+                    for v in c.vars() {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+                Fo::And(fs) | Fo::Or(fs) => fs.iter().for_each(|g| go(g, bound, out)),
+                Fo::Not(g) => go(g, bound, out),
+                Fo::Exists(vs, g) => {
+                    let n = bound.len();
+                    bound.extend(vs.iter().copied());
+                    go(g, bound, out);
+                    bound.truncate(n);
+                }
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+/// An FO query: free variables (the answer tuple) plus a formula, with its
+/// variable names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoQuery {
+    /// Variable names.
+    pub vars: VarTable,
+    /// Answer variables, in output order.
+    pub free: Vec<Var>,
+    /// The formula; its free variables must be exactly `free`.
+    pub formula: Fo,
+}
+
+impl FoQuery {
+    /// Lift a conjunctive query into an FO query
+    /// (`∃ existentials. atoms ∧ ¬negated ∧ comparisons`).
+    pub fn from_cq(cq: &ConjunctiveQuery) -> FoQuery {
+        let mut parts: Vec<Fo> = cq.atoms.iter().cloned().map(Fo::Atom).collect();
+        parts.extend(
+            cq.negated
+                .iter()
+                .cloned()
+                .map(|a| Fo::Not(Box::new(Fo::Atom(a)))),
+        );
+        parts.extend(cq.comparisons.iter().cloned().map(Fo::Cmp));
+        let body = Fo::and(parts);
+        let ex: Vec<Var> = cq.existential_vars().into_iter().collect();
+        let formula = if ex.is_empty() {
+            body
+        } else {
+            Fo::Exists(ex, Box::new(body))
+        };
+        // Head terms that are constants are not free variables.
+        let free: Vec<Var> = cq.head.iter().filter_map(Term::as_var).collect();
+        FoQuery {
+            vars: cq.vars.clone(),
+            free,
+            formula,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relation::Value;
+
+    fn v(t: &mut VarTable, n: &str) -> Term {
+        Term::Var(t.var(n))
+    }
+
+    #[test]
+    fn var_table_interns() {
+        let mut t = VarTable::new();
+        let x = t.var("x");
+        let y = t.var("y");
+        assert_ne!(x, y);
+        assert_eq!(t.var("x"), x);
+        assert_eq!(t.name(y), "y");
+        assert_eq!(t.lookup("y"), Some(y));
+        assert_eq!(t.lookup("z"), None);
+        let f = t.fresh();
+        assert_eq!(t.len(), 3);
+        assert!(t.name(f).starts_with("_v"));
+    }
+
+    #[test]
+    fn cq_display_and_classification() {
+        let mut vars = VarTable::new();
+        let x = vars.var("x");
+        let q = ConjunctiveQuery {
+            head: vec![Term::Var(x)],
+            atoms: vec![
+                Atom::new("R", vec![Term::Var(x), Term::Const(Value::int(1))]),
+                Atom::new("S", vec![Term::Var(x)]),
+            ],
+            negated: vec![],
+            comparisons: vec![],
+            vars,
+        };
+        assert!(q.is_self_join_free());
+        assert!(!q.is_boolean());
+        assert_eq!(q.to_string(), "Q(x) :- R(x, 1), S(x)");
+        assert!(q.check_safety().is_ok());
+    }
+
+    #[test]
+    fn self_join_detected() {
+        let mut vars = VarTable::new();
+        let x = v(&mut vars, "x");
+        let q = ConjunctiveQuery {
+            head: vec![],
+            atoms: vec![
+                Atom::new("R", vec![x.clone()]),
+                Atom::new("R", vec![x.clone()]),
+            ],
+            negated: vec![],
+            comparisons: vec![],
+            vars,
+        };
+        assert!(!q.is_self_join_free());
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn safety_rejects_unbound_head_and_negation() {
+        let mut vars = VarTable::new();
+        let x = vars.var("x");
+        let y = vars.var("y");
+        let q = ConjunctiveQuery {
+            head: vec![Term::Var(y)],
+            atoms: vec![Atom::new("R", vec![Term::Var(x)])],
+            negated: vec![],
+            comparisons: vec![],
+            vars: vars.clone(),
+        };
+        assert!(q.check_safety().unwrap_err().contains('y'));
+        let q2 = ConjunctiveQuery {
+            head: vec![],
+            atoms: vec![Atom::new("R", vec![Term::Var(x)])],
+            negated: vec![Atom::new("S", vec![Term::Var(y)])],
+            comparisons: vec![],
+            vars,
+        };
+        assert!(q2.check_safety().is_err());
+    }
+
+    #[test]
+    fn fo_free_vars_respect_quantifiers() {
+        let mut vars = VarTable::new();
+        let x = vars.var("x");
+        let y = vars.var("y");
+        let f = Fo::Exists(
+            vec![y],
+            Box::new(Fo::And(vec![
+                Fo::Atom(Atom::new("R", vec![Term::Var(x), Term::Var(y)])),
+                Fo::Cmp(Comparison::new(Term::Var(y), CmpOp::Ne, Term::Var(x))),
+            ])),
+        );
+        let free = f.free_vars();
+        assert!(free.contains(&x));
+        assert!(!free.contains(&y));
+    }
+
+    #[test]
+    fn from_cq_builds_exists() {
+        let mut vars = VarTable::new();
+        let x = vars.var("x");
+        let y = vars.var("y");
+        let cq = ConjunctiveQuery {
+            head: vec![Term::Var(x)],
+            atoms: vec![Atom::new("R", vec![Term::Var(x), Term::Var(y)])],
+            negated: vec![],
+            comparisons: vec![],
+            vars,
+        };
+        let fo = FoQuery::from_cq(&cq);
+        assert_eq!(fo.free, vec![x]);
+        match &fo.formula {
+            Fo::Exists(vs, _) => assert_eq!(vs, &vec![y]),
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert!(CmpOp::Le.eval(&Value::int(1), &Value::int(1)));
+        assert!(CmpOp::Ne.eval(&Value::int(1), &Value::int(2)));
+        assert!(!CmpOp::Gt.eval(&Value::int(1), &Value::int(2)));
+    }
+
+    #[test]
+    fn and_flattens() {
+        let a = Fo::Atom(Atom::new("R", vec![]));
+        let f = Fo::and(vec![Fo::And(vec![a.clone(), a.clone()]), a.clone()]);
+        match f {
+            Fo::And(parts) => assert_eq!(parts.len(), 3),
+            _ => panic!(),
+        }
+        // Single part collapses.
+        assert_eq!(Fo::and(vec![a.clone()]), a);
+    }
+}

@@ -1,0 +1,446 @@
+//! Stratified Datalog with negation, evaluated semi-naively.
+//!
+//! This engine backs the virtual-data-integration crate (GAV view expansion,
+//! LAV inverse rules, §5 of the paper) and provides the "monotone query"
+//! language over which causality is defined in §7. It is deliberately a
+//! *materializing* engine: `evaluate` returns a database holding the EDB plus
+//! every derived IDB fact, which the ordinary query evaluator can then query.
+
+use crate::ast::{Atom, Comparison, ConjunctiveQuery, VarTable};
+use crate::eval::{for_each_witness, NullSemantics};
+use cqa_relation::{Database, RelationError, RelationSchema, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Positive atom.
+    Pos(Atom),
+    /// Negated atom (must be on a strictly lower stratum).
+    Neg(Atom),
+    /// Built-in comparison.
+    Cmp(Comparison),
+}
+
+/// A Datalog rule `head :- body` (facts have an empty body and a ground head).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Head atom; its predicate is an IDB predicate.
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Positive body atoms.
+    pub fn positive(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Negative body atoms.
+    pub fn negative(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Neg(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Comparisons.
+    pub fn comparisons(&self) -> impl Iterator<Item = &Comparison> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Cmp(c) => Some(c),
+            _ => None,
+        })
+    }
+}
+
+/// A Datalog program. Variables of all rules share one [`VarTable`]
+/// (indices are only used for binding slots, so sharing is harmless).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The rules, facts included.
+    pub rules: Vec<Rule>,
+    /// Shared variable names.
+    pub vars: VarTable,
+}
+
+impl Program {
+    /// Predicates defined by some rule head.
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head.relation.clone()).collect()
+    }
+
+    /// Check range-restriction: head, negated and comparison variables must
+    /// occur in the positive body.
+    pub fn check_safety(&self) -> Result<(), String> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            let pos: BTreeSet<_> = rule.positive().flat_map(|a| a.vars()).collect();
+            let mut need = Vec::new();
+            need.extend(rule.head.vars());
+            need.extend(rule.negative().flat_map(|a| a.vars()));
+            need.extend(rule.comparisons().flat_map(|c| c.vars()));
+            for v in need {
+                if !pos.contains(&v) {
+                    return Err(format!("rule {i}: unsafe variable `{}`", self.vars.name(v)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compute a stratification: predicate → stratum number. Fails iff some
+    /// negation occurs in a recursive cycle.
+    pub fn stratify(&self) -> Result<BTreeMap<String, usize>, String> {
+        let idb = self.idb_predicates();
+        let mut stratum: BTreeMap<String, usize> =
+            idb.iter().map(|p| (p.clone(), 0usize)).collect();
+        let max_rounds = idb.len() + 1;
+        for _ in 0..=max_rounds {
+            let mut changed = false;
+            for rule in &self.rules {
+                let h = rule.head.relation.clone();
+                let hs = stratum[&h];
+                let mut new_hs = hs;
+                for a in rule.positive() {
+                    if let Some(&s) = stratum.get(&a.relation) {
+                        new_hs = new_hs.max(s);
+                    }
+                }
+                for a in rule.negative() {
+                    if let Some(&s) = stratum.get(&a.relation) {
+                        new_hs = new_hs.max(s + 1);
+                    }
+                }
+                if new_hs > hs {
+                    if new_hs > idb.len() {
+                        return Err(format!(
+                            "program is not stratifiable: negation through recursion at `{h}`"
+                        ));
+                    }
+                    stratum.insert(h, new_hs);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(stratum);
+            }
+        }
+        Err("program is not stratifiable".to_string())
+    }
+
+    /// Evaluate the program over `edb`, returning a database containing the
+    /// EDB relations plus all materialized IDB relations.
+    pub fn evaluate(&self, edb: &Database) -> Result<Database, RelationError> {
+        self.check_safety().map_err(RelationError::Parse)?;
+        let strata = self.stratify().map_err(RelationError::Parse)?;
+
+        let mut db = edb.clone();
+        // Create IDB relations (arity from the first head occurrence).
+        let mut arity: BTreeMap<String, usize> = BTreeMap::new();
+        for rule in &self.rules {
+            let a = rule.head.terms.len();
+            if let Some(&prev) = arity.get(&rule.head.relation) {
+                if prev != a {
+                    return Err(RelationError::Parse(format!(
+                        "predicate `{}` used with arities {prev} and {a}",
+                        rule.head.relation
+                    )));
+                }
+            } else {
+                arity.insert(rule.head.relation.clone(), a);
+            }
+        }
+        for (pred, &a) in &arity {
+            if db.relation(pred).is_none() {
+                let attrs: Vec<String> = (0..a).map(|i| format!("a{i}")).collect();
+                db.create_relation(RelationSchema::new(pred.clone(), attrs))?;
+            }
+            // A delta twin for semi-naive evaluation.
+            let attrs: Vec<String> = (0..a).map(|i| format!("a{i}")).collect();
+            db.create_relation(RelationSchema::new(delta_name(pred), attrs))?;
+        }
+
+        let max_stratum = strata.values().copied().max().unwrap_or(0);
+        for s in 0..=max_stratum {
+            let rules_here: Vec<&Rule> = self
+                .rules
+                .iter()
+                .filter(|r| strata[&r.head.relation] == s)
+                .collect();
+            if rules_here.is_empty() {
+                continue;
+            }
+            self.evaluate_stratum(&mut db, &rules_here, &strata, s)?;
+        }
+
+        // Drop the delta relations from the result by rebuilding without them.
+        let mut clean = Database::new();
+        for rel in db.relations() {
+            if rel.name().starts_with(DELTA_PREFIX) {
+                continue;
+            }
+            clean.create_relation((**rel.schema()).clone())?;
+            for t in rel.tuples() {
+                clean.insert(rel.name(), t.clone())?;
+            }
+        }
+        Ok(clean)
+    }
+
+    fn evaluate_stratum(
+        &self,
+        db: &mut Database,
+        rules: &[&Rule],
+        strata: &BTreeMap<String, usize>,
+        stratum: usize,
+    ) -> Result<(), RelationError> {
+        // Round 0: evaluate every rule in full; the results seed the deltas.
+        let mut delta: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+        for rule in rules {
+            for t in self.fire(db, rule, None)? {
+                if insert_new(db, &rule.head.relation, &t)? {
+                    delta
+                        .entry(rule.head.relation.clone())
+                        .or_default()
+                        .insert(t);
+                }
+            }
+        }
+        // Semi-naive rounds: re-fire only rules with a positive atom on a
+        // predicate of this stratum, once per such occurrence, reading the
+        // delta for that occurrence.
+        loop {
+            if delta.values().all(BTreeSet::is_empty) {
+                break;
+            }
+            // Materialize current deltas into Δ relations.
+            for (pred, tuples) in &delta {
+                clear_relation(db, &delta_name(pred))?;
+                for t in tuples {
+                    db.insert(&delta_name(pred), t.clone())?;
+                }
+            }
+            let mut next: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+            for rule in rules {
+                let rec_positions: Vec<usize> = rule
+                    .positive()
+                    .enumerate()
+                    .filter(|(_, a)| {
+                        strata.get(&a.relation) == Some(&stratum)
+                            && delta.get(&a.relation).is_some_and(|d| !d.is_empty())
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                for &occ in &rec_positions {
+                    for t in self.fire(db, rule, Some(occ))? {
+                        if insert_new(db, &rule.head.relation, &t)? {
+                            next.entry(rule.head.relation.clone())
+                                .or_default()
+                                .insert(t);
+                        }
+                    }
+                }
+            }
+            delta = next;
+        }
+        // Clear deltas for hygiene.
+        for rule in rules {
+            clear_relation(db, &delta_name(&rule.head.relation))?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate one rule body over `db`; if `delta_occurrence` is set, the
+    /// n-th positive atom reads from its Δ relation instead.
+    fn fire(
+        &self,
+        db: &Database,
+        rule: &Rule,
+        delta_occurrence: Option<usize>,
+    ) -> Result<Vec<Tuple>, RelationError> {
+        let mut atoms: Vec<Atom> = rule.positive().cloned().collect();
+        if let Some(occ) = delta_occurrence {
+            atoms[occ].relation = delta_name(&atoms[occ].relation);
+        }
+        let cq = ConjunctiveQuery {
+            vars: self.vars.clone(),
+            head: rule.head.terms.clone(),
+            atoms,
+            negated: rule.negative().cloned().collect(),
+            comparisons: rule.comparisons().cloned().collect(),
+        };
+        let mut out = Vec::new();
+        for_each_witness(db, &cq, NullSemantics::Structural, &mut |w| {
+            if let Some(t) = w.bindings.project(&cq.head) {
+                out.push(t);
+            }
+            true
+        });
+        Ok(out)
+    }
+}
+
+const DELTA_PREFIX: &str = "\u{0394}#"; // "Δ#", cannot clash with user names
+
+fn delta_name(pred: &str) -> String {
+    format!("{DELTA_PREFIX}{pred}")
+}
+
+fn insert_new(db: &mut Database, pred: &str, t: &Tuple) -> Result<bool, RelationError> {
+    if db.require_relation(pred)?.contains(t) {
+        Ok(false)
+    } else {
+        db.insert(pred, t.clone())?;
+        Ok(true)
+    }
+}
+
+fn clear_relation(db: &mut Database, pred: &str) -> Result<(), RelationError> {
+    let tids: Vec<_> = db.require_relation(pred)?.tids().collect();
+    for tid in tids {
+        db.delete(tid)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+    use cqa_relation::tuple;
+
+    fn edge_db(edges: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Edge", ["From", "To"]))
+            .unwrap();
+        for &(a, b) in edges {
+            db.insert("Edge", tuple![a, b]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let p = parse_program(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, z) :- Edge(x, y), Path(y, z).",
+        )
+        .unwrap();
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4)]);
+        let out = p.evaluate(&db).unwrap();
+        let path = out.relation("Path").unwrap();
+        assert_eq!(path.len(), 6); // all ordered pairs i<j
+        assert!(path.contains(&tuple![1, 4]));
+    }
+
+    #[test]
+    fn transitive_closure_with_cycle_terminates() {
+        let p = parse_program(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        )
+        .unwrap();
+        let db = edge_db(&[(1, 2), (2, 1)]);
+        let out = p.evaluate(&db).unwrap();
+        assert_eq!(out.relation("Path").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let p = parse_program(
+            "Reach(x) :- Source(x).\n\
+             Reach(y) :- Reach(x), Edge(x, y).\n\
+             Unreached(x) :- Node(x), not Reach(x).",
+        )
+        .unwrap();
+        let mut db = edge_db(&[(1, 2), (3, 4)]);
+        db.create_relation(RelationSchema::new("Source", ["N"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Node", ["N"]))
+            .unwrap();
+        db.insert("Source", tuple![1]).unwrap();
+        for n in 1..=4 {
+            db.insert("Node", tuple![n]).unwrap();
+        }
+        let out = p.evaluate(&db).unwrap();
+        let unreached: Vec<i64> = out
+            .relation("Unreached")
+            .unwrap()
+            .tuples()
+            .map(|t| t.at(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(unreached, vec![3, 4]);
+    }
+
+    #[test]
+    fn non_stratifiable_rejected() {
+        let p = parse_program(
+            "P(x) :- Node(x), not Q(x).\n\
+             Q(x) :- Node(x), not P(x).",
+        )
+        .unwrap();
+        assert!(p.stratify().is_err());
+        assert!(p.evaluate(&Database::new()).is_err());
+    }
+
+    #[test]
+    fn facts_and_rules_mix() {
+        let p = parse_program(
+            "Edge(A, B).\n\
+             Edge(B, C).\n\
+             Path(x, y) :- Edge(x, y).\n\
+             Path(x, z) :- Edge(x, y), Path(y, z).",
+        )
+        .unwrap();
+        let out = p.evaluate(&Database::new()).unwrap();
+        assert_eq!(out.relation("Path").unwrap().len(), 3);
+        // EDB-less program: Edge was created as IDB.
+        assert_eq!(out.relation("Edge").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn gav_style_view_unfolding() {
+        // The GAV views of Example 5.1.
+        let p = parse_program(
+            "Stds(x, y, 'cu', z) :- CUstds(x, y), SpecCU(x, z).\n\
+             Stds(x, y, 'ou', z) :- OUstds(x, y), SpecOU(x, z).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("CUstds", ["Number", "Name"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("SpecCU", ["Number", "Field"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("OUstds", ["Number", "Name"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("SpecOU", ["Number", "Field"]))
+            .unwrap();
+        db.insert("CUstds", tuple![101, "john"]).unwrap();
+        db.insert("SpecCU", tuple![101, "alg"]).unwrap();
+        db.insert("OUstds", tuple![103, "claire"]).unwrap();
+        db.insert("SpecOU", tuple![103, "db"]).unwrap();
+        let out = p.evaluate(&db).unwrap();
+        let stds = out.relation("Stds").unwrap();
+        assert_eq!(stds.len(), 2);
+        assert!(stds.contains(&tuple![101, "john", "cu", "alg"]));
+        // The materialized view can now be queried normally.
+        let q = parse_query("Q(n) :- Stds(x, n, 'ou', f)").unwrap();
+        let ans = crate::eval::eval_cq(&out, &q, NullSemantics::Structural);
+        assert!(ans.contains(&tuple!["claire"]));
+    }
+
+    #[test]
+    fn arity_conflict_rejected() {
+        let p = parse_program("P(x) :- R(x).\nP(x, y) :- R(x), R(y).").unwrap();
+        assert!(p.evaluate(&Database::new()).is_err());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let p = parse_program("P(x, y) :- R(x).").unwrap();
+        assert!(p.evaluate(&Database::new()).is_err());
+    }
+}

@@ -1,0 +1,714 @@
+//! Evaluation of conjunctive queries (with safe negation and comparisons)
+//! and unions thereof, with optional witness (provenance) extraction.
+//!
+//! The evaluator is a straightforward bind-and-filter join with a greedy atom
+//! order (most-bound, smallest-relation first). Per-atom hash probes use the
+//! relation's content index when an atom is fully bound; otherwise the
+//! relation is scanned. This is comfortably fast for the instance sizes the
+//! benchmarks sweep (10⁴–10⁵ tuples) and keeps the code honest and auditable,
+//! which matters more here: repairs and CQA are *defined* in terms of query
+//! answers, so the evaluator is the trusted base of the whole workspace.
+
+use crate::ast::{Atom, Comparison, ConjunctiveQuery, Term, UnionQuery, Var};
+use cqa_relation::{fxhash::FxHashMap, sql_eq, Database, Tid, Truth, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// How nulls behave during matching (see `cqa-relation::value`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NullSemantics {
+    /// Nulls are ordinary constants: `NULL = NULL` holds (label-wise). The
+    /// right choice for null-free instances and for model-theoretic checks.
+    #[default]
+    Structural,
+    /// SQL three-valued semantics: a comparison or join involving any null is
+    /// *unknown* and therefore never satisfied. The right choice when
+    /// querying null-based repairs (§4.2–4.3 of the paper).
+    Sql,
+}
+
+impl NullSemantics {
+    /// Can `a` be considered equal to `b` for joining/selection?
+    #[inline]
+    pub fn values_join(self, a: &Value, b: &Value) -> bool {
+        match self {
+            NullSemantics::Structural => a == b,
+            NullSemantics::Sql => sql_eq(a, b) == Truth::True,
+        }
+    }
+
+    /// Evaluate a comparison under this semantics.
+    pub fn cmp(self, op: crate::ast::CmpOp, a: &Value, b: &Value) -> bool {
+        match self {
+            NullSemantics::Structural => op.eval(a, b),
+            NullSemantics::Sql => {
+                if a.is_null() || b.is_null() {
+                    false
+                } else {
+                    op.eval(a, b)
+                }
+            }
+        }
+    }
+}
+
+/// A partial assignment of values to a query's variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bindings {
+    slots: Vec<Option<Value>>,
+}
+
+impl Bindings {
+    /// All-unbound assignment for `n_vars` variables.
+    pub fn new(n_vars: usize) -> Bindings {
+        Bindings {
+            slots: vec![None; n_vars],
+        }
+    }
+
+    /// Value bound to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Value> {
+        self.slots.get(v.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Bind `v` (overwrites).
+    pub fn set(&mut self, v: Var, value: Value) {
+        let i = v.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(value);
+    }
+
+    /// Unbind `v`.
+    pub fn unset(&mut self, v: Var) {
+        if let Some(slot) = self.slots.get_mut(v.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Resolve a term to a value under this assignment.
+    pub fn resolve(&self, term: &Term) -> Option<Value> {
+        match term {
+            Term::Const(v) => Some(v.clone()),
+            Term::Var(v) => self.get(*v).cloned(),
+        }
+    }
+
+    /// Project the given head terms into an answer tuple. `None` if some head
+    /// variable is unbound.
+    pub fn project(&self, head: &[Term]) -> Option<Tuple> {
+        head.iter()
+            .map(|t| self.resolve(t))
+            .collect::<Option<Vec<_>>>()
+            .map(Tuple::new)
+    }
+}
+
+/// One satisfying assignment of a CQ's positive body: the answer projection
+/// plus the tids of the matched atoms (in atom order). This is the
+/// "violation witness" used to build conflict hyper-graphs, and the
+/// "explanation witness" used by causality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Full variable assignment.
+    pub bindings: Bindings,
+    /// Matched tuple ids, one per positive atom, in the query's atom order.
+    pub tids: Vec<Tid>,
+}
+
+/// Try to extend `bindings` by matching `atom` against `tuple`.
+///
+/// Returns the list of variables newly bound on success so the caller can
+/// backtrack cheaply.
+pub fn match_atom(
+    atom: &Atom,
+    tuple: &Tuple,
+    bindings: &mut Bindings,
+    mode: NullSemantics,
+) -> Option<Vec<Var>> {
+    debug_assert_eq!(atom.terms.len(), tuple.arity());
+    let mut newly = Vec::new();
+    for (term, value) in atom.terms.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if !mode.values_join(c, value) {
+                    for v in newly {
+                        bindings.unset(v);
+                    }
+                    return None;
+                }
+            }
+            Term::Var(v) => match bindings.get(*v) {
+                Some(bound) => {
+                    if !mode.values_join(bound, value) {
+                        for v in newly {
+                            bindings.unset(v);
+                        }
+                        return None;
+                    }
+                }
+                None => {
+                    bindings.set(*v, value.clone());
+                    newly.push(*v);
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+/// Does any tuple of `db` match `atom` under `bindings`? (Used for negation.)
+fn atom_has_match(db: &Database, atom: &Atom, bindings: &Bindings, mode: NullSemantics) -> bool {
+    let Some(rel) = db.relation(&atom.relation) else {
+        return false;
+    };
+    // Fast path: fully bound atom with structural semantics → hash probe.
+    if mode == NullSemantics::Structural {
+        if let Some(values) = atom
+            .terms
+            .iter()
+            .map(|t| bindings.resolve(t))
+            .collect::<Option<Vec<_>>>()
+        {
+            return rel.contains(&Tuple::new(values));
+        }
+    }
+    let mut scratch = bindings.clone();
+    rel.tuples().any(|t| {
+        if let Some(newly) = match_atom(atom, t, &mut scratch, mode) {
+            for v in newly {
+                scratch.unset(v);
+            }
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Evaluate a comparison once both sides are bound; `None` if not yet bound.
+fn try_comparison(c: &Comparison, bindings: &Bindings, mode: NullSemantics) -> Option<bool> {
+    let a = bindings.resolve(&c.left)?;
+    let b = bindings.resolve(&c.right)?;
+    Some(mode.cmp(c.op, &a, &b))
+}
+
+/// Pick a greedy join order: repeatedly choose the atom with the most terms
+/// bound so far, breaking ties by smaller relation.
+fn atom_order(db: &Database, cq: &ConjunctiveQuery) -> Vec<usize> {
+    let n = cq.atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let atom = &cq.atoms[i];
+                let bound_terms = atom
+                    .terms
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v),
+                    })
+                    .count();
+                let size = db.relation(&atom.relation).map_or(0, |r| r.len());
+                (bound_terms, std::cmp::Reverse(size))
+            })
+            .expect("remaining is non-empty");
+        order.push(best);
+        bound.extend(cq.atoms[best].vars());
+        remaining.swap_remove(pos);
+    }
+    order
+}
+
+/// Evaluate the positive part of `cq` and call `sink` for every witness that
+/// also passes the comparisons and negated atoms.
+///
+/// `sink` returns `true` to continue enumeration, `false` to stop early
+/// (used by Boolean queries).
+pub fn for_each_witness(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    mode: NullSemantics,
+    sink: &mut dyn FnMut(&Witness) -> bool,
+) {
+    let order = atom_order(db, cq);
+
+    // Probe planning: for each atom (in join order), pick one position whose
+    // value will be known when the atom is reached — a constant, or a
+    // variable bound by an earlier atom. Relations larger than the threshold
+    // get a one-column hash index on that position, turning the scan into a
+    // bucket lookup. Under SQL semantics nulls never join, so null keys are
+    // simply absent from the index.
+    const INDEX_THRESHOLD: usize = 32;
+    let mut probe_pos: Vec<Option<usize>> = vec![None; cq.atoms.len()];
+    {
+        let mut bound: BTreeSet<Var> = BTreeSet::new();
+        for &idx in &order {
+            let atom = &cq.atoms[idx];
+            let big = db
+                .relation(&atom.relation)
+                .is_some_and(|r| r.len() >= INDEX_THRESHOLD);
+            if big {
+                probe_pos[idx] = atom.terms.iter().position(|t| match t {
+                    Term::Const(c) => !c.is_null() || mode == NullSemantics::Structural,
+                    Term::Var(v) => bound.contains(v),
+                });
+            }
+            bound.extend(atom.vars());
+        }
+    }
+
+    struct Eval<'a, 'b> {
+        db: &'a Database,
+        cq: &'a ConjunctiveQuery,
+        order: &'b [usize],
+        probe_pos: &'b [Option<usize>],
+        mode: NullSemantics,
+        /// Lazily built single-column indexes, one per indexed atom:
+        /// value at the probe position → matching `(tid, tuple)` pairs.
+        indexes: Vec<Option<crate::eval::ProbeIndex<'a>>>,
+    }
+
+    impl<'a> Eval<'a, '_> {
+        fn recurse(
+            &mut self,
+            depth: usize,
+            bindings: &mut Bindings,
+            tids: &mut Vec<Tid>,
+            sink: &mut dyn FnMut(&Witness) -> bool,
+        ) -> bool {
+            if depth == self.order.len() {
+                // All positive atoms matched: check filters.
+                for c in &self.cq.comparisons {
+                    match try_comparison(c, bindings, self.mode) {
+                        Some(true) => {}
+                        // Unbound comparison variables are a safety
+                        // violation; treat as failure rather than panic.
+                        Some(false) | None => return true,
+                    }
+                }
+                for neg in &self.cq.negated {
+                    if atom_has_match(self.db, neg, bindings, self.mode) {
+                        return true;
+                    }
+                }
+                let witness = Witness {
+                    bindings: bindings.clone(),
+                    tids: tids.clone(),
+                };
+                return sink(&witness);
+            }
+            let atom_idx = self.order[depth];
+            // Clone the atom (cheap: `Arc<str>` terms) so the `step` closure
+            // below can re-borrow `self` mutably; copy the `&'a Database`
+            // out so the relation borrow outlives `self`'s re-borrows.
+            let atom = self.cq.atoms[atom_idx].clone();
+            let db: &'a Database = self.db;
+            let Some(rel) = db.relation(&atom.relation) else {
+                return true; // empty/missing relation: no matches, keep going
+            };
+            // Candidate tuples: the probe bucket if indexed, else a scan.
+            let bucket: Option<&[(Tid, &'a Tuple)]> = match self.probe_pos[atom_idx] {
+                Some(pos) => {
+                    let key = bindings.resolve(&atom.terms[pos]);
+                    match key {
+                        Some(key) => {
+                            if self.mode == NullSemantics::Sql && key.is_null() {
+                                return true; // null never joins: no matches
+                            }
+                            if self.indexes[atom_idx].is_none() {
+                                let mut map: FxHashMap<Value, Vec<(Tid, &'a Tuple)>> =
+                                    FxHashMap::default();
+                                for (tid, t) in rel.iter() {
+                                    let v = t.at(pos);
+                                    if self.mode == NullSemantics::Sql && v.is_null() {
+                                        continue;
+                                    }
+                                    map.entry(v.clone()).or_default().push((tid, t));
+                                }
+                                self.indexes[atom_idx] = Some(map);
+                            }
+                            Some(
+                                self.indexes[atom_idx]
+                                    .as_ref()
+                                    .unwrap()
+                                    .get(&key)
+                                    .map(Vec::as_slice)
+                                    .unwrap_or(&[]),
+                            )
+                        }
+                        None => None, // probe var unbound at runtime: scan
+                    }
+                }
+                None => None,
+            };
+
+            let step = |tid: Tid,
+                        tuple: &Tuple,
+                        this: &mut Self,
+                        bindings: &mut Bindings,
+                        tids: &mut Vec<Tid>,
+                        sink: &mut dyn FnMut(&Witness) -> bool|
+             -> bool {
+                if let Some(newly) = match_atom(&atom, tuple, bindings, this.mode) {
+                    tids[atom_idx] = tid;
+                    let pruned = this
+                        .cq
+                        .comparisons
+                        .iter()
+                        .any(|c| matches!(try_comparison(c, bindings, this.mode), Some(false)));
+                    let keep_going = if pruned {
+                        true
+                    } else {
+                        this.recurse(depth + 1, bindings, tids, sink)
+                    };
+                    for v in newly {
+                        bindings.unset(v);
+                    }
+                    keep_going
+                } else {
+                    true
+                }
+            };
+
+            match bucket {
+                Some(pairs) => {
+                    // Take a raw copy of the slice pointer: `step` re-borrows
+                    // self mutably, but the indexed pairs borrow from `db`
+                    // (immutable), so iterate over a cloned Vec of the small
+                    // bucket instead of fighting the borrow checker.
+                    let pairs: Vec<(Tid, &Tuple)> = pairs.to_vec();
+                    for (tid, tuple) in pairs {
+                        if !step(tid, tuple, self, bindings, tids, sink) {
+                            return false;
+                        }
+                    }
+                }
+                None => {
+                    for (tid, tuple) in rel.iter() {
+                        if !step(tid, tuple, self, bindings, tids, sink) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    let mut eval = Eval {
+        db,
+        cq,
+        order: &order,
+        probe_pos: &probe_pos,
+        mode,
+        indexes: vec![None; cq.atoms.len()],
+    };
+    let mut bindings = Bindings::new(cq.vars.len());
+    let mut tids: Vec<Tid> = vec![Tid(0); cq.atoms.len()];
+    eval.recurse(0, &mut bindings, &mut tids, sink);
+}
+
+/// One single-column probe index: probe value → matching `(tid, tuple)`.
+type ProbeIndex<'a> = FxHashMap<Value, Vec<(Tid, &'a Tuple)>>;
+
+/// All witnesses of `cq` over `db`.
+pub fn witnesses(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> Vec<Witness> {
+    let mut out = Vec::new();
+    for_each_witness(db, cq, mode, &mut |w| {
+        out.push(w.clone());
+        true
+    });
+    out
+}
+
+/// Evaluate a conjunctive query: the set of answer tuples.
+///
+/// A Boolean query returns either the empty set (false) or the set containing
+/// the empty tuple (true); see [`holds`].
+pub fn eval_cq(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> BTreeSet<Tuple> {
+    let mut out = BTreeSet::new();
+    for_each_witness(db, cq, mode, &mut |w| {
+        if let Some(t) = w.bindings.project(&cq.head) {
+            out.insert(t);
+        }
+        true
+    });
+    out
+}
+
+/// Evaluate a union of conjunctive queries.
+pub fn eval_ucq(db: &Database, q: &UnionQuery, mode: NullSemantics) -> BTreeSet<Tuple> {
+    let mut out = BTreeSet::new();
+    for cq in &q.disjuncts {
+        out.extend(eval_cq(db, cq, mode));
+    }
+    out
+}
+
+/// Does a Boolean CQ hold? (Stops at the first witness.)
+pub fn holds(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> bool {
+    let mut found = false;
+    for_each_witness(db, cq, mode, &mut |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+/// Does a Boolean UCQ hold?
+pub fn holds_ucq(db: &Database, q: &UnionQuery, mode: NullSemantics) -> bool {
+    q.disjuncts.iter().any(|cq| holds(db, cq, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1"]).unwrap();
+        db.insert("Articles", tuple!["I2"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn projection_query() {
+        let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        let ans = eval_cq(&db(), &q, NullSemantics::Structural);
+        let items: Vec<String> = ans.iter().map(|t| t.at(0).render().into_owned()).collect();
+        assert_eq!(items, vec!["I1", "I2", "I3"]);
+    }
+
+    #[test]
+    fn join_query_example_2_2() {
+        // The rewritten query of Example 2.2 returns only I1, I2.
+        let q = parse_query("Q(z) :- Supply(x, y, z), Articles(z)").unwrap();
+        let ans = eval_cq(&db(), &q, NullSemantics::Structural);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&tuple!["I1"]));
+        assert!(ans.contains(&tuple!["I2"]));
+    }
+
+    #[test]
+    fn negation_as_anti_join() {
+        let q = parse_query("Q(z) :- Supply(x, y, z), not Articles(z)").unwrap();
+        let ans = eval_cq(&db(), &q, NullSemantics::Structural);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&tuple!["I3"]));
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::new("N", ["V"])).unwrap();
+        for i in 0..10 {
+            d.insert("N", tuple![i]).unwrap();
+        }
+        let q = parse_query("Q(x) :- N(x), x >= 7").unwrap();
+        let ans = eval_cq(&d, &q, NullSemantics::Structural);
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn boolean_query_short_circuits() {
+        let q = parse_query("Q() :- Supply(x, y, z)").unwrap();
+        assert!(holds(&db(), &q, NullSemantics::Structural));
+        let q2 = parse_query("Q() :- Supply(x, y, 'nope')").unwrap();
+        assert!(!holds(&db(), &q2, NullSemantics::Structural));
+    }
+
+    #[test]
+    fn witnesses_carry_tids() {
+        let q = parse_query("Q(z) :- Supply(x, y, z), Articles(z)").unwrap();
+        let ws = witnesses(&db(), &q, NullSemantics::Structural);
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert_eq!(w.tids.len(), 2);
+        }
+        // tids are in atom order: Supply tid first, Articles tid second.
+        let first = &ws[0];
+        assert!(first.tids[0].0 <= 3);
+        assert!(first.tids[1].0 >= 4);
+    }
+
+    #[test]
+    fn repeated_variable_forces_join() {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        d.insert("R", tuple!["a", "a"]).unwrap();
+        d.insert("R", tuple!["a", "b"]).unwrap();
+        let q = parse_query("Q(x) :- R(x, x)").unwrap();
+        let ans = eval_cq(&d, &q, NullSemantics::Structural);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&tuple!["a"]));
+    }
+
+    #[test]
+    fn sql_mode_nulls_never_join() {
+        let mut d = Database::new();
+        d.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        d.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        d.insert("R", Tuple::new(vec![Value::str("a"), Value::NULL]))
+            .unwrap();
+        d.insert("S", Tuple::new(vec![Value::NULL])).unwrap();
+        // Join on the null value fails under SQL semantics…
+        let q = parse_query("Q(x) :- R(x, y), S(y)").unwrap();
+        assert!(eval_cq(&d, &q, NullSemantics::Sql).is_empty());
+        // …but succeeds structurally (labels equal).
+        assert_eq!(eval_cq(&d, &q, NullSemantics::Structural).len(), 1);
+        // Repeated variable on a null also fails in SQL mode.
+        let q2 = parse_query("Q() :- R(x, y), S(z), y = z").unwrap();
+        assert!(!holds(&d, &q2, NullSemantics::Sql));
+    }
+
+    #[test]
+    fn missing_relation_means_no_matches() {
+        let q = parse_query("Q(x) :- Nothing(x)").unwrap();
+        assert!(eval_cq(&db(), &q, NullSemantics::Structural).is_empty());
+    }
+
+    #[test]
+    fn union_query() {
+        let a = parse_query("Q(z) :- Articles(z)").unwrap();
+        let b = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        let u = UnionQuery {
+            disjuncts: vec![a, b],
+        };
+        let ans = eval_ucq(&db(), &u, NullSemantics::Structural);
+        assert_eq!(ans.len(), 3);
+        assert!(holds_ucq(&db(), &u, NullSemantics::Structural));
+    }
+
+    #[test]
+    fn constants_in_head() {
+        let q = parse_query("Q('tag', z) :- Articles(z)").unwrap();
+        let ans = eval_cq(&db(), &q, NullSemantics::Structural);
+        assert!(ans.contains(&tuple!["tag", "I1"]));
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    //! The probe-index fast path only engages for relations with ≥ 32
+    //! tuples; these tests cross-check it against a naive nested-loop
+    //! reference on instances big enough to trigger it.
+
+    use super::*;
+    use crate::parser::parse_query;
+    use cqa_relation::{tuple, RelationSchema};
+
+    fn big_db(n: usize) -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"])).unwrap();
+        db.create_relation(RelationSchema::new("S", ["B", "C"])).unwrap();
+        for i in 0..n as i64 {
+            db.insert("R", tuple![i % 17, i]).unwrap();
+            db.insert("S", tuple![i, i % 13]).unwrap();
+        }
+        db
+    }
+
+    /// Naive reference: nested loops, no ordering heuristics, no indexes.
+    fn reference_join(db: &Database, mode: NullSemantics) -> BTreeSet<Tuple> {
+        let r = db.relation("R").unwrap();
+        let s = db.relation("S").unwrap();
+        let mut out = BTreeSet::new();
+        for (_, tr) in r.iter() {
+            for (_, ts) in s.iter() {
+                if mode.values_join(tr.at(1), ts.at(0)) {
+                    out.insert(Tuple::new(vec![
+                        tr.at(0).clone(),
+                        ts.at(1).clone(),
+                    ]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn indexed_join_matches_nested_loop_reference() {
+        let db = big_db(120); // well above INDEX_THRESHOLD
+        let q = parse_query("Q(a, c) :- R(a, b), S(b, c)").unwrap();
+        for mode in [NullSemantics::Structural, NullSemantics::Sql] {
+            let fast = eval_cq(&db, &q, mode);
+            let slow = reference_join(&db, mode);
+            assert_eq!(fast, slow);
+            assert_eq!(fast.len(), slow.len());
+        }
+    }
+
+    #[test]
+    fn indexed_join_with_nulls_under_sql_semantics() {
+        let mut db = big_db(80);
+        // Null join keys on both sides: must never match in SQL mode.
+        db.insert("R", Tuple::new(vec![Value::int(999), Value::NULL])).unwrap();
+        db.insert("S", Tuple::new(vec![Value::NULL, Value::int(999)])).unwrap();
+        let q = parse_query("Q(a, c) :- R(a, b), S(b, c)").unwrap();
+        let fast = eval_cq(&db, &q, NullSemantics::Sql);
+        let slow = reference_join(&db, NullSemantics::Sql);
+        assert_eq!(fast, slow);
+        assert!(!fast.iter().any(|t| t.at(0) == &Value::int(999)));
+        // Structurally the two nulls have equal labels (both 0) and join.
+        let structural = eval_cq(&db, &q, NullSemantics::Structural);
+        assert!(structural.iter().any(|t| t.at(0) == &Value::int(999)));
+    }
+
+    #[test]
+    fn indexed_constant_probe() {
+        let db = big_db(200);
+        let q = parse_query("Q(b) :- R(3, b)").unwrap();
+        let ans = eval_cq(&db, &q, NullSemantics::Structural);
+        // i % 17 == 3 for i in 0..200.
+        let expected: BTreeSet<Tuple> =
+            (0..200i64).filter(|i| i % 17 == 3).map(|i| tuple![i]).collect();
+        assert_eq!(ans, expected);
+    }
+
+    #[test]
+    fn early_exit_with_index() {
+        let db = big_db(100);
+        let q = parse_query("Q() :- R(a, b), S(b, c)").unwrap();
+        assert!(holds(&db, &q, NullSemantics::Structural));
+        let q2 = parse_query("Q() :- R(a, b), S(b, 'nothing')").unwrap();
+        assert!(!holds(&db, &q2, NullSemantics::Structural));
+    }
+
+    #[test]
+    fn witnesses_through_the_index_carry_correct_tids() {
+        let db = big_db(64);
+        let q = parse_query("Q(a) :- R(a, b), S(b, c)").unwrap();
+        let mut count = 0usize;
+        for_each_witness(&db, &q, NullSemantics::Structural, &mut |w| {
+            // Verify the tids really point at matching tuples.
+            let (rel_r, tr) = db.get(w.tids[0]).unwrap();
+            let (rel_s, ts) = db.get(w.tids[1]).unwrap();
+            assert_eq!(rel_r, "R");
+            assert_eq!(rel_s, "S");
+            assert_eq!(tr.at(1), ts.at(0));
+            count += 1;
+            true
+        });
+        assert_eq!(count, 64); // each R row joins exactly its S twin
+    }
+}

@@ -1,0 +1,731 @@
+//! Textual syntax for queries, Datalog rules and first-order formulas.
+//!
+//! Conventions follow the paper's examples:
+//!
+//! * **Variables** are identifiers starting with a lowercase letter
+//!   (`x`, `y`, `t1`); `_` is an anonymous fresh variable.
+//! * **Constants** are identifiers starting with an uppercase letter
+//!   (`I1`, `C2`), quoted strings (`'page'`), numbers (`5`, `2.5`), the
+//!   keywords `true`/`false`, and `NULL`.
+//! * A conjunctive query is written rule-style:
+//!   `Q(z) :- Supply(x, y, z), Articles(z), x != y`.
+//!   `not R(...)` is safe negation.
+//! * First-order formulas use `&`, `|`, `!`, `exists x, y (...)`, e.g.
+//!   `Employee(x, y) & !exists z (Employee(x, z) & z != y)`.
+
+use crate::ast::{
+    Atom, CmpOp, Comparison, ConjunctiveQuery, Fo, FoQuery, Term, UnionQuery, VarTable,
+};
+use crate::datalog::{Literal, Program, Rule};
+use cqa_relation::{RelationError, Value};
+
+type PResult<T> = Result<T, RelationError>;
+
+fn err(msg: impl Into<String>) -> RelationError {
+    RelationError::Parse(msg.into())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String), // variable or relation or constant, by capitalization
+    Str(String),   // 'quoted'
+    Num(String),   // number literal
+    Punct(&'static str),
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    toks: Vec<Tok>,
+}
+
+fn lex(input: &str) -> PResult<Vec<Tok>> {
+    let mut lx = Lexer {
+        chars: input.chars().peekable(),
+        toks: Vec::new(),
+    };
+    while let Some(&c) = lx.chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                lx.chars.next();
+            }
+            '%' => {
+                // comment to end of line
+                for c in lx.chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' | ',' | '.' | '&' | '|' | '[' | ']' | '{' | '}' => {
+                lx.chars.next();
+                lx.toks.push(Tok::Punct(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '&' => "&",
+                    '|' => "|",
+                    '[' => "[",
+                    ']' => "]",
+                    '{' => "{",
+                    _ => "}",
+                }));
+            }
+            ':' => {
+                lx.chars.next();
+                if lx.chars.peek() == Some(&'-') {
+                    lx.chars.next();
+                    lx.toks.push(Tok::Punct(":-"));
+                } else {
+                    lx.toks.push(Tok::Punct(":"));
+                }
+            }
+            '!' => {
+                lx.chars.next();
+                if lx.chars.peek() == Some(&'=') {
+                    lx.chars.next();
+                    lx.toks.push(Tok::Punct("!="));
+                } else {
+                    lx.toks.push(Tok::Punct("!"));
+                }
+            }
+            '<' => {
+                lx.chars.next();
+                match lx.chars.peek() {
+                    Some('=') => {
+                        lx.chars.next();
+                        lx.toks.push(Tok::Punct("<="));
+                    }
+                    Some('>') => {
+                        lx.chars.next();
+                        lx.toks.push(Tok::Punct("!="));
+                    }
+                    _ => lx.toks.push(Tok::Punct("<")),
+                }
+            }
+            '>' => {
+                lx.chars.next();
+                if lx.chars.peek() == Some(&'=') {
+                    lx.chars.next();
+                    lx.toks.push(Tok::Punct(">="));
+                } else {
+                    lx.toks.push(Tok::Punct(">"));
+                }
+            }
+            '=' => {
+                lx.chars.next();
+                lx.toks.push(Tok::Punct("="));
+            }
+            '\'' => {
+                lx.chars.next();
+                let mut s = String::new();
+                loop {
+                    match lx.chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                lx.toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                lx.chars.next();
+                let mut s = String::from(c);
+                while let Some(&d) = lx.chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        // Don't swallow a trailing rule-terminating dot: only
+                        // take '.' if followed by a digit.
+                        if d == '.' {
+                            let mut clone = lx.chars.clone();
+                            clone.next();
+                            if !clone.peek().is_some_and(|n| n.is_ascii_digit()) {
+                                break;
+                            }
+                        }
+                        s.push(d);
+                        lx.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s == "-" {
+                    return Err(err("stray `-`"));
+                }
+                lx.toks.push(Tok::Num(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = lx.chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        lx.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                lx.toks.push(Tok::Ident(s));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(lx.toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    vars: VarTable,
+}
+
+impl Parser {
+    fn new(input: &str) -> PResult<Parser> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            vars: VarTable::new(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek()
+            == Some(&Tok::Punct(match p {
+                "(" => "(",
+                ")" => ")",
+                "," => ",",
+                "." => ".",
+                ":-" => ":-",
+                "&" => "&",
+                "|" => "|",
+                "!" => "!",
+                "=" => "=",
+                "!=" => "!=",
+                "<" => "<",
+                "<=" => "<=",
+                ">" => ">",
+                ">=" => ">=",
+                "[" => "[",
+                "]" => "]",
+                "{" => "{",
+                "}" => "}",
+                ":" => ":",
+                _ => return false,
+            }))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn is_variable_name(name: &str) -> bool {
+        name.chars().next().is_some_and(|c| c.is_lowercase()) || name.starts_with('_')
+    }
+
+    fn term(&mut self) -> PResult<Term> {
+        match self.next() {
+            Some(Tok::Ident(name)) => {
+                if name == "_" {
+                    Ok(Term::Var(self.vars.fresh()))
+                } else if name == "NULL" {
+                    Ok(Term::Const(Value::NULL))
+                } else if name == "true" {
+                    Ok(Term::Const(Value::Bool(true)))
+                } else if name == "false" {
+                    Ok(Term::Const(Value::Bool(false)))
+                } else if Self::is_variable_name(&name) {
+                    Ok(Term::Var(self.vars.var(&name)))
+                } else {
+                    Ok(Term::Const(Value::str(&name)))
+                }
+            }
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::str(&s))),
+            Some(Tok::Num(n)) => {
+                if n.contains('.') {
+                    n.parse::<f64>()
+                        .map(|f| Term::Const(Value::Float(f)))
+                        .map_err(|_| err(format!("bad float `{n}`")))
+                } else {
+                    n.parse::<i64>()
+                        .map(|i| Term::Const(Value::Int(i)))
+                        .map_err(|_| err(format!("bad int `{n}`")))
+                }
+            }
+            other => Err(err(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn atom_with_name(&mut self, name: String) -> PResult<Atom> {
+        self.expect_punct("(")?;
+        let mut terms = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                terms.push(self.term()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(Atom::new(name, terms))
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()? {
+            Tok::Punct("=") => CmpOp::Eq,
+            Tok::Punct("!=") => CmpOp::Ne,
+            Tok::Punct("<") => CmpOp::Lt,
+            Tok::Punct("<=") => CmpOp::Le,
+            Tok::Punct(">") => CmpOp::Gt,
+            Tok::Punct(">=") => CmpOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    /// One body element of a rule-style query.
+    fn body_element(&mut self) -> PResult<BodyElem> {
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if name == "not" {
+                self.pos += 1;
+                let rel = match self.next() {
+                    Some(Tok::Ident(r)) => r,
+                    other => {
+                        return Err(err(format!(
+                            "expected relation after `not`, found {other:?}"
+                        )))
+                    }
+                };
+                return Ok(BodyElem::Neg(self.atom_with_name(rel)?));
+            }
+            // Lookahead: `Name(` is an atom; otherwise it is a term of a
+            // comparison.
+            if self.toks.get(self.pos + 1) == Some(&Tok::Punct("(")) {
+                // `name(` is unambiguously an atom regardless of case: a
+                // variable can never be followed by `(` in valid syntax.
+                self.pos += 1;
+                return Ok(BodyElem::Pos(self.atom_with_name(name)?));
+            }
+        }
+        let left = self.term()?;
+        let op = self.cmp_op().ok_or_else(|| {
+            err(format!(
+                "expected comparison operator, found {:?}",
+                self.peek()
+            ))
+        })?;
+        let right = self.term()?;
+        Ok(BodyElem::Cmp(Comparison { left, op, right }))
+    }
+
+    fn rule_body(&mut self) -> PResult<(Vec<Atom>, Vec<Atom>, Vec<Comparison>)> {
+        let mut atoms = Vec::new();
+        let mut negated = Vec::new();
+        let mut comparisons = Vec::new();
+        loop {
+            match self.body_element()? {
+                BodyElem::Pos(a) => atoms.push(a),
+                BodyElem::Neg(a) => negated.push(a),
+                BodyElem::Cmp(c) => comparisons.push(c),
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok((atoms, negated, comparisons))
+    }
+
+    /// `Head(args) :- body` (the trailing `.` is optional).
+    fn rule(&mut self) -> PResult<ParsedRule> {
+        let head_name = match self.next() {
+            Some(Tok::Ident(n)) => n,
+            other => return Err(err(format!("expected head relation, found {other:?}"))),
+        };
+        let head = self.atom_with_name(head_name)?;
+        if self.eat_punct(".") || self.peek().is_none() {
+            // A fact.
+            return Ok((head, Vec::new(), Vec::new(), Vec::new()));
+        }
+        self.expect_punct(":-")?;
+        let (atoms, negated, comparisons) = self.rule_body()?;
+        let _ = self.eat_punct(".");
+        Ok((head, atoms, negated, comparisons))
+    }
+
+    // ---- first-order formulas ----
+
+    fn fo_formula(&mut self) -> PResult<Fo> {
+        self.fo_or()
+    }
+
+    fn fo_or(&mut self) -> PResult<Fo> {
+        let mut parts = vec![self.fo_and()?];
+        while self.eat_punct("|") {
+            parts.push(self.fo_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Fo::Or(parts)
+        })
+    }
+
+    fn fo_and(&mut self) -> PResult<Fo> {
+        let mut parts = vec![self.fo_unary()?];
+        while self.eat_punct("&") {
+            parts.push(self.fo_unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Fo::And(parts)
+        })
+    }
+
+    fn fo_unary(&mut self) -> PResult<Fo> {
+        if self.eat_punct("!") {
+            return Ok(Fo::Not(Box::new(self.fo_unary()?)));
+        }
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if name == "exists" {
+                self.pos += 1;
+                let mut vars = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Tok::Ident(v)) if Self::is_variable_name(&v) => {
+                            vars.push(self.vars.var(&v));
+                        }
+                        other => return Err(err(format!("expected variable, found {other:?}"))),
+                    }
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct("(")?;
+                let body = self.fo_formula()?;
+                self.expect_punct(")")?;
+                return Ok(Fo::Exists(vars, Box::new(body)));
+            }
+            if self.toks.get(self.pos + 1) == Some(&Tok::Punct("(")) {
+                // `name(` is unambiguously an atom regardless of case: a
+                // variable can never be followed by `(` in valid syntax.
+                self.pos += 1;
+                return Ok(Fo::Atom(self.atom_with_name(name)?));
+            }
+        }
+        if self.eat_punct("(") {
+            let inner = self.fo_formula()?;
+            self.expect_punct(")")?;
+            return Ok(inner);
+        }
+        // comparison
+        let left = self.term()?;
+        let op = self
+            .cmp_op()
+            .ok_or_else(|| err(format!("expected comparison, found {:?}", self.peek())))?;
+        let right = self.term()?;
+        Ok(Fo::Cmp(Comparison { left, op, right }))
+    }
+}
+
+/// A parsed rule: head atom, positive body, negated body, comparisons.
+type ParsedRule = (Atom, Vec<Atom>, Vec<Atom>, Vec<Comparison>);
+
+enum BodyElem {
+    Pos(Atom),
+    Neg(Atom),
+    Cmp(Comparison),
+}
+
+/// Parse a rule-style conjunctive query:
+/// `Q(z) :- Supply(x, y, z), Articles(z), x != y`.
+pub fn parse_query(input: &str) -> PResult<ConjunctiveQuery> {
+    let mut p = Parser::new(input)?;
+    let (head, atoms, negated, comparisons) = p.rule()?;
+    if p.peek().is_some() {
+        return Err(err(format!("trailing tokens after query: {:?}", p.peek())));
+    }
+    let cq = ConjunctiveQuery {
+        vars: p.vars,
+        head: head.terms,
+        atoms,
+        negated,
+        comparisons,
+    };
+    cq.check_safety().map_err(err)?;
+    Ok(cq)
+}
+
+/// Parse a union of conjunctive queries: one rule per line (or `.`-separated),
+/// all sharing the head predicate name and arity.
+pub fn parse_ucq(input: &str) -> PResult<UnionQuery> {
+    let mut disjuncts = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        disjuncts.push(parse_query(line)?);
+    }
+    if disjuncts.is_empty() {
+        return Err(err("empty UCQ"));
+    }
+    let arity = disjuncts[0].head.len();
+    if disjuncts.iter().any(|d| d.head.len() != arity) {
+        return Err(err("UCQ disjuncts have differing head arities"));
+    }
+    Ok(UnionQuery { disjuncts })
+}
+
+/// Parse a Datalog program: rules and facts, one per line or `.`-separated.
+pub fn parse_program(input: &str) -> PResult<Program> {
+    let mut rules = Vec::new();
+    let mut p = Parser::new(input)?;
+    while p.peek().is_some() {
+        // Each rule gets its own variable scope.
+        let scope_start = p.vars.len();
+        let (head, atoms, negated, comparisons) = p.rule()?;
+        let _ = scope_start; // variables are program-global by index; fine for evaluation
+        let mut body: Vec<Literal> = atoms.into_iter().map(Literal::Pos).collect();
+        body.extend(negated.into_iter().map(Literal::Neg));
+        body.extend(comparisons.into_iter().map(Literal::Cmp));
+        rules.push(Rule { head, body });
+    }
+    Ok(Program {
+        rules,
+        vars: p.vars,
+    })
+}
+
+/// Parse a first-order query `free_vars : formula`, e.g.
+/// `x, y : Employee(x, y) & !exists z (Employee(x, z) & z != y)`.
+/// A Boolean query starts directly with the formula (no `:`), or with `:`.
+pub fn parse_fo(input: &str) -> PResult<FoQuery> {
+    let mut p = Parser::new(input)?;
+    // Try to read a `v1, v2, ... :` prefix.
+    let mut free = Vec::new();
+    let save = p.pos;
+    let mut has_prefix = false;
+    loop {
+        match p.peek().cloned() {
+            Some(Tok::Ident(name))
+                if Parser::is_variable_name(&name)
+                    && matches!(
+                        p.toks.get(p.pos + 1),
+                        Some(Tok::Punct(",")) | Some(Tok::Punct(":"))
+                    ) =>
+            {
+                p.pos += 1;
+                free.push(p.vars.var(&name));
+                if p.eat_punct(",") {
+                    continue;
+                }
+                if p.eat_punct(":") {
+                    has_prefix = true;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    if !has_prefix {
+        p.pos = save;
+        p.vars = VarTable::new();
+        free.clear();
+        let _ = p.eat_punct(":");
+    }
+    let formula = p.fo_formula()?;
+    if p.peek().is_some() {
+        return Err(err(format!("trailing tokens: {:?}", p.peek())));
+    }
+    let fv = formula.free_vars();
+    for v in &free {
+        if !fv.contains(v) {
+            return Err(err(format!(
+                "declared free variable `{}` does not occur free in the formula",
+                p.vars.name(*v)
+            )));
+        }
+    }
+    for v in &fv {
+        if !free.contains(v) {
+            return Err(err(format!(
+                "formula has undeclared free variable `{}`",
+                p.vars.name(*v)
+            )));
+        }
+    }
+    Ok(FoQuery {
+        vars: p.vars,
+        free,
+        formula,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    #[test]
+    fn parses_projection_query() {
+        let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+        assert_eq!(q.head.len(), 1);
+        assert_eq!(q.atoms.len(), 1);
+        assert_eq!(q.atoms[0].relation, "Supply");
+        assert_eq!(q.to_string(), "Q(z) :- Supply(x, y, z)");
+    }
+
+    #[test]
+    fn capitalization_separates_vars_from_constants() {
+        let q = parse_query("Q(x) :- Supply(C2, x, I3)").unwrap();
+        assert_eq!(q.atoms[0].terms[0], Term::Const(Value::str("C2")));
+        assert!(matches!(q.atoms[0].terms[1], Term::Var(_)));
+        assert_eq!(q.atoms[0].terms[2], Term::Const(Value::str("I3")));
+    }
+
+    #[test]
+    fn parses_negation_comparisons_and_literals() {
+        let q = parse_query("Q(x) :- Employee(x, y), not Fired(x), y >= 3, y != 7, x = 'page'")
+            .unwrap();
+        assert_eq!(q.negated.len(), 1);
+        assert_eq!(q.comparisons.len(), 3);
+    }
+
+    #[test]
+    fn parses_numbers_and_null() {
+        let q = parse_query("Q() :- R(1, 2.5, NULL, -3)").unwrap();
+        let terms = &q.atoms[0].terms;
+        assert_eq!(terms[0], Term::Const(Value::Int(1)));
+        assert_eq!(terms[1], Term::Const(Value::Float(2.5)));
+        assert_eq!(terms[2], Term::Const(Value::NULL));
+        assert_eq!(terms[3], Term::Const(Value::Int(-3)));
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh() {
+        let q = parse_query("Q(x) :- R(x, _, _)").unwrap();
+        let vs: Vec<_> = q.atoms[0].vars().collect();
+        assert_eq!(vs.len(), 3);
+        assert_ne!(vs[1], vs[2]);
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        assert!(parse_query("Q(y) :- R(x)").is_err());
+        assert!(parse_query("Q() :- R(x), not S(y)").is_err());
+    }
+
+    #[test]
+    fn parses_ucq() {
+        let u = parse_ucq("Q(x) :- R(x)\nQ(x) :- S(x)").unwrap();
+        assert_eq!(u.disjuncts.len(), 2);
+        assert!(parse_ucq("Q(x) :- R(x)\nQ(x, y) :- S(x, y)").is_err());
+    }
+
+    #[test]
+    fn parses_program_with_facts() {
+        let p = parse_program(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, z) :- Edge(x, y), Path(y, z).\n\
+             Edge(A, B).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(p.rules[2].body.is_empty());
+    }
+
+    #[test]
+    fn parses_fo_rewritten_query() {
+        // The rewriting of Example 3.4.
+        let q = parse_fo("x, y : Employee(x, y) & !exists z (Employee(x, z) & z != y)").unwrap();
+        assert_eq!(q.free.len(), 2);
+        match &q.formula {
+            Fo::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fo_free_var_mismatch_rejected() {
+        assert!(parse_fo("x : Employee(x, y)").is_err());
+        assert!(parse_fo("x, q : Employee(x, x)").is_err());
+    }
+
+    #[test]
+    fn fo_boolean_formula() {
+        let q = parse_fo("exists x, y (S(x) & R(x, y) & S(y))").unwrap();
+        assert!(q.free.is_empty());
+    }
+
+    #[test]
+    fn fo_or_precedence() {
+        let q = parse_fo("exists x (R(x) & S(x) | T(x))").unwrap();
+        match q.formula {
+            Fo::Exists(_, body) => assert!(matches!(*body, Fo::Or(_))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn lexer_handles_comments_and_sql_ne() {
+        let q = parse_query("Q(x) :- R(x, y), x <> y % trailing comment").unwrap();
+        assert_eq!(q.comparisons[0].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("Q(x :- R(x)").is_err());
+        assert!(parse_query("Q(x) :- R(x").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_fo("x : ").is_err());
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    //! `Display` output of a parsed query must re-parse to the same
+    //! rendering (a display/parse fix-point), so the two stay in sync.
+
+    use super::*;
+
+    #[test]
+    fn display_parse_fixpoint() {
+        for text in [
+            "Q(z) :- Supply(x, y, z)",
+            "Q(x, y) :- Employee(x, y), not Fired(x), y >= 3",
+            "Q() :- S(x), R(x, y), S(y), x != y",
+            "Q('tag', z) :- Articles(z)",
+            "Q(x) :- R(x, 1), S(x), x < 10",
+        ] {
+            let q1 = parse_query(text).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse_query(&printed).unwrap();
+            assert_eq!(printed, q2.to_string(), "not a fix-point: {text}");
+            assert_eq!(q1.atoms.len(), q2.atoms.len());
+            assert_eq!(q1.negated.len(), q2.negated.len());
+            assert_eq!(q1.comparisons.len(), q2.comparisons.len());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! ASCII table rendering, in the style of the tables in the paper.
+
+use crate::instance::Relation;
+use std::fmt;
+
+/// Render one relation as an aligned ASCII table with a tid column.
+///
+/// ```text
+/// Supply | tid | Company | Receiver | Item
+/// -------+-----+---------+----------+-----
+///        | ι1  | C1      | R1       | I1
+/// ```
+pub fn write_relation(f: &mut impl fmt::Write, rel: &Relation) -> fmt::Result {
+    let schema = rel.schema();
+    let mut headers: Vec<String> = vec![rel.name().to_string(), "tid".to_string()];
+    headers.extend(schema.attributes().iter().map(|a| a.name.clone()));
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(rel.len());
+    for (tid, tuple) in rel.iter() {
+        let mut row = vec![String::new(), tid.to_string()];
+        row.extend(tuple.iter().map(|v| v.render().into_owned()));
+        rows.push(row);
+    }
+
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let write_row = |f: &mut dyn fmt::Write, cells: &[String]| -> fmt::Result {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{cell:<width$}", width = widths[i])?;
+        }
+        writeln!(f)
+    };
+
+    write_row(f, &headers)?;
+    for (i, w) in widths.iter().take(cols).enumerate() {
+        if i > 0 {
+            write!(f, "-+-")?;
+        }
+        write!(f, "{}", "-".repeat(*w))?;
+    }
+    writeln!(f)?;
+    for row in &rows {
+        write_row(f, row)?;
+    }
+    writeln!(f)
+}
+
+/// Render a relation to a `String` (convenience for examples and the bench
+/// harness).
+pub fn relation_to_string(rel: &Relation) -> String {
+    let mut s = String::new();
+    write_relation(&mut s, rel).expect("write to String cannot fail");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, Database, RelationSchema};
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        let out = relation_to_string(db.relation("Employee").unwrap());
+        assert!(out.contains("Employee"));
+        assert!(out.contains("ι1"));
+        assert!(out.contains("page"));
+        // Header separator present.
+        assert!(out.contains("-+-"));
+        // All data lines have the same width.
+        let lines: Vec<&str> = out.lines().filter(|l| !l.is_empty()).collect();
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+    }
+
+    #[test]
+    fn database_display_includes_all_relations() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A"])).unwrap();
+        db.create_relation(RelationSchema::new("S", ["B"])).unwrap();
+        db.insert("R", tuple![1]).unwrap();
+        db.insert("S", tuple![2]).unwrap();
+        let s = db.to_string();
+        assert!(s.contains('R') && s.contains('S'));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational layer.
+///
+/// Higher layers (queries, constraints, repairs) wrap or propagate these; the
+/// enum is `#[non_exhaustive]` so variants can be added without a breaking
+/// release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RelationError {
+    /// A relation name was not found in the schema or database.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation schema.
+    UnknownAttribute {
+        /// Relation that was searched.
+        relation: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        /// Relation the tuple was inserted into.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A value's type does not match the declared attribute type.
+    TypeMismatch {
+        /// Relation the tuple was inserted into.
+        relation: String,
+        /// Position (0-based) of the offending value.
+        position: usize,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A tuple id was not found in the database.
+    UnknownTid(u64),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// Malformed textual input (parser-level).
+    Parse(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            RelationError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute `{attribute}` in relation `{relation}`"),
+            RelationError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: schema has {expected} attributes, tuple has {actual}"
+            ),
+            RelationError::TypeMismatch {
+                relation,
+                position,
+                detail,
+            } => write!(f, "type mismatch in `{relation}` at position {position}: {detail}"),
+            RelationError::UnknownTid(t) => write!(f, "unknown tuple id ι{t}"),
+            RelationError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            RelationError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::ArityMismatch {
+            relation: "Supply".into(),
+            expected: 3,
+            actual: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Supply"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(RelationError::UnknownTid(7));
+        assert!(e.to_string().contains("ι7"));
+    }
+}

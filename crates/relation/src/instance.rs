@@ -1,0 +1,532 @@
+//! Database instances: relations, tuples-with-tids, and delta application.
+//!
+//! Instances are **sets** of tuples (the paper's repairs are defined in set
+//! terms), but every stored tuple additionally carries a global [`Tid`], so
+//! that repairs, conflict hyper-graphs and causality all talk about "the third
+//! `Supply` tuple" unambiguously.
+
+use crate::error::RelationError;
+use crate::fxhash::FxHashMap;
+use crate::schema::{DatabaseSchema, RelationSchema};
+use crate::tuple::{Tid, Tuple};
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// One relation instance: a schema plus a tid-keyed set of tuples.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<RelationSchema>,
+    /// Deterministic iteration in tid (i.e. insertion) order.
+    tuples: BTreeMap<Tid, Tuple>,
+    /// Set-semantics guard: content → tid of the already-present copy.
+    by_content: FxHashMap<Tuple, Tid>,
+}
+
+impl Relation {
+    fn new(schema: Arc<RelationSchema>) -> Relation {
+        Relation {
+            schema,
+            tuples: BTreeMap::new(),
+            by_content: FxHashMap::default(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate `(tid, tuple)` in tid order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, &Tuple)> + '_ {
+        self.tuples.iter().map(|(t, tup)| (*t, tup))
+    }
+
+    /// Iterate tuples only.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.values()
+    }
+
+    /// Iterate tids only.
+    pub fn tids(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.tuples.keys().copied()
+    }
+
+    /// Get a tuple by tid (must belong to this relation).
+    pub fn get(&self, tid: Tid) -> Option<&Tuple> {
+        self.tuples.get(&tid)
+    }
+
+    /// Does the relation contain a tuple with this exact content?
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.by_content.contains_key(tuple)
+    }
+
+    /// Tid of the tuple with this content, if present.
+    pub fn tid_of(&self, tuple: &Tuple) -> Option<Tid> {
+        self.by_content.get(tuple).copied()
+    }
+
+    fn validate(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: self.name().to_string(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (i, (attr, value)) in self
+            .schema
+            .attributes()
+            .iter()
+            .zip(tuple.iter())
+            .enumerate()
+        {
+            if !attr.ty.admits(value) {
+                return Err(RelationError::TypeMismatch {
+                    relation: self.name().to_string(),
+                    position: i,
+                    detail: format!(
+                        "attribute `{}` declared {:?}, got {} value {}",
+                        attr.name,
+                        attr.ty,
+                        value.type_name(),
+                        value
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_with_tid(&mut self, tid: Tid, tuple: Tuple) {
+        self.by_content.insert(tuple.clone(), tid);
+        self.tuples.insert(tid, tuple);
+    }
+
+    fn remove(&mut self, tid: Tid) -> Option<Tuple> {
+        let tuple = self.tuples.remove(&tid)?;
+        self.by_content.remove(&tuple);
+        Some(tuple)
+    }
+}
+
+/// A full database instance.
+///
+/// Owns its relations and a tid counter. Cloning a `Database` (to build a
+/// repair) preserves the tids of all surviving tuples; newly inserted tuples
+/// get fresh tids *from the clone's own counter*, which continues from the
+/// original's, so tids never collide between an instance and its repairs.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+    /// Relation name → index in `relations`.
+    index: FxHashMap<String, usize>,
+    next_tid: u64,
+    next_null: u32,
+}
+
+impl Database {
+    /// Empty database with no relations.
+    pub fn new() -> Database {
+        Database {
+            relations: Vec::new(),
+            index: FxHashMap::default(),
+            next_tid: 1,
+            next_null: 1,
+        }
+    }
+
+    /// Build an empty database with all the relations of `schema`.
+    pub fn with_schema(schema: &DatabaseSchema) -> Database {
+        let mut db = Database::new();
+        for r in schema.relations() {
+            db.relations.push(Relation::new(Arc::clone(r)));
+            db.index
+                .insert(r.name().to_string(), db.relations.len() - 1);
+        }
+        db
+    }
+
+    /// Add a new relation to this database.
+    pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
+        if self.index.contains_key(schema.name()) {
+            return Err(RelationError::DuplicateRelation(schema.name().to_string()));
+        }
+        let name = schema.name().to_string();
+        self.relations.push(Relation::new(Arc::new(schema)));
+        self.index.insert(name, self.relations.len() - 1);
+        Ok(())
+    }
+
+    /// All relations, in creation order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.index.get(name).map(|&i| &self.relations[i])
+    }
+
+    /// Look up a relation by name, with an error on miss.
+    pub fn require_relation(&self, name: &str) -> Result<&Relation> {
+        self.relation(name)
+            .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
+    }
+
+    fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        match self.index.get(name) {
+            Some(&i) => Ok(&mut self.relations[i]),
+            None => Err(RelationError::UnknownRelation(name.to_string())),
+        }
+    }
+
+    /// Insert a tuple, returning its tid. Inserting content already present
+    /// returns the existing tid (set semantics).
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<Tid> {
+        let next = Tid(self.next_tid);
+        let rel = self.relation_mut(relation)?;
+        rel.validate(&tuple)?;
+        if let Some(existing) = rel.tid_of(&tuple) {
+            return Ok(existing);
+        }
+        rel.insert_with_tid(next, tuple);
+        self.next_tid += 1;
+        Ok(next)
+    }
+
+    /// Insert several tuples, returning their tids.
+    pub fn insert_all<I>(&mut self, relation: &str, tuples: I) -> Result<Vec<Tid>>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        tuples
+            .into_iter()
+            .map(|t| self.insert(relation, t))
+            .collect()
+    }
+
+    /// Delete a tuple by tid; returns the removed `(relation name, tuple)`.
+    pub fn delete(&mut self, tid: Tid) -> Result<(String, Tuple)> {
+        for rel in &mut self.relations {
+            if let Some(tuple) = rel.remove(tid) {
+                return Ok((rel.name().to_string(), tuple));
+            }
+        }
+        Err(RelationError::UnknownTid(tid.0))
+    }
+
+    /// Locate a tuple by tid: `(relation name, tuple)`.
+    pub fn get(&self, tid: Tid) -> Option<(&str, &Tuple)> {
+        self.relations
+            .iter()
+            .find_map(|rel| rel.get(tid).map(|t| (rel.name(), t)))
+    }
+
+    /// Replace one attribute of one tuple *in place* (same tid) — the update
+    /// primitive behind attribute-based repairs (§4.3).
+    pub fn update_value(&mut self, tid: Tid, position: usize, value: Value) -> Result<()> {
+        for rel in &mut self.relations {
+            if let Some(tuple) = rel.get(tid).cloned() {
+                let updated = tuple.with_value(position, value);
+                rel.validate(&updated)?;
+                rel.by_content.remove(&tuple);
+                // If the updated content collides with an existing tuple the
+                // set shrinks: drop the old copy's tid and keep the update.
+                if let Some(dup) = rel.tid_of(&updated) {
+                    if dup != tid {
+                        rel.tuples.remove(&dup);
+                        rel.by_content.remove(&updated);
+                    }
+                }
+                rel.insert_with_tid(tid, updated);
+                return Ok(());
+            }
+        }
+        Err(RelationError::UnknownTid(tid.0))
+    }
+
+    /// Total tuple count over all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Iterate every `(relation name, tid, tuple)` in deterministic order.
+    pub fn facts(&self) -> impl Iterator<Item = (&str, Tid, &Tuple)> + '_ {
+        self.relations
+            .iter()
+            .flat_map(|rel| rel.iter().map(move |(tid, t)| (rel.name(), tid, t)))
+    }
+
+    /// The set of all tids.
+    pub fn tids(&self) -> BTreeSet<Tid> {
+        self.facts().map(|(_, tid, _)| tid).collect()
+    }
+
+    /// Mint a fresh labelled null (for existential tgd repairs, §4.2, and for
+    /// LAV inverse rules, §5).
+    pub fn fresh_null(&mut self) -> Value {
+        let v = Value::Null(self.next_null);
+        self.next_null += 1;
+        v
+    }
+
+    /// Content of the database as a canonical set, ignoring tids.
+    ///
+    /// Two repairs are "the same instance" iff their content sets are equal,
+    /// even when their inserted tuples carry different fresh tids.
+    pub fn content_set(&self) -> BTreeSet<(String, Tuple)> {
+        self.facts()
+            .map(|(r, _, t)| (r.to_string(), t.clone()))
+            .collect()
+    }
+
+    /// Structural equality of content (ignores tids and counters).
+    pub fn same_content(&self, other: &Database) -> bool {
+        self.content_set() == other.content_set()
+    }
+
+    /// Clone this database applying a symmetric-difference delta: delete the
+    /// given tids, then insert the given `(relation, tuple)` pairs. Returns
+    /// the repaired clone and the tids assigned to the insertions.
+    pub fn with_changes(
+        &self,
+        deletions: &BTreeSet<Tid>,
+        insertions: &[(String, Tuple)],
+    ) -> Result<(Database, Vec<Tid>)> {
+        let mut db = self.clone();
+        for &tid in deletions {
+            db.delete(tid)?;
+        }
+        let mut new_tids = Vec::with_capacity(insertions.len());
+        for (rel, tuple) in insertions {
+            new_tids.push(db.insert(rel, tuple.clone())?);
+        }
+        Ok((db, new_tids))
+    }
+
+    /// Clone this database keeping only the tuples whose tid is in `keep`.
+    /// Tuples of relations absent from `keep` are dropped too.
+    pub fn restricted_to(&self, keep: &BTreeSet<Tid>) -> Database {
+        let mut db = self.clone();
+        let to_delete: Vec<Tid> = db
+            .facts()
+            .map(|(_, tid, _)| tid)
+            .filter(|tid| !keep.contains(tid))
+            .collect();
+        for tid in to_delete {
+            let _ = db.delete(tid);
+        }
+        db
+    }
+
+    /// The active domain: every constant appearing in some tuple.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.facts()
+            .flat_map(|(_, _, t)| t.iter().cloned())
+            .filter(|v| !v.is_null())
+            .collect()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in &self.relations {
+            crate::display::write_relation(f, rel)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn supply_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "Supply",
+            ["Company", "Receiver", "Item"],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new("Articles", ["Item"]))
+            .unwrap();
+        db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+        db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+        db.insert("Articles", tuple!["I1"]).unwrap();
+        db.insert("Articles", tuple!["I2"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_assigns_sequential_tids() {
+        let db = supply_db();
+        let tids: Vec<u64> = db.facts().map(|(_, t, _)| t.0).collect();
+        assert_eq!(tids, vec![1, 2, 3, 4, 5]);
+        assert_eq!(db.total_tuples(), 5);
+    }
+
+    #[test]
+    fn set_semantics_dedupes() {
+        let mut db = supply_db();
+        let t1 = db.insert("Articles", tuple!["I1"]).unwrap();
+        assert_eq!(t1, Tid(4));
+        assert_eq!(db.total_tuples(), 5);
+    }
+
+    #[test]
+    fn delete_and_get() {
+        let mut db = supply_db();
+        let (rel, t) = db.delete(Tid(3)).unwrap();
+        assert_eq!(rel, "Supply");
+        assert_eq!(t, tuple!["C2", "R1", "I3"]);
+        assert_eq!(db.get(Tid(3)), None);
+        assert!(db.delete(Tid(3)).is_err());
+    }
+
+    #[test]
+    fn with_changes_builds_repairs() {
+        let db = supply_db();
+        // Repair D1: delete Supply(C2, R1, I3).
+        let dels: BTreeSet<Tid> = [Tid(3)].into();
+        let (d1, _) = db.with_changes(&dels, &[]).unwrap();
+        assert_eq!(d1.total_tuples(), 4);
+        // Repair D2: insert Articles(I3).
+        let (d2, new) = db
+            .with_changes(&BTreeSet::new(), &[("Articles".into(), tuple!["I3"])])
+            .unwrap();
+        assert_eq!(d2.total_tuples(), 6);
+        assert_eq!(new.len(), 1);
+        // Fresh tid does not collide with original tids.
+        assert!(new[0].0 > 5);
+        // Original untouched.
+        assert_eq!(db.total_tuples(), 5);
+    }
+
+    #[test]
+    fn same_content_ignores_tids() {
+        let db = supply_db();
+        let (a, _) = db
+            .with_changes(&BTreeSet::new(), &[("Articles".into(), tuple!["I3"])])
+            .unwrap();
+        let mut b = supply_db();
+        b.insert("Articles", tuple!["I3"]).unwrap();
+        assert!(a.same_content(&b));
+        assert!(!a.same_content(&db));
+    }
+
+    #[test]
+    fn restricted_to_keeps_subset() {
+        let db = supply_db();
+        let keep: BTreeSet<Tid> = [Tid(1), Tid(4)].into();
+        let sub = db.restricted_to(&keep);
+        assert_eq!(sub.total_tuples(), 2);
+        assert!(sub
+            .relation("Supply")
+            .unwrap()
+            .contains(&tuple!["C1", "R1", "I1"]));
+    }
+
+    #[test]
+    fn update_value_preserves_tid() {
+        let mut db = supply_db();
+        db.update_value(Tid(3), 2, Value::NULL).unwrap();
+        let (_, t) = db.get(Tid(3)).unwrap();
+        assert!(t.at(2).is_null());
+        assert_eq!(db.total_tuples(), 5);
+    }
+
+    #[test]
+    fn update_value_collision_shrinks_set() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        let t1 = db.insert("S", tuple!["a"]).unwrap();
+        let _t2 = db.insert("S", tuple!["b"]).unwrap();
+        // Turning 'b' into 'a' collides; set semantics keeps one copy.
+        db.update_value(Tid(2), 0, Value::str("a")).unwrap();
+        assert_eq!(db.relation("S").unwrap().len(), 1);
+        // The updated tid survives; the duplicate content's old tid is gone.
+        assert!(db.get(Tid(2)).is_some());
+        assert!(db.get(t1).is_none());
+    }
+
+    #[test]
+    fn arity_and_type_validation() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::with_attributes(
+            "T",
+            vec![
+                crate::Attribute::typed("N", crate::AttrType::Int),
+                crate::Attribute::typed("S", crate::AttrType::Str),
+            ],
+        ))
+        .unwrap();
+        assert!(db.insert("T", tuple![1]).is_err());
+        assert!(db.insert("T", tuple!["x", "y"]).is_err());
+        assert!(db.insert("T", tuple![1, "y"]).is_ok());
+        // Nulls are admitted by every type.
+        assert!(db
+            .insert("T", Tuple::new(vec![Value::NULL, Value::NULL]))
+            .is_ok());
+    }
+
+    #[test]
+    fn fresh_nulls_are_distinct() {
+        let mut db = Database::new();
+        let a = db.fresh_null();
+        let b = db.fresh_null();
+        assert_ne!(a, b);
+        assert!(a.is_null() && b.is_null());
+    }
+
+    #[test]
+    fn active_domain_excludes_nulls() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.insert("R", Tuple::new(vec![Value::str("a"), Value::NULL]))
+            .unwrap();
+        let dom = db.active_domain();
+        assert_eq!(dom.len(), 1);
+        assert!(dom.contains(&Value::str("a")));
+    }
+
+    #[test]
+    fn with_schema_creates_all_relations() {
+        let mut schema = crate::DatabaseSchema::new();
+        schema.add(RelationSchema::new("A", ["X"])).unwrap();
+        schema.add(RelationSchema::new("B", ["X", "Y"])).unwrap();
+        let mut db = Database::with_schema(&schema);
+        assert!(db.relation("A").is_some());
+        assert_eq!(db.relation("B").unwrap().schema().arity(), 2);
+        db.insert("A", tuple![1]).unwrap();
+        assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = Database::new();
+        assert!(db.insert("Nope", tuple![1]).is_err());
+        assert!(db.require_relation("Nope").is_err());
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # cqa-relation
+//!
+//! The relational database substrate for the `inconsistent-db` workspace: a
+//! small, deterministic, in-memory relational engine on which repairs,
+//! consistent query answering, answer-set programs, mediators and cleaners are
+//! built.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism.** Every container iterates in a reproducible order, so
+//!    repair enumerations, stable models and benchmarks are stable across
+//!    runs.
+//! 2. **Tuple identity.** The survey manipulates tuples by *global tuple
+//!    identifiers* (tids, written ι₁, ι₂, … in the paper); [`Tid`] is a
+//!    first-class handle that survives across repairs of the same original
+//!    instance.
+//! 3. **SQL-style nulls.** The null-based repair semantics of §4.2–4.3 of the
+//!    paper require a `NULL` that never satisfies joins or comparisons.
+//!    [`Value::Null`] carries a label (labelled nulls for data exchange);
+//!    three-valued comparison lives in [`value::sql_eq`] and friends so that
+//!    *structural* equality stays usable for set semantics.
+//!
+//! The crate has no dependencies outside `std`.
+
+pub mod codec;
+pub mod display;
+pub mod error;
+pub mod fxhash;
+pub mod instance;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use codec::{load, save};
+pub use error::RelationError;
+pub use instance::{Database, Relation};
+pub use schema::{AttrType, Attribute, DatabaseSchema, RelationSchema};
+pub use tuple::{Tid, Tuple};
+pub use value::{sql_eq, sql_le, sql_lt, Truth, Value};
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RelationError>;

@@ -1,0 +1,238 @@
+//! Relation and database schemas.
+
+use crate::error::RelationError;
+use crate::value::Value;
+use crate::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared type of an attribute.
+///
+/// `Any` is the permissive default used by most of the paper's abstract
+/// examples (values like `a₁`, `I₃`); typed attributes get checked on insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// No type checking.
+    Any,
+    /// `Value::Int` (or null).
+    Int,
+    /// `Value::Float` or `Value::Int` (or null).
+    Float,
+    /// `Value::Str` (or null).
+    Str,
+    /// `Value::Bool` (or null).
+    Bool,
+}
+
+impl AttrType {
+    /// Does `value` inhabit this type? Nulls inhabit every type (SQL-style).
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null(_))
+                | (AttrType::Any, _)
+                | (AttrType::Int, Value::Int(_))
+                | (AttrType::Float, Value::Float(_) | Value::Int(_))
+                | (AttrType::Str, Value::Str(_))
+                | (AttrType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name (unique within its relation).
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// An attribute of type [`AttrType::Any`].
+    pub fn any(name: impl Into<String>) -> Attribute {
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Any,
+        }
+    }
+
+    /// A typed attribute.
+    pub fn typed(name: impl Into<String>, ty: AttrType) -> Attribute {
+        Attribute {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Schema of one relation: a name plus an ordered list of attributes.
+///
+/// Wrapped in `Arc` by [`crate::Relation`], so cloning a schema handle is
+/// cheap and repairs share schemas with the original instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl RelationSchema {
+    /// Build a schema with [`AttrType::Any`] attributes from names only.
+    ///
+    /// ```
+    /// use cqa_relation::RelationSchema;
+    /// let s = RelationSchema::new("Supply", ["Company", "Receiver", "Item"]);
+    /// assert_eq!(s.arity(), 3);
+    /// ```
+    pub fn new<S: Into<String>>(
+        name: impl Into<String>,
+        attribute_names: impl IntoIterator<Item = S>,
+    ) -> RelationSchema {
+        RelationSchema {
+            name: name.into(),
+            attributes: attribute_names
+                .into_iter()
+                .map(|n| Attribute::any(n.into()))
+                .collect(),
+        }
+    }
+
+    /// Build a schema from full attribute descriptors.
+    pub fn with_attributes(name: impl Into<String>, attributes: Vec<Attribute>) -> RelationSchema {
+        RelationSchema {
+            name: name.into(),
+            attributes,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Position of attribute `name`.
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Position of attribute `name`, as a `Result` with a helpful error.
+    pub fn require_position(&self, name: &str) -> Result<usize> {
+        self.position_of(name)
+            .ok_or_else(|| RelationError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
+    }
+
+    /// Map several attribute names to positions.
+    pub fn positions_of<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Result<Vec<usize>> {
+        names
+            .into_iter()
+            .map(|n| self.require_position(n))
+            .collect()
+    }
+
+    /// Attribute name at `position`.
+    pub fn attribute_name(&self, position: usize) -> &str {
+        &self.attributes[position].name
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database schema: an ordered collection of relation schemas.
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseSchema {
+    relations: Vec<Arc<RelationSchema>>,
+}
+
+impl DatabaseSchema {
+    /// Empty schema.
+    pub fn new() -> DatabaseSchema {
+        DatabaseSchema::default()
+    }
+
+    /// Add a relation schema; errors on duplicate names.
+    pub fn add(&mut self, schema: RelationSchema) -> Result<Arc<RelationSchema>> {
+        if self.get(schema.name()).is_some() {
+            return Err(RelationError::DuplicateRelation(schema.name().to_string()));
+        }
+        let arc = Arc::new(schema);
+        self.relations.push(Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Look up a relation schema by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<RelationSchema>> {
+        self.relations.iter().find(|r| r.name() == name)
+    }
+
+    /// All relation schemas in declaration order.
+    pub fn relations(&self) -> &[Arc<RelationSchema>] {
+        &self.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_and_names() {
+        let s = RelationSchema::new("Employee", ["Name", "Salary"]);
+        assert_eq!(s.position_of("Salary"), Some(1));
+        assert_eq!(s.position_of("Oops"), None);
+        assert_eq!(s.attribute_name(0), "Name");
+        assert!(s.require_position("Oops").is_err());
+        assert_eq!(s.positions_of(["Salary", "Name"]).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn typed_attributes_admit() {
+        assert!(AttrType::Int.admits(&Value::int(1)));
+        assert!(!AttrType::Int.admits(&Value::str("x")));
+        assert!(AttrType::Float.admits(&Value::int(1)));
+        assert!(AttrType::Int.admits(&Value::NULL));
+        assert!(AttrType::Any.admits(&Value::Bool(true)));
+        assert!(AttrType::Str.admits(&Value::str("x")));
+        assert!(AttrType::Bool.admits(&Value::Bool(false)));
+        assert!(!AttrType::Bool.admits(&Value::int(0)));
+    }
+
+    #[test]
+    fn database_schema_rejects_duplicates() {
+        let mut db = DatabaseSchema::new();
+        db.add(RelationSchema::new("R", ["A"])).unwrap();
+        let err = db.add(RelationSchema::new("R", ["B"])).unwrap_err();
+        assert_eq!(err, RelationError::DuplicateRelation("R".into()));
+        assert_eq!(db.relations().len(), 1);
+        assert!(db.get("R").is_some());
+    }
+
+    #[test]
+    fn display() {
+        let s = RelationSchema::new("R", ["A", "B"]);
+        assert_eq!(s.to_string(), "R(A, B)");
+    }
+}

@@ -1,0 +1,160 @@
+//! Tuples and global tuple identifiers.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A global tuple identifier (the paper's ι₁, ι₂, …).
+///
+/// Tids are assigned by the [`crate::Database`] on insertion and are never
+/// reused, so a tid minted for the original instance still denotes "that
+/// tuple" inside every repair, conflict hyper-graph node, contingency set or
+/// answer-set annotation derived from the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u64);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ι{}", self.0)
+    }
+}
+
+/// An immutable tuple of [`Value`]s.
+///
+/// Stored as a boxed slice: two words on the stack, no spare capacity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from any value-convertible sequence.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Tuple {
+        Tuple(values.into_iter().collect())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at `position`, panicking on out-of-range (positions come from
+    /// schema-validated code paths).
+    pub fn at(&self, position: usize) -> &Value {
+        &self.0[position]
+    }
+
+    /// Value at `position` without panicking.
+    pub fn get(&self, position: usize) -> Option<&Value> {
+        self.0.get(position)
+    }
+
+    /// True iff any attribute is a null.
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    /// A copy of this tuple with `position` replaced by `value` (the
+    /// attribute-level update used by null-based attribute repairs, §4.3).
+    pub fn with_value(&self, position: usize, value: Value) -> Tuple {
+        let mut vals: Box<[Value]> = self.0.clone();
+        vals[position] = value;
+        Tuple(vals)
+    }
+
+    /// Project onto the given positions, in the given order.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Iterate over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.render())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<T: IntoIterator<Item = V>>(iter: T) -> Self {
+        Tuple(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        &self.0[index]
+    }
+}
+
+/// Build a tuple from heterogeneous literals: `tuple!["page", 5000]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple!["page", 5000];
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.at(0), &Value::str("page"));
+        assert_eq!(t.at(1), &Value::int(5000));
+        assert_eq!(t.get(2), None);
+        assert_eq!(t[1], Value::int(5000));
+    }
+
+    #[test]
+    fn projection_preserves_order_and_allows_repeats() {
+        let t = tuple![1, 2, 3];
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p, tuple![3, 1, 1]);
+    }
+
+    #[test]
+    fn with_value_is_a_copy() {
+        let t = tuple!["a", "b"];
+        let u = t.with_value(1, Value::NULL);
+        assert_eq!(t.at(1), &Value::str("b"));
+        assert!(u.at(1).is_null());
+        assert!(u.has_null());
+        assert!(!t.has_null());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Tid(6).to_string(), "ι6");
+        assert_eq!(tuple!["a", 1].to_string(), "(a, 1)");
+    }
+
+    #[test]
+    fn tuples_are_set_friendly() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(tuple![1, 2]);
+        s.insert(tuple![1, 2]);
+        s.insert(tuple![2, 1]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,429 @@
+//! Database values with total order plus SQL's three-valued comparisons.
+//!
+//! Two comparison regimes coexist, on purpose:
+//!
+//! * **Structural** (`Eq`/`Ord`/`Hash` on [`Value`]): every value compares
+//!   with every value, nulls are equal iff their labels are equal. This is
+//!   what instances, repairs (sets of tuples) and deterministic iteration
+//!   need.
+//! * **SQL three-valued** ([`sql_eq`], [`sql_lt`], [`sql_le`] returning
+//!   [`Truth`]): any comparison touching a null is [`Truth::Unknown`]. This is
+//!   what query evaluation over instances with nulls must use so that "NULL
+//!   cannot be used to satisfy joins" (§4.2–4.3 of the paper) holds.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single database value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// IEEE-754 double, ordered with `total_cmp` so `Value` has a total order.
+    Float(f64),
+    /// Interned-ish string (cheap to clone via `Arc`).
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// A (labelled) null. Label `0` is the plain SQL `NULL`; labels `> 0` are
+    /// distinct labelled nulls as used in data exchange and peer systems
+    /// (§4.2). Two nulls are structurally equal iff their labels coincide, but
+    /// *no* null ever satisfies an SQL comparison.
+    Null(u32),
+}
+
+impl Value {
+    /// The plain, unlabelled SQL `NULL`.
+    pub const NULL: Value = Value::Null(0);
+
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// True iff this is any null (labelled or not).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// The label of a null, if this is one.
+    pub fn null_label(&self) -> Option<u32> {
+        match self {
+            Value::Null(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// A short name for the runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Null(_) => "null",
+        }
+    }
+
+    /// Numeric view (ints widen to floats) used by aggregate evaluation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render the value without quotes, the way the paper's tables do.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => Cow::Owned(format!("{f}")),
+            Value::Str(s) => Cow::Borrowed(s),
+            Value::Bool(b) => Cow::Owned(b.to_string()),
+            Value::Null(0) => Cow::Borrowed("NULL"),
+            Value::Null(l) => Cow::Owned(format!("NULL_{l}")),
+        }
+    }
+
+    /// Rank used to order values of different runtime types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null(_) => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total structural order: by type rank, then within type. Ints and
+    /// floats compare numerically against each other so `Int(1) < Float(1.5)`
+    /// behaves as expected in ORDER BY-style uses.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Null(a), Null(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            // Ints and numerically-equal floats must hash alike because they
+            // compare as equal.
+            Value::Int(i) => {
+                state.write_u8(2);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Null(l) => {
+                state.write_u8(0);
+                l.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "'{s}'"),
+            other => write!(f, "{}", other.render()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// SQL's three truth values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown (some operand was `NULL`).
+    Unknown,
+}
+
+impl Truth {
+    /// Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation (also available as the `!` operator).
+    #[allow(clippy::should_implement_trait)] // `!t` works too; see `Not` impl
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// SQL WHERE-clause semantics: only definite truth selects a row.
+    pub fn is_definitely_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Lift a two-valued bool.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+impl std::ops::Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        Truth::not(self)
+    }
+}
+
+/// SQL equality: `Unknown` if either side is null, structural equality
+/// otherwise.
+pub fn sql_eq(a: &Value, b: &Value) -> Truth {
+    if a.is_null() || b.is_null() {
+        Truth::Unknown
+    } else {
+        Truth::from_bool(a == b)
+    }
+}
+
+/// SQL `<`.
+pub fn sql_lt(a: &Value, b: &Value) -> Truth {
+    if a.is_null() || b.is_null() {
+        Truth::Unknown
+    } else {
+        Truth::from_bool(a < b)
+    }
+}
+
+/// SQL `<=`.
+pub fn sql_le(a: &Value, b: &Value) -> Truth {
+    if a.is_null() || b.is_null() {
+        Truth::Unknown
+    } else {
+        Truth::from_bool(a <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn structural_equality_of_nulls() {
+        assert_eq!(Value::NULL, Value::Null(0));
+        assert_ne!(Value::Null(1), Value::Null(2));
+    }
+
+    #[test]
+    fn sql_null_never_joins() {
+        assert_eq!(sql_eq(&Value::NULL, &Value::NULL), Truth::Unknown);
+        assert_eq!(sql_eq(&Value::Null(3), &Value::Null(3)), Truth::Unknown);
+        assert_eq!(sql_eq(&Value::NULL, &Value::int(1)), Truth::Unknown);
+    }
+
+    #[test]
+    fn sql_eq_on_non_nulls_is_two_valued() {
+        assert_eq!(sql_eq(&Value::int(1), &Value::int(1)), Truth::True);
+        assert_eq!(sql_eq(&Value::int(1), &Value::int(2)), Truth::False);
+        assert_eq!(sql_eq(&Value::str("a"), &Value::str("a")), Truth::True);
+    }
+
+    #[test]
+    fn int_float_numeric_comparison() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+    }
+
+    #[test]
+    fn eq_implies_same_hash_across_int_float() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn total_order_across_types_is_consistent() {
+        let mut vals = [
+            Value::str("z"),
+            Value::int(-1),
+            Value::NULL,
+            Value::Bool(true),
+            Value::Float(2.5),
+            Value::Null(9),
+        ];
+        vals.sort();
+        // Nulls first, then bools, then numerics, then strings.
+        assert!(vals[0].is_null() && vals[1].is_null());
+        assert_eq!(vals[2], Value::Bool(true));
+        assert_eq!(vals.last().unwrap(), &Value::str("z"));
+    }
+
+    #[test]
+    fn kleene_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn display_and_render() {
+        assert_eq!(Value::str("ab").to_string(), "'ab'");
+        assert_eq!(Value::str("ab").render(), "ab");
+        assert_eq!(Value::NULL.render(), "NULL");
+        assert_eq!(Value::Null(4).render(), "NULL_4");
+        assert_eq!(Value::int(3).to_string(), "3");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(2.0f64), Value::Float(2.0));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+    }
+
+    #[test]
+    fn sql_order_comparisons() {
+        assert_eq!(sql_lt(&Value::int(1), &Value::int(2)), Truth::True);
+        assert_eq!(sql_lt(&Value::int(2), &Value::int(2)), Truth::False);
+        assert_eq!(sql_le(&Value::int(2), &Value::int(2)), Truth::True);
+        assert_eq!(sql_lt(&Value::NULL, &Value::int(2)), Truth::Unknown);
+        assert_eq!(sql_le(&Value::int(2), &Value::NULL), Truth::Unknown);
+    }
+
+    #[test]
+    fn float_total_cmp_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        // total_cmp gives NaN a definite position; equality with itself holds
+        // structurally (set semantics must tolerate any payload).
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+    }
+}

@@ -1,0 +1,90 @@
+//! Causality as explanation (§7 of the paper): causes and responsibilities
+//! for query answers (Example 7.1), computed three ways — directly, through
+//! repairs, and through repair programs (Example 7.2) — plus attribute-level
+//! causes (Example 7.3) and causality under integrity constraints
+//! (Example 7.4).
+//!
+//! Run with `cargo run --example causality_explanations`.
+
+use inconsistent_db::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The instance of Examples 3.5 / 7.1.
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("R", ["A", "B"]))?;
+    db.create_relation(RelationSchema::new("S", ["A"]))?;
+    db.insert("R", tuple!["a4", "a3"])?; // ι1
+    db.insert("R", tuple!["a2", "a1"])?; // ι2
+    db.insert("R", tuple!["a3", "a3"])?; // ι3
+    db.insert("S", tuple!["a4"])?; // ι4
+    db.insert("S", tuple!["a2"])?; // ι5
+    db.insert("S", tuple!["a3"])?; // ι6
+    println!("{db}");
+
+    let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)")?);
+
+    // --- Example 7.1: direct computation ----------------------------------
+    println!("Why is Q true? The actual causes, with responsibilities:");
+    for c in actual_causes(&db, &q) {
+        println!("  {c}");
+    }
+    let mracs = most_responsible_causes(&db, &q);
+    println!(
+        "Most responsible: {:?}",
+        mracs.iter().map(|c| c.tid.to_string()).collect::<Vec<_>>()
+    );
+
+    // --- §7 connection: the same through S-/C-repairs of κ(Q) -------------
+    let via = causes_via_repairs(&db, &q)?;
+    println!("\nThrough repairs of κ(Q) (must agree):");
+    for c in &via {
+        println!("  {c}");
+    }
+
+    // --- Example 7.2: through extended repair programs --------------------
+    let via_asp = causes_via_asp(&db, &q)?;
+    println!("\nThrough the extended repair program (ans/caucon/preresp):");
+    for c in &via_asp {
+        println!("  {c}");
+    }
+
+    // --- Example 7.3: attribute-level causes ------------------------------
+    println!("\nAttribute-level causes (which *cells* explain Q):");
+    for c in attribute_causes(&db, &q)? {
+        println!("  {c}");
+    }
+
+    // --- Example 7.4: causality under integrity constraints ---------------
+    let mut uni = Database::new();
+    uni.create_relation(RelationSchema::new("Dep", ["DName", "TStaff"]))?;
+    uni.create_relation(RelationSchema::new("Course", ["CName", "TStaff", "DName"]))?;
+    uni.insert("Dep", tuple!["Computing", "John"])?; // ι1
+    uni.insert("Dep", tuple!["Philosophy", "Patrick"])?; // ι2
+    uni.insert("Dep", tuple!["Math", "Kevin"])?; // ι3
+    uni.insert("Course", tuple!["COM08", "John", "Computing"])?; // ι4
+    uni.insert("Course", tuple!["Math01", "Kevin", "Math"])?; // ι5
+    uni.insert("Course", tuple!["HIST02", "Patrick", "Philosophy"])?; // ι6
+    uni.insert("Course", tuple!["Math08", "Eli", "Math"])?; // ι7
+    uni.insert("Course", tuple!["COM01", "John", "Computing"])?; // ι8
+
+    let q_a = UnionQuery::single(parse_query("Q() :- Dep(y, 'John'), Course(z, 'John', y)")?);
+    let psi = ConstraintSet::from_iter([Tgd::parse("psi", "Course(u, y, x) :- Dep(x, y)")?]);
+
+    println!("\nExample 7.4 — query (A), answer John, without constraints:");
+    for c in causes_under_ics(&uni, &ConstraintSet::new(), &q_a, None)? {
+        println!("  {c}");
+    }
+    println!("…and under ψ (Dep rows must keep a course): the Course causes vanish:");
+    for c in causes_under_ics(&uni, &psi, &q_a, None)? {
+        println!("  {c}");
+    }
+
+    let q_c = UnionQuery::single(parse_query("Q() :- Course(z, 'John', y)")?);
+    println!("\nQuery (C) under ψ: responsibilities drop from 1/2 to 1/3,");
+    println!("because contingency sets must now include the Dep row:");
+    for c in causes_under_ics(&uni, &psi, &q_c, None)? {
+        println!("  {c}");
+    }
+
+    Ok(())
+}

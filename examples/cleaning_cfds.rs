@@ -1,0 +1,95 @@
+//! Data cleaning (§6 of the paper): conditional functional dependencies on
+//! the paper's customer table, cost-based value repair, entity resolution,
+//! and quality query answering.
+//!
+//! Run with `cargo run --example cleaning_cfds`.
+
+use inconsistent_db::cleaning::quality_answers_with_threshold;
+use inconsistent_db::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The customer table from §6.
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Cust",
+        ["CC", "AC", "Phone", "Name", "Street", "City", "Zip"],
+    ))?;
+    db.insert(
+        "Cust",
+        tuple![44, 131, "1234567", "mike", "mayfield", "NYC", "EH4 8LE"],
+    )?;
+    db.insert(
+        "Cust",
+        tuple![44, 131, "3456789", "rick", "crichton", "NYC", "EH4 8LE"],
+    )?;
+    db.insert(
+        "Cust",
+        tuple![1, 908, "3456789", "joe", "mtn ave", "NYC", "07974"],
+    )?;
+    println!("{db}");
+
+    // The paper's plain FDs hold…
+    let fd1 = FunctionalDependency::new("Cust", ["CC", "AC", "Phone"], ["Street", "City", "Zip"]);
+    let fd2 = FunctionalDependency::new("Cust", ["CC", "AC"], ["City"]);
+    println!(
+        "[CC, AC, Phone] -> [Street, City, Zip] holds? {}",
+        fd1.is_satisfied(&db)?
+    );
+    println!(
+        "[CC, AC]        -> [City]              holds? {}",
+        fd2.is_satisfied(&db)?
+    );
+
+    // …but the CFD [CC = 44, Zip] -> [Street] does not.
+    let cfd = ConditionalFd::new(
+        "Cust",
+        vec![("CC", Some(Value::int(44))), ("Zip", None)],
+        "Street",
+        None,
+    );
+    println!("{cfd} holds? {}", cfd.is_satisfied(&db)?);
+    println!("Violations: {:?}\n", cfd.violations(&db)?);
+
+    // Cost-based value-modification cleaning.
+    let spec = CleaningSpec::new().with_cfd(cfd);
+    let result = clean(&db, &spec, &CostModel::uniform())?;
+    println!(
+        "Cleaner applied {} fix(es), total cost {:.3}:",
+        result.fixes.len(),
+        result.total_cost
+    );
+    for f in &result.fixes {
+        println!("  {f}");
+    }
+    println!("\nCleaned instance:\n{}", result.db);
+
+    // Entity resolution with a matching dependency.
+    let mut people = Database::new();
+    people.create_relation(RelationSchema::new("People", ["Name", "Phone"]))?;
+    people.insert("People", tuple!["john smith", "555-1234"])?;
+    people.insert("People", tuple!["jon smith", "555-1234"])?;
+    people.insert("People", tuple!["alice jones", "555-9999"])?;
+    let md = MatchingDependency::new("People", [("Name", 0.8), ("Phone", 1.0)]);
+    let dedup = deduplicate(&people, &[md])?;
+    println!(
+        "Entity resolution merged {} cluster(s):\n{}",
+        dedup.clusters.len(),
+        dedup.db
+    );
+
+    // Quality answers: certain vs "true in most repairs".
+    let mut payroll = Database::new();
+    payroll.create_relation(RelationSchema::new("Emp", ["Name", "Salary"]))?;
+    payroll.insert("Emp", tuple!["page", 5000])?;
+    payroll.insert("Emp", tuple!["page", 8000])?;
+    payroll.insert("Emp", tuple!["smith", 3000])?;
+    let sigma = ConstraintSet::from_iter([KeyConstraint::new("Emp", ["Name"])]);
+    let q = UnionQuery::single(parse_query("Q(x, y) :- Emp(x, y)")?);
+    let majority = quality_answers_with_threshold(&payroll, &sigma, &q, &RepairClass::Subset, 0.5)?;
+    println!("Quality answers with their repair-support fractions:");
+    for (t, f) in majority {
+        println!("  {t}  ({:.0}% of repairs)", f * 100.0);
+    }
+
+    Ok(())
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! # inconsistent-db
+//!
+//! A complete, from-scratch Rust implementation of the systems surveyed in
+//! **Leopoldo Bertossi, "Database Repairs and Consistent Query Answering:
+//! Origins and Further Developments" (PODS 2019)**:
+//!
+//! * a relational in-memory database substrate with global tuple ids and
+//!   SQL-style nulls ([`relation`]);
+//! * conjunctive/first-order/Datalog/aggregate query evaluation ([`query`]);
+//! * integrity constraints — denial constraints, FDs, keys, CFDs, inclusion
+//!   dependencies — with violation detection and conflict hyper-graphs
+//!   ([`constraints`]);
+//! * repairs (S-, C-, null-based tuple- and attribute-level) and consistent
+//!   query answering, with residue and attack-graph FO rewritings
+//!   ([`core`]);
+//! * an answer-set programming engine and repair programs ([`asp`]);
+//! * causality: actual causes, responsibility, MRACs, attribute-level
+//!   causes, causality under ICs ([`causality`]);
+//! * virtual data integration with GAV/LAV mediators and global CQA
+//!   ([`integration`]);
+//! * data cleaning: cost-based CFD repair, entity resolution, quality
+//!   answers ([`cleaning`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use inconsistent_db::prelude::*;
+//!
+//! // An inconsistent payroll (Example 3.3 of the paper).
+//! let mut db = Database::new();
+//! db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"])).unwrap();
+//! db.insert("Employee", tuple!["page", 5000]).unwrap();
+//! db.insert("Employee", tuple!["page", 8000]).unwrap();
+//! db.insert("Employee", tuple!["smith", 3000]).unwrap();
+//! let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+//!
+//! // Two repairs; smith is the only certain full row.
+//! assert_eq!(s_repairs(&db, &sigma).unwrap().len(), 2);
+//! let q = UnionQuery::single(parse_query("Q(x, y) :- Employee(x, y)").unwrap());
+//! let certain = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+//! assert_eq!(certain, [tuple!["smith", 3000]].into());
+//! ```
+
+pub use cqa_asp as asp;
+pub use cqa_causality as causality;
+pub use cqa_cleaning as cleaning;
+pub use cqa_constraints as constraints;
+pub use cqa_core as core;
+pub use cqa_integration as integration;
+pub use cqa_query as query;
+pub use cqa_relation as relation;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use cqa_asp::{parse_asp, stable_models, AspProgram, RepairProgram};
+    pub use cqa_causality::{
+        actual_causes, attribute_causes, causes_under_ics, causes_via_asp, causes_via_repairs,
+        most_responsible_causes, Cause,
+    };
+    pub use cqa_cleaning::{clean, deduplicate, CleaningSpec, CostModel, MatchingDependency};
+    pub use cqa_constraints::{
+        ConditionalFd, ConflictHypergraph, Constraint, ConstraintSet, DenialConstraint,
+        FunctionalDependency, InclusionDependency, KeyConstraint, Tgd,
+    };
+    pub use cqa_core::{
+        attribute_repairs, c_repairs, consistent_answers, consistent_core, inconsistency_degree,
+        is_repair, possible_answers, residue_rewrite, rewrite_key_query, s_repairs, Repair,
+        RepairClass, RepairSemantics,
+    };
+    pub use cqa_integration::{GavMediator, GlobalSystem, LavMapping, LavMediator};
+    pub use cqa_query::{
+        eval_cq, eval_fo, eval_ucq, parse_fo, parse_program, parse_query, parse_ucq,
+        ConjunctiveQuery, FoQuery, NullSemantics, Program, UnionQuery,
+    };
+    pub use cqa_relation::{tuple, Database, RelationSchema, Tid, Tuple, Value};
+}

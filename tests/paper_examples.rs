@@ -1,0 +1,508 @@
+//! E-series experiments: exact reproduction of every worked example in the
+//! paper (see DESIGN.md's per-experiment index). Each test is named after
+//! its experiment id and asserts the *exact* repairs, consistent answers,
+//! stable models, causes and responsibilities the paper prints.
+
+use inconsistent_db::asp::{stable_models, RepairProgram};
+use inconsistent_db::core::attr_repair::CellChange;
+use inconsistent_db::core::null_tuple_repairs;
+use inconsistent_db::prelude::*;
+use std::collections::BTreeSet;
+
+fn supply_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Supply",
+        ["Company", "Receiver", "Item"],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new("Articles", ["Item"]))
+        .unwrap();
+    db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+    db.insert("Articles", tuple!["I1"]).unwrap();
+    db.insert("Articles", tuple!["I2"]).unwrap();
+    db
+}
+
+fn supply_sigma() -> ConstraintSet {
+    ConstraintSet::from_iter([Tgd::parse("ID", "Articles(z) :- Supply(x, y, z)").unwrap()])
+}
+
+fn employee_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+        .unwrap();
+    db.insert("Employee", tuple!["page", 5000]).unwrap();
+    db.insert("Employee", tuple!["page", 8000]).unwrap();
+    db.insert("Employee", tuple!["smith", 3000]).unwrap();
+    db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+    db
+}
+
+fn rs_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("R", ["A", "B"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+    db.insert("R", tuple!["a4", "a3"]).unwrap(); // ι1
+    db.insert("R", tuple!["a2", "a1"]).unwrap(); // ι2
+    db.insert("R", tuple!["a3", "a3"]).unwrap(); // ι3
+    db.insert("S", tuple!["a4"]).unwrap(); // ι4
+    db.insert("S", tuple!["a2"]).unwrap(); // ι5
+    db.insert("S", tuple!["a3"]).unwrap(); // ι6
+    db
+}
+
+fn kappa_sigma() -> ConstraintSet {
+    ConstraintSet::from_iter([DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()])
+}
+
+/// E1 (Ex. 2.1–2.2): the inclusion dependency is violated; the residue
+/// rewriting returns exactly {I1, I2} from the inconsistent instance.
+#[test]
+fn e1_supply_residue_rewriting() {
+    let db = supply_db();
+    let sigma = supply_sigma();
+    assert!(!sigma.is_satisfied(&db).unwrap());
+    let q = parse_query("Q(z) :- Supply(x, y, z)").unwrap();
+    let rr = residue_rewrite(&q, &sigma).unwrap();
+    assert_eq!(rr.residues_applied, 1);
+    let ans = eval_fo(&db, &rr.query, NullSemantics::Structural);
+    assert_eq!(ans, [tuple!["I1"], tuple!["I2"]].into());
+}
+
+/// E2 (Ex. 3.1–3.2): exactly the repairs D1 (delete) and D2 (insert), and
+/// Cons(Q, D, {ID}) = {I1, I2}.
+#[test]
+fn e2_supply_s_repairs_and_cqa() {
+    let db = supply_db();
+    let sigma = supply_sigma();
+    let repairs = s_repairs(&db, &sigma).unwrap();
+    assert_eq!(repairs.len(), 2);
+    let d1 = repairs.iter().find(|r| r.is_deletion_only()).unwrap();
+    assert_eq!(d1.deleted, [Tid(3)].into());
+    let d2 = repairs.iter().find(|r| !r.is_deletion_only()).unwrap();
+    assert_eq!(d2.inserted, vec![("Articles".to_string(), tuple!["I3"])]);
+    // D3 (deleting two Supply tuples) is consistent but NOT an S-repair.
+    let (d3, _) = db.with_changes(&[Tid(2), Tid(3)].into(), &[]).unwrap();
+    assert!(sigma.is_satisfied(&d3).unwrap());
+    assert!(!is_repair(&db, &d3, &sigma, RepairSemantics::Subset).unwrap());
+    // Cons(Q) = {I1, I2}.
+    let q = UnionQuery::single(parse_query("Q(z) :- Supply(x, y, z)").unwrap());
+    let cons = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+    assert_eq!(cons, [tuple!["I1"], tuple!["I2"]].into());
+}
+
+/// E3 (Ex. 3.3–3.4): the two key repairs; Cons(Q1) and Cons(Q2); and the
+/// SQL-style rewriting evaluated on the dirty instance.
+#[test]
+fn e3_employee_key_cqa_and_rewriting() {
+    let db = employee_db();
+    let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+    assert_eq!(s_repairs(&db, &sigma).unwrap().len(), 2);
+    let q1 = UnionQuery::single(parse_query("Q(x, y) :- Employee(x, y)").unwrap());
+    assert_eq!(
+        consistent_answers(&db, &sigma, &q1, &RepairClass::Subset).unwrap(),
+        [tuple!["smith", 3000], tuple!["stowe", 7000]].into()
+    );
+    let q2 = UnionQuery::single(parse_query("Q(x) :- Employee(x, y)").unwrap());
+    assert_eq!(
+        consistent_answers(&db, &sigma, &q2, &RepairClass::Subset).unwrap(),
+        [tuple!["page"], tuple!["smith"], tuple!["stowe"]].into()
+    );
+    // The hand-written rewriting of Example 3.4 gives the same rows.
+    let fo = parse_fo("x, y : Employee(x, y) & !exists z (Employee(x, z) & z != y)").unwrap();
+    assert_eq!(
+        eval_fo(&db, &fo, NullSemantics::Structural),
+        [tuple!["smith", 3000], tuple!["stowe", 7000]].into()
+    );
+}
+
+/// E4 (Ex. 3.5): the repair program has exactly three stable models, in
+/// one-to-one correspondence with the three S-repairs; M1 keeps everything
+/// but ι6.
+#[test]
+fn e4_repair_program_stable_models() {
+    let db = rs_db();
+    let sigma = kappa_sigma();
+    let rp = RepairProgram::build(&db, &sigma).unwrap();
+    let models = rp.s_repair_models().unwrap();
+    assert_eq!(models.len(), 3);
+    let deletions: BTreeSet<BTreeSet<Tid>> = models.iter().map(|m| m.deleted.clone()).collect();
+    assert!(deletions.contains(&[Tid(6)].into())); // M1 ↔ D1
+    assert!(deletions.contains(&[Tid(1), Tid(3)].into())); // D2
+    assert!(deletions.contains(&[Tid(3), Tid(4)].into())); // D3
+                                                           // The direct engine produces the same set of repairs.
+    let direct: BTreeSet<BTreeSet<Tid>> = s_repairs(&db, &sigma)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.deleted)
+        .collect();
+    assert_eq!(deletions, direct);
+}
+
+/// E5 (Ex. 4.1, Figure 1): the conflict hyper-graph, its four S-repairs
+/// and three C-repairs.
+#[test]
+fn e5_conflict_hypergraph_and_c_repairs() {
+    let mut db = Database::new();
+    for r in ["A", "B", "C", "D", "E"] {
+        db.create_relation(RelationSchema::new(r, ["X"])).unwrap();
+        db.insert(r, tuple!["a"]).unwrap();
+    }
+    let sigma = ConstraintSet::from_iter([
+        DenialConstraint::parse("d1", "B(x), E(x)").unwrap(),
+        DenialConstraint::parse("d2", "B(x), C(x), D(x)").unwrap(),
+        DenialConstraint::parse("d3", "A(x), C(x)").unwrap(),
+    ]);
+    let g = sigma.conflict_hypergraph(&db).unwrap();
+    assert_eq!(g.edge_count(), 3);
+    // S-repairs: {B,C}, {C,D,E}, {A,B,D}, {E,D,A}  (tids 1..5 = A..E).
+    let srepairs: BTreeSet<BTreeSet<Tid>> = g.maximal_independent_sets(None).into_iter().collect();
+    let t = |ids: &[u64]| -> BTreeSet<Tid> { ids.iter().map(|&i| Tid(i)).collect() };
+    assert_eq!(
+        srepairs,
+        [t(&[2, 3]), t(&[3, 4, 5]), t(&[1, 2, 4]), t(&[1, 4, 5])].into()
+    );
+    // C-repairs: only the three of size 3.
+    let crepairs: BTreeSet<BTreeSet<Tid>> = c_repairs(&db, &sigma)
+        .unwrap()
+        .into_iter()
+        .map(|r| db.tids().difference(&r.deleted).copied().collect())
+        .collect();
+    assert_eq!(
+        crepairs,
+        [t(&[3, 4, 5]), t(&[1, 2, 4]), t(&[1, 4, 5])].into()
+    );
+}
+
+/// E6 (Ex. 4.2): weak program constraints keep exactly the C-repair models.
+#[test]
+fn e6_weak_constraints_select_c_repairs() {
+    let db = rs_db();
+    let mut rp = RepairProgram::build(&db, &kappa_sigma()).unwrap();
+    rp.add_c_repair_weak_constraints();
+    let models = rp.c_repair_models().unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(models[0].deleted, [Tid(6)].into());
+}
+
+/// E7 (Ex. 4.3): the existential tgd's two repairs — delete the Supply
+/// tuple, or insert ⟨I3, NULL⟩ into Articles.
+#[test]
+fn e7_null_tuple_repairs() {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Supply",
+        ["Company", "Receiver", "Item"],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new("Articles", ["Item", "Cost"]))
+        .unwrap();
+    db.insert("Supply", tuple!["C1", "R1", "I1"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R2", "I2"]).unwrap();
+    db.insert("Supply", tuple!["C2", "R1", "I3"]).unwrap();
+    db.insert("Articles", tuple!["I1", 50]).unwrap();
+    db.insert("Articles", tuple!["I2", 30]).unwrap();
+    let sigma =
+        ConstraintSet::from_iter([Tgd::parse("ID'", "Articles(z, v) :- Supply(x, y, z)").unwrap()]);
+    let repairs = null_tuple_repairs(&db, &sigma).unwrap();
+    assert_eq!(repairs.len(), 2);
+    let ins = repairs
+        .iter()
+        .find(|r| !r.repair.inserted.is_empty())
+        .unwrap();
+    let (rel, t) = &ins.repair.inserted[0];
+    assert_eq!(rel, "Articles");
+    assert_eq!(t.at(0), &Value::str("I3"));
+    assert!(t.at(1).is_null());
+    for r in &repairs {
+        assert!(sigma.is_satisfied(&r.repair.db).unwrap());
+    }
+}
+
+/// E8 (Ex. 4.4): the paper's two attribute-level null repairs, with the
+/// change sets {ι6[1]} and {ι1[2], ι3[2]}.
+#[test]
+fn e8_attribute_null_repairs() {
+    let db = rs_db();
+    let repairs = attribute_repairs(&db, &kappa_sigma()).unwrap();
+    let change_sets: BTreeSet<BTreeSet<CellChange>> =
+        repairs.iter().map(|r| r.changes.clone()).collect();
+    let cell = |tid: u64, pos: usize| CellChange {
+        tid: Tid(tid),
+        position: pos,
+    };
+    assert!(change_sets.contains(&[cell(6, 0)].into()));
+    assert!(change_sets.contains(&[cell(1, 1), cell(3, 1)].into()));
+    for r in &repairs {
+        assert!(kappa_sigma().is_satisfied(&r.db).unwrap());
+        assert_eq!(r.db.total_tuples(), 6);
+    }
+}
+
+/// E9 (Ex. 5.1–5.2): GAV mediation, LAV certain answers, and global CQA
+/// under the FD Number → Name.
+#[test]
+fn e9_university_integration() {
+    let mut sources = Database::new();
+    for (r, attrs) in [
+        ("CUstds", ["Number", "Name"]),
+        ("SpecCU", ["Number", "Field"]),
+        ("OUstds", ["Number", "Name"]),
+        ("SpecOU", ["Number", "Field"]),
+    ] {
+        sources
+            .create_relation(RelationSchema::new(r, attrs))
+            .unwrap();
+    }
+    sources.insert("CUstds", tuple![101, "john"]).unwrap();
+    sources.insert("CUstds", tuple![102, "mary"]).unwrap();
+    sources.insert("SpecCU", tuple![101, "alg"]).unwrap();
+    sources.insert("SpecCU", tuple![102, "ai"]).unwrap();
+    sources.insert("OUstds", tuple![103, "claire"]).unwrap();
+    sources.insert("OUstds", tuple![104, "peter"]).unwrap();
+    sources.insert("SpecOU", tuple![103, "db"]).unwrap();
+    let views = parse_program(
+        "Stds(x, y, 'cu', z) :- CUstds(x, y), SpecCU(x, z).\n\
+         Stds(x, y, 'ou', z) :- OUstds(x, y), SpecOU(x, z).",
+    )
+    .unwrap();
+
+    // GAV: the retrieved instance is as in Example 5.1.
+    let mediator = GavMediator::new(sources.clone(), views.clone());
+    let retrieved = mediator.retrieved_global_instance().unwrap();
+    assert_eq!(retrieved.relation("Stds").unwrap().len(), 3);
+
+    // LAV: names are certain, skolemized fields are not.
+    let lav = LavMediator::new(
+        sources.clone(),
+        vec![RelationSchema::new(
+            "Stds",
+            ["Number", "Name", "Univ", "Field"],
+        )],
+        vec![LavMapping::parse("CUstds(x, y) :- Stds(x, y, 'cu', z)").unwrap()],
+    );
+    let names = lav
+        .certain_answers(&UnionQuery::single(
+            parse_query("Q(y) :- Stds(x, y, u, z)").unwrap(),
+        ))
+        .unwrap();
+    assert_eq!(names, [tuple!["john"], tuple!["mary"]].into());
+
+    // Example 5.2: the conflicting (101, sue) at OU.
+    let mut dirty = sources;
+    dirty.insert("OUstds", tuple![101, "sue"]).unwrap();
+    dirty.insert("SpecOU", tuple![101, "cs"]).unwrap();
+    let system = GlobalSystem::new(
+        GavMediator::new(dirty, views),
+        vec![RelationSchema::new(
+            "Stds",
+            ["Number", "Name", "Univ", "Field"],
+        )],
+        ConstraintSet::from_iter([FunctionalDependency::new("Stds", ["Number"], ["Name"])]),
+    );
+    assert!(!system.is_globally_consistent().unwrap());
+    let q = UnionQuery::single(parse_query("Q(x, y) :- Stds(x, y, u, z)").unwrap());
+    let cons = system.consistent_answers(&q, &RepairClass::Subset).unwrap();
+    assert!(cons.contains(&tuple![102, "mary"]));
+    assert!(cons.contains(&tuple![103, "claire"]));
+    assert!(!cons.iter().any(|t| t.at(0) == &Value::int(101)));
+}
+
+/// E10 (§6): the CFD table — plain FDs hold, the CFD does not; the cleaner
+/// restores it by value modification.
+#[test]
+fn e10_cfd_detection_and_cleaning() {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Cust",
+        ["CC", "AC", "Phone", "Name", "Street", "City", "Zip"],
+    ))
+    .unwrap();
+    db.insert(
+        "Cust",
+        tuple![44, 131, "1234567", "mike", "mayfield", "NYC", "EH4 8LE"],
+    )
+    .unwrap();
+    db.insert(
+        "Cust",
+        tuple![44, 131, "3456789", "rick", "crichton", "NYC", "EH4 8LE"],
+    )
+    .unwrap();
+    db.insert(
+        "Cust",
+        tuple![1, 908, "3456789", "joe", "mtn ave", "NYC", "07974"],
+    )
+    .unwrap();
+    let fd1 = FunctionalDependency::new("Cust", ["CC", "AC", "Phone"], ["Street", "City", "Zip"]);
+    let fd2 = FunctionalDependency::new("Cust", ["CC", "AC"], ["City"]);
+    assert!(fd1.is_satisfied(&db).unwrap());
+    assert!(fd2.is_satisfied(&db).unwrap());
+    let cfd = ConditionalFd::new(
+        "Cust",
+        vec![("CC", Some(Value::int(44))), ("Zip", None)],
+        "Street",
+        None,
+    );
+    assert!(!cfd.is_satisfied(&db).unwrap());
+    assert_eq!(
+        cfd.violations(&db).unwrap(),
+        [[Tid(1), Tid(2)].into()].into()
+    );
+    let spec = CleaningSpec::new().with_cfd(cfd);
+    let cleaned = clean(&db, &spec, &CostModel::uniform()).unwrap();
+    assert!(spec.is_clean(&cleaned.db).unwrap());
+    assert_eq!(cleaned.fixes.len(), 1);
+}
+
+/// E11 (Ex. 7.1): S(a3) is a counterfactual cause (ρ = 1); R(a4,a3),
+/// R(a3,a3) and S(a4) are actual causes with ρ = ½; nothing else.
+#[test]
+fn e11_causes_and_responsibility() {
+    let db = rs_db();
+    let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+    let causes = actual_causes(&db, &q);
+    let rho = |t: u64| {
+        causes
+            .iter()
+            .find(|c| c.tid == Tid(t))
+            .map(|c| c.responsibility)
+            .unwrap_or(0.0)
+    };
+    assert_eq!(rho(6), 1.0);
+    assert_eq!(rho(1), 0.5);
+    assert_eq!(rho(3), 0.5);
+    assert_eq!(rho(4), 0.5);
+    assert_eq!(rho(2), 0.0);
+    assert_eq!(rho(5), 0.0);
+    let mracs = most_responsible_causes(&db, &q);
+    assert_eq!(mracs.len(), 1);
+    assert_eq!(mracs[0].tid, Tid(6));
+}
+
+/// E12 (Ex. 7.2): the same causes through the extended repair program, with
+/// CauCon pairs read off model M2.
+#[test]
+fn e12_causality_via_repair_programs() {
+    let db = rs_db();
+    let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+    let via_asp = causes_via_asp(&db, &q).unwrap();
+    let direct = actual_causes(&db, &q);
+    let norm = |cs: &[Cause]| -> Vec<(Tid, String)> {
+        let mut v: Vec<_> = cs
+            .iter()
+            .map(|c| (c.tid, format!("{:.4}", c.responsibility)))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(norm(&via_asp), norm(&direct));
+    // And through plain repairs (the §7 connection).
+    let via_rep = causes_via_repairs(&db, &q).unwrap();
+    assert_eq!(norm(&via_rep), norm(&direct));
+}
+
+/// E13 (Ex. 7.3): attribute-level causes — ι6[1] counterfactual, ι1[2] and
+/// ι3[2] actual with ρ = ½.
+#[test]
+fn e13_attribute_level_causes() {
+    let db = rs_db();
+    let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+    let causes = attribute_causes(&db, &q).unwrap();
+    let find = |tid: u64, pos: usize| {
+        causes
+            .iter()
+            .find(|c| c.cell.tid == Tid(tid) && c.cell.position == pos)
+    };
+    assert!(find(6, 0).unwrap().counterfactual);
+    assert_eq!(find(1, 1).unwrap().responsibility, 0.5);
+    assert_eq!(find(3, 1).unwrap().responsibility, 0.5);
+}
+
+/// E14 (Ex. 7.4): causality under the IND ψ — all three queries, exactly
+/// the paper's responsibilities.
+#[test]
+fn e14_causality_under_integrity_constraints() {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("Dep", ["DName", "TStaff"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("Course", ["CName", "TStaff", "DName"]))
+        .unwrap();
+    db.insert("Dep", tuple!["Computing", "John"]).unwrap(); // ι1
+    db.insert("Dep", tuple!["Philosophy", "Patrick"]).unwrap(); // ι2
+    db.insert("Dep", tuple!["Math", "Kevin"]).unwrap(); // ι3
+    db.insert("Course", tuple!["COM08", "John", "Computing"])
+        .unwrap(); // ι4
+    db.insert("Course", tuple!["Math01", "Kevin", "Math"])
+        .unwrap(); // ι5
+    db.insert("Course", tuple!["HIST02", "Patrick", "Philosophy"])
+        .unwrap(); // ι6
+    db.insert("Course", tuple!["Math08", "Eli", "Math"])
+        .unwrap(); // ι7
+    db.insert("Course", tuple!["COM01", "John", "Computing"])
+        .unwrap(); // ι8
+    let psi =
+        ConstraintSet::from_iter([Tgd::parse("psi", "Course(u, y, x) :- Dep(x, y)").unwrap()]);
+    assert!(psi.is_satisfied(&db).unwrap());
+
+    let rho = |cs: &[Cause], t: u64| {
+        cs.iter()
+            .find(|c| c.tid == Tid(t))
+            .map(|c| c.responsibility)
+            .unwrap_or(0.0)
+    };
+
+    // (A) without ψ: ι1 counterfactual; ι4, ι8 with ρ = ½.
+    let q_a =
+        UnionQuery::single(parse_query("Q() :- Dep(y, 'John'), Course(z, 'John', y)").unwrap());
+    let plain = causes_under_ics(&db, &ConstraintSet::new(), &q_a, None).unwrap();
+    assert_eq!(rho(&plain, 1), 1.0);
+    assert_eq!(rho(&plain, 4), 0.5);
+    assert_eq!(rho(&plain, 8), 0.5);
+    // (A) under ψ: ι4 and ι8 cease to be causes.
+    let under = causes_under_ics(&db, &psi, &q_a, None).unwrap();
+    assert_eq!(rho(&under, 1), 1.0);
+    assert_eq!(rho(&under, 4), 0.0);
+    assert_eq!(rho(&under, 8), 0.0);
+
+    // (B) under ψ: same causes as (A) — Q ≡_ψ Q1.
+    let q_b = UnionQuery::single(parse_query("Q() :- Dep(y, 'John')").unwrap());
+    let b = causes_under_ics(&db, &psi, &q_b, None).unwrap();
+    assert_eq!(rho(&b, 1), 1.0);
+    assert_eq!(b.len(), 1);
+
+    // (C): without ψ, ι4/ι8 with ρ = ½ and ι1 not a cause; under ψ the
+    // responsibilities drop to ⅓.
+    let q_c = UnionQuery::single(parse_query("Q() :- Course(z, 'John', y)").unwrap());
+    let c_plain = causes_under_ics(&db, &ConstraintSet::new(), &q_c, None).unwrap();
+    assert_eq!(rho(&c_plain, 4), 0.5);
+    assert_eq!(rho(&c_plain, 8), 0.5);
+    assert_eq!(rho(&c_plain, 1), 0.0);
+    let c_under = causes_under_ics(&db, &psi, &q_c, None).unwrap();
+    assert!((rho(&c_under, 4) - 1.0 / 3.0).abs() < 1e-12);
+    assert!((rho(&c_under, 8) - 1.0 / 3.0).abs() < 1e-12);
+    assert_eq!(rho(&c_under, 1), 0.0);
+}
+
+/// Bonus: Example 3.5's repair program written *textually* in the ASP
+/// syntax, solved by the bundled engine — the full DLV-replacement loop.
+#[test]
+fn e4b_textual_repair_program() {
+    let src = "\
+        s(4, A4).\n\
+        s(5, A2).\n\
+        s(6, A3).\n\
+        r(1, A4, A3).\n\
+        r(2, A2, A1).\n\
+        r(3, A3, A3).\n\
+        sp(t1, x, D) | rp(t2, x, y, D) | sp(t3, y, D) :- s(t1, x), r(t2, x, y), s(t3, y).\n\
+        sp(t, x, S) :- s(t, x), not sp(t, x, D).\n\
+        rp(t, x, y, S) :- r(t, x, y), not rp(t, x, y, D).";
+    let program = parse_asp(src).unwrap();
+    let g = inconsistent_db::asp::ground(&program).unwrap();
+    let models = stable_models(&g);
+    assert_eq!(models.len(), 3);
+}

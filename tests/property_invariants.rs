@@ -1,0 +1,327 @@
+//! Property-based tests (proptest) on the core invariants the theory rests
+//! on: total value order, Kleene logic, hitting-set duality, repair
+//! minimality and consistency, CQA monotonicity, and causality bounds.
+
+use cqa_constraints::ConflictHypergraph;
+use inconsistent_db::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i8>().prop_map(|i| Value::Int(i as i64)),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("longer")].prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+        (0u32..3).prop_map(Value::Null),
+        (-2.0f64..2.0).prop_map(Value::Float),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn value_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn eq_values_hash_alike(a in arb_value(), b in arb_value()) {
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = std::collections::hash_map::DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn kleene_de_morgan(a in 0u8..3, b in 0u8..3) {
+        use inconsistent_db::relation::Truth;
+        let t = |x: u8| match x {
+            0 => Truth::False,
+            1 => Truth::Unknown,
+            _ => Truth::True,
+        };
+        let (a, b) = (t(a), t(b));
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        prop_assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn sql_eq_never_true_on_nulls(a in arb_value(), b in arb_value()) {
+        use inconsistent_db::relation::{sql_eq, Truth};
+        if a.is_null() || b.is_null() {
+            prop_assert_eq!(sql_eq(&a, &b), Truth::Unknown);
+        }
+    }
+}
+
+/// Random small hyper-graphs: edges over vertices 1..=n.
+fn arb_hypergraph() -> impl Strategy<Value = ConflictHypergraph> {
+    (
+        2usize..7,
+        proptest::collection::vec(proptest::collection::btree_set(1u64..7, 1..4), 0..6),
+    )
+        .prop_map(|(n, edges)| {
+            let nodes: BTreeSet<Tid> = (1..=n as u64).map(Tid).collect();
+            let edges: Vec<BTreeSet<Tid>> = edges
+                .into_iter()
+                .map(|e| {
+                    e.into_iter()
+                        .filter(|v| *v <= n as u64)
+                        .map(Tid)
+                        .collect::<BTreeSet<Tid>>()
+                })
+                .filter(|e: &BTreeSet<Tid>| !e.is_empty())
+                .collect();
+            ConflictHypergraph::new(nodes, edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minimal_hitting_sets_are_hitting_and_minimal(g in arb_hypergraph()) {
+        let sets = g.minimal_hitting_sets(None);
+        prop_assert!(!sets.is_empty()); // at least the empty set when no edges
+        for h in &sets {
+            prop_assert!(g.is_hitting_set(h));
+            prop_assert!(g.is_minimal_hitting_set(h));
+        }
+        // Pairwise incomparable.
+        for (i, a) in sets.iter().enumerate() {
+            for (j, b) in sets.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_hitting_sets_have_minimum_size(g in arb_hypergraph()) {
+        let k = g.minimum_hitting_set_size();
+        let minima = g.minimum_hitting_sets();
+        let all = g.minimal_hitting_sets(None);
+        let true_min = all.iter().map(BTreeSet::len).min().unwrap_or(0);
+        prop_assert_eq!(k, true_min);
+        for m in &minima {
+            prop_assert_eq!(m.len(), k);
+            prop_assert!(g.is_hitting_set(m));
+        }
+        // Every minimal hitting set of size k is among the minima.
+        let minima_set: BTreeSet<_> = minima.into_iter().collect();
+        for h in all.into_iter().filter(|h| h.len() == k) {
+            prop_assert!(minima_set.contains(&h));
+        }
+    }
+
+    #[test]
+    fn greedy_hitting_set_is_valid(g in arb_hypergraph()) {
+        let h = g.greedy_hitting_set();
+        prop_assert!(g.is_hitting_set(&h));
+        prop_assert!(g.is_minimal_hitting_set(&h));
+        prop_assert!(h.len() >= g.minimum_hitting_set_size());
+    }
+
+    #[test]
+    fn independent_sets_are_complements_of_hitting_sets(g in arb_hypergraph()) {
+        for kept in g.maximal_independent_sets(None) {
+            prop_assert!(g.is_independent(&kept));
+            let complement: BTreeSet<Tid> = g.nodes.difference(&kept).copied().collect();
+            prop_assert!(g.is_hitting_set(&complement));
+        }
+    }
+}
+
+/// A random instance of relation T(K, V) with key K.
+fn arb_key_instance() -> impl Strategy<Value = Database> {
+    proptest::collection::vec((0i64..4, 0i64..4), 1..9).prop_map(|rows| {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["K", "V"]))
+            .unwrap();
+        for (k, v) in rows {
+            db.insert("T", tuple![k, v]).unwrap();
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn s_repairs_are_consistent_minimal_and_incomparable(db in arb_key_instance()) {
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        let repairs = s_repairs(&db, &sigma).unwrap();
+        prop_assert!(!repairs.is_empty());
+        for r in &repairs {
+            prop_assert!(sigma.is_satisfied(&r.db).unwrap());
+            prop_assert!(is_repair(&db, &r.db, &sigma, RepairSemantics::Subset).unwrap());
+        }
+        for (i, a) in repairs.iter().enumerate() {
+            for (j, b) in repairs.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.delta.is_subset(&b.delta));
+                }
+            }
+        }
+        // Repair count matches the product formula for keys.
+        let key = KeyConstraint::new("T", ["K"]);
+        let expected = inconsistent_db::core::count_key_repairs(&db, &key).unwrap();
+        prop_assert_eq!(repairs.len() as u128, expected);
+    }
+
+    #[test]
+    fn c_repairs_are_minimum_s_repairs(db in arb_key_instance()) {
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        let srepairs = s_repairs(&db, &sigma).unwrap();
+        let crepairs = c_repairs(&db, &sigma).unwrap();
+        let min = srepairs.iter().map(|r| r.delta_size()).min().unwrap();
+        prop_assert!(crepairs.iter().all(|r| r.delta_size() == min));
+        let s_deltas: BTreeSet<_> = srepairs.iter().map(|r| r.delta.clone()).collect();
+        prop_assert!(crepairs.iter().all(|r| s_deltas.contains(&r.delta)));
+    }
+
+    #[test]
+    fn certain_answers_are_possible_and_monotone(db in arb_key_instance()) {
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        let q = UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap());
+        let certain = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        let possible = possible_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        prop_assert!(certain.is_subset(&possible));
+        // Possible answers are exactly the original tuples (keys only delete).
+        let original = eval_ucq(&db, &q, NullSemantics::Structural);
+        prop_assert_eq!(possible, original);
+    }
+
+    #[test]
+    fn key_rewriting_agrees_with_repair_cqa(db in arb_key_instance()) {
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        let q = parse_query("Q(k, v) :- T(k, v)").unwrap();
+        let keys = [("T".to_string(), vec![0usize])].into();
+        let fo = rewrite_key_query(&q, &keys).unwrap();
+        let via_rw = eval_fo(&db, &fo, NullSemantics::Structural);
+        let via_rep = consistent_answers(&db, &sigma, &UnionQuery::single(q), &RepairClass::Subset).unwrap();
+        prop_assert_eq!(via_rw, via_rep);
+    }
+
+    #[test]
+    fn projection_rewriting_agrees_with_repair_cqa(db in arb_key_instance()) {
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        let q = parse_query("Q(k) :- T(k, v)").unwrap();
+        let keys = [("T".to_string(), vec![0usize])].into();
+        let fo = rewrite_key_query(&q, &keys).unwrap();
+        let via_rw = eval_fo(&db, &fo, NullSemantics::Structural);
+        let via_rep = consistent_answers(&db, &sigma, &UnionQuery::single(q), &RepairClass::Subset).unwrap();
+        prop_assert_eq!(via_rw, via_rep);
+    }
+
+    #[test]
+    fn inconsistency_degree_is_a_fraction(db in arb_key_instance()) {
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+        let deg = inconsistency_degree(&db, &sigma).unwrap();
+        let gap = inconsistent_db::core::core_gap(&db, &sigma).unwrap();
+        prop_assert!((0.0..=1.0).contains(&deg));
+        prop_assert!(gap >= deg - 1e-12);
+        let consistent = sigma.is_satisfied(&db).unwrap();
+        prop_assert_eq!(deg == 0.0, consistent);
+    }
+}
+
+/// A random instance of the two-relation DC scenario.
+fn arb_dc_instance() -> impl Strategy<Value = Database> {
+    (
+        proptest::collection::vec((0i64..3, 0i64..3), 0..5),
+        proptest::collection::vec(0i64..3, 0..4),
+    )
+        .prop_map(|(rs, ss)| {
+            let mut db = Database::new();
+            db.create_relation(RelationSchema::new("R", ["A", "B"]))
+                .unwrap();
+            db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+            for (a, b) in rs {
+                db.insert("R", tuple![a, b]).unwrap();
+            }
+            for s in ss {
+                db.insert("S", tuple![s]).unwrap();
+            }
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn asp_repair_models_match_direct_engine(db in arb_dc_instance()) {
+        let sigma = ConstraintSet::from_iter([
+            DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()
+        ]);
+        let rp = inconsistent_db::asp::RepairProgram::build(&db, &sigma).unwrap();
+        let asp: BTreeSet<BTreeSet<Tid>> = rp
+            .s_repair_models()
+            .unwrap()
+            .into_iter()
+            .map(|m| m.deleted)
+            .collect();
+        let direct: BTreeSet<BTreeSet<Tid>> = s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.deleted)
+            .collect();
+        prop_assert_eq!(asp, direct);
+    }
+
+    #[test]
+    fn causality_paths_agree(db in arb_dc_instance()) {
+        let q = UnionQuery::single(parse_query("Q() :- S(x), R(x, y), S(y)").unwrap());
+        let direct = actual_causes(&db, &q);
+        let via = causes_via_repairs(&db, &q).unwrap();
+        let norm = |cs: &[Cause]| -> Vec<(Tid, String)> {
+            let mut v: Vec<_> = cs
+                .iter()
+                .map(|c| (c.tid, format!("{:.6}", c.responsibility)))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(norm(&direct), norm(&via));
+        for c in &direct {
+            prop_assert!(c.responsibility > 0.0 && c.responsibility <= 1.0);
+            prop_assert_eq!(c.counterfactual, c.min_contingency.is_empty());
+        }
+    }
+
+    #[test]
+    fn attribute_repairs_restore_consistency(db in arb_dc_instance()) {
+        let sigma = ConstraintSet::from_iter([
+            DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()
+        ]);
+        for r in attribute_repairs(&db, &sigma).unwrap() {
+            prop_assert!(sigma.is_satisfied(&r.db).unwrap());
+            prop_assert_eq!(r.db.total_tuples(), db.total_tuples());
+        }
+    }
+}
