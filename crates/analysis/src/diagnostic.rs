@@ -1,0 +1,291 @@
+//! The shared diagnostic framework: stable codes, severities, messages, and
+//! source context. Every static-analysis pass in the workspace reports
+//! findings as [`Diagnostic`]s so tooling (the CLI `analyze` command, the
+//! planner, the harness) can render them uniformly.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Structural information (classifications, recognized patterns).
+    Info,
+    /// Probably a mistake or a performance hazard; execution still sound.
+    Warning,
+    /// The input is rejected (unsafe rules, unsatisfiable constraints).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. `A…` = ASP program analysis, `G…` = grounding,
+/// `C…` = constraint-set lints, `Q…` = query lints. Codes never change
+/// meaning once shipped; new checks get new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// A001: a head/negated/comparison variable not bound by a positive
+    /// body atom.
+    UnsafeVariable,
+    /// A002: recursion through default negation (the program is not
+    /// stratified; stable-model search is required).
+    RecursionThroughNegation,
+    /// A003: two head disjuncts of one rule depend on each other through
+    /// positive recursion (the program is not head-cycle-free).
+    HeadCycle,
+    /// A004: a rule is repeated verbatim.
+    DuplicateRule,
+    /// A005: a positive body predicate with no defining rule or fact — the
+    /// rule can never fire.
+    UndefinedPredicate,
+    /// G001: the estimated grounding size exceeds the blow-up threshold.
+    GroundingBlowup,
+    /// C001: a constraint is repeated verbatim.
+    DuplicateConstraint,
+    /// C002: a denial constraint no (or only an empty) instance satisfies.
+    UnsatisfiableConstraint,
+    /// C003: a denial constraint implied by another via a body homomorphism.
+    SubsumedConstraint,
+    /// C004: a functional dependency whose attributes cover the whole
+    /// schema — it is a key in disguise.
+    FdIsKey,
+    /// C005: inclusion dependencies form a cycle; insertion-based repairs
+    /// may cascade.
+    IndCycle,
+    /// C006: a constraint whose comparisons are contradictory — it can
+    /// never be violated.
+    VacuousConstraint,
+    /// Q001: an unsafe query variable.
+    UnsafeQueryVariable,
+    /// Q002: the query body is disconnected — a Cartesian product.
+    CartesianProduct,
+}
+
+impl DiagCode {
+    /// Every defined code (documentation + CLI catalog order).
+    pub const ALL: [DiagCode; 14] = [
+        DiagCode::UnsafeVariable,
+        DiagCode::RecursionThroughNegation,
+        DiagCode::HeadCycle,
+        DiagCode::DuplicateRule,
+        DiagCode::UndefinedPredicate,
+        DiagCode::GroundingBlowup,
+        DiagCode::DuplicateConstraint,
+        DiagCode::UnsatisfiableConstraint,
+        DiagCode::SubsumedConstraint,
+        DiagCode::FdIsKey,
+        DiagCode::IndCycle,
+        DiagCode::VacuousConstraint,
+        DiagCode::UnsafeQueryVariable,
+        DiagCode::CartesianProduct,
+    ];
+
+    /// The stable code string, e.g. `"A001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::UnsafeVariable => "A001",
+            DiagCode::RecursionThroughNegation => "A002",
+            DiagCode::HeadCycle => "A003",
+            DiagCode::DuplicateRule => "A004",
+            DiagCode::UndefinedPredicate => "A005",
+            DiagCode::GroundingBlowup => "G001",
+            DiagCode::DuplicateConstraint => "C001",
+            DiagCode::UnsatisfiableConstraint => "C002",
+            DiagCode::SubsumedConstraint => "C003",
+            DiagCode::FdIsKey => "C004",
+            DiagCode::IndCycle => "C005",
+            DiagCode::VacuousConstraint => "C006",
+            DiagCode::UnsafeQueryVariable => "Q001",
+            DiagCode::CartesianProduct => "Q002",
+        }
+    }
+
+    /// Short kebab-case name, e.g. `"unsafe-variable"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagCode::UnsafeVariable => "unsafe-variable",
+            DiagCode::RecursionThroughNegation => "recursion-through-negation",
+            DiagCode::HeadCycle => "head-cycle",
+            DiagCode::DuplicateRule => "duplicate-rule",
+            DiagCode::UndefinedPredicate => "undefined-predicate",
+            DiagCode::GroundingBlowup => "grounding-blowup",
+            DiagCode::DuplicateConstraint => "duplicate-constraint",
+            DiagCode::UnsatisfiableConstraint => "unsatisfiable-constraint",
+            DiagCode::SubsumedConstraint => "subsumed-constraint",
+            DiagCode::FdIsKey => "fd-is-key",
+            DiagCode::IndCycle => "ind-cycle",
+            DiagCode::VacuousConstraint => "vacuous-constraint",
+            DiagCode::UnsafeQueryVariable => "unsafe-query-variable",
+            DiagCode::CartesianProduct => "cartesian-product",
+        }
+    }
+
+    /// The severity this code carries unless overridden.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            DiagCode::UnsafeVariable
+            | DiagCode::UnsatisfiableConstraint
+            | DiagCode::UnsafeQueryVariable => Severity::Error,
+            DiagCode::DuplicateRule
+            | DiagCode::UndefinedPredicate
+            | DiagCode::GroundingBlowup
+            | DiagCode::DuplicateConstraint
+            | DiagCode::SubsumedConstraint
+            | DiagCode::IndCycle
+            | DiagCode::VacuousConstraint
+            | DiagCode::CartesianProduct => Severity::Warning,
+            DiagCode::RecursionThroughNegation | DiagCode::HeadCycle | DiagCode::FdIsKey => {
+                Severity::Info
+            }
+        }
+    }
+
+    /// One-line description for the code catalog.
+    pub fn summary(self) -> &'static str {
+        match self {
+            DiagCode::UnsafeVariable => {
+                "a head/negated/comparison variable is not bound by a positive body atom"
+            }
+            DiagCode::RecursionThroughNegation => {
+                "recursion through default negation: the program is not stratified"
+            }
+            DiagCode::HeadCycle => {
+                "head disjuncts depend on each other through positive recursion (not head-cycle-free)"
+            }
+            DiagCode::DuplicateRule => "a rule is repeated verbatim",
+            DiagCode::UndefinedPredicate => {
+                "a positive body predicate has no defining rule or fact: the rule can never fire"
+            }
+            DiagCode::GroundingBlowup => {
+                "the estimated grounding size exceeds the blow-up threshold"
+            }
+            DiagCode::DuplicateConstraint => "a constraint is repeated verbatim",
+            DiagCode::UnsatisfiableConstraint => {
+                "no (or only an empty) instance satisfies this denial constraint"
+            }
+            DiagCode::SubsumedConstraint => {
+                "a denial constraint is implied by another (body homomorphism): it is redundant"
+            }
+            DiagCode::FdIsKey => {
+                "a functional dependency covering every attribute of its relation is a key"
+            }
+            DiagCode::IndCycle => {
+                "inclusion dependencies form a cycle: insertion-based repairs may cascade"
+            }
+            DiagCode::VacuousConstraint => {
+                "the constraint's comparisons are contradictory: it can never be violated"
+            }
+            DiagCode::UnsafeQueryVariable => "an unsafe query variable",
+            DiagCode::CartesianProduct => {
+                "the query body is disconnected and evaluates a Cartesian product"
+            }
+        }
+    }
+}
+
+/// One analysis finding: a stable code, a severity, a human message, and
+/// optional source context (the offending rule/constraint text and index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Severity (defaults to [`DiagCode::default_severity`]).
+    pub severity: Severity,
+    /// Human-readable explanation of this specific finding.
+    pub message: String,
+    /// Source context: the offending rule / constraint, pretty-printed.
+    pub context: Option<String>,
+    /// Index of the offending rule or constraint in its program/set.
+    pub index: Option<usize>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no context.
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            context: None,
+            index: None,
+        }
+    }
+
+    /// Attach pretty-printed source context.
+    pub fn with_context(mut self, context: impl Into<String>) -> Diagnostic {
+        self.context = Some(context.into());
+        self
+    }
+
+    /// Attach the rule/constraint index.
+    pub fn with_index(mut self, index: usize) -> Diagnostic {
+        self.index = Some(index);
+        self
+    }
+
+    /// Override the default severity.
+    pub fn with_severity(mut self, severity: Severity) -> Diagnostic {
+        self.severity = severity;
+        self
+    }
+
+    /// Is this an error?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity,
+            self.code.code(),
+            self.code.name(),
+            self.message
+        )?;
+        if let Some(ctx) = &self.context {
+            let loc = match self.index {
+                Some(i) => format!("{i}: "),
+                None => String::new(),
+            };
+            write!(f, "\n  --> {loc}{ctx}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in DiagCode::ALL {
+            assert!(seen.insert(c.code()), "duplicate code {}", c.code());
+            assert!(!c.name().is_empty());
+            assert!(!c.summary().is_empty());
+        }
+        assert_eq!(DiagCode::UnsafeVariable.code(), "A001");
+        assert_eq!(DiagCode::SubsumedConstraint.code(), "C003");
+    }
+
+    #[test]
+    fn display_includes_code_severity_and_context() {
+        let d = Diagnostic::new(DiagCode::UnsafeVariable, "variable `x` is unbound")
+            .with_context("p(x) :- not q(x).")
+            .with_index(2);
+        let s = d.to_string();
+        assert!(s.contains("error[A001] unsafe-variable"), "{s}");
+        assert!(s.contains("--> 2: p(x) :- not q(x)."), "{s}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Dependency graphs with positive/negative edges, Tarjan SCCs, and
+//! stratification. Generic over `usize` node ids so it serves both the
+//! predicate-level graph (non-ground programs) and the atom-level graph
+//! (ground programs).
+
+/// How one node depends on another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Through a positive body literal.
+    Positive,
+    /// Through a default-negated body literal.
+    Negative,
+}
+
+/// A directed dependency graph: edge `u → v` means "u depends on v"
+/// (v occurs in the body of a rule with u in the head).
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    adj: Vec<Vec<(usize, EdgeKind)>>,
+}
+
+impl DepGraph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> DepGraph {
+        DepGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// No nodes?
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add `from → to` (duplicates are kept; they are harmless).
+    pub fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        self.adj[from].push((to, kind));
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn edges(&self, v: usize) -> &[(usize, EdgeKind)] {
+        &self.adj[v]
+    }
+
+    /// Strongly connected components (iterative Tarjan). Components are
+    /// emitted in *dependency-first* order: every component appears after
+    /// all components it has edges into. Node lists are sorted.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.adj.len();
+        const UNSEEN: usize = usize::MAX;
+        let mut index = vec![UNSEEN; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != UNSEEN {
+                continue;
+            }
+            // Explicit DFS stack of (node, next-edge-position).
+            let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&(v, ei)) = call.last() {
+                if ei == 0 {
+                    index[v] = next;
+                    low[v] = next;
+                    next += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if ei < self.adj[v].len() {
+                    call.last_mut().expect("nonempty").1 += 1;
+                    let (w, _) = self.adj[v][ei];
+                    if index[w] == UNSEEN {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Map node → index of its SCC in `sccs`.
+    pub fn scc_index(&self, sccs: &[Vec<usize>]) -> Vec<usize> {
+        let mut of = vec![0usize; self.adj.len()];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                of[v] = ci;
+            }
+        }
+        of
+    }
+
+    /// Stratification of the graph.
+    ///
+    /// Returns `(stratum_per_node, stratified, witness)`:
+    /// * `stratum_per_node[v]` — the topological layer of `v`'s component;
+    ///   positive edges may stay within a layer, negative edges must step
+    ///   down, so a stratified program can be evaluated layer by layer;
+    /// * `stratified` — false iff some negative edge stays *inside* an SCC
+    ///   (recursion through negation);
+    /// * `witness` — such an edge `(u, v)`, when one exists.
+    pub fn strata(&self) -> (Vec<usize>, bool, Option<(usize, usize)>) {
+        let sccs = self.sccs();
+        let of = self.scc_index(&sccs);
+        let mut scc_stratum = vec![0usize; sccs.len()];
+        let mut stratified = true;
+        let mut witness = None;
+        // Dependency-first order: strata of everything a component points to
+        // are final before the component itself is assigned.
+        for (ci, comp) in sccs.iter().enumerate() {
+            let mut s = 0usize;
+            for &v in comp {
+                for &(w, kind) in &self.adj[v] {
+                    if of[w] == ci {
+                        if kind == EdgeKind::Negative {
+                            stratified = false;
+                            witness.get_or_insert((v, w));
+                        }
+                    } else {
+                        let need = scc_stratum[of[w]] + usize::from(kind == EdgeKind::Negative);
+                        s = s.max(need);
+                    }
+                }
+            }
+            scc_stratum[ci] = s;
+        }
+        let strata = (0..self.adj.len()).map(|v| scc_stratum[of[v]]).collect();
+        (strata, stratified, witness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sccs_of_a_cycle_and_a_tail() {
+        // 0 → 1 → 2 → 0 (cycle), 3 → 0 (tail).
+        let mut g = DepGraph::new(4);
+        g.add_edge(0, 1, EdgeKind::Positive);
+        g.add_edge(1, 2, EdgeKind::Positive);
+        g.add_edge(2, 0, EdgeKind::Positive);
+        g.add_edge(3, 0, EdgeKind::Positive);
+        let sccs = g.sccs();
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3]));
+        // Dependency-first: the cycle is emitted before its dependant.
+        assert_eq!(sccs.iter().position(|c| c.len() == 3).unwrap(), 0);
+    }
+
+    #[test]
+    fn strata_step_down_on_negation() {
+        // 2 -neg-> 1 -pos-> 0: strata 0, 0, 1 (positive edges free).
+        let mut g = DepGraph::new(3);
+        g.add_edge(1, 0, EdgeKind::Positive);
+        g.add_edge(2, 1, EdgeKind::Negative);
+        let (strata, stratified, witness) = g.strata();
+        assert!(stratified);
+        assert_eq!(witness, None);
+        assert_eq!(strata, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn negative_edge_in_scc_is_unstratified() {
+        // a :- not b. b :- not a.  (2-cycle of negative edges)
+        let mut g = DepGraph::new(2);
+        g.add_edge(0, 1, EdgeKind::Negative);
+        g.add_edge(1, 0, EdgeKind::Negative);
+        let (_, stratified, witness) = g.strata();
+        assert!(!stratified);
+        assert!(witness.is_some());
+    }
+
+    #[test]
+    fn positive_recursion_stays_in_one_stratum() {
+        // Transitive closure: t → e (pos), t → t (pos).
+        let mut g = DepGraph::new(2);
+        g.add_edge(1, 0, EdgeKind::Positive);
+        g.add_edge(1, 1, EdgeKind::Positive);
+        let (strata, stratified, _) = g.strata();
+        assert!(stratified);
+        assert_eq!(strata, vec![0, 0]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10_000-node negative chain: recursion-free iterative Tarjan.
+        let n = 10_000;
+        let mut g = DepGraph::new(n);
+        for v in 1..n {
+            g.add_edge(v, v - 1, EdgeKind::Negative);
+        }
+        let (strata, stratified, _) = g.strata();
+        assert!(stratified);
+        assert_eq!(strata[n - 1], n - 1);
+    }
+}

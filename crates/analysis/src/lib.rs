@@ -1,0 +1,37 @@
+//! Static program analysis for the CQA workspace.
+//!
+//! This crate looks at ASP programs, denial-constraint sets, and conjunctive
+//! queries *before* anything is grounded or solved, and reports what it finds
+//! as [`Diagnostic`]s with stable codes (`A001`, `C003`, …):
+//!
+//! * [`analyze_shape`] classifies a program ([`ProgramClass`]: stratified /
+//!   head-cycle-free / full) from its predicate dependency graph, computes
+//!   strata, and estimates the grounding size. A stratified classification
+//!   lets the ASP solver evaluate bottom-up per stratum instead of guessing
+//!   stable models; the estimate warns before exponential blowups (`G001`).
+//! * [`lint_constraints`] finds duplicate (`C001`), unsatisfiable (`C002`),
+//!   subsumed (`C003`), and vacuous (`C006`) denial constraints, FDs that
+//!   are keys in disguise (`C004`), and inclusion-dependency cycles
+//!   (`C005`).
+//! * [`lint_query`] checks query safety (`Q001`) and connectivity (`Q002`).
+//!
+//! The crate deliberately depends only on `cqa-relation`, `cqa-query`, and
+//! `cqa-constraints`; ASP programs reach it through the neutral
+//! [`ProgramShape`] IR so both `cqa-asp` (predicate level) and the grounder
+//! (atom level) can share one analysis, and `cqa-core`'s planner can consume
+//! the results without a dependency cycle.
+
+#![forbid(unsafe_code)]
+
+mod diagnostic;
+mod graph;
+mod lints;
+mod program;
+
+pub use diagnostic::{DiagCode, Diagnostic, Severity};
+pub use graph::{DepGraph, EdgeKind};
+pub use lints::{lint_constraints, lint_query};
+pub use program::{
+    analyze_shape, classify_shape, Classification, ProgramAnalysis, ProgramClass, ProgramShape,
+    ShapeRule, GROUNDING_WARN_THRESHOLD,
+};

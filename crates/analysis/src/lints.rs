@@ -1,0 +1,612 @@
+//! Constraint-set and query lints.
+//!
+//! These recognize structure *before* solving — the theme of the survey's
+//! §3: FDs that are really keys unlock the attack-graph rewriting, IND
+//! cycles predict cascading insertion repairs, and redundant/vacuous denial
+//! constraints inflate conflict hypergraphs for no semantic gain.
+
+use crate::diagnostic::{DiagCode, Diagnostic, Severity};
+use cqa_constraints::{Constraint, ConstraintSet, DenialConstraint};
+use cqa_query::{CmpOp, Comparison, ConjunctiveQuery, Term, Var};
+use cqa_relation::Database;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A name-independent identity key for a constraint (constraint *names* are
+/// often auto-generated per source line, so two textually identical `dc`
+/// lines must still compare equal).
+fn constraint_key(c: &Constraint) -> String {
+    match c {
+        Constraint::Denial(d) => format!("dc {}", d.body()),
+        Constraint::Tgd(t) => format!("tgd {:?} :- {}", t.head(), t.body()),
+        other => other.to_string(),
+    }
+}
+
+/// Lint a constraint set. `db` (when available) supplies schemas for the
+/// FD-is-key check; all other lints are purely syntactic.
+pub fn lint_constraints(sigma: &ConstraintSet, db: Option<&Database>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // C001: verbatim duplicates (by name-independent pretty-printed form).
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, c) in sigma.constraints.iter().enumerate() {
+        let text = constraint_key(c);
+        match seen.get(&text) {
+            Some(&first) => out.push(
+                Diagnostic::new(
+                    DiagCode::DuplicateConstraint,
+                    format!("constraint {i} repeats constraint {first}"),
+                )
+                .with_index(i)
+                .with_context(c.to_string()),
+            ),
+            None => {
+                seen.insert(text, i);
+            }
+        }
+    }
+
+    for (i, c) in sigma.constraints.iter().enumerate() {
+        match c {
+            Constraint::Denial(dc) => {
+                out.extend(lint_denial(i, dc));
+            }
+            Constraint::Fd(fd) => {
+                // C004: lhs ∪ rhs covers the whole schema → the FD is a key.
+                if let Some(schema) = db.and_then(|d| d.relation(&fd.relation)) {
+                    let all: BTreeSet<&str> = schema
+                        .schema()
+                        .attributes()
+                        .iter()
+                        .map(|a| a.name.as_str())
+                        .collect();
+                    let covered: BTreeSet<&str> = fd
+                        .lhs
+                        .iter()
+                        .chain(fd.rhs.iter())
+                        .map(String::as_str)
+                        .collect();
+                    if covered.is_superset(&all) {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::FdIsKey,
+                                format!(
+                                    "functional dependency covers every attribute of \
+                                     `{}`: {} is a key (key-based CQA rewriting applies)",
+                                    fd.relation,
+                                    fd.lhs.join(", ")
+                                ),
+                            )
+                            .with_index(i)
+                            .with_context(c.to_string()),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // C003: pairwise subsumption among denial constraints.
+    let denials: Vec<(usize, &DenialConstraint)> = sigma
+        .constraints
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| match c {
+            Constraint::Denial(d) => Some((i, d)),
+            _ => None,
+        })
+        .collect();
+    let mut subsumed_reported: BTreeSet<usize> = BTreeSet::new();
+    for &(ai, a) in &denials {
+        if subsumed_reported.contains(&ai) {
+            continue;
+        }
+        for &(bi, b) in &denials {
+            if ai == bi || a.body().to_string() == b.body().to_string() {
+                continue; // identical pairs are C001's business
+            }
+            if body_homomorphism(b, a) {
+                // body(B) maps into body(A): every violation of A violates B,
+                // so B alone already enforces A — A is redundant.
+                if body_homomorphism(a, b) && ai < bi {
+                    continue; // equivalent pair: report only the later one
+                }
+                subsumed_reported.insert(ai);
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::SubsumedConstraint,
+                        format!("`{}` is implied by `{}` and can be dropped", a.name, b.name),
+                    )
+                    .with_index(ai)
+                    .with_context(a.to_string()),
+                );
+                break;
+            }
+        }
+    }
+
+    // C005: cycle in the relation-level inclusion-dependency graph.
+    if let Some(cycle) = ind_cycle(sigma) {
+        out.push(Diagnostic::new(
+            DiagCode::IndCycle,
+            format!(
+                "inclusion dependencies form a cycle {}: insertion-based repairs \
+                 may cascade (the chase may not terminate)",
+                cycle.join(" -> ")
+            ),
+        ));
+    }
+
+    out.sort_by_key(|d| (d.index, d.code));
+    out
+}
+
+/// C002 + C006 for one denial constraint.
+fn lint_denial(i: usize, dc: &DenialConstraint) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let contradiction = comparisons_contradictory(dc.comparisons());
+    if dc.atoms().is_empty() {
+        // No relational atoms: the body holds in every instance unless the
+        // comparisons are self-contradictory.
+        if !contradiction {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::UnsatisfiableConstraint,
+                    "denial constraint has no relational atoms: no instance satisfies it",
+                )
+                .with_index(i)
+                .with_context(dc.to_string()),
+            );
+        }
+    } else if dc.atoms().len() == 1
+        && dc.comparisons().is_empty()
+        && dc.atoms()[0]
+            .terms
+            .iter()
+            .all(|t| matches!(t, Term::Var(_)))
+        && distinct_vars(&dc.atoms()[0].terms)
+    {
+        out.push(
+            Diagnostic::new(
+                DiagCode::UnsatisfiableConstraint,
+                format!(
+                    "denial constraint forbids every `{}` tuple: only an empty \
+                     relation satisfies it",
+                    dc.atoms()[0].relation
+                ),
+            )
+            .with_severity(Severity::Warning)
+            .with_index(i)
+            .with_context(dc.to_string()),
+        );
+    }
+    if contradiction {
+        out.push(
+            Diagnostic::new(
+                DiagCode::VacuousConstraint,
+                "the comparisons are contradictory: the body never matches, so the \
+                 constraint can never be violated",
+            )
+            .with_index(i)
+            .with_context(dc.to_string()),
+        );
+    }
+    out
+}
+
+fn distinct_vars(terms: &[Term]) -> bool {
+    let vars: BTreeSet<Var> = terms
+        .iter()
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+        .collect();
+    vars.len() == terms.len()
+}
+
+// Possible comparison outcomes, as a bitmask over {<, =, >}.
+const LT: u8 = 1;
+const EQ: u8 = 2;
+const GT: u8 = 4;
+
+fn op_mask(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => EQ,
+        CmpOp::Ne => LT | GT,
+        CmpOp::Lt => LT,
+        CmpOp::Le => LT | EQ,
+        CmpOp::Gt => GT,
+        CmpOp::Ge => GT | EQ,
+    }
+}
+
+/// Syntactic unsatisfiability of a comparison conjunction: per operand pair,
+/// intersect the admissible {<, =, >} outcomes; refute constant/identical
+/// operands directly. (Sound, not complete — no transitive closure.)
+fn comparisons_contradictory(comps: &[Comparison]) -> bool {
+    let mut groups: BTreeMap<(String, String), u8> = BTreeMap::new();
+    for c in comps {
+        // Identical operands compare equal.
+        if c.left == c.right {
+            if op_mask(c.op) & EQ == 0 {
+                return true;
+            }
+            continue;
+        }
+        // Two constants have a known outcome.
+        if let (Term::Const(a), Term::Const(b)) = (&c.left, &c.right) {
+            let outcome = match a.cmp(b) {
+                std::cmp::Ordering::Less => LT,
+                std::cmp::Ordering::Equal => EQ,
+                std::cmp::Ordering::Greater => GT,
+            };
+            if outcome & op_mask(c.op) == 0 {
+                return true;
+            }
+            continue;
+        }
+        // Canonical orientation so `x < y` and `y > x` share a group.
+        let (lk, rk) = (format!("{:?}", c.left), format!("{:?}", c.right));
+        let (key, op) = if lk <= rk {
+            ((lk, rk), c.op)
+        } else {
+            ((rk, lk), c.op.flipped())
+        };
+        let entry = groups.entry(key).or_insert(LT | EQ | GT);
+        *entry &= op_mask(op);
+        if *entry == 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is there a homomorphism mapping `from`'s body into `to`'s body?
+/// Variables of `from` map to terms of `to`; constants must match exactly;
+/// each comparison of `from` must appear (possibly flipped) in `to`.
+fn body_homomorphism(from: &DenialConstraint, to: &DenialConstraint) -> bool {
+    let fa = from.atoms();
+    let ta = to.atoms();
+    if fa.is_empty() {
+        return from.comparisons().is_empty();
+    }
+
+    fn unify(pattern: &[Term], target: &[Term], map: &mut BTreeMap<Var, Term>) -> Option<Vec<Var>> {
+        let mut bound_here = Vec::new();
+        for (p, t) in pattern.iter().zip(target) {
+            match p {
+                Term::Const(c) => match t {
+                    Term::Const(d) if c == d => {}
+                    _ => {
+                        for v in bound_here {
+                            map.remove(&v);
+                        }
+                        return None;
+                    }
+                },
+                Term::Var(v) => match map.get(v) {
+                    Some(existing) if existing == t => {}
+                    Some(_) => {
+                        for v in bound_here {
+                            map.remove(&v);
+                        }
+                        return None;
+                    }
+                    None => {
+                        map.insert(*v, t.clone());
+                        bound_here.push(*v);
+                    }
+                },
+            }
+        }
+        Some(bound_here)
+    }
+
+    fn assign(
+        i: usize,
+        fa: &[cqa_query::Atom],
+        ta: &[cqa_query::Atom],
+        map: &mut BTreeMap<Var, Term>,
+        from: &DenialConstraint,
+        to: &DenialConstraint,
+    ) -> bool {
+        if i == fa.len() {
+            return comparisons_map(from, to, map);
+        }
+        for cand in ta {
+            if cand.relation != fa[i].relation || cand.terms.len() != fa[i].terms.len() {
+                continue;
+            }
+            if let Some(bound) = unify(&fa[i].terms, &cand.terms, map) {
+                if assign(i + 1, fa, ta, map, from, to) {
+                    return true;
+                }
+                for v in bound {
+                    map.remove(&v);
+                }
+            }
+        }
+        false
+    }
+
+    let mut map = BTreeMap::new();
+    assign(0, fa, ta, &mut map, from, to)
+}
+
+/// Every comparison of `from`, pushed through `map`, must occur in `to`
+/// verbatim or flipped.
+fn comparisons_map(
+    from: &DenialConstraint,
+    to: &DenialConstraint,
+    map: &BTreeMap<Var, Term>,
+) -> bool {
+    let subst = |t: &Term| -> Option<Term> {
+        match t {
+            Term::Const(_) => Some(t.clone()),
+            Term::Var(v) => map.get(v).cloned(),
+        }
+    };
+    from.comparisons().iter().all(|c| {
+        let (Some(l), Some(r)) = (subst(&c.left), subst(&c.right)) else {
+            return false;
+        };
+        to.comparisons().iter().any(|d| {
+            (d.left == l && d.op == c.op && d.right == r)
+                || (d.left == r && d.op == c.op.flipped() && d.right == l)
+        })
+    })
+}
+
+/// Find a cycle in the relation-level IND graph (body relation → head
+/// relation per tgd), as a path of relation names ending where it started.
+fn ind_cycle(sigma: &ConstraintSet) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for tgd in sigma.tgds() {
+        for atom in &tgd.body().atoms {
+            adj.entry(atom.relation.as_str())
+                .or_default()
+                .insert(tgd.head().relation.as_str());
+        }
+    }
+    // DFS with an explicit path for cycle reconstruction.
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(
+            start,
+            adj.get(start)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default(),
+        )];
+        path.push(start);
+        on_path.insert(start);
+        while let Some((node, succs)) = stack.last_mut() {
+            match succs.pop() {
+                Some(next) => {
+                    if on_path.contains(next) {
+                        let from = path.iter().position(|&r| r == next).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            path[from..].iter().map(|r| r.to_string()).collect();
+                        cycle.push(next.to_string());
+                        return Some(cycle);
+                    }
+                    if done.contains(next) {
+                        continue;
+                    }
+                    path.push(next);
+                    on_path.insert(next);
+                    let nsuccs = adj
+                        .get(next)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    stack.push((next, nsuccs));
+                }
+                None => {
+                    let node = *node;
+                    done.insert(node);
+                    on_path.remove(node);
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Lint one conjunctive query: safety (Q001) and disconnected bodies (Q002).
+pub fn lint_query(q: &ConjunctiveQuery) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(msg) = q.check_safety() {
+        out.push(Diagnostic::new(DiagCode::UnsafeQueryVariable, msg));
+    }
+    if q.atoms.len() >= 2 {
+        // Union-find over positive atoms joined by shared variables.
+        let n = q.atoms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut by_var: BTreeMap<Var, usize> = BTreeMap::new();
+        for (i, atom) in q.atoms.iter().enumerate() {
+            for v in atom.vars() {
+                match by_var.get(&v) {
+                    Some(&j) => {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                        parent[a] = b;
+                    }
+                    None => {
+                        by_var.insert(v, i);
+                    }
+                }
+            }
+        }
+        let roots: BTreeSet<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+        if roots.len() > 1 {
+            out.push(Diagnostic::new(
+                DiagCode::CartesianProduct,
+                format!(
+                    "the query body falls into {} unconnected components: \
+                     evaluation is a Cartesian product",
+                    roots.len()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{FunctionalDependency, KeyConstraint, Tgd};
+    use cqa_query::parse_query;
+    use cqa_relation::RelationSchema;
+
+    fn dc(name: &str, body: &str) -> DenialConstraint {
+        DenialConstraint::parse(name, body).unwrap()
+    }
+
+    #[test]
+    fn duplicate_constraints_flagged() {
+        let sigma = ConstraintSet::from_iter([
+            dc("k1", "S(x), S(y), x != y"),
+            dc("k1", "S(x), S(y), x != y"),
+        ]);
+        let diags = lint_constraints(&sigma, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::DuplicateConstraint && d.index == Some(1)));
+    }
+
+    #[test]
+    fn single_atom_dc_warns_unsatisfiable() {
+        let sigma = ConstraintSet::from_iter([dc("empty_r", "R(x, y)")]);
+        let diags = lint_constraints(&sigma, None);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::UnsatisfiableConstraint)
+            .expect("C002 expected");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("empty"));
+    }
+
+    #[test]
+    fn contradictory_comparisons_are_vacuous() {
+        for body in [
+            "R(x, y), x < y, x > y",
+            "R(x, y), x < y, y < x",
+            "R(x, y), x = y, x != y",
+            "R(x, y), x != x",
+        ] {
+            let sigma = ConstraintSet::from_iter([dc("v", body)]);
+            let diags = lint_constraints(&sigma, None);
+            assert!(
+                diags.iter().any(|d| d.code == DiagCode::VacuousConstraint),
+                "expected C006 for {body}"
+            );
+        }
+        // Satisfiable combinations must NOT fire.
+        let sigma = ConstraintSet::from_iter([dc("ok", "R(x, y), x <= y, y <= x")]);
+        let diags = lint_constraints(&sigma, None);
+        assert!(!diags.iter().any(|d| d.code == DiagCode::VacuousConstraint));
+    }
+
+    #[test]
+    fn subsumption_via_homomorphism() {
+        // Violating `wide` requires S(x), R(x, y), S(y); `narrow` forbids
+        // any S(x), R(x, y) — narrow is stronger, wide is redundant.
+        let sigma = ConstraintSet::from_iter([
+            dc("wide", "S(x), R(x, y), S(y)"),
+            dc("narrow", "S(x), R(x, y)"),
+        ]);
+        let diags = lint_constraints(&sigma, None);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::SubsumedConstraint)
+            .expect("C003 expected");
+        assert_eq!(d.index, Some(0));
+        assert!(d.message.contains("narrow"), "{}", d.message);
+        // No subsumption between genuinely incomparable constraints.
+        let sigma = ConstraintSet::from_iter([dc("a", "S(x), R(x, y)"), dc("b", "S(x), T(x, y)")]);
+        assert!(!lint_constraints(&sigma, None)
+            .iter()
+            .any(|d| d.code == DiagCode::SubsumedConstraint));
+    }
+
+    #[test]
+    fn equivalent_pair_reports_only_the_later() {
+        let sigma =
+            ConstraintSet::from_iter([dc("first", "S(x), R(x, y)"), dc("second", "S(u), R(u, w)")]);
+        let diags = lint_constraints(&sigma, None);
+        let subsumed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::SubsumedConstraint)
+            .collect();
+        assert_eq!(subsumed.len(), 1);
+        assert_eq!(subsumed[0].index, Some(1));
+    }
+
+    #[test]
+    fn fd_is_key_needs_schema() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        let fd = FunctionalDependency::new("Employee", ["Name"], ["Salary"]);
+        let sigma = ConstraintSet::from_iter([fd]);
+        assert!(!lint_constraints(&sigma, None)
+            .iter()
+            .any(|d| d.code == DiagCode::FdIsKey));
+        let diags = lint_constraints(&sigma, Some(&db));
+        assert!(diags.iter().any(|d| d.code == DiagCode::FdIsKey));
+        // A genuine partial FD must not fire.
+        let mut db2 = Database::new();
+        db2.create_relation(RelationSchema::new("E", ["A", "B", "C"]))
+            .unwrap();
+        let fd2 = FunctionalDependency::new("E", ["A"], ["B"]);
+        let sigma2 = ConstraintSet::from_iter([fd2]);
+        assert!(!lint_constraints(&sigma2, Some(&db2))
+            .iter()
+            .any(|d| d.code == DiagCode::FdIsKey));
+        // Keys are already keys; no diagnostic.
+        let sigma3 = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+        assert!(lint_constraints(&sigma3, Some(&db)).is_empty());
+    }
+
+    #[test]
+    fn ind_cycles_detected() {
+        let t1 = Tgd::parse("t1", "S(x) :- R(x, y)").unwrap();
+        let t2 = Tgd::parse("t2", "R(x, x) :- S(x)").unwrap();
+        let sigma = ConstraintSet::from_iter([Constraint::Tgd(t1.clone()), Constraint::Tgd(t2)]);
+        let diags = lint_constraints(&sigma, None);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::IndCycle)
+            .expect("C005 expected");
+        assert!(d.message.contains("R") && d.message.contains("S"));
+        // Acyclic INDs stay silent.
+        let sigma = ConstraintSet::from_iter([Constraint::Tgd(t1)]);
+        assert!(!lint_constraints(&sigma, None)
+            .iter()
+            .any(|d| d.code == DiagCode::IndCycle));
+    }
+
+    #[test]
+    fn query_lints() {
+        let q = parse_query("Q(x, y) :- R(x, z), S(y)").unwrap();
+        let diags = lint_query(&q);
+        assert!(diags.iter().any(|d| d.code == DiagCode::CartesianProduct));
+        let q = parse_query("Q(x) :- R(x, y), S(y)").unwrap();
+        assert!(lint_query(&q).is_empty());
+    }
+}

@@ -1,0 +1,514 @@
+//! Program-shape analysis: classify a (possibly disjunctive) logic program
+//! as **stratified**, **head-cycle-free**, or **full**, assign strata, and
+//! estimate the grounding size. The input is a [`ProgramShape`] — a
+//! representation-independent view of a program as rules over interned
+//! symbol ids — so the same pass serves predicate-level analysis of
+//! non-ground programs and atom-level analysis of ground programs without
+//! this crate depending on the ASP engine.
+
+use crate::diagnostic::{DiagCode, Diagnostic};
+use crate::graph::{DepGraph, EdgeKind};
+use std::collections::BTreeMap;
+
+/// One rule, reduced to head/positive/negative symbol ids plus the data the
+/// grounding estimator needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeRule {
+    /// Head symbols (empty = hard constraint; >1 = disjunctive).
+    pub heads: Vec<usize>,
+    /// Positive body symbols.
+    pub pos: Vec<usize>,
+    /// Default-negated body symbols.
+    pub neg: Vec<usize>,
+    /// Number of distinct variables (0 for ground rules).
+    pub distinct_vars: u32,
+    /// Pretty-printed source text (used as diagnostic context; may be
+    /// empty for synthesized rules).
+    pub text: String,
+}
+
+/// A representation-independent program: interned symbols plus rules.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramShape {
+    /// Symbol names; index = id. Predicates for non-ground programs, ground
+    /// atoms for ground programs.
+    pub symbols: Vec<String>,
+    /// The rules.
+    pub rules: Vec<ShapeRule>,
+    /// Size of the active constant domain (drives the grounding estimate;
+    /// 0 or 1 for ground programs).
+    pub domain_size: usize,
+    interned: BTreeMap<String, usize>,
+}
+
+impl ProgramShape {
+    /// An empty shape.
+    pub fn new() -> ProgramShape {
+        ProgramShape::default()
+    }
+
+    /// A shape with `count` unnamed symbols (ids `0..count`). Symbol names
+    /// only appear in diagnostic messages, which the cheap classification
+    /// path ([`classify_shape`]) never produces — so hot callers (solver
+    /// dispatch) can skip interning entirely.
+    pub fn anonymous(count: usize) -> ProgramShape {
+        ProgramShape {
+            symbols: vec![String::new(); count],
+            ..ProgramShape::default()
+        }
+    }
+
+    /// Intern a symbol name, returning its id.
+    pub fn symbol(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.interned.get(name) {
+            return id;
+        }
+        let id = self.symbols.len();
+        self.symbols.push(name.to_string());
+        self.interned.insert(name.to_string(), id);
+        id
+    }
+
+    /// Add a rule.
+    pub fn push_rule(&mut self, rule: ShapeRule) {
+        self.rules.push(rule);
+    }
+}
+
+/// The coarse solver-relevant program class, ordered easy → hard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProgramClass {
+    /// Normal (non-disjunctive) and stratified: a unique stable model,
+    /// computable bottom-up per stratum with no search.
+    Stratified,
+    /// No head cycle: possibly disjunctive or unstratified, but no two head
+    /// disjuncts feed each other through positive recursion.
+    HeadCycleFree,
+    /// Full disjunctive with head cycles: the ΣP2-hard case.
+    Full,
+}
+
+impl std::fmt::Display for ProgramClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ProgramClass::Stratified => "stratified",
+            ProgramClass::HeadCycleFree => "head-cycle-free",
+            ProgramClass::Full => "full",
+        })
+    }
+}
+
+/// Estimated grounding size above which [`DiagCode::GroundingBlowup`] fires.
+pub const GROUNDING_WARN_THRESHOLD: u128 = 10_000_000;
+
+/// Everything the analysis pass learned about a program.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// The solver-relevant class.
+    pub class: ProgramClass,
+    /// Strongly connected components of the dependency graph
+    /// (dependency-first order).
+    pub sccs: Vec<Vec<usize>>,
+    /// Stratum (topological layer) per symbol.
+    pub strata: Vec<usize>,
+    /// Number of distinct strata.
+    pub strata_count: usize,
+    /// Is the program stratified (no recursion through negation)? Note a
+    /// disjunctive program is never [`ProgramClass::Stratified`], but may
+    /// still have stratified negation.
+    pub stratified_negation: bool,
+    /// Estimated number of ground rule instantiations.
+    pub estimated_ground_size: u128,
+    /// Findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ProgramAnalysis {
+    /// One-line human summary for harness/CLI output.
+    pub fn classification_line(&self) -> String {
+        format!(
+            "class={} strata={} est_ground_instantiations={}",
+            self.class, self.strata_count, self.estimated_ground_size
+        )
+    }
+}
+
+fn saturating_pow(base: u128, exp: u32) -> u128 {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base);
+        if acc == u128::MAX {
+            break;
+        }
+    }
+    acc
+}
+
+/// The solver-relevant facts alone: what [`classify_shape`] returns.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// The solver-relevant class.
+    pub class: ProgramClass,
+    /// Stratum (topological layer) per symbol.
+    pub strata: Vec<usize>,
+    /// Number of distinct strata.
+    pub strata_count: usize,
+    /// No recursion through negation?
+    pub stratified_negation: bool,
+}
+
+/// Classify a shape without producing diagnostics or estimates — the cheap
+/// path for solver dispatch, linear in program size. The positive-graph
+/// SCC pass (head-cycle-freeness) only runs for disjunctive programs,
+/// since normal programs cannot have head cycles.
+pub fn classify_shape(shape: &ProgramShape) -> Classification {
+    let n = shape.symbols.len();
+    let mut graph = DepGraph::new(n);
+    for rule in &shape.rules {
+        for &h in &rule.heads {
+            for &p in &rule.pos {
+                graph.add_edge(h, p, EdgeKind::Positive);
+            }
+            for &m in &rule.neg {
+                graph.add_edge(h, m, EdgeKind::Negative);
+            }
+        }
+    }
+    let (strata, stratified_negation, _) = graph.strata();
+    let strata_count = strata.iter().copied().max().map_or(0, |m| m + 1);
+    let disjunctive = shape.rules.iter().any(|r| r.heads.len() > 1);
+    let class = if !disjunctive {
+        if stratified_negation {
+            ProgramClass::Stratified
+        } else {
+            ProgramClass::HeadCycleFree
+        }
+    } else {
+        let mut positive = DepGraph::new(n);
+        for rule in &shape.rules {
+            for &h in &rule.heads {
+                for &p in &rule.pos {
+                    positive.add_edge(h, p, EdgeKind::Positive);
+                }
+            }
+        }
+        let pos_of = positive.scc_index(&positive.sccs());
+        let head_cycle = shape.rules.iter().any(|rule| {
+            rule.heads.iter().enumerate().any(|(a, &h1)| {
+                rule.heads
+                    .iter()
+                    .skip(a + 1)
+                    .any(|&h2| h1 != h2 && pos_of[h1] == pos_of[h2])
+            })
+        });
+        if head_cycle {
+            ProgramClass::Full
+        } else {
+            ProgramClass::HeadCycleFree
+        }
+    };
+    Classification {
+        class,
+        strata,
+        strata_count,
+        stratified_negation,
+    }
+}
+
+/// Run the full analysis pass over a program shape.
+pub fn analyze_shape(shape: &ProgramShape) -> ProgramAnalysis {
+    let n = shape.symbols.len();
+    let mut diagnostics = Vec::new();
+
+    // Dependency graph (head → body) and its positive-edge restriction
+    // (the latter decides head-cycle-freeness).
+    let mut graph = DepGraph::new(n);
+    let mut positive = DepGraph::new(n);
+    for rule in &shape.rules {
+        for &h in &rule.heads {
+            for &p in &rule.pos {
+                graph.add_edge(h, p, EdgeKind::Positive);
+                positive.add_edge(h, p, EdgeKind::Positive);
+            }
+            for &m in &rule.neg {
+                graph.add_edge(h, m, EdgeKind::Negative);
+            }
+        }
+    }
+
+    let sccs = graph.sccs();
+    let (strata, stratified_negation, neg_witness) = graph.strata();
+    let strata_count = strata.iter().copied().max().map_or(0, |m| m + 1);
+
+    if let Some((u, v)) = neg_witness {
+        diagnostics.push(Diagnostic::new(
+            DiagCode::RecursionThroughNegation,
+            format!(
+                "`{}` depends negatively on `{}` inside a recursive component; \
+                     stable-model search is required",
+                shape.symbols[u], shape.symbols[v]
+            ),
+        ));
+    }
+
+    // Head cycles: two distinct head disjuncts of one rule in one SCC of
+    // the positive graph (Ben-Eliyahu & Dechter head-cycle-freeness).
+    let disjunctive = shape.rules.iter().any(|r| r.heads.len() > 1);
+    let pos_sccs = positive.sccs();
+    let pos_of = positive.scc_index(&pos_sccs);
+    let mut head_cycle = false;
+    for (i, rule) in shape.rules.iter().enumerate() {
+        for (a, &h1) in rule.heads.iter().enumerate() {
+            for &h2 in rule.heads.iter().skip(a + 1) {
+                if h1 != h2 && pos_of[h1] == pos_of[h2] {
+                    head_cycle = true;
+                    let mut d = Diagnostic::new(
+                        DiagCode::HeadCycle,
+                        format!(
+                            "head disjuncts `{}` and `{}` share a positive recursive \
+                             component: the program is not head-cycle-free",
+                            shape.symbols[h1], shape.symbols[h2]
+                        ),
+                    )
+                    .with_index(i);
+                    if !rule.text.is_empty() {
+                        d = d.with_context(rule.text.clone());
+                    }
+                    diagnostics.push(d);
+                }
+            }
+        }
+    }
+
+    let class = if !disjunctive && stratified_negation {
+        ProgramClass::Stratified
+    } else if head_cycle {
+        ProgramClass::Full
+    } else {
+        ProgramClass::HeadCycleFree
+    };
+
+    // Duplicate rules (verbatim: same text when available, same shape
+    // otherwise — predicate-level shapes erase arguments, so the shape
+    // alone would over-report).
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, rule) in shape.rules.iter().enumerate() {
+        let key = if rule.text.is_empty() {
+            format!("{:?}|{:?}|{:?}", rule.heads, rule.pos, rule.neg)
+        } else {
+            rule.text.clone()
+        };
+        match seen.get(&key) {
+            Some(&first) => {
+                let mut d = Diagnostic::new(
+                    DiagCode::DuplicateRule,
+                    format!("rule {i} repeats rule {first}"),
+                )
+                .with_index(i);
+                if !rule.text.is_empty() {
+                    d = d.with_context(rule.text.clone());
+                }
+                diagnostics.push(d);
+            }
+            None => {
+                seen.insert(key, i);
+            }
+        }
+    }
+
+    // Positive body symbols never defined: the rule can never fire.
+    let mut defined = vec![false; n];
+    for rule in &shape.rules {
+        for &h in &rule.heads {
+            defined[h] = true;
+        }
+    }
+    let mut reported = vec![false; n];
+    for (i, rule) in shape.rules.iter().enumerate() {
+        for &p in &rule.pos {
+            if !defined[p] && !reported[p] {
+                reported[p] = true;
+                let mut d = Diagnostic::new(
+                    DiagCode::UndefinedPredicate,
+                    format!(
+                        "`{}` occurs positively in a body but has no defining rule \
+                         or fact: the rule can never fire",
+                        shape.symbols[p]
+                    ),
+                )
+                .with_index(i);
+                if !rule.text.is_empty() {
+                    d = d.with_context(rule.text.clone());
+                }
+                diagnostics.push(d);
+            }
+        }
+    }
+
+    // Grounding estimate: Σ_rules |domain|^{distinct vars}. An
+    // over-approximation of the naive instantiation count — exactly the
+    // quantity that blows up (the paper's §4 repair programs are the
+    // motivating case: k-variable denial constraints ground as |adom|^k).
+    let domain = shape.domain_size.max(1) as u128;
+    let mut estimated: u128 = 0;
+    for rule in &shape.rules {
+        estimated = estimated.saturating_add(saturating_pow(domain, rule.distinct_vars));
+    }
+    if estimated > GROUNDING_WARN_THRESHOLD {
+        let worst = shape
+            .rules
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.distinct_vars)
+            .map(|(i, r)| (i, r.distinct_vars, r.text.clone()));
+        let mut d = Diagnostic::new(
+            DiagCode::GroundingBlowup,
+            format!(
+                "estimated grounding size {estimated} exceeds {GROUNDING_WARN_THRESHOLD} \
+                 (domain {} constants)",
+                shape.domain_size
+            ),
+        );
+        if let Some((i, vars, text)) = worst {
+            d = d.with_index(i);
+            if !text.is_empty() {
+                d = d.with_context(format!("{text}  ({vars} variables)"));
+            }
+        }
+        diagnostics.push(d);
+    }
+
+    ProgramAnalysis {
+        class,
+        sccs,
+        strata,
+        strata_count,
+        stratified_negation,
+        estimated_ground_size: estimated,
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(heads: &[usize], pos: &[usize], neg: &[usize], vars: u32) -> ShapeRule {
+        ShapeRule {
+            heads: heads.to_vec(),
+            pos: pos.to_vec(),
+            neg: neg.to_vec(),
+            distinct_vars: vars,
+            text: String::new(),
+        }
+    }
+
+    #[test]
+    fn transitive_closure_is_stratified_single_stratum() {
+        let mut s = ProgramShape::new();
+        let e = s.symbol("e");
+        let t = s.symbol("t");
+        s.push_rule(rule(&[t], &[e], &[], 2));
+        s.push_rule(rule(&[t], &[e, t], &[], 3));
+        s.domain_size = 10;
+        let a = analyze_shape(&s);
+        assert_eq!(a.class, ProgramClass::Stratified);
+        assert_eq!(a.strata[e], 0);
+        assert_eq!(a.strata[t], 0);
+        assert_eq!(a.strata_count, 1);
+        assert_eq!(a.estimated_ground_size, 100 + 1000);
+    }
+
+    #[test]
+    fn negation_layers_strata() {
+        // reach :- edge. unreach :- node, not reach.
+        let mut s = ProgramShape::new();
+        let edge = s.symbol("edge");
+        let node = s.symbol("node");
+        let reach = s.symbol("reach");
+        let unreach = s.symbol("unreach");
+        s.push_rule(rule(&[reach], &[edge], &[], 1));
+        s.push_rule(rule(&[unreach], &[node], &[reach], 1));
+        let a = analyze_shape(&s);
+        assert_eq!(a.class, ProgramClass::Stratified);
+        assert_eq!(a.strata[reach], 0);
+        assert_eq!(a.strata[unreach], 1);
+        assert_eq!(a.strata_count, 2);
+    }
+
+    #[test]
+    fn even_loop_is_not_stratified() {
+        let mut s = ProgramShape::new();
+        let a_ = s.symbol("a");
+        let b = s.symbol("b");
+        s.push_rule(rule(&[a_], &[], &[b], 0));
+        s.push_rule(rule(&[b], &[], &[a_], 0));
+        let a = analyze_shape(&s);
+        assert_eq!(a.class, ProgramClass::HeadCycleFree);
+        assert!(!a.stratified_negation);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::RecursionThroughNegation));
+    }
+
+    #[test]
+    fn head_cycle_makes_full_class() {
+        // a | b.  a :- b.  b :- a.  (a, b in one positive SCC, co-headed)
+        let mut s = ProgramShape::new();
+        let a_ = s.symbol("a");
+        let b = s.symbol("b");
+        s.push_rule(rule(&[a_, b], &[], &[], 0));
+        s.push_rule(rule(&[a_], &[b], &[], 0));
+        s.push_rule(rule(&[b], &[a_], &[], 0));
+        let a = analyze_shape(&s);
+        assert_eq!(a.class, ProgramClass::Full);
+        assert!(a.diagnostics.iter().any(|d| d.code == DiagCode::HeadCycle));
+    }
+
+    #[test]
+    fn disjunction_without_cycle_is_hcf() {
+        let mut s = ProgramShape::new();
+        let a_ = s.symbol("a");
+        let b = s.symbol("b");
+        s.push_rule(rule(&[a_, b], &[], &[], 0));
+        let a = analyze_shape(&s);
+        assert_eq!(a.class, ProgramClass::HeadCycleFree);
+    }
+
+    #[test]
+    fn undefined_and_duplicate_rules_flagged() {
+        let mut s = ProgramShape::new();
+        let p = s.symbol("p");
+        let q = s.symbol("q");
+        let mut r1 = rule(&[p], &[q], &[], 1);
+        r1.text = "p(x) :- q(x).".into();
+        s.push_rule(r1.clone());
+        s.push_rule(r1);
+        let a = analyze_shape(&s);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::UndefinedPredicate));
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::DuplicateRule && d.index == Some(1)));
+    }
+
+    #[test]
+    fn grounding_blowup_warns() {
+        let mut s = ProgramShape::new();
+        let p = s.symbol("p");
+        let q = s.symbol("q");
+        s.push_rule(rule(&[p], &[q], &[], 9));
+        s.push_rule(rule(&[q], &[], &[], 0));
+        s.domain_size = 100; // 100^9 = 10^18 ≫ threshold
+        let a = analyze_shape(&s);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::GroundingBlowup));
+        assert!(a.estimated_ground_size > GROUNDING_WARN_THRESHOLD);
+    }
+}

@@ -1,0 +1,223 @@
+//! Adapters from ASP programs to `cqa-analysis`'s neutral [`ProgramShape`]
+//! IR, at two granularities:
+//!
+//! * [`predicate_shape`] — one symbol per *predicate* of a non-ground
+//!   program. Cheap, and the right level for the `analyze` CLI and the
+//!   grounding-size estimate (it still sees variable counts).
+//! * [`atom_shape`] — one symbol per *ground atom* of a [`GroundProgram`].
+//!   Exact, and the level at which [`crate::solve`] decides whether the
+//!   stratified bottom-up fast path applies: grounding can remove
+//!   recursion-through-negation that exists at the predicate level (negated
+//!   atoms outside the universe are dropped), so a predicate-level
+//!   "unstratified" program may still ground to a stratified one.
+
+use crate::ast::AspProgram;
+use crate::ground::GroundProgram;
+use cqa_analysis::{
+    analyze_shape, classify_shape, Classification, ProgramAnalysis, ProgramShape, ShapeRule,
+};
+use cqa_query::{Term, Var};
+use std::collections::BTreeSet;
+
+/// Predicate-level shape of a non-ground program. The domain size is the
+/// number of distinct constants appearing in the program.
+pub fn predicate_shape(program: &AspProgram) -> ProgramShape {
+    let mut shape = ProgramShape::new();
+    let mut constants: BTreeSet<String> = BTreeSet::new();
+    let mut collect_consts = |terms: &[Term]| {
+        for t in terms {
+            if let Term::Const(c) = t {
+                constants.insert(c.to_string());
+            }
+        }
+    };
+    for rule in &program.rules {
+        for atom in rule.head.iter().chain(&rule.pos).chain(&rule.neg) {
+            collect_consts(&atom.terms);
+        }
+        for c in &rule.comparisons {
+            collect_consts(std::slice::from_ref(&c.left));
+            collect_consts(std::slice::from_ref(&c.right));
+        }
+    }
+    for (i, rule) in program.rules.iter().enumerate() {
+        let heads = rule
+            .head
+            .iter()
+            .map(|a| shape.symbol(&a.relation))
+            .collect();
+        let pos = rule.pos.iter().map(|a| shape.symbol(&a.relation)).collect();
+        let neg = rule.neg.iter().map(|a| shape.symbol(&a.relation)).collect();
+        let vars: BTreeSet<Var> = rule
+            .head
+            .iter()
+            .chain(&rule.pos)
+            .chain(&rule.neg)
+            .flat_map(|a| a.vars())
+            .chain(rule.comparisons.iter().flat_map(|c| c.vars()))
+            .collect();
+        shape.push_rule(ShapeRule {
+            heads,
+            pos,
+            neg,
+            distinct_vars: vars.len() as u32,
+            text: program.rule_text(i),
+        });
+    }
+    shape.domain_size = constants.len();
+    shape
+}
+
+/// Atom-level shape of a ground program. Symbol ids coincide with
+/// [`crate::ground::AtomId`] values, so strata returned by
+/// [`analyze_ground`] can be indexed by atom id directly.
+pub fn atom_shape(g: &GroundProgram) -> ProgramShape {
+    let mut shape = ProgramShape::new();
+    for (id, atom) in g.atom_table.iter().enumerate() {
+        // Keep symbol ids aligned with atom ids even if two atoms happen to
+        // print identically (e.g. an integer and a string with equal text).
+        let base = atom.to_string();
+        let mut name = base.clone();
+        let mut k = 0usize;
+        while shape.symbol(&name) != id {
+            k += 1;
+            name = format!("{base}#{k}");
+        }
+    }
+    for rule in &g.rules {
+        shape.push_rule(ShapeRule {
+            heads: rule.head.iter().map(|a| a.0 as usize).collect(),
+            pos: rule.pos.iter().map(|a| a.0 as usize).collect(),
+            neg: rule.neg.iter().map(|a| a.0 as usize).collect(),
+            distinct_vars: 0,
+            text: String::new(),
+        });
+    }
+    shape.domain_size = 1;
+    shape
+}
+
+/// Analyze a non-ground program at the predicate level.
+pub fn analyze_program(program: &AspProgram) -> ProgramAnalysis {
+    analyze_shape(&predicate_shape(program))
+}
+
+/// Analyze a ground program at the atom level.
+pub fn analyze_ground(g: &GroundProgram) -> ProgramAnalysis {
+    analyze_shape(&atom_shape(g))
+}
+
+/// Cheap atom-level classification: no atom names, no diagnostics, no
+/// estimates — just the class and the strata, linear in program size.
+/// ([`crate::solve::stable_models_stratified`] inlines an equivalent check
+/// to skip even the shape allocations; this is the reusable entry point.)
+pub fn classify_ground(g: &GroundProgram) -> Classification {
+    let mut shape = ProgramShape::anonymous(g.atom_count());
+    for rule in &g.rules {
+        shape.push_rule(ShapeRule {
+            heads: rule.head.iter().map(|a| a.0 as usize).collect(),
+            pos: rule.pos.iter().map(|a| a.0 as usize).collect(),
+            neg: rule.neg.iter().map(|a| a.0 as usize).collect(),
+            distinct_vars: 0,
+            text: String::new(),
+        });
+    }
+    shape.domain_size = 1;
+    classify_shape(&shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_asp;
+    use cqa_analysis::{DiagCode, ProgramClass};
+
+    #[test]
+    fn transitive_closure_classified_stratified() {
+        let p = parse_asp(
+            "e(1, 2).\ne(2, 3).\n\
+             t(x, y) :- e(x, y).\n\
+             t(x, z) :- e(x, y), t(y, z).",
+        )
+        .unwrap();
+        let a = analyze_program(&p);
+        assert_eq!(a.class, ProgramClass::Stratified);
+        assert_eq!(a.strata_count, 1);
+        // 3 constants; facts are free, the two rules ground as 3² + 3³.
+        assert_eq!(a.estimated_ground_size, 2 + 9 + 27);
+    }
+
+    #[test]
+    fn negation_layers_and_diagnostic_context() {
+        let p = parse_asp(
+            "node(A).\nnode(B).\nedge(A, B).\n\
+             reach(x) :- edge(x, y).\n\
+             isolated(x) :- node(x), not reach(x).",
+        )
+        .unwrap();
+        let a = analyze_program(&p);
+        assert_eq!(a.class, ProgramClass::Stratified);
+        assert_eq!(a.strata_count, 2);
+    }
+
+    #[test]
+    fn classify_ground_agrees_with_full_analysis() {
+        for src in [
+            "p(A).\nq(x) :- p(x), not r(x).\nr(B).",
+            "a :- not b().\nb :- not a().",
+            "e(1, 2).\ne(2, 3).\nt(x, y) :- e(x, y).\nt(x, z) :- e(x, y), t(y, z).",
+        ] {
+            let p = parse_asp(src).unwrap();
+            let g = crate::ground::ground(&p).unwrap();
+            let full = analyze_ground(&g);
+            let cheap = classify_ground(&g);
+            assert_eq!(cheap.class, full.class, "{src}");
+            assert_eq!(cheap.strata, full.strata, "{src}");
+            assert_eq!(cheap.strata_count, full.strata_count, "{src}");
+            assert_eq!(cheap.stratified_negation, full.stratified_negation, "{src}");
+        }
+    }
+
+    #[test]
+    fn even_loop_unstratified_at_predicate_level() {
+        let p = parse_asp("a :- not b().\nb :- not a().").unwrap();
+        let a = analyze_program(&p);
+        assert_ne!(a.class, ProgramClass::Stratified);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::RecursionThroughNegation));
+        // And it stays unstratified after grounding.
+        let g = crate::ground::ground(&p).unwrap();
+        assert_ne!(analyze_ground(&g).class, ProgramClass::Stratified);
+    }
+
+    #[test]
+    fn grounding_can_make_a_program_stratified() {
+        // At the predicate level p depends negatively on itself (through q),
+        // but q(B) is underivable, so the ground program is definite.
+        let p = parse_asp(
+            "p(A).\n\
+             q(x) :- p(x), not r(x).\n\
+             r(B).",
+        )
+        .unwrap();
+        let g = crate::ground::ground(&p).unwrap();
+        let a = analyze_ground(&g);
+        assert_eq!(a.class, ProgramClass::Stratified);
+    }
+
+    #[test]
+    fn repair_program_shape_is_hcf_disjunctive() {
+        let p = parse_asp(
+            "s(4, A4).\n\
+             sp(t1, x, D) | sp(t3, y, D) :- s(t1, x), s(t3, y).\n\
+             sp(t, x, S) :- s(t, x), not sp(t, x, D).",
+        )
+        .unwrap();
+        let a = analyze_program(&p);
+        // Disjunctive, so never Stratified; sp/sp disjuncts share the trivial
+        // SCC {sp} → head cycle at the predicate level.
+        assert_ne!(a.class, ProgramClass::Stratified);
+    }
+}

@@ -4,6 +4,7 @@
 //! a *disjunctive head* and default negation in the body, plus DLV-style
 //! weak constraints (`:~ body. [w@l]`) used for C-repairs (§4.1, Ex. 4.2).
 
+use cqa_analysis::{DiagCode, Diagnostic};
 use cqa_query::{Atom, Comparison, Term, Var, VarTable};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -45,7 +46,11 @@ impl AspRule {
     }
 
     /// Check safety: every head/neg/comparison variable occurs in `pos`.
-    pub fn check_safety(&self, vars: &VarTable) -> Result<(), String> {
+    ///
+    /// On failure, returns an [`DiagCode::UnsafeVariable`] (`A001`)
+    /// diagnostic naming the offending variable, with the rule's pretty
+    /// print as source context.
+    pub fn check_safety(&self, vars: &VarTable) -> Result<(), Diagnostic> {
         let bound: BTreeSet<Var> = self.pos.iter().flat_map(|a| a.vars()).collect();
         let mut need: Vec<Var> = Vec::new();
         need.extend(self.head.iter().flat_map(|a| a.vars()));
@@ -53,7 +58,14 @@ impl AspRule {
         need.extend(self.comparisons.iter().flat_map(|c| c.vars()));
         for v in need {
             if !bound.contains(&v) {
-                return Err(format!("unsafe variable `{}`", vars.name(v)));
+                return Err(Diagnostic::new(
+                    DiagCode::UnsafeVariable,
+                    format!(
+                        "unsafe variable `{}`: not bound by any positive body atom",
+                        vars.name(v)
+                    ),
+                )
+                .with_context(rule_to_string(self, vars)));
             }
         }
         Ok(())
@@ -124,11 +136,11 @@ impl AspProgram {
         self.rules.push(AspRule::fact(atom));
     }
 
-    /// Check safety of every rule and weak constraint.
-    pub fn check_safety(&self) -> Result<(), String> {
+    /// Check safety of every rule and weak constraint. The returned
+    /// diagnostic carries the offending rule's index and pretty print.
+    pub fn check_safety(&self) -> Result<(), Diagnostic> {
         for (i, r) in self.rules.iter().enumerate() {
-            r.check_safety(&self.vars)
-                .map_err(|e| format!("rule {i}: {e}"))?;
+            r.check_safety(&self.vars).map_err(|d| d.with_index(i))?;
         }
         for (i, w) in self.weak.iter().enumerate() {
             let shim = AspRule {
@@ -137,11 +149,78 @@ impl AspProgram {
                 neg: w.neg.clone(),
                 comparisons: w.comparisons.clone(),
             };
-            shim.check_safety(&self.vars)
-                .map_err(|e| format!("weak constraint {i}: {e}"))?;
+            shim.check_safety(&self.vars).map_err(|d| {
+                let mut d = d.with_index(i);
+                d.message = format!("in weak constraint: {}", d.message);
+                d
+            })?;
         }
         Ok(())
     }
+
+    /// Pretty print of rule `i` (for diagnostics).
+    pub fn rule_text(&self, i: usize) -> String {
+        rule_to_string(&self.rules[i], &self.vars)
+    }
+}
+
+fn atom_to_string(atom: &Atom, vars: &VarTable) -> String {
+    let mut s = atom.relation.clone();
+    if !atom.terms.is_empty() {
+        s.push('(');
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match t {
+                Term::Var(v) => s.push_str(vars.name(*v)),
+                Term::Const(c) => s.push_str(&c.to_string()),
+            }
+        }
+        s.push(')');
+    }
+    s
+}
+
+/// Pretty print one rule exactly as [`AspProgram`]'s `Display` does.
+pub fn rule_to_string(rule: &AspRule, vars: &VarTable) -> String {
+    let mut s = String::new();
+    for (i, h) in rule.head.iter().enumerate() {
+        if i > 0 {
+            s.push_str(" | ");
+        }
+        s.push_str(&atom_to_string(h, vars));
+    }
+    let has_body = !rule.pos.is_empty() || !rule.neg.is_empty() || !rule.comparisons.is_empty();
+    if has_body {
+        s.push_str(" :- ");
+        let mut first = true;
+        for a in &rule.pos {
+            if !std::mem::take(&mut first) {
+                s.push_str(", ");
+            }
+            s.push_str(&atom_to_string(a, vars));
+        }
+        for a in &rule.neg {
+            if !std::mem::take(&mut first) {
+                s.push_str(", ");
+            }
+            s.push_str("not ");
+            s.push_str(&atom_to_string(a, vars));
+        }
+        for c in &rule.comparisons {
+            if !std::mem::take(&mut first) {
+                s.push_str(", ");
+            }
+            let t = |t: &Term| match t {
+                Term::Var(v) => vars.name(*v).to_string(),
+                Term::Const(c) => c.to_string(),
+            };
+            s.push_str(&format!("{} {} {}", t(&c.left), c.op, t(&c.right)));
+        }
+    }
+    s.push('.');
+    s
 }
 
 fn write_atom(f: &mut fmt::Formatter<'_>, atom: &Atom, vars: &VarTable) -> fmt::Result {

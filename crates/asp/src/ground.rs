@@ -212,7 +212,7 @@ fn instantiate(atom: &Atom, binding: &Bindings) -> Option<(String, Tuple)> {
 
 /// Ground `program`.
 pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
-    program.check_safety()?;
+    program.check_safety().map_err(|d| d.to_string())?;
     let n_vars = program.vars.len();
 
     // 1. Over-approximate the universe: fix-point treating all head

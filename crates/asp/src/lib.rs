@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqa-asp
@@ -8,8 +9,13 @@
 //! * [`ast`]/[`parser`] — disjunctive rules with default negation, hard
 //!   constraints, DLV-style weak constraints, aggregate-stratified `#count`.
 //! * [`mod@ground`] — safe grounding via a bottom-up over-approximation.
-//! * [`solve`] — stable models by branch-and-propagate with a GL-reduct
-//!   minimality check (exact for disjunctive programs).
+//! * [`analysis`] — adapters into `cqa-analysis`: classify programs
+//!   (stratified / head-cycle-free / full) at the predicate or ground-atom
+//!   level, with diagnostics and grounding estimates.
+//! * [`solve`] — stable models; stratified ground programs are evaluated
+//!   bottom-up per stratum (no search), everything else by
+//!   branch-and-propagate with a GL-reduct minimality check (exact for
+//!   disjunctive programs).
 //! * [`weak`] — level-lexicographic weak-constraint optimization (Ex. 4.2).
 //! * [`aggregate`] — post-pass `#count` rules (Ex. 7.2's responsibilities).
 //! * [`repair_program`] — compile a database + constraints into a repair
@@ -27,6 +33,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod analysis;
 pub mod ast;
 pub mod ground;
 pub mod parser;
@@ -35,9 +42,13 @@ pub mod solve;
 pub mod weak;
 
 pub use aggregate::apply_count_rules;
-pub use ast::{AspProgram, AspRule, CountRule, WeakConstraint};
+pub use analysis::{analyze_ground, analyze_program, atom_shape, classify_ground, predicate_shape};
+pub use ast::{rule_to_string, AspProgram, AspRule, CountRule, WeakConstraint};
 pub use ground::{ground, AtomId, GroundAtom, GroundProgram, GroundRule, GroundWeak};
 pub use parser::parse_asp;
 pub use repair_program::{ins_pred, primed, RepairModel, RepairProgram};
-pub use solve::{brave, cautious, stable_models, stable_models_with_limit, Model};
+pub use solve::{
+    brave, cautious, stable_models, stable_models_search, stable_models_search_with_limit,
+    stable_models_stratified, stable_models_with_limit, Model,
+};
 pub use weak::{compare_costs, cost_of, optimal_among, optimal_models, Cost};

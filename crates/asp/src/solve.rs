@@ -1,7 +1,14 @@
 //! Stable-model computation for ground disjunctive programs.
 //!
-//! DPLL-style branch-and-propagate over atom truth values, with a
-//! stability check at the leaves:
+//! [`stable_models`] first runs the atom-level static analysis (the cheap
+//! classification of `cqa-analysis`, cf. [`crate::analysis::classify_ground`]):
+//! a program classified *stratified* (normal, no recursion through
+//! negation) has exactly one candidate stable model — its perfect model —
+//! computed bottom-up per stratum with **no search at all**
+//! ([`stable_models_stratified`]). All
+//! other programs fall back to the reference DPLL search
+//! ([`stable_models_search`]), a branch-and-propagate over atom truth
+//! values with a stability check at the leaves:
 //!
 //! * **Propagation.** (a) A rule whose positive body is all-true and whose
 //!   negative body is all-false must have a true head disjunct: if all but
@@ -19,6 +26,7 @@
 //! [`crate::weak`].
 
 use crate::ground::{AtomId, GroundProgram, GroundRule};
+use cqa_analysis::{DepGraph, EdgeKind};
 use std::collections::BTreeSet;
 
 /// A stable model: the set of true atoms.
@@ -285,17 +293,136 @@ fn has_proper_submodel(n: usize, clauses: &[(Vec<usize>, Vec<usize>)]) -> bool {
 }
 
 /// Enumerate all stable models of a ground program (deterministic order).
+///
+/// Dispatches on the atom-level static analysis: stratified programs take
+/// the bottom-up fast path, everything else the DPLL search. Both produce
+/// the same sorted, deduplicated model list.
 pub fn stable_models(program: &GroundProgram) -> Vec<Model> {
     stable_models_with_limit(program, None)
 }
 
-/// Enumerate up to `limit` stable models.
+/// Enumerate up to `limit` stable models (analysis-dispatched like
+/// [`stable_models`]).
 pub fn stable_models_with_limit(program: &GroundProgram, limit: Option<usize>) -> Vec<Model> {
+    if let Some(mut models) = stable_models_stratified(program) {
+        if let Some(l) = limit {
+            models.truncate(l);
+        }
+        return models;
+    }
+    stable_models_search_with_limit(program, limit)
+}
+
+/// Enumerate all stable models by DPLL search, unconditionally (the
+/// reference path; [`stable_models`] uses it only when the analysis rules
+/// the stratified fast path out).
+pub fn stable_models_search(program: &GroundProgram) -> Vec<Model> {
+    stable_models_search_with_limit(program, None)
+}
+
+/// Enumerate up to `limit` stable models by DPLL search, unconditionally.
+pub fn stable_models_search_with_limit(
+    program: &GroundProgram,
+    limit: Option<usize>,
+) -> Vec<Model> {
     let mut solver = Solver::new(program, limit);
     solver.search();
     solver.models.sort();
     solver.models.dedup();
     solver.models
+}
+
+/// The stratified bottom-up fast path.
+///
+/// Returns `None` when the analysis classifies the ground program as
+/// anything other than [`cqa_analysis::ProgramClass::Stratified`] (disjunctive heads or
+/// recursion through negation). Otherwise evaluates the unique perfect
+/// model stratum by stratum — negated atoms always live in a strictly
+/// lower, already-final stratum, so each rule application is a plain
+/// monotone fixpoint step — then checks hard constraints, yielding one
+/// model or none. No stable-model guessing, no stability check.
+pub fn stable_models_stratified(program: &GroundProgram) -> Option<Vec<Model>> {
+    // Disjunctive programs are never Stratified: bail before building
+    // anything. Then the atom dependency graph is built directly from the
+    // ground rules — same decision as `classify_ground`, minus the
+    // intermediate shape allocations (this runs on every solver call).
+    if program.rules.iter().any(|r| r.head.len() > 1) {
+        return None;
+    }
+    let n = program.atom_count();
+    let mut graph = DepGraph::new(n);
+    for r in &program.rules {
+        let Some(&h) = r.head.first() else { continue };
+        for a in &r.pos {
+            graph.add_edge(h.0 as usize, a.0 as usize, EdgeKind::Positive);
+        }
+        for a in &r.neg {
+            graph.add_edge(h.0 as usize, a.0 as usize, EdgeKind::Negative);
+        }
+    }
+    let (strata, stratified, _) = graph.strata();
+    if !stratified {
+        return None;
+    }
+    let n_strata = strata.iter().copied().max().unwrap_or(0) + 1;
+    let mut truth = vec![false; n];
+
+    // Counter-based propagation (linear in total body size): each rule
+    // counts its not-yet-true positive literals; when the count hits zero
+    // the rule is queued on its head's stratum. Negative literals live in
+    // strictly lower strata (that is what "stratified" means), so they are
+    // final by the time the head's stratum is processed and can be checked
+    // once, at fire time. Constraints (empty heads) are checked at the end.
+    let rules: Vec<&GroundRule> = program
+        .rules
+        .iter()
+        .filter(|r| !r.head.is_empty())
+        .collect();
+    let mut remaining: Vec<usize> = rules.iter().map(|r| r.pos.len()).collect();
+    let mut watch: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ri, r) in rules.iter().enumerate() {
+        for a in &r.pos {
+            watch[a.0 as usize].push(ri);
+        }
+    }
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); n_strata];
+    for (ri, r) in rules.iter().enumerate() {
+        if remaining[ri] == 0 {
+            pending[strata[r.head[0].0 as usize]].push(ri);
+        }
+    }
+    for s in 0..n_strata {
+        while let Some(ri) = pending[s].pop() {
+            let r = rules[ri];
+            let h = r.head[0].0 as usize;
+            if truth[h] || r.neg.iter().any(|a| truth[a.0 as usize]) {
+                continue;
+            }
+            truth[h] = true;
+            for &watcher in &watch[h] {
+                remaining[watcher] -= 1;
+                if remaining[watcher] == 0 {
+                    // Positive edges never step down a stratum, so this
+                    // never queues into an already-drained layer.
+                    pending[strata[rules[watcher].head[0].0 as usize]].push(watcher);
+                }
+            }
+        }
+    }
+    // Hard constraints: a satisfied body kills the single candidate model.
+    for r in &program.rules {
+        if r.head.is_empty()
+            && r.pos.iter().all(|a| truth[a.0 as usize])
+            && r.neg.iter().all(|a| !truth[a.0 as usize])
+        {
+            return Some(Vec::new());
+        }
+    }
+    let model: Model = (0..n as u32)
+        .map(AtomId)
+        .filter(|a| truth[a.0 as usize])
+        .collect();
+    Some(vec![model])
 }
 
 /// Brave consequence: is `atom` true in *some* stable model?
@@ -466,6 +593,40 @@ mod tests {
         assert!(brave(&g, &ms, a));
         assert!(!cautious(&g, &ms, a));
         assert!(cautious(&g, &ms, c));
+    }
+
+    #[test]
+    fn stratified_fast_path_agrees_with_search() {
+        // Programs the analysis classifies as stratified: the fast path must
+        // fire and return exactly what the reference search returns.
+        for src in [
+            "p(A).\nq(B).",
+            "e(1, 2).\ne(2, 3).\nt(x, y) :- e(x, y).\nt(x, z) :- e(x, y), t(y, z).",
+            "node(A).\nnode(B).\nedge(A, B).\nreach(x) :- edge(x, y).\n\
+             isolated(x) :- node(x), not reach(x).",
+            "p(A).\n:- p(x).",
+            "a :- b().\nb :- a().",
+        ] {
+            let p = parse_asp(src).unwrap();
+            let g = ground(&p).unwrap();
+            let fast = stable_models_stratified(&g)
+                .unwrap_or_else(|| panic!("fast path refused stratified program: {src}"));
+            assert_eq!(fast, stable_models_search(&g), "disagreement on: {src}");
+        }
+    }
+
+    #[test]
+    fn fast_path_declines_unstratified_and_disjunctive() {
+        for src in ["a :- not b().\nb :- not a().", "a | b.", "a :- not a()."] {
+            let p = parse_asp(src).unwrap();
+            let g = ground(&p).unwrap();
+            assert!(
+                stable_models_stratified(&g).is_none(),
+                "fast path wrongly accepted: {src}"
+            );
+            // The dispatcher still answers via the search.
+            assert_eq!(stable_models(&g), stable_models_search(&g));
+        }
     }
 
     #[test]

@@ -465,6 +465,12 @@ fn f4_asp_overhead() {
             t_asp * 1e3,
             direct.len() == asp.len()
         );
+        let rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+        let g = rp.ground().unwrap();
+        println!(
+            "             analysis: {}",
+            cqa_asp::analyze_ground(&g).classification_line()
+        );
     }
     println!();
 }
@@ -572,6 +578,10 @@ fn f9_grounding() {
             g.rules.len(),
             models.len(),
             t_ground * 1e3
+        );
+        println!(
+            "             analysis: {}",
+            cqa_asp::analyze_ground(&g).classification_line()
         );
     }
     println!();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `repairctl` — command-line repairs and consistent query answering.
@@ -100,6 +101,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
             out.push_str(HELP);
             Ok(0)
         }
+        "analyze" => cmd_analyze(&opts, out),
         "check" => cmd_check(&opts, out),
         "repairs" => cmd_repairs(&opts, out),
         "cqa" => cmd_cqa(&opts, out),
@@ -119,6 +121,11 @@ USAGE:
   repairctl <command> --db <file.idb> [--constraints <sigma.txt>] [options]
 
 COMMANDS:
+  analyze   [--program F.asp] [--constraints F [--db F]] [--query \"…\"]
+            [--catalog]                     static analysis & diagnostics:
+                                            classification (stratified /
+                                            head-cycle-free / full), strata,
+                                            grounding estimate, lints
   check     --db F --constraints F          consistency + violation report
   repairs   --db F --constraints F          enumerate repairs
             [--class subset|cardinality|attribute|deletions] [--limit N]
@@ -137,6 +144,95 @@ FILES:
   databases:   @relation R(A, B) headers + one tuple per line
   constraints: key/fd/dc/tgd/cfd lines (see cqa-constraints docs)
 ";
+
+fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    use cqa_analysis::{DiagCode, Diagnostic};
+
+    if opts.has("catalog") {
+        writeln!(out, "diagnostic code catalog:").unwrap();
+        for code in DiagCode::ALL {
+            writeln!(
+                out,
+                "  {} {:<26} [{}] {}",
+                code.code(),
+                code.name(),
+                code.default_severity(),
+                code.summary()
+            )
+            .unwrap();
+        }
+        return Ok(0);
+    }
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut analyzed_anything = false;
+
+    // ASP program analysis (classification, strata, grounding estimate).
+    if let Some(path) = opts.flag("program") {
+        analyzed_anything = true;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let program = cqa_asp::parse_asp(&text).map_err(|e| format!("{path}: {e}"))?;
+        let analysis = cqa_asp::analyze_program(&program);
+        writeln!(out, "program: {path}").unwrap();
+        writeln!(
+            out,
+            "  {} rules, {} weak constraint(s)",
+            program.rules.len(),
+            program.weak.len()
+        )
+        .unwrap();
+        writeln!(out, "  {}", analysis.classification_line()).unwrap();
+        if let Err(d) = program.check_safety() {
+            diagnostics.push(d);
+        }
+        diagnostics.extend(analysis.diagnostics);
+    }
+
+    // Constraint-set lints (schema-aware when --db is given).
+    if opts.has("constraints") {
+        analyzed_anything = true;
+        let sigma = load_sigma(opts)?;
+        let db = if opts.has("db") {
+            Some(load_db(opts)?)
+        } else {
+            None
+        };
+        writeln!(
+            out,
+            "constraints: {} constraint(s)",
+            sigma.constraints.len()
+        )
+        .unwrap();
+        diagnostics.extend(cqa_analysis::lint_constraints(&sigma, db.as_ref()));
+    }
+
+    // Query lints.
+    if let Some(q) = opts.flag("query") {
+        analyzed_anything = true;
+        match parse_query(q) {
+            Ok(cq) => diagnostics.extend(cqa_analysis::lint_query(&cq)),
+            Err(e) => return Err(format!("--query: {e}")),
+        }
+    }
+
+    if !analyzed_anything {
+        return Err(
+            "analyze needs at least one of --program, --constraints, --query (or --catalog)".into(),
+        );
+    }
+
+    if diagnostics.is_empty() {
+        writeln!(out, "no diagnostics").unwrap();
+        return Ok(0);
+    }
+    writeln!(out, "{} diagnostic(s):", diagnostics.len()).unwrap();
+    let mut worst_is_error = false;
+    for d in &diagnostics {
+        worst_is_error |= d.is_error();
+        writeln!(out, "{d}").unwrap();
+    }
+    Ok(if worst_is_error { 1 } else { 0 })
+}
 
 fn cmd_check(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let db = load_db(opts)?;
@@ -226,6 +322,9 @@ fn cmd_cqa(opts: &Opts, out: &mut String) -> Result<i32, String> {
             }
         };
         writeln!(out, "strategy: {strategy}").unwrap();
+        for d in &planned.diagnostics {
+            writeln!(out, "note: {d}").unwrap();
+        }
         writeln!(out, "{} consistent answers", planned.answers.len()).unwrap();
         for t in &planned.answers {
             writeln!(out, "  {t}").unwrap();
@@ -529,6 +628,84 @@ mod tests {
         assert_eq!(code, 0);
         assert!(out.starts_with("SELECT DISTINCT"), "{out}");
         assert!(out.contains("NOT EXISTS"), "{out}");
+    }
+
+    #[test]
+    fn analyze_catalog_documents_every_code() {
+        let (code, out) = run_cmd(&["analyze", "--catalog"]);
+        assert_eq!(code, 0);
+        for c in [
+            "A001", "A002", "A003", "A004", "A005", "G001", "C001", "C002", "C003", "C004", "C005",
+            "C006", "Q001", "Q002",
+        ] {
+            assert!(out.contains(c), "catalog missing {c}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn analyze_program_classifies_and_lints() {
+        let dir = tmpdir("analyze-prog");
+        let path = dir.join("prog.asp");
+        std::fs::write(
+            &path,
+            "e(1, 2).\ne(2, 3).\n\
+             t(x, y) :- e(x, y).\n\
+             t(x, y) :- e(x, y).\n\
+             q(x) :- t(x, y), ghost(x).\n\
+             a :- not b().\nb :- not a().\n",
+        )
+        .unwrap();
+        let (code, out) = run_cmd(&["analyze", "--program", &path.to_string_lossy()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("class="), "{out}");
+        // A002 recursion through negation, A004 duplicate, A005 undefined.
+        assert!(out.contains("[A002] recursion-through-negation"), "{out}");
+        assert!(out.contains("[A004] duplicate-rule"), "{out}");
+        assert!(out.contains("[A005] undefined-predicate"), "{out}");
+        // Diagnostics carry source context.
+        assert!(out.contains("--> 3: t(x, y) :- e(x, y)."), "{out}");
+    }
+
+    #[test]
+    fn analyze_unsafe_program_errors() {
+        let dir = tmpdir("analyze-unsafe");
+        let path = dir.join("bad.asp");
+        std::fs::write(&path, "p(x) :- q(y).\n").unwrap();
+        let (code, out) = run_cmd(&["analyze", "--program", &path.to_string_lossy()]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("error[A001] unsafe-variable"), "{out}");
+        assert!(out.contains("`x`"), "{out}");
+    }
+
+    #[test]
+    fn analyze_constraints_and_query() {
+        let dir = tmpdir("analyze-sigma");
+        let (db, _) = write_files(&dir);
+        let sigma_path = dir.join("lints.sigma");
+        std::fs::write(
+            &sigma_path,
+            "dc S(x), R(x, y), S(y)\n\
+             dc S(x), R(x, y)\n\
+             dc S(x), R(x, y)\n\
+             dc R(x, y), x < y, x > y\n\
+             fd Employee: Name -> Salary\n",
+        )
+        .unwrap();
+        let (code, out) = run_cmd(&[
+            "analyze",
+            "--constraints",
+            &sigma_path.to_string_lossy(),
+            "--db",
+            &db,
+            "--query",
+            "Q(x, y) :- Employee(x, s), Cities(y, c)",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("[C001] duplicate-constraint"), "{out}");
+        assert!(out.contains("[C003] subsumed-constraint"), "{out}");
+        assert!(out.contains("[C004] fd-is-key"), "{out}");
+        assert!(out.contains("[C006] vacuous-constraint"), "{out}");
+        assert!(out.contains("[Q002] cartesian-product"), "{out}");
     }
 
     #[test]

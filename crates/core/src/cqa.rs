@@ -398,15 +398,17 @@ mod tests {
         db.insert("Emp", tuple!["stowe", "math", 7000]).unwrap();
         let sigma = ConstraintSet::from_iter([KeyConstraint::new("Emp", ["Name"])]);
         let body = parse_query("Q() :- Emp(n, d, s)").unwrap();
-        let (d, s) = (body.vars.lookup("d").unwrap(), body.vars.lookup("s").unwrap());
+        let (d, s) = (
+            body.vars.lookup("d").unwrap(),
+            body.vars.lookup("s").unwrap(),
+        );
         let agg = AggregateQuery {
             body,
             group_by: vec![d],
             target: Some(s),
             op: AggOp::Sum,
         };
-        let ranges =
-            consistent_aggregate_ranges(&db, &sigma, &agg, &RepairClass::Subset).unwrap();
+        let ranges = consistent_aggregate_ranges(&db, &sigma, &agg, &RepairClass::Subset).unwrap();
         assert_eq!(
             ranges.get(&tuple!["cs"]),
             Some(&(Value::Int(8000), Value::Int(11000)))
@@ -430,15 +432,17 @@ mod tests {
         db.insert("Emp", tuple!["smith", "cs", 3000]).unwrap();
         let sigma = ConstraintSet::from_iter([KeyConstraint::new("Emp", ["Name"])]);
         let body = parse_query("Q() :- Emp(n, d, s)").unwrap();
-        let (d, s) = (body.vars.lookup("d").unwrap(), body.vars.lookup("s").unwrap());
+        let (d, s) = (
+            body.vars.lookup("d").unwrap(),
+            body.vars.lookup("s").unwrap(),
+        );
         let agg = AggregateQuery {
             body,
             group_by: vec![d],
             target: Some(s),
             op: AggOp::Sum,
         };
-        let ranges =
-            consistent_aggregate_ranges(&db, &sigma, &agg, &RepairClass::Subset).unwrap();
+        let ranges = consistent_aggregate_ranges(&db, &sigma, &agg, &RepairClass::Subset).unwrap();
         // math exists only in the repair keeping (page, math): not certain.
         assert!(!ranges.contains_key(&tuple!["math"]));
         // cs is present in both repairs (smith always; page sometimes).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqa-core
@@ -27,8 +28,8 @@ pub mod incremental;
 pub mod measures;
 pub mod nullrepair;
 pub mod planner;
-pub mod privacy;
 pub mod prioritized;
+pub mod privacy;
 pub mod repair;
 pub mod rewrite;
 pub mod srepair;
@@ -48,9 +49,9 @@ pub use crepair::{c_repairs, min_repair_distance};
 pub use incremental::{insert_preserves_consistency, repairs_after_insert, IncrementalRepairs};
 pub use measures::{core_gap, inconsistency_degree};
 pub use nullrepair::{has_solution, null_tuple_repairs, NullTupleRepair, RepairStyle};
-pub use planner::{answer_consistently, PlannedAnswer, Strategy};
-pub use privacy::SecrecyView;
+pub use planner::{answer_consistently, plan_diagnostics, PlannedAnswer, Strategy};
 pub use prioritized::{globally_optimal_repairs, pareto_optimal_repairs, PriorityRelation};
+pub use privacy::SecrecyView;
 pub use repair::{retain_subset_minimal, Change, Repair};
 pub use rewrite::{attack_graph, residue_rewrite, rewrite_key_query, KeyRewriteError};
 pub use srepair::{consistent_core, s_repairs, s_repairs_with, RepairOptions};

@@ -12,6 +12,7 @@
 
 use crate::cqa::{consistent_answers, RepairClass};
 use crate::rewrite::keys::{rewrite_key_query, KeyPositions, KeyRewriteError};
+use cqa_analysis::{lint_constraints, lint_query, DiagCode, Diagnostic};
 use cqa_constraints::{Constraint, ConstraintSet};
 use cqa_query::{eval_fo, NullSemantics, UnionQuery};
 use cqa_relation::{Database, RelationError, Tuple};
@@ -38,6 +39,22 @@ pub struct PlannedAnswer {
     pub answers: BTreeSet<Tuple>,
     /// The strategy used.
     pub strategy: Strategy,
+    /// Static-analysis findings for Σ and the query (strategy-independent;
+    /// see `cqa-analysis` for the code catalog).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Lint Σ (against the live schemas) and every disjunct of the query.
+pub fn plan_diagnostics(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+) -> Vec<Diagnostic> {
+    let mut out = lint_constraints(sigma, Some(db));
+    for cq in &query.disjuncts {
+        out.extend(lint_query(cq));
+    }
+    out
 }
 
 /// Extract the key positions from Σ if Σ consists solely of key constraints
@@ -63,6 +80,8 @@ pub fn answer_consistently(
     sigma: &ConstraintSet,
     query: &UnionQuery,
 ) -> Result<PlannedAnswer, RelationError> {
+    let diagnostics = plan_diagnostics(db, sigma, query);
+
     // Consistent instance: certain answers are the plain answers.
     if sigma.is_satisfied(db)? {
         return Ok(PlannedAnswer {
@@ -71,6 +90,7 @@ pub fn answer_consistently(
                 .filter(|t| !t.has_null())
                 .collect(),
             strategy: Strategy::DirectEvaluation,
+            diagnostics,
         });
     }
 
@@ -82,27 +102,44 @@ pub fn answer_consistently(
                     return Ok(PlannedAnswer {
                         answers: eval_fo(db, &fo, NullSemantics::Structural),
                         strategy: Strategy::FoRewriting,
+                        diagnostics,
                     });
                 }
                 Err(KeyRewriteError::CyclicAttackGraph { witness }) => {
-                    return fallback(
-                        db,
-                        sigma,
-                        query,
-                        format!(
-                            "attack graph cyclic at atoms {} and {}: CQA is coNP-complete",
-                            witness.0, witness.1
-                        ),
+                    let reason = format!(
+                        "attack graph cyclic at atoms {} and {}: CQA is coNP-complete",
+                        witness.0, witness.1
                     );
+                    return fallback(db, sigma, query, reason, diagnostics);
                 }
                 Err(e) => {
-                    return fallback(db, sigma, query, e.to_string());
+                    return fallback(db, sigma, query, e.to_string(), diagnostics);
                 }
             }
         }
-        return fallback(db, sigma, query, "query is a union, not a single CQ".into());
+        return fallback(
+            db,
+            sigma,
+            query,
+            "query is a union, not a single CQ".into(),
+            diagnostics,
+        );
     }
-    fallback(db, sigma, query, "Σ is not a set of primary keys".into())
+    // Non-key Σ: say *why* in terms of what the lints recognized.
+    let mut reason = "Σ is not a set of primary keys".to_string();
+    if diagnostics.iter().any(|d| d.code == DiagCode::FdIsKey) {
+        reason.push_str(
+            "; some FDs cover their whole schema (C004 fd-is-key): \
+             declaring them as keys would open the FO-rewriting path",
+        );
+    }
+    if diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::SubsumedConstraint || d.code == DiagCode::DuplicateConstraint)
+    {
+        reason.push_str("; Σ contains redundant constraints (C001/C003)");
+    }
+    fallback(db, sigma, query, reason, diagnostics)
 }
 
 fn fallback(
@@ -110,10 +147,12 @@ fn fallback(
     sigma: &ConstraintSet,
     query: &UnionQuery,
     reason: String,
+    diagnostics: Vec<Diagnostic>,
 ) -> Result<PlannedAnswer, RelationError> {
     Ok(PlannedAnswer {
         answers: consistent_answers(db, sigma, query, &RepairClass::Subset)?,
         strategy: Strategy::RepairEnumeration { reason },
+        diagnostics,
     })
 }
 
@@ -196,6 +235,42 @@ mod tests {
         let planned = answer_consistently(&db, &sigma, &q).unwrap();
         assert_eq!(planned.strategy, Strategy::DirectEvaluation);
         assert_eq!(planned.answers.len(), 2);
+    }
+
+    #[test]
+    fn fd_covering_schema_enriches_the_reason() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        // The same key, but declared as an FD: outside the keys-only fast
+        // path, yet the analysis recognizes it (C004).
+        let fd = cqa_constraints::FunctionalDependency::new("Employee", ["Name"], ["Salary"]);
+        let sigma = ConstraintSet::from_iter([fd]);
+        let q = UnionQuery::single(parse_query("Q(x) :- Employee(x, y)").unwrap());
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        match &planned.strategy {
+            Strategy::RepairEnumeration { reason } => {
+                assert!(reason.contains("fd-is-key"), "reason: {reason}");
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        assert!(planned
+            .diagnostics
+            .iter()
+            .any(|d| d.code == cqa_analysis::DiagCode::FdIsKey));
+    }
+
+    #[test]
+    fn planner_reports_query_lints() {
+        let (db, sigma) = employee();
+        let q = UnionQuery::single(parse_query("Q() :- Employee(x, y), Employee(u, w)").unwrap());
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        assert!(planned
+            .diagnostics
+            .iter()
+            .any(|d| d.code == cqa_analysis::DiagCode::CartesianProduct));
     }
 
     #[test]

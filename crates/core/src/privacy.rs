@@ -90,8 +90,10 @@ mod tests {
     /// Personnel data where the salary of managers is secret.
     fn db() -> Database {
         let mut d = Database::new();
-        d.create_relation(RelationSchema::new("Emp", ["Name", "Salary"])).unwrap();
-        d.create_relation(RelationSchema::new("Mgr", ["Name"])).unwrap();
+        d.create_relation(RelationSchema::new("Emp", ["Name", "Salary"]))
+            .unwrap();
+        d.create_relation(RelationSchema::new("Mgr", ["Name"]))
+            .unwrap();
         d.insert("Emp", tuple!["page", 5000]).unwrap();
         d.insert("Emp", tuple!["smith", 3000]).unwrap();
         d.insert("Mgr", tuple!["page"]).unwrap();

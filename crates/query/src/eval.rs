@@ -619,8 +619,10 @@ mod index_tests {
 
     fn big_db(n: usize) -> Database {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("R", ["A", "B"])).unwrap();
-        db.create_relation(RelationSchema::new("S", ["B", "C"])).unwrap();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["B", "C"]))
+            .unwrap();
         for i in 0..n as i64 {
             db.insert("R", tuple![i % 17, i]).unwrap();
             db.insert("S", tuple![i, i % 13]).unwrap();
@@ -636,10 +638,7 @@ mod index_tests {
         for (_, tr) in r.iter() {
             for (_, ts) in s.iter() {
                 if mode.values_join(tr.at(1), ts.at(0)) {
-                    out.insert(Tuple::new(vec![
-                        tr.at(0).clone(),
-                        ts.at(1).clone(),
-                    ]));
+                    out.insert(Tuple::new(vec![tr.at(0).clone(), ts.at(1).clone()]));
                 }
             }
         }
@@ -662,8 +661,10 @@ mod index_tests {
     fn indexed_join_with_nulls_under_sql_semantics() {
         let mut db = big_db(80);
         // Null join keys on both sides: must never match in SQL mode.
-        db.insert("R", Tuple::new(vec![Value::int(999), Value::NULL])).unwrap();
-        db.insert("S", Tuple::new(vec![Value::NULL, Value::int(999)])).unwrap();
+        db.insert("R", Tuple::new(vec![Value::int(999), Value::NULL]))
+            .unwrap();
+        db.insert("S", Tuple::new(vec![Value::NULL, Value::int(999)]))
+            .unwrap();
         let q = parse_query("Q(a, c) :- R(a, b), S(b, c)").unwrap();
         let fast = eval_cq(&db, &q, NullSemantics::Sql);
         let slow = reference_join(&db, NullSemantics::Sql);
@@ -680,8 +681,10 @@ mod index_tests {
         let q = parse_query("Q(b) :- R(3, b)").unwrap();
         let ans = eval_cq(&db, &q, NullSemantics::Structural);
         // i % 17 == 3 for i in 0..200.
-        let expected: BTreeSet<Tuple> =
-            (0..200i64).filter(|i| i % 17 == 3).map(|i| tuple![i]).collect();
+        let expected: BTreeSet<Tuple> = (0..200i64)
+            .filter(|i| i % 17 == 3)
+            .map(|i| tuple![i])
+            .collect();
         assert_eq!(ans, expected);
     }
 

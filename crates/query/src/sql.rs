@@ -269,7 +269,8 @@ mod tests {
     #[test]
     fn join_with_constants() {
         let mut db = employee_db();
-        db.create_relation(RelationSchema::new("Dept", ["Name", "Unit"])).unwrap();
+        db.create_relation(RelationSchema::new("Dept", ["Name", "Unit"]))
+            .unwrap();
         let q = parse_fo("x : exists y (Employee(x, y) & Dept(x, 'cs'))").unwrap();
         let sql = fo_to_sql(&q, &db).unwrap();
         assert_eq!(
@@ -291,12 +292,12 @@ mod tests {
         // The two-atom key rewriting shape: R ∧ ∀-block containing another
         // ∃-block.
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("R", ["K", "V"])).unwrap();
-        db.create_relation(RelationSchema::new("S", ["K", "V"])).unwrap();
-        let q = parse_fo(
-            "x : exists y (R(x, y) & !exists z (R(x, z) & !exists w (S(z, w))))",
-        )
-        .unwrap();
+        db.create_relation(RelationSchema::new("R", ["K", "V"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["K", "V"]))
+            .unwrap();
+        let q =
+            parse_fo("x : exists y (R(x, y) & !exists z (R(x, z) & !exists w (S(z, w))))").unwrap();
         let sql = fo_to_sql(&q, &db).unwrap();
         assert!(sql.contains("NOT EXISTS (SELECT 1 FROM R AS t2"));
         assert!(sql.contains("NOT EXISTS (SELECT 1 FROM S AS t3"));
@@ -308,7 +309,8 @@ mod tests {
         // ∃y (Emp(x, y) ∧ ¬∃v (Emp(x, v) ∧ ¬(v = y))).
         let q = parse_fo("x : exists y (Emp(x, y) & !exists v (Emp(x, v) & !(v = y)))").unwrap();
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("Emp", ["A", "B"])).unwrap();
+        db.create_relation(RelationSchema::new("Emp", ["A", "B"]))
+            .unwrap();
         let sql = fo_to_sql(&q, &db).unwrap();
         assert_eq!(
             sql,

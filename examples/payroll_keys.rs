@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // The same rewriting, rendered as the SQL the paper prints — ready to
     // run on any DBMS against the original, inconsistent table:
-    println!("\nAs SQL:\n  {}", inconsistent_db::query::fo_to_sql(&rewritten, &db)?);
+    println!(
+        "\nAs SQL:\n  {}",
+        inconsistent_db::query::fo_to_sql(&rewritten, &db)?
+    );
 
     // The attack-graph test: a two-atom chain query is rewritable…
     let chain = parse_query("Q(x) :- Employee(x, y), Bonus(y, z)")?;

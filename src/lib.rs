@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # inconsistent-db
@@ -12,6 +13,8 @@
 //! * integrity constraints — denial constraints, FDs, keys, CFDs, inclusion
 //!   dependencies — with violation detection and conflict hyper-graphs
 //!   ([`constraints`]);
+//! * static program analysis: stratification, safety diagnostics, and
+//!   constraint/query lints with stable diagnostic codes ([`analysis`]);
 //! * repairs (S-, C-, null-based tuple- and attribute-level) and consistent
 //!   query answering, with residue and attack-graph FO rewritings
 //!   ([`core`]);
@@ -43,6 +46,7 @@
 //! assert_eq!(certain, [tuple!["smith", 3000]].into());
 //! ```
 
+pub use cqa_analysis as analysis;
 pub use cqa_asp as asp;
 pub use cqa_causality as causality;
 pub use cqa_cleaning as cleaning;
@@ -54,7 +58,10 @@ pub use cqa_relation as relation;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use cqa_asp::{parse_asp, stable_models, AspProgram, RepairProgram};
+    pub use cqa_analysis::{lint_constraints, lint_query, DiagCode, Diagnostic, ProgramClass};
+    pub use cqa_asp::{
+        analyze_ground, analyze_program, parse_asp, stable_models, AspProgram, RepairProgram,
+    };
     pub use cqa_causality::{
         actual_causes, attribute_causes, causes_under_ics, causes_via_asp, causes_via_repairs,
         most_responsible_causes, Cause,

@@ -1,0 +1,112 @@
+//! The analysis-selected stratified fast path must be indistinguishable
+//! from the reference stable-model search: on random stratified programs
+//! the bottom-up evaluation is exercised directly, and on repair programs
+//! the public dispatcher (`stable_models`) — which consults the analysis —
+//! must return byte-identical models to `stable_models_search`.
+
+use cqa_asp::{ground, parse_asp, stable_models, stable_models_search, stable_models_stratified};
+use cqa_constraints::{ConstraintSet, DenialConstraint, KeyConstraint};
+use cqa_relation::{tuple, Database, RelationSchema};
+use proptest::prelude::*;
+
+const ATOMS: usize = 9;
+const PER_LAYER: usize = 3;
+
+/// Build a stratified propositional program from raw proptest draws: atom
+/// `i` lives in layer `i / PER_LAYER`; positive body atoms are remapped
+/// into layers `<=` the head's, negative ones into layers strictly below.
+fn stratified_source(facts: &[usize], rules: &[(usize, Vec<usize>, Vec<usize>)]) -> String {
+    let mut src = String::new();
+    for f in facts {
+        src.push_str(&format!("a{}().\n", f % ATOMS));
+    }
+    for (head, pos, neg) in rules {
+        let h = head % ATOMS;
+        let layer = h / PER_LAYER;
+        let mut body: Vec<String> = pos
+            .iter()
+            .map(|p| format!("a{}()", p % (PER_LAYER * (layer + 1))))
+            .collect();
+        if layer > 0 {
+            body.extend(
+                neg.iter()
+                    .map(|n| format!("not a{}()", n % (PER_LAYER * layer))),
+            );
+        }
+        if body.is_empty() {
+            src.push_str(&format!("a{h}().\n"));
+        } else {
+            src.push_str(&format!("a{h}() :- {}.\n", body.join(", ")));
+        }
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fast_path_agrees_with_search_on_random_stratified_programs(
+        facts in proptest::collection::vec(0usize..ATOMS, 1..5),
+        rules in proptest::collection::vec(
+            (0usize..ATOMS,
+             proptest::collection::vec(0usize..ATOMS, 0..3),
+             proptest::collection::vec(0usize..ATOMS, 0..3)),
+            1..12,
+        ),
+    ) {
+        let src = stratified_source(&facts, &rules);
+        let program = parse_asp(&src).unwrap();
+        let g = ground(&program).unwrap();
+        let fast = stable_models_stratified(&g);
+        prop_assert!(fast.is_some(), "program should be stratified:\n{src}");
+        prop_assert_eq!(fast.unwrap(), stable_models_search(&g));
+    }
+}
+
+fn rs_db() -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("R", ["A", "B"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+    db.insert("R", tuple!["a4", "a3"]).unwrap();
+    db.insert("R", tuple!["a2", "a1"]).unwrap();
+    db.insert("R", tuple!["a3", "a3"]).unwrap();
+    db.insert("S", tuple!["a4"]).unwrap();
+    db.insert("S", tuple!["a2"]).unwrap();
+    db.insert("S", tuple!["a3"]).unwrap();
+    let sigma =
+        ConstraintSet::from_iter(
+            [DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap()],
+        );
+    (db, sigma)
+}
+
+/// E-series fixture (Ex. 3.5): the dispatcher and the reference search
+/// must produce byte-identical model lists on the repair program.
+#[test]
+fn repair_program_models_identical_between_dispatcher_and_search() {
+    let (db, sigma) = rs_db();
+    let rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+    let g = rp.ground().unwrap();
+    assert_eq!(stable_models(&g), stable_models_search(&g));
+}
+
+/// A consistent instance grounds to a definite repair program, so the
+/// dispatcher takes the stratified fast path — and must still agree.
+#[test]
+fn consistent_repair_program_takes_fast_path_and_agrees() {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+        .unwrap();
+    db.insert("Employee", tuple!["smith", 3000]).unwrap();
+    db.insert("Employee", tuple!["stowe", 7000]).unwrap();
+    let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+    let rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+    let g = rp.ground().unwrap();
+    let search = stable_models_search(&g);
+    assert_eq!(stable_models(&g), search);
+    if let Some(fast) = stable_models_stratified(&g) {
+        assert_eq!(fast, search);
+    }
+}

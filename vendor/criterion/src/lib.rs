@@ -1,0 +1,248 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Minimal, API-compatible stand-in for the subset of `criterion` this
+//! workspace uses. The build environment has no network access to crates.io,
+//! so the benches vendor this tiny measuring harness instead of the real
+//! crate.
+//!
+//! Semantics: each benchmark is warmed up once, then timed for up to
+//! `sample_size` iterations or `measurement_time`, whichever comes first;
+//! the mean and min wall-clock per iteration are printed. When invoked with
+//! `--test` (as `cargo test --benches` does), every benchmark body runs
+//! exactly once with no timing, so bench binaries double as smoke tests.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark id: function name plus an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter under the group's name.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    /// (mean, min) seconds per iteration of the last `iter` call.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = None;
+            return;
+        }
+        black_box(routine()); // warm-up
+        let started = Instant::now();
+        let mut times = Vec::with_capacity(self.sample_size);
+        while times.is_empty()
+            || (times.len() < self.sample_size && started.elapsed() < self.measurement_time)
+        {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        self.result = Some((mean, min));
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn run_one(
+    label: &str,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        measurement_time,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min)) => println!(
+            "{label:<50} time: [mean {} | min {}]",
+            format_seconds(mean),
+            format_seconds(min)
+        ),
+        None => println!("{label:<50} ok (test mode)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.sample_size,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Run one benchmark without an input.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs bench binaries with `--test`; detect it
+        // so benchmarks degrade into single-shot smoke tests.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.test_mode, 20, Duration::from_secs(3), f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_prints() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10, |b, &n| {
+            b.iter(|| (0..n).sum::<i32>());
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+}
