@@ -6,8 +6,22 @@
 //! once per satisfying assignment of its positive body over that universe.
 //! Comparisons are evaluated away during instantiation; negative literals on
 //! atoms outside the universe are dropped (they can never hold).
+//!
+//! Both phases run on the `cqa-exec` pool without giving up determinism:
+//!
+//! * The universe fix-point proceeds stratum by stratum (predicate strata
+//!   from `cqa-analysis`, so a rule never runs before the strata feeding it
+//!   have converged) and, within a stratum, in *Jacobi rounds*: every rule
+//!   of the round matches against the same immutable snapshot in parallel,
+//!   and the additions are merged in rule order afterwards. The merge
+//!   schedule — and hence the universe, including its per-predicate tuple
+//!   order — is a function of the program alone, not of the thread count.
+//! * Instantiation grounds each rule independently in parallel, producing
+//!   *proto* rules over `(predicate, args)` pairs; atom-id interning then
+//!   happens sequentially in rule order, so `atom_table` numbering is
+//!   byte-identical at every thread count.
 
-use crate::ast::{AspProgram, WeakConstraint};
+use crate::ast::AspProgram;
 use cqa_query::{match_atom, Atom, Bindings, NullSemantics};
 use cqa_relation::{fxhash::FxHashMap, Tuple, Value};
 use std::collections::BTreeMap;
@@ -210,6 +224,87 @@ fn instantiate(atom: &Atom, binding: &Bindings) -> Option<(String, Tuple)> {
     args.map(|a| (atom.relation.clone(), Tuple::new(a)))
 }
 
+/// Proto ground literal lists: `(predicate, args)` pairs collected by a
+/// parallel worker, interned sequentially afterwards.
+type ProtoRule = (
+    Vec<(String, Tuple)>, // head
+    Vec<(String, Tuple)>, // pos
+    Vec<(String, Tuple)>, // neg (already filtered to universe members)
+);
+
+/// Same, for weak constraints (no head).
+type ProtoWeak = (Vec<(String, Tuple)>, Vec<(String, Tuple)>);
+
+/// Build the universe over-approximation, stratum by stratum, with each
+/// stratum's fix-point computed in parallel Jacobi rounds (see module docs
+/// for the determinism argument).
+fn build_universe(program: &AspProgram, n_vars: usize) -> Universe {
+    // Predicate strata from cqa-analysis: along every dependency edge the
+    // stratum is non-decreasing, so a rule placed at the max stratum of its
+    // positive body predicates can never derive atoms that would re-awaken
+    // an earlier stratum (its heads sit at its own stratum or later).
+    let shape = crate::analysis::predicate_shape(program);
+    let analysis = cqa_analysis::analyze_shape(&shape);
+    let stratum_of: FxHashMap<&str, usize> = shape
+        .symbols
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), analysis.strata[i]))
+        .collect();
+    let rule_stratum: Vec<usize> = program
+        .rules
+        .iter()
+        .map(|r| {
+            r.pos
+                .iter()
+                .filter_map(|a| stratum_of.get(a.relation.as_str()).copied())
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let max_stratum = rule_stratum.iter().copied().max().unwrap_or(0);
+
+    let mut universe = Universe::default();
+    for s in 0..=max_stratum {
+        let layer: Vec<&crate::ast::AspRule> = program
+            .rules
+            .iter()
+            .zip(&rule_stratum)
+            .filter(|&(_, &rs)| rs == s)
+            .map(|(r, _)| r)
+            .collect();
+        if layer.is_empty() {
+            continue;
+        }
+        loop {
+            // Jacobi round: all rules read the same snapshot in parallel…
+            let additions = cqa_exec::par_map(&layer, |rule| {
+                let mut adds: Vec<(String, Tuple)> = Vec::new();
+                for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
+                    for h in &rule.head {
+                        if let Some(ga) = instantiate(h, b) {
+                            adds.push(ga);
+                        }
+                    }
+                });
+                adds
+            });
+            // …and the merge happens in rule order, independent of which
+            // worker finished first.
+            let mut grew = false;
+            for rule_adds in additions {
+                for (p, t) in rule_adds {
+                    grew |= universe.insert(&p, t);
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+    }
+    universe
+}
+
 /// Ground `program`.
 pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
     program.check_safety().map_err(|d| d.to_string())?;
@@ -217,70 +312,104 @@ pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
 
     // 1. Over-approximate the universe: fix-point treating all head
     //    disjuncts as derivable, negation ignored.
-    let mut universe = Universe::default();
-    loop {
-        let mut grew = false;
-        for rule in &program.rules {
-            let mut additions: Vec<(String, Tuple)> = Vec::new();
-            for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
-                for h in &rule.head {
-                    if let Some(ga) = instantiate(h, b) {
-                        additions.push(ga);
-                    }
-                }
-            });
-            for (p, t) in additions {
-                grew |= universe.insert(&p, t);
-            }
-        }
-        if !grew {
-            break;
-        }
-    }
+    let universe = build_universe(program, n_vars);
 
-    // 2. Instantiate rules over the universe.
+    // 2. Instantiate rules over the (now immutable) universe: proto rules
+    //    in parallel, atom interning sequentially in rule order.
+    let protos: Vec<Vec<ProtoRule>> = cqa_exec::par_map(&program.rules, |rule| {
+        let mut out: Vec<ProtoRule> = Vec::new();
+        for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
+            let head = rule
+                .head
+                .iter()
+                .map(|h| instantiate(h, b).expect("safe rule: head fully bound"))
+                .collect();
+            let pos = rule
+                .pos
+                .iter()
+                .map(|a| instantiate(a, b).expect("positive body bound"))
+                .collect();
+            let neg = rule
+                .neg
+                .iter()
+                .filter_map(|a| {
+                    let (p, t) = instantiate(a, b).expect("safe rule: neg fully bound");
+                    // Atoms outside the universe can never be derived: the
+                    // literal `not a` is true and is dropped.
+                    universe.contains(&p, &t).then_some((p, t))
+                })
+                .collect();
+            out.push((head, pos, neg));
+        });
+        out
+    });
     let mut interner = Interner {
         map: FxHashMap::default(),
         table: Vec::new(),
     };
     let mut rules: Vec<GroundRule> = Vec::new();
-    for rule in &program.rules {
-        for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
-            let mut head = Vec::with_capacity(rule.head.len());
-            for h in &rule.head {
-                let (p, t) = instantiate(h, b).expect("safe rule: head fully bound");
-                head.push(interner.intern(&p, t));
-            }
-            let mut pos = Vec::with_capacity(rule.pos.len());
-            for a in &rule.pos {
-                let (p, t) = instantiate(a, b).expect("positive body bound");
-                pos.push(interner.intern(&p, t));
-            }
-            let mut neg = Vec::new();
-            for a in &rule.neg {
-                let (p, t) = instantiate(a, b).expect("safe rule: neg fully bound");
-                if universe.contains(&p, &t) {
-                    neg.push(interner.intern(&p, t));
-                }
-                // Atoms outside the universe can never be derived: the
-                // literal `not a` is true and is dropped.
-            }
-            head.sort_unstable();
-            head.dedup();
-            pos.sort_unstable();
-            pos.dedup();
-            neg.sort_unstable();
-            neg.dedup();
+    for per_rule in protos {
+        for (proto_head, proto_pos, proto_neg) in per_rule {
+            let intern_all = |interner: &mut Interner, lits: Vec<(String, Tuple)>| {
+                let mut ids: Vec<AtomId> = lits
+                    .into_iter()
+                    .map(|(p, t)| interner.intern(&p, t))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            };
+            let head = intern_all(&mut interner, proto_head);
+            let pos = intern_all(&mut interner, proto_pos);
+            let neg = intern_all(&mut interner, proto_neg);
             rules.push(GroundRule { head, pos, neg });
-        });
+        }
     }
     rules.sort();
     rules.dedup();
 
     // 3. Ground weak constraints the same way.
+    let proto_weak: Vec<Vec<ProtoWeak>> = cqa_exec::par_map(&program.weak, |wc| {
+        let mut out = Vec::new();
+        for_each_body_match(&wc.pos, &wc.comparisons, n_vars, &universe, &mut |b| {
+            let pos: Vec<(String, Tuple)> = wc
+                .pos
+                .iter()
+                .map(|a| instantiate(a, b).expect("positive body bound"))
+                .collect();
+            let neg: Vec<(String, Tuple)> = wc
+                .neg
+                .iter()
+                .filter_map(|a| {
+                    let (p, t) = instantiate(a, b).expect("safe weak constraint");
+                    universe.contains(&p, &t).then_some((p, t))
+                })
+                .collect();
+            out.push((pos, neg));
+        });
+        out
+    });
     let mut weak: Vec<GroundWeak> = Vec::new();
-    for wc in &program.weak {
-        ground_weak(wc, n_vars, &universe, &mut interner, &mut weak);
+    for (wc, per_wc) in program.weak.iter().zip(proto_weak) {
+        for (proto_pos, proto_neg) in per_wc {
+            let intern_all = |interner: &mut Interner, lits: Vec<(String, Tuple)>| {
+                let mut ids: Vec<AtomId> = lits
+                    .into_iter()
+                    .map(|(p, t)| interner.intern(&p, t))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            };
+            let pos = intern_all(&mut interner, proto_pos);
+            let neg = intern_all(&mut interner, proto_neg);
+            weak.push(GroundWeak {
+                pos,
+                neg,
+                weight: wc.weight,
+                level: wc.level,
+            });
+        }
     }
 
     Ok(GroundProgram {
@@ -288,41 +417,6 @@ pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
         weak,
         atom_table: interner.table,
     })
-}
-
-fn ground_weak(
-    wc: &WeakConstraint,
-    n_vars: usize,
-    universe: &Universe,
-    interner: &mut Interner,
-    out: &mut Vec<GroundWeak>,
-) {
-    for_each_body_match(&wc.pos, &wc.comparisons, n_vars, universe, &mut |b| {
-        let mut pos = Vec::with_capacity(wc.pos.len());
-        for a in &wc.pos {
-            let (p, t) = instantiate(a, b).expect("positive body bound");
-            pos.push(interner.intern(&p, t));
-        }
-        let mut neg = Vec::new();
-        let mut dead = false;
-        for a in &wc.neg {
-            let (p, t) = instantiate(a, b).expect("safe weak constraint");
-            if universe.contains(&p, &t) {
-                neg.push(interner.intern(&p, t));
-            }
-            let _ = &mut dead;
-        }
-        pos.sort_unstable();
-        pos.dedup();
-        neg.sort_unstable();
-        neg.dedup();
-        out.push(GroundWeak {
-            pos,
-            neg,
-            weight: wc.weight,
-            level: wc.level,
-        });
-    });
 }
 
 #[cfg(test)]

@@ -13,11 +13,28 @@ use cqa_query::{parse_program, parse_query, AggOp, AggregateQuery, NullSemantics
 use cqa_relation::{tuple, Database, RelationSchema};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    // `--threads N` configures the cqa-exec pool (1 = sequential); all
+    // other arguments select experiments by name.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let n: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .expect("--threads expects a positive number");
+            cqa_exec::set_threads(n);
+        } else {
+            args.push(a.to_uppercase());
+        }
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     println!("inconsistent-db experiment harness");
-    println!("==================================\n");
+    println!("==================================");
+    println!("threads: {}\n", cqa_exec::ExecConfig::current());
 
     if want("E") || args.is_empty() {
         e_series();
@@ -54,6 +71,9 @@ fn main() {
     }
     if want("F11") {
         f11_conp_query();
+    }
+    if want("F13") {
+        f13_parallel_speedup();
     }
 }
 
@@ -621,6 +641,52 @@ fn f10_integration() {
         );
     }
     println!();
+}
+
+fn f13_parallel_speedup() {
+    use cqa_exec::with_threads;
+    println!("F13: parallel speedup — sequential vs 4 worker threads (cqa-exec)");
+    println!("------------------------------------------------------------------");
+    println!("  workload                       | seq (ms) | 4 thr (ms) | speedup | equal");
+
+    // F1-shaped: certain answers by enumeration over 2^13 repairs.
+    let (db, sigma) = key_conflict_instance(60, 13, 2, 1);
+    let instances: Vec<cqa_relation::Database> = cqa_core::s_repairs(&db, &sigma)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.db)
+        .collect();
+    let q = UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap());
+    let (seq, t_seq) = timed(|| with_threads(1, || cqa_core::certain_over(&instances, &q)));
+    let (par, t_par) = timed(|| with_threads(4, || cqa_core::certain_over(&instances, &q)));
+    row("certain_over, 8192 repairs", t_seq, t_par, seq == par);
+
+    // F3-shaped: minimal hitting sets of a dense conflict hypergraph.
+    let (db, sigma) = dc_instance(40, 16, 10, 3);
+    let g = sigma.conflict_hypergraph(&db).unwrap();
+    let (seq, t_seq) = timed(|| with_threads(1, || g.minimal_hitting_sets(None)));
+    let (par, t_par) = timed(|| with_threads(4, || g.minimal_hitting_sets(None)));
+    row("minimal_hitting_sets, 40x16", t_seq, t_par, seq == par);
+    let (seq, t_seq) = timed(|| with_threads(1, || g.minimum_hitting_set()));
+    let (par, t_par) = timed(|| with_threads(4, || g.minimum_hitting_set()));
+    row("minimum_hitting_set, 40x16", t_seq, t_par, seq == par);
+
+    // F5-shaped: per-candidate responsibility over a wide star.
+    let db = star_instance(16);
+    let q = UnionQuery::single(parse_query("Q() :- Hub(x), Spoke(x, y)").unwrap());
+    let (seq, t_seq) = timed(|| with_threads(1, || cqa_causality::actual_causes(&db, &q)));
+    let (par, t_par) = timed(|| with_threads(4, || cqa_causality::actual_causes(&db, &q)));
+    row("actual_causes, width 16", t_seq, t_par, seq == par);
+    println!();
+
+    fn row(label: &str, t_seq: f64, t_par: f64, equal: bool) {
+        println!(
+            "  {label:<30} | {:>8.2} | {:>10.2} | {:>6.2}x | {equal}",
+            t_seq * 1e3,
+            t_par * 1e3,
+            t_seq / t_par
+        );
+    }
 }
 
 fn f11_conp_query() {

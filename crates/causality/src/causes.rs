@@ -94,20 +94,29 @@ pub fn actual_causes(db: &Database, query: &UnionQuery) -> Vec<Cause> {
     if graph.edges.is_empty() {
         return Vec::new(); // Q false: no causes
     }
-    // Every vertex of the (antichain) edge set is an actual cause.
-    let candidates: BTreeSet<Tid> = graph.edges.iter().flatten().copied().collect();
-    let mut out = Vec::with_capacity(candidates.len());
-    for tid in candidates {
+    // Every vertex of the (antichain) edge set is an actual cause, and each
+    // candidate's responsibility (the FP^NP(log n)-flavoured part) only
+    // reads the shared graph — compute them in parallel, in candidate
+    // order. The nested hitting-set search inside runs inline on its
+    // worker (`cqa-exec` reports 1 thread inside the pool).
+    let candidates: Vec<Tid> = graph
+        .edges
+        .iter()
+        .flatten()
+        .copied()
+        .collect::<BTreeSet<Tid>>()
+        .into_iter()
+        .collect();
+    cqa_exec::par_map(&candidates, |&tid| {
         let (rho, gamma) = responsibility_in_graph(&graph, tid);
         debug_assert!(rho > 0.0);
-        out.push(Cause {
+        Cause {
             tid,
             responsibility: rho,
             counterfactual: gamma.is_empty(),
             min_contingency: gamma,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// The responsibility of `tid` (0.0 when it is not an actual cause), with a

@@ -96,6 +96,20 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
         return Ok(2);
     };
     let opts = Opts::parse(rest);
+    // `--threads N` is accepted by every subcommand: it configures the
+    // global `cqa-exec` pool (N = 1 forces the exact sequential code
+    // paths). Without the flag the `CQA_THREADS` environment variable, and
+    // then the detected core count, apply.
+    if opts.has("threads") {
+        let n: usize = opts
+            .require("threads")?
+            .parse()
+            .map_err(|_| "--threads expects a positive number".to_string())?;
+        if n == 0 {
+            return Err("--threads expects a positive number".into());
+        }
+        cqa_exec::set_threads(n);
+    }
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
             out.push_str(HELP);
@@ -119,6 +133,10 @@ repairctl — database repairs and consistent query answering
 
 USAGE:
   repairctl <command> --db <file.idb> [--constraints <sigma.txt>] [options]
+
+GLOBAL OPTIONS:
+  --threads N   worker threads for repair enumeration / CQA / hitting-set
+                search (1 = sequential; default: $CQA_THREADS, else cores)
 
 COMMANDS:
   analyze   [--program F.asp] [--constraints F [--db F]] [--query \"…\"]
@@ -706,6 +724,29 @@ mod tests {
         assert!(out.contains("[C004] fd-is-key"), "{out}");
         assert!(out.contains("[C006] vacuous-constraint"), "{out}");
         assert!(out.contains("[Q002] cartesian-product"), "{out}");
+    }
+
+    #[test]
+    fn threads_flag_accepted_everywhere() {
+        let dir = tmpdir("threads");
+        let (db, sigma) = write_files(&dir);
+        // Results are identical at any thread count (determinism contract);
+        // `--threads` merely configures the pool.
+        let (code, out) = run_cmd(&[
+            "repairs",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--threads",
+            "2",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("2 S-repairs"), "{out}");
+        let args: Vec<String> = vec!["check".into(), "--threads".into(), "0".into()];
+        assert!(run(&args, &mut String::new()).is_err());
+        // Restore the default so parallel-running tests are unaffected.
+        cqa_exec::set_threads(0);
     }
 
     #[test]

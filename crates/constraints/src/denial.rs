@@ -6,10 +6,11 @@
 //! the conflict hyper-graph of §4.1 (Figure 1).
 
 use cqa_query::{
-    eval::for_each_witness, parse_query, Atom, Comparison, ConjunctiveQuery, NullSemantics,
-    VarTable,
+    eval::{for_each_witness, match_atom, Bindings},
+    parse_query, Atom, Comparison, ConjunctiveQuery, NullSemantics, Var, VarTable,
 };
-use cqa_relation::{Database, RelationError, Tid};
+use cqa_relation::fxhash::FxHashMap;
+use cqa_relation::{Database, RelationError, Tid, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -87,13 +88,117 @@ impl DenialConstraint {
     /// All violation sets: for every witness of the body, the set of matched
     /// tids. Duplicate sets (e.g. the two symmetric matches of an FD pair)
     /// are collapsed.
+    ///
+    /// Two-atom bodies with a shared variable — the shape every FD, key and
+    /// CFD compiles to — are evaluated by a hash join on *all* shared join
+    /// columns instead of the generic backtracking evaluator (whose probe
+    /// index covers a single column): build a multi-column hash index over
+    /// the second atom's relation, then probe it once per tuple of the
+    /// first. Nulls never join under SQL semantics, so null keys are left
+    /// out of the index and skipped at probe time.
     pub fn violations(&self, db: &Database) -> BTreeSet<BTreeSet<Tid>> {
+        if let Some(out) = self.violations_hash_join(db) {
+            return out;
+        }
         let mut out = BTreeSet::new();
         for_each_witness(db, &self.body, NullSemantics::Sql, &mut |w| {
             out.insert(w.tids.iter().copied().collect());
             true
         });
         out
+    }
+
+    /// The hash-join fast path. `None` when the body doesn't have the
+    /// two-atom equi-join shape.
+    fn violations_hash_join(&self, db: &Database) -> Option<BTreeSet<BTreeSet<Tid>>> {
+        let [a0, a1] = self.body.atoms.as_slice() else {
+            return None;
+        };
+        if !self.body.negated.is_empty() {
+            return None;
+        }
+        // Join key: every variable shared between the two atoms, keyed at
+        // its first position in each atom (repeats inside an atom are
+        // checked by `match_atom`).
+        let vars0: BTreeSet<Var> = a0.vars().collect();
+        let shared: Vec<Var> = a1
+            .vars()
+            .collect::<BTreeSet<Var>>()
+            .intersection(&vars0)
+            .copied()
+            .collect();
+        if shared.is_empty() {
+            return None; // cross product: nothing to hash on
+        }
+        let key_pos0: Vec<usize> = shared.iter().map(|&v| a0.positions_of(v)[0]).collect();
+        let key_pos1: Vec<usize> = shared.iter().map(|&v| a1.positions_of(v)[0]).collect();
+
+        let mode = NullSemantics::Sql;
+        let n_vars = self.body.vars.len();
+        let mut out = BTreeSet::new();
+        let (Some(rel0), Some(rel1)) = (db.relation(&a0.relation), db.relation(&a1.relation))
+        else {
+            return Some(out); // a missing relation has no tuples to violate
+        };
+
+        // Build: index rel1 on the join columns, pre-filtered to tuples that
+        // locally match a1's constants and repeated variables.
+        let mut index: FxHashMap<Vec<Value>, Vec<(Tid, &cqa_relation::Tuple)>> =
+            FxHashMap::default();
+        let mut scratch = Bindings::new(n_vars);
+        'build: for (tid1, t1) in rel1.iter() {
+            let mut key = Vec::with_capacity(key_pos1.len());
+            for &p in &key_pos1 {
+                let v = t1.at(p);
+                if v.is_null() {
+                    continue 'build; // null never joins
+                }
+                key.push(v.clone());
+            }
+            if let Some(newly) = match_atom(a1, t1, &mut scratch, mode) {
+                index.entry(key).or_default().push((tid1, t1));
+                for v in newly {
+                    scratch.unset(v);
+                }
+            }
+        }
+
+        // Probe: per tuple of rel0, bind a0 and look up the join key.
+        'probe: for (tid0, t0) in rel0.iter() {
+            let mut bindings = Bindings::new(n_vars);
+            if match_atom(a0, t0, &mut bindings, mode).is_none() {
+                continue;
+            }
+            let mut key = Vec::with_capacity(key_pos0.len());
+            for &p in &key_pos0 {
+                let v = t0.at(p);
+                if v.is_null() {
+                    continue 'probe; // null never joins
+                }
+                key.push(v.clone());
+            }
+            let Some(bucket) = index.get(&key) else {
+                continue;
+            };
+            for &(tid1, t1) in bucket {
+                let Some(newly) = match_atom(a1, t1, &mut bindings, mode) else {
+                    continue;
+                };
+                let ok = self.body.comparisons.iter().all(|c| {
+                    match (bindings.resolve(&c.left), bindings.resolve(&c.right)) {
+                        (Some(a), Some(b)) => mode.cmp(c.op, &a, &b),
+                        _ => false, // unbound comparison variable: no witness
+                    }
+                });
+                if ok {
+                    out.insert([tid0, tid1].into_iter().collect());
+                }
+                for v in newly {
+                    bindings.unset(v);
+                }
+            }
+        }
+        Some(out)
     }
 }
 
@@ -173,6 +278,55 @@ mod tests {
     fn display() {
         let kappa = DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap();
         assert_eq!(kappa.to_string(), "kappa: not exists (S(x), R(x, y), S(y))");
+    }
+
+    #[test]
+    fn hash_join_agrees_with_generic_evaluator() {
+        // FD-shaped self-join over an instance with multi-column join keys,
+        // repeated values, nulls and comparisons: the hash-join fast path
+        // must produce exactly the generic evaluator's witnesses.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B", "C"]))
+            .unwrap();
+        for i in 0..120u64 {
+            let a = i % 10;
+            let b = (i * 7) % 4;
+            let c = if i % 13 == 0 {
+                cqa_relation::Value::NULL
+            } else {
+                cqa_relation::Value::Int((i % 3) as i64)
+            };
+            db.insert(
+                "R",
+                cqa_relation::Tuple::new([
+                    cqa_relation::Value::Int(a as i64),
+                    cqa_relation::Value::Int(b as i64),
+                    c,
+                ]),
+            )
+            .unwrap();
+        }
+        for body in [
+            "R(x, y, u), R(x, z, v), y != z", // FD A → B
+            "R(x, y, u), R(x, y, v), u != v", // FD AB → C (two join columns)
+            "R(x, y, 0), R(y, z, 1)",         // non-self-join columns + consts
+            "R(x, x, u), R(x, y, v)",         // repeated variable in one atom
+        ] {
+            let dc = DenialConstraint::parse("dc", body).unwrap();
+            let fast = dc.violations(&db);
+            let mut generic = BTreeSet::new();
+            for_each_witness(&db, dc.body(), NullSemantics::Sql, &mut |w| {
+                generic.insert(w.tids.iter().copied().collect());
+                true
+            });
+            assert_eq!(fast, generic, "{body}");
+            assert!(dc.violations_hash_join(&db).is_some(), "{body}");
+        }
+        // Three atoms or no shared variable: the fast path must decline.
+        let three = DenialConstraint::parse("t", "R(x, y, u), R(y, z, v), R(z, x, w)").unwrap();
+        assert!(three.violations_hash_join(&db).is_none());
+        let cross = DenialConstraint::parse("c", "R(x, y, u), R(z, w, t)").unwrap();
+        assert!(cross.violations_hash_join(&db).is_none());
     }
 
     #[test]

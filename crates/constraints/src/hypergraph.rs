@@ -12,9 +12,30 @@
 //! This module owns the purely combinatorial part: enumeration of minimal
 //! hitting sets (with pruning) and branch-and-bound computation of minimum
 //! ones. `cqa-core` wraps these into repair semantics.
+//!
+//! The search trees are explored in parallel through `cqa-exec`: the top
+//! levels of each tree are split into independent branch tasks on a work
+//! queue (so uneven subtrees load-balance), below a split depth scaled to
+//! the thread count (`par_split_depth`) each
+//! task runs the plain sequential recursion, and for branch-and-bound the
+//! workers share the incumbent best size through an atomic (`fetch_min`).
+//! All results are merged into `BTreeSet`s and the minimum is a property of
+//! the graph, not of the schedule — output is byte-identical at every
+//! thread count.
 
 use cqa_relation::Tid;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Depth of the search tree below which a branch task stops splitting and
+/// runs sequentially. Branching factor is the size of the chosen edge
+/// (≥ 2 on any branching node), so this yields at least `4 × threads`
+/// subtree tasks — plenty of slack for the queue to balance uneven trees.
+fn par_split_depth() -> usize {
+    (4 * cqa_exec::threads())
+        .next_power_of_two()
+        .trailing_zeros() as usize
+}
 
 /// A conflict hyper-graph.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -84,9 +105,50 @@ impl ConflictHypergraph {
     /// filtered by [`Self::is_minimal_hitting_set`] and deduplicated. With
     /// `limit = Some(n)` enumeration stops after `n` minimal sets are found.
     pub fn minimal_hitting_sets(&self, limit: Option<usize>) -> Vec<BTreeSet<Tid>> {
-        let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
-        let mut current = BTreeSet::new();
-        self.enumerate_rec(&mut current, &mut out, limit);
+        // A limit means "stop early", which only has a deterministic meaning
+        // in DFS order — keep that path (and trivial graphs) sequential.
+        if limit.is_some() || cqa_exec::threads() <= 1 || self.edges.len() < 2 {
+            let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+            let mut current = BTreeSet::new();
+            self.enumerate_rec(&mut current, &mut out, limit);
+            return out.into_iter().collect();
+        }
+        // Parallel: branch tasks on the work queue. Every emitted set passed
+        // the global minimality check, and distinct minimal sets are
+        // ⊆-incomparable, so the merged set is exactly the full enumeration
+        // no matter how branches were scheduled. (The sequential path's
+        // cross-branch superset prune is an optimization only; subtrees
+        // below the split depth still prune locally inside `enumerate_rec`.)
+        let split = par_split_depth();
+        let found = cqa_exec::run_queue(
+            vec![BTreeSet::new()],
+            |current: BTreeSet<Tid>, spawn, results: &mut Vec<BTreeSet<Tid>>| match self
+                .edges
+                .iter()
+                .filter(|e| e.is_disjoint(&current))
+                .min_by_key(|e| e.len())
+            {
+                None => {
+                    if self.is_minimal_hitting_set(&current) {
+                        results.push(current);
+                    }
+                }
+                Some(_) if current.len() >= split => {
+                    let mut out = BTreeSet::new();
+                    let mut cur = current;
+                    self.enumerate_rec(&mut cur, &mut out, None);
+                    results.extend(out);
+                }
+                Some(edge) => {
+                    for &v in edge {
+                        let mut child = current.clone();
+                        child.insert(v);
+                        spawn.push(child);
+                    }
+                }
+            },
+        );
+        let out: BTreeSet<BTreeSet<Tid>> = found.into_iter().collect();
         out.into_iter().collect()
     }
 
@@ -179,10 +241,52 @@ impl ConflictHypergraph {
         if self.edges.is_empty() {
             return 0;
         }
-        let mut best = self.greedy_hitting_set().len();
-        let mut current = BTreeSet::new();
-        self.min_size_rec(&mut current, &mut best);
-        best
+        let greedy = self.greedy_hitting_set().len();
+        if cqa_exec::threads() <= 1 {
+            let mut best = greedy;
+            let mut current = BTreeSet::new();
+            self.min_size_rec(&mut current, &mut best);
+            return best;
+        }
+        // Parallel branch-and-bound. The incumbent best is shared through an
+        // atomic: workers read it when a branch task starts (a stale — i.e.
+        // larger — value only costs extra work, never wrong pruning) and
+        // publish improvements with `fetch_min`. The final value is the true
+        // minimum, which no schedule can change.
+        let best = AtomicUsize::new(greedy);
+        let split = par_split_depth();
+        cqa_exec::run_queue(
+            vec![BTreeSet::new()],
+            |current: BTreeSet<Tid>, spawn, _results: &mut Vec<()>| {
+                let mut local_best = best.load(Ordering::Relaxed);
+                if current.len() + self.disjoint_edge_bound(&current) >= local_best {
+                    return;
+                }
+                match self
+                    .edges
+                    .iter()
+                    .filter(|e| e.is_disjoint(&current))
+                    .min_by_key(|e| e.len())
+                {
+                    None => {
+                        best.fetch_min(current.len(), Ordering::Relaxed);
+                    }
+                    Some(_) if current.len() >= split => {
+                        let mut cur = current;
+                        self.min_size_rec(&mut cur, &mut local_best);
+                        best.fetch_min(local_best, Ordering::Relaxed);
+                    }
+                    Some(edge) => {
+                        for &v in edge {
+                            let mut child = current.clone();
+                            child.insert(v);
+                            spawn.push(child);
+                        }
+                    }
+                }
+            },
+        );
+        best.load(Ordering::Relaxed)
     }
 
     fn min_size_rec(&self, current: &mut BTreeSet<Tid>, best: &mut usize) {
@@ -211,12 +315,35 @@ impl ConflictHypergraph {
 
     /// One minimum hitting set (a witness for
     /// [`Self::minimum_hitting_set_size`]).
+    ///
+    /// Every hitting set must hit the first smallest edge, so the search
+    /// branches on that edge's vertices; each branch yields its DFS-first
+    /// completion of minimum size and the smallest candidate (in set order)
+    /// wins. Branches are independent, so they run on the pool — and
+    /// because the winner is the *minimum* over all branches rather than
+    /// "whichever branch finished first", the witness is the same at every
+    /// thread count.
     pub fn minimum_hitting_set(&self) -> BTreeSet<Tid> {
+        if self.edges.is_empty() {
+            return BTreeSet::new();
+        }
         let k = self.minimum_hitting_set_size();
-        let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
-        let mut current = BTreeSet::new();
-        self.min_enum_first(&mut current, k, &mut out);
-        out.into_iter().next().unwrap_or_default()
+        let edge = self
+            .edges
+            .iter()
+            .min_by_key(|e| e.len())
+            .expect("edges are non-empty");
+        let vertices: Vec<Tid> = edge.iter().copied().collect();
+        let candidates = cqa_exec::par_filter_map(&vertices, |&v| {
+            let mut current: BTreeSet<Tid> = [v].into();
+            let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+            self.min_enum_first(&mut current, k, &mut out);
+            out.into_iter().next()
+        });
+        candidates
+            .into_iter()
+            .min()
+            .expect("some branch hits the chosen edge")
     }
 
     fn min_enum_first(
@@ -257,9 +384,55 @@ impl ConflictHypergraph {
     /// All **minimum** hitting sets (the C-repair deltas).
     pub fn minimum_hitting_sets(&self) -> Vec<BTreeSet<Tid>> {
         let k = self.minimum_hitting_set_size();
-        let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
-        let mut current = BTreeSet::new();
-        self.min_enum_rec(&mut current, k, &mut out);
+        if cqa_exec::threads() <= 1 || self.edges.len() < 2 {
+            let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+            let mut current = BTreeSet::new();
+            self.min_enum_rec(&mut current, k, &mut out);
+            return out.into_iter().collect();
+        }
+        // Parallel enumeration at fixed budget `k`; each branch explores a
+        // disjoint prefix, results merge into a set, so the output equals
+        // the sequential enumeration exactly.
+        let split = par_split_depth();
+        let found = cqa_exec::run_queue(
+            vec![BTreeSet::new()],
+            |current: BTreeSet<Tid>, spawn, results: &mut Vec<BTreeSet<Tid>>| {
+                if current.len() > k {
+                    return;
+                }
+                match self
+                    .edges
+                    .iter()
+                    .filter(|e| e.is_disjoint(&current))
+                    .min_by_key(|e| e.len())
+                {
+                    None => {
+                        if current.len() == k
+                            || (self.is_hitting_set(&current) && current.len() < k)
+                        {
+                            results.push(current);
+                        }
+                    }
+                    Some(_) if current.len() >= split => {
+                        let mut out = BTreeSet::new();
+                        let mut cur = current;
+                        self.min_enum_rec(&mut cur, k, &mut out);
+                        results.extend(out);
+                    }
+                    Some(edge) => {
+                        if current.len() == k {
+                            return; // budget exhausted but edges uncovered
+                        }
+                        for &v in edge {
+                            let mut child = current.clone();
+                            child.insert(v);
+                            spawn.push(child);
+                        }
+                    }
+                }
+            },
+        );
+        let out: BTreeSet<BTreeSet<Tid>> = found.into_iter().collect();
         out.into_iter().collect()
     }
 

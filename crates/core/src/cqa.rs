@@ -11,6 +11,12 @@
 //! repairs (tuple- and attribute-level, §4.2–4.3) get the intended "nulls
 //! don't join" behaviour. Certain answers containing a null are discarded —
 //! a null is not a certain value.
+//!
+//! Since the repair class can be exponentially large (§3.1), per-repair
+//! query evaluation is spread across the `cqa-exec` pool. Each repair is
+//! evaluated independently and the per-repair answer sets are folded in
+//! repair order (intersection and union are order-insensitive anyway), so
+//! results are byte-identical at every thread count.
 
 use crate::attr_repair::attribute_repairs;
 use crate::crepair::c_repairs;
@@ -92,20 +98,28 @@ pub fn consistent_answers(
 /// Certain answers over an explicit list of instances (used by the virtual
 /// data integration crate, whose "repairs" are virtual global instances).
 pub fn certain_over(instances: &[Database], query: &UnionQuery) -> BTreeSet<Tuple> {
-    let mut iter = instances.iter();
-    let Some(first) = iter.next() else {
+    let Some((first, rest)) = instances.split_first() else {
         return BTreeSet::new();
     };
     let mut acc: BTreeSet<Tuple> = eval_ucq(first, query, NullSemantics::Sql)
         .into_iter()
         .filter(|t| !t.has_null())
         .collect();
-    for inst in iter {
+    // Evaluate the remaining repairs in parallel chunks with a barrier
+    // between chunks, so the empty-intersection early exit still fires
+    // after at most one chunk of wasted work. Set intersection is
+    // commutative and associative, so chunking cannot change the result.
+    let chunk = cqa_exec::threads() * 8;
+    for (start, end) in cqa_exec::chunks_of(rest.len(), chunk) {
         if acc.is_empty() {
             break;
         }
-        let here = eval_ucq(inst, query, NullSemantics::Sql);
-        acc.retain(|t| here.contains(t));
+        let sets = cqa_exec::par_map(&rest[start..end], |inst| {
+            eval_ucq(inst, query, NullSemantics::Sql)
+        });
+        for here in &sets {
+            acc.retain(|t| here.contains(t));
+        }
     }
     acc
 }
@@ -118,13 +132,15 @@ pub fn possible_answers(
     class: &RepairClass,
 ) -> Result<BTreeSet<Tuple>, RelationError> {
     let repairs = repairs_of(db, sigma, class)?;
+    let sets = cqa_exec::par_map(&repairs, |inst| {
+        eval_ucq(inst, query, NullSemantics::Sql)
+            .into_iter()
+            .filter(|t| !t.has_null())
+            .collect::<BTreeSet<_>>()
+    });
     let mut out = BTreeSet::new();
-    for inst in &repairs {
-        out.extend(
-            eval_ucq(inst, query, NullSemantics::Sql)
-                .into_iter()
-                .filter(|t| !t.has_null()),
-        );
+    for here in sets {
+        out.extend(here);
     }
     Ok(out)
 }
@@ -137,9 +153,11 @@ pub fn certainly_true(
     class: &RepairClass,
 ) -> Result<bool, RelationError> {
     let repairs = repairs_of(db, sigma, class)?;
-    Ok(repairs
-        .iter()
-        .all(|inst| cqa_query::holds_ucq(inst, query, NullSemantics::Sql)))
+    // "True in every repair" = no repair falsifies it; `par_any` stops all
+    // workers as soon as one finds a counterexample.
+    Ok(!cqa_exec::par_any(&repairs, |inst| {
+        !cqa_query::holds_ucq(inst, query, NullSemantics::Sql)
+    }))
 }
 
 /// Range-semantics CQA for scalar aggregates \[5\]: the greatest lower bound
@@ -158,10 +176,12 @@ pub fn consistent_aggregate_range(
         "range semantics is for scalar aggregates"
     );
     let repairs = repairs_of(db, sigma, class)?;
+    let per_repair = cqa_exec::par_map(&repairs, |inst| {
+        eval_aggregate(inst, query, NullSemantics::Sql)
+    });
     let mut lo: Option<Value> = None;
     let mut hi: Option<Value> = None;
-    for inst in &repairs {
-        let r = eval_aggregate(inst, query, NullSemantics::Sql);
+    for r in per_repair {
         let Some((_, v)) = r.into_iter().next() else {
             match query.op {
                 cqa_query::AggOp::Count | cqa_query::AggOp::CountDistinct => {
@@ -197,9 +217,11 @@ pub fn consistent_aggregate_ranges(
     class: &RepairClass,
 ) -> Result<std::collections::BTreeMap<Tuple, (Value, Value)>, RelationError> {
     let repairs = repairs_of(db, sigma, class)?;
+    let per_repair = cqa_exec::par_map(&repairs, |inst| {
+        eval_aggregate(inst, query, NullSemantics::Sql)
+    });
     let mut acc: Option<std::collections::BTreeMap<Tuple, (Value, Value)>> = None;
-    for inst in &repairs {
-        let here = eval_aggregate(inst, query, NullSemantics::Sql);
+    for here in per_repair {
         acc = Some(match acc {
             None => here.into_iter().map(|(k, v)| (k, (v.clone(), v))).collect(),
             Some(mut ranges) => {
@@ -241,21 +263,23 @@ pub fn cqa_report(
     class: &RepairClass,
 ) -> Result<CqaReport, RelationError> {
     let repairs = repairs_of(db, sigma, class)?;
-    let mut possible = BTreeSet::new();
-    let mut certain: Option<BTreeSet<Tuple>> = None;
-    for inst in &repairs {
-        let here: BTreeSet<Tuple> = eval_ucq(inst, query, NullSemantics::Sql)
+    let sets = cqa_exec::par_map(&repairs, |inst| {
+        eval_ucq(inst, query, NullSemantics::Sql)
             .into_iter()
             .filter(|t| !t.has_null())
-            .collect();
-        possible.extend(here.iter().cloned());
+            .collect::<BTreeSet<_>>()
+    });
+    let mut possible = BTreeSet::new();
+    let mut certain: Option<BTreeSet<Tuple>> = None;
+    for here in sets {
         certain = Some(match certain {
-            None => here,
+            None => here.clone(),
             Some(mut acc) => {
                 acc.retain(|t| here.contains(t));
                 acc
             }
         });
+        possible.extend(here);
     }
     Ok(CqaReport {
         repair_count: repairs.len(),

@@ -14,10 +14,33 @@
 //!   head tuple), re-check, and finally keep the ⊆-minimal deltas. Inserted
 //!   existential positions take the plain SQL `NULL` (§4.2).
 
-use crate::repair::{retain_subset_minimal, Change, Repair};
+use crate::repair::{retain_subset_minimal, Repair};
 use cqa_constraints::ConstraintSet;
+use cqa_relation::fxhash::{FxHashSet, FxHasher};
 use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+/// 128-bit fingerprint of a delta's canonical form, used to deduplicate
+/// search states without materializing (or cloning) the `BTreeSet<Change>`
+/// the state would become. `deleted` is already canonical (a sorted set of
+/// tids); `inserted` is canonicalized by sort + dedup, which is exactly the
+/// normalization `Repair::from_delta` applies when building the delta set,
+/// so two states collide iff their deltas are equal (up to a ~2⁻¹²⁸ hash
+/// collision — two independently seeded 64-bit FxHashers).
+fn delta_fingerprint(deleted: &BTreeSet<Tid>, inserted: &[(String, Tuple)]) -> (u64, u64) {
+    let mut canonical: Vec<&(String, Tuple)> = inserted.iter().collect();
+    canonical.sort();
+    canonical.dedup();
+    let mut h1 = FxHasher::default();
+    let mut h2 = FxHasher::default();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15); // domain-separate the second hash
+    for h in [&mut h1, &mut h2] {
+        deleted.hash(h);
+        canonical.hash(h);
+    }
+    (h1.finish(), h2.finish())
+}
 
 /// Options for the general S-repair search.
 #[derive(Debug, Clone)]
@@ -137,7 +160,7 @@ fn general_s_repairs(
         sigma: &'a ConstraintSet,
         options: &'a RepairOptions,
         found: Vec<Repair>,
-        seen: BTreeSet<BTreeSet<Change>>,
+        seen: FxHashSet<(u64, u64)>,
         error: Option<RelationError>,
     }
 
@@ -155,6 +178,12 @@ fn general_s_repairs(
                 // limit before minimization (supersets get filtered).
                 return;
             }
+            // Dedup on the fingerprint *before* materializing the repair:
+            // the same delta is reachable along many branch orders, and a
+            // duplicate must not pay for the instance clone in `from_delta`.
+            if !self.seen.insert(delta_fingerprint(deleted, inserted)) {
+                return;
+            }
             let repair = match Repair::from_delta(self.original, deleted.clone(), inserted.clone())
             {
                 Ok(r) => r,
@@ -163,9 +192,6 @@ fn general_s_repairs(
                     return;
                 }
             };
-            if !self.seen.insert(repair.delta.clone()) {
-                return;
-            }
             // Prune: a superset of an already-consistent delta cannot be
             // ⊆-minimal.
             if self
@@ -267,7 +293,7 @@ fn general_s_repairs(
         sigma,
         options,
         found: Vec::new(),
-        seen: BTreeSet::new(),
+        seen: FxHashSet::default(),
         error: None,
     };
     search.step(&BTreeSet::new(), &Vec::new());

@@ -1,0 +1,48 @@
+//! Scoped fork-join execution for the CQA workspace.
+//!
+//! The expensive regimes of consistent query answering are embarrassingly
+//! parallel across *independent* units of work: repairs (certain answers
+//! quantify over all of them), branches of the hitting-set search tree,
+//! rules of an ASP program being grounded, and candidate causes whose
+//! responsibility is computed one reduced hypergraph at a time. This crate
+//! provides the one shared primitive those sites need — a std-only scoped
+//! thread pool — without pulling in an external runtime (the build is
+//! offline; no rayon).
+//!
+//! # Design
+//!
+//! * **Scoped, not pooled.** Workers are spawned per call with
+//!   [`std::thread::scope`], so borrowed inputs (`&[T]`) cross into workers
+//!   without `'static` bounds or `Arc` wrapping, and there is no global
+//!   runtime to configure, leak, or shut down.
+//! * **Deterministic by construction.** [`par_map`] and
+//!   [`par_filter_map`] return results in input order regardless of
+//!   completion order; [`run_queue`] makes no ordering promise, so callers
+//!   merge its results into order-insensitive structures (`BTreeSet`s).
+//!   Every call site in the workspace is byte-identical to its sequential
+//!   behaviour at any thread count — see `tests/parallel_determinism.rs`
+//!   at the workspace root.
+//! * **Sequential means sequential.** With an effective thread count of 1
+//!   the combinators run inline on the calling thread: no spawn, no
+//!   channel, the exact code path a single-threaded build would take.
+//! * **No nested oversubscription.** Worker threads record that they are
+//!   inside a pool; [`threads`] returns 1 on such threads, so a parallel
+//!   site reached from inside another parallel site (e.g. hitting-set
+//!   search inside per-candidate responsibility) degrades to sequential
+//!   instead of spawning `n²` threads.
+//!
+//! The effective thread count is resolved, in priority order, from the
+//! thread-local override ([`with_threads`]), the process-wide setting
+//! ([`set_threads`], fed by `repairctl --threads N`), the `CQA_THREADS`
+//! environment variable, and finally [`std::thread::available_parallelism`]
+//! capped at 8.
+
+#![forbid(unsafe_code)]
+
+mod config;
+mod pool;
+mod queue;
+
+pub use config::{set_threads, threads, with_threads, ExecConfig};
+pub use pool::{chunks_of, par_any, par_filter_map, par_for_each, par_map};
+pub use queue::run_queue;

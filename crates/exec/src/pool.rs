@@ -1,0 +1,248 @@
+//! Order-preserving fork-join combinators over slices.
+//!
+//! Work distribution is a single shared [`AtomicUsize`] cursor: each worker
+//! claims the next unprocessed index (or chunk) with `fetch_add`, so load
+//! balances automatically across items of uneven cost — exactly the shape
+//! of hitting-set branches and per-repair query evaluation. Each worker
+//! keeps `(index, result)` pairs locally; the caller concatenates, sorts by
+//! index once, and returns results in input order, making the output
+//! independent of scheduling.
+
+use crate::config::{threads, IN_POOL};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Claim granularity for the shared cursor. Items are claimed in blocks of
+/// this size to keep contention on the cursor negligible while still
+/// balancing uneven per-item cost.
+const CLAIM_BLOCK: usize = 4;
+
+fn run_workers<T: Sync, R: Send>(
+    items: &[T],
+    n_workers: usize,
+    f: &(impl Fn(usize, &T) -> R + Sync),
+    stop: Option<&AtomicBool>,
+) -> Vec<(usize, R)> {
+    let cursor = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, R)>| loop {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            return;
+        }
+        let start = cursor.fetch_add(CLAIM_BLOCK, Ordering::Relaxed);
+        if start >= items.len() {
+            return;
+        }
+        let end = (start + CLAIM_BLOCK).min(items.len());
+        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+            out.push((i, f(i, item)));
+            if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                return;
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_POOL.with(|c| c.set(true));
+                    let mut out = Vec::new();
+                    worker(&mut out);
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    })
+}
+
+/// Whether a call over `len` items should actually spawn. Returns the
+/// worker count to use, or `None` to run inline.
+fn plan(len: usize) -> Option<usize> {
+    let n = threads();
+    if n <= 1 || len <= 1 {
+        None
+    } else {
+        Some(n.min(len.div_ceil(CLAIM_BLOCK)).max(2).min(len))
+    }
+}
+
+/// Map `f` over `items`, in parallel when the effective thread count allows
+/// it. Results are returned in input order regardless of which worker
+/// produced them; with 1 thread this is exactly `items.iter().map(f)`.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    match plan(items.len()) {
+        None => items.iter().map(f).collect(),
+        Some(n) => {
+            let mut tagged = run_workers(items, n, &|_, t| f(t), None);
+            tagged.sort_unstable_by_key(|&(i, _)| i);
+            tagged.into_iter().map(|(_, r)| r).collect()
+        }
+    }
+}
+
+/// [`par_map`] that drops `None` results, preserving input order among the
+/// survivors.
+pub fn par_filter_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> Option<R> + Sync) -> Vec<R> {
+    match plan(items.len()) {
+        None => items.iter().filter_map(f).collect(),
+        Some(n) => {
+            let mut tagged = run_workers(items, n, &|_, t| f(t), None);
+            tagged.sort_unstable_by_key(|&(i, _)| i);
+            tagged.into_iter().filter_map(|(_, r)| r).collect()
+        }
+    }
+}
+
+/// Run `f` over every item for its side effects on worker-local state the
+/// caller owns; per-item results are discarded. `f` receives the item
+/// index, so callers needing output can write into pre-sized shared
+/// structures of their own (or just use [`par_map`]).
+pub fn par_for_each<T: Sync>(items: &[T], f: impl Fn(usize, &T) + Sync) {
+    match plan(items.len()) {
+        None => items.iter().enumerate().for_each(|(i, t)| f(i, t)),
+        Some(n) => {
+            run_workers(items, n, &|i, t| f(i, t), None);
+        }
+    }
+}
+
+/// Does `f` hold for any item? Short-circuits across workers via a shared
+/// flag: once one worker finds a witness the others stop claiming items.
+/// The boolean result is scheduling-independent even though the set of
+/// items inspected is not.
+pub fn par_any<T: Sync>(items: &[T], f: impl Fn(&T) -> bool + Sync) -> bool {
+    match plan(items.len()) {
+        None => items.iter().any(f),
+        Some(n) => {
+            let stop = AtomicBool::new(false);
+            let hits = run_workers(
+                items,
+                n,
+                &|_, t| {
+                    if f(t) {
+                        stop.store(true, Ordering::Relaxed);
+                        true
+                    } else {
+                        false
+                    }
+                },
+                Some(&stop),
+            );
+            hits.into_iter().any(|(_, hit)| hit)
+        }
+    }
+}
+
+/// Split `0..len` into contiguous chunks of at most `chunk` items,
+/// returned as `(start, end)` ranges. Used by call sites that need a
+/// barrier between chunks (e.g. certain-answer intersection, which wants
+/// to early-exit once the accumulator is empty).
+pub fn chunks_of(len: usize, chunk: usize) -> Vec<(usize, usize)> {
+    assert!(chunk > 0, "chunk size must be positive");
+    (0..len.div_ceil(chunk))
+        .map(|k| (k * chunk, ((k + 1) * chunk).min(len)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::with_threads;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for t in [1, 2, 3, 8] {
+            let got = with_threads(t, || par_map(&items, |&x| x * x));
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(got, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_filter_map_preserves_order() {
+        let items: Vec<i32> = (0..100).collect();
+        for t in [1, 2, 8] {
+            let got = with_threads(t, || {
+                par_filter_map(&items, |&x| (x % 3 == 0).then_some(x * 2))
+            });
+            let want: Vec<i32> = items
+                .iter()
+                .filter_map(|&x| (x % 3 == 0).then_some(x * 2))
+                .collect();
+            assert_eq!(got, want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<i32> = vec![];
+        assert!(with_threads(8, || par_map(&empty, |&x| x)).is_empty());
+        assert_eq!(with_threads(8, || par_map(&[42], |&x| x + 1)), vec![43]);
+    }
+
+    #[test]
+    fn par_any_finds_witness() {
+        let items: Vec<u32> = (0..1000).collect();
+        for t in [1, 2, 8] {
+            assert!(with_threads(t, || par_any(&items, |&x| x == 999)));
+            assert!(!with_threads(t, || par_any(&items, |&x| x > 5000)));
+        }
+    }
+
+    #[test]
+    fn par_for_each_visits_every_item() {
+        use std::sync::atomic::AtomicU64;
+        let items: Vec<u64> = (1..=100).collect();
+        for t in [1, 2, 8] {
+            let sum = AtomicU64::new(0);
+            with_threads(t, || {
+                par_for_each(&items, |_, &x| {
+                    sum.fetch_add(x, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 5050, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_degrades_to_inline() {
+        let outer: Vec<u32> = (0..8).collect();
+        let got = with_threads(4, || {
+            par_map(&outer, |&x| {
+                // On a worker thread the effective count must be 1, so the
+                // inner call runs inline instead of spawning again.
+                assert_eq!(threads(), 1);
+                let inner: Vec<u32> = (0..10).collect();
+                par_map(&inner, |&y| y).into_iter().sum::<u32>() + x
+            })
+        });
+        let want: Vec<u32> = (0..8).map(|x| 45 + x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |&x| if x == 33 { panic!("x") } else { x })
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn chunks_cover_range() {
+        assert_eq!(chunks_of(0, 4), vec![]);
+        assert_eq!(chunks_of(3, 4), vec![(0, 3)]);
+        assert_eq!(chunks_of(8, 4), vec![(0, 4), (4, 8)]);
+        assert_eq!(chunks_of(9, 4), vec![(0, 4), (4, 8), (8, 9)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! A work queue for recursive branch splitting.
+//!
+//! Hitting-set enumeration explores a search tree whose shape is only
+//! discovered while exploring it, so a static `par_map` over the root's
+//! children load-balances poorly (one child may hold almost the whole
+//! tree). [`run_queue`] instead lets each worker push newly discovered
+//! branches back onto a shared queue, where any idle worker picks them up.
+//!
+//! Completion is detected with an *active counter*: a task is counted from
+//! the moment it is popped until its subtasks (if any) have been pushed, so
+//! "queue empty ∧ nothing active" is a stable termination condition.
+//!
+//! No ordering is promised for the returned results — callers must fold
+//! them into order-insensitive structures (`BTreeSet`, min, sum…) to keep
+//! output deterministic.
+
+use crate::config::{threads, IN_POOL};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Shared<T> {
+    queue: VecDeque<T>,
+    active: usize,
+    panicked: bool,
+}
+
+/// Process `seeds` and every subtask transitively spawned from them.
+///
+/// For each task, `worker(task, &mut subtasks, &mut results)` runs exactly
+/// once; tasks it appends to `subtasks` are fed back into the queue. With
+/// an effective thread count of 1 this is a plain loop over a local queue
+/// (FIFO, seeds first) on the calling thread.
+pub fn run_queue<T: Send, R: Send>(
+    seeds: Vec<T>,
+    worker: impl Fn(T, &mut Vec<T>, &mut Vec<R>) + Sync,
+) -> Vec<R> {
+    let n = threads();
+    if n <= 1 || seeds.len() <= 1 {
+        // A single seed still fans out through subtasks, but going parallel
+        // only pays once there is real breadth; the call sites pre-split
+        // the root into one seed per branch.
+        if n <= 1 || seeds.is_empty() {
+            let mut queue: VecDeque<T> = seeds.into();
+            let mut results = Vec::new();
+            let mut spawn = Vec::new();
+            while let Some(task) = queue.pop_front() {
+                worker(task, &mut spawn, &mut results);
+                queue.extend(spawn.drain(..));
+            }
+            return results;
+        }
+    }
+
+    let shared = Mutex::new(Shared {
+        queue: seeds.into(),
+        active: 0,
+        panicked: false,
+    });
+    let ready = Condvar::new();
+
+    let run_one = || {
+        let mut results = Vec::new();
+        let mut spawn = Vec::new();
+        let mut guard = shared.lock().expect("queue poisoned");
+        loop {
+            if guard.panicked {
+                return results;
+            }
+            if let Some(task) = guard.queue.pop_front() {
+                guard.active += 1;
+                drop(guard);
+                worker(task, &mut spawn, &mut results);
+                guard = shared.lock().expect("queue poisoned");
+                guard.active -= 1;
+                if !spawn.is_empty() {
+                    guard.queue.extend(spawn.drain(..));
+                    ready.notify_all();
+                } else if guard.active == 0 && guard.queue.is_empty() {
+                    ready.notify_all();
+                }
+            } else if guard.active == 0 {
+                return results;
+            } else {
+                guard = ready.wait(guard).expect("queue poisoned");
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_POOL.with(|c| c.set(true));
+                    // Make sure a worker panic wakes the others up instead
+                    // of leaving them waiting on the condvar forever.
+                    struct Alarm<'a, T> {
+                        shared: &'a Mutex<Shared<T>>,
+                        ready: &'a Condvar,
+                        armed: bool,
+                    }
+                    impl<T> Drop for Alarm<'_, T> {
+                        fn drop(&mut self) {
+                            if self.armed {
+                                if let Ok(mut g) = self.shared.lock() {
+                                    g.panicked = true;
+                                }
+                                self.ready.notify_all();
+                            }
+                        }
+                    }
+                    let mut alarm = Alarm {
+                        shared: &shared,
+                        ready: &ready,
+                        armed: true,
+                    };
+                    let out = run_one();
+                    alarm.armed = false;
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut panic_payload = None;
+        for h in handles {
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        all
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::with_threads;
+    use std::collections::BTreeSet;
+
+    /// Count nodes of a binary tree of the given depth by splitting.
+    fn tree_count(threads_n: usize, depth: u32) -> usize {
+        with_threads(threads_n, || {
+            run_queue(vec![depth], |d, spawn, results| {
+                results.push(1usize);
+                if d > 0 {
+                    spawn.push(d - 1);
+                    spawn.push(d - 1);
+                }
+            })
+        })
+        .len()
+    }
+
+    #[test]
+    fn counts_tree_nodes_at_any_thread_count() {
+        for t in [1, 2, 8] {
+            assert_eq!(tree_count(t, 10), 2usize.pow(11) - 1, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn results_match_sequential_as_a_set() {
+        let collect = |t| -> BTreeSet<u32> {
+            with_threads(t, || {
+                run_queue(vec![0u32, 1, 2, 3], |x, spawn, results| {
+                    results.push(x);
+                    if x < 40 {
+                        spawn.push(x + 4);
+                    }
+                })
+            })
+            .into_iter()
+            .collect()
+        };
+        let seq = collect(1);
+        assert_eq!(seq.len(), 44);
+        for t in [2, 8] {
+            assert_eq!(collect(t), seq, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_seeds_yield_nothing() {
+        let out: Vec<u8> = with_threads(8, || run_queue(Vec::<u8>::new(), |_, _, r| r.push(1)));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_hanging() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                run_queue(
+                    vec![0u32, 1, 2, 3, 4, 5, 6, 7],
+                    |x, spawn, results: &mut Vec<u32>| {
+                        if x == 5 {
+                            panic!("branch failure");
+                        }
+                        if x < 100 {
+                            spawn.push(x + 8);
+                        }
+                        results.push(x);
+                    },
+                )
+            })
+        });
+        assert!(r.is_err());
+    }
+}
