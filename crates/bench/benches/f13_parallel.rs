@@ -23,7 +23,7 @@ fn bench_cqa(c: &mut Criterion) {
         let instances: Vec<Database> = cqa_core::s_repairs(&db, &sigma)
             .unwrap()
             .into_iter()
-            .map(|r| r.db)
+            .map(|r| r.into_db())
             .collect();
         let q = UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap());
         for threads in [1usize, 4] {

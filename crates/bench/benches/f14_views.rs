@@ -1,0 +1,116 @@
+//! F14: zero-clone repair views vs materialized repair instances, on the
+//! enumeration-based CQA hot path. The materialized side clones the base
+//! instance once per repair (`Repair::into_db`); the view side folds the
+//! query over [`cqa_relation::DeltaView`]s that share the base and its
+//! one-column index cache. Both sides compute byte-identical answers —
+//! asserted before each measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqa_bench::key_conflict_instance;
+use cqa_query::{parse_query, UnionQuery};
+use cqa_relation::{Database, DeltaView};
+
+fn query() -> UnionQuery {
+    UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap())
+}
+
+/// Enumerate S-repairs and fold certain answers over materialized instances
+/// (one `with_changes` clone per repair).
+fn cqa_materialized(db: &Database, sigma: &cqa_constraints::ConstraintSet, q: &UnionQuery) {
+    let instances: Vec<Database> = cqa_core::s_repairs(db, sigma)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.into_db())
+        .collect();
+    cqa_core::certain_over(&instances, q);
+}
+
+/// Enumerate S-repairs lazily and fold certain answers over zero-clone
+/// delta views of the shared base.
+fn cqa_views(db: &Database, sigma: &cqa_constraints::ConstraintSet, q: &UnionQuery) {
+    let repairs = cqa_core::s_repairs(db, sigma).unwrap();
+    let views: Vec<DeltaView<'_>> = repairs.iter().map(|r| r.view()).collect();
+    cqa_core::certain_over(&views, q);
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f14_views_enumeration");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // Repair enumeration alone: lazy deltas vs one instance clone per repair.
+    for k in [8usize, 10] {
+        let (db, sigma) = key_conflict_instance(300, k, 2, 1);
+        group.bench_with_input(BenchmarkId::new("materialized", k), &k, |b, _| {
+            b.iter(|| {
+                let instances: Vec<Database> = cqa_core::s_repairs(&db, &sigma)
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| r.into_db())
+                    .collect();
+                instances.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("views", k), &k, |b, _| {
+            b.iter(|| cqa_core::s_repairs(&db, &sigma).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cqa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f14_views_cqa");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let q = query();
+    for k in [8usize, 10] {
+        let (db, sigma) = key_conflict_instance(300, k, 2, 1);
+        // Both sides must agree byte-for-byte before we time them.
+        let repairs = cqa_core::s_repairs(&db, &sigma).unwrap();
+        let views: Vec<DeltaView<'_>> = repairs.iter().map(|r| r.view()).collect();
+        let via_views = cqa_core::certain_over(&views, &q);
+        let instances: Vec<Database> = repairs.into_iter().map(|r| r.into_db()).collect();
+        assert_eq!(via_views, cqa_core::certain_over(&instances, &q));
+        drop(instances);
+
+        group.bench_with_input(BenchmarkId::new("materialized", k), &k, |b, _| {
+            b.iter(|| cqa_materialized(&db, &sigma, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("views", k), &k, |b, _| {
+            b.iter(|| cqa_views(&db, &sigma, &q))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f14_index_cache");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // Join probes through the shared base index cache: the first view builds
+    // the one-column index, every later view (and every repetition) reuses it.
+    let (db, sigma) = key_conflict_instance(300, 10, 2, 1);
+    let q = UnionQuery::single(parse_query("Q(k) :- T(k, v), S(v)").unwrap());
+    let mut with_s = db.clone();
+    with_s
+        .create_relation(cqa_relation::RelationSchema::new("S", ["V"]))
+        .unwrap();
+    for v in 0..2 {
+        with_s.insert("S", cqa_relation::tuple![v as i64]).unwrap();
+    }
+    group.bench_with_input(
+        BenchmarkId::new("join_cqa_views", "300x10"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let repairs = cqa_core::s_repairs(&with_s, &sigma).unwrap();
+                let views: Vec<DeltaView<'_>> = repairs.iter().map(|r| r.view()).collect();
+                cqa_core::certain_over(&views, &q)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_cqa, bench_index_cache);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ use cqa_bench::{dc_instance, key_conflict_instance, star_instance, timed, univer
 use cqa_constraints::{ConstraintSet, DenialConstraint, FunctionalDependency, KeyConstraint};
 use cqa_core::RepairClass;
 use cqa_query::{parse_program, parse_query, AggOp, AggregateQuery, NullSemantics, UnionQuery};
-use cqa_relation::{tuple, Database, RelationSchema};
+use cqa_relation::{tuple, Database, Facts, RelationSchema};
 
 fn main() {
     // `--threads N` configures the cqa-exec pool (1 = sequential); all
@@ -74,6 +74,9 @@ fn main() {
     }
     if want("F13") {
         f13_parallel_speedup();
+    }
+    if want("F14") {
+        f14_views();
     }
 }
 
@@ -654,7 +657,7 @@ fn f13_parallel_speedup() {
     let instances: Vec<cqa_relation::Database> = cqa_core::s_repairs(&db, &sigma)
         .unwrap()
         .into_iter()
-        .map(|r| r.db)
+        .map(|r| r.into_db())
         .collect();
     let q = UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap());
     let (seq, t_seq) = timed(|| with_threads(1, || cqa_core::certain_over(&instances, &q)));
@@ -687,6 +690,82 @@ fn f13_parallel_speedup() {
             t_seq / t_par
         );
     }
+}
+
+fn f14_views() {
+    println!("F14: zero-clone repair views vs materialized enumeration");
+    println!("---------------------------------------------------------");
+    println!("  workload                          | materialized (ms) | views (ms) | speedup | view = materialized");
+
+    fn row(label: &str, t_mat: f64, t_view: f64, equal: bool) {
+        println!(
+            "  {label:<33} | {:>17.2} | {:>10.2} | {:>6.2}x | {equal}",
+            t_mat * 1e3,
+            t_view * 1e3,
+            t_mat / t_view
+        );
+    }
+
+    // F1-shaped: enumerate 2^12 repairs of a 300-clean-tuple instance. The
+    // seed materialized every repair inside `from_delta`; the view path
+    // returns lazy deltas over one shared base.
+    let (db, sigma) = key_conflict_instance(300, 12, 2, 1);
+    let (mat, t_mat) = timed(|| {
+        cqa_core::s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.into_db())
+            .collect::<Vec<Database>>()
+    });
+    let (lazy, t_view) = timed(|| cqa_core::s_repairs(&db, &sigma).unwrap());
+    let equal = mat.len() == lazy.len()
+        && mat
+            .iter()
+            .zip(&lazy)
+            .all(|(m, r)| r.view().snapshot().same_content(m));
+    row("F1 enumerate, 12 conf, 300 clean", t_mat, t_view, equal);
+
+    // F2-shaped: certain answers over the same class — per-repair joins
+    // probe the base's shared column indexes through the views.
+    let q = UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap());
+    let (ans_mat, t_mat) = timed(|| {
+        let dbs: Vec<Database> = cqa_core::s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.into_db())
+            .collect();
+        cqa_core::certain_over(&dbs, &q)
+    });
+    let (ans_view, t_view) =
+        timed(|| cqa_core::consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap());
+    row(
+        "F2 CQA, 12 conf, 300 clean",
+        t_mat,
+        t_view,
+        ans_mat == ans_view,
+    );
+
+    // F3-shaped: denial-constraint instance; CQA over the hitting-set
+    // repairs of a dense conflict hypergraph.
+    let (db, sigma) = dc_instance(40, 16, 10, 3);
+    let q = UnionQuery::single(parse_query("Q(x, y) :- R(x, y), S(y)").unwrap());
+    let (ans_mat, t_mat) = timed(|| {
+        let dbs: Vec<Database> = cqa_core::s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.into_db())
+            .collect();
+        cqa_core::certain_over(&dbs, &q)
+    });
+    let (ans_view, t_view) =
+        timed(|| cqa_core::consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap());
+    row(
+        "F3 DC CQA, 40x16 dom 10",
+        t_mat,
+        t_view,
+        ans_mat == ans_view,
+    );
+    println!();
 }
 
 fn f11_conp_query() {

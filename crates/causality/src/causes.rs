@@ -18,7 +18,7 @@
 
 use cqa_constraints::ConflictHypergraph;
 use cqa_query::{witnesses, NullSemantics, UnionQuery};
-use cqa_relation::{Database, Tid};
+use cqa_relation::{Database, DeltaView, Facts, Tid};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -57,14 +57,14 @@ impl fmt::Display for Cause {
 
 /// The support hyper-graph of a Boolean UCQ: one edge per witness (matched
 /// tid-set), superset edges dropped.
-pub fn support_hypergraph(db: &Database, query: &UnionQuery) -> ConflictHypergraph {
+pub fn support_hypergraph<F: Facts + ?Sized>(facts: &F, query: &UnionQuery) -> ConflictHypergraph {
     let mut edges: Vec<BTreeSet<Tid>> = Vec::new();
     for cq in &query.disjuncts {
-        for w in witnesses(db, cq, NullSemantics::Structural) {
+        for w in witnesses(facts, cq, NullSemantics::Structural) {
             edges.push(w.tids.into_iter().collect());
         }
     }
-    ConflictHypergraph::new(db.tids(), edges)
+    ConflictHypergraph::new(facts.visible_tids(), edges)
 }
 
 /// All actual causes of a Boolean UCQ being true in `db`, with
@@ -89,8 +89,8 @@ pub fn support_hypergraph(db: &Database, query: &UnionQuery) -> ConflictHypergra
 /// assert!(causes.iter().all(|c| c.responsibility == 0.5));
 /// # Ok::<(), cqa_relation::RelationError>(())
 /// ```
-pub fn actual_causes(db: &Database, query: &UnionQuery) -> Vec<Cause> {
-    let graph = support_hypergraph(db, query);
+pub fn actual_causes<F: Facts + ?Sized>(facts: &F, query: &UnionQuery) -> Vec<Cause> {
+    let graph = support_hypergraph(facts, query);
     if graph.edges.is_empty() {
         return Vec::new(); // Q false: no causes
     }
@@ -121,8 +121,12 @@ pub fn actual_causes(db: &Database, query: &UnionQuery) -> Vec<Cause> {
 
 /// The responsibility of `tid` (0.0 when it is not an actual cause), with a
 /// witnessing minimum contingency set.
-pub fn responsibility(db: &Database, query: &UnionQuery, tid: Tid) -> (f64, BTreeSet<Tid>) {
-    let graph = support_hypergraph(db, query);
+pub fn responsibility<F: Facts + ?Sized>(
+    facts: &F,
+    query: &UnionQuery,
+    tid: Tid,
+) -> (f64, BTreeSet<Tid>) {
+    let graph = support_hypergraph(facts, query);
     if graph.edges.is_empty() || !graph.edges.iter().any(|e| e.contains(&tid)) {
         return (0.0, BTreeSet::new());
     }
@@ -177,8 +181,8 @@ fn responsibility_in_graph(graph: &ConflictHypergraph, tid: Tid) -> (f64, BTreeS
 /// The most responsible actual causes (MRACs): causes of maximum
 /// responsibility. Via the C-repair connection, these are the tuples of the
 /// minimum hitting sets of the support hyper-graph.
-pub fn most_responsible_causes(db: &Database, query: &UnionQuery) -> Vec<Cause> {
-    let causes = actual_causes(db, query);
+pub fn most_responsible_causes<F: Facts + ?Sized>(facts: &F, query: &UnionQuery) -> Vec<Cause> {
+    let causes = actual_causes(facts, query);
     let Some(max) = causes
         .iter()
         .map(|c| c.responsibility)
@@ -200,7 +204,7 @@ pub fn most_responsible_causes(db: &Database, query: &UnionQuery) -> Vec<Cause> 
 /// `max_contingency` bounds `|Γ|`; `None` searches up to `|D| − 1`.
 pub fn actual_causes_monotone(
     db: &Database,
-    holds: &dyn Fn(&Database) -> bool,
+    holds: &dyn Fn(&dyn Facts) -> bool,
     max_contingency: Option<usize>,
 ) -> Vec<Cause> {
     if !holds(db) {
@@ -231,14 +235,9 @@ pub fn actual_causes_monotone(
         false
     }
 
-    let without = |excluded: &BTreeSet<Tid>| -> Database {
-        let keep: BTreeSet<Tid> = tids
-            .iter()
-            .copied()
-            .filter(|t| !excluded.contains(t))
-            .collect();
-        db.restricted_to(&keep)
-    };
+    // Probe `D ∖ Γ` through a zero-clone deletion view over `db`; the
+    // exponentially many probes never materialize an instance.
+    let without = |excluded: &BTreeSet<Tid>| -> bool { holds(&DeltaView::new(db, excluded, &[])) };
 
     let mut out = Vec::new();
     for &tid in &tids {
@@ -248,12 +247,12 @@ pub fn actual_causes_monotone(
             let mut found: Option<BTreeSet<Tid>> = None;
             combos(&others, k, 0, &mut cur, &mut |gamma_slice| {
                 let gamma: BTreeSet<Tid> = gamma_slice.iter().copied().collect();
-                if !holds(&without(&gamma)) {
+                if !without(&gamma) {
                     return false; // (b) fails: Q must survive D ∖ Γ
                 }
                 let mut with_tid = gamma.clone();
                 with_tid.insert(tid);
-                if holds(&without(&with_tid)) {
+                if without(&with_tid) {
                     return false; // (d) fails: removing τ must kill Q
                 }
                 found = Some(gamma);
@@ -375,7 +374,7 @@ mod tests {
         let query = q();
         let generic = actual_causes_monotone(
             &db,
-            &|d| cqa_query::holds_ucq(d, &query, NullSemantics::Structural),
+            &|d: &dyn Facts| cqa_query::holds_ucq(d, &query, NullSemantics::Structural),
             None,
         );
         let fast = actual_causes(&db, &query);
@@ -404,8 +403,9 @@ mod tests {
             cqa_query::parse_program("Path(x, y) :- E(x, y).\nPath(x, z) :- E(x, y), Path(y, z).")
                 .unwrap();
         let goal = parse_query("Q() :- Path(1, 3)").unwrap();
-        let holds = |d: &Database| {
-            let out = program.evaluate(d).unwrap();
+        let holds = |d: &dyn Facts| {
+            // Datalog evaluation wants an owned instance: snapshot the view.
+            let out = program.evaluate(&d.snapshot()).unwrap();
             cqa_query::holds(&out, &goal, NullSemantics::Structural)
         };
         let causes = actual_causes_monotone(&db, &holds, None);

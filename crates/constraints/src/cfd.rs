@@ -9,7 +9,7 @@
 
 use crate::denial::DenialConstraint;
 use cqa_query::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, VarTable};
-use cqa_relation::{Database, RelationError, RelationSchema, Tid, Value};
+use cqa_relation::{Facts, RelationError, RelationSchema, Tid, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -167,17 +167,31 @@ impl ConditionalFd {
     }
 
     /// Is the CFD satisfied?
-    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
-        let schema = db.require_relation(&self.relation)?.schema().clone();
-        Ok(self.to_denials(&schema)?.iter().all(|d| d.is_satisfied(db)))
+    pub fn is_satisfied<F: Facts + ?Sized>(&self, facts: &F) -> Result<bool, RelationError> {
+        let schema = facts
+            .base()
+            .require_relation(&self.relation)?
+            .schema()
+            .clone();
+        Ok(self
+            .to_denials(&schema)?
+            .iter()
+            .all(|d| d.is_satisfied(facts)))
     }
 
     /// Violation sets (singletons or pairs of tids).
-    pub fn violations(&self, db: &Database) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
-        let schema = db.require_relation(&self.relation)?.schema().clone();
+    pub fn violations<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+    ) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
+        let schema = facts
+            .base()
+            .require_relation(&self.relation)?
+            .schema()
+            .clone();
         let mut out = BTreeSet::new();
         for d in self.to_denials(&schema)? {
-            out.extend(d.violations(db));
+            out.extend(d.violations(facts));
         }
         Ok(out)
     }

@@ -5,7 +5,7 @@ use crate::denial::DenialConstraint;
 use crate::fd::{FunctionalDependency, KeyConstraint};
 use crate::hypergraph::ConflictHypergraph;
 use crate::ind::{Tgd, TgdViolation};
-use cqa_relation::{Database, RelationError, Tid};
+use cqa_relation::{Database, Facts, RelationError, Tid};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -55,14 +55,14 @@ impl Constraint {
         }
     }
 
-    /// Is the constraint satisfied by `db`?
-    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
+    /// Is the constraint satisfied by the visible facts?
+    pub fn is_satisfied<F: Facts + ?Sized>(&self, facts: &F) -> Result<bool, RelationError> {
         match self {
-            Constraint::Denial(d) => Ok(d.is_satisfied(db)),
-            Constraint::Fd(fd) => fd.is_satisfied(db),
-            Constraint::Key(kc) => kc.is_satisfied(db),
-            Constraint::Cfd(cfd) => cfd.is_satisfied(db),
-            Constraint::Tgd(t) => Ok(t.is_satisfied(db)),
+            Constraint::Denial(d) => Ok(d.is_satisfied(facts)),
+            Constraint::Fd(fd) => fd.is_satisfied(facts),
+            Constraint::Key(kc) => kc.is_satisfied(facts),
+            Constraint::Cfd(cfd) => cfd.is_satisfied(facts),
+            Constraint::Tgd(t) => Ok(t.is_satisfied(facts)),
         }
     }
 }
@@ -134,9 +134,9 @@ impl ConstraintSet {
     }
 
     /// Do all constraints hold (`D ⊨ Σ`)?
-    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
+    pub fn is_satisfied<F: Facts + ?Sized>(&self, facts: &F) -> Result<bool, RelationError> {
         for c in &self.constraints {
-            if !c.is_satisfied(db)? {
+            if !c.is_satisfied(facts)? {
                 return Ok(false);
             }
         }
@@ -167,36 +167,42 @@ impl ConstraintSet {
         Ok(out)
     }
 
-    /// All denial-class violation sets of `db` against Σ.
-    pub fn denial_violations(
+    /// All denial-class violation sets of the visible facts against Σ.
+    ///
+    /// Denial compilation only needs schemas, which live on the base, so the
+    /// check itself runs on the (possibly virtual) view.
+    pub fn denial_violations<F: Facts + ?Sized>(
         &self,
-        db: &Database,
+        facts: &F,
     ) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
         let mut out = BTreeSet::new();
-        for d in self.all_denials(db)? {
-            out.extend(d.violations(db));
+        for d in self.all_denials(facts.base())? {
+            out.extend(d.violations(facts));
         }
         Ok(out)
     }
 
-    /// All tgd violations of `db` against Σ.
-    pub fn tgd_violations(&self, db: &Database) -> Vec<TgdViolation> {
-        self.tgds().flat_map(|t| t.violations(db)).collect()
+    /// All tgd violations of the visible facts against Σ.
+    pub fn tgd_violations<F: Facts + ?Sized>(&self, facts: &F) -> Vec<TgdViolation> {
+        self.tgds().flat_map(|t| t.violations(facts)).collect()
     }
 
     /// Build the conflict hyper-graph (§4.1) for the denial-class part of Σ.
     ///
     /// Errors if Σ contains a tgd: tgd inconsistencies are not representable
     /// as coexistence conflicts (they may require insertions).
-    pub fn conflict_hypergraph(&self, db: &Database) -> Result<ConflictHypergraph, RelationError> {
+    pub fn conflict_hypergraph<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+    ) -> Result<ConflictHypergraph, RelationError> {
         if !self.is_denial_class() {
             return Err(RelationError::Parse(
                 "conflict hypergraphs require denial-class constraints only (no tgds)".into(),
             ));
         }
         Ok(ConflictHypergraph::new(
-            db.tids(),
-            self.denial_violations(db)?,
+            facts.visible_tids(),
+            self.denial_violations(facts)?,
         ))
     }
 }

@@ -10,7 +10,7 @@ use cqa_query::{
     parse_query, Atom, Comparison, ConjunctiveQuery, NullSemantics, Var, VarTable,
 };
 use cqa_relation::fxhash::FxHashMap;
-use cqa_relation::{Database, RelationError, Tid, Value};
+use cqa_relation::{Facts, RelationError, Tid, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -77,12 +77,13 @@ impl DenialConstraint {
         &self.body.vars
     }
 
-    /// Is the constraint satisfied by `db`?
+    /// Is the constraint satisfied by the visible facts?
     ///
     /// Evaluated under SQL null semantics: a null never satisfies a join or a
     /// comparison, so null-based repairs (§4.3) really do restore consistency.
-    pub fn is_satisfied(&self, db: &Database) -> bool {
-        !cqa_query::holds(db, &self.body, NullSemantics::Sql)
+    /// Generic over [`Facts`], so repair views check without materializing.
+    pub fn is_satisfied<F: Facts + ?Sized>(&self, facts: &F) -> bool {
+        !cqa_query::holds(facts, &self.body, NullSemantics::Sql)
     }
 
     /// All violation sets: for every witness of the body, the set of matched
@@ -96,12 +97,12 @@ impl DenialConstraint {
     /// the second atom's relation, then probe it once per tuple of the
     /// first. Nulls never join under SQL semantics, so null keys are left
     /// out of the index and skipped at probe time.
-    pub fn violations(&self, db: &Database) -> BTreeSet<BTreeSet<Tid>> {
-        if let Some(out) = self.violations_hash_join(db) {
+    pub fn violations<F: Facts + ?Sized>(&self, facts: &F) -> BTreeSet<BTreeSet<Tid>> {
+        if let Some(out) = self.violations_hash_join(facts) {
             return out;
         }
         let mut out = BTreeSet::new();
-        for_each_witness(db, &self.body, NullSemantics::Sql, &mut |w| {
+        for_each_witness(facts, &self.body, NullSemantics::Sql, &mut |w| {
             out.insert(w.tids.iter().copied().collect());
             true
         });
@@ -110,7 +111,10 @@ impl DenialConstraint {
 
     /// The hash-join fast path. `None` when the body doesn't have the
     /// two-atom equi-join shape.
-    fn violations_hash_join(&self, db: &Database) -> Option<BTreeSet<BTreeSet<Tid>>> {
+    fn violations_hash_join<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+    ) -> Option<BTreeSet<BTreeSet<Tid>>> {
         let [a0, a1] = self.body.atoms.as_slice() else {
             return None;
         };
@@ -136,17 +140,14 @@ impl DenialConstraint {
         let mode = NullSemantics::Sql;
         let n_vars = self.body.vars.len();
         let mut out = BTreeSet::new();
-        let (Some(rel0), Some(rel1)) = (db.relation(&a0.relation), db.relation(&a1.relation))
-        else {
-            return Some(out); // a missing relation has no tuples to violate
-        };
 
-        // Build: index rel1 on the join columns, pre-filtered to tuples that
-        // locally match a1's constants and repeated variables.
+        // Build: index the second atom's visible tuples on the join columns,
+        // pre-filtered to tuples that locally match a1's constants and
+        // repeated variables.
         let mut index: FxHashMap<Vec<Value>, Vec<(Tid, &cqa_relation::Tuple)>> =
             FxHashMap::default();
         let mut scratch = Bindings::new(n_vars);
-        'build: for (tid1, t1) in rel1.iter() {
+        'build: for (tid1, t1) in facts.facts_in(&a1.relation) {
             let mut key = Vec::with_capacity(key_pos1.len());
             for &p in &key_pos1 {
                 let v = t1.at(p);
@@ -163,8 +164,9 @@ impl DenialConstraint {
             }
         }
 
-        // Probe: per tuple of rel0, bind a0 and look up the join key.
-        'probe: for (tid0, t0) in rel0.iter() {
+        // Probe: per visible tuple of the first atom, bind a0 and look up
+        // the join key.
+        'probe: for (tid0, t0) in facts.facts_in(&a0.relation) {
             let mut bindings = Bindings::new(n_vars);
             if match_atom(a0, t0, &mut bindings, mode).is_none() {
                 continue;

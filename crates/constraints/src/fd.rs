@@ -9,7 +9,7 @@
 
 use crate::denial::DenialConstraint;
 use cqa_query::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, VarTable};
-use cqa_relation::{Database, RelationError, RelationSchema, Tid};
+use cqa_relation::{Database, Facts, RelationError, RelationSchema, Tid};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -83,11 +83,15 @@ impl FunctionalDependency {
         Ok(out)
     }
 
-    /// Is the FD satisfied by `db`?
-    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
-        let schema = db.require_relation(&self.relation)?.schema().clone();
+    /// Is the FD satisfied by the visible facts?
+    pub fn is_satisfied<F: Facts + ?Sized>(&self, facts: &F) -> Result<bool, RelationError> {
+        let schema = facts
+            .base()
+            .require_relation(&self.relation)?
+            .schema()
+            .clone();
         for d in self.to_denials(&schema)? {
-            if !d.is_satisfied(db) {
+            if !d.is_satisfied(facts) {
                 return Ok(false);
             }
         }
@@ -95,11 +99,18 @@ impl FunctionalDependency {
     }
 
     /// All violating tuple pairs (as two-element tid sets).
-    pub fn violations(&self, db: &Database) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
-        let schema = db.require_relation(&self.relation)?.schema().clone();
+    pub fn violations<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+    ) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
+        let schema = facts
+            .base()
+            .require_relation(&self.relation)?
+            .schema()
+            .clone();
         let mut out = BTreeSet::new();
         for d in self.to_denials(&schema)? {
-            out.extend(d.violations(db));
+            out.extend(d.violations(facts));
         }
         Ok(out)
     }
@@ -162,9 +173,13 @@ impl KeyConstraint {
     }
 
     /// Is the key satisfied?
-    pub fn is_satisfied(&self, db: &Database) -> Result<bool, RelationError> {
-        let schema = db.require_relation(&self.relation)?.schema().clone();
-        self.to_fd(&schema).is_satisfied(db)
+    pub fn is_satisfied<F: Facts + ?Sized>(&self, facts: &F) -> Result<bool, RelationError> {
+        let schema = facts
+            .base()
+            .require_relation(&self.relation)?
+            .schema()
+            .clone();
+        self.to_fd(&schema).is_satisfied(facts)
     }
 
     /// Groups of tuples sharing a key value, for groups of size ≥ 2

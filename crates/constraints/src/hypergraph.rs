@@ -99,10 +99,15 @@ impl ConflictHypergraph {
 
     /// Enumerate **all minimal hitting sets**, deterministically.
     ///
-    /// Classic branching: pick the smallest uncovered edge, branch on each of
-    /// its vertices. The raw enumeration can emit non-minimal sets (a vertex
-    /// chosen early may be made redundant by later choices), so results are
-    /// filtered by [`Self::is_minimal_hitting_set`] and deduplicated. With
+    /// MMCS-style branching: pick the smallest uncovered edge and branch on
+    /// each of its vertices, *excluding* the edge's earlier vertices from
+    /// deeper branches — the subtree families are then pairwise disjoint, so
+    /// every minimal hitting set is generated exactly once. A local
+    /// criticality prune (every chosen vertex must still have an edge it
+    /// alone hits) cuts every
+    /// subtree that can no longer produce a minimal set, which also makes
+    /// every surviving leaf minimal by construction — no global minimality
+    /// filter and no cross-branch superset scan are needed. With
     /// `limit = Some(n)` enumeration stops after `n` minimal sets are found.
     pub fn minimal_hitting_sets(&self, limit: Option<usize>) -> Vec<BTreeSet<Tid>> {
         // A limit means "stop early", which only has a deterministic meaning
@@ -110,40 +115,47 @@ impl ConflictHypergraph {
         if limit.is_some() || cqa_exec::threads() <= 1 || self.edges.len() < 2 {
             let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
             let mut current = BTreeSet::new();
-            self.enumerate_rec(&mut current, &mut out, limit);
+            let mut banned = BTreeSet::new();
+            self.enumerate_rec(&mut current, &mut banned, &mut out, limit);
             return out.into_iter().collect();
         }
-        // Parallel: branch tasks on the work queue. Every emitted set passed
-        // the global minimality check, and distinct minimal sets are
-        // ⊆-incomparable, so the merged set is exactly the full enumeration
-        // no matter how branches were scheduled. (The sequential path's
-        // cross-branch superset prune is an optimization only; subtrees
-        // below the split depth still prune locally inside `enumerate_rec`.)
+        // Parallel: branch tasks on the work queue carry their exclusion set
+        // along. Branch families are disjoint and every emitted leaf is
+        // minimal, so the merged set is exactly the full enumeration no
+        // matter how branches were scheduled.
         let split = par_split_depth();
         let found = cqa_exec::run_queue(
-            vec![BTreeSet::new()],
-            |current: BTreeSet<Tid>, spawn, results: &mut Vec<BTreeSet<Tid>>| match self
-                .edges
-                .iter()
-                .filter(|e| e.is_disjoint(&current))
-                .min_by_key(|e| e.len())
-            {
-                None => {
-                    if self.is_minimal_hitting_set(&current) {
-                        results.push(current);
+            vec![(BTreeSet::new(), BTreeSet::new())],
+            |(current, banned): (BTreeSet<Tid>, BTreeSet<Tid>),
+             spawn,
+             results: &mut Vec<BTreeSet<Tid>>| {
+                match self
+                    .edges
+                    .iter()
+                    .filter(|e| e.is_disjoint(&current))
+                    .min_by_key(|e| e.len())
+                {
+                    None => results.push(current),
+                    Some(_) if current.len() >= split => {
+                        let mut out = BTreeSet::new();
+                        let mut cur = current;
+                        let mut ban = banned;
+                        self.enumerate_rec(&mut cur, &mut ban, &mut out, None);
+                        results.extend(out);
                     }
-                }
-                Some(_) if current.len() >= split => {
-                    let mut out = BTreeSet::new();
-                    let mut cur = current;
-                    self.enumerate_rec(&mut cur, &mut out, None);
-                    results.extend(out);
-                }
-                Some(edge) => {
-                    for &v in edge {
-                        let mut child = current.clone();
-                        child.insert(v);
-                        spawn.push(child);
+                    Some(edge) => {
+                        let mut banned = banned;
+                        for &v in edge {
+                            if banned.contains(&v) {
+                                continue;
+                            }
+                            let mut child = current.clone();
+                            child.insert(v);
+                            if self.chosen_all_critical(&child) {
+                                spawn.push((child, banned.clone()));
+                            }
+                            banned.insert(v);
+                        }
                     }
                 }
             },
@@ -152,18 +164,28 @@ impl ConflictHypergraph {
         out.into_iter().collect()
     }
 
+    /// Does every vertex of `current` have a *critical* edge — one that no
+    /// other chosen vertex hits? Edge intersections only grow along a branch,
+    /// so once a vertex loses criticality no extension of `current` can be a
+    /// minimal hitting set, and conversely a hitting set whose vertices are
+    /// all critical *is* minimal (removing any vertex un-hits its critical
+    /// edge).
+    fn chosen_all_critical(&self, current: &BTreeSet<Tid>) -> bool {
+        current.iter().all(|v| {
+            self.edges
+                .iter()
+                .any(|e| e.contains(v) && e.iter().filter(|u| current.contains(u)).count() == 1)
+        })
+    }
+
     fn enumerate_rec(
         &self,
         current: &mut BTreeSet<Tid>,
+        banned: &mut BTreeSet<Tid>,
         out: &mut BTreeSet<BTreeSet<Tid>>,
         limit: Option<usize>,
     ) {
         if limit.is_some_and(|l| out.len() >= l) {
-            return;
-        }
-        // Prune: a superset of an already-found minimal hitting set can only
-        // produce non-minimal sets.
-        if out.iter().any(|m| m.is_subset(current)) {
             return;
         }
         match self
@@ -173,17 +195,26 @@ impl ConflictHypergraph {
             .min_by_key(|e| e.len())
         {
             None => {
-                // Every edge hit; keep if minimal.
-                if self.is_minimal_hitting_set(current) {
-                    out.insert(current.clone());
-                }
+                // Every edge hit, every chosen vertex critical: minimal.
+                out.insert(current.clone());
             }
             Some(edge) => {
                 let vertices: Vec<Tid> = edge.iter().copied().collect();
+                let mut newly_banned: Vec<Tid> = Vec::with_capacity(vertices.len());
                 for v in vertices {
+                    if banned.contains(&v) {
+                        continue;
+                    }
                     current.insert(v);
-                    self.enumerate_rec(current, out, limit);
+                    if self.chosen_all_critical(current) {
+                        self.enumerate_rec(current, banned, out, limit);
+                    }
                     current.remove(&v);
+                    banned.insert(v);
+                    newly_banned.push(v);
+                }
+                for v in newly_banned {
+                    banned.remove(&v);
                 }
             }
         }

@@ -12,7 +12,7 @@ use cqa_query::{
     eval::for_each_witness, match_atom, parse_query, Atom, Bindings, ConjunctiveQuery,
     NullSemantics, Term, Var, VarTable,
 };
-use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
+use cqa_relation::{Database, Facts, RelationError, Tid, Tuple, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -140,12 +140,9 @@ impl Tgd {
     }
 
     /// Check whether a given body binding has a matching head tuple.
-    fn head_satisfied(&self, db: &Database, bindings: &Bindings) -> bool {
-        let Some(rel) = db.relation(&self.head.relation) else {
-            return false;
-        };
+    fn head_satisfied<F: Facts + ?Sized>(&self, facts: &F, bindings: &Bindings) -> bool {
         let mut scratch = bindings.clone();
-        for (_, t) in rel.iter() {
+        for (_, t) in facts.facts_in(&self.head.relation) {
             if let Some(newly) = match_atom(&self.head, t, &mut scratch, NullSemantics::Structural)
             {
                 for v in newly {
@@ -157,17 +154,17 @@ impl Tgd {
         false
     }
 
-    /// Is the tgd satisfied by `db`?
-    pub fn is_satisfied(&self, db: &Database) -> bool {
-        self.violations(db).is_empty()
+    /// Is the tgd satisfied by the visible facts?
+    pub fn is_satisfied<F: Facts + ?Sized>(&self, facts: &F) -> bool {
+        self.violations(facts).is_empty()
     }
 
     /// All violations: body matches with no corresponding head tuple.
-    pub fn violations(&self, db: &Database) -> Vec<TgdViolation> {
+    pub fn violations<F: Facts + ?Sized>(&self, facts: &F) -> Vec<TgdViolation> {
         let mut out = Vec::new();
         let mut seen: BTreeSet<(BTreeSet<Tid>, Vec<Option<Value>>)> = BTreeSet::new();
-        for_each_witness(db, &self.body, NullSemantics::Structural, &mut |w| {
-            if !self.head_satisfied(db, &w.bindings) {
+        for_each_witness(facts, &self.body, NullSemantics::Structural, &mut |w| {
+            if !self.head_satisfied(facts, &w.bindings) {
                 let required: Vec<Option<Value>> = self
                     .head
                     .terms

@@ -176,8 +176,8 @@ mod tests {
     fn accepts_true_s_repairs() {
         let (db, sigma) = employee();
         for r in crate::srepair::s_repairs(&db, &sigma).unwrap() {
-            assert!(is_s_repair(&db, &r.db, &sigma).unwrap());
-            assert!(is_c_repair(&db, &r.db, &sigma).unwrap());
+            assert!(is_s_repair(&db, r.db(), &sigma).unwrap());
+            assert!(is_c_repair(&db, r.db(), &sigma).unwrap());
         }
     }
 

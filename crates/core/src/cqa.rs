@@ -19,13 +19,14 @@
 //! results are byte-identical at every thread count.
 
 use crate::attr_repair::attribute_repairs;
-use crate::crepair::c_repairs;
+use crate::crepair::c_repairs_arc;
 use crate::repair::Repair;
-use crate::srepair::{s_repairs_with, RepairOptions};
+use crate::srepair::{s_repairs_with_arc, RepairOptions};
 use cqa_constraints::ConstraintSet;
 use cqa_query::{eval_aggregate, eval_ucq, AggregateQuery, NullSemantics, UnionQuery};
-use cqa_relation::{Database, RelationError, Tuple, Value};
+use cqa_relation::{Database, DeltaView, Facts, RelationError, Tuple, Value};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Which class of repairs CQA quantifies over.
 #[derive(Debug, Clone)]
@@ -40,28 +41,80 @@ pub enum RepairClass {
     AttributeNull,
 }
 
+/// The chosen repair class, kept as copy-on-write deltas when the semantics
+/// allows it. Attribute-null repairs mutate cell values in place, so they
+/// have no delta representation and stay materialized.
+enum RepairSet {
+    /// Lazy delta repairs sharing one `Arc`'d base (S/C classes).
+    Delta(Vec<Repair>),
+    /// Materialized instances (attribute-null class).
+    Materialized(Vec<Database>),
+}
+
+impl RepairSet {
+    fn len(&self) -> usize {
+        match self {
+            RepairSet::Delta(r) => r.len(),
+            RepairSet::Materialized(d) => d.len(),
+        }
+    }
+}
+
+/// Enumerate the chosen repair class without materializing instances
+/// (except for the attribute-null class, which has to).
+fn repair_set(
+    db: &Database,
+    sigma: &ConstraintSet,
+    class: &RepairClass,
+) -> Result<RepairSet, RelationError> {
+    match class {
+        RepairClass::Subset => {
+            let base = Arc::new(db.clone());
+            Ok(RepairSet::Delta(s_repairs_with_arc(
+                &base,
+                sigma,
+                &RepairOptions::default(),
+            )?))
+        }
+        RepairClass::SubsetDeletionsOnly => {
+            let base = Arc::new(db.clone());
+            Ok(RepairSet::Delta(s_repairs_with_arc(
+                &base,
+                sigma,
+                &RepairOptions::deletions_only(),
+            )?))
+        }
+        RepairClass::Cardinality => {
+            let base = Arc::new(db.clone());
+            Ok(RepairSet::Delta(c_repairs_arc(&base, sigma)?))
+        }
+        RepairClass::AttributeNull => Ok(RepairSet::Materialized(
+            attribute_repairs(db, sigma)?
+                .into_iter()
+                .map(|r| r.db)
+                .collect(),
+        )),
+    }
+}
+
+/// Zero-clone views of a delta repair list, one per repair.
+fn views(repairs: &[Repair]) -> Vec<DeltaView<'_>> {
+    repairs.iter().map(Repair::view).collect()
+}
+
 /// Materialize the chosen repair class.
+///
+/// Kept for callers that genuinely need owned instances (e.g. the virtual
+/// integration crate); CQA itself answers over [`DeltaView`]s and never
+/// materializes a repair.
 pub fn repairs_of(
     db: &Database,
     sigma: &ConstraintSet,
     class: &RepairClass,
 ) -> Result<Vec<Database>, RelationError> {
-    match class {
-        RepairClass::Subset => Ok(s_repairs_with(db, sigma, &RepairOptions::default())?
-            .into_iter()
-            .map(|r| r.db)
-            .collect()),
-        RepairClass::SubsetDeletionsOnly => {
-            Ok(s_repairs_with(db, sigma, &RepairOptions::deletions_only())?
-                .into_iter()
-                .map(|r| r.db)
-                .collect())
-        }
-        RepairClass::Cardinality => Ok(c_repairs(db, sigma)?.into_iter().map(|r| r.db).collect()),
-        RepairClass::AttributeNull => Ok(attribute_repairs(db, sigma)?
-            .into_iter()
-            .map(|r| r.db)
-            .collect()),
+    match repair_set(db, sigma, class)? {
+        RepairSet::Delta(reps) => Ok(reps.into_iter().map(Repair::into_db).collect()),
+        RepairSet::Materialized(dbs) => Ok(dbs),
     }
 }
 
@@ -91,13 +144,16 @@ pub fn consistent_answers(
     query: &UnionQuery,
     class: &RepairClass,
 ) -> Result<BTreeSet<Tuple>, RelationError> {
-    let repairs = repairs_of(db, sigma, class)?;
-    Ok(certain_over(&repairs, query))
+    match repair_set(db, sigma, class)? {
+        RepairSet::Delta(reps) => Ok(certain_over(&views(&reps), query)),
+        RepairSet::Materialized(dbs) => Ok(certain_over(&dbs, query)),
+    }
 }
 
-/// Certain answers over an explicit list of instances (used by the virtual
-/// data integration crate, whose "repairs" are virtual global instances).
-pub fn certain_over(instances: &[Database], query: &UnionQuery) -> BTreeSet<Tuple> {
+/// Certain answers over an explicit list of instances or repair views (used
+/// directly by the virtual data integration crate, whose "repairs" are
+/// virtual global instances).
+pub fn certain_over<F: Facts>(instances: &[F], query: &UnionQuery) -> BTreeSet<Tuple> {
     let Some((first, rest)) = instances.split_first() else {
         return BTreeSet::new();
     };
@@ -131,8 +187,15 @@ pub fn possible_answers(
     query: &UnionQuery,
     class: &RepairClass,
 ) -> Result<BTreeSet<Tuple>, RelationError> {
-    let repairs = repairs_of(db, sigma, class)?;
-    let sets = cqa_exec::par_map(&repairs, |inst| {
+    match repair_set(db, sigma, class)? {
+        RepairSet::Delta(reps) => Ok(possible_over(&views(&reps), query)),
+        RepairSet::Materialized(dbs) => Ok(possible_over(&dbs, query)),
+    }
+}
+
+/// Possible (brave) answers over an explicit list of instances or views.
+pub fn possible_over<F: Facts>(instances: &[F], query: &UnionQuery) -> BTreeSet<Tuple> {
+    let sets = cqa_exec::par_map(instances, |inst| {
         eval_ucq(inst, query, NullSemantics::Sql)
             .into_iter()
             .filter(|t| !t.has_null())
@@ -142,7 +205,7 @@ pub fn possible_answers(
     for here in sets {
         out.extend(here);
     }
-    Ok(out)
+    out
 }
 
 /// Is a Boolean query certainly (consistently) true — true in *every* repair?
@@ -152,12 +215,19 @@ pub fn certainly_true(
     query: &UnionQuery,
     class: &RepairClass,
 ) -> Result<bool, RelationError> {
-    let repairs = repairs_of(db, sigma, class)?;
+    match repair_set(db, sigma, class)? {
+        RepairSet::Delta(reps) => Ok(certainly_true_over(&views(&reps), query)),
+        RepairSet::Materialized(dbs) => Ok(certainly_true_over(&dbs, query)),
+    }
+}
+
+/// Is a Boolean query true in every instance of the list?
+pub fn certainly_true_over<F: Facts>(instances: &[F], query: &UnionQuery) -> bool {
     // "True in every repair" = no repair falsifies it; `par_any` stops all
     // workers as soon as one finds a counterexample.
-    Ok(!cqa_exec::par_any(&repairs, |inst| {
+    !cqa_exec::par_any(instances, |inst| {
         !cqa_query::holds_ucq(inst, query, NullSemantics::Sql)
-    }))
+    })
 }
 
 /// Range-semantics CQA for scalar aggregates \[5\]: the greatest lower bound
@@ -175,8 +245,18 @@ pub fn consistent_aggregate_range(
         query.group_by.is_empty(),
         "range semantics is for scalar aggregates"
     );
-    let repairs = repairs_of(db, sigma, class)?;
-    let per_repair = cqa_exec::par_map(&repairs, |inst| {
+    match repair_set(db, sigma, class)? {
+        RepairSet::Delta(reps) => Ok(aggregate_range_over(&views(&reps), query)),
+        RepairSet::Materialized(dbs) => Ok(aggregate_range_over(&dbs, query)),
+    }
+}
+
+/// Scalar-aggregate range over an explicit list of instances or views.
+pub fn aggregate_range_over<F: Facts>(
+    instances: &[F],
+    query: &AggregateQuery,
+) -> Option<(Value, Value)> {
+    let per_repair = cqa_exec::par_map(instances, |inst| {
         eval_aggregate(inst, query, NullSemantics::Sql)
     });
     let mut lo: Option<Value> = None;
@@ -194,7 +274,7 @@ pub fn consistent_aggregate_range(
                     }
                     continue;
                 }
-                _ => return Ok(None),
+                _ => return None,
             }
         };
         if lo.as_ref().is_none_or(|l| v < *l) {
@@ -204,7 +284,7 @@ pub fn consistent_aggregate_range(
             hi = Some(v);
         }
     }
-    Ok(lo.zip(hi))
+    lo.zip(hi)
 }
 
 /// Range-semantics CQA for *grouped* aggregates: for every group key that
@@ -216,8 +296,18 @@ pub fn consistent_aggregate_ranges(
     query: &AggregateQuery,
     class: &RepairClass,
 ) -> Result<std::collections::BTreeMap<Tuple, (Value, Value)>, RelationError> {
-    let repairs = repairs_of(db, sigma, class)?;
-    let per_repair = cqa_exec::par_map(&repairs, |inst| {
+    match repair_set(db, sigma, class)? {
+        RepairSet::Delta(reps) => Ok(aggregate_ranges_over(&views(&reps), query)),
+        RepairSet::Materialized(dbs) => Ok(aggregate_ranges_over(&dbs, query)),
+    }
+}
+
+/// Grouped-aggregate ranges over an explicit list of instances or views.
+pub fn aggregate_ranges_over<F: Facts>(
+    instances: &[F],
+    query: &AggregateQuery,
+) -> std::collections::BTreeMap<Tuple, (Value, Value)> {
+    let per_repair = cqa_exec::par_map(instances, |inst| {
         eval_aggregate(inst, query, NullSemantics::Sql)
     });
     let mut acc: Option<std::collections::BTreeMap<Tuple, (Value, Value)>> = None;
@@ -241,7 +331,7 @@ pub fn consistent_aggregate_ranges(
             }
         });
     }
-    Ok(acc.unwrap_or_default())
+    acc.unwrap_or_default()
 }
 
 /// Summary of a CQA run, for reports and the bench harness.
@@ -262,13 +352,22 @@ pub fn cqa_report(
     query: &UnionQuery,
     class: &RepairClass,
 ) -> Result<CqaReport, RelationError> {
-    let repairs = repairs_of(db, sigma, class)?;
-    let sets = cqa_exec::par_map(&repairs, |inst| {
-        eval_ucq(inst, query, NullSemantics::Sql)
-            .into_iter()
-            .filter(|t| !t.has_null())
-            .collect::<BTreeSet<_>>()
-    });
+    let set = repair_set(db, sigma, class)?;
+    let repair_count = set.len();
+    let sets = match &set {
+        RepairSet::Delta(reps) => cqa_exec::par_map(&views(reps), |inst| {
+            eval_ucq(inst, query, NullSemantics::Sql)
+                .into_iter()
+                .filter(|t| !t.has_null())
+                .collect::<BTreeSet<_>>()
+        }),
+        RepairSet::Materialized(dbs) => cqa_exec::par_map(dbs, |inst| {
+            eval_ucq(inst, query, NullSemantics::Sql)
+                .into_iter()
+                .filter(|t| !t.has_null())
+                .collect::<BTreeSet<_>>()
+        }),
+    };
     let mut possible = BTreeSet::new();
     let mut certain: Option<BTreeSet<Tuple>> = None;
     for here in sets {
@@ -282,7 +381,7 @@ pub fn cqa_report(
         possible.extend(here);
     }
     Ok(CqaReport {
-        repair_count: repairs.len(),
+        repair_count,
         certain: certain.unwrap_or_default(),
         possible,
     })

@@ -6,9 +6,10 @@
 //! `cqa-constraints` avoids enumerating all S-repairs first.
 
 use crate::repair::Repair;
-use crate::srepair::{s_repairs_with, RepairOptions};
+use crate::srepair::{s_repairs_with_arc, RepairOptions};
 use cqa_constraints::ConstraintSet;
 use cqa_relation::{Database, RelationError};
+use std::sync::Arc;
 
 /// All C-repairs of `db` with respect to `sigma`.
 pub fn c_repairs(db: &Database, sigma: &ConstraintSet) -> Result<Vec<Repair>, RelationError> {
@@ -16,22 +17,41 @@ pub fn c_repairs(db: &Database, sigma: &ConstraintSet) -> Result<Vec<Repair>, Re
 }
 
 /// All C-repairs, with search options (used for deletion-only semantics).
+///
+/// Clones `db` once into a shared [`Arc`] base; see [`c_repairs_with_arc`].
 pub fn c_repairs_with(
     db: &Database,
     sigma: &ConstraintSet,
     options: &RepairOptions,
 ) -> Result<Vec<Repair>, RelationError> {
+    c_repairs_with_arc(&Arc::new(db.clone()), sigma, options)
+}
+
+/// All C-repairs over a shared base instance, clone-free.
+pub fn c_repairs_arc(
+    db: &Arc<Database>,
+    sigma: &ConstraintSet,
+) -> Result<Vec<Repair>, RelationError> {
+    c_repairs_with_arc(db, sigma, &RepairOptions::default())
+}
+
+/// All C-repairs over a shared base instance, with search options.
+pub fn c_repairs_with_arc(
+    db: &Arc<Database>,
+    sigma: &ConstraintSet,
+    options: &RepairOptions,
+) -> Result<Vec<Repair>, RelationError> {
     if sigma.is_denial_class() {
-        let graph = sigma.conflict_hypergraph(db)?;
+        let graph = sigma.conflict_hypergraph(&**db)?;
         let mut out: Vec<Repair> = graph
             .minimum_hitting_sets()
             .into_iter()
-            .map(|hs| Repair::from_delta(db, hs, Vec::new()))
+            .map(|hs| Repair::from_delta_arc(db, hs, Vec::new()))
             .collect::<Result<_, _>>()?;
-        out.sort_by(|a, b| a.delta.cmp(&b.delta));
+        out.sort_by(|a, b| a.delta().cmp(b.delta()));
         return Ok(out);
     }
-    let all = s_repairs_with(
+    let all = s_repairs_with_arc(
         db,
         sigma,
         &RepairOptions {

@@ -13,12 +13,14 @@ use crate::repair::Repair;
 use cqa_constraints::{ConflictHypergraph, ConstraintSet};
 use cqa_relation::{Database, RelationError, Tid, Tuple};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The result of an incremental repair round.
 #[derive(Debug, Clone)]
 pub struct IncrementalRepairs {
-    /// The updated (possibly inconsistent) instance.
-    pub updated: Database,
+    /// The updated (possibly inconsistent) instance, shared as the base of
+    /// the returned repairs (deref-coerces to `&Database`).
+    pub updated: Arc<Database>,
     /// Tids assigned to the inserted tuples.
     pub new_tids: Vec<Tid>,
     /// The repairs of the updated instance.
@@ -44,10 +46,11 @@ pub fn repairs_after_insert(
         ));
     }
     let (updated, new_tids) = db.with_changes(&BTreeSet::new(), new_tuples)?;
+    let updated = Arc::new(updated);
 
     // All violations of the updated instance involve a new tuple; collect
     // them and assert the locality property in debug builds.
-    let violations = sigma.denial_violations(&updated)?;
+    let violations = sigma.denial_violations(&*updated)?;
     let new_set: BTreeSet<Tid> = new_tids.iter().copied().collect();
     debug_assert!(violations
         .iter()
@@ -56,9 +59,9 @@ pub fn repairs_after_insert(
     let graph = ConflictHypergraph::new(updated.tids(), violations);
     let mut repairs = Vec::new();
     for hs in graph.minimal_hitting_sets(None) {
-        repairs.push(Repair::from_delta(&updated, hs, Vec::new())?);
+        repairs.push(Repair::from_delta_arc(&updated, hs, Vec::new())?);
     }
-    repairs.sort_by(|a, b| a.delta.cmp(&b.delta));
+    repairs.sort_by(|a, b| a.delta().cmp(b.delta()));
     Ok(IncrementalRepairs {
         updated,
         new_tids,
@@ -106,7 +109,7 @@ mod tests {
             assert_eq!(r.deleted.len(), 1);
             assert!(!r.deleted.contains(&Tid(2)));
             assert!(!r.deleted.contains(&Tid(3)));
-            assert!(sigma.is_satisfied(&r.db).unwrap());
+            assert!(sigma.is_satisfied(r.db()).unwrap());
         }
     }
 

@@ -116,7 +116,7 @@ mod tests {
     fn null_insertion_restores_consistency_under_sql_semantics() {
         let (db, sigma) = example_4_3();
         for r in null_tuple_repairs(&db, &sigma).unwrap() {
-            assert!(sigma.is_satisfied(&r.repair.db).unwrap());
+            assert!(sigma.is_satisfied(r.repair.db()).unwrap());
         }
     }
 

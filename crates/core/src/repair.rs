@@ -1,8 +1,16 @@
 //! The repair representation shared by every repair semantics.
+//!
+//! A [`Repair`] is stored as a *copy-on-write delta* over a shared base
+//! instance: the deleted tids and inserted tuples are the repair; the
+//! materialized [`Database`] and the content-level [`Change`] set are built
+//! lazily on first access and cached. Enumeration over `2^k` repairs
+//! therefore never pays for an instance clone unless a caller explicitly
+//! asks for one.
 
-use cqa_relation::{Database, Tid, Tuple};
+use cqa_relation::{Database, DeltaView, Tid, Tuple};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// One element of a symmetric difference `D Δ D'`: a deleted original tuple
 /// or an inserted new tuple.
@@ -36,55 +44,122 @@ impl fmt::Display for Change {
     }
 }
 
-/// A repair of an original instance: the repaired database plus the delta
-/// that produced it.
+/// A repair of an original instance: a delta over a shared base, with the
+/// repaired instance and the content-level delta computed on demand.
+///
+/// The `deleted`/`inserted` fields are the authoritative representation;
+/// mutating them after [`Repair::db`] or [`Repair::delta`] has been called
+/// desynchronizes the caches, so treat a repair as immutable once built.
 #[derive(Debug, Clone)]
 pub struct Repair {
-    /// The repaired, consistent instance.
-    pub db: Database,
+    /// The shared original instance the delta applies to.
+    base: Arc<Database>,
     /// Tids (of the *original* instance) that were deleted.
     pub deleted: BTreeSet<Tid>,
     /// Tuples that were inserted, as `(relation, tuple)`.
     pub inserted: Vec<(String, Tuple)>,
-    /// The symmetric difference as content-level changes.
-    pub delta: BTreeSet<Change>,
+    /// Lazily materialized repaired instance.
+    materialized: OnceLock<Database>,
+    /// Lazily built symmetric difference as content-level changes.
+    delta: OnceLock<BTreeSet<Change>>,
 }
 
 impl Repair {
+    /// Build a repair from a shared original instance and a delta.
+    ///
+    /// The delta is validated up front (unknown tids, unknown relations,
+    /// arity mismatches), so the lazy accessors are infallible. No instance
+    /// is cloned: the repair holds `original` by `Arc`.
+    pub fn from_delta_arc(
+        original: &Arc<Database>,
+        deleted: BTreeSet<Tid>,
+        inserted: Vec<(String, Tuple)>,
+    ) -> cqa_relation::Result<Repair> {
+        for &tid in &deleted {
+            if original.get(tid).is_none() {
+                return Err(cqa_relation::RelationError::UnknownTid(tid.0));
+            }
+        }
+        for (rel, tuple) in &inserted {
+            original.check_insertable(rel, tuple)?;
+        }
+        Ok(Repair {
+            base: Arc::clone(original),
+            deleted,
+            inserted,
+            materialized: OnceLock::new(),
+            delta: OnceLock::new(),
+        })
+    }
+
     /// Build a repair from the original instance and a delta.
+    ///
+    /// Convenience wrapper that clones `original` into a fresh [`Arc`];
+    /// enumeration hot paths share one `Arc` via [`Repair::from_delta_arc`].
     pub fn from_delta(
         original: &Database,
         deleted: BTreeSet<Tid>,
         inserted: Vec<(String, Tuple)>,
     ) -> cqa_relation::Result<Repair> {
-        let mut delta = BTreeSet::new();
-        for &tid in &deleted {
-            let (rel, tuple) = original
-                .get(tid)
-                .ok_or(cqa_relation::RelationError::UnknownTid(tid.0))?;
-            delta.insert(Change::Delete {
-                relation: rel.to_string(),
-                tuple: tuple.clone(),
-            });
-        }
-        for (rel, tuple) in &inserted {
-            delta.insert(Change::Insert {
-                relation: rel.clone(),
-                tuple: tuple.clone(),
-            });
-        }
-        let (db, _) = original.with_changes(&deleted, &inserted)?;
-        Ok(Repair {
-            db,
-            deleted,
-            inserted,
-            delta,
+        Repair::from_delta_arc(&Arc::new(original.clone()), deleted, inserted)
+    }
+
+    /// The shared base (original) instance this repair applies to.
+    pub fn base(&self) -> &Arc<Database> {
+        &self.base
+    }
+
+    /// The repaired, consistent instance — materialized on first access and
+    /// cached. Prefer [`Repair::view`] in hot paths: it never clones.
+    pub fn db(&self) -> &Database {
+        self.materialized.get_or_init(|| {
+            let (db, _) = self
+                .base
+                .with_changes(&self.deleted, &self.inserted)
+                .expect("repair delta validated at construction");
+            db
+        })
+    }
+
+    /// Consume the repair and return the materialized instance.
+    pub fn into_db(mut self) -> Database {
+        self.db();
+        self.materialized.take().expect("just materialized")
+    }
+
+    /// A zero-clone view of the repaired instance over the shared base.
+    ///
+    /// View tids (including synthetic tids for insertions) match the tids
+    /// [`Repair::db`] would assign, so answers agree byte-for-byte.
+    pub fn view(&self) -> DeltaView<'_> {
+        DeltaView::new(&self.base, &self.deleted, &self.inserted)
+    }
+
+    /// The symmetric difference as content-level changes, built on demand
+    /// and cached.
+    pub fn delta(&self) -> &BTreeSet<Change> {
+        self.delta.get_or_init(|| {
+            let mut delta = BTreeSet::new();
+            for &tid in &self.deleted {
+                let (rel, tuple) = self.base.get(tid).expect("deleted tids validated");
+                delta.insert(Change::Delete {
+                    relation: rel.to_string(),
+                    tuple: tuple.clone(),
+                });
+            }
+            for (rel, tuple) in &self.inserted {
+                delta.insert(Change::Insert {
+                    relation: rel.clone(),
+                    tuple: tuple.clone(),
+                });
+            }
+            delta
         })
     }
 
     /// `|D Δ D'|` — the cardinality the C-repair semantics minimizes.
     pub fn delta_size(&self) -> usize {
-        self.delta.len()
+        self.delta().len()
     }
 
     /// Deletion-only repair?
@@ -96,7 +171,7 @@ impl Repair {
 impl fmt::Display for Repair {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "repair (|Δ| = {}):", self.delta_size())?;
-        for c in &self.delta {
+        for c in self.delta() {
             write!(f, " {c}")?;
         }
         Ok(())
@@ -108,10 +183,10 @@ impl fmt::Display for Repair {
 pub fn retain_subset_minimal(repairs: Vec<Repair>) -> Vec<Repair> {
     let mut kept: Vec<Repair> = Vec::with_capacity(repairs.len());
     for r in repairs {
-        if kept.iter().any(|k| k.delta.is_subset(&r.delta)) {
+        if kept.iter().any(|k| k.delta().is_subset(r.delta())) {
             continue; // dominated (or duplicate)
         }
-        kept.retain(|k| !r.delta.is_subset(&k.delta));
+        kept.retain(|k| !r.delta().is_subset(k.delta()));
         kept.push(r);
     }
     kept
@@ -120,7 +195,7 @@ pub fn retain_subset_minimal(repairs: Vec<Repair>) -> Vec<Repair> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cqa_relation::{tuple, RelationSchema};
+    use cqa_relation::{tuple, Facts, RelationSchema};
 
     fn db() -> Database {
         let mut d = Database::new();
@@ -137,14 +212,48 @@ mod tests {
             .unwrap();
         assert_eq!(r.delta_size(), 2);
         assert!(!r.is_deletion_only());
-        assert!(!r.db.relation("R").unwrap().contains(&tuple!["a"]));
-        assert!(r.db.relation("R").unwrap().contains(&tuple!["c"]));
+        assert!(!r.db().relation("R").unwrap().contains(&tuple!["a"]));
+        assert!(r.db().relation("R").unwrap().contains(&tuple!["c"]));
         assert_eq!(original.total_tuples(), 2);
     }
 
     #[test]
     fn unknown_tid_in_delta_errors() {
         assert!(Repair::from_delta(&db(), [Tid(99)].into(), vec![]).is_err());
+    }
+
+    #[test]
+    fn invalid_insertion_errors_up_front() {
+        // Unknown relation and arity mismatch both fail at construction, not
+        // at lazy materialization.
+        assert!(
+            Repair::from_delta(&db(), BTreeSet::new(), vec![("S".into(), tuple!["x"])]).is_err()
+        );
+        assert!(
+            Repair::from_delta(&db(), BTreeSet::new(), vec![("R".into(), tuple!["x", "y"])])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn materialization_is_lazy_and_cached() {
+        let base = Arc::new(db());
+        let r = Repair::from_delta_arc(&base, [Tid(1)].into(), vec![]).unwrap();
+        // Nothing materialized yet.
+        assert!(r.materialized.get().is_none());
+        let first = r.db() as *const Database;
+        let second = r.db() as *const Database;
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn view_agrees_with_materialized_db() {
+        let base = Arc::new(db());
+        let r = Repair::from_delta_arc(&base, [Tid(2)].into(), vec![("R".into(), tuple!["c"])])
+            .unwrap();
+        let view = r.view();
+        assert!(view.snapshot().same_content(r.db()));
+        assert_eq!(view.relation_len("R"), r.db().relation("R").unwrap().len());
     }
 
     #[test]
@@ -155,8 +264,8 @@ mod tests {
         let other = Repair::from_delta(&original, [Tid(2)].into(), vec![]).unwrap();
         let kept = retain_subset_minimal(vec![big, small.clone(), other.clone()]);
         assert_eq!(kept.len(), 2);
-        assert!(kept.iter().any(|r| r.delta == small.delta));
-        assert!(kept.iter().any(|r| r.delta == other.delta));
+        assert!(kept.iter().any(|r| r.delta() == small.delta()));
+        assert!(kept.iter().any(|r| r.delta() == other.delta()));
     }
 
     #[test]

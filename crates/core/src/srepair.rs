@@ -17,9 +17,10 @@
 use crate::repair::{retain_subset_minimal, Repair};
 use cqa_constraints::ConstraintSet;
 use cqa_relation::fxhash::{FxHashSet, FxHasher};
-use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
+use cqa_relation::{Database, Facts, RelationError, Tid, Tuple, Value};
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// 128-bit fingerprint of a delta's canonical form, used to deduplicate
 /// search states without materializing (or cloning) the `BTreeSet<Change>`
@@ -105,8 +106,30 @@ pub fn s_repairs(db: &Database, sigma: &ConstraintSet) -> Result<Vec<Repair>, Re
 }
 
 /// Enumerate S-repairs with explicit options.
+///
+/// The original instance is cloned **once** into a shared [`Arc`] base; the
+/// enumerated repairs are copy-on-write deltas over it. Callers that already
+/// hold an `Arc<Database>` should use [`s_repairs_with_arc`] to skip even
+/// that clone.
 pub fn s_repairs_with(
     db: &Database,
+    sigma: &ConstraintSet,
+    options: &RepairOptions,
+) -> Result<Vec<Repair>, RelationError> {
+    s_repairs_with_arc(&Arc::new(db.clone()), sigma, options)
+}
+
+/// Enumerate all S-repairs over a shared base instance, clone-free.
+pub fn s_repairs_arc(
+    db: &Arc<Database>,
+    sigma: &ConstraintSet,
+) -> Result<Vec<Repair>, RelationError> {
+    s_repairs_with_arc(db, sigma, &RepairOptions::default())
+}
+
+/// Enumerate S-repairs over a shared base instance with explicit options.
+pub fn s_repairs_with_arc(
+    db: &Arc<Database>,
     sigma: &ConstraintSet,
     options: &RepairOptions,
 ) -> Result<Vec<Repair>, RelationError> {
@@ -115,17 +138,17 @@ pub fn s_repairs_with(
     } else {
         general_s_repairs(db, sigma, options)?
     };
-    repairs.sort_by(|a, b| a.delta.cmp(&b.delta));
+    repairs.sort_by(|a, b| a.delta().cmp(b.delta()));
     Ok(repairs)
 }
 
 /// The fast path: deletions only, via minimal hitting sets.
 fn denial_class_s_repairs(
-    db: &Database,
+    db: &Arc<Database>,
     sigma: &ConstraintSet,
     options: &RepairOptions,
 ) -> Result<Vec<Repair>, RelationError> {
-    let mut graph = sigma.conflict_hypergraph(db)?;
+    let mut graph = sigma.conflict_hypergraph(&**db)?;
     if !options.protected.is_empty() {
         // Protected tuples cannot be deleted: remove them from the edges; an
         // edge made empty can no longer be repaired, so no repair exists.
@@ -142,13 +165,13 @@ fn denial_class_s_repairs(
     graph
         .minimal_hitting_sets(options.limit)
         .into_iter()
-        .map(|hs| Repair::from_delta(db, hs, Vec::new()))
+        .map(|hs| Repair::from_delta_arc(db, hs, Vec::new()))
         .collect()
 }
 
 /// The general search over deltas, handling tgds.
 fn general_s_repairs(
-    db: &Database,
+    db: &Arc<Database>,
     sigma: &ConstraintSet,
     options: &RepairOptions,
 ) -> Result<Vec<Repair>, RelationError> {
@@ -156,7 +179,7 @@ fn general_s_repairs(
     // leaves are collected and minimized at the end. `seen` prunes deltas
     // explored before (the same delta is reachable along many orders).
     struct Search<'a> {
-        original: &'a Database,
+        original: &'a Arc<Database>,
         sigma: &'a ConstraintSet,
         options: &'a RepairOptions,
         found: Vec<Repair>,
@@ -178,34 +201,36 @@ fn general_s_repairs(
                 // limit before minimization (supersets get filtered).
                 return;
             }
-            // Dedup on the fingerprint *before* materializing the repair:
-            // the same delta is reachable along many branch orders, and a
-            // duplicate must not pay for the instance clone in `from_delta`.
+            // Dedup on the fingerprint *before* building the candidate: the
+            // same delta is reachable along many branch orders, and a
+            // duplicate must not pay for re-validation and re-checking.
             if !self.seen.insert(delta_fingerprint(deleted, inserted)) {
                 return;
             }
-            let repair = match Repair::from_delta(self.original, deleted.clone(), inserted.clone())
-            {
-                Ok(r) => r,
-                Err(e) => {
-                    self.error = Some(e);
-                    return;
-                }
-            };
+            let repair =
+                match Repair::from_delta_arc(self.original, deleted.clone(), inserted.clone()) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.error = Some(e);
+                        return;
+                    }
+                };
             // Prune: a superset of an already-consistent delta cannot be
             // ⊆-minimal.
             if self
                 .found
                 .iter()
-                .any(|f| f.delta.is_subset(&repair.delta) && f.delta != repair.delta)
+                .any(|f| f.delta().is_subset(repair.delta()) && f.delta() != repair.delta())
             {
                 return;
             }
-            let current = &repair.db;
+            // Constraint checks run on a zero-clone view of the candidate;
+            // nothing is materialized anywhere in the search.
+            let current = repair.view();
 
             // 1. Denial-class violations first (they only ever need
             //    deletions).
-            let denial_viols = match self.sigma.denial_violations(current) {
+            let denial_viols = match self.sigma.denial_violations(&current) {
                 Ok(v) => v,
                 Err(e) => {
                     self.error = Some(e);
@@ -226,7 +251,7 @@ fn general_s_repairs(
                     } else {
                         // The violating tuple was inserted by us: drop that
                         // insertion instead.
-                        if let Some((rel, tuple)) = current.get(tid) {
+                        if let Some((rel, tuple)) = current.get_fact(tid) {
                             let rel = rel.to_string();
                             let tuple = tuple.clone();
                             let mut i2 = inserted.clone();
@@ -242,7 +267,7 @@ fn general_s_repairs(
             }
 
             // 2. Tgd violations: delete a body tuple or insert the head.
-            let tgd_viols = self.sigma.tgd_violations(current);
+            let tgd_viols = self.sigma.tgd_violations(&current);
             if let Some(viol) = tgd_viols.into_iter().next() {
                 for tid in &viol.body_tids {
                     if self.options.protected.contains(tid) {
@@ -252,7 +277,7 @@ fn general_s_repairs(
                         let mut d2 = deleted.clone();
                         d2.insert(*tid);
                         self.step(&d2, inserted);
-                    } else if let Some((rel, tuple)) = current.get(*tid) {
+                    } else if let Some((rel, tuple)) = current.get_fact(*tid) {
                         let rel = rel.to_string();
                         let tuple = tuple.clone();
                         let mut i2 = inserted.clone();
@@ -283,7 +308,8 @@ fn general_s_repairs(
                 return;
             }
 
-            // Consistent: record.
+            // Consistent: record (still unmaterialized).
+            drop(current);
             self.found.push(repair);
         }
     }
@@ -411,7 +437,7 @@ mod tests {
         for r in &repairs {
             assert_eq!(r.deleted.len(), 1);
             assert!(r.deleted.iter().all(|t| t.0 <= 2)); // one of the page rows
-            assert!(sigma.is_satisfied(&r.db).unwrap());
+            assert!(sigma.is_satisfied(r.db()).unwrap());
         }
     }
 
@@ -504,7 +530,7 @@ mod tests {
         let ins = repairs.iter().find(|r| !r.is_deletion_only()).unwrap();
         assert_eq!(ins.inserted.len(), 2);
         for r in &repairs {
-            assert!(sigma.is_satisfied(&r.db).unwrap());
+            assert!(sigma.is_satisfied(r.db()).unwrap());
         }
     }
 
@@ -536,7 +562,7 @@ mod tests {
         let db = supply_db();
         let sigma = supply_sigma();
         for r in s_repairs(&db, &sigma).unwrap() {
-            assert!(sigma.is_satisfied(&r.db).unwrap());
+            assert!(sigma.is_satisfied(r.db()).unwrap());
         }
     }
 }

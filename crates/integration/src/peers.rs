@@ -11,7 +11,7 @@
 //! certain answers over them.
 
 use cqa_constraints::ConstraintSet;
-use cqa_core::{certain_over, s_repairs_with, RepairOptions};
+use cqa_core::{certain_over, s_repairs_with, Repair, RepairOptions};
 use cqa_query::UnionQuery;
 use cqa_relation::{Database, RelationError, Tid, Tuple};
 use std::collections::BTreeSet;
@@ -65,7 +65,7 @@ impl PeerSystem {
         };
         Ok(s_repairs_with(&self.db, &self.sigma, &options)?
             .into_iter()
-            .map(|r| r.db)
+            .map(Repair::into_db)
             .collect())
     }
 

@@ -8,7 +8,7 @@
 
 use crate::ast::{ConjunctiveQuery, Term, Var};
 use crate::eval::{for_each_witness, NullSemantics};
-use cqa_relation::{Database, Tuple, Value};
+use cqa_relation::{Facts, Tuple, Value};
 use std::collections::BTreeMap;
 
 /// Aggregate operators.
@@ -49,7 +49,11 @@ pub type AggResult = BTreeMap<Tuple, Value>;
 /// Groups with no witnesses are absent from the result (SQL semantics).
 /// `Sum`/`Avg` require numeric targets; non-numeric values make the witness
 /// contribute nothing (documented deviation: SQL would error).
-pub fn eval_aggregate(db: &Database, q: &AggregateQuery, mode: NullSemantics) -> AggResult {
+pub fn eval_aggregate<F: Facts + ?Sized>(
+    facts: &F,
+    q: &AggregateQuery,
+    mode: NullSemantics,
+) -> AggResult {
     let group_terms: Vec<Term> = q.group_by.iter().map(|v| Term::Var(*v)).collect();
     // group key -> (count, sum, min, max, distinct values)
     struct Acc {
@@ -62,7 +66,7 @@ pub fn eval_aggregate(db: &Database, q: &AggregateQuery, mode: NullSemantics) ->
     }
     let mut groups: BTreeMap<Tuple, Acc> = BTreeMap::new();
 
-    for_each_witness(db, &q.body, mode, &mut |w| {
+    for_each_witness(facts, &q.body, mode, &mut |w| {
         let Some(key) = w.bindings.project(&group_terms) else {
             return true;
         };
@@ -120,9 +124,13 @@ pub fn eval_aggregate(db: &Database, q: &AggregateQuery, mode: NullSemantics) ->
 /// Evaluate a scalar (ungrouped) aggregate; `None` when the body is empty
 /// and the operator has no neutral result (`Min`/`Max`/`Sum`/`Avg`).
 /// A `Count` over an empty body returns `Some(0)`.
-pub fn eval_scalar(db: &Database, q: &AggregateQuery, mode: NullSemantics) -> Option<Value> {
+pub fn eval_scalar<F: Facts + ?Sized>(
+    facts: &F,
+    q: &AggregateQuery,
+    mode: NullSemantics,
+) -> Option<Value> {
     debug_assert!(q.group_by.is_empty());
-    let r = eval_aggregate(db, q, mode);
+    let r = eval_aggregate(facts, q, mode);
     match r.into_iter().next() {
         Some((_, v)) => Some(v),
         None => match q.op {
@@ -136,7 +144,7 @@ pub fn eval_scalar(db: &Database, q: &AggregateQuery, mode: NullSemantics) -> Op
 mod tests {
     use super::*;
     use crate::parser::parse_query;
-    use cqa_relation::{tuple, RelationSchema};
+    use cqa_relation::{tuple, Database, RelationSchema};
 
     fn salary_db() -> Database {
         let mut db = Database::new();

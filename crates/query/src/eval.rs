@@ -3,15 +3,22 @@
 //!
 //! The evaluator is a straightforward bind-and-filter join with a greedy atom
 //! order (most-bound, smallest-relation first). Per-atom hash probes use the
-//! relation's content index when an atom is fully bound; otherwise the
-//! relation is scanned. This is comfortably fast for the instance sizes the
-//! benchmarks sweep (10⁴–10⁵ tuples) and keeps the code honest and auditable,
-//! which matters more here: repairs and CQA are *defined* in terms of query
-//! answers, so the evaluator is the trusted base of the whole workspace.
+//! base instance's *shared* one-column index cache ([`cqa_relation::Database::column_index`])
+//! when a probe position is bound; otherwise the relation is scanned. This is
+//! comfortably fast for the instance sizes the benchmarks sweep (10⁴–10⁵
+//! tuples) and keeps the code honest and auditable, which matters more here:
+//! repairs and CQA are *defined* in terms of query answers, so the evaluator
+//! is the trusted base of the whole workspace.
+//!
+//! Every entry point is generic over [`Facts`], so the same code path
+//! evaluates plain [`cqa_relation::Database`]s and zero-clone [`cqa_relation::DeltaView`]
+//! repair views: indexed probes hit the base's cached buckets, filter deleted
+//! tids, and union the insert overlay.
 
 use crate::ast::{Atom, Comparison, ConjunctiveQuery, Term, UnionQuery, Var};
-use cqa_relation::{fxhash::FxHashMap, sql_eq, Database, Tid, Truth, Tuple, Value};
+use cqa_relation::{sql_eq, ColumnIndex, Facts, Tid, Truth, Tuple, Value};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// How nulls behave during matching (see `cqa-relation::value`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,11 +164,13 @@ pub fn match_atom(
     Some(newly)
 }
 
-/// Does any tuple of `db` match `atom` under `bindings`? (Used for negation.)
-fn atom_has_match(db: &Database, atom: &Atom, bindings: &Bindings, mode: NullSemantics) -> bool {
-    let Some(rel) = db.relation(&atom.relation) else {
-        return false;
-    };
+/// Does any visible tuple match `atom` under `bindings`? (Used for negation.)
+fn atom_has_match<F: Facts + ?Sized>(
+    facts: &F,
+    atom: &Atom,
+    bindings: &Bindings,
+    mode: NullSemantics,
+) -> bool {
     // Fast path: fully bound atom with structural semantics → hash probe.
     if mode == NullSemantics::Structural {
         if let Some(values) = atom
@@ -170,11 +179,11 @@ fn atom_has_match(db: &Database, atom: &Atom, bindings: &Bindings, mode: NullSem
             .map(|t| bindings.resolve(t))
             .collect::<Option<Vec<_>>>()
         {
-            return rel.contains(&Tuple::new(values));
+            return facts.contains_fact(&atom.relation, &Tuple::new(values));
         }
     }
     let mut scratch = bindings.clone();
-    rel.tuples().any(|t| {
+    facts.facts_in(&atom.relation).any(|(_, t)| {
         if let Some(newly) = match_atom(atom, t, &mut scratch, mode) {
             for v in newly {
                 scratch.unset(v);
@@ -195,7 +204,7 @@ fn try_comparison(c: &Comparison, bindings: &Bindings, mode: NullSemantics) -> O
 
 /// Pick a greedy join order: repeatedly choose the atom with the most terms
 /// bound so far, breaking ties by smaller relation.
-fn atom_order(db: &Database, cq: &ConjunctiveQuery) -> Vec<usize> {
+fn atom_order<F: Facts + ?Sized>(facts: &F, cq: &ConjunctiveQuery) -> Vec<usize> {
     let n = cq.atoms.len();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
@@ -214,7 +223,7 @@ fn atom_order(db: &Database, cq: &ConjunctiveQuery) -> Vec<usize> {
                         Term::Var(v) => bound.contains(v),
                     })
                     .count();
-                let size = db.relation(&atom.relation).map_or(0, |r| r.len());
+                let size = facts.relation_len(&atom.relation);
                 (bound_terms, std::cmp::Reverse(size))
             })
             .expect("remaining is non-empty");
@@ -230,30 +239,28 @@ fn atom_order(db: &Database, cq: &ConjunctiveQuery) -> Vec<usize> {
 ///
 /// `sink` returns `true` to continue enumeration, `false` to stop early
 /// (used by Boolean queries).
-pub fn for_each_witness(
-    db: &Database,
+pub fn for_each_witness<F: Facts + ?Sized>(
+    facts: &F,
     cq: &ConjunctiveQuery,
     mode: NullSemantics,
     sink: &mut dyn FnMut(&Witness) -> bool,
 ) {
-    let order = atom_order(db, cq);
+    let order = atom_order(facts, cq);
 
     // Probe planning: for each atom (in join order), pick one position whose
     // value will be known when the atom is reached — a constant, or a
     // variable bound by an earlier atom. Relations larger than the threshold
-    // get a one-column hash index on that position, turning the scan into a
-    // bucket lookup. Under SQL semantics nulls never join, so null keys are
-    // simply absent from the index.
+    // probe the base's cached one-column hash index on that position, turning
+    // the scan into a bucket lookup (deleted tids filtered, insert overlay
+    // unioned). Under SQL semantics null probe keys bail out before the
+    // lookup, so nulls never join.
     const INDEX_THRESHOLD: usize = 32;
     let mut probe_pos: Vec<Option<usize>> = vec![None; cq.atoms.len()];
     {
         let mut bound: BTreeSet<Var> = BTreeSet::new();
         for &idx in &order {
             let atom = &cq.atoms[idx];
-            let big = db
-                .relation(&atom.relation)
-                .is_some_and(|r| r.len() >= INDEX_THRESHOLD);
-            if big {
+            if facts.relation_len(&atom.relation) >= INDEX_THRESHOLD {
                 probe_pos[idx] = atom.terms.iter().position(|t| match t {
                     Term::Const(c) => !c.is_null() || mode == NullSemantics::Structural,
                     Term::Var(v) => bound.contains(v),
@@ -263,18 +270,18 @@ pub fn for_each_witness(
         }
     }
 
-    struct Eval<'a, 'b> {
-        db: &'a Database,
+    struct Eval<'a, 'b, F: Facts + ?Sized> {
+        facts: &'a F,
         cq: &'a ConjunctiveQuery,
         order: &'b [usize],
         probe_pos: &'b [Option<usize>],
         mode: NullSemantics,
-        /// Lazily built single-column indexes, one per indexed atom:
-        /// value at the probe position → matching `(tid, tuple)` pairs.
-        indexes: Vec<Option<crate::eval::ProbeIndex<'a>>>,
+        /// Shared base indexes, one per indexed atom, cloned out of the
+        /// base's cache on first use so recursion re-probes lock-free.
+        indexes: Vec<Option<Arc<ColumnIndex>>>,
     }
 
-    impl<'a> Eval<'a, '_> {
+    impl<'a, F: Facts + ?Sized> Eval<'a, '_, F> {
         fn recurse(
             &mut self,
             depth: usize,
@@ -293,7 +300,7 @@ pub fn for_each_witness(
                     }
                 }
                 for neg in &self.cq.negated {
-                    if atom_has_match(self.db, neg, bindings, self.mode) {
+                    if atom_has_match(self.facts, neg, bindings, self.mode) {
                         return true;
                     }
                 }
@@ -305,46 +312,53 @@ pub fn for_each_witness(
             }
             let atom_idx = self.order[depth];
             // Clone the atom (cheap: `Arc<str>` terms) so the `step` closure
-            // below can re-borrow `self` mutably; copy the `&'a Database`
-            // out so the relation borrow outlives `self`'s re-borrows.
+            // below can re-borrow `self` mutably; copy the `&'a F` out so the
+            // fact borrows outlive `self`'s re-borrows.
             let atom = self.cq.atoms[atom_idx].clone();
-            let db: &'a Database = self.db;
-            let Some(rel) = db.relation(&atom.relation) else {
-                return true; // empty/missing relation: no matches, keep going
-            };
+            let facts: &'a F = self.facts;
             // Candidate tuples: the probe bucket if indexed, else a scan.
-            let bucket: Option<&[(Tid, &'a Tuple)]> = match self.probe_pos[atom_idx] {
-                Some(pos) => {
-                    let key = bindings.resolve(&atom.terms[pos]);
-                    match key {
-                        Some(key) => {
-                            if self.mode == NullSemantics::Sql && key.is_null() {
-                                return true; // null never joins: no matches
-                            }
-                            if self.indexes[atom_idx].is_none() {
-                                let mut map: FxHashMap<Value, Vec<(Tid, &'a Tuple)>> =
-                                    FxHashMap::default();
-                                for (tid, t) in rel.iter() {
+            let bucket: Option<Vec<(Tid, &'a Tuple)>> = match self.probe_pos[atom_idx] {
+                Some(pos) => match bindings.resolve(&atom.terms[pos]) {
+                    Some(key) => {
+                        if self.mode == NullSemantics::Sql && key.is_null() {
+                            return true; // null never joins: no matches
+                        }
+                        if self.indexes[atom_idx].is_none() {
+                            self.indexes[atom_idx] = facts.base().column_index(&atom.relation, pos);
+                        }
+                        match self.indexes[atom_idx].clone() {
+                            Some(index) => {
+                                let rel = facts
+                                    .base()
+                                    .relation(&atom.relation)
+                                    .expect("indexed relation exists in the base");
+                                let mut pairs: Vec<(Tid, &'a Tuple)> = Vec::new();
+                                if let Some(hits) = index.get(&key) {
+                                    for &tid in hits {
+                                        if facts.is_deleted(tid) {
+                                            continue;
+                                        }
+                                        if let Some(t) = rel.get(tid) {
+                                            pairs.push((tid, t));
+                                        }
+                                    }
+                                }
+                                for (tid, t) in facts.overlay_of(&atom.relation) {
                                     let v = t.at(pos);
                                     if self.mode == NullSemantics::Sql && v.is_null() {
                                         continue;
                                     }
-                                    map.entry(v.clone()).or_default().push((tid, t));
+                                    if *v == key {
+                                        pairs.push((*tid, t));
+                                    }
                                 }
-                                self.indexes[atom_idx] = Some(map);
+                                Some(pairs)
                             }
-                            Some(
-                                self.indexes[atom_idx]
-                                    .as_ref()
-                                    .unwrap()
-                                    .get(&key)
-                                    .map(Vec::as_slice)
-                                    .unwrap_or(&[]),
-                            )
+                            None => None, // base lacks the relation: scan
                         }
-                        None => None, // probe var unbound at runtime: scan
                     }
-                }
+                    None => None, // probe var unbound at runtime: scan
+                },
                 None => None,
             };
 
@@ -378,11 +392,6 @@ pub fn for_each_witness(
 
             match bucket {
                 Some(pairs) => {
-                    // Take a raw copy of the slice pointer: `step` re-borrows
-                    // self mutably, but the indexed pairs borrow from `db`
-                    // (immutable), so iterate over a cloned Vec of the small
-                    // bucket instead of fighting the borrow checker.
-                    let pairs: Vec<(Tid, &Tuple)> = pairs.to_vec();
                     for (tid, tuple) in pairs {
                         if !step(tid, tuple, self, bindings, tids, sink) {
                             return false;
@@ -390,7 +399,7 @@ pub fn for_each_witness(
                     }
                 }
                 None => {
-                    for (tid, tuple) in rel.iter() {
+                    for (tid, tuple) in facts.facts_in(&atom.relation) {
                         if !step(tid, tuple, self, bindings, tids, sink) {
                             return false;
                         }
@@ -402,7 +411,7 @@ pub fn for_each_witness(
     }
 
     let mut eval = Eval {
-        db,
+        facts,
         cq,
         order: &order,
         probe_pos: &probe_pos,
@@ -414,13 +423,14 @@ pub fn for_each_witness(
     eval.recurse(0, &mut bindings, &mut tids, sink);
 }
 
-/// One single-column probe index: probe value → matching `(tid, tuple)`.
-type ProbeIndex<'a> = FxHashMap<Value, Vec<(Tid, &'a Tuple)>>;
-
-/// All witnesses of `cq` over `db`.
-pub fn witnesses(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> Vec<Witness> {
+/// All witnesses of `cq` over the visible facts.
+pub fn witnesses<F: Facts + ?Sized>(
+    facts: &F,
+    cq: &ConjunctiveQuery,
+    mode: NullSemantics,
+) -> Vec<Witness> {
     let mut out = Vec::new();
-    for_each_witness(db, cq, mode, &mut |w| {
+    for_each_witness(facts, cq, mode, &mut |w| {
         out.push(w.clone());
         true
     });
@@ -431,9 +441,13 @@ pub fn witnesses(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> V
 ///
 /// A Boolean query returns either the empty set (false) or the set containing
 /// the empty tuple (true); see [`holds`].
-pub fn eval_cq(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> BTreeSet<Tuple> {
+pub fn eval_cq<F: Facts + ?Sized>(
+    facts: &F,
+    cq: &ConjunctiveQuery,
+    mode: NullSemantics,
+) -> BTreeSet<Tuple> {
     let mut out = BTreeSet::new();
-    for_each_witness(db, cq, mode, &mut |w| {
+    for_each_witness(facts, cq, mode, &mut |w| {
         if let Some(t) = w.bindings.project(&cq.head) {
             out.insert(t);
         }
@@ -443,18 +457,22 @@ pub fn eval_cq(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> BTr
 }
 
 /// Evaluate a union of conjunctive queries.
-pub fn eval_ucq(db: &Database, q: &UnionQuery, mode: NullSemantics) -> BTreeSet<Tuple> {
+pub fn eval_ucq<F: Facts + ?Sized>(
+    facts: &F,
+    q: &UnionQuery,
+    mode: NullSemantics,
+) -> BTreeSet<Tuple> {
     let mut out = BTreeSet::new();
     for cq in &q.disjuncts {
-        out.extend(eval_cq(db, cq, mode));
+        out.extend(eval_cq(facts, cq, mode));
     }
     out
 }
 
 /// Does a Boolean CQ hold? (Stops at the first witness.)
-pub fn holds(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> bool {
+pub fn holds<F: Facts + ?Sized>(facts: &F, cq: &ConjunctiveQuery, mode: NullSemantics) -> bool {
     let mut found = false;
-    for_each_witness(db, cq, mode, &mut |_| {
+    for_each_witness(facts, cq, mode, &mut |_| {
         found = true;
         false
     });
@@ -462,15 +480,15 @@ pub fn holds(db: &Database, cq: &ConjunctiveQuery, mode: NullSemantics) -> bool 
 }
 
 /// Does a Boolean UCQ hold?
-pub fn holds_ucq(db: &Database, q: &UnionQuery, mode: NullSemantics) -> bool {
-    q.disjuncts.iter().any(|cq| holds(db, cq, mode))
+pub fn holds_ucq<F: Facts + ?Sized>(facts: &F, q: &UnionQuery, mode: NullSemantics) -> bool {
+    q.disjuncts.iter().any(|cq| holds(facts, cq, mode))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::parse_query;
-    use cqa_relation::{tuple, RelationSchema};
+    use cqa_relation::{tuple, Database, RelationSchema};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -615,7 +633,7 @@ mod index_tests {
 
     use super::*;
     use crate::parser::parse_query;
-    use cqa_relation::{tuple, RelationSchema};
+    use cqa_relation::{tuple, Database, RelationSchema};
 
     fn big_db(n: usize) -> Database {
         let mut db = Database::new();

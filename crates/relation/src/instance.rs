@@ -10,10 +10,11 @@ use crate::fxhash::FxHashMap;
 use crate::schema::{DatabaseSchema, RelationSchema};
 use crate::tuple::{Tid, Tuple};
 use crate::value::Value;
+use crate::view::ColumnIndex;
 use crate::Result;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// One relation instance: a schema plus a tid-keyed set of tuples.
 #[derive(Debug, Clone)]
@@ -84,7 +85,10 @@ impl Relation {
         self.by_content.get(tuple).copied()
     }
 
-    fn validate(&self, tuple: &Tuple) -> Result<()> {
+    /// Check that `tuple` fits this relation's schema (arity and attribute
+    /// types). Public so repair enumeration can validate insertions *up
+    /// front*, before building lazy views over them.
+    pub fn validate(&self, tuple: &Tuple) -> Result<()> {
         if tuple.arity() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {
                 relation: self.name().to_string(),
@@ -128,19 +132,68 @@ impl Relation {
     }
 }
 
+/// Lazily built one-column hash indexes, shared across every view layered
+/// over this instance.
+///
+/// Keyed by `(relation index, column)`. Buckets are deterministic regardless
+/// of which thread builds them first (tuples iterate in tid order), so a
+/// benign build race under the `cqa-exec` pool cannot perturb results.
+#[derive(Debug, Default)]
+struct IndexCache {
+    columns: RwLock<FxHashMap<(usize, usize), Arc<ColumnIndex>>>,
+}
+
+impl IndexCache {
+    fn get(&self, key: (usize, usize)) -> Option<Arc<ColumnIndex>> {
+        self.columns
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .map(Arc::clone)
+    }
+
+    fn insert(&self, key: (usize, usize), index: Arc<ColumnIndex>) -> Arc<ColumnIndex> {
+        let mut map = self.columns.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key).or_insert(index))
+    }
+
+    fn invalidate(&self) {
+        self.columns
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
 /// A full database instance.
 ///
 /// Owns its relations and a tid counter. Cloning a `Database` (to build a
 /// repair) preserves the tids of all surviving tuples; newly inserted tuples
 /// get fresh tids *from the clone's own counter*, which continues from the
 /// original's, so tids never collide between an instance and its repairs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     relations: Vec<Relation>,
     /// Relation name → index in `relations`.
     index: FxHashMap<String, usize>,
     next_tid: u64,
     next_null: u32,
+    /// Shared one-column index cache; reset on clone, cleared on mutation.
+    cache: IndexCache,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            relations: self.relations.clone(),
+            index: self.index.clone(),
+            next_tid: self.next_tid,
+            next_null: self.next_null,
+            // Indexes describe the *content* at build time; a clone starts
+            // fresh and rebuilds on demand.
+            cache: IndexCache::default(),
+        }
+    }
 }
 
 impl Database {
@@ -151,6 +204,7 @@ impl Database {
             index: FxHashMap::default(),
             next_tid: 1,
             next_null: 1,
+            cache: IndexCache::default(),
         }
     }
 
@@ -210,6 +264,7 @@ impl Database {
         }
         rel.insert_with_tid(next, tuple);
         self.next_tid += 1;
+        self.cache.invalidate();
         Ok(next)
     }
 
@@ -228,6 +283,7 @@ impl Database {
     pub fn delete(&mut self, tid: Tid) -> Result<(String, Tuple)> {
         for rel in &mut self.relations {
             if let Some(tuple) = rel.remove(tid) {
+                self.cache.invalidate();
                 return Ok((rel.name().to_string(), tuple));
             }
         }
@@ -258,10 +314,50 @@ impl Database {
                     }
                 }
                 rel.insert_with_tid(tid, updated);
+                self.cache.invalidate();
                 return Ok(());
             }
         }
         Err(RelationError::UnknownTid(tid.0))
+    }
+
+    /// The next tid this instance would assign (exclusive upper bound on the
+    /// tids currently in use). Views mint synthetic overlay tids from here so
+    /// that view tids equal the tids [`Database::with_changes`] would assign.
+    pub fn tid_watermark(&self) -> u64 {
+        self.next_tid
+    }
+
+    /// Would `insert(relation, tuple)` succeed? Checks relation existence,
+    /// arity and attribute types without mutating anything, so repair
+    /// enumeration can validate deltas up front and stay lazy afterwards.
+    pub fn check_insertable(&self, relation: &str, tuple: &Tuple) -> Result<()> {
+        self.require_relation(relation)?.validate(tuple)
+    }
+
+    /// The cached one-column hash index for `(relation, column)`: value →
+    /// tids of the tuples carrying it, in tid order.
+    ///
+    /// Built on first use and shared (via [`Arc`]) with every caller until the
+    /// next mutation invalidates the cache. Returns `None` for unknown
+    /// relations or out-of-range columns. The index is *semantics-agnostic*:
+    /// null keys are indexed too, and it is the probing side's job to skip
+    /// null probes under SQL semantics.
+    pub fn column_index(&self, relation: &str, column: usize) -> Option<Arc<ColumnIndex>> {
+        let &rel_idx = self.index.get(relation)?;
+        let rel = &self.relations[rel_idx];
+        if column >= rel.schema().arity() {
+            return None;
+        }
+        let key = (rel_idx, column);
+        if let Some(cached) = self.cache.get(key) {
+            return Some(cached);
+        }
+        let mut built = ColumnIndex::default();
+        for (tid, tuple) in rel.iter() {
+            built.entry(tuple.at(column).clone()).or_default().push(tid);
+        }
+        Some(self.cache.insert(key, Arc::new(built)))
     }
 
     /// Total tuple count over all relations.
@@ -312,10 +408,39 @@ impl Database {
         deletions: &BTreeSet<Tid>,
         insertions: &[(String, Tuple)],
     ) -> Result<(Database, Vec<Tid>)> {
-        let mut db = self.clone();
         for &tid in deletions {
-            db.delete(tid)?;
+            if self.get(tid).is_none() {
+                return Err(RelationError::UnknownTid(tid.0));
+            }
         }
+        // Single filtered pass per relation with `by_content` capacity
+        // reserved up front, instead of clone-then-delete (which re-scans
+        // every relation per deleted tid and grows the hash maps
+        // incrementally).
+        let mut relations = Vec::with_capacity(self.relations.len());
+        for rel in &self.relations {
+            let mut by_content = FxHashMap::with_capacity_and_hasher(rel.len(), Default::default());
+            let mut tuples = BTreeMap::new();
+            for (tid, tuple) in rel.iter() {
+                if deletions.contains(&tid) {
+                    continue;
+                }
+                by_content.insert(tuple.clone(), tid);
+                tuples.insert(tid, tuple.clone());
+            }
+            relations.push(Relation {
+                schema: Arc::clone(&rel.schema),
+                tuples,
+                by_content,
+            });
+        }
+        let mut db = Database {
+            relations,
+            index: self.index.clone(),
+            next_tid: self.next_tid,
+            next_null: self.next_null,
+            cache: IndexCache::default(),
+        };
         let mut new_tids = Vec::with_capacity(insertions.len());
         for (rel, tuple) in insertions {
             new_tids.push(db.insert(rel, tuple.clone())?);
@@ -521,6 +646,45 @@ mod tests {
         assert_eq!(db.relation("B").unwrap().schema().arity(), 2);
         db.insert("A", tuple![1]).unwrap();
         assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    fn column_index_caches_and_invalidates() {
+        let mut db = supply_db();
+        let ix = db.column_index("Supply", 0).unwrap();
+        assert_eq!(ix.get(&Value::str("C2")).unwrap(), &vec![Tid(2), Tid(3)]);
+        // Second call returns the same shared index.
+        let again = db.column_index("Supply", 0).unwrap();
+        assert!(Arc::ptr_eq(&ix, &again));
+        // Out-of-range column and unknown relation yield no index.
+        assert!(db.column_index("Supply", 9).is_none());
+        assert!(db.column_index("Nope", 0).is_none());
+        // A mutation invalidates: the rebuilt index sees the new tuple.
+        db.insert("Supply", tuple!["C2", "R9", "I9"]).unwrap();
+        let rebuilt = db.column_index("Supply", 0).unwrap();
+        assert!(!Arc::ptr_eq(&ix, &rebuilt));
+        assert_eq!(rebuilt.get(&Value::str("C2")).unwrap().len(), 3);
+        // Clones start with a fresh (empty) cache but identical content.
+        let clone = db.clone();
+        let cloned_ix = clone.column_index("Supply", 0).unwrap();
+        assert_eq!(*cloned_ix, *rebuilt);
+    }
+
+    #[test]
+    fn check_insertable_matches_insert() {
+        let db = supply_db();
+        assert!(db
+            .check_insertable("Supply", &tuple!["C3", "R3", "I4"])
+            .is_ok());
+        assert!(db.check_insertable("Supply", &tuple!["C3"]).is_err());
+        assert!(db.check_insertable("Nope", &tuple!["x"]).is_err());
+    }
+
+    #[test]
+    fn with_changes_unknown_tid_errors() {
+        let db = supply_db();
+        let dels: BTreeSet<Tid> = [Tid(99)].into();
+        assert!(db.with_changes(&dels, &[]).is_err());
     }
 
     #[test]

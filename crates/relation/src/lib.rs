@@ -33,6 +33,7 @@ pub mod instance;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod view;
 
 pub use codec::{load, save};
 pub use error::RelationError;
@@ -40,6 +41,7 @@ pub use instance::{Database, Relation};
 pub use schema::{AttrType, Attribute, DatabaseSchema, RelationSchema};
 pub use tuple::{Tid, Tuple};
 pub use value::{sql_eq, sql_le, sql_lt, Truth, Value};
+pub use view::{ColumnIndex, DeltaView, Facts};
 
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, RelationError>;

@@ -1,0 +1,403 @@
+//! Copy-on-write repair views: the [`Facts`] trait and [`DeltaView`].
+//!
+//! A repair of a large instance is a *small* symmetric-difference delta
+//! `(deleted tids, inserted tuples)` over a large shared base. Materializing a
+//! full [`Database`] clone per repair makes enumeration cost `O(count ×
+//! instance)`; evaluating queries and constraints directly against the overlay
+//! makes it `O(count × delta)`. [`Facts`] is the read-only abstraction both
+//! query evaluation and constraint checking are generic over; [`Database`]
+//! implements it trivially (empty delta) and [`DeltaView`] implements it as a
+//! zero-clone overlay.
+//!
+//! Views are immutable and [`Sync`], so they compose with the `cqa-exec`
+//! thread pool without extra synchronization, and synthetic tids are minted
+//! exactly as [`Database::with_changes`] would assign them, so a view and its
+//! materialization agree *byte for byte* on every witness — the PR 2
+//! determinism contract extends to views unchanged.
+
+use crate::fxhash::FxHashMap;
+use crate::instance::{Database, Relation};
+use crate::tuple::{Tid, Tuple};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A one-column hash index over a relation: value at the column → tids of the
+/// base tuples carrying that value, in tid (insertion) order.
+///
+/// Built once per `(relation, column)` in the base's index cache and shared
+/// (via `Arc`) by every view layered over that base.
+pub type ColumnIndex = FxHashMap<Value, Vec<Tid>>;
+
+/// A read-only set of facts: a base instance plus an optional delta overlay.
+///
+/// Implemented by [`Database`] (the delta is empty) and [`DeltaView`] (the
+/// delta is a deleted-tid set and a normalized insert overlay). Consumers —
+/// join evaluation, constraint checking, CQA, causality probes — are generic
+/// over `F: Facts + ?Sized`, so one code path serves materialized instances
+/// and zero-clone repair views alike.
+///
+/// The trait is object-safe (`&dyn Facts` works) and requires [`Sync`] so
+/// views can be shared across the `cqa-exec` worker pool.
+pub trait Facts: Sync {
+    /// The shared base instance (for schema lookups and cached indexes).
+    ///
+    /// For a plain [`Database`] this is the instance itself.
+    fn base(&self) -> &Database;
+
+    /// Is this base tid deleted in the view?
+    fn is_deleted(&self, tid: Tid) -> bool;
+
+    /// The insert overlay for `relation`: rows present in the view but not in
+    /// the base, with their synthetic tids, in minted order.
+    fn overlay_of(&self, relation: &str) -> &[(Tid, Tuple)];
+
+    /// Number of visible tuples in `relation` (0 for unknown relations).
+    fn relation_len(&self, relation: &str) -> usize {
+        match self.base().relation(relation) {
+            Some(rel) => {
+                let deleted = rel.tids().filter(|&t| self.is_deleted(t)).count();
+                rel.len() - deleted + self.overlay_of(relation).len()
+            }
+            None => self.overlay_of(relation).len(),
+        }
+    }
+
+    /// Does the view contain a tuple with this exact content in `relation`?
+    fn contains_fact(&self, relation: &str, tuple: &Tuple) -> bool {
+        if let Some(rel) = self.base().relation(relation) {
+            if let Some(tid) = rel.tid_of(tuple) {
+                if !self.is_deleted(tid) {
+                    return true;
+                }
+            }
+        }
+        self.overlay_of(relation).iter().any(|(_, t)| t == tuple)
+    }
+
+    /// Locate a visible tuple by tid: `(relation name, tuple)`.
+    ///
+    /// Resolves both base tids (unless deleted) and synthetic overlay tids.
+    fn get_fact(&self, tid: Tid) -> Option<(&str, &Tuple)> {
+        if self.is_deleted(tid) {
+            return None;
+        }
+        if let Some(found) = self.base().get(tid) {
+            return Some(found);
+        }
+        for rel in self.base().relations() {
+            if let Some((_, t)) = self.overlay_of(rel.name()).iter().find(|(o, _)| *o == tid) {
+                return Some((rel.name(), t));
+            }
+        }
+        None
+    }
+
+    /// Iterate the visible `(tid, tuple)` pairs of `relation` in tid order:
+    /// surviving base tuples first, then the insert overlay.
+    fn facts_in<'s>(&'s self, relation: &str) -> Box<dyn Iterator<Item = (Tid, &'s Tuple)> + 's> {
+        let base = self.base().relation(relation).map(Relation::iter);
+        let overlay = self.overlay_of(relation);
+        Box::new(
+            base.into_iter()
+                .flatten()
+                .filter(move |&(tid, _)| !self.is_deleted(tid))
+                .chain(overlay.iter().map(|(tid, t)| (*tid, t))),
+        )
+    }
+
+    /// The set of all visible tids (surviving base tids plus synthetic ones).
+    fn visible_tids(&self) -> BTreeSet<Tid> {
+        let mut out: BTreeSet<Tid> = self
+            .base()
+            .tids()
+            .into_iter()
+            .filter(|&t| !self.is_deleted(t))
+            .collect();
+        for rel in self.base().relations() {
+            out.extend(self.overlay_of(rel.name()).iter().map(|(tid, _)| *tid));
+        }
+        out
+    }
+
+    /// Materialize the view into an owned [`Database`].
+    ///
+    /// Synthetic tids are preserved (insertions replay in minted order through
+    /// [`Database::with_changes`]), so the snapshot is byte-identical to the
+    /// view. Escape hatch for consumers that genuinely need an owned instance
+    /// (e.g. Datalog evaluation); hot paths should stay on the trait.
+    fn snapshot(&self) -> Database {
+        let deleted: BTreeSet<Tid> = self
+            .base()
+            .tids()
+            .into_iter()
+            .filter(|&t| self.is_deleted(t))
+            .collect();
+        let mut rows: Vec<(Tid, String, Tuple)> = Vec::new();
+        for rel in self.base().relations() {
+            for (tid, t) in self.overlay_of(rel.name()) {
+                rows.push((*tid, rel.name().to_string(), t.clone()));
+            }
+        }
+        rows.sort_by_key(|(tid, _, _)| *tid);
+        let inserted: Vec<(String, Tuple)> = rows.into_iter().map(|(_, rel, t)| (rel, t)).collect();
+        self.base()
+            .with_changes(&deleted, &inserted)
+            .expect("view deltas are validated before construction")
+            .0
+    }
+}
+
+impl Facts for Database {
+    fn base(&self) -> &Database {
+        self
+    }
+
+    fn is_deleted(&self, _tid: Tid) -> bool {
+        false
+    }
+
+    fn overlay_of(&self, _relation: &str) -> &[(Tid, Tuple)] {
+        &[]
+    }
+
+    fn relation_len(&self, relation: &str) -> usize {
+        self.relation(relation).map_or(0, Relation::len)
+    }
+
+    fn contains_fact(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.relation(relation).is_some_and(|r| r.contains(tuple))
+    }
+
+    fn get_fact(&self, tid: Tid) -> Option<(&str, &Tuple)> {
+        self.get(tid)
+    }
+
+    fn facts_in<'s>(&'s self, relation: &str) -> Box<dyn Iterator<Item = (Tid, &'s Tuple)> + 's> {
+        match self.relation(relation) {
+            Some(rel) => Box::new(rel.iter()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    fn visible_tids(&self) -> BTreeSet<Tid> {
+        self.tids()
+    }
+
+    fn snapshot(&self) -> Database {
+        self.clone()
+    }
+}
+
+/// A zero-clone repair view: a borrowed base, a borrowed deleted-tid set, and
+/// a normalized insert overlay.
+///
+/// Construction normalizes the requested insertions exactly the way
+/// [`Database::with_changes`] would apply them:
+///
+/// - an insertion whose content is still visible in the base (its tid is not
+///   deleted) is dropped — set semantics make it a no-op;
+/// - duplicate insertions collapse to the first copy;
+/// - surviving insertions receive synthetic tids minted from the base's tid
+///   watermark in insertion order, so view tids equal materialized tids.
+///
+/// Insertions are assumed valid for the base's schema (repair enumeration
+/// validates them up front via [`Database::check_insertable`]); an invalid
+/// overlay makes [`Facts::snapshot`] panic.
+#[derive(Debug, Clone)]
+pub struct DeltaView<'a> {
+    base: &'a Database,
+    deleted: &'a BTreeSet<Tid>,
+    /// Relation name → normalized overlay rows with synthetic tids.
+    overlay: FxHashMap<String, Vec<(Tid, Tuple)>>,
+    /// Total overlay rows across relations (after normalization).
+    overlay_len: usize,
+}
+
+impl<'a> DeltaView<'a> {
+    /// Build a view of `base` with the given deletions and insertions.
+    pub fn new(
+        base: &'a Database,
+        deleted: &'a BTreeSet<Tid>,
+        inserted: &[(String, Tuple)],
+    ) -> DeltaView<'a> {
+        let mut overlay: FxHashMap<String, Vec<(Tid, Tuple)>> = FxHashMap::default();
+        let mut overlay_len = 0;
+        let mut next = base.tid_watermark();
+        for (name, tuple) in inserted {
+            if let Some(rel) = base.relation(name) {
+                if let Some(existing) = rel.tid_of(tuple) {
+                    if !deleted.contains(&existing) {
+                        continue; // content already visible: set-semantics no-op
+                    }
+                }
+            }
+            let rows = overlay.entry(name.clone()).or_default();
+            if rows.iter().any(|(_, t)| t == tuple) {
+                continue; // duplicate insertion collapses
+            }
+            rows.push((Tid(next), tuple.clone()));
+            overlay_len += 1;
+            next += 1;
+        }
+        DeltaView {
+            base,
+            deleted,
+            overlay,
+            overlay_len,
+        }
+    }
+
+    /// The deleted-tid set this view filters out.
+    pub fn deleted(&self) -> &BTreeSet<Tid> {
+        self.deleted
+    }
+
+    /// Number of overlay rows (normalized insertions) across all relations.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay_len
+    }
+}
+
+impl Facts for DeltaView<'_> {
+    fn base(&self) -> &Database {
+        self.base
+    }
+
+    fn is_deleted(&self, tid: Tid) -> bool {
+        self.deleted.contains(&tid)
+    }
+
+    fn overlay_of(&self, relation: &str) -> &[(Tid, Tuple)] {
+        self.overlay.get(relation).map_or(&[], Vec::as_slice)
+    }
+
+    fn relation_len(&self, relation: &str) -> usize {
+        match self.base.relation(relation) {
+            Some(rel) => {
+                // O(|Δ| log n): probe each deleted tid instead of scanning.
+                let deleted = self
+                    .deleted
+                    .iter()
+                    .filter(|&&t| rel.get(t).is_some())
+                    .count();
+                rel.len() - deleted + self.overlay_of(relation).len()
+            }
+            None => self.overlay_of(relation).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+
+    fn base_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        db.insert("R", tuple!["a", 1]).unwrap();
+        db.insert("R", tuple!["b", 2]).unwrap();
+        db.insert("S", tuple!["a"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn database_is_a_trivial_view() {
+        let db = base_db();
+        assert_eq!(db.relation_len("R"), 2);
+        assert_eq!(db.relation_len("Nope"), 0);
+        assert!(db.contains_fact("R", &tuple!["a", 1]));
+        assert!(!db.is_deleted(Tid(1)));
+        assert!(db.overlay_of("R").is_empty());
+        assert_eq!(db.facts_in("R").count(), 2);
+        assert_eq!(db.visible_tids(), db.tids());
+        assert_eq!(db.get_fact(Tid(3)), Some(("S", &tuple!["a"])));
+    }
+
+    #[test]
+    fn delta_view_filters_deletions_and_adds_overlay() {
+        let db = base_db();
+        let deleted: BTreeSet<Tid> = [Tid(1)].into();
+        let inserted = vec![("R".to_string(), tuple!["c", 3])];
+        let view = DeltaView::new(&db, &deleted, &inserted);
+        assert_eq!(view.relation_len("R"), 2); // -1 deleted, +1 inserted
+        assert!(!view.contains_fact("R", &tuple!["a", 1]));
+        assert!(view.contains_fact("R", &tuple!["c", 3]));
+        assert_eq!(view.get_fact(Tid(1)), None);
+        let rows: Vec<(Tid, &Tuple)> = view.facts_in("R").collect();
+        assert_eq!(rows.len(), 2);
+        // Synthetic tid continues from the base watermark (next tid is 4).
+        assert_eq!(rows[1].0, Tid(4));
+        assert_eq!(view.get_fact(Tid(4)), Some(("R", &tuple!["c", 3])));
+    }
+
+    #[test]
+    fn overlay_normalization_matches_with_changes() {
+        let db = base_db();
+        let deleted: BTreeSet<Tid> = [Tid(2)].into();
+        let inserted = vec![
+            ("R".to_string(), tuple!["a", 1]), // already visible: dropped
+            ("R".to_string(), tuple!["b", 2]), // deleted content: re-inserted
+            ("R".to_string(), tuple!["b", 2]), // duplicate: collapsed
+            ("S".to_string(), tuple!["z"]),
+        ];
+        let view = DeltaView::new(&db, &deleted, &inserted);
+        let (materialized, new_tids) = db.with_changes(&deleted, &inserted).unwrap();
+        assert_eq!(view.overlay_len(), 2);
+        // The view's synthetic tids equal the materialized insertion tids.
+        let view_tids: BTreeSet<Tid> = view
+            .visible_tids()
+            .difference(&db.tids())
+            .copied()
+            .collect();
+        let fresh: BTreeSet<Tid> = new_tids
+            .iter()
+            .copied()
+            .filter(|t| t.0 >= db.tid_watermark())
+            .collect();
+        assert_eq!(view_tids, fresh);
+        assert_eq!(view.visible_tids(), materialized.tids());
+    }
+
+    #[test]
+    fn snapshot_is_byte_identical_to_with_changes() {
+        let db = base_db();
+        let deleted: BTreeSet<Tid> = [Tid(1)].into();
+        let inserted = vec![
+            ("S".to_string(), tuple!["x"]),
+            ("R".to_string(), tuple!["c", 9]),
+        ];
+        let view = DeltaView::new(&db, &deleted, &inserted);
+        let snap = view.snapshot();
+        let (materialized, _) = db.with_changes(&deleted, &inserted).unwrap();
+        assert_eq!(snap.tids(), materialized.tids());
+        assert!(snap.same_content(&materialized));
+        // Per-tid equality, not just content equality.
+        for tid in snap.tids() {
+            assert_eq!(snap.get(tid), materialized.get(tid));
+        }
+    }
+
+    #[test]
+    fn empty_delta_view_equals_base() {
+        let db = base_db();
+        let deleted = BTreeSet::new();
+        let view = DeltaView::new(&db, &deleted, &[]);
+        assert_eq!(view.visible_tids(), db.tids());
+        assert_eq!(view.relation_len("R"), 2);
+        assert_eq!(view.snapshot().tids(), db.tids());
+    }
+
+    #[test]
+    fn views_work_as_trait_objects() {
+        let db = base_db();
+        let deleted: BTreeSet<Tid> = [Tid(3)].into();
+        let view = DeltaView::new(&db, &deleted, &[]);
+        let dyns: Vec<&dyn Facts> = vec![&db, &view];
+        assert_eq!(dyns[0].relation_len("S"), 1);
+        assert_eq!(dyns[1].relation_len("S"), 0);
+    }
+}

@@ -219,7 +219,7 @@ fn e7_null_tuple_repairs() {
     assert_eq!(t.at(0), &Value::str("I3"));
     assert!(t.at(1).is_null());
     for r in &repairs {
-        assert!(sigma.is_satisfied(&r.repair.db).unwrap());
+        assert!(sigma.is_satisfied(r.repair.db()).unwrap());
     }
 }
 

@@ -69,7 +69,7 @@ proptest! {
         let instances: Vec<Database> = cqa_core::s_repairs(&db, &sigma)
             .unwrap()
             .into_iter()
-            .map(|r| r.db)
+            .map(|r| r.into_db())
             .collect();
         let q = UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap());
         let [a, b, c] = at_thread_counts(|| cqa_core::certain_over(&instances, &q));

@@ -177,13 +177,13 @@ proptest! {
         let repairs = s_repairs(&db, &sigma).unwrap();
         prop_assert!(!repairs.is_empty());
         for r in &repairs {
-            prop_assert!(sigma.is_satisfied(&r.db).unwrap());
-            prop_assert!(is_repair(&db, &r.db, &sigma, RepairSemantics::Subset).unwrap());
+            prop_assert!(sigma.is_satisfied(r.db()).unwrap());
+            prop_assert!(is_repair(&db, r.db(), &sigma, RepairSemantics::Subset).unwrap());
         }
         for (i, a) in repairs.iter().enumerate() {
             for (j, b) in repairs.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!a.delta.is_subset(&b.delta));
+                    prop_assert!(!a.delta().is_subset(b.delta()));
                 }
             }
         }
@@ -200,8 +200,8 @@ proptest! {
         let crepairs = c_repairs(&db, &sigma).unwrap();
         let min = srepairs.iter().map(|r| r.delta_size()).min().unwrap();
         prop_assert!(crepairs.iter().all(|r| r.delta_size() == min));
-        let s_deltas: BTreeSet<_> = srepairs.iter().map(|r| r.delta.clone()).collect();
-        prop_assert!(crepairs.iter().all(|r| s_deltas.contains(&r.delta)));
+        let s_deltas: BTreeSet<_> = srepairs.iter().map(|r| r.delta().clone()).collect();
+        prop_assert!(crepairs.iter().all(|r| s_deltas.contains(r.delta())));
     }
 
     #[test]

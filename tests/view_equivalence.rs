@@ -1,0 +1,159 @@
+//! Property tests for the zero-clone repair views: a [`DeltaView`] must be
+//! observationally equivalent to the materialized repair it represents —
+//! for query answering (CQA), constraint satisfaction and causality
+//! responsibilities — and the equivalence must hold at every thread count
+//! (the views share one base-index cache across worker threads).
+
+use cqa_constraints::{ConstraintSet, DenialConstraint, KeyConstraint};
+use cqa_core::{certain_over, possible_over, s_repairs, RepairClass};
+use cqa_exec::with_threads;
+use cqa_query::{parse_query, UnionQuery};
+use cqa_relation::{tuple, Database, DeltaView, Facts, RelationSchema, Tid};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A `T(K, V)` instance with key-group conflicts plus a unary `S(V)` table
+/// for join queries.
+fn key_instance(groups: &[u8], s_vals: &[u8]) -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("T", ["K", "V"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("S", ["V"])).unwrap();
+    for (k, &size) in groups.iter().enumerate() {
+        for v in 0..size.max(1) {
+            db.insert("T", tuple![k as i64, v as i64]).unwrap();
+        }
+    }
+    for &v in s_vals {
+        db.insert("S", tuple![v as i64]).unwrap();
+    }
+    let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+    (db, sigma)
+}
+
+fn join_query() -> UnionQuery {
+    UnionQuery::single(parse_query("Q(k, v) :- T(k, v), S(v)").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every repair's view answers exactly like its materialized instance,
+    /// and snapshots round-trip byte-identically.
+    #[test]
+    fn view_equals_materialized_repair(
+        groups in proptest::collection::vec(1u8..4, 1..4),
+        s_vals in proptest::collection::vec(0u8..4, 0..4),
+    ) {
+        let (db, sigma) = key_instance(&groups, &s_vals);
+        let q = join_query();
+        for r in s_repairs(&db, &sigma).unwrap() {
+            let view = r.view();
+            // Snapshot round-trip: same content, same tids.
+            prop_assert!(view.snapshot().same_content(r.db()));
+            // Constraint satisfaction agrees (and holds: it is a repair).
+            prop_assert!(sigma.is_satisfied(&view).unwrap());
+            prop_assert!(sigma.is_satisfied(r.db()).unwrap());
+            // Query answers agree.
+            prop_assert_eq!(
+                cqa_query::eval_ucq(&view, &q, cqa_query::NullSemantics::Sql),
+                cqa_query::eval_ucq(r.db(), &q, cqa_query::NullSemantics::Sql)
+            );
+        }
+    }
+
+    /// CQA folded over views equals CQA folded over materialized repairs,
+    /// at 1 and 4 threads.
+    #[test]
+    fn cqa_over_views_equals_cqa_over_instances(
+        groups in proptest::collection::vec(1u8..4, 1..4),
+        s_vals in proptest::collection::vec(0u8..4, 0..4),
+    ) {
+        let (db, sigma) = key_instance(&groups, &s_vals);
+        let q = join_query();
+        for threads in [1usize, 4] {
+            let (via_views, via_instances) = with_threads(threads, || {
+                let repairs = s_repairs(&db, &sigma).unwrap();
+                let views: Vec<DeltaView<'_>> = repairs.iter().map(|r| r.view()).collect();
+                let v = (certain_over(&views, &q), possible_over(&views, &q));
+                let dbs: Vec<Database> =
+                    repairs.into_iter().map(|r| r.into_db()).collect();
+                let m = (certain_over(&dbs, &q), possible_over(&dbs, &q));
+                (v, m)
+            });
+            prop_assert_eq!(&via_views.0, &via_instances.0, "certain answers, {} threads", threads);
+            prop_assert_eq!(&via_views.1, &via_instances.1, "possible answers, {} threads", threads);
+            // And the public entry point (view-based) agrees too.
+            let public = with_threads(threads, || {
+                cqa_core::consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap()
+            });
+            prop_assert_eq!(&public, &via_instances.0);
+        }
+    }
+
+    /// Causality over a deletion view equals causality over the snapshot of
+    /// that view: responsibilities probe views, never clones.
+    #[test]
+    fn responsibilities_agree_on_views(
+        groups in proptest::collection::vec(1u8..4, 1..4),
+        s_vals in proptest::collection::vec(0u8..4, 1..4),
+        deletions in proptest::collection::btree_set(1u64..10, 0..3),
+    ) {
+        let (db, _) = key_instance(&groups, &s_vals);
+        let q = join_query();
+        let deleted: BTreeSet<Tid> = deletions
+            .into_iter()
+            .map(Tid)
+            .filter(|t| db.get(*t).is_some())
+            .collect();
+        let view = DeltaView::new(&db, &deleted, &[]);
+        let snapshot = view.snapshot();
+        for threads in [1usize, 4] {
+            let (on_view, on_snapshot) = with_threads(threads, || {
+                (
+                    cqa_causality::actual_causes(&view, &q),
+                    cqa_causality::actual_causes(&snapshot, &q),
+                )
+            });
+            prop_assert_eq!(on_view.len(), on_snapshot.len());
+            for (a, b) in on_view.iter().zip(on_snapshot.iter()) {
+                prop_assert_eq!(a.tid, b.tid);
+                prop_assert_eq!(a.responsibility, b.responsibility);
+                prop_assert_eq!(a.counterfactual, b.counterfactual);
+            }
+        }
+    }
+
+    /// Denial-constraint checking sees through insertions as well: a view
+    /// with an insert overlay agrees with its snapshot.
+    #[test]
+    fn insert_overlay_constraint_checks_agree(
+        groups in proptest::collection::vec(1u8..3, 1..3),
+        extra_k in 0u8..4,
+        extra_v in 0u8..4,
+    ) {
+        let (db, sigma) = key_instance(&groups, &[]);
+        let dc = ConstraintSet::from_iter([
+            DenialConstraint::parse("kappa", "T(x, y), S(y)").unwrap()
+        ]);
+        let deleted = BTreeSet::new();
+        let inserted = vec![
+            ("T".to_string(), tuple![i64::from(extra_k), i64::from(extra_v)]),
+            ("S".to_string(), tuple![i64::from(extra_v)]),
+        ];
+        let view = DeltaView::new(&db, &deleted, &inserted);
+        let snapshot = view.snapshot();
+        prop_assert_eq!(
+            sigma.is_satisfied(&view).unwrap(),
+            sigma.is_satisfied(&snapshot).unwrap()
+        );
+        prop_assert_eq!(
+            dc.is_satisfied(&view).unwrap(),
+            dc.is_satisfied(&snapshot).unwrap()
+        );
+        prop_assert_eq!(
+            dc.denial_violations(&view).unwrap(),
+            dc.denial_violations(&snapshot).unwrap()
+        );
+    }
+}
