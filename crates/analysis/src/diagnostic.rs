@@ -66,11 +66,16 @@ pub enum DiagCode {
     UnsafeQueryVariable,
     /// Q002: the query body is disconnected — a Cartesian product.
     CartesianProduct,
+    /// E001: user-supplied input (a database/Σ file, query string, or
+    /// command-line flag) failed to parse or validate. Always an error:
+    /// execution cannot proceed, but the process reports and exits instead
+    /// of panicking.
+    InvalidInput,
 }
 
 impl DiagCode {
     /// Every defined code (documentation + CLI catalog order).
-    pub const ALL: [DiagCode; 14] = [
+    pub const ALL: [DiagCode; 15] = [
         DiagCode::UnsafeVariable,
         DiagCode::RecursionThroughNegation,
         DiagCode::HeadCycle,
@@ -85,6 +90,7 @@ impl DiagCode {
         DiagCode::VacuousConstraint,
         DiagCode::UnsafeQueryVariable,
         DiagCode::CartesianProduct,
+        DiagCode::InvalidInput,
     ];
 
     /// The stable code string, e.g. `"A001"`.
@@ -104,6 +110,7 @@ impl DiagCode {
             DiagCode::VacuousConstraint => "C006",
             DiagCode::UnsafeQueryVariable => "Q001",
             DiagCode::CartesianProduct => "Q002",
+            DiagCode::InvalidInput => "E001",
         }
     }
 
@@ -124,6 +131,7 @@ impl DiagCode {
             DiagCode::VacuousConstraint => "vacuous-constraint",
             DiagCode::UnsafeQueryVariable => "unsafe-query-variable",
             DiagCode::CartesianProduct => "cartesian-product",
+            DiagCode::InvalidInput => "invalid-input",
         }
     }
 
@@ -132,7 +140,8 @@ impl DiagCode {
         match self {
             DiagCode::UnsafeVariable
             | DiagCode::UnsatisfiableConstraint
-            | DiagCode::UnsafeQueryVariable => Severity::Error,
+            | DiagCode::UnsafeQueryVariable
+            | DiagCode::InvalidInput => Severity::Error,
             DiagCode::DuplicateRule
             | DiagCode::UndefinedPredicate
             | DiagCode::GroundingBlowup
@@ -185,6 +194,9 @@ impl DiagCode {
             DiagCode::UnsafeQueryVariable => "an unsafe query variable",
             DiagCode::CartesianProduct => {
                 "the query body is disconnected and evaluates a Cartesian product"
+            }
+            DiagCode::InvalidInput => {
+                "user-supplied input failed to parse; the process reports and exits, never panics"
             }
         }
     }

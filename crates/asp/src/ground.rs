@@ -22,6 +22,7 @@
 //!   byte-identical at every thread count.
 
 use crate::ast::AspProgram;
+use cqa_exec::{Budget, Outcome};
 use cqa_query::{match_atom, Atom, Bindings, NullSemantics};
 use cqa_relation::{fxhash::FxHashMap, Tuple, Value};
 use std::collections::BTreeMap;
@@ -170,6 +171,7 @@ fn for_each_body_match(
     comparisons: &[cqa_query::Comparison],
     n_vars: usize,
     universe: &Universe,
+    budget: &Budget,
     sink: &mut dyn FnMut(&Bindings),
 ) {
     fn recurse(
@@ -177,10 +179,21 @@ fn for_each_body_match(
         comparisons: &[cqa_query::Comparison],
         depth: usize,
         universe: &Universe,
+        budget: &Budget,
         binding: &mut Bindings,
         sink: &mut dyn FnMut(&Bindings),
     ) {
+        // A latched budget prunes the whole assignment tree: `exhausted` is
+        // a single relaxed load, cheap enough per node.
+        if budget.exhausted() {
+            return;
+        }
         if depth == pos.len() {
+            // One logical step per candidate assignment keeps deadline
+            // checks responsive inside large cross products.
+            if !budget.tick() {
+                return;
+            }
             for c in comparisons {
                 let (Some(a), Some(b)) = (binding.resolve(&c.left), binding.resolve(&c.right))
                 else {
@@ -207,7 +220,7 @@ fn for_each_body_match(
                     }
                 });
                 if !pruned {
-                    recurse(pos, comparisons, depth + 1, universe, binding, sink);
+                    recurse(pos, comparisons, depth + 1, universe, budget, binding, sink);
                 }
                 for v in newly {
                     binding.unset(v);
@@ -216,7 +229,15 @@ fn for_each_body_match(
         }
     }
     let mut binding = Bindings::new(n_vars);
-    recurse(rule_pos, comparisons, 0, universe, &mut binding, sink);
+    recurse(
+        rule_pos,
+        comparisons,
+        0,
+        universe,
+        budget,
+        &mut binding,
+        sink,
+    );
 }
 
 fn instantiate(atom: &Atom, binding: &Bindings) -> Option<(String, Tuple)> {
@@ -238,7 +259,7 @@ type ProtoWeak = (Vec<(String, Tuple)>, Vec<(String, Tuple)>);
 /// Build the universe over-approximation, stratum by stratum, with each
 /// stratum's fix-point computed in parallel Jacobi rounds (see module docs
 /// for the determinism argument).
-fn build_universe(program: &AspProgram, n_vars: usize) -> Universe {
+fn build_universe(program: &AspProgram, n_vars: usize, budget: &Budget) -> Universe {
     // Predicate strata from cqa-analysis: along every dependency edge the
     // stratum is non-decreasing, so a rule placed at the max stratum of its
     // positive body predicates can never derive atoms that would re-awaken
@@ -280,13 +301,23 @@ fn build_universe(program: &AspProgram, n_vars: usize) -> Universe {
             // Jacobi round: all rules read the same snapshot in parallel…
             let additions = cqa_exec::par_map(&layer, |rule| {
                 let mut adds: Vec<(String, Tuple)> = Vec::new();
-                for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
-                    for h in &rule.head {
-                        if let Some(ga) = instantiate(h, b) {
-                            adds.push(ga);
+                if !budget.tick() {
+                    return adds;
+                }
+                for_each_body_match(
+                    &rule.pos,
+                    &rule.comparisons,
+                    n_vars,
+                    &universe,
+                    budget,
+                    &mut |b| {
+                        for h in &rule.head {
+                            if let Some(ga) = instantiate(h, b) {
+                                adds.push(ga);
+                            }
                         }
-                    }
-                });
+                    },
+                );
                 adds
             });
             // …and the merge happens in rule order, independent of which
@@ -297,7 +328,9 @@ fn build_universe(program: &AspProgram, n_vars: usize) -> Universe {
                     grew |= universe.insert(&p, t);
                 }
             }
-            if !grew {
+            // A cut round produced an incomplete frontier: the caller
+            // discards the whole universe, so stop growing it.
+            if !grew || budget.exhausted() {
                 break;
             }
         }
@@ -307,42 +340,70 @@ fn build_universe(program: &AspProgram, n_vars: usize) -> Universe {
 
 /// Ground `program`.
 pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
+    Ok(ground_budgeted(program, &Budget::unlimited())?.into_value())
+}
+
+/// Budget-aware grounding.
+///
+/// Grounding is **not anytime**: a partially-grounded program has no sound
+/// relationship to the stable models of the full one (a missing rule can
+/// both add and remove models). So when the budget runs out mid-grounding
+/// the result is `Truncated` with an **empty program** — callers must treat
+/// it as "no answer", never as an approximation. Safety errors are still
+/// reported as `Err` regardless of the budget.
+pub fn ground_budgeted(
+    program: &AspProgram,
+    budget: &Budget,
+) -> Result<Outcome<GroundProgram>, String> {
     program.check_safety().map_err(|d| d.to_string())?;
     let n_vars = program.vars.len();
 
     // 1. Over-approximate the universe: fix-point treating all head
     //    disjuncts as derivable, negation ignored.
-    let universe = build_universe(program, n_vars);
+    let universe = build_universe(program, n_vars, budget);
+    if budget.exhausted() {
+        return Ok(budget.outcome_with(GroundProgram::default(), 0));
+    }
 
     // 2. Instantiate rules over the (now immutable) universe: proto rules
     //    in parallel, atom interning sequentially in rule order.
     let protos: Vec<Vec<ProtoRule>> = cqa_exec::par_map(&program.rules, |rule| {
         let mut out: Vec<ProtoRule> = Vec::new();
-        for_each_body_match(&rule.pos, &rule.comparisons, n_vars, &universe, &mut |b| {
-            let head = rule
-                .head
-                .iter()
-                .map(|h| instantiate(h, b).expect("safe rule: head fully bound"))
-                .collect();
-            let pos = rule
-                .pos
-                .iter()
-                .map(|a| instantiate(a, b).expect("positive body bound"))
-                .collect();
-            let neg = rule
-                .neg
-                .iter()
-                .filter_map(|a| {
-                    let (p, t) = instantiate(a, b).expect("safe rule: neg fully bound");
-                    // Atoms outside the universe can never be derived: the
-                    // literal `not a` is true and is dropped.
-                    universe.contains(&p, &t).then_some((p, t))
-                })
-                .collect();
-            out.push((head, pos, neg));
-        });
+        for_each_body_match(
+            &rule.pos,
+            &rule.comparisons,
+            n_vars,
+            &universe,
+            budget,
+            &mut |b| {
+                let head = rule
+                    .head
+                    .iter()
+                    .map(|h| instantiate(h, b).expect("safe rule: head fully bound"))
+                    .collect();
+                let pos = rule
+                    .pos
+                    .iter()
+                    .map(|a| instantiate(a, b).expect("positive body bound"))
+                    .collect();
+                let neg = rule
+                    .neg
+                    .iter()
+                    .filter_map(|a| {
+                        let (p, t) = instantiate(a, b).expect("safe rule: neg fully bound");
+                        // Atoms outside the universe can never be derived:
+                        // the literal `not a` is true and is dropped.
+                        universe.contains(&p, &t).then_some((p, t))
+                    })
+                    .collect();
+                out.push((head, pos, neg));
+            },
+        );
         out
     });
+    if budget.exhausted() {
+        return Ok(budget.outcome_with(GroundProgram::default(), 0));
+    }
     let mut interner = Interner {
         map: FxHashMap::default(),
         table: Vec::new(),
@@ -371,24 +432,34 @@ pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
     // 3. Ground weak constraints the same way.
     let proto_weak: Vec<Vec<ProtoWeak>> = cqa_exec::par_map(&program.weak, |wc| {
         let mut out = Vec::new();
-        for_each_body_match(&wc.pos, &wc.comparisons, n_vars, &universe, &mut |b| {
-            let pos: Vec<(String, Tuple)> = wc
-                .pos
-                .iter()
-                .map(|a| instantiate(a, b).expect("positive body bound"))
-                .collect();
-            let neg: Vec<(String, Tuple)> = wc
-                .neg
-                .iter()
-                .filter_map(|a| {
-                    let (p, t) = instantiate(a, b).expect("safe weak constraint");
-                    universe.contains(&p, &t).then_some((p, t))
-                })
-                .collect();
-            out.push((pos, neg));
-        });
+        for_each_body_match(
+            &wc.pos,
+            &wc.comparisons,
+            n_vars,
+            &universe,
+            budget,
+            &mut |b| {
+                let pos: Vec<(String, Tuple)> = wc
+                    .pos
+                    .iter()
+                    .map(|a| instantiate(a, b).expect("positive body bound"))
+                    .collect();
+                let neg: Vec<(String, Tuple)> = wc
+                    .neg
+                    .iter()
+                    .filter_map(|a| {
+                        let (p, t) = instantiate(a, b).expect("safe weak constraint");
+                        universe.contains(&p, &t).then_some((p, t))
+                    })
+                    .collect();
+                out.push((pos, neg));
+            },
+        );
         out
     });
+    if budget.exhausted() {
+        return Ok(budget.outcome_with(GroundProgram::default(), 0));
+    }
     let mut weak: Vec<GroundWeak> = Vec::new();
     for (wc, per_wc) in program.weak.iter().zip(proto_weak) {
         for (proto_pos, proto_neg) in per_wc {
@@ -412,11 +483,11 @@ pub fn ground(program: &AspProgram) -> Result<GroundProgram, String> {
         }
     }
 
-    Ok(GroundProgram {
+    Ok(Outcome::Exact(GroundProgram {
         rules,
         weak,
         atom_table: interner.table,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -530,6 +601,28 @@ mod tests {
         let g = ground(&p).unwrap();
         assert_eq!(g.weak.len(), 2);
         assert!(g.weak.iter().all(|w| w.weight == 2 && w.level == 1));
+    }
+
+    #[test]
+    fn budgeted_grounding_truncates_to_empty_program() {
+        // A cross product big enough to exceed a two-step budget.
+        let src: String = (1..=6).map(|i| format!("p({i}).\n")).collect::<String>()
+            + "q(x, y, z) :- p(x), p(y), p(z).";
+        let p = parse_asp(&src).unwrap();
+        let outcome = ground_budgeted(&p, &cqa_exec::Budget::steps(2)).unwrap();
+        assert!(outcome.is_truncated());
+        assert_eq!(outcome.value().rules.len(), 0);
+        assert_eq!(outcome.value().atom_count(), 0);
+    }
+
+    #[test]
+    fn budgeted_grounding_exact_with_ample_budget() {
+        let p = parse_asp("p(A).\np(B).\nq(x) :- p(x).").unwrap();
+        let outcome = ground_budgeted(&p, &cqa_exec::Budget::steps(1_000_000)).unwrap();
+        assert!(outcome.is_exact());
+        let exact = ground(&p).unwrap();
+        assert_eq!(outcome.value().rules, exact.rules);
+        assert_eq!(outcome.value().atom_table, exact.atom_table);
     }
 
     #[test]

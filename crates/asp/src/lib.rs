@@ -44,11 +44,14 @@ pub mod weak;
 pub use aggregate::apply_count_rules;
 pub use analysis::{analyze_ground, analyze_program, atom_shape, classify_ground, predicate_shape};
 pub use ast::{rule_to_string, AspProgram, AspRule, CountRule, WeakConstraint};
-pub use ground::{ground, AtomId, GroundAtom, GroundProgram, GroundRule, GroundWeak};
+pub use ground::{
+    ground, ground_budgeted, AtomId, GroundAtom, GroundProgram, GroundRule, GroundWeak,
+};
 pub use parser::parse_asp;
 pub use repair_program::{ins_pred, primed, RepairModel, RepairProgram};
 pub use solve::{
-    brave, cautious, stable_models, stable_models_search, stable_models_search_with_limit,
-    stable_models_stratified, stable_models_with_limit, Model,
+    brave, cautious, stable_models, stable_models_budgeted, stable_models_search,
+    stable_models_search_budgeted, stable_models_search_with_limit, stable_models_stratified,
+    stable_models_with_limit, Model,
 };
 pub use weak::{compare_costs, cost_of, optimal_among, optimal_models, Cost};

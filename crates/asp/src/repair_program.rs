@@ -19,10 +19,11 @@
 //! the extra transition annotations the paper mentions and are rejected.
 
 use crate::ast::{AspProgram, AspRule, WeakConstraint};
-use crate::ground::{ground, GroundProgram};
-use crate::solve::{stable_models, Model};
+use crate::ground::{ground, ground_budgeted, GroundProgram};
+use crate::solve::{stable_models, stable_models_budgeted, Model};
 use crate::weak::optimal_among;
 use cqa_constraints::ConstraintSet;
+use cqa_exec::{Budget, Outcome};
 use cqa_query::{Atom, Comparison, Term};
 use cqa_relation::{Database, RelationError, Tid, Tuple, Value};
 use std::collections::BTreeSet;
@@ -364,6 +365,30 @@ impl RepairProgram {
         Ok(out)
     }
 
+    /// Budget-aware [`RepairProgram::s_repair_models`].
+    ///
+    /// Grounding is all-or-nothing (see [`ground_budgeted`]): if the budget
+    /// fires during grounding, the result is `Truncated` with **no** models.
+    /// Once grounded, a truncated model search yields a sound subset of the
+    /// S-repair models.
+    pub fn s_repair_models_budgeted(
+        &self,
+        budget: &Budget,
+    ) -> Result<Outcome<Vec<RepairModel>>, RelationError> {
+        let g = ground_budgeted(&self.program, budget).map_err(RelationError::Parse)?;
+        if g.is_truncated() {
+            return Ok(g.map(|_| Vec::new()));
+        }
+        let g = g.into_value();
+        let models = stable_models_budgeted(&g, None, budget);
+        Ok(models.map(|models| {
+            let mut out: Vec<RepairModel> = models.iter().map(|m| self.read_model(&g, m)).collect();
+            out.sort_by(|a, b| (&a.deleted, &a.inserted).cmp(&(&b.deleted, &b.inserted)));
+            out.dedup();
+            out
+        }))
+    }
+
     /// Enumerate the cost-optimal (C-repair) models; requires
     /// [`RepairProgram::add_c_repair_weak_constraints`] to have been called.
     pub fn c_repair_models(&self) -> Result<Vec<RepairModel>, RelationError> {
@@ -374,6 +399,31 @@ impl RepairProgram {
         out.sort_by(|a, b| (&a.deleted, &a.inserted).cmp(&(&b.deleted, &b.inserted)));
         out.dedup();
         Ok(out)
+    }
+
+    /// Budget-aware [`RepairProgram::c_repair_models`].
+    ///
+    /// On truncation the "optimal among explored" filter still applies, but
+    /// an unexplored model could in principle have a lower cost, so treat a
+    /// truncated result as "best found so far" rather than a sound subset
+    /// of the true optima.
+    pub fn c_repair_models_budgeted(
+        &self,
+        budget: &Budget,
+    ) -> Result<Outcome<Vec<RepairModel>>, RelationError> {
+        let g = ground_budgeted(&self.program, budget).map_err(RelationError::Parse)?;
+        if g.is_truncated() {
+            return Ok(g.map(|_| Vec::new()));
+        }
+        let g = g.into_value();
+        let models = stable_models_budgeted(&g, None, budget);
+        Ok(models.map(|models| {
+            let (opt, _) = optimal_among(&g, models);
+            let mut out: Vec<RepairModel> = opt.iter().map(|m| self.read_model(&g, m)).collect();
+            out.sort_by(|a, b| (&a.deleted, &a.inserted).cmp(&(&b.deleted, &b.inserted)));
+            out.dedup();
+            out
+        }))
     }
 
     /// Materialize a repair model as a database instance.

@@ -27,6 +27,7 @@
 
 use crate::ground::{AtomId, GroundProgram, GroundRule};
 use cqa_analysis::{DepGraph, EdgeKind};
+use cqa_exec::{Budget, Outcome};
 use std::collections::BTreeSet;
 
 /// A stable model: the set of true atoms.
@@ -44,15 +45,17 @@ struct Solver<'a> {
     assign: Vec<Truth>,
     models: Vec<Model>,
     limit: Option<usize>,
+    budget: &'a Budget,
 }
 
 impl<'a> Solver<'a> {
-    fn new(program: &'a GroundProgram, limit: Option<usize>) -> Solver<'a> {
+    fn new(program: &'a GroundProgram, limit: Option<usize>, budget: &'a Budget) -> Solver<'a> {
         Solver {
             program,
             assign: vec![Truth::Open; program.atom_count()],
             models: Vec::new(),
             limit,
+            budget,
         }
     }
 
@@ -135,6 +138,13 @@ impl<'a> Solver<'a> {
         if self.limit.is_some_and(|l| self.models.len() >= l) {
             return;
         }
+        // Cooperative cancellation: one logical step per search node. Once
+        // the budget latches, the whole recursion unwinds without branching
+        // further; every model already in `self.models` passed the stability
+        // check, so the truncated result is a sound subset.
+        if !self.budget.tick() {
+            return;
+        }
         let trail = match self.propagate() {
             Ok(t) => t,
             Err(t) => {
@@ -154,6 +164,7 @@ impl<'a> Solver<'a> {
                     .collect();
                 if self.is_model(&model) && self.is_stable(&model) {
                     self.models.push(model);
+                    let _ = self.budget.charge_item();
                 }
             }
             Some(a) => {
@@ -304,13 +315,30 @@ pub fn stable_models(program: &GroundProgram) -> Vec<Model> {
 /// Enumerate up to `limit` stable models (analysis-dispatched like
 /// [`stable_models`]).
 pub fn stable_models_with_limit(program: &GroundProgram, limit: Option<usize>) -> Vec<Model> {
+    stable_models_budgeted(program, limit, &Budget::unlimited()).into_value()
+}
+
+/// Budget-aware stable-model enumeration (analysis-dispatched like
+/// [`stable_models`]).
+///
+/// The stratified fast path is polynomial and always returns
+/// [`Outcome::Exact`]. The DPLL search ticks the budget once per search
+/// node and charges one item per model found; a truncated result is a
+/// *sound subset* of the stable models — every returned model passed the
+/// full GL-reduct stability check — but other stable models may exist in
+/// the unexplored part of the tree.
+pub fn stable_models_budgeted(
+    program: &GroundProgram,
+    limit: Option<usize>,
+    budget: &Budget,
+) -> Outcome<Vec<Model>> {
     if let Some(mut models) = stable_models_stratified(program) {
         if let Some(l) = limit {
             models.truncate(l);
         }
-        return models;
+        return Outcome::Exact(models);
     }
-    stable_models_search_with_limit(program, limit)
+    stable_models_search_budgeted(program, limit, budget)
 }
 
 /// Enumerate all stable models by DPLL search, unconditionally (the
@@ -325,11 +353,24 @@ pub fn stable_models_search_with_limit(
     program: &GroundProgram,
     limit: Option<usize>,
 ) -> Vec<Model> {
-    let mut solver = Solver::new(program, limit);
+    stable_models_search_budgeted(program, limit, &Budget::unlimited()).into_value()
+}
+
+/// Budget-aware DPLL search, unconditionally (see
+/// [`stable_models_budgeted`] for the truncation contract). The search is
+/// sequential, so a pure step/item budget truncates at the same point
+/// regardless of the thread count.
+pub fn stable_models_search_budgeted(
+    program: &GroundProgram,
+    limit: Option<usize>,
+    budget: &Budget,
+) -> Outcome<Vec<Model>> {
+    let mut solver = Solver::new(program, limit, budget);
     solver.search();
     solver.models.sort();
     solver.models.dedup();
-    solver.models
+    let explored = solver.models.len() as u64;
+    budget.outcome_with(solver.models, explored)
 }
 
 /// The stratified bottom-up fast path.
@@ -627,6 +668,51 @@ mod tests {
             // The dispatcher still answers via the search.
             assert_eq!(stable_models(&g), stable_models_search(&g));
         }
+    }
+
+    #[test]
+    fn budgeted_search_truncates_to_sound_subset() {
+        // 2^4 = 16 stable models; a tiny step budget finds a strict subset,
+        // and every member of the subset is a genuine stable model.
+        let p = parse_asp("a | b.\nc | d.\ne | f.\ng | h.").unwrap();
+        let g = ground(&p).unwrap();
+        let exact = stable_models(&g);
+        assert_eq!(exact.len(), 16);
+        let outcome = stable_models_budgeted(&g, None, &Budget::steps(40));
+        assert!(outcome.is_truncated());
+        let truncated = outcome.into_value();
+        assert!(truncated.len() < exact.len());
+        for m in &truncated {
+            assert!(exact.contains(m), "truncated model not stable: {m:?}");
+        }
+    }
+
+    #[test]
+    fn budgeted_search_exact_with_ample_budget() {
+        let p = parse_asp("a | b.\nc | d.").unwrap();
+        let g = ground(&p).unwrap();
+        let outcome = stable_models_budgeted(&g, None, &Budget::steps(1_000_000));
+        assert!(outcome.is_exact());
+        assert_eq!(outcome.into_value(), stable_models(&g));
+    }
+
+    #[test]
+    fn stratified_fast_path_ignores_budget() {
+        // Polynomial path: exact even under a one-step budget.
+        let p = parse_asp("p(A).\nq(x) :- p(x).").unwrap();
+        let g = ground(&p).unwrap();
+        let outcome = stable_models_budgeted(&g, None, &Budget::steps(1));
+        assert!(outcome.is_exact());
+        assert_eq!(outcome.into_value(), stable_models(&g));
+    }
+
+    #[test]
+    fn item_cap_limits_models() {
+        let p = parse_asp("a | b.\nc | d.\ne | f.").unwrap();
+        let g = ground(&p).unwrap();
+        let outcome = stable_models_budgeted(&g, None, &Budget::items(3));
+        assert!(outcome.is_truncated());
+        assert_eq!(outcome.value().len(), 3);
     }
 
     #[test]

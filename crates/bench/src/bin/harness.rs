@@ -78,6 +78,9 @@ fn main() {
     if want("F14") {
         f14_views();
     }
+    if want("F15") {
+        f15_budgets();
+    }
 }
 
 /// E-series: one line per paper example, checked programmatically.
@@ -816,5 +819,105 @@ fn f11_conp_query() {
             secs * 1e3
         );
     }
+    println!();
+}
+
+fn f15_budgets() {
+    use cqa_exec::{with_threads, Budget, Limits, Outcome};
+    println!("F15: graceful degradation under execution budgets (anytime CQA)");
+    println!("----------------------------------------------------------------");
+    println!("  workload: F11 attack-cyclic query, k = 12 key-conflict pairs");
+    println!("  (rewriting refused; CQA must fold over 2^12 = 4096 repairs)");
+
+    // The F11 hard instance at k = 12 conflicts: every conflict pair lives
+    // in R (S stays consistent), so the repair family is exactly 2^k.
+    // Three tiers of answers separate the approximation levels: 3 clean
+    // rows (provable from the consistent core alone), 6 conflict pairs
+    // whose *both* branches witness the query (certain, but only the full
+    // fold proves it), and 6 pairs where one branch kills the answer (not
+    // certain). Exact = 9 answers; the truncated core fallback = 3.
+    let k = 12usize;
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("R", ["A", "B"]))
+        .unwrap();
+    db.create_relation(RelationSchema::new("S", ["A", "B"]))
+        .unwrap();
+    for i in 0..k as i64 {
+        db.insert("R", tuple![i, i]).unwrap();
+        db.insert("S", tuple![i, i]).unwrap();
+        if i < 6 {
+            db.insert("R", tuple![i, i + 100]).unwrap();
+            db.insert("S", tuple![i + 100, i]).unwrap();
+        } else {
+            db.insert("R", tuple![i, i + 200]).unwrap();
+        }
+    }
+    for i in 300..303i64 {
+        db.insert("R", tuple![i, i]).unwrap();
+        db.insert("S", tuple![i, i]).unwrap();
+    }
+    let sigma = ConstraintSet::from_iter([
+        KeyConstraint::new("R", ["A"]),
+        KeyConstraint::new("S", ["A"]),
+    ]);
+    let q = UnionQuery::single(parse_query("Q(x) :- R(x, y), S(y, x)").unwrap());
+    let class = RepairClass::Subset;
+
+    println!("  budget            | outcome            | answers | time (ms)");
+    let run = |budget: &Budget| {
+        timed(|| cqa_core::consistent_answers_budgeted(&db, &sigma, &q, &class, budget).unwrap())
+    };
+    let describe =
+        |o: &Outcome<std::collections::BTreeSet<cqa_relation::Tuple>>| match o.truncation() {
+            None => "exact".to_string(),
+            Some((reason, _)) => format!("truncated ({reason})"),
+        };
+    let (exact, t) = run(&Budget::unlimited());
+    println!(
+        "  {:<17} | {:<18} | {:>7} | {:>9.2}",
+        "unlimited",
+        describe(&exact),
+        exact.value().len(),
+        t * 1e3
+    );
+    for steps in [100_000u64, 10_000, 1_000, 100] {
+        let (got, t) = run(&Budget::steps(steps));
+        // Soundness: every truncated answer is a true certain answer.
+        assert!(got.value().is_subset(exact.value()), "unsound truncation");
+        println!(
+            "  {:<17} | {:<18} | {:>7} | {:>9.2}",
+            format!("steps = {steps}"),
+            describe(&got),
+            got.value().len(),
+            t * 1e3
+        );
+    }
+    let (got, t) = run(&Budget::new(Limits {
+        deadline_ms: Some(50),
+        ..Limits::default()
+    }));
+    assert!(got.value().is_subset(exact.value()), "unsound truncation");
+    println!(
+        "  {:<17} | {:<18} | {:>7} | {:>9.2}",
+        "deadline = 50 ms",
+        describe(&got),
+        got.value().len(),
+        t * 1e3
+    );
+
+    // Deterministic truncation: the same logical budget truncates at the
+    // same point at 1, 2 and 8 threads — byte-identical partial results.
+    let at = |threads: usize, steps: u64| {
+        with_threads(threads, || {
+            let budget = Budget::steps(steps);
+            let o =
+                cqa_core::consistent_answers_budgeted(&db, &sigma, &q, &class, &budget).unwrap();
+            (o.truncation(), o.into_value())
+        })
+    };
+    let deterministic = [1_000u64, 10_000]
+        .iter()
+        .all(|&s| at(1, s) == at(2, s) && at(1, s) == at(8, s));
+    println!("  deterministic truncation across 1/2/8 threads: {deterministic}");
     println!();
 }

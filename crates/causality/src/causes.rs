@@ -17,6 +17,7 @@
 //! `FP^NP(log n)`-flavoured part.
 
 use cqa_constraints::ConflictHypergraph;
+use cqa_exec::{Budget, Outcome};
 use cqa_query::{witnesses, NullSemantics, UnionQuery};
 use cqa_relation::{Database, DeltaView, Facts, Tid};
 use std::collections::BTreeSet;
@@ -90,9 +91,28 @@ pub fn support_hypergraph<F: Facts + ?Sized>(facts: &F, query: &UnionQuery) -> C
 /// # Ok::<(), cqa_relation::RelationError>(())
 /// ```
 pub fn actual_causes<F: Facts + ?Sized>(facts: &F, query: &UnionQuery) -> Vec<Cause> {
+    actual_causes_budgeted(facts, query, &Budget::unlimited()).into_value()
+}
+
+/// Budget-aware [`actual_causes`].
+///
+/// One step is charged per candidate tuple, one item per cause emitted, and
+/// the nested minimum-hitting-set searches share the same budget. A
+/// truncated result is a *sound subset* of the actual causes: every listed
+/// tuple really is a cause and its contingency set is a genuine witness,
+/// but (a) further causes may have been skipped and (b) a contingency set
+/// found after the budget latched may be larger than minimum, so the
+/// reported responsibility is then a **lower bound**. Under a step or item
+/// budget candidates are processed sequentially in tid order, so the
+/// truncated value is independent of the thread count.
+pub fn actual_causes_budgeted<F: Facts + ?Sized>(
+    facts: &F,
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Outcome<Vec<Cause>> {
     let graph = support_hypergraph(facts, query);
     if graph.edges.is_empty() {
-        return Vec::new(); // Q false: no causes
+        return budget.outcome_with(Vec::new(), 0); // Q false: no causes
     }
     // Every vertex of the (antichain) edge set is an actual cause, and each
     // candidate's responsibility (the FP^NP(log n)-flavoured part) only
@@ -107,8 +127,8 @@ pub fn actual_causes<F: Facts + ?Sized>(facts: &F, query: &UnionQuery) -> Vec<Ca
         .collect::<BTreeSet<Tid>>()
         .into_iter()
         .collect();
-    cqa_exec::par_map(&candidates, |&tid| {
-        let (rho, gamma) = responsibility_in_graph(&graph, tid);
+    let compute = |tid: Tid| {
+        let (rho, gamma) = responsibility_in_graph_budgeted(&graph, tid, budget);
         debug_assert!(rho > 0.0);
         Cause {
             tid,
@@ -116,7 +136,34 @@ pub fn actual_causes<F: Facts + ?Sized>(facts: &F, query: &UnionQuery) -> Vec<Ca
             counterfactual: gamma.is_empty(),
             min_contingency: gamma,
         }
-    })
+    };
+    let causes: Vec<Cause> = if budget.forces_sequential() || cqa_exec::threads() <= 1 {
+        let mut out = Vec::new();
+        for &tid in &candidates {
+            if !budget.tick() {
+                break;
+            }
+            out.push(compute(tid));
+            if !budget.charge_item() {
+                break;
+            }
+        }
+        out
+    } else {
+        cqa_exec::par_map(&candidates, |&tid| {
+            if !budget.tick() {
+                return None;
+            }
+            let c = compute(tid);
+            let _ = budget.charge_item();
+            Some(c)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    let explored = causes.len() as u64;
+    budget.outcome_with(causes, explored)
 }
 
 /// The responsibility of `tid` (0.0 when it is not an actual cause), with a
@@ -143,9 +190,23 @@ pub fn responsibility<F: Facts + ?Sized>(
 /// best `e`. (Equivalently: ρ(τ) = 1 / min{|H| : H minimal hitting set of
 /// the supports with τ ∈ H} — the S-repair connection of §7.)
 fn responsibility_in_graph(graph: &ConflictHypergraph, tid: Tid) -> (f64, BTreeSet<Tid>) {
+    responsibility_in_graph_budgeted(graph, tid, &Budget::unlimited())
+}
+
+fn responsibility_in_graph_budgeted(
+    graph: &ConflictHypergraph,
+    tid: Tid,
+    budget: &Budget,
+) -> (f64, BTreeSet<Tid>) {
     let others: Vec<&BTreeSet<Tid>> = graph.edges.iter().filter(|e| !e.contains(&tid)).collect();
     let mut best: Option<BTreeSet<Tid>> = None;
     for e in graph.edges.iter().filter(|e| e.contains(&tid)) {
+        // Once latched, remaining private supports are skipped and the
+        // inner searches fall back to greedy witnesses: `best` stays a
+        // valid contingency set, possibly above minimum size.
+        if best.is_some() && budget.exhausted() {
+            break;
+        }
         let mut forbidden = e.clone();
         forbidden.remove(&tid);
         // Γ may not use `forbidden` vertices; an edge losing all its
@@ -164,7 +225,7 @@ fn responsibility_in_graph(graph: &ConflictHypergraph, tid: Tid) -> (f64, BTreeS
             continue;
         }
         let sub = ConflictHypergraph::new(graph.nodes.clone(), reduced);
-        let gamma = sub.minimum_hitting_set();
+        let gamma = sub.minimum_hitting_set_budgeted(budget).into_value();
         if best.as_ref().is_none_or(|b| gamma.len() < b.len()) {
             best = Some(gamma);
         }
@@ -207,8 +268,23 @@ pub fn actual_causes_monotone(
     holds: &dyn Fn(&dyn Facts) -> bool,
     max_contingency: Option<usize>,
 ) -> Vec<Cause> {
-    if !holds(db) {
-        return Vec::new();
+    actual_causes_monotone_budgeted(db, holds, max_contingency, &Budget::unlimited()).into_value()
+}
+
+/// Budget-aware [`actual_causes_monotone`]: one step per query probe. The
+/// search is sequential and visits candidates in tid order and contingency
+/// sets smallest-first, so a truncated result is a sound subset of the
+/// causes — each listed cause was fully verified, with a genuinely minimum
+/// contingency set, before the budget latched — and is deterministic for
+/// step/item budgets.
+pub fn actual_causes_monotone_budgeted(
+    db: &Database,
+    holds: &dyn Fn(&dyn Facts) -> bool,
+    max_contingency: Option<usize>,
+    budget: &Budget,
+) -> Outcome<Vec<Cause>> {
+    if !budget.tick() || !holds(db) {
+        return budget.outcome_with(Vec::new(), 0);
     }
     let tids: Vec<Tid> = db.tids().into_iter().collect();
     let cap = max_contingency.unwrap_or(tids.len().saturating_sub(1));
@@ -240,12 +316,17 @@ pub fn actual_causes_monotone(
     let without = |excluded: &BTreeSet<Tid>| -> bool { holds(&DeltaView::new(db, excluded, &[])) };
 
     let mut out = Vec::new();
-    for &tid in &tids {
+    'candidates: for &tid in &tids {
         let others: Vec<Tid> = tids.iter().copied().filter(|&t| t != tid).collect();
         'sizes: for k in 0..=cap.min(others.len()) {
             let mut cur = Vec::with_capacity(k);
             let mut found: Option<BTreeSet<Tid>> = None;
             combos(&others, k, 0, &mut cur, &mut |gamma_slice| {
+                // `true` stops the enumeration; with `found` still `None`
+                // the exhaustion check below abandons this candidate.
+                if !budget.tick() {
+                    return true;
+                }
                 let gamma: BTreeSet<Tid> = gamma_slice.iter().copied().collect();
                 if !without(&gamma) {
                     return false; // (b) fails: Q must survive D ∖ Γ
@@ -265,11 +346,16 @@ pub fn actual_causes_monotone(
                     counterfactual: k == 0,
                     min_contingency: gamma,
                 });
+                let _ = budget.charge_item();
                 break 'sizes;
+            }
+            if budget.exhausted() {
+                break 'candidates;
             }
         }
     }
-    out
+    let explored = out.len() as u64;
+    budget.outcome_with(out, explored)
 }
 
 #[cfg(test)]
@@ -387,6 +473,46 @@ mod tests {
             .map(|c| (c.tid, format!("{:.3}", c.responsibility)))
             .collect();
         assert_eq!(gs, fs);
+    }
+
+    #[test]
+    fn budgeted_causes_exact_with_ample_budget() {
+        let db = example_db();
+        let outcome = actual_causes_budgeted(&db, &q(), &Budget::steps(1_000_000));
+        assert!(outcome.is_exact());
+        let exact = actual_causes(&db, &q());
+        assert_eq!(outcome.value().len(), exact.len());
+    }
+
+    #[test]
+    fn budgeted_causes_truncate_to_sound_subset() {
+        let db = example_db();
+        let exact = actual_causes(&db, &q());
+        // A two-step budget: at most the first candidates get processed.
+        let outcome = actual_causes_budgeted(&db, &q(), &Budget::steps(2));
+        assert!(outcome.is_truncated());
+        for c in outcome.value() {
+            let reference = exact
+                .iter()
+                .find(|e| e.tid == c.tid)
+                .expect("truncated cause must be a real cause");
+            // Responsibility under truncation is a lower bound.
+            assert!(c.responsibility <= reference.responsibility + 1e-9);
+        }
+    }
+
+    #[test]
+    fn budgeted_monotone_causes_are_verified() {
+        let db = example_db();
+        let query = q();
+        let holds = |d: &dyn Facts| cqa_query::holds_ucq(d, &query, NullSemantics::Structural);
+        let exact = actual_causes_monotone(&db, &holds, None);
+        let outcome = actual_causes_monotone_budgeted(&db, &holds, None, &Budget::steps(10));
+        assert!(outcome.is_truncated());
+        for c in outcome.value() {
+            let reference = exact.iter().find(|e| e.tid == c.tid).expect("real cause");
+            assert_eq!(c.responsibility, reference.responsibility);
+        }
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod via_repairs;
 pub use asp_bridge::{causality_program, causes_via_asp, mracs_via_asp};
 pub use attr_causes::{attribute_causes, AttrCause};
 pub use causes::{
-    actual_causes, actual_causes_monotone, most_responsible_causes, responsibility,
-    support_hypergraph, Cause,
+    actual_causes, actual_causes_budgeted, actual_causes_monotone, actual_causes_monotone_budgeted,
+    most_responsible_causes, responsibility, support_hypergraph, Cause,
 };
 pub use effect::{causal_effect, causal_effects};
 pub use under_ics::causes_under_ics;

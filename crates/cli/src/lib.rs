@@ -1,5 +1,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Untrusted input must never panic the process: unwraps/expects are banned
+// outside tests (allow-listed per site where an invariant is locally proven).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! `repairctl` — command-line repairs and consistent query answering.
 //!
@@ -8,11 +11,14 @@
 //! the command reference. The dispatcher lives in a library so the test
 //! suite can drive it end-to-end without spawning processes.
 
+use cqa_analysis::{DiagCode, Diagnostic};
 use cqa_constraints::{parse_constraints, ConstraintSet};
 use cqa_core::{RepairClass, Strategy};
+use cqa_exec::{Budget, Limits, Outcome};
 use cqa_query::{parse_query, UnionQuery};
 use cqa_relation::Database;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Parsed command-line options: positionals and `--flag [value]` pairs.
 struct Opts {
@@ -58,23 +64,74 @@ impl Opts {
     }
 }
 
+/// Render a user-input failure through the shared diagnostic machinery
+/// (`error[E001] invalid-input: …` with the offending file or flag as
+/// source context), so bad input is *reported* — uniformly with the
+/// `analyze` lints — and the process exits nonzero instead of panicking.
+fn input_error(message: impl Into<String>, context: &str) -> String {
+    Diagnostic::new(DiagCode::InvalidInput, message)
+        .with_context(context)
+        .to_string()
+}
+
 fn load_db(opts: &Opts) -> Result<Database, String> {
     let path = opts.require("db")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    cqa_relation::load(&text).map_err(|e| format!("{path}: {e}"))
+    let text =
+        std::fs::read_to_string(path).map_err(|e| input_error(format!("reading: {e}"), path))?;
+    cqa_relation::load(&text).map_err(|e| input_error(e.to_string(), path))
 }
 
 fn load_sigma(opts: &Opts) -> Result<ConstraintSet, String> {
     let path = opts.require("constraints")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    parse_constraints(&text).map_err(|e| format!("{path}: {e}"))
+    let text =
+        std::fs::read_to_string(path).map_err(|e| input_error(format!("reading: {e}"), path))?;
+    parse_constraints(&text).map_err(|e| input_error(e.to_string(), path))
 }
 
 fn load_query(opts: &Opts) -> Result<UnionQuery, String> {
     let q = opts.require("query")?;
     parse_query(q)
         .map(UnionQuery::single)
-        .map_err(|e| format!("--query: {e}"))
+        .map_err(|e| input_error(e.to_string(), &format!("--query {q}")))
+}
+
+/// Parse one optional non-negative integer flag.
+fn u64_flag(opts: &Opts, name: &str) -> Result<Option<u64>, String> {
+    if !opts.has(name) {
+        return Ok(None);
+    }
+    let v = opts.require(name)?;
+    v.parse::<u64>().map(Some).map_err(|_| {
+        input_error(
+            format!("expected a non-negative integer, got `{v}`"),
+            &format!("--{name}"),
+        )
+    })
+}
+
+/// Build the execution [`Budget`] from the global flags. With no flag set,
+/// `CQA_BUDGET_STEPS` (if present) applies; otherwise the budget is
+/// unlimited and every budgeted path reduces to the exact one.
+fn budget_from(opts: &Opts) -> Result<Budget, String> {
+    let limits = Limits {
+        deadline_ms: u64_flag(opts, "timeout-ms")?,
+        steps: u64_flag(opts, "budget-steps")?,
+        items: u64_flag(opts, "max-repairs")?,
+    };
+    if limits.is_unlimited() {
+        Ok(Budget::from_env().unwrap_or_else(Budget::unlimited))
+    } else {
+        Ok(Budget::new(limits))
+    }
+}
+
+/// Report a truncated outcome. Exact outcomes print nothing, so with an
+/// ample (or absent) budget the output is byte-identical to the
+/// unbudgeted run — the determinism suites rely on this.
+fn note_truncation<T>(out: &mut String, outcome: &Outcome<T>) {
+    if let Some((reason, explored)) = outcome.truncation() {
+        let _ = writeln!(out, "truncated: {reason} (explored {explored})");
+    }
 }
 
 fn repair_class(opts: &Opts) -> Result<RepairClass, String> {
@@ -135,8 +192,19 @@ USAGE:
   repairctl <command> --db <file.idb> [--constraints <sigma.txt>] [options]
 
 GLOBAL OPTIONS:
-  --threads N   worker threads for repair enumeration / CQA / hitting-set
-                search (1 = sequential; default: $CQA_THREADS, else cores)
+  --threads N      worker threads for repair enumeration / CQA / hitting-set
+                   search (1 = sequential; default: $CQA_THREADS, else cores)
+  --timeout-ms N   wall-clock budget; on expiry the command reports a sound
+                   partial (anytime) result flagged by a `truncated:` line
+  --budget-steps N logical-step budget — deterministic: the same N truncates
+                   at the same point at any thread count
+                   (default: $CQA_BUDGET_STEPS, else unlimited)
+  --max-repairs N  stop after N repairs / models have been enumerated
+
+  Budgets apply to the exponential commands (repairs, cqa, causes, asp).
+  Exceeding one is not an error: certain answers degrade to a sound
+  under-approximation, possible answers to an over-approximation, repair
+  lists to a verified subset.
 
 COMMANDS:
   analyze   [--program F.asp] [--constraints F [--db F]] [--query \"…\"]
@@ -167,17 +235,16 @@ fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
     use cqa_analysis::{DiagCode, Diagnostic};
 
     if opts.has("catalog") {
-        writeln!(out, "diagnostic code catalog:").unwrap();
+        let _ = writeln!(out, "diagnostic code catalog:");
         for code in DiagCode::ALL {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "  {} {:<26} [{}] {}",
                 code.code(),
                 code.name(),
                 code.default_severity(),
                 code.summary()
-            )
-            .unwrap();
+            );
         }
         return Ok(0);
     }
@@ -191,15 +258,14 @@ fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let program = cqa_asp::parse_asp(&text).map_err(|e| format!("{path}: {e}"))?;
         let analysis = cqa_asp::analyze_program(&program);
-        writeln!(out, "program: {path}").unwrap();
-        writeln!(
+        let _ = writeln!(out, "program: {path}");
+        let _ = writeln!(
             out,
             "  {} rules, {} weak constraint(s)",
             program.rules.len(),
             program.weak.len()
-        )
-        .unwrap();
-        writeln!(out, "  {}", analysis.classification_line()).unwrap();
+        );
+        let _ = writeln!(out, "  {}", analysis.classification_line());
         if let Err(d) = program.check_safety() {
             diagnostics.push(d);
         }
@@ -215,12 +281,11 @@ fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
         } else {
             None
         };
-        writeln!(
+        let _ = writeln!(
             out,
             "constraints: {} constraint(s)",
             sigma.constraints.len()
-        )
-        .unwrap();
+        );
         diagnostics.extend(cqa_analysis::lint_constraints(&sigma, db.as_ref()));
     }
 
@@ -229,7 +294,7 @@ fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
         analyzed_anything = true;
         match parse_query(q) {
             Ok(cq) => diagnostics.extend(cqa_analysis::lint_query(&cq)),
-            Err(e) => return Err(format!("--query: {e}")),
+            Err(e) => return Err(input_error(e.to_string(), &format!("--query {q}"))),
         }
     }
 
@@ -240,14 +305,14 @@ fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
     }
 
     if diagnostics.is_empty() {
-        writeln!(out, "no diagnostics").unwrap();
+        let _ = writeln!(out, "no diagnostics");
         return Ok(0);
     }
-    writeln!(out, "{} diagnostic(s):", diagnostics.len()).unwrap();
+    let _ = writeln!(out, "{} diagnostic(s):", diagnostics.len());
     let mut worst_is_error = false;
     for d in &diagnostics {
         worst_is_error |= d.is_error();
-        writeln!(out, "{d}").unwrap();
+        let _ = writeln!(out, "{d}");
     }
     Ok(if worst_is_error { 1 } else { 0 })
 }
@@ -256,16 +321,16 @@ fn cmd_check(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let db = load_db(opts)?;
     let sigma = load_sigma(opts)?;
     let ok = sigma.is_satisfied(&db).map_err(|e| e.to_string())?;
-    writeln!(out, "consistent: {ok}").unwrap();
+    let _ = writeln!(out, "consistent: {ok}");
     if !ok {
         let denial = sigma.denial_violations(&db).map_err(|e| e.to_string())?;
         let tgd = sigma.tgd_violations(&db);
-        writeln!(out, "denial-class violations: {}", denial.len()).unwrap();
+        let _ = writeln!(out, "denial-class violations: {}", denial.len());
         for v in denial.iter().take(20) {
             let tids: Vec<String> = v.iter().map(|t| t.to_string()).collect();
-            writeln!(out, "  {{{}}}", tids.join(", ")).unwrap();
+            let _ = writeln!(out, "  {{{}}}", tids.join(", "));
         }
-        writeln!(out, "tgd violations: {}", tgd.len()).unwrap();
+        let _ = writeln!(out, "tgd violations: {}", tgd.len());
         return Ok(1);
     }
     Ok(0)
@@ -275,6 +340,7 @@ fn cmd_repairs(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let db = load_db(opts)?;
     let sigma = load_sigma(opts)?;
     let class = repair_class(opts)?;
+    let budget = budget_from(opts)?;
     let limit: Option<usize> = match opts.flag("limit") {
         Some(n) => Some(
             n.parse()
@@ -284,17 +350,28 @@ fn cmd_repairs(opts: &Opts, out: &mut String) -> Result<i32, String> {
     };
     match class {
         RepairClass::AttributeNull => {
+            // Attribute repairs are computed in polynomial time; no budget
+            // is needed and the result is always exact.
             let repairs = cqa_core::attribute_repairs(&db, &sigma).map_err(|e| e.to_string())?;
-            writeln!(out, "{} attribute repairs", repairs.len()).unwrap();
+            let _ = writeln!(out, "{} attribute repairs", repairs.len());
             for r in repairs.iter().take(limit.unwrap_or(usize::MAX)) {
-                writeln!(out, "  {r}").unwrap();
+                let _ = writeln!(out, "  {r}");
             }
         }
         RepairClass::Cardinality => {
-            let repairs = cqa_core::c_repairs(&db, &sigma).map_err(|e| e.to_string())?;
-            writeln!(out, "{} C-repairs", repairs.len()).unwrap();
+            let base = Arc::new(db);
+            let repairs = cqa_core::c_repairs_budgeted(
+                &base,
+                &sigma,
+                &cqa_core::RepairOptions::default(),
+                &budget,
+            )
+            .map_err(|e| e.to_string())?;
+            note_truncation(out, &repairs);
+            let repairs = repairs.into_value();
+            let _ = writeln!(out, "{} C-repairs", repairs.len());
             for r in repairs.iter().take(limit.unwrap_or(usize::MAX)) {
-                writeln!(out, "  {r}").unwrap();
+                let _ = writeln!(out, "  {r}");
             }
         }
         _ => {
@@ -303,11 +380,14 @@ fn cmd_repairs(opts: &Opts, out: &mut String) -> Result<i32, String> {
                 allow_insertions: !matches!(class, RepairClass::SubsetDeletionsOnly),
                 ..Default::default()
             };
-            let repairs =
-                cqa_core::s_repairs_with(&db, &sigma, &options).map_err(|e| e.to_string())?;
-            writeln!(out, "{} S-repairs", repairs.len()).unwrap();
+            let base = Arc::new(db);
+            let repairs = cqa_core::s_repairs_budgeted(&base, &sigma, &options, &budget)
+                .map_err(|e| e.to_string())?;
+            note_truncation(out, &repairs);
+            let repairs = repairs.into_value();
+            let _ = writeln!(out, "{} S-repairs", repairs.len());
             for r in &repairs {
-                writeln!(out, "  {r}").unwrap();
+                let _ = writeln!(out, "  {r}");
             }
         }
     }
@@ -319,19 +399,24 @@ fn cmd_cqa(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let sigma = load_sigma(opts)?;
     let query = load_query(opts)?;
     let class = repair_class(opts)?;
+    let budget = budget_from(opts)?;
     if opts.has("possible") {
-        let answers =
-            cqa_core::possible_answers(&db, &sigma, &query, &class).map_err(|e| e.to_string())?;
-        writeln!(out, "{} possible answers", answers.len()).unwrap();
+        let answers = cqa_core::possible_answers_budgeted(&db, &sigma, &query, &class, &budget)
+            .map_err(|e| e.to_string())?;
+        note_truncation(out, &answers);
+        let answers = answers.into_value();
+        let _ = writeln!(out, "{} possible answers", answers.len());
         for t in &answers {
-            writeln!(out, "  {t}").unwrap();
+            let _ = writeln!(out, "  {t}");
         }
         return Ok(0);
     }
     // The planner reports its strategy for the default class.
     if matches!(class, RepairClass::Subset) {
-        let planned =
-            cqa_core::answer_consistently(&db, &sigma, &query).map_err(|e| e.to_string())?;
+        let planned = cqa_core::answer_consistently_budgeted(&db, &sigma, &query, &budget)
+            .map_err(|e| e.to_string())?;
+        note_truncation(out, &planned);
+        let planned = planned.into_value();
         let strategy = match &planned.strategy {
             Strategy::FoRewriting => "FO rewriting (no repairs materialized)".to_string(),
             Strategy::DirectEvaluation => "direct evaluation (instance consistent)".to_string(),
@@ -339,20 +424,22 @@ fn cmd_cqa(opts: &Opts, out: &mut String) -> Result<i32, String> {
                 format!("repair enumeration ({reason})")
             }
         };
-        writeln!(out, "strategy: {strategy}").unwrap();
+        let _ = writeln!(out, "strategy: {strategy}");
         for d in &planned.diagnostics {
-            writeln!(out, "note: {d}").unwrap();
+            let _ = writeln!(out, "note: {d}");
         }
-        writeln!(out, "{} consistent answers", planned.answers.len()).unwrap();
+        let _ = writeln!(out, "{} consistent answers", planned.answers.len());
         for t in &planned.answers {
-            writeln!(out, "  {t}").unwrap();
+            let _ = writeln!(out, "  {t}");
         }
     } else {
-        let answers =
-            cqa_core::consistent_answers(&db, &sigma, &query, &class).map_err(|e| e.to_string())?;
-        writeln!(out, "{} consistent answers", answers.len()).unwrap();
+        let answers = cqa_core::consistent_answers_budgeted(&db, &sigma, &query, &class, &budget)
+            .map_err(|e| e.to_string())?;
+        note_truncation(out, &answers);
+        let answers = answers.into_value();
+        let _ = writeln!(out, "{} consistent answers", answers.len());
         for t in &answers {
-            writeln!(out, "  {t}").unwrap();
+            let _ = writeln!(out, "  {t}");
         }
     }
     Ok(0)
@@ -361,18 +448,38 @@ fn cmd_cqa(opts: &Opts, out: &mut String) -> Result<i32, String> {
 fn cmd_causes(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let db = load_db(opts)?;
     let query = load_query(opts)?;
+    let budget = budget_from(opts)?;
     if query.disjuncts.iter().any(|q| !q.is_boolean()) {
         return Err("causes are computed for Boolean queries; bind the answer constants".into());
     }
-    let causes = cqa_causality::actual_causes(&db, &query);
+    let causes = cqa_causality::actual_causes_budgeted(&db, &query, &budget);
+    note_truncation(out, &causes);
+    let truncated = causes.is_truncated();
+    let causes = causes.into_value();
     if causes.is_empty() {
-        writeln!(out, "query is false: no causes").unwrap();
+        let _ = writeln!(
+            out,
+            "{}",
+            if truncated {
+                "no causes found within budget"
+            } else {
+                "query is false: no causes"
+            }
+        );
         return Ok(1);
     }
-    writeln!(out, "{} actual causes", causes.len()).unwrap();
+    let _ = writeln!(out, "{} actual causes", causes.len());
     for c in &causes {
-        let (rel, tuple) = db.get(c.tid).map(|(r, t)| (r, t.clone())).unwrap();
-        writeln!(out, "  {} = {rel}{tuple}  {c}", c.tid).unwrap();
+        // Causes come from the support hypergraph of this very instance,
+        // but print defensively: an unknown tid is reported, not a panic.
+        match db.get(c.tid) {
+            Some((rel, tuple)) => {
+                let _ = writeln!(out, "  {} = {rel}{tuple}  {c}", c.tid);
+            }
+            None => {
+                let _ = writeln!(out, "  {} = <tuple not in instance>  {c}", c.tid);
+            }
+        }
     }
     Ok(0)
 }
@@ -382,9 +489,9 @@ fn cmd_measure(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let sigma = load_sigma(opts)?;
     let degree = cqa_core::inconsistency_degree(&db, &sigma).map_err(|e| e.to_string())?;
     let gap = cqa_core::core_gap(&db, &sigma).map_err(|e| e.to_string())?;
-    writeln!(out, "tuples: {}", db.total_tuples()).unwrap();
-    writeln!(out, "inconsistency degree (C-repair): {degree:.4}").unwrap();
-    writeln!(out, "core gap (S-repairs): {gap:.4}").unwrap();
+    let _ = writeln!(out, "tuples: {}", db.total_tuples());
+    let _ = writeln!(out, "inconsistency degree (C-repair): {degree:.4}");
+    let _ = writeln!(out, "core gap (S-repairs): {gap:.4}");
     Ok(0)
 }
 
@@ -413,21 +520,20 @@ fn cmd_clean(opts: &Opts, out: &mut String) -> Result<i32, String> {
     }
     let result = cqa_cleaning::clean(&db, &spec, &cqa_cleaning::CostModel::uniform())
         .map_err(|e| e.to_string())?;
-    writeln!(
+    let _ = writeln!(
         out,
         "{} fixes, total cost {:.3}, {} round(s)",
         result.fixes.len(),
         result.total_cost,
         result.rounds
-    )
-    .unwrap();
+    );
     for f in &result.fixes {
-        writeln!(out, "  {f}").unwrap();
+        let _ = writeln!(out, "  {f}");
     }
     if let Some(path) = opts.flag("out") {
         std::fs::write(path, cqa_relation::save(&result.db))
             .map_err(|e| format!("writing {path}: {e}"))?;
-        writeln!(out, "cleaned instance written to {path}").unwrap();
+        let _ = writeln!(out, "cleaned instance written to {path}");
     }
     Ok(0)
 }
@@ -458,34 +564,41 @@ fn cmd_sql(opts: &Opts, out: &mut String) -> Result<i32, String> {
     }
     let fo = cqa_core::rewrite_key_query(cq, &keys).map_err(|e| e.to_string())?;
     let sql = cqa_query::fo_to_sql(&fo, &db).map_err(|e| e.to_string())?;
-    writeln!(out, "{sql}").unwrap();
+    let _ = writeln!(out, "{sql}");
     Ok(0)
 }
 
 fn cmd_asp(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let db = load_db(opts)?;
     let sigma = load_sigma(opts)?;
+    let budget = budget_from(opts)?;
     let mut rp = cqa_asp::RepairProgram::build(&db, &sigma).map_err(|e| e.to_string())?;
     if opts.has("c-repairs") {
         rp.add_c_repair_weak_constraints();
     }
-    writeln!(out, "% generated repair program\n{}", rp.program).unwrap();
+    let _ = writeln!(out, "% generated repair program\n{}", rp.program);
     let models = if opts.has("c-repairs") {
-        rp.c_repair_models().map_err(|e| e.to_string())?
+        rp.c_repair_models_budgeted(&budget)
+            .map_err(|e| e.to_string())?
     } else {
-        rp.s_repair_models().map_err(|e| e.to_string())?
+        rp.s_repair_models_budgeted(&budget)
+            .map_err(|e| e.to_string())?
     };
-    writeln!(out, "% {} repair model(s)", models.len()).unwrap();
+    // Output is an ASP document: keep the status line a comment.
+    if let Some((reason, explored)) = models.truncation() {
+        let _ = writeln!(out, "% truncated: {reason} (explored {explored})");
+    }
+    let models = models.into_value();
+    let _ = writeln!(out, "% {} repair model(s)", models.len());
     for m in &models {
         let deleted: Vec<String> = m.deleted.iter().map(|t| t.to_string()).collect();
         let inserted: Vec<String> = m.inserted.iter().map(|(r, t)| format!("+{r}{t}")).collect();
-        writeln!(
+        let _ = writeln!(
             out,
             "%   delete {{{}}} {}",
             deleted.join(", "),
             inserted.join(" ")
-        )
-        .unwrap();
+        );
     }
     Ok(0)
 }
@@ -654,7 +767,7 @@ mod tests {
         assert_eq!(code, 0);
         for c in [
             "A001", "A002", "A003", "A004", "A005", "G001", "C001", "C002", "C003", "C004", "C005",
-            "C006", "Q001", "Q002",
+            "C006", "Q001", "Q002", "E001",
         ] {
             assert!(out.contains(c), "catalog missing {c}:\n{out}");
         }
@@ -747,6 +860,171 @@ mod tests {
         assert!(run(&args, &mut String::new()).is_err());
         // Restore the default so parallel-running tests are unaffected.
         cqa_exec::set_threads(0);
+    }
+
+    /// A database with `k` independent key conflicts: 2^k S-repairs.
+    fn write_conflict_files(dir: &std::path::Path, k: usize) -> (String, String) {
+        let db_path = dir.join("conflicts.idb");
+        let sigma_path = dir.join("conflicts.sigma");
+        let mut text = String::from("@relation T(K, V)\n");
+        for i in 0..k {
+            let _ = writeln!(text, "{i}, 1\n{i}, 2");
+        }
+        std::fs::write(&db_path, text).unwrap();
+        std::fs::write(&sigma_path, "key T(K)\n").unwrap();
+        (
+            db_path.to_string_lossy().into_owned(),
+            sigma_path.to_string_lossy().into_owned(),
+        )
+    }
+
+    #[test]
+    fn step_budget_truncates_repairs() {
+        let dir = tmpdir("budget-steps");
+        let (db, sigma) = write_conflict_files(&dir, 8);
+        let (code, out) = run_cmd(&[
+            "repairs",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--budget-steps",
+            "10",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("truncated: step-limit"), "{out}");
+        // Still a well-formed listing of (a subset of the) repairs.
+        assert!(out.contains("S-repairs"), "{out}");
+        assert!(!out.contains("256 S-repairs"), "{out}");
+    }
+
+    #[test]
+    fn max_repairs_caps_enumeration() {
+        let dir = tmpdir("budget-items");
+        let (db, sigma) = write_conflict_files(&dir, 8);
+        let (code, out) = run_cmd(&[
+            "repairs",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--max-repairs",
+            "3",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("truncated: item-limit"), "{out}");
+        let n: usize = out
+            .lines()
+            .find_map(|l| l.strip_suffix(" S-repairs").and_then(|n| n.parse().ok()))
+            .unwrap();
+        assert!(n <= 3, "{out}");
+    }
+
+    #[test]
+    fn ample_budget_output_is_byte_identical() {
+        let dir = tmpdir("budget-ample");
+        let (db, sigma) = write_conflict_files(&dir, 4);
+        for cmd in ["repairs", "cqa", "asp"] {
+            let mut base = vec![cmd, "--db", db.as_str(), "--constraints", sigma.as_str()];
+            if cmd == "cqa" {
+                base.extend_from_slice(&["--query", "Q(x) :- T(x, y)"]);
+            }
+            let (_, plain) = run_cmd(&base);
+            let mut budgeted_args = base.clone();
+            budgeted_args.extend_from_slice(&[
+                "--budget-steps",
+                "100000000",
+                "--timeout-ms",
+                "600000",
+            ]);
+            let (_, budgeted) = run_cmd(&budgeted_args);
+            assert_eq!(plain, budgeted, "{cmd} output changed under ample budget");
+            assert!(!plain.contains("truncated:"), "{plain}");
+        }
+    }
+
+    #[test]
+    fn cqa_deadline_reports_sound_underapproximation() {
+        let dir = tmpdir("budget-deadline");
+        let (db, _) = write_conflict_files(&dir, 8);
+        // A denial constraint (not a key) rules the FO rewriting out, so
+        // the planner must enumerate repairs — the budgetable path.
+        let sigma_path = dir.join("dc.sigma");
+        std::fs::write(&sigma_path, "dc T(x, y), T(x, z), y != z\n").unwrap();
+        let sigma = sigma_path.to_string_lossy().into_owned();
+        // steps=1 exhausts immediately: certain answers fall back to the
+        // consistent core (T restricted to unconflicted keys = none here),
+        // a sound under-approximation, and the status line says so.
+        let (code, out) = run_cmd(&[
+            "cqa",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(x) :- T(x, y)",
+            "--budget-steps",
+            "1",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("truncated: step-limit"), "{out}");
+        // Every reported answer must be a true certain answer (soundness).
+        let (_, exact) = run_cmd(&[
+            "cqa",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(x) :- T(x, y)",
+        ]);
+        for line in out.lines().filter(|l| l.starts_with("  ")) {
+            assert!(exact.contains(line), "unsound answer {line}:\n{exact}");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_become_diagnostics_not_panics() {
+        let dir = tmpdir("bad-input");
+        // Truncated file: a string cut off mid-escape.
+        let db_path = dir.join("broken.idb");
+        std::fs::write(&db_path, "@relation R(A)\n'x''").unwrap();
+        let sigma_path = dir.join("sigma.txt");
+        std::fs::write(&sigma_path, "key R(A)\n").unwrap();
+        let args: Vec<String> = vec![
+            "check".into(),
+            "--db".into(),
+            db_path.to_string_lossy().into_owned(),
+            "--constraints".into(),
+            sigma_path.to_string_lossy().into_owned(),
+        ];
+        let err = run(&args, &mut String::new()).unwrap_err();
+        assert!(err.contains("error[E001] invalid-input"), "{err}");
+        assert!(err.contains("unterminated string"), "{err}");
+        // Malformed query string.
+        let good_db = dir.join("good.idb");
+        std::fs::write(&good_db, "@relation R(A)\n1\n").unwrap();
+        let args: Vec<String> = vec![
+            "causes".into(),
+            "--db".into(),
+            good_db.to_string_lossy().into_owned(),
+            "--query".into(),
+            "Q() :- R(".into(),
+        ];
+        let err = run(&args, &mut String::new()).unwrap_err();
+        assert!(err.contains("error[E001] invalid-input"), "{err}");
+        // Bad budget flag value.
+        let args: Vec<String> = vec![
+            "repairs".into(),
+            "--db".into(),
+            db_path.to_string_lossy().into_owned(),
+            "--constraints".into(),
+            sigma_path.to_string_lossy().into_owned(),
+            "--timeout-ms".into(),
+            "soon".into(),
+        ];
+        let err = run(&args, &mut String::new()).unwrap_err();
+        assert!(err.contains("error[E001] invalid-input"), "{err}");
     }
 
     #[test]

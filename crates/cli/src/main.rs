@@ -10,7 +10,12 @@ fn main() {
         }
         Err(e) => {
             print!("{out}");
-            eprintln!("error: {e}");
+            // Diagnostics already carry their own `error[...]` prefix.
+            if e.starts_with("error[") {
+                eprintln!("{e}");
+            } else {
+                eprintln!("error: {e}");
+            }
             std::process::exit(2);
         }
     }

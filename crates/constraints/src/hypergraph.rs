@@ -23,6 +23,7 @@
 //! the graph, not of the schedule — output is byte-identical at every
 //! thread count.
 
+use cqa_exec::{Budget, Outcome};
 use cqa_relation::Tid;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -110,25 +111,51 @@ impl ConflictHypergraph {
     /// filter and no cross-branch superset scan are needed. With
     /// `limit = Some(n)` enumeration stops after `n` minimal sets are found.
     pub fn minimal_hitting_sets(&self, limit: Option<usize>) -> Vec<BTreeSet<Tid>> {
-        // A limit means "stop early", which only has a deterministic meaning
-        // in DFS order — keep that path (and trivial graphs) sequential.
-        if limit.is_some() || cqa_exec::threads() <= 1 || self.edges.len() < 2 {
+        self.minimal_hitting_sets_budgeted(limit, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Budget-aware [`Self::minimal_hitting_sets`]. Every set in a
+    /// [`Outcome::Truncated`] result is a genuine minimal hitting set (the
+    /// search emits only verified-minimal leaves), so truncation yields a
+    /// sound *subset* of the full enumeration. A budget with a logical cap
+    /// runs the sequential DFS, making the truncated subset byte-identical
+    /// at any thread count; a deadline budget keeps the parallel search and
+    /// only promises soundness, not which subset.
+    pub fn minimal_hitting_sets_budgeted(
+        &self,
+        limit: Option<usize>,
+        budget: &Budget,
+    ) -> Outcome<Vec<BTreeSet<Tid>>> {
+        // A limit or a logical budget means "stop early", which only has a
+        // deterministic meaning in DFS order — keep those paths (and trivial
+        // graphs) sequential.
+        if limit.is_some()
+            || budget.forces_sequential()
+            || cqa_exec::threads() <= 1
+            || self.edges.len() < 2
+        {
             let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
             let mut current = BTreeSet::new();
             let mut banned = BTreeSet::new();
-            self.enumerate_rec(&mut current, &mut banned, &mut out, limit);
-            return out.into_iter().collect();
+            self.enumerate_rec(&mut current, &mut banned, &mut out, limit, budget);
+            let n = out.len() as u64;
+            return budget.outcome_with(out.into_iter().collect(), n);
         }
         // Parallel: branch tasks on the work queue carry their exclusion set
         // along. Branch families are disjoint and every emitted leaf is
         // minimal, so the merged set is exactly the full enumeration no
-        // matter how branches were scheduled.
+        // matter how branches were scheduled. On budget exhaustion workers
+        // stop spawning children and drain what is queued.
         let split = par_split_depth();
         let found = cqa_exec::run_queue(
             vec![(BTreeSet::new(), BTreeSet::new())],
             |(current, banned): (BTreeSet<Tid>, BTreeSet<Tid>),
              spawn,
              results: &mut Vec<BTreeSet<Tid>>| {
+                if !budget.tick() {
+                    return;
+                }
                 match self
                     .edges
                     .iter()
@@ -140,7 +167,7 @@ impl ConflictHypergraph {
                         let mut out = BTreeSet::new();
                         let mut cur = current;
                         let mut ban = banned;
-                        self.enumerate_rec(&mut cur, &mut ban, &mut out, None);
+                        self.enumerate_rec(&mut cur, &mut ban, &mut out, None, budget);
                         results.extend(out);
                     }
                     Some(edge) => {
@@ -161,7 +188,8 @@ impl ConflictHypergraph {
             },
         );
         let out: BTreeSet<BTreeSet<Tid>> = found.into_iter().collect();
-        out.into_iter().collect()
+        let n = out.len() as u64;
+        budget.outcome_with(out.into_iter().collect(), n)
     }
 
     /// Does every vertex of `current` have a *critical* edge — one that no
@@ -184,7 +212,11 @@ impl ConflictHypergraph {
         banned: &mut BTreeSet<Tid>,
         out: &mut BTreeSet<BTreeSet<Tid>>,
         limit: Option<usize>,
+        budget: &Budget,
     ) {
+        if !budget.tick() {
+            return;
+        }
         if limit.is_some_and(|l| out.len() >= l) {
             return;
         }
@@ -196,7 +228,10 @@ impl ConflictHypergraph {
         {
             None => {
                 // Every edge hit, every chosen vertex critical: minimal.
+                // The leaf is valid even if it fills the item cap; the cap
+                // latches and the unwinding recursion stops exploring.
                 out.insert(current.clone());
+                let _ = budget.charge_item();
             }
             Some(edge) => {
                 let vertices: Vec<Tid> = edge.iter().copied().collect();
@@ -207,7 +242,7 @@ impl ConflictHypergraph {
                     }
                     current.insert(v);
                     if self.chosen_all_critical(current) {
-                        self.enumerate_rec(current, banned, out, limit);
+                        self.enumerate_rec(current, banned, out, limit, budget);
                     }
                     current.remove(&v);
                     banned.insert(v);
@@ -234,10 +269,14 @@ impl ConflictHypergraph {
                     *counts.entry(v).or_default() += 1;
                 }
             }
-            let (&best, _) = counts
+            // Uncovered edges are non-empty, so counts is non-empty; the
+            // defensive break (rather than unwrap) keeps this total.
+            let Some((&best, _)) = counts
                 .iter()
                 .max_by_key(|(v, c)| (**c, std::cmp::Reverse(**v)))
-                .expect("uncovered edges are non-empty");
+            else {
+                break;
+            };
             set.insert(best);
             uncovered.retain(|e| !e.contains(&best));
         }
@@ -269,15 +308,25 @@ impl ConflictHypergraph {
 
     /// The size of a minimum hitting set (0 if there are no edges).
     pub fn minimum_hitting_set_size(&self) -> usize {
+        self.minimum_hitting_set_size_budgeted(&Budget::unlimited())
+            .into_value()
+    }
+
+    /// Budget-aware [`Self::minimum_hitting_set_size`]. On truncation the
+    /// carried value is only an **upper bound** (the best incumbent the
+    /// branch-and-bound proved before stopping, seeded by the greedy
+    /// hitting set) — callers that need the exact minimum must treat a
+    /// truncated outcome as "unknown".
+    pub fn minimum_hitting_set_size_budgeted(&self, budget: &Budget) -> Outcome<usize> {
         if self.edges.is_empty() {
-            return 0;
+            return budget.outcome_with(0, 0);
         }
         let greedy = self.greedy_hitting_set().len();
-        if cqa_exec::threads() <= 1 {
+        if budget.forces_sequential() || cqa_exec::threads() <= 1 {
             let mut best = greedy;
             let mut current = BTreeSet::new();
-            self.min_size_rec(&mut current, &mut best);
-            return best;
+            self.min_size_rec(&mut current, &mut best, budget);
+            return budget.outcome(best);
         }
         // Parallel branch-and-bound. The incumbent best is shared through an
         // atomic: workers read it when a branch task starts (a stale — i.e.
@@ -289,6 +338,9 @@ impl ConflictHypergraph {
         cqa_exec::run_queue(
             vec![BTreeSet::new()],
             |current: BTreeSet<Tid>, spawn, _results: &mut Vec<()>| {
+                if !budget.tick() {
+                    return;
+                }
                 let mut local_best = best.load(Ordering::Relaxed);
                 if current.len() + self.disjoint_edge_bound(&current) >= local_best {
                     return;
@@ -304,7 +356,7 @@ impl ConflictHypergraph {
                     }
                     Some(_) if current.len() >= split => {
                         let mut cur = current;
-                        self.min_size_rec(&mut cur, &mut local_best);
+                        self.min_size_rec(&mut cur, &mut local_best, budget);
                         best.fetch_min(local_best, Ordering::Relaxed);
                     }
                     Some(edge) => {
@@ -317,10 +369,13 @@ impl ConflictHypergraph {
                 }
             },
         );
-        best.load(Ordering::Relaxed)
+        budget.outcome(best.load(Ordering::Relaxed))
     }
 
-    fn min_size_rec(&self, current: &mut BTreeSet<Tid>, best: &mut usize) {
+    fn min_size_rec(&self, current: &mut BTreeSet<Tid>, best: &mut usize, budget: &Budget) {
+        if !budget.tick() {
+            return;
+        }
         if current.len() + self.disjoint_edge_bound(current) >= *best {
             return;
         }
@@ -337,7 +392,7 @@ impl ConflictHypergraph {
                 let vertices: Vec<Tid> = edge.iter().copied().collect();
                 for v in vertices {
                     current.insert(v);
-                    self.min_size_rec(current, best);
+                    self.min_size_rec(current, best, budget);
                     current.remove(&v);
                 }
             }
@@ -355,26 +410,46 @@ impl ConflictHypergraph {
     /// "whichever branch finished first", the witness is the same at every
     /// thread count.
     pub fn minimum_hitting_set(&self) -> BTreeSet<Tid> {
+        self.minimum_hitting_set_budgeted(&Budget::unlimited())
+            .into_value()
+    }
+
+    /// Budget-aware [`Self::minimum_hitting_set`]. On truncation the witness
+    /// degrades gracefully: it is always a *valid* (minimal) hitting set —
+    /// the greedy one if the size search could not finish — just not
+    /// necessarily a minimum one.
+    pub fn minimum_hitting_set_budgeted(&self, budget: &Budget) -> Outcome<BTreeSet<Tid>> {
         if self.edges.is_empty() {
-            return BTreeSet::new();
+            return budget.outcome_with(BTreeSet::new(), 0);
         }
-        let k = self.minimum_hitting_set_size();
-        let edge = self
-            .edges
-            .iter()
-            .min_by_key(|e| e.len())
-            .expect("edges are non-empty");
+        let size = self.minimum_hitting_set_size_budgeted(budget);
+        if budget.exhausted() {
+            return budget.outcome(self.greedy_hitting_set());
+        }
+        let k = size.into_value();
+        let Some(edge) = self.edges.iter().min_by_key(|e| e.len()) else {
+            return budget.outcome(BTreeSet::new());
+        };
         let vertices: Vec<Tid> = edge.iter().copied().collect();
-        let candidates = cqa_exec::par_filter_map(&vertices, |&v| {
+        let branch = |&v: &Tid| {
             let mut current: BTreeSet<Tid> = [v].into();
             let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
-            self.min_enum_first(&mut current, k, &mut out);
+            self.min_enum_first(&mut current, k, &mut out, budget);
             out.into_iter().next()
-        });
-        candidates
-            .into_iter()
-            .min()
-            .expect("some branch hits the chosen edge")
+        };
+        let candidates = if budget.forces_sequential() {
+            vertices.iter().filter_map(branch).collect::<Vec<_>>()
+        } else {
+            cqa_exec::par_filter_map(&vertices, branch)
+        };
+        // A branch search cut off by the budget may find nothing; the
+        // greedy set keeps the witness valid (though possibly oversized).
+        budget.outcome(
+            candidates
+                .into_iter()
+                .min()
+                .unwrap_or_else(|| self.greedy_hitting_set()),
+        )
     }
 
     fn min_enum_first(
@@ -382,7 +457,11 @@ impl ConflictHypergraph {
         current: &mut BTreeSet<Tid>,
         k: usize,
         out: &mut BTreeSet<BTreeSet<Tid>>,
+        budget: &Budget,
     ) {
+        if !budget.tick() {
+            return;
+        }
         if !out.is_empty() || current.len() > k {
             return;
         }
@@ -402,7 +481,7 @@ impl ConflictHypergraph {
                 let vertices: Vec<Tid> = edge.iter().copied().collect();
                 for v in vertices {
                     current.insert(v);
-                    self.min_enum_first(current, k, out);
+                    self.min_enum_first(current, k, out, budget);
                     current.remove(&v);
                     if !out.is_empty() {
                         return;
@@ -414,12 +493,28 @@ impl ConflictHypergraph {
 
     /// All **minimum** hitting sets (the C-repair deltas).
     pub fn minimum_hitting_sets(&self) -> Vec<BTreeSet<Tid>> {
-        let k = self.minimum_hitting_set_size();
-        if cqa_exec::threads() <= 1 || self.edges.len() < 2 {
+        self.minimum_hitting_sets_budgeted(&Budget::unlimited())
+            .into_value()
+    }
+
+    /// Budget-aware [`Self::minimum_hitting_sets`]. If the budget survives
+    /// the size computation, every set in a truncated result has exactly
+    /// the proven minimum size and hits every edge — a sound *subset* of
+    /// the C-repair deltas. If the budget dies during the size computation
+    /// itself, the minimum is unknown and the result is an empty truncated
+    /// list (never a list of wrong-sized sets).
+    pub fn minimum_hitting_sets_budgeted(&self, budget: &Budget) -> Outcome<Vec<BTreeSet<Tid>>> {
+        let size = self.minimum_hitting_set_size_budgeted(budget);
+        if budget.exhausted() {
+            return budget.outcome_with(Vec::new(), 0);
+        }
+        let k = size.into_value();
+        if budget.forces_sequential() || cqa_exec::threads() <= 1 || self.edges.len() < 2 {
             let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
             let mut current = BTreeSet::new();
-            self.min_enum_rec(&mut current, k, &mut out);
-            return out.into_iter().collect();
+            self.min_enum_rec(&mut current, k, &mut out, budget);
+            let n = out.len() as u64;
+            return budget.outcome_with(out.into_iter().collect(), n);
         }
         // Parallel enumeration at fixed budget `k`; each branch explores a
         // disjoint prefix, results merge into a set, so the output equals
@@ -428,6 +523,9 @@ impl ConflictHypergraph {
         let found = cqa_exec::run_queue(
             vec![BTreeSet::new()],
             |current: BTreeSet<Tid>, spawn, results: &mut Vec<BTreeSet<Tid>>| {
+                if !budget.tick() {
+                    return;
+                }
                 if current.len() > k {
                     return;
                 }
@@ -447,12 +545,12 @@ impl ConflictHypergraph {
                     Some(_) if current.len() >= split => {
                         let mut out = BTreeSet::new();
                         let mut cur = current;
-                        self.min_enum_rec(&mut cur, k, &mut out);
+                        self.min_enum_rec(&mut cur, k, &mut out, budget);
                         results.extend(out);
                     }
                     Some(edge) => {
                         if current.len() == k {
-                            return; // budget exhausted but edges uncovered
+                            return; // size budget spent but edges uncovered
                         }
                         for &v in edge {
                             let mut child = current.clone();
@@ -464,7 +562,8 @@ impl ConflictHypergraph {
             },
         );
         let out: BTreeSet<BTreeSet<Tid>> = found.into_iter().collect();
-        out.into_iter().collect()
+        let n = out.len() as u64;
+        budget.outcome_with(out.into_iter().collect(), n)
     }
 
     fn min_enum_rec(
@@ -472,7 +571,11 @@ impl ConflictHypergraph {
         current: &mut BTreeSet<Tid>,
         k: usize,
         out: &mut BTreeSet<BTreeSet<Tid>>,
+        budget: &Budget,
     ) {
+        if !budget.tick() {
+            return;
+        }
         if current.len() > k {
             return;
         }
@@ -485,19 +588,21 @@ impl ConflictHypergraph {
             None => {
                 if current.len() == k {
                     out.insert(current.clone());
+                    let _ = budget.charge_item();
                 } else if self.is_hitting_set(current) && current.len() < k {
                     // can only happen when k was not tight; defensive
                     out.insert(current.clone());
+                    let _ = budget.charge_item();
                 }
             }
             Some(edge) => {
                 if current.len() == k {
-                    return; // budget exhausted but edges uncovered
+                    return; // size budget spent but edges uncovered
                 }
                 let vertices: Vec<Tid> = edge.iter().copied().collect();
                 for v in vertices {
                     current.insert(v);
-                    self.min_enum_rec(current, k, out);
+                    self.min_enum_rec(current, k, out, budget);
                     current.remove(&v);
                 }
             }
@@ -511,6 +616,21 @@ impl ConflictHypergraph {
             .into_iter()
             .map(|h| self.nodes.difference(&h).copied().collect())
             .collect()
+    }
+
+    /// Budget-aware [`Self::maximal_independent_sets`]; same soundness
+    /// contract as [`Self::minimal_hitting_sets_budgeted`] (a truncated
+    /// result is a subset of the true S-repair family).
+    pub fn maximal_independent_sets_budgeted(
+        &self,
+        limit: Option<usize>,
+        budget: &Budget,
+    ) -> Outcome<Vec<BTreeSet<Tid>>> {
+        self.minimal_hitting_sets_budgeted(limit, budget).map(|hs| {
+            hs.into_iter()
+                .map(|h| self.nodes.difference(&h).copied().collect())
+                .collect()
+        })
     }
 }
 
@@ -622,6 +742,83 @@ mod tests {
         assert_eq!(g.minimal_hitting_sets(None).len(), 1 << k);
         assert_eq!(g.minimum_hitting_set_size(), k as usize);
         assert_eq!(g.minimum_hitting_sets().len(), 1 << k);
+    }
+
+    #[test]
+    fn budgeted_enumeration_exact_with_ample_budget() {
+        let g = figure_1();
+        let exact = g.minimal_hitting_sets(None);
+        let out = g.minimal_hitting_sets_budgeted(None, &Budget::steps(100_000));
+        assert!(out.is_exact());
+        assert_eq!(out.into_value(), exact);
+        let mins = g.minimum_hitting_sets_budgeted(&Budget::steps(100_000));
+        assert!(mins.is_exact());
+        assert_eq!(mins.into_value(), g.minimum_hitting_sets());
+    }
+
+    #[test]
+    fn budgeted_enumeration_truncates_to_a_sound_subset() {
+        // k disjoint 2-edges → 2^k minimal hitting sets; a tiny step budget
+        // must return a strict subset of genuinely minimal sets.
+        let k = 10;
+        let edges: Vec<BTreeSet<Tid>> = (0..k).map(|i| tids(&[2 * i, 2 * i + 1])).collect();
+        let nodes: BTreeSet<Tid> = (0..2 * k).map(Tid).collect();
+        let g = ConflictHypergraph::new(nodes, edges);
+        let budget = Budget::steps(200);
+        let out = g.minimal_hitting_sets_budgeted(None, &budget);
+        assert!(out.is_truncated());
+        let found = out.into_value();
+        assert!(found.len() < 1 << k);
+        for h in &found {
+            assert!(g.is_minimal_hitting_set(h), "truncated set not minimal");
+        }
+    }
+
+    #[test]
+    fn budgeted_truncation_is_deterministic_across_thread_counts() {
+        let k = 10;
+        let edges: Vec<BTreeSet<Tid>> = (0..k).map(|i| tids(&[2 * i, 2 * i + 1])).collect();
+        let nodes: BTreeSet<Tid> = (0..2 * k).map(Tid).collect();
+        let g = ConflictHypergraph::new(nodes, edges);
+        let run = |t: usize| {
+            cqa_exec::with_threads(t, || {
+                g.minimal_hitting_sets_budgeted(None, &Budget::steps(300))
+            })
+        };
+        let base = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), base, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn item_cap_limits_emitted_sets() {
+        let g = figure_1();
+        let budget = Budget::items(2);
+        let out = g.minimal_hitting_sets_budgeted(None, &budget);
+        assert!(out.is_truncated());
+        assert_eq!(out.value().len(), 2);
+        for h in out.value() {
+            assert!(g.is_minimal_hitting_set(h));
+        }
+    }
+
+    #[test]
+    fn truncated_minimum_witness_is_still_a_hitting_set() {
+        let g = figure_1();
+        let budget = Budget::steps(1);
+        let out = g.minimum_hitting_set_budgeted(&budget);
+        assert!(out.is_truncated());
+        assert!(g.is_hitting_set(out.value()));
+    }
+
+    #[test]
+    fn truncated_size_search_yields_empty_minimum_family() {
+        let g = figure_1();
+        let budget = Budget::steps(1);
+        let out = g.minimum_hitting_sets_budgeted(&budget);
+        assert!(out.is_truncated());
+        assert!(out.value().is_empty());
     }
 
     #[test]

@@ -1,5 +1,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Untrusted input must never panic the process: unwraps/expects are banned
+// outside tests (allow-listed per site where an invariant is locally proven).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # cqa-constraints
 //!

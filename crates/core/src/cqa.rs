@@ -19,12 +19,13 @@
 //! results are byte-identical at every thread count.
 
 use crate::attr_repair::attribute_repairs;
-use crate::crepair::c_repairs_arc;
+use crate::crepair::{c_repairs_arc, c_repairs_budgeted};
 use crate::repair::Repair;
-use crate::srepair::{s_repairs_with_arc, RepairOptions};
+use crate::srepair::{s_repairs_budgeted, s_repairs_with_arc, RepairOptions};
 use cqa_constraints::ConstraintSet;
+use cqa_exec::{Budget, Outcome};
 use cqa_query::{eval_aggregate, eval_ucq, AggregateQuery, NullSemantics, UnionQuery};
-use cqa_relation::{Database, DeltaView, Facts, RelationError, Tuple, Value};
+use cqa_relation::{Database, DeltaView, Facts, RelationError, Tid, Tuple, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -385,6 +386,352 @@ pub fn cqa_report(
         certain: certain.unwrap_or_default(),
         possible,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted (anytime) CQA
+// ---------------------------------------------------------------------------
+
+/// Is every disjunct free of negated atoms? Negation-free UCQs (with
+/// comparisons) are monotone: adding tuples to an instance can only add
+/// answers. Monotonicity is what makes the consistent-core fallback below
+/// sound.
+fn is_monotone(query: &UnionQuery) -> bool {
+    query.disjuncts.iter().all(|cq| cq.negated.is_empty())
+}
+
+/// Do all repairs of the chosen class stay *inside* the original instance
+/// (no insertions)? True for denial-class Σ under the S/C classes, for the
+/// explicit deletion-only semantics, and for attribute-null repairs (which
+/// only null out cells — under SQL null semantics a nulled cell can satisfy
+/// strictly fewer join conditions, never more).
+fn deletion_only_semantics(sigma: &ConstraintSet, class: &RepairClass) -> bool {
+    match class {
+        RepairClass::SubsetDeletionsOnly | RepairClass::AttributeNull => true,
+        RepairClass::Subset | RepairClass::Cardinality => sigma.is_denial_class(),
+    }
+}
+
+/// The sound **under-approximation** of the certain answers used whenever a
+/// budget cuts certain-answer evaluation short: evaluate `query` over the
+/// consistent core of `db` (the tuples free of any conflict). For
+/// denial-class Σ every repair keeps the whole core, so for a monotone
+/// query, `Q(core) ⊆ Q(D')` for *every* repair `D'` — hence
+/// `Q(core) ⊆ Cons(Q, D, Σ)`. When that argument does not apply (tgds, a
+/// non-monotone query), the fallback is the empty set, which is trivially
+/// sound.
+///
+/// Note the naive alternative — intersecting `Q` over the repairs explored
+/// so far — is *not* sound for certain answers: dropping repairs from an
+/// intersection can only grow it, i.e. it over-approximates. That is why
+/// truncated runs discard the partial fold and use the core.
+fn core_certain_fallback(
+    base: &Arc<Database>,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+) -> Result<BTreeSet<Tuple>, RelationError> {
+    let applicable = matches!(
+        class,
+        RepairClass::Subset | RepairClass::SubsetDeletionsOnly | RepairClass::Cardinality
+    ) && sigma.is_denial_class()
+        && is_monotone(query);
+    if !applicable {
+        return Ok(BTreeSet::new());
+    }
+    let core = sigma.conflict_hypergraph(&**base)?.isolated_nodes();
+    let deleted: BTreeSet<Tid> = base.tids().difference(&core).copied().collect();
+    let core_view = Repair::from_delta_arc(base, deleted, Vec::new())?;
+    Ok(eval_ucq(&core_view.view(), query, NullSemantics::Sql)
+        .into_iter()
+        .filter(|t| !t.has_null())
+        .collect())
+}
+
+/// The sound **over-approximation** of the possible answers used when a
+/// budget fires: `Q(D)` itself. Under deletion-only repair semantics every
+/// repair is a sub-instance of `D`, so for a monotone query
+/// `Q(D') ⊆ Q(D)` for every repair — the union over repairs is contained in
+/// `Q(D)`. When repairs may insert tuples (tgds) or the query is
+/// non-monotone this bound is unavailable, and the caller falls back to the
+/// union over the repairs it *did* explore (a lower bound, flagged as such).
+fn possible_fallback<F: Facts>(
+    base: &Arc<Database>,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+    explored: &[F],
+) -> BTreeSet<Tuple> {
+    if deletion_only_semantics(sigma, class) && is_monotone(query) {
+        eval_ucq(&**base, query, NullSemantics::Sql)
+            .into_iter()
+            .filter(|t| !t.has_null())
+            .collect()
+    } else {
+        possible_over(explored, query)
+    }
+}
+
+/// Enumerate the chosen repair class under a budget. The attribute-null
+/// class is not yet metered during enumeration (its repair space is tamed
+/// by per-cell minimality rather than search); the query-evaluation fold on
+/// top of it still honours deadlines.
+fn repair_set_budgeted(
+    base: &Arc<Database>,
+    sigma: &ConstraintSet,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Outcome<RepairSet>, RelationError> {
+    match class {
+        RepairClass::Subset => {
+            Ok(
+                s_repairs_budgeted(base, sigma, &RepairOptions::default(), budget)?
+                    .map(RepairSet::Delta),
+            )
+        }
+        RepairClass::SubsetDeletionsOnly => {
+            Ok(
+                s_repairs_budgeted(base, sigma, &RepairOptions::deletions_only(), budget)?
+                    .map(RepairSet::Delta),
+            )
+        }
+        RepairClass::Cardinality => {
+            Ok(
+                c_repairs_budgeted(base, sigma, &RepairOptions::default(), budget)?
+                    .map(RepairSet::Delta),
+            )
+        }
+        RepairClass::AttributeNull => {
+            let dbs: Vec<Database> = attribute_repairs(base, sigma)?
+                .into_iter()
+                .map(|r| r.db)
+                .collect();
+            let n = dbs.len() as u64;
+            Ok(budget.outcome_with(RepairSet::Materialized(dbs), n))
+        }
+    }
+}
+
+/// Budget-aware intersection fold. Returns `None` when the budget fired
+/// mid-fold — the partial accumulator is *discarded* (it would be an
+/// over-approximation, and under parallel deadline budgets its value would
+/// depend on scheduling); the caller substitutes the core fallback.
+fn certain_over_budgeted<F: Facts>(
+    instances: &[F],
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Option<BTreeSet<Tuple>> {
+    let Some((first, rest)) = instances.split_first() else {
+        return Some(BTreeSet::new());
+    };
+    if !budget.tick() {
+        return None;
+    }
+    let mut acc: BTreeSet<Tuple> = eval_ucq(first, query, NullSemantics::Sql)
+        .into_iter()
+        .filter(|t| !t.has_null())
+        .collect();
+    if budget.forces_sequential() {
+        // Logical budget: one tick per repair in input order, so the cut
+        // point is schedule-independent.
+        for inst in rest {
+            if acc.is_empty() {
+                break;
+            }
+            if !budget.tick() {
+                return None;
+            }
+            let here = eval_ucq(inst, query, NullSemantics::Sql);
+            acc.retain(|t| here.contains(t));
+        }
+        return Some(acc);
+    }
+    // Deadline/cancellation budget: parallel chunks with a clock check at
+    // every chunk barrier (same chunking as the exact fold).
+    let chunk = cqa_exec::threads() * 8;
+    for (start, end) in cqa_exec::chunks_of(rest.len(), chunk) {
+        if acc.is_empty() {
+            break;
+        }
+        if !budget.check_deadline() {
+            return None;
+        }
+        let sets = cqa_exec::par_map(&rest[start..end], |inst| {
+            eval_ucq(inst, query, NullSemantics::Sql)
+        });
+        for here in &sets {
+            acc.retain(|t| here.contains(t));
+        }
+    }
+    Some(acc)
+}
+
+/// Budget-aware union fold; `None` when cut short (caller substitutes
+/// [`possible_fallback`]).
+fn possible_over_budgeted<F: Facts>(
+    instances: &[F],
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Option<BTreeSet<Tuple>> {
+    if budget.forces_sequential() {
+        let mut out = BTreeSet::new();
+        for inst in instances {
+            if !budget.tick() {
+                return None;
+            }
+            out.extend(
+                eval_ucq(inst, query, NullSemantics::Sql)
+                    .into_iter()
+                    .filter(|t| !t.has_null()),
+            );
+        }
+        return Some(out);
+    }
+    let chunk = cqa_exec::threads() * 8;
+    let mut out = BTreeSet::new();
+    for (start, end) in cqa_exec::chunks_of(instances.len(), chunk) {
+        if !budget.check_deadline() {
+            return None;
+        }
+        let sets = cqa_exec::par_map(&instances[start..end], |inst| {
+            eval_ucq(inst, query, NullSemantics::Sql)
+                .into_iter()
+                .filter(|t| !t.has_null())
+                .collect::<BTreeSet<_>>()
+        });
+        for here in sets {
+            out.extend(here);
+        }
+    }
+    Some(out)
+}
+
+/// Budget-aware [`consistent_answers`]: the anytime entry point.
+///
+/// An [`Outcome::Exact`] result equals the unbudgeted answer bit for bit.
+/// An [`Outcome::Truncated`] result is a **sound under-approximation** of
+/// the certain answers (possibly empty — see `core_certain_fallback` for
+/// when it is non-trivial); `explored` counts the repairs that were fully
+/// enumerated before the budget fired.
+pub fn consistent_answers_budgeted(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Outcome<BTreeSet<Tuple>>, RelationError> {
+    let base = Arc::new(db.clone());
+    let set = repair_set_budgeted(&base, sigma, class, budget)?;
+    let explored = set.truncation().map(|(_, e)| e);
+    let set = set.into_value();
+    if budget.exhausted() {
+        // Enumeration was cut: the explored repairs are only part of the
+        // class, so intersecting over them would over-approximate. Discard
+        // them for the certain side and answer from the core.
+        let fallback = core_certain_fallback(&base, sigma, query, class)?;
+        return Ok(budget.outcome_with(fallback, explored.unwrap_or(set.len() as u64)));
+    }
+    let folded = match &set {
+        RepairSet::Delta(reps) => certain_over_budgeted(&views(reps), query, budget),
+        RepairSet::Materialized(dbs) => certain_over_budgeted(dbs, query, budget),
+    };
+    match folded {
+        Some(acc) if !budget.exhausted() => Ok(Outcome::Exact(acc)),
+        _ => {
+            let fallback = core_certain_fallback(&base, sigma, query, class)?;
+            Ok(budget.outcome_with(fallback, set.len() as u64))
+        }
+    }
+}
+
+/// Budget-aware [`possible_answers`].
+///
+/// An [`Outcome::Exact`] result equals the unbudgeted answer. A truncated
+/// result is a **sound over-approximation** (`Q(D)`) whenever the repair
+/// semantics is deletion-only and the query monotone; otherwise it degrades
+/// to the union over the repairs explored so far — a lower bound, which is
+/// why the outcome tag matters.
+pub fn possible_answers_budgeted(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Outcome<BTreeSet<Tuple>>, RelationError> {
+    let base = Arc::new(db.clone());
+    let set = repair_set_budgeted(&base, sigma, class, budget)?;
+    let set = set.into_value();
+    let fallback = |set: &RepairSet| match set {
+        RepairSet::Delta(reps) => possible_fallback(&base, sigma, query, class, &views(reps)),
+        RepairSet::Materialized(dbs) => possible_fallback(&base, sigma, query, class, dbs),
+    };
+    if budget.exhausted() {
+        let value = fallback(&set);
+        return Ok(budget.outcome_with(value, set.len() as u64));
+    }
+    let folded = match &set {
+        RepairSet::Delta(reps) => possible_over_budgeted(&views(reps), query, budget),
+        RepairSet::Materialized(dbs) => possible_over_budgeted(dbs, query, budget),
+    };
+    match folded {
+        Some(out) if !budget.exhausted() => Ok(Outcome::Exact(out)),
+        _ => {
+            let value = fallback(&set);
+            Ok(budget.outcome_with(value, set.len() as u64))
+        }
+    }
+}
+
+/// Budget-aware [`cqa_report`]: one repair enumeration feeding both the
+/// certain (under-approximated on truncation) and possible
+/// (over-approximated where sound, see [`possible_answers_budgeted`])
+/// sides. `repair_count` is the number of repairs actually enumerated —
+/// the full class size only when the outcome is exact.
+pub fn cqa_report_budgeted(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Outcome<CqaReport>, RelationError> {
+    let base = Arc::new(db.clone());
+    let set = repair_set_budgeted(&base, sigma, class, budget)?;
+    let set = set.into_value();
+    let repair_count = set.len();
+    let build = |certain: BTreeSet<Tuple>, possible: BTreeSet<Tuple>| CqaReport {
+        repair_count,
+        certain,
+        possible,
+    };
+    let truncated_report = |set: &RepairSet| -> Result<CqaReport, RelationError> {
+        let certain = core_certain_fallback(&base, sigma, query, class)?;
+        let possible = match set {
+            RepairSet::Delta(reps) => possible_fallback(&base, sigma, query, class, &views(reps)),
+            RepairSet::Materialized(dbs) => possible_fallback(&base, sigma, query, class, dbs),
+        };
+        Ok(build(certain, possible))
+    };
+    if budget.exhausted() {
+        let report = truncated_report(&set)?;
+        return Ok(budget.outcome_with(report, repair_count as u64));
+    }
+    let folded = match &set {
+        RepairSet::Delta(reps) => {
+            let v = views(reps);
+            certain_over_budgeted(&v, query, budget).zip(possible_over_budgeted(&v, query, budget))
+        }
+        RepairSet::Materialized(dbs) => certain_over_budgeted(dbs, query, budget)
+            .zip(possible_over_budgeted(dbs, query, budget)),
+    };
+    match folded {
+        Some((certain, possible)) if !budget.exhausted() => {
+            Ok(Outcome::Exact(build(certain, possible)))
+        }
+        _ => {
+            let report = truncated_report(&set)?;
+            Ok(budget.outcome_with(report, repair_count as u64))
+        }
+    }
 }
 
 /// Convenience: keep the `Repair` structs alongside their instances.

@@ -6,8 +6,9 @@
 //! `cqa-constraints` avoids enumerating all S-repairs first.
 
 use crate::repair::Repair;
-use crate::srepair::{s_repairs_with_arc, RepairOptions};
+use crate::srepair::{s_repairs_budgeted, RepairOptions};
 use cqa_constraints::ConstraintSet;
+use cqa_exec::{Budget, Outcome};
 use cqa_relation::{Database, RelationError};
 use std::sync::Arc;
 
@@ -41,26 +42,53 @@ pub fn c_repairs_with_arc(
     sigma: &ConstraintSet,
     options: &RepairOptions,
 ) -> Result<Vec<Repair>, RelationError> {
+    Ok(c_repairs_budgeted(db, sigma, options, &Budget::unlimited())?.into_value())
+}
+
+/// Budget-aware C-repair enumeration.
+///
+/// For denial-class Σ a truncated result is a sound subset of the true
+/// C-repair family if the minimum-size proof finished, and empty otherwise
+/// (never a list of wrong-sized repairs — see
+/// [`ConflictHypergraph::minimum_hitting_sets_budgeted`]). For general Σ
+/// the truncated result filters the repairs found so far by their smallest
+/// observed delta size; a deeper, unexplored branch could in principle beat
+/// that size, so treat a truncated general result as "best found so far".
+///
+/// [`ConflictHypergraph::minimum_hitting_sets_budgeted`]:
+/// cqa_constraints::ConflictHypergraph::minimum_hitting_sets_budgeted
+pub fn c_repairs_budgeted(
+    db: &Arc<Database>,
+    sigma: &ConstraintSet,
+    options: &RepairOptions,
+    budget: &Budget,
+) -> Result<Outcome<Vec<Repair>>, RelationError> {
     if sigma.is_denial_class() {
         let graph = sigma.conflict_hypergraph(&**db)?;
-        let mut out: Vec<Repair> = graph
-            .minimum_hitting_sets()
+        let hitting_sets = graph.minimum_hitting_sets_budgeted(budget);
+        let explored = hitting_sets.value().len() as u64;
+        let mut out: Vec<Repair> = hitting_sets
+            .into_value()
             .into_iter()
             .map(|hs| Repair::from_delta_arc(db, hs, Vec::new()))
             .collect::<Result<_, _>>()?;
         out.sort_by(|a, b| a.delta().cmp(b.delta()));
-        return Ok(out);
+        return Ok(budget.outcome_with(out, explored));
     }
-    let all = s_repairs_with_arc(
+    let all = s_repairs_budgeted(
         db,
         sigma,
         &RepairOptions {
             limit: None,
             ..options.clone()
         },
-    )?;
+        budget,
+    )?
+    .into_value();
+    let explored = all.len() as u64;
     let min = all.iter().map(Repair::delta_size).min().unwrap_or(0);
-    Ok(all.into_iter().filter(|r| r.delta_size() == min).collect())
+    let filtered: Vec<Repair> = all.into_iter().filter(|r| r.delta_size() == min).collect();
+    Ok(budget.outcome_with(filtered, explored))
 }
 
 /// The minimum number of changes needed to restore consistency

@@ -43,22 +43,27 @@ pub use checking::{
 };
 pub use cqa::{
     aggregate_range_over, aggregate_ranges_over, certain_over, certainly_true, certainly_true_over,
-    consistent_aggregate_range, consistent_aggregate_ranges, consistent_answers, cqa_report,
-    possible_answers, possible_over, repairs_of, CqaReport, RepairClass,
+    consistent_aggregate_range, consistent_aggregate_ranges, consistent_answers,
+    consistent_answers_budgeted, cqa_report, cqa_report_budgeted, possible_answers,
+    possible_answers_budgeted, possible_over, repairs_of, CqaReport, RepairClass,
 };
 pub use crepair::{
-    c_repairs, c_repairs_arc, c_repairs_with, c_repairs_with_arc, min_repair_distance,
+    c_repairs, c_repairs_arc, c_repairs_budgeted, c_repairs_with, c_repairs_with_arc,
+    min_repair_distance,
 };
 pub use incremental::{insert_preserves_consistency, repairs_after_insert, IncrementalRepairs};
 pub use measures::{core_gap, inconsistency_degree};
 pub use nullrepair::{has_solution, null_tuple_repairs, NullTupleRepair, RepairStyle};
-pub use planner::{answer_consistently, plan_diagnostics, PlannedAnswer, Strategy};
+pub use planner::{
+    answer_consistently, answer_consistently_budgeted, plan_diagnostics, PlannedAnswer, Strategy,
+};
 pub use prioritized::{globally_optimal_repairs, pareto_optimal_repairs, PriorityRelation};
 pub use privacy::SecrecyView;
 pub use repair::{retain_subset_minimal, Change, Repair};
 pub use rewrite::{attack_graph, residue_rewrite, rewrite_key_query, KeyRewriteError};
 pub use srepair::{
-    consistent_core, s_repairs, s_repairs_arc, s_repairs_with, s_repairs_with_arc, RepairOptions,
+    consistent_core, s_repairs, s_repairs_arc, s_repairs_budgeted, s_repairs_with,
+    s_repairs_with_arc, RepairOptions,
 };
 pub use tolerant::{ar_answers, iar_answers};
 pub use update_repair::{min_change_update_repair, update_repairs, CellUpdate, UpdateRepair};

@@ -10,10 +10,11 @@
 //! The chosen strategy is reported so callers can log/inspect it, mirroring
 //! how ConsEx surfaced its magic-set rewriting decisions.
 
-use crate::cqa::{consistent_answers, RepairClass};
+use crate::cqa::{consistent_answers_budgeted, RepairClass};
 use crate::rewrite::keys::{rewrite_key_query, KeyPositions, KeyRewriteError};
 use cqa_analysis::{lint_constraints, lint_query, DiagCode, Diagnostic};
 use cqa_constraints::{Constraint, ConstraintSet};
+use cqa_exec::{Budget, Outcome};
 use cqa_query::{eval_fo, NullSemantics, UnionQuery};
 use cqa_relation::{Database, RelationError, Tuple};
 use std::collections::BTreeSet;
@@ -80,18 +81,33 @@ pub fn answer_consistently(
     sigma: &ConstraintSet,
     query: &UnionQuery,
 ) -> Result<PlannedAnswer, RelationError> {
+    Ok(answer_consistently_budgeted(db, sigma, query, &Budget::unlimited())?.into_value())
+}
+
+/// Budget-aware [`answer_consistently`]. The polynomial strategies (direct
+/// evaluation on a consistent instance, FO rewriting) always produce an
+/// [`Outcome::Exact`] answer — a budget never degrades them. Only the
+/// repair-enumeration fallback is metered; on truncation it reports the
+/// sound under-approximation of
+/// [`consistent_answers_budgeted`].
+pub fn answer_consistently_budgeted(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Result<Outcome<PlannedAnswer>, RelationError> {
     let diagnostics = plan_diagnostics(db, sigma, query);
 
     // Consistent instance: certain answers are the plain answers.
     if sigma.is_satisfied(db)? {
-        return Ok(PlannedAnswer {
+        return Ok(Outcome::Exact(PlannedAnswer {
             answers: cqa_query::eval_ucq(db, query, NullSemantics::Sql)
                 .into_iter()
                 .filter(|t| !t.has_null())
                 .collect(),
             strategy: Strategy::DirectEvaluation,
             diagnostics,
-        });
+        }));
     }
 
     // Rewriting path: keys-only Σ, single self-join-free CQ.
@@ -99,21 +115,21 @@ pub fn answer_consistently(
         if let [cq] = &query.disjuncts[..] {
             match rewrite_key_query(cq, &keys) {
                 Ok(fo) => {
-                    return Ok(PlannedAnswer {
+                    return Ok(Outcome::Exact(PlannedAnswer {
                         answers: eval_fo(db, &fo, NullSemantics::Structural),
                         strategy: Strategy::FoRewriting,
                         diagnostics,
-                    });
+                    }));
                 }
                 Err(KeyRewriteError::CyclicAttackGraph { witness }) => {
                     let reason = format!(
                         "attack graph cyclic at atoms {} and {}: CQA is coNP-complete",
                         witness.0, witness.1
                     );
-                    return fallback(db, sigma, query, reason, diagnostics);
+                    return fallback(db, sigma, query, reason, diagnostics, budget);
                 }
                 Err(e) => {
-                    return fallback(db, sigma, query, e.to_string(), diagnostics);
+                    return fallback(db, sigma, query, e.to_string(), diagnostics, budget);
                 }
             }
         }
@@ -123,6 +139,7 @@ pub fn answer_consistently(
             query,
             "query is a union, not a single CQ".into(),
             diagnostics,
+            budget,
         );
     }
     // Non-key Σ: say *why* in terms of what the lints recognized.
@@ -139,7 +156,7 @@ pub fn answer_consistently(
     {
         reason.push_str("; Σ contains redundant constraints (C001/C003)");
     }
-    fallback(db, sigma, query, reason, diagnostics)
+    fallback(db, sigma, query, reason, diagnostics, budget)
 }
 
 fn fallback(
@@ -148,12 +165,14 @@ fn fallback(
     query: &UnionQuery,
     reason: String,
     diagnostics: Vec<Diagnostic>,
-) -> Result<PlannedAnswer, RelationError> {
-    Ok(PlannedAnswer {
-        answers: consistent_answers(db, sigma, query, &RepairClass::Subset)?,
+    budget: &Budget,
+) -> Result<Outcome<PlannedAnswer>, RelationError> {
+    let answers = consistent_answers_budgeted(db, sigma, query, &RepairClass::Subset, budget)?;
+    Ok(answers.map(|answers| PlannedAnswer {
+        answers,
         strategy: Strategy::RepairEnumeration { reason },
         diagnostics,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -182,7 +201,8 @@ mod tests {
         assert_eq!(planned.strategy, Strategy::FoRewriting);
         assert_eq!(planned.answers, [tuple!["smith", 3000]].into());
         // And it agrees with the reference semantics.
-        let reference = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        let reference =
+            crate::cqa::consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
         assert_eq!(planned.answers, reference);
     }
 

@@ -16,6 +16,7 @@
 
 use crate::repair::{retain_subset_minimal, Repair};
 use cqa_constraints::ConstraintSet;
+use cqa_exec::{Budget, Outcome};
 use cqa_relation::fxhash::{FxHashSet, FxHasher};
 use cqa_relation::{Database, Facts, RelationError, Tid, Tuple, Value};
 use std::collections::BTreeSet;
@@ -133,13 +134,37 @@ pub fn s_repairs_with_arc(
     sigma: &ConstraintSet,
     options: &RepairOptions,
 ) -> Result<Vec<Repair>, RelationError> {
-    let mut repairs = if sigma.is_denial_class() {
-        denial_class_s_repairs(db, sigma, options)?
+    Ok(s_repairs_budgeted(db, sigma, options, &Budget::unlimited())?.into_value())
+}
+
+/// Budget-aware S-repair enumeration: the anytime entry point behind
+/// `repairctl --timeout-ms/--max-repairs`.
+///
+/// On truncation the carried repairs are always *consistent* instances at
+/// delta-minimal-so-far distance:
+///
+/// * **Denial-class Σ** — every returned repair corresponds to a verified
+///   minimal hitting set, so a truncated result is a sound subset of the
+///   true S-repair family.
+/// * **General Σ (tgds)** — returned repairs are consistent and pairwise
+///   ⊆-incomparable, but a branch cut off by the budget could in principle
+///   have produced a smaller delta, so ⊆-minimality against the *full*
+///   family is not guaranteed for truncated results.
+pub fn s_repairs_budgeted(
+    db: &Arc<Database>,
+    sigma: &ConstraintSet,
+    options: &RepairOptions,
+    budget: &Budget,
+) -> Result<Outcome<Vec<Repair>>, RelationError> {
+    let outcome = if sigma.is_denial_class() {
+        denial_class_s_repairs(db, sigma, options, budget)?
     } else {
-        general_s_repairs(db, sigma, options)?
+        general_s_repairs(db, sigma, options, budget)?
     };
-    repairs.sort_by(|a, b| a.delta().cmp(b.delta()));
-    Ok(repairs)
+    Ok(outcome.map(|mut repairs| {
+        repairs.sort_by(|a, b| a.delta().cmp(b.delta()));
+        repairs
+    }))
 }
 
 /// The fast path: deletions only, via minimal hitting sets.
@@ -147,7 +172,8 @@ fn denial_class_s_repairs(
     db: &Arc<Database>,
     sigma: &ConstraintSet,
     options: &RepairOptions,
-) -> Result<Vec<Repair>, RelationError> {
+    budget: &Budget,
+) -> Result<Outcome<Vec<Repair>>, RelationError> {
     let mut graph = sigma.conflict_hypergraph(&**db)?;
     if !options.protected.is_empty() {
         // Protected tuples cannot be deleted: remove them from the edges; an
@@ -156,17 +182,20 @@ fn denial_class_s_repairs(
         for e in &graph.edges {
             let r: BTreeSet<Tid> = e.difference(&options.protected).copied().collect();
             if r.is_empty() {
-                return Ok(Vec::new());
+                return Ok(budget.outcome_with(Vec::new(), 0));
             }
             reduced.push(r);
         }
         graph = cqa_constraints::ConflictHypergraph::new(graph.nodes, reduced);
     }
-    graph
-        .minimal_hitting_sets(options.limit)
+    let hitting_sets = graph.minimal_hitting_sets_budgeted(options.limit, budget);
+    let explored = hitting_sets.value().len() as u64;
+    let repairs = hitting_sets
+        .into_value()
         .into_iter()
         .map(|hs| Repair::from_delta_arc(db, hs, Vec::new()))
-        .collect()
+        .collect::<Result<Vec<Repair>, RelationError>>()?;
+    Ok(budget.outcome_with(repairs, explored))
 }
 
 /// The general search over deltas, handling tgds.
@@ -174,7 +203,8 @@ fn general_s_repairs(
     db: &Arc<Database>,
     sigma: &ConstraintSet,
     options: &RepairOptions,
-) -> Result<Vec<Repair>, RelationError> {
+    budget: &Budget,
+) -> Result<Outcome<Vec<Repair>>, RelationError> {
     // A search node is a delta. Deltas are explored depth-first; consistent
     // leaves are collected and minimized at the end. `seen` prunes deltas
     // explored before (the same delta is reachable along many orders).
@@ -182,6 +212,7 @@ fn general_s_repairs(
         original: &'a Arc<Database>,
         sigma: &'a ConstraintSet,
         options: &'a RepairOptions,
+        budget: &'a Budget,
         found: Vec<Repair>,
         seen: FxHashSet<(u64, u64)>,
         error: Option<RelationError>,
@@ -190,6 +221,11 @@ fn general_s_repairs(
     impl Search<'_> {
         fn step(&mut self, deleted: &BTreeSet<Tid>, inserted: &Vec<(String, Tuple)>) {
             if self.error.is_some() {
+                return;
+            }
+            // The search is strictly depth-first on one thread, so a step
+            // budget cuts it at a schedule-independent point.
+            if !self.budget.tick() {
                 return;
             }
             if self
@@ -311,6 +347,7 @@ fn general_s_repairs(
             // Consistent: record (still unmaterialized).
             drop(current);
             self.found.push(repair);
+            let _ = self.budget.charge_item();
         }
     }
 
@@ -318,6 +355,7 @@ fn general_s_repairs(
         original: db,
         sigma,
         options,
+        budget,
         found: Vec::new(),
         seen: FxHashSet::default(),
         error: None,
@@ -326,11 +364,12 @@ fn general_s_repairs(
     if let Some(e) = search.error {
         return Err(e);
     }
+    let explored = search.found.len() as u64;
     let mut minimal = retain_subset_minimal(search.found);
     if let Some(l) = options.limit {
         minimal.truncate(l);
     }
-    Ok(minimal)
+    Ok(budget.outcome_with(minimal, explored))
 }
 
 /// Tuples that persist across every S-repair — the "consistent core" of D

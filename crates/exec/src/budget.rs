@@ -1,0 +1,582 @@
+//! Execution budgets, cooperative cancellation, and anytime outcomes.
+//!
+//! Every decision problem this workspace serves is intractable in the worst
+//! case — certain answers are coNP-complete already for key constraints and
+//! repair counts grow as 2^k in the number of conflicts — so unbounded
+//! "run to completion" semantics are unusable once inputs leave the paper's
+//! toy examples. A [`Budget`] bounds a computation by wall-clock deadline,
+//! logical step count, and/or emitted-item count, and carries a
+//! [`CancelToken`] that external callers may flip at any time. Exhaustion
+//! is **not an error**: consumers observe it cooperatively (via [`tick`],
+//! [`charge_item`], or the token) and return whatever sound partial result
+//! they have, tagged [`Outcome::Truncated`] so callers can tell an exact
+//! answer from an anytime one.
+//!
+//! # Determinism
+//!
+//! Budgets come in two flavours with different determinism contracts:
+//!
+//! * **Logical budgets** (step cap, item cap) count abstract search nodes /
+//!   emitted results. Call sites that consume a budget with
+//!   [`forces_sequential`] run their sequential code path, so the same cap
+//!   yields byte-identical output at any thread count — the workspace
+//!   determinism suite extends to truncated runs.
+//! * **Physical budgets** (deadline, cancellation) depend on the machine
+//!   clock. Parallel execution is kept; consumers are written so that the
+//!   *value* they return on truncation is still deterministic (they discard
+//!   racy partial folds and fall back to a sound core), but *whether* a
+//!   given run truncates is inherently timing-dependent.
+//!
+//! Step accounting is a single relaxed `fetch_add` per node — negligible
+//! next to the `BTreeSet` work a search node actually does — so unlimited
+//! budgets (the default for the legacy exact APIs) cost nothing observable.
+//!
+//! [`tick`]: Budget::tick
+//! [`charge_item`]: Budget::charge_item
+//! [`forces_sequential`]: Budget::forces_sequential
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in steps) the wall clock is consulted when a deadline is set.
+/// A search node costs microseconds, so 64 nodes between clock reads keeps
+/// deadline overshoot well under a millisecond while making `Instant::now`
+/// cost invisible.
+const DEADLINE_CHECK_INTERVAL: u64 = 64;
+
+/// Why a computation stopped early. Ordered by the latch codes used
+/// internally; the first limit observed wins and is sticky.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TruncationReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The logical step cap was reached.
+    StepLimit,
+    /// The emitted-item cap (e.g. `--max-repairs`) was reached.
+    ItemLimit,
+    /// The [`CancelToken`] was flipped by an external caller.
+    Cancelled,
+}
+
+impl TruncationReason {
+    /// Stable lowercase name, used in CLI status lines and harness tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TruncationReason::Deadline => "deadline",
+            TruncationReason::StepLimit => "step-limit",
+            TruncationReason::ItemLimit => "item-limit",
+            TruncationReason::Cancelled => "cancelled",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            TruncationReason::Deadline => 1,
+            TruncationReason::StepLimit => 2,
+            TruncationReason::ItemLimit => 3,
+            TruncationReason::Cancelled => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(TruncationReason::Deadline),
+            2 => Some(TruncationReason::StepLimit),
+            3 => Some(TruncationReason::ItemLimit),
+            4 => Some(TruncationReason::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An anytime result: either the exact answer, or a sound partial answer
+/// together with why the computation stopped and how much it explored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The computation ran to completion; `T` is the exact answer.
+    Exact(T),
+    /// A budget was exhausted. `value` is still *sound* (each consumer
+    /// documents in which direction it approximates), `reason` says which
+    /// limit fired first, and `explored` counts the units of work (search
+    /// nodes, repairs, models — consumer-defined) finished before stopping.
+    Truncated {
+        /// The sound partial answer.
+        value: T,
+        /// Which limit fired first.
+        reason: TruncationReason,
+        /// Units of work completed before stopping.
+        explored: u64,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// The carried value, exact or not.
+    pub fn value(&self) -> &T {
+        match self {
+            Outcome::Exact(v) | Outcome::Truncated { value: v, .. } => v,
+        }
+    }
+
+    /// Consume the outcome, returning the carried value.
+    pub fn into_value(self) -> T {
+        match self {
+            Outcome::Exact(v) | Outcome::Truncated { value: v, .. } => v,
+        }
+    }
+
+    /// Did the computation run to completion?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Outcome::Exact(_))
+    }
+
+    /// Was the computation cut short?
+    pub fn is_truncated(&self) -> bool {
+        !self.is_exact()
+    }
+
+    /// The truncation tag, if any.
+    pub fn truncation(&self) -> Option<(TruncationReason, u64)> {
+        match self {
+            Outcome::Exact(_) => None,
+            Outcome::Truncated {
+                reason, explored, ..
+            } => Some((*reason, *explored)),
+        }
+    }
+
+    /// Map the carried value, preserving the tag.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        match self {
+            Outcome::Exact(v) => Outcome::Exact(f(v)),
+            Outcome::Truncated {
+                value,
+                reason,
+                explored,
+            } => Outcome::Truncated {
+                value: f(value),
+                reason,
+                explored,
+            },
+        }
+    }
+}
+
+/// A shared flag for cooperative cancellation. Cloning is cheap (an `Arc`
+/// bump); all clones observe the same flag. Typically obtained from
+/// [`Budget::cancel_token`] and handed to another thread or a signal
+/// handler, which calls [`cancel`](CancelToken::cancel) to ask every
+/// in-flight worker to drain promptly.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The underlying flag, for wiring into the pool's stop mechanism.
+    pub(crate) fn flag(&self) -> &AtomicBool {
+        &self.flag
+    }
+}
+
+/// Declarative limits for [`Budget::new`]. `None` everywhere (the
+/// [`Default`]) means unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Wall-clock deadline, milliseconds from budget creation.
+    pub deadline_ms: Option<u64>,
+    /// Cap on logical steps (search nodes). Forces sequential execution.
+    pub steps: Option<u64>,
+    /// Cap on emitted items (repairs, models). Forces sequential execution.
+    pub items: Option<u64>,
+}
+
+impl Limits {
+    /// True when no limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_ms.is_none() && self.steps.is_none() && self.items.is_none()
+    }
+}
+
+struct Inner {
+    deadline: Option<Instant>,
+    step_cap: Option<u64>,
+    item_cap: Option<u64>,
+    steps: AtomicU64,
+    items: AtomicU64,
+    cancel: CancelToken,
+    /// 0 = within budget; otherwise the latched `TruncationReason` code.
+    /// Latched once and never cleared, so "exhausted" is monotone: every
+    /// observer after the first sees the same reason regardless of thread
+    /// interleaving.
+    state: AtomicU8,
+}
+
+/// A shareable execution budget. Cloning is cheap (an `Arc` bump) and all
+/// clones share the same counters, so a budget handed to parallel workers
+/// meters their *combined* work.
+#[derive(Clone)]
+pub struct Budget {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Budget")
+            .field("deadline", &self.inner.deadline)
+            .field("step_cap", &self.inner.step_cap)
+            .field("item_cap", &self.inner.item_cap)
+            .field("steps", &self.steps_used())
+            .field("items", &self.items_used())
+            .field("exhaustion", &self.exhaustion())
+            .finish()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with the given limits, starting now.
+    pub fn new(limits: Limits) -> Self {
+        Budget {
+            inner: Arc::new(Inner {
+                deadline: limits
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms)),
+                step_cap: limits.steps,
+                item_cap: limits.items,
+                steps: AtomicU64::new(0),
+                items: AtomicU64::new(0),
+                cancel: CancelToken::new(),
+                state: AtomicU8::new(0),
+            }),
+        }
+    }
+
+    /// No limits: counts steps (useful for reporting) but never exhausts.
+    pub fn unlimited() -> Self {
+        Budget::new(Limits::default())
+    }
+
+    /// Wall-clock deadline `ms` milliseconds from now.
+    pub fn deadline_ms(ms: u64) -> Self {
+        Budget::new(Limits {
+            deadline_ms: Some(ms),
+            ..Limits::default()
+        })
+    }
+
+    /// Logical step cap (deterministic truncation).
+    pub fn steps(n: u64) -> Self {
+        Budget::new(Limits {
+            steps: Some(n),
+            ..Limits::default()
+        })
+    }
+
+    /// Emitted-item cap (e.g. `--max-repairs`).
+    pub fn items(n: u64) -> Self {
+        Budget::new(Limits {
+            items: Some(n),
+            ..Limits::default()
+        })
+    }
+
+    /// Budget from the `CQA_BUDGET_STEPS` environment variable, if set to a
+    /// positive integer. Used by the CLI when no explicit flag is given and
+    /// by CI to run the whole test suite under a step budget.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("CQA_BUDGET_STEPS").ok()?;
+        let n = raw.trim().parse::<u64>().ok()?;
+        (n > 0).then(|| Budget::steps(n))
+    }
+
+    /// True when a *logical* cap (steps or items) is set. Budgeted call
+    /// sites consult this to pick their sequential code path, which is what
+    /// makes logical truncation byte-identical at any thread count (the
+    /// same contract `minimal_hitting_sets` already honours for `limit`).
+    pub fn forces_sequential(&self) -> bool {
+        self.inner.step_cap.is_some() || self.inner.item_cap.is_some()
+    }
+
+    /// Charge one logical step. Returns `true` to continue, `false` once
+    /// the budget is exhausted (by any limit, on any thread). Cheap enough
+    /// to call per search node.
+    pub fn tick(&self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        if self.inner.cancel.is_cancelled() {
+            self.latch(TruncationReason::Cancelled);
+            return false;
+        }
+        let n = self.inner.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(cap) = self.inner.step_cap {
+            if n > cap {
+                self.latch(TruncationReason::StepLimit);
+                return false;
+            }
+        }
+        if self.inner.deadline.is_some() && n % DEADLINE_CHECK_INTERVAL == 1 {
+            return self.check_deadline();
+        }
+        true
+    }
+
+    /// Consult the wall clock *now* (ignoring the per-tick sampling
+    /// interval). Returns `true` to continue. Call at coarse boundaries —
+    /// chunk edges of a parallel fold, between repairs in a CQA loop —
+    /// where prompt deadline detection matters more than per-node cost.
+    pub fn check_deadline(&self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        if self.inner.cancel.is_cancelled() {
+            self.latch(TruncationReason::Cancelled);
+            return false;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.latch(TruncationReason::Deadline);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Charge one emitted item (a repair, a stable model…). Returns `true`
+    /// while more items may be emitted; once the cap is reached the budget
+    /// latches `ItemLimit` and this returns `false` — the item just charged
+    /// is still valid, the caller should simply stop exploring for more.
+    pub fn charge_item(&self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        let n = self.inner.items.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(cap) = self.inner.item_cap {
+            if n >= cap {
+                self.latch(TruncationReason::ItemLimit);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Request cancellation of everything metered by this budget.
+    pub fn cancel(&self) {
+        self.inner.cancel.cancel();
+        self.latch(TruncationReason::Cancelled);
+    }
+
+    /// A token other threads can use to cancel this budget's work.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel.clone()
+    }
+
+    /// Has any limit fired? Monotone: once true, stays true.
+    pub fn exhausted(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != 0
+    }
+
+    /// The first limit that fired, if any.
+    pub fn exhaustion(&self) -> Option<TruncationReason> {
+        TruncationReason::from_code(self.inner.state.load(Ordering::Relaxed))
+    }
+
+    /// Steps charged so far.
+    pub fn steps_used(&self) -> u64 {
+        self.inner.steps.load(Ordering::Relaxed)
+    }
+
+    /// Items charged so far.
+    pub fn items_used(&self) -> u64 {
+        self.inner.items.load(Ordering::Relaxed)
+    }
+
+    /// Tag `value` with this budget's status: [`Outcome::Exact`] if within
+    /// budget, [`Outcome::Truncated`] (with `explored` = steps charged)
+    /// otherwise.
+    pub fn outcome<T>(&self, value: T) -> Outcome<T> {
+        self.outcome_with(value, self.steps_used())
+    }
+
+    /// Like [`outcome`](Budget::outcome) but with a consumer-defined
+    /// `explored` count (repairs enumerated, models found…).
+    pub fn outcome_with<T>(&self, value: T, explored: u64) -> Outcome<T> {
+        match self.exhaustion() {
+            None => Outcome::Exact(value),
+            Some(reason) => Outcome::Truncated {
+                value,
+                reason,
+                explored,
+            },
+        }
+    }
+
+    fn latch(&self, reason: TruncationReason) {
+        // First writer wins; later limits observe the latched state and
+        // leave it alone, so the reported reason is stable.
+        let _ = self.inner.state.compare_exchange(
+            0,
+            reason.code(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.tick());
+        }
+        assert!(b.charge_item());
+        assert!(!b.exhausted());
+        assert_eq!(b.steps_used(), 10_000);
+        assert!(matches!(b.outcome(42), Outcome::Exact(42)));
+    }
+
+    #[test]
+    fn step_cap_latches_step_limit() {
+        let b = Budget::steps(5);
+        for _ in 0..5 {
+            assert!(b.tick());
+        }
+        assert!(!b.tick());
+        assert_eq!(b.exhaustion(), Some(TruncationReason::StepLimit));
+        // Sticky: later ticks keep failing, reason unchanged.
+        assert!(!b.tick());
+        assert_eq!(b.exhaustion(), Some(TruncationReason::StepLimit));
+        match b.outcome("partial") {
+            Outcome::Truncated { value, reason, .. } => {
+                assert_eq!(value, "partial");
+                assert_eq!(reason, TruncationReason::StepLimit);
+            }
+            Outcome::Exact(_) => panic!("expected truncation"),
+        }
+    }
+
+    #[test]
+    fn item_cap_allows_exactly_cap_items() {
+        let b = Budget::items(3);
+        assert!(b.charge_item());
+        assert!(b.charge_item());
+        // Third item is valid but fills the cap.
+        assert!(!b.charge_item());
+        assert_eq!(b.items_used(), 3);
+        assert_eq!(b.exhaustion(), Some(TruncationReason::ItemLimit));
+    }
+
+    #[test]
+    fn deadline_fires() {
+        let b = Budget::deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!b.check_deadline());
+        assert_eq!(b.exhaustion(), Some(TruncationReason::Deadline));
+    }
+
+    #[test]
+    fn deadline_observed_through_tick_sampling() {
+        let b = Budget::deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        let mut stopped = false;
+        for _ in 0..(DEADLINE_CHECK_INTERVAL * 2) {
+            if !b.tick() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "tick never consulted the clock");
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let b = Budget::unlimited();
+        let token = b.cancel_token();
+        let b2 = b.clone();
+        assert!(b2.tick());
+        token.cancel();
+        assert!(!b2.tick());
+        assert_eq!(b.exhaustion(), Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn first_reason_wins() {
+        let b = Budget::new(Limits {
+            steps: Some(1),
+            items: Some(1),
+            deadline_ms: None,
+        });
+        assert!(b.tick());
+        assert!(!b.tick()); // latches StepLimit
+        assert!(!b.charge_item()); // would be ItemLimit, but already latched
+        assert_eq!(b.exhaustion(), Some(TruncationReason::StepLimit));
+    }
+
+    #[test]
+    fn forces_sequential_only_for_logical_caps() {
+        assert!(Budget::steps(10).forces_sequential());
+        assert!(Budget::items(10).forces_sequential());
+        assert!(!Budget::deadline_ms(10).forces_sequential());
+        assert!(!Budget::unlimited().forces_sequential());
+    }
+
+    #[test]
+    fn from_env_parses_positive_integers() {
+        // Can't mutate the process environment safely in a parallel test
+        // runner; just check the parse contract on whatever is set.
+        match std::env::var("CQA_BUDGET_STEPS") {
+            Ok(v) if v.trim().parse::<u64>().map(|n| n > 0).unwrap_or(false) => {
+                assert!(Budget::from_env().is_some());
+            }
+            _ => assert!(Budget::from_env().is_none()),
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let e: Outcome<i32> = Outcome::Exact(7);
+        assert!(e.is_exact());
+        assert_eq!(*e.value(), 7);
+        assert_eq!(e.truncation(), None);
+        let t = Outcome::Truncated {
+            value: 3,
+            reason: TruncationReason::Deadline,
+            explored: 12,
+        };
+        assert!(t.is_truncated());
+        assert_eq!(t.truncation(), Some((TruncationReason::Deadline, 12)));
+        assert_eq!(t.map(|v| v * 2).into_value(), 6);
+        assert_eq!(format!("{}", TruncationReason::Deadline), "deadline");
+    }
+}

@@ -39,10 +39,12 @@
 
 #![forbid(unsafe_code)]
 
+mod budget;
 mod config;
 mod pool;
 mod queue;
 
+pub use budget::{Budget, CancelToken, Limits, Outcome, TruncationReason};
 pub use config::{set_threads, threads, with_threads, ExecConfig};
-pub use pool::{chunks_of, par_any, par_filter_map, par_for_each, par_map};
+pub use pool::{chunks_of, par_any, par_filter_map, par_for_each, par_map, par_map_cancellable};
 pub use queue::run_queue;

@@ -8,6 +8,7 @@
 //! index once, and returns results in input order, making the output
 //! independent of scheduling.
 
+use crate::budget::CancelToken;
 use crate::config::{threads, IN_POOL};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -139,6 +140,44 @@ pub fn par_any<T: Sync>(items: &[T], f: impl Fn(&T) -> bool + Sync) -> bool {
     }
 }
 
+/// [`par_map`] that drains promptly when `cancel` fires: workers stop
+/// claiming items and finish only the item they are on. Returns `None` if
+/// cancellation was observed (partial results are *discarded*, so the value
+/// a caller acts on never depends on how far scheduling happened to get),
+/// `Some(results)` in input order otherwise.
+///
+/// The sequential path checks the token between items, so a single-threaded
+/// run under a cancelled token returns `None` just the same.
+pub fn par_map_cancellable<T: Sync, R: Send>(
+    items: &[T],
+    cancel: &CancelToken,
+    f: impl Fn(&T) -> R + Sync,
+) -> Option<Vec<R>> {
+    match plan(items.len()) {
+        None => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                out.push(f(item));
+            }
+            if cancel.is_cancelled() {
+                return None;
+            }
+            Some(out)
+        }
+        Some(n) => {
+            let mut tagged = run_workers(items, n, &|_, t| f(t), Some(cancel.flag()));
+            if cancel.is_cancelled() || tagged.len() < items.len() {
+                return None;
+            }
+            tagged.sort_unstable_by_key(|&(i, _)| i);
+            Some(tagged.into_iter().map(|(_, r)| r).collect())
+        }
+    }
+}
+
 /// Split `0..len` into contiguous chunks of at most `chunk` items,
 /// returned as `(start, end)` ranges. Used by call sites that need a
 /// barrier between chunks (e.g. certain-answer intersection, which wants
@@ -236,6 +275,46 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn par_map_cancellable_completes_when_not_cancelled() {
+        let items: Vec<u64> = (0..257).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        for t in [1, 2, 8] {
+            let token = CancelToken::new();
+            let got = with_threads(t, || par_map_cancellable(&items, &token, |&x| x + 1));
+            assert_eq!(got, Some(want.clone()), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_cancellable_discards_partial_results() {
+        let items: Vec<u64> = (0..4096).collect();
+        for t in [1, 4] {
+            let token = CancelToken::new();
+            let inner = token.clone();
+            let got = with_threads(t, || {
+                par_map_cancellable(&items, &token, |&x| {
+                    if x == 17 {
+                        inner.cancel();
+                    }
+                    x
+                })
+            });
+            assert_eq!(got, None, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_cancellable_pre_cancelled_is_none() {
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<u32> = (0..64).collect();
+        assert_eq!(
+            with_threads(4, || par_map_cancellable(&items, &token, |&x| x)),
+            None
+        );
     }
 
     #[test]

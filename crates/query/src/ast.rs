@@ -424,10 +424,13 @@ impl Fo {
                 other => flat.push(other),
             }
         }
-        if flat.len() == 1 {
-            flat.pop().unwrap()
-        } else {
-            Fo::And(flat)
+        match flat.pop() {
+            Some(only) if flat.is_empty() => only,
+            Some(last) => {
+                flat.push(last);
+                Fo::And(flat)
+            }
+            None => Fo::And(flat),
         }
     }
 

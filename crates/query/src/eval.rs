@@ -209,24 +209,19 @@ fn atom_order<F: Facts + ?Sized>(facts: &F, cq: &ConjunctiveQuery) -> Vec<usize>
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
     let mut bound: BTreeSet<Var> = BTreeSet::new();
-    while !remaining.is_empty() {
-        let (pos, &best) = remaining
+    while let Some((pos, &best)) = remaining.iter().enumerate().max_by_key(|(_, &i)| {
+        let atom = &cq.atoms[i];
+        let bound_terms = atom
+            .terms
             .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| {
-                let atom = &cq.atoms[i];
-                let bound_terms = atom
-                    .terms
-                    .iter()
-                    .filter(|t| match t {
-                        Term::Const(_) => true,
-                        Term::Var(v) => bound.contains(v),
-                    })
-                    .count();
-                let size = facts.relation_len(&atom.relation);
-                (bound_terms, std::cmp::Reverse(size))
+            .filter(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(v),
             })
-            .expect("remaining is non-empty");
+            .count();
+        let size = facts.relation_len(&atom.relation);
+        (bound_terms, std::cmp::Reverse(size))
+    }) {
         order.push(best);
         bound.extend(cq.atoms[best].vars());
         remaining.swap_remove(pos);
@@ -326,12 +321,14 @@ pub fn for_each_witness<F: Facts + ?Sized>(
                         if self.indexes[atom_idx].is_none() {
                             self.indexes[atom_idx] = facts.base().column_index(&atom.relation, pos);
                         }
-                        match self.indexes[atom_idx].clone() {
-                            Some(index) => {
-                                let rel = facts
-                                    .base()
-                                    .relation(&atom.relation)
-                                    .expect("indexed relation exists in the base");
+                        // `column_index` only returns an index for a
+                        // relation the base actually has, so the lookup
+                        // cannot miss; fall back to a scan if it ever did.
+                        match self.indexes[atom_idx]
+                            .clone()
+                            .zip(facts.base().relation(&atom.relation))
+                        {
+                            Some((index, rel)) => {
                                 let mut pairs: Vec<(Tid, &'a Tuple)> = Vec::new();
                                 if let Some(hits) = index.get(&key) {
                                     for &tid in hits {

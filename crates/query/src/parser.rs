@@ -380,27 +380,27 @@ impl Parser {
     }
 
     fn fo_or(&mut self) -> PResult<Fo> {
-        let mut parts = vec![self.fo_and()?];
+        let first = self.fo_and()?;
+        if !self.eat_punct("|") {
+            return Ok(first);
+        }
+        let mut parts = vec![first, self.fo_and()?];
         while self.eat_punct("|") {
             parts.push(self.fo_and()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
-        } else {
-            Fo::Or(parts)
-        })
+        Ok(Fo::Or(parts))
     }
 
     fn fo_and(&mut self) -> PResult<Fo> {
-        let mut parts = vec![self.fo_unary()?];
+        let first = self.fo_unary()?;
+        if !self.eat_punct("&") {
+            return Ok(first);
+        }
+        let mut parts = vec![first, self.fo_unary()?];
         while self.eat_punct("&") {
             parts.push(self.fo_unary()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
-        } else {
-            Fo::And(parts)
-        })
+        Ok(Fo::And(parts))
     }
 
     fn fo_unary(&mut self) -> PResult<Fo> {

@@ -85,19 +85,28 @@ fn write_value(out: &mut String, v: &Value) {
 }
 
 /// Parse a database from the text format.
+///
+/// Malformed input is reported as [`RelationError::Codec`] with the 1-based
+/// line and column of the offending character — never a panic, whatever the
+/// bytes (see the `no_panic_inputs` fuzz suite).
 pub fn load(input: &str) -> Result<Database> {
     let mut db = Database::new();
     let mut current: Option<String> = None;
     for (lineno, raw) in input.lines().enumerate() {
         let line = raw.trim();
-        let err = |msg: String| RelationError::Parse(format!("line {}: {msg}", lineno + 1));
+        let indent = raw.chars().take_while(|c| c.is_whitespace()).count();
+        let err = |column: usize, detail: String| RelationError::Codec {
+            line: lineno + 1,
+            column,
+            detail,
+        };
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         if let Some(decl) = line.strip_prefix("@relation ") {
             let (name, rest) = decl
                 .split_once('(')
-                .ok_or_else(|| err("expected `Name(attrs…)`".into()))?;
+                .ok_or_else(|| err(indent + 1, "expected `Name(attrs…)`".into()))?;
             let attrs = rest
                 .trim_end_matches(')')
                 .split(',')
@@ -110,59 +119,76 @@ pub fn load(input: &str) -> Result<Database> {
         }
         let rel = current
             .clone()
-            .ok_or_else(|| err("data row before any @relation header".into()))?;
-        let values = parse_row(line).map_err(err)?;
+            .ok_or_else(|| err(indent + 1, "data row before any @relation header".into()))?;
+        let values = parse_row(line).map_err(|(col, msg)| err(indent + col, msg))?;
         db.insert(&rel, Tuple::new(values))?;
     }
     Ok(db)
 }
 
-fn parse_row(line: &str) -> std::result::Result<Vec<Value>, String> {
+/// Tokenize one data row. Errors carry the 1-based column (in characters,
+/// relative to the trimmed line) where the problem starts.
+fn parse_row(line: &str) -> std::result::Result<Vec<Value>, (usize, String)> {
+    let chars: Vec<char> = line.chars().collect();
     let mut values = Vec::new();
-    let mut chars = line.chars().peekable();
+    let mut i = 0;
     loop {
         // Skip whitespace.
-        while chars.peek().is_some_and(|c| c.is_whitespace()) {
-            chars.next();
+        while chars.get(i).is_some_and(|c| c.is_whitespace()) {
+            i += 1;
         }
-        match chars.peek() {
+        match chars.get(i) {
             None => break,
             Some('\'') => {
-                chars.next();
+                let start = i;
+                i += 1;
                 let mut s = String::new();
-                loop {
-                    match chars.next() {
-                        Some('\'') => {
-                            if chars.peek() == Some(&'\'') {
-                                chars.next();
-                                s.push('\'');
-                            } else {
-                                break;
-                            }
-                        }
-                        Some(c) => s.push(c),
-                        None => return Err("unterminated string".into()),
+                let mut closed = false;
+                while let Some(&c) = chars.get(i) {
+                    i += 1;
+                    if c != '\'' {
+                        s.push(c);
+                    } else if chars.get(i) == Some(&'\'') {
+                        // `''` escapes a quote — including a trailing `''`
+                        // with no closing quote after it, which used to
+                        // slip past the tokenizer.
+                        i += 1;
+                        s.push('\'');
+                    } else {
+                        closed = true;
+                        break;
                     }
+                }
+                if !closed {
+                    return Err((start + 1, "unterminated string".into()));
                 }
                 values.push(Value::str(&s));
             }
             Some(_) => {
+                let start = i;
                 let mut token = String::new();
-                while chars.peek().is_some_and(|&c| c != ',') {
-                    token.push(chars.next().unwrap());
+                while let Some(&c) = chars.get(i) {
+                    if c == ',' {
+                        break;
+                    }
+                    token.push(c);
+                    i += 1;
                 }
                 let token = token.trim();
-                values.push(parse_bare(token)?);
+                values.push(parse_bare(token).map_err(|msg| (start + 1, msg))?);
             }
         }
         // Skip to the next comma (or end).
-        while chars.peek().is_some_and(|c| c.is_whitespace()) {
-            chars.next();
+        while chars.get(i).is_some_and(|c| c.is_whitespace()) {
+            i += 1;
         }
-        match chars.next() {
+        match chars.get(i) {
             None => break,
-            Some(',') => continue,
-            Some(c) => return Err(format!("expected `,`, found `{c}`")),
+            Some(',') => {
+                i += 1;
+                continue;
+            }
+            Some(c) => return Err((i + 1, format!("expected `,`, found `{c}`"))),
         }
     }
     Ok(values)
@@ -262,6 +288,50 @@ mod tests {
             .to_string()
             .contains("line 2"));
         assert!(load("@relation R A\n").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = load("@relation R(A, B)\n1, bad!\n").unwrap_err();
+        assert_eq!(
+            err,
+            RelationError::Codec {
+                line: 2,
+                column: 4,
+                detail: "bad value `bad!` (strings must be quoted)".into(),
+            }
+        );
+        // Leading whitespace counts toward the column.
+        let err = load("@relation R(A)\n  'x\n").unwrap_err();
+        assert_eq!(
+            err,
+            RelationError::Codec {
+                line: 2,
+                column: 3,
+                detail: "unterminated string".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_escape_is_an_error_not_a_panic() {
+        // A string ending in an escaped quote with no closing quote: the
+        // tokenizer must report it, not panic or mis-parse.
+        for input in [
+            "@relation R(A)\n'a''\n",
+            "@relation R(A)\n'''\n",
+            "@relation R(A)\n'\n",
+            "@relation R(A)\n'a'',\n",
+        ] {
+            let err = load(input).unwrap_err();
+            assert!(
+                err.to_string().contains("unterminated string"),
+                "input {input:?} gave {err}"
+            );
+        }
+        // But a properly closed escaped quote still parses.
+        let db = load("@relation R(A)\n''''\n").unwrap();
+        assert_eq!(db.relation("R").unwrap().len(), 1);
     }
 
     #[test]

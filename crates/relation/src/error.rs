@@ -43,6 +43,16 @@ pub enum RelationError {
     DuplicateRelation(String),
     /// Malformed textual input (parser-level).
     Parse(String),
+    /// Malformed textual database input, with its source position
+    /// (codec-level; see [`crate::codec::load`]).
+    Codec {
+        /// 1-based line number in the input.
+        line: usize,
+        /// 1-based column number in the line.
+        column: usize,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -71,6 +81,11 @@ impl fmt::Display for RelationError {
                 write!(f, "relation `{name}` already exists")
             }
             RelationError::Parse(msg) => write!(f, "parse error: {msg}"),
+            RelationError::Codec {
+                line,
+                column,
+                detail,
+            } => write!(f, "parse error at line {line}, column {column}: {detail}"),
         }
     }
 }

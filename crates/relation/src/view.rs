@@ -140,6 +140,9 @@ pub trait Facts: Sync {
         }
         rows.sort_by_key(|(tid, _, _)| *tid);
         let inserted: Vec<(String, Tuple)> = rows.into_iter().map(|(_, rel, t)| (rel, t)).collect();
+        // View deltas are validated against the base schema at
+        // construction time, so re-applying them cannot fail.
+        #[allow(clippy::expect_used)]
         self.base()
             .with_changes(&deleted, &inserted)
             .expect("view deltas are validated before construction")

@@ -1,0 +1,180 @@
+//! The anytime-soundness contract, property-tested: whatever the budget, a
+//! `Truncated` result is never *wrong* — it brackets the exact answer from
+//! the safe side. Concretely, on denial-class instances:
+//!
+//! * truncated certain answers ⊆ exact certain answers (under-approximation)
+//! * truncated possible answers ⊇ exact possible answers (over-approximation,
+//!   deletion-only repairs + monotone query)
+//! * truncated S-repairs, minimal hitting sets, stable models, and actual
+//!   causes are each a subset of their exact families
+//! * an `Exact` outcome equals the unbudgeted result bit for bit
+//!
+//! Budgets are drawn randomly, so the properties cover the whole range from
+//! "dies on the first step" to "never fires".
+
+use cqa_constraints::{ConstraintSet, KeyConstraint};
+use cqa_core::{RepairClass, RepairOptions};
+use cqa_exec::Budget;
+use cqa_query::{parse_query, UnionQuery};
+use cqa_relation::{tuple, Database, RelationSchema};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A `T(K, V)` instance with one key-conflict pair per group.
+fn key_instance(groups: &[u8]) -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("T", ["K", "V"]))
+        .unwrap();
+    for (k, &size) in groups.iter().enumerate() {
+        for v in 0..size.max(1) {
+            db.insert("T", tuple![k as i64, v as i64]).unwrap();
+        }
+    }
+    let sigma = ConstraintSet::from_iter([KeyConstraint::new("T", ["K"])]);
+    (db, sigma)
+}
+
+fn query() -> UnionQuery {
+    UnionQuery::single(parse_query("Q(k, v) :- T(k, v)").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncated_certain_answers_are_a_sound_subset(
+        groups in proptest::collection::vec(1u8..4, 1..6),
+        steps in 1u64..500,
+    ) {
+        let (db, sigma) = key_instance(&groups);
+        let q = query();
+        let class = RepairClass::Subset;
+        let exact = cqa_core::consistent_answers(&db, &sigma, &q, &class).unwrap();
+        let budget = Budget::steps(steps);
+        let got = cqa_core::consistent_answers_budgeted(&db, &sigma, &q, &class, &budget)
+            .unwrap();
+        if got.is_exact() {
+            prop_assert_eq!(got.into_value(), exact);
+        } else {
+            for t in got.value() {
+                prop_assert!(exact.contains(t), "unsound certain answer {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_possible_answers_are_a_sound_superset(
+        groups in proptest::collection::vec(1u8..4, 1..6),
+        steps in 1u64..500,
+    ) {
+        let (db, sigma) = key_instance(&groups);
+        let q = query();
+        let class = RepairClass::Subset;
+        let exact = cqa_core::possible_answers(&db, &sigma, &q, &class).unwrap();
+        let budget = Budget::steps(steps);
+        let got = cqa_core::possible_answers_budgeted(&db, &sigma, &q, &class, &budget)
+            .unwrap();
+        if got.is_exact() {
+            prop_assert_eq!(got.into_value(), exact);
+        } else {
+            // Key constraints are deletion-only and the query is monotone:
+            // the truncated fallback must cover every possible answer.
+            for t in &exact {
+                prop_assert!(got.value().contains(t), "missing possible answer {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_repairs_are_a_subset_of_the_exact_family(
+        groups in proptest::collection::vec(1u8..4, 1..6),
+        steps in 1u64..500,
+    ) {
+        let (db, sigma) = key_instance(&groups);
+        let exact: BTreeSet<_> = cqa_core::s_repairs(&db, &sigma)
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.deleted, r.inserted))
+            .collect();
+        let budget = Budget::steps(steps);
+        let got = cqa_core::s_repairs_budgeted(
+            &Arc::new(db),
+            &sigma,
+            &RepairOptions::default(),
+            &budget,
+        )
+        .unwrap();
+        let got_set: BTreeSet<_> = got
+            .value()
+            .iter()
+            .map(|r| (r.deleted.clone(), r.inserted.clone()))
+            .collect();
+        prop_assert!(got_set.is_subset(&exact), "truncation invented a repair");
+        if got.is_exact() {
+            prop_assert_eq!(got_set, exact);
+        }
+    }
+
+    #[test]
+    fn truncated_hitting_sets_are_a_subset(
+        groups in proptest::collection::vec(2u8..4, 1..6),
+        steps in 1u64..300,
+    ) {
+        let (db, sigma) = key_instance(&groups);
+        let graph = sigma.conflict_hypergraph(&db).unwrap();
+        let exact: BTreeSet<_> = graph.minimal_hitting_sets(None).into_iter().collect();
+        let budget = Budget::steps(steps);
+        let got = graph.minimal_hitting_sets_budgeted(None, &budget);
+        let got_set: BTreeSet<_> = got.value().iter().cloned().collect();
+        prop_assert!(got_set.is_subset(&exact));
+        if got.is_exact() {
+            prop_assert_eq!(got_set, exact);
+        }
+    }
+
+    #[test]
+    fn truncated_stable_models_are_a_subset(
+        groups in proptest::collection::vec(2u8..3, 1..5),
+        steps in 1u64..300,
+    ) {
+        let (db, sigma) = key_instance(&groups);
+        let rp = cqa_asp::RepairProgram::build(&db, &sigma).unwrap();
+        let g = cqa_asp::ground(&rp.program).unwrap();
+        let exact: BTreeSet<_> = cqa_asp::stable_models_search(&g).into_iter().collect();
+        let budget = Budget::steps(steps);
+        let got = cqa_asp::stable_models_search_budgeted(&g, None, &budget);
+        let got_set: BTreeSet<_> = got.value().iter().cloned().collect();
+        prop_assert!(got_set.is_subset(&exact), "truncation invented a stable model");
+        if got.is_exact() {
+            prop_assert_eq!(got_set, exact);
+        }
+    }
+
+    #[test]
+    fn truncated_causes_are_a_subset_with_lower_bound_responsibility(
+        groups in proptest::collection::vec(2u8..4, 1..5),
+        steps in 1u64..300,
+    ) {
+        let (db, _) = key_instance(&groups);
+        let q = UnionQuery::single(
+            parse_query("Q() :- T(x, y), T(x, z), y != z").unwrap(),
+        );
+        let exact = cqa_causality::actual_causes(&db, &q);
+        let budget = Budget::steps(steps);
+        let got = cqa_causality::actual_causes_budgeted(&db, &q, &budget);
+        for c in got.value() {
+            let reference = exact.iter().find(|e| e.tid == c.tid);
+            prop_assert!(reference.is_some(), "truncation invented a cause {:?}", c.tid);
+            if let Some(e) = reference {
+                prop_assert!(
+                    c.responsibility <= e.responsibility + 1e-9,
+                    "responsibility above the exact value"
+                );
+            }
+        }
+        if got.is_exact() {
+            prop_assert_eq!(got.into_value(), exact);
+        }
+    }
+}

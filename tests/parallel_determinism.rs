@@ -174,3 +174,100 @@ fn denial_violations_are_thread_count_invariant() {
     assert_eq!(a, c);
     assert!(!a.is_empty());
 }
+
+// ---------------------------------------------------------------------------
+// Truncated runs: the determinism contract extends to budgeted execution.
+// A logical budget (steps / items) forces the sequential code paths, so the
+// *partial* result — which prefix of the search got explored — is also
+// byte-identical at any thread count. Each closure builds a fresh `Budget`
+// because budgets latch: a tripped budget stays exhausted forever.
+// ---------------------------------------------------------------------------
+
+use cqa_core::RepairOptions;
+use cqa_exec::Budget;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn truncated_repair_enumeration_is_thread_count_invariant(
+        groups in proptest::collection::vec(2u8..4, 2..6),
+        steps in 1u64..400,
+    ) {
+        let (db, sigma) = key_instance(&groups);
+        let base = Arc::new(db);
+        let [a, b, c] = at_thread_counts(|| {
+            let budget = Budget::steps(steps);
+            let out =
+                cqa_core::s_repairs_budgeted(&base, &sigma, &RepairOptions::default(), &budget)
+                    .unwrap();
+            let trunc = out.truncation();
+            let repairs: Vec<_> = out
+                .into_value()
+                .into_iter()
+                .map(|r| (r.deleted, r.inserted))
+                .collect();
+            (trunc, repairs)
+        });
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    #[test]
+    fn truncated_cqa_is_thread_count_invariant(
+        groups in proptest::collection::vec(2u8..4, 2..6),
+        steps in 1u64..400,
+    ) {
+        let (db, sigma) = key_instance(&groups);
+        let q = UnionQuery::single(parse_query("Q(k) :- T(k, v)").unwrap());
+        let class = cqa_core::RepairClass::Subset;
+        let [a, b, c] = at_thread_counts(|| {
+            let budget = Budget::steps(steps);
+            let out = cqa_core::consistent_answers_budgeted(&db, &sigma, &q, &class, &budget)
+                .unwrap();
+            (out.truncation(), out.into_value())
+        });
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    #[test]
+    fn truncated_hitting_set_search_is_thread_count_invariant(
+        g in arb_hypergraph(),
+        steps in 1u64..200,
+    ) {
+        let [a, b, c] = at_thread_counts(|| {
+            let budget = Budget::steps(steps);
+            let out = g.minimal_hitting_sets_budgeted(None, &budget);
+            (out.truncation(), out.into_value())
+        });
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        let [a, b, c] = at_thread_counts(|| {
+            let budget = Budget::steps(steps);
+            let out = g.minimum_hitting_sets_budgeted(&budget);
+            (out.truncation(), out.into_value())
+        });
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    #[test]
+    fn truncated_causes_are_thread_count_invariant(
+        groups in proptest::collection::vec(2u8..4, 2..5),
+        steps in 1u64..200,
+    ) {
+        let (db, _) = key_instance(&groups);
+        let q = UnionQuery::single(
+            parse_query("Q() :- T(x, y), T(x, z), y != z").unwrap(),
+        );
+        let [a, b, c] = at_thread_counts(|| {
+            let budget = Budget::steps(steps);
+            let out = cqa_causality::actual_causes_budgeted(&db, &q, &budget);
+            (out.truncation(), out.into_value())
+        });
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+}
