@@ -45,6 +45,10 @@ pub enum DiagCode {
     /// A005: a positive body predicate with no defining rule or fact — the
     /// rule can never fire.
     UndefinedPredicate,
+    /// A006: the conflict hyper-graph splits into independent connected
+    /// components — repair search and CQA factorize per component instead of
+    /// exploring the cross-product.
+    ConflictComponents,
     /// G001: the estimated grounding size exceeds the blow-up threshold.
     GroundingBlowup,
     /// C001: a constraint is repeated verbatim.
@@ -75,12 +79,13 @@ pub enum DiagCode {
 
 impl DiagCode {
     /// Every defined code (documentation + CLI catalog order).
-    pub const ALL: [DiagCode; 15] = [
+    pub const ALL: [DiagCode; 16] = [
         DiagCode::UnsafeVariable,
         DiagCode::RecursionThroughNegation,
         DiagCode::HeadCycle,
         DiagCode::DuplicateRule,
         DiagCode::UndefinedPredicate,
+        DiagCode::ConflictComponents,
         DiagCode::GroundingBlowup,
         DiagCode::DuplicateConstraint,
         DiagCode::UnsatisfiableConstraint,
@@ -101,6 +106,7 @@ impl DiagCode {
             DiagCode::HeadCycle => "A003",
             DiagCode::DuplicateRule => "A004",
             DiagCode::UndefinedPredicate => "A005",
+            DiagCode::ConflictComponents => "A006",
             DiagCode::GroundingBlowup => "G001",
             DiagCode::DuplicateConstraint => "C001",
             DiagCode::UnsatisfiableConstraint => "C002",
@@ -122,6 +128,7 @@ impl DiagCode {
             DiagCode::HeadCycle => "head-cycle",
             DiagCode::DuplicateRule => "duplicate-rule",
             DiagCode::UndefinedPredicate => "undefined-predicate",
+            DiagCode::ConflictComponents => "conflict-components",
             DiagCode::GroundingBlowup => "grounding-blowup",
             DiagCode::DuplicateConstraint => "duplicate-constraint",
             DiagCode::UnsatisfiableConstraint => "unsatisfiable-constraint",
@@ -150,9 +157,10 @@ impl DiagCode {
             | DiagCode::IndCycle
             | DiagCode::VacuousConstraint
             | DiagCode::CartesianProduct => Severity::Warning,
-            DiagCode::RecursionThroughNegation | DiagCode::HeadCycle | DiagCode::FdIsKey => {
-                Severity::Info
-            }
+            DiagCode::RecursionThroughNegation
+            | DiagCode::HeadCycle
+            | DiagCode::FdIsKey
+            | DiagCode::ConflictComponents => Severity::Info,
         }
     }
 
@@ -171,6 +179,9 @@ impl DiagCode {
             DiagCode::DuplicateRule => "a rule is repeated verbatim",
             DiagCode::UndefinedPredicate => {
                 "a positive body predicate has no defining rule or fact: the rule can never fire"
+            }
+            DiagCode::ConflictComponents => {
+                "the conflict hyper-graph has independent components: repairs and CQA factorize"
             }
             DiagCode::GroundingBlowup => {
                 "the estimated grounding size exceeds the blow-up threshold"

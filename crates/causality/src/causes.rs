@@ -16,12 +16,13 @@
 //! branch-and-bound minimum hitting set through the candidate tuple — the
 //! `FP^NP(log n)`-flavoured part.
 
-use cqa_constraints::ConflictHypergraph;
+use cqa_constraints::{ConflictComponents, ConflictHypergraph};
 use cqa_exec::{Budget, Outcome};
 use cqa_query::{witnesses, NullSemantics, UnionQuery};
 use cqa_relation::{Database, DeltaView, Facts, Tid};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// An actual cause for a query answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,8 +128,14 @@ pub fn actual_causes_budgeted<F: Facts + ?Sized>(
         .collect::<BTreeSet<Tid>>()
         .into_iter()
         .collect();
+    // Responsibility is component-local (§4.1 locality dual): compute the
+    // shared cross-component context once, not per candidate.
+    let ctx = CompCtx::build(&graph, budget);
     let compute = |tid: Tid| {
-        let (rho, gamma) = responsibility_in_graph_budgeted(&graph, tid, budget);
+        let (rho, gamma) = match &ctx {
+            Some(ctx) => responsibility_factored(ctx, tid, budget),
+            None => responsibility_in_graph_budgeted(&graph, tid, budget),
+        };
         debug_assert!(rho > 0.0);
         Cause {
             tid,
@@ -177,7 +184,102 @@ pub fn responsibility<F: Facts + ?Sized>(
     if graph.edges.is_empty() || !graph.edges.iter().any(|e| e.contains(&tid)) {
         return (0.0, BTreeSet::new());
     }
-    responsibility_in_graph(&graph, tid)
+    match CompCtx::build(&graph, &Budget::unlimited()) {
+        Some(ctx) => responsibility_factored(&ctx, tid, &Budget::unlimited()),
+        None => responsibility_in_graph(&graph, tid),
+    }
+}
+
+/// Shared cross-component context for the factored responsibility path:
+/// the component decomposition of the support hyper-graph, a tid → component
+/// index, and one **minimum** hitting set per component. A candidate's
+/// global contingency set is its component-local optimum plus every *other*
+/// component's fixed minimum — those minima do not depend on the candidate,
+/// so they are computed once per graph and shared by all candidates.
+struct CompCtx {
+    components: Arc<ConflictComponents>,
+    index: BTreeMap<Tid, usize>,
+    minima: Vec<BTreeSet<Tid>>,
+}
+
+impl CompCtx {
+    /// `None` when the graph has fewer than two components (the
+    /// factorization would be the identity).
+    fn build(graph: &ConflictHypergraph, budget: &Budget) -> Option<CompCtx> {
+        let components = graph.components();
+        if components.components.len() < 2 {
+            return None;
+        }
+        let minimum = |c: &cqa_constraints::ComponentGraph| {
+            c.graph().minimum_hitting_set_budgeted(budget).into_value()
+        };
+        let minima: Vec<BTreeSet<Tid>> = if budget.forces_sequential() || cqa_exec::threads() <= 1 {
+            components.components.iter().map(minimum).collect()
+        } else {
+            cqa_exec::par_map(&components.components, minimum)
+        };
+        let index = components.component_index();
+        Some(CompCtx {
+            components,
+            index,
+            minima,
+        })
+    }
+}
+
+/// Component-local [`responsibility_in_graph_budgeted`]: the contingency
+/// search for `tid` runs inside its own conflict component only. Supports
+/// in other components are hit by their fixed shared minima from
+/// [`CompCtx`] — the reported ρ equals the monolithic search's (the global
+/// minimum splits as local minimum + Σ other components' minima), though
+/// the Γ *witness* may be a different, equally small set.
+fn responsibility_factored(ctx: &CompCtx, tid: Tid, budget: &Budget) -> (f64, BTreeSet<Tid>) {
+    let Some(&comp) = ctx.index.get(&tid) else {
+        // Not on any support edge: not a cause.
+        return (0.0, BTreeSet::new());
+    };
+    let local = ctx.components.components[comp].graph();
+    let others: Vec<&BTreeSet<Tid>> = local.edges.iter().filter(|e| !e.contains(&tid)).collect();
+    let mut best: Option<BTreeSet<Tid>> = None;
+    for e in local.edges.iter().filter(|e| e.contains(&tid)) {
+        if best.is_some() && budget.exhausted() {
+            break;
+        }
+        let mut forbidden = e.clone();
+        forbidden.remove(&tid);
+        // Other components' supports are disjoint from `forbidden`, so only
+        // the local ones can become infeasible.
+        let mut reduced: Vec<BTreeSet<Tid>> = Vec::with_capacity(others.len());
+        let mut feasible = true;
+        for f in &others {
+            let r: BTreeSet<Tid> = f.difference(&forbidden).copied().collect();
+            if r.is_empty() {
+                feasible = false;
+                break;
+            }
+            reduced.push(r);
+        }
+        if !feasible {
+            continue;
+        }
+        let sub = ConflictHypergraph::new(local.nodes.clone(), reduced);
+        let gamma = sub.minimum_hitting_set_budgeted(budget).into_value();
+        if best.as_ref().is_none_or(|b| gamma.len() < b.len()) {
+            best = Some(gamma);
+        }
+    }
+    match best {
+        Some(mut gamma) => {
+            for (d, h) in ctx.minima.iter().enumerate() {
+                if d != comp {
+                    gamma.extend(h.iter().copied());
+                }
+            }
+            let rho = 1.0 / (1.0 + gamma.len() as f64);
+            (rho, gamma)
+        }
+        None => (0.0, BTreeSet::new()),
+    }
 }
 
 /// Smallest contingency set for `tid`.
@@ -512,6 +614,57 @@ mod tests {
         for c in outcome.value() {
             let reference = exact.iter().find(|e| e.tid == c.tid).expect("real cause");
             assert_eq!(c.responsibility, reference.responsibility);
+        }
+    }
+
+    #[test]
+    fn multi_component_responsibilities_match_the_monolithic_search() {
+        // Example 7.1's support component {ι1, ι3, ι4, ι6} plus a disjoint
+        // joint witness {ι7, ι8} from a second disjunct: two components.
+        let mut db = example_db();
+        db.create_relation(RelationSchema::new("U", ["A"])).unwrap();
+        db.create_relation(RelationSchema::new("V", ["A"])).unwrap();
+        db.insert("U", tuple!["e"]).unwrap(); // ι7
+        db.insert("V", tuple!["e"]).unwrap(); // ι8
+        let u = cqa_query::parse_ucq("Q() :- S(x), R(x, y), S(y)\nQ() :- U(x), V(x)").unwrap();
+        let graph = support_hypergraph(&db, &u);
+        assert_eq!(graph.components().components.len(), 2);
+        let causes = actual_causes(&db, &u);
+        let by_tid = |t: u64| {
+            causes
+                .iter()
+                .find(|c| c.tid == Tid(t))
+                .unwrap_or_else(|| panic!("ι{t} should be a cause"))
+        };
+        // ι6 was counterfactual in Example 7.1; the second component now
+        // also needs breaking, so ρ drops to ½ — likewise for ι7/ι8, whose
+        // contingency must break the first component (delete ι6).
+        for t in [6, 7, 8] {
+            assert_eq!(by_tid(t).responsibility, 0.5, "ι{t}");
+        }
+        for t in [1, 3, 4] {
+            assert_eq!(by_tid(t).responsibility, 1.0 / 3.0, "ι{t}");
+        }
+        assert_eq!(causes.len(), 6);
+        for c in &causes {
+            // Monolithic reference search on the same graph: equal ρ and
+            // |Γ| (the Γ witness itself may legitimately differ).
+            let (rho, gamma) = responsibility_in_graph(&graph, c.tid);
+            assert_eq!(c.responsibility, rho, "ι{}", c.tid.0);
+            assert_eq!(c.min_contingency.len(), gamma.len(), "ι{}", c.tid.0);
+            // The factored Γ is a genuine contingency witness: Q survives
+            // D ∖ Γ and dies in D ∖ (Γ ∪ {τ}).
+            let holds = |excluded: &BTreeSet<Tid>| {
+                cqa_query::holds_ucq(
+                    &DeltaView::new(&db, excluded, &[]),
+                    &u,
+                    NullSemantics::Structural,
+                )
+            };
+            assert!(holds(&c.min_contingency), "ι{}", c.tid.0);
+            let mut with_tid = c.min_contingency.clone();
+            with_tid.insert(c.tid);
+            assert!(!holds(&with_tid), "ι{}", c.tid.0);
         }
     }
 

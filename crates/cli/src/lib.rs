@@ -208,10 +208,13 @@ GLOBAL OPTIONS:
 
 COMMANDS:
   analyze   [--program F.asp] [--constraints F [--db F]] [--query \"…\"]
-            [--catalog]                     static analysis & diagnostics:
+            [--catalog] [--components]      static analysis & diagnostics:
                                             classification (stratified /
                                             head-cycle-free / full), strata,
-                                            grounding estimate, lints
+                                            grounding estimate, lints;
+                                            --components adds the conflict-
+                                            component histogram, frozen-core
+                                            fraction and product-size savings
   check     --db F --constraints F          consistency + violation report
   repairs   --db F --constraints F          enumerate repairs
             [--class subset|cardinality|attribute|deletions] [--limit N]
@@ -287,6 +290,72 @@ fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
             sigma.constraints.len()
         );
         diagnostics.extend(cqa_analysis::lint_constraints(&sigma, db.as_ref()));
+
+        // Conflict-component factorization report (needs the instance).
+        if opts.has("components") {
+            let Some(db) = db.as_ref() else {
+                return Err("--components needs --db <file> to build the conflict graph".into());
+            };
+            let budget = budget_from(opts)?;
+            let graph = sigma.conflict_hypergraph(db).map_err(|e| e.to_string())?;
+            let components = graph.components();
+            let conflicted: usize = components.components.iter().map(|c| c.node_count()).sum();
+            let total = db.tids().len();
+            let core = components.frozen_core.len();
+            let _ = writeln!(
+                out,
+                "conflict components: {} ({} conflicted tuple(s); frozen core {}/{} = {:.1}%)",
+                components.components.len(),
+                conflicted,
+                core,
+                total,
+                if total == 0 {
+                    100.0
+                } else {
+                    100.0 * core as f64 / total as f64
+                },
+            );
+            // Component-size histogram (tuples per component).
+            let mut histogram: std::collections::BTreeMap<usize, usize> =
+                std::collections::BTreeMap::new();
+            for c in &components.components {
+                *histogram.entry(c.node_count()).or_default() += 1;
+            }
+            for (size, count) in &histogram {
+                let _ = writeln!(out, "  {count} component(s) of {size} tuple(s)");
+            }
+            // Estimated product-size savings: enumerate the per-component
+            // S-repair families (budgeted) and compare Σ against ∏.
+            let families = components.minimal_hitting_sets_factored(&budget);
+            note_truncation(out, &families);
+            let families = families.into_value();
+            let factored = families.factored_len();
+            let product = families.product_len();
+            let product_str = match product {
+                Some(p) => p.to_string(),
+                None => "> usize::MAX".to_string(),
+            };
+            let savings = match product {
+                Some(p) if factored > 0 => format!("{:.1}×", p as f64 / factored as f64),
+                _ => "∞".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  repair families: {factored} component-local vs {product_str} \
+                 cross-product (estimated savings {savings})",
+            );
+            if components.components.len() >= 2 {
+                diagnostics.push(Diagnostic::new(
+                    DiagCode::ConflictComponents,
+                    format!(
+                        "repair search factorizes over {} independent components \
+                         (largest: {} tuples)",
+                        components.components.len(),
+                        components.largest_component(),
+                    ),
+                ));
+            }
+        }
     }
 
     // Query lints.
@@ -422,6 +491,20 @@ fn cmd_cqa(opts: &Opts, out: &mut String) -> Result<i32, String> {
             Strategy::DirectEvaluation => "direct evaluation (instance consistent)".to_string(),
             Strategy::RepairEnumeration { reason } => {
                 format!("repair enumeration ({reason})")
+            }
+            Strategy::FactoredEnumeration {
+                reason,
+                factorization,
+            } => {
+                let product = match factorization.product_repairs {
+                    Some(p) => p.to_string(),
+                    None => "> usize::MAX".to_string(),
+                };
+                format!(
+                    "factored repair enumeration over {} conflict components \
+                     ({}; folded {} component-local repairs, not {})",
+                    factorization.components, reason, factorization.factored_repairs, product,
+                )
             }
         };
         let _ = writeln!(out, "strategy: {strategy}");
@@ -766,11 +849,115 @@ mod tests {
         let (code, out) = run_cmd(&["analyze", "--catalog"]);
         assert_eq!(code, 0);
         for c in [
-            "A001", "A002", "A003", "A004", "A005", "G001", "C001", "C002", "C003", "C004", "C005",
-            "C006", "Q001", "Q002", "E001",
+            "A001", "A002", "A003", "A004", "A005", "A006", "G001", "C001", "C002", "C003", "C004",
+            "C005", "C006", "Q001", "Q002", "E001",
         ] {
             assert!(out.contains(c), "catalog missing {c}:\n{out}");
         }
+    }
+
+    /// Two independent key groups + a clean row: 2 components, 4-repair
+    /// product vs 4 component-local repairs.
+    fn write_two_component_files(dir: &std::path::Path) -> (String, String) {
+        let db_path = dir.join("emp2.idb");
+        let sigma_path = dir.join("sigma.txt");
+        std::fs::write(
+            &db_path,
+            "@relation Employee(Name, Salary)\n\
+             'page', 5000\n\
+             'page', 8000\n\
+             'miller', 1000\n\
+             'miller', 2000\n\
+             'smith', 3000\n",
+        )
+        .unwrap();
+        std::fs::write(&sigma_path, "key Employee(Name)\n").unwrap();
+        (
+            db_path.to_string_lossy().into_owned(),
+            sigma_path.to_string_lossy().into_owned(),
+        )
+    }
+
+    #[test]
+    fn analyze_components_reports_the_factorization() {
+        let dir = tmpdir("analyze-components");
+        let (db, sigma) = write_two_component_files(&dir);
+        let (code, out) = run_cmd(&[
+            "analyze",
+            "--constraints",
+            &sigma,
+            "--db",
+            &db,
+            "--components",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("conflict components: 2 (4 conflicted tuple(s); frozen core 1/5 = 20.0%)"),
+            "{out}"
+        );
+        assert!(out.contains("2 component(s) of 2 tuple(s)"), "{out}");
+        assert!(
+            out.contains("repair families: 4 component-local vs 4 cross-product"),
+            "{out}"
+        );
+        assert!(out.contains("[A006] conflict-components"), "{out}");
+    }
+
+    #[test]
+    fn analyze_components_requires_a_database() {
+        let dir = tmpdir("analyze-components-nodb");
+        let (_, sigma) = write_two_component_files(&dir);
+        let args: Vec<String> = ["analyze", "--constraints", &sigma, "--components"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = String::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(err.contains("--components needs --db"), "{err}");
+    }
+
+    #[test]
+    fn cqa_reports_the_factored_strategy() {
+        let dir = tmpdir("cqa-factored");
+        let (db, sigma) = write_two_component_files(&dir);
+        // A union query keeps the planner off the FO-rewriting path; with
+        // two components the factored fold takes over.
+        let (code, out) = run_cmd(&[
+            "cqa",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(x) :- Employee(x, y)",
+            "--class",
+            "subset",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        // Keys-only Σ with an acyclic query still rewrites — force the
+        // enumeration path with a denial constraint instead.
+        assert!(out.contains("strategy: FO rewriting"), "{out}");
+        let dc_sigma = dir.join("dc.txt");
+        std::fs::write(&dc_sigma, "dc Employee(x, y), Employee(x, z), y != z\n").unwrap();
+        let (code, out) = run_cmd(&[
+            "cqa",
+            "--db",
+            &db,
+            "--constraints",
+            &dc_sigma.to_string_lossy(),
+            "--query",
+            "Q(x) :- Employee(x, y)",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("strategy: factored repair enumeration over 2 conflict components"),
+            "{out}"
+        );
+        assert!(
+            out.contains("folded 4 component-local repairs, not 4"),
+            "{out}"
+        );
+        assert!(out.contains("3 consistent answers"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! Connected components of the conflict hyper-graph.
+//!
+//! The hyper-graph of Example 4.1 / Figure 1 naturally splits into
+//! *independent* connected components: two tuples interact only when some
+//! chain of hyper-edges links them. Every repair of the database is exactly
+//! one repair choice per component crossed with the untouched "frozen core"
+//! of conflict-free tuples, so a database with `m` components of `k`
+//! conflicts each has `m · 2^k` component-local repairs rather than a
+//! `2^(m·k)` monolithic family. This module owns the combinatorial half of
+//! that factorization:
+//!
+//! * [`ConflictComponents::compute`] — union-find over the hyper-edges,
+//!   yielding the frozen core plus one [`ComponentGraph`] per component in
+//!   a canonical (smallest-tid-first) order;
+//! * [`ConflictComponents::minimal_hitting_sets_factored`] /
+//!   [`ConflictComponents::minimum_hitting_sets_factored`] — per-component
+//!   hitting-set search producing [`FactoredFamilies`], never the expanded
+//!   cross-product;
+//! * [`ConflictComponents::minimum_hitting_set_size_budgeted`] — the global
+//!   minimum as the *sum* of per-component branch-and-bound minima, each a
+//!   small search with its own bound instead of one big search sharing a
+//!   global incumbent.
+//!
+//! Components are independent, so `cqa-exec` runs them in parallel; the
+//! canonical component order (and `par_map`'s order-preserving merge) keeps
+//! results byte-identical at every thread count. `cqa-core` builds repair
+//! semantics (`FactoredRepairSet`, component-aware CQA folds) on top.
+
+use crate::hypergraph::ConflictHypergraph;
+use cqa_exec::{Budget, Outcome};
+use cqa_relation::Tid;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One connected component of a conflict hyper-graph: the sub-graph induced
+/// by a maximal set of tuples linked through hyper-edges. Every node of a
+/// component is covered by at least one of its edges (conflict-free tuples
+/// live in the frozen core instead), so a component always has a non-empty
+/// edge set and at least one minimal hitting set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentGraph {
+    graph: ConflictHypergraph,
+}
+
+impl ComponentGraph {
+    /// The component as a [`ConflictHypergraph`] of its own, ready for the
+    /// component-local hitting-set searches.
+    pub fn graph(&self) -> &ConflictHypergraph {
+        &self.graph
+    }
+
+    /// The tuples of this component.
+    pub fn tids(&self) -> &BTreeSet<Tid> {
+        &self.graph.nodes
+    }
+
+    /// The hyper-edges of this component.
+    pub fn edges(&self) -> &[BTreeSet<Tid>] {
+        &self.graph.edges
+    }
+
+    /// Number of tuples in the component.
+    pub fn node_count(&self) -> usize {
+        self.graph.nodes.len()
+    }
+
+    /// Number of hyper-edges in the component.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edges.len()
+    }
+}
+
+/// The factorization of a conflict hyper-graph: the frozen core (tuples in
+/// no conflict — they persist in every repair) plus the connected
+/// components, in canonical order (ascending smallest tid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictComponents {
+    /// Tuples touching no hyper-edge; identical to
+    /// [`ConflictHypergraph::isolated_nodes`].
+    pub frozen_core: BTreeSet<Tid>,
+    /// The connected components, smallest-tid-first. Empty iff the instance
+    /// is consistent (no edges).
+    pub components: Vec<ComponentGraph>,
+}
+
+/// Per-component hitting-set families, plus a per-component exactness tag.
+///
+/// `families[i]` holds the (deletion-delta) hitting sets of component `i` in
+/// the canonical component order; the global family is the cross-product
+/// `{ h_0 ∪ … ∪ h_{m−1} : h_i ∈ families[i] }`, which this type never
+/// materializes. `exact[i]` records whether component `i` was fully
+/// enumerated before the shared budget latched — on truncation the
+/// [`Outcome`]'s `explored` count is the number of exactly-explored
+/// components, so callers can tell precisely which part of the instance the
+/// anytime answer covers. The tag is conservative: a component that
+/// finished in the same instant another latched the budget may be marked
+/// inexact, never the other way around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactoredFamilies {
+    /// Hitting sets per component, canonical component order.
+    pub families: Vec<Vec<BTreeSet<Tid>>>,
+    /// Was component `i` fully enumerated within budget?
+    pub exact: Vec<bool>,
+}
+
+impl FactoredFamilies {
+    /// Number of components enumerated exactly.
+    pub fn exact_components(&self) -> u64 {
+        self.exact.iter().filter(|&&e| e).count() as u64
+    }
+
+    /// Size of the expanded cross-product family (`None` on overflow —
+    /// which is precisely the case factorization exists to avoid).
+    pub fn product_len(&self) -> Option<usize> {
+        self.families
+            .iter()
+            .try_fold(1usize, |acc, f| acc.checked_mul(f.len()))
+    }
+
+    /// Total count of component-local sets actually stored (the factored
+    /// representation size: a sum, not a product).
+    pub fn factored_len(&self) -> usize {
+        self.families.iter().map(Vec::len).sum()
+    }
+
+    /// Expand the cross-product into global hitting sets (sorted). Only for
+    /// callers that genuinely need the monolithic family — the factorized
+    /// execution paths fold without ever calling this.
+    pub fn expand(&self) -> Vec<BTreeSet<Tid>> {
+        let mut out: Vec<BTreeSet<Tid>> = vec![BTreeSet::new()];
+        for family in &self.families {
+            let mut next = Vec::with_capacity(out.len().saturating_mul(family.len()));
+            for prefix in &out {
+                for h in family {
+                    let mut combined = prefix.clone();
+                    combined.extend(h.iter().copied());
+                    next.push(combined);
+                }
+            }
+            out = next;
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Union-find over tid indices; paths are compressed on `find`.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Always hang the larger root under the smaller: roots then
+            // coincide with each component's smallest tid index, which is
+            // what makes the component order canonical for free.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+impl ConflictComponents {
+    /// Factor `graph` into its frozen core and connected components via
+    /// union-find over the hyper-edges. `O(E·s·α + V)` for `E` edges of
+    /// size `s`. Prefer [`ConflictHypergraph::components`], which caches
+    /// the result on the graph.
+    pub fn compute(graph: &ConflictHypergraph) -> ConflictComponents {
+        // Index the covered tids (ascending order, so index order = tid
+        // order and the smallest root is the smallest tid).
+        let covered: BTreeSet<Tid> = graph.edges.iter().flatten().copied().collect();
+        let index: BTreeMap<Tid, usize> = covered
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
+        let mut uf = UnionFind::new(covered.len());
+        for edge in &graph.edges {
+            let mut it = edge.iter();
+            if let Some(first) = it.next() {
+                for t in it {
+                    uf.union(index[first], index[t]);
+                }
+            }
+        }
+        // Number components by first encounter in ascending tid order.
+        let tids: Vec<Tid> = covered.iter().copied().collect();
+        let mut component_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut nodes_per: Vec<BTreeSet<Tid>> = Vec::new();
+        for (i, &tid) in tids.iter().enumerate() {
+            let root = uf.find(i);
+            let next = nodes_per.len();
+            let c = *component_of_root.entry(root).or_insert(next);
+            if c == nodes_per.len() {
+                nodes_per.push(BTreeSet::new());
+            }
+            nodes_per[c].insert(tid);
+        }
+        let mut edges_per: Vec<Vec<BTreeSet<Tid>>> = vec![Vec::new(); nodes_per.len()];
+        for edge in &graph.edges {
+            if let Some(first) = edge.iter().next() {
+                let c = component_of_root[&uf.find(index[first])];
+                edges_per[c].push(edge.clone());
+            }
+        }
+        let components = nodes_per
+            .into_iter()
+            .zip(edges_per)
+            .map(|(nodes, edges)| ComponentGraph {
+                graph: ConflictHypergraph::new(nodes, edges),
+            })
+            .collect();
+        ConflictComponents {
+            frozen_core: graph.nodes.difference(&covered).copied().collect(),
+            components,
+        }
+    }
+
+    /// Map every conflicted tid to its component's canonical index.
+    pub fn component_index(&self) -> BTreeMap<Tid, usize> {
+        let mut out = BTreeMap::new();
+        for (i, c) in self.components.iter().enumerate() {
+            for &t in c.tids() {
+                out.insert(t, i);
+            }
+        }
+        out
+    }
+
+    /// Node count of the largest component (0 when consistent).
+    pub fn largest_component(&self) -> usize {
+        self.components
+            .iter()
+            .map(ComponentGraph::node_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Run `f` once per component. Sequential in canonical order under a
+    /// logical budget (deterministic truncation), in parallel on the
+    /// `cqa-exec` pool otherwise — `par_map` preserves input order, so the
+    /// merged output is in canonical component order either way.
+    fn per_component<U: Send>(
+        &self,
+        budget: &Budget,
+        f: impl Fn(&ComponentGraph) -> U + Sync,
+    ) -> Vec<U> {
+        if budget.forces_sequential() || cqa_exec::threads() <= 1 || self.components.len() < 2 {
+            self.components.iter().map(f).collect()
+        } else {
+            cqa_exec::par_map(&self.components, f)
+        }
+    }
+
+    /// All minimal hitting sets, factored per component. With an unlimited
+    /// budget the expansion of the result equals
+    /// [`ConflictHypergraph::minimal_hitting_sets`] exactly. On truncation
+    /// every stored set is a genuine component-local minimal hitting set
+    /// (so every expanded combination is a genuine global one — a sound
+    /// subset), and `explored` counts the components enumerated exactly.
+    pub fn minimal_hitting_sets_factored(&self, budget: &Budget) -> Outcome<FactoredFamilies> {
+        let results = self.per_component(budget, |c| {
+            let out = c.graph().minimal_hitting_sets_budgeted(None, budget);
+            let exact = out.is_exact();
+            (out.into_value(), exact)
+        });
+        let (families, exact): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let fams = FactoredFamilies { families, exact };
+        let explored = fams.exact_components();
+        budget.outcome_with(fams, explored)
+    }
+
+    /// The global minimum hitting-set size as the sum of per-component
+    /// branch-and-bound minima (edges never cross components, so the minima
+    /// add). Each component search carries its own greedy bound instead of
+    /// all branches sharing one global incumbent — `m` small searches for
+    /// the price the monolithic search pays on its *first* component. On
+    /// truncation the value is an upper bound, mirroring
+    /// [`ConflictHypergraph::minimum_hitting_set_size_budgeted`].
+    pub fn minimum_hitting_set_size_budgeted(&self, budget: &Budget) -> Outcome<usize> {
+        let sizes = self.per_component(budget, |c| {
+            c.graph().minimum_hitting_set_size_budgeted(budget)
+        });
+        let total: usize = sizes.iter().map(|o| *o.value()).sum();
+        budget.outcome(total)
+    }
+
+    /// All **minimum** hitting sets (the C-repair deltas), factored per
+    /// component: the global minima are exactly the cross-products of the
+    /// per-component minimum families. Returns `(minimum_size, families)`.
+    ///
+    /// The per-component sizes are proven first; the fixed-size enumeration
+    /// is then *seeded* with each component's proven optimum
+    /// ([`ConflictHypergraph::minimum_hitting_sets_at`]) so the bound is
+    /// never re-derived. If the budget dies during a size proof, the result
+    /// is the best-known upper bound with empty families (never wrong-sized
+    /// sets), matching the monolithic contract.
+    pub fn minimum_hitting_sets_factored(
+        &self,
+        budget: &Budget,
+    ) -> Outcome<(usize, FactoredFamilies)> {
+        let sizes = self.per_component(budget, |c| {
+            c.graph().minimum_hitting_set_size_budgeted(budget)
+        });
+        let total: usize = sizes.iter().map(|o| *o.value()).sum();
+        if budget.exhausted() || sizes.iter().any(Outcome::is_truncated) {
+            let fams = FactoredFamilies {
+                families: vec![Vec::new(); self.components.len()],
+                exact: vec![false; self.components.len()],
+            };
+            return budget.outcome_with((total, fams), 0);
+        }
+        let sizes: Vec<usize> = sizes.into_iter().map(Outcome::into_value).collect();
+        let results: Vec<(Vec<BTreeSet<Tid>>, bool)> = if budget.forces_sequential()
+            || cqa_exec::threads() <= 1
+            || self.components.len() < 2
+        {
+            self.components
+                .iter()
+                .zip(&sizes)
+                .map(|(c, &k)| {
+                    let out = c.graph().minimum_hitting_sets_at(k, budget);
+                    let exact = out.is_exact();
+                    (out.into_value(), exact)
+                })
+                .collect()
+        } else {
+            let indexed: Vec<(usize, &ComponentGraph)> =
+                self.components.iter().enumerate().collect();
+            cqa_exec::par_map(&indexed, |&(i, c)| {
+                let out = c.graph().minimum_hitting_sets_at(sizes[i], budget);
+                let exact = out.is_exact();
+                (out.into_value(), exact)
+            })
+        };
+        let (families, exact): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let fams = FactoredFamilies { families, exact };
+        let explored = fams.exact_components();
+        budget.outcome_with((total, fams), explored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tids(ids: &[u64]) -> BTreeSet<Tid> {
+        ids.iter().map(|&i| Tid(i)).collect()
+    }
+
+    /// Figure 1 (one component over {1..5}) plus a disjoint 2-edge {8,9}
+    /// and two isolated nodes 6, 7.
+    fn two_component_graph() -> ConflictHypergraph {
+        ConflictHypergraph::new(
+            (1..=9).map(Tid).collect(),
+            vec![
+                tids(&[2, 5]),
+                tids(&[2, 3, 4]),
+                tids(&[1, 3]),
+                tids(&[8, 9]),
+            ],
+        )
+    }
+
+    #[test]
+    fn components_are_canonical_and_cover_edges() {
+        let g = two_component_graph();
+        let comps = ConflictComponents::compute(&g);
+        assert_eq!(comps.frozen_core, tids(&[6, 7]));
+        assert_eq!(comps.components.len(), 2);
+        assert_eq!(comps.components[0].tids(), &tids(&[1, 2, 3, 4, 5]));
+        assert_eq!(comps.components[0].edge_count(), 3);
+        assert_eq!(comps.components[1].tids(), &tids(&[8, 9]));
+        assert_eq!(comps.components[1].edge_count(), 1);
+        assert_eq!(comps.largest_component(), 5);
+        let idx = comps.component_index();
+        assert_eq!(idx[&Tid(4)], 0);
+        assert_eq!(idx[&Tid(9)], 1);
+        assert!(!idx.contains_key(&Tid(6)));
+    }
+
+    #[test]
+    fn consistent_graph_has_no_components() {
+        let g = ConflictHypergraph::new(tids(&[1, 2]), vec![]);
+        let comps = ConflictComponents::compute(&g);
+        assert!(comps.components.is_empty());
+        assert_eq!(comps.frozen_core, tids(&[1, 2]));
+        assert_eq!(comps.largest_component(), 0);
+    }
+
+    #[test]
+    fn factored_expansion_equals_monolithic_enumeration() {
+        let g = two_component_graph();
+        let comps = ConflictComponents::compute(&g);
+        let factored = comps
+            .minimal_hitting_sets_factored(&Budget::unlimited())
+            .into_value();
+        assert_eq!(factored.families.len(), 2);
+        assert_eq!(factored.product_len(), Some(8)); // 4 × 2
+        assert_eq!(factored.factored_len(), 6); // 4 + 2
+        let mut monolithic = g.minimal_hitting_sets(None);
+        monolithic.sort();
+        assert_eq!(factored.expand(), monolithic);
+    }
+
+    #[test]
+    fn factored_minimum_matches_monolithic() {
+        let g = two_component_graph();
+        let comps = ConflictComponents::compute(&g);
+        assert_eq!(
+            comps
+                .minimum_hitting_set_size_budgeted(&Budget::unlimited())
+                .into_value(),
+            g.minimum_hitting_set_size()
+        );
+        let (k, fams) = comps
+            .minimum_hitting_sets_factored(&Budget::unlimited())
+            .into_value();
+        assert_eq!(k, 3); // 2 (Figure 1) + 1 (the pair edge)
+        let mut monolithic = g.minimum_hitting_sets();
+        monolithic.sort();
+        assert_eq!(fams.expand(), monolithic);
+    }
+
+    #[test]
+    fn factored_is_deterministic_across_thread_counts() {
+        let g = two_component_graph();
+        let run = |t: usize| {
+            cqa_exec::with_threads(t, || {
+                let comps = ConflictComponents::compute(&g);
+                (
+                    comps
+                        .minimal_hitting_sets_factored(&Budget::unlimited())
+                        .into_value(),
+                    comps
+                        .minimum_hitting_sets_factored(&Budget::unlimited())
+                        .into_value(),
+                )
+            })
+        };
+        let base = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), base, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn truncated_size_proof_yields_empty_families() {
+        // 8 disjoint pairs; one step is nowhere near enough for the proofs.
+        let edges: Vec<BTreeSet<Tid>> = (0..8).map(|i| tids(&[2 * i, 2 * i + 1])).collect();
+        let g = ConflictHypergraph::new((0..16).map(Tid).collect(), edges);
+        let comps = ConflictComponents::compute(&g);
+        assert_eq!(comps.components.len(), 8);
+        let out = comps.minimum_hitting_sets_factored(&Budget::steps(1));
+        assert!(out.is_truncated());
+        let (_, fams) = out.into_value();
+        assert!(fams.families.iter().all(Vec::is_empty));
+        assert_eq!(fams.exact_components(), 0);
+    }
+
+    #[test]
+    fn truncated_enumeration_reports_exact_components() {
+        // Eleven pair components, ~3 search nodes each. A budget covering
+        // the first few reports exactly those as explored.
+        let mut edges: Vec<BTreeSet<Tid>> = vec![tids(&[100, 101])];
+        edges.extend((0..10).map(|i| tids(&[2 * i, 2 * i + 1])));
+        let nodes: BTreeSet<Tid> = edges.iter().flatten().copied().collect();
+        let g = ConflictHypergraph::new(nodes, edges);
+        let comps = ConflictComponents::compute(&g);
+        assert_eq!(comps.components.len(), 11);
+        let out = comps.minimal_hitting_sets_factored(&Budget::steps(12));
+        assert!(out.is_truncated());
+        let (_, explored) = out
+            .truncation()
+            .unwrap_or((cqa_exec::TruncationReason::StepLimit, 0));
+        let fams = out.into_value();
+        assert_eq!(explored, fams.exact_components());
+        assert!(explored >= 1, "a pair component fits in 12 steps");
+        assert!((explored as usize) < comps.components.len());
+        // Every stored set is a genuine local minimal hitting set.
+        for (c, family) in comps.components.iter().zip(&fams.families) {
+            for h in family {
+                assert!(c.graph().is_minimal_hitting_set(h));
+            }
+        }
+    }
+}

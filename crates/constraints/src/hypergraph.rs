@@ -23,10 +23,12 @@
 //! the graph, not of the schedule — output is byte-identical at every
 //! thread count.
 
+use crate::components::ConflictComponents;
 use cqa_exec::{Budget, Outcome};
 use cqa_relation::Tid;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Depth of the search tree below which a branch task stops splitting and
 /// runs sequentially. Branching factor is the size of the chosen edge
@@ -39,14 +41,56 @@ fn par_split_depth() -> usize {
 }
 
 /// A conflict hyper-graph.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Like the column-index cache on `Database` relations, the graph carries a
+/// lazily computed cache (its [`ConflictComponents`]); the cache key is the
+/// `(nodes, edges)` pair, which is fixed at construction. Mutating the
+/// public fields of an existing graph in place is outside the contract —
+/// build a fresh graph with [`ConflictHypergraph::new`] instead, exactly as
+/// instance mutations go through `Database` methods that invalidate its
+/// index cache.
+#[derive(Default)]
 pub struct ConflictHypergraph {
     /// All nodes (every tuple of the instance, including conflict-free ones).
     pub nodes: BTreeSet<Tid>,
     /// The hyper-edges: minimal violation sets. Kept deduplicated and free of
     /// supersets (a superset edge is implied by its subset).
     pub edges: Vec<BTreeSet<Tid>>,
+    /// Cached connected components; filled on first
+    /// [`components`](ConflictHypergraph::components) call.
+    components: OnceLock<Arc<ConflictComponents>>,
 }
+
+impl std::fmt::Debug for ConflictHypergraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The cache is derived state — keep it out of the debug view so the
+        // output is the same whether or not components were computed.
+        f.debug_struct("ConflictHypergraph")
+            .field("nodes", &self.nodes)
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+impl Clone for ConflictHypergraph {
+    fn clone(&self) -> Self {
+        // The components are a pure function of (nodes, edges), so sharing
+        // an already-computed cache with the clone is sound and free.
+        ConflictHypergraph {
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+            components: self.components.clone(),
+        }
+    }
+}
+
+impl PartialEq for ConflictHypergraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.edges == other.edges
+    }
+}
+
+impl Eq for ConflictHypergraph {}
 
 impl ConflictHypergraph {
     /// Build from nodes and raw violation sets; dedupes and drops edges that
@@ -61,7 +105,22 @@ impl ConflictHypergraph {
                 kept.push(e);
             }
         }
-        ConflictHypergraph { nodes, edges: kept }
+        ConflictHypergraph {
+            nodes,
+            edges: kept,
+            components: OnceLock::new(),
+        }
+    }
+
+    /// The connected components of this graph, computed once (union-find
+    /// over the hyper-edges) and cached — `s_repairs` followed by
+    /// `certain_over` on the same σ, D pair pays for the factorization a
+    /// single time. Clones share an already-filled cache.
+    pub fn components(&self) -> Arc<ConflictComponents> {
+        Arc::clone(
+            self.components
+                .get_or_init(|| Arc::new(ConflictComponents::compute(self))),
+        )
     }
 
     /// Number of hyper-edges.
@@ -318,10 +377,30 @@ impl ConflictHypergraph {
     /// hitting set) — callers that need the exact minimum must treat a
     /// truncated outcome as "unknown".
     pub fn minimum_hitting_set_size_budgeted(&self, budget: &Budget) -> Outcome<usize> {
+        self.minimum_hitting_set_size_seeded(None, budget)
+    }
+
+    /// [`Self::minimum_hitting_set_size_budgeted`] with an externally known
+    /// cost bound. `upper`, when given, **must** be the size of some valid
+    /// hitting set of this graph (e.g. an optimum carried over from an
+    /// earlier call on the same graph); the branch-and-bound starts from
+    /// `min(upper, greedy)` instead of re-deriving its bound from scratch,
+    /// so seeding with the previously proven minimum turns the search into
+    /// a pure verification pass. The reported minimum is identical to the
+    /// unseeded search — seeding only prunes provably non-improving
+    /// branches earlier.
+    pub fn minimum_hitting_set_size_seeded(
+        &self,
+        upper: Option<usize>,
+        budget: &Budget,
+    ) -> Outcome<usize> {
         if self.edges.is_empty() {
             return budget.outcome_with(0, 0);
         }
-        let greedy = self.greedy_hitting_set().len();
+        let greedy = match upper {
+            Some(u) => u.min(self.greedy_hitting_set().len()),
+            None => self.greedy_hitting_set().len(),
+        };
         if budget.forces_sequential() || cqa_exec::threads() <= 1 {
             let mut best = greedy;
             let mut current = BTreeSet::new();
@@ -508,7 +587,22 @@ impl ConflictHypergraph {
         if budget.exhausted() {
             return budget.outcome_with(Vec::new(), 0);
         }
-        let k = size.into_value();
+        self.minimum_hitting_sets_at(size.into_value(), budget)
+    }
+
+    /// Enumerate all hitting sets of the **known** minimum size `k`,
+    /// skipping the branch-and-bound size proof entirely. This is the
+    /// factorized path's enumeration step: a component's optimum is proven
+    /// once and then passed here, instead of every call re-deriving its
+    /// cost bound from scratch. `k` must be the exact minimum
+    /// ([`Self::minimum_hitting_set_size`]); with a too-large `k` the
+    /// defensive sub-`k` check still only emits genuine hitting sets, but
+    /// the family is no longer the C-repair delta family.
+    pub fn minimum_hitting_sets_at(
+        &self,
+        k: usize,
+        budget: &Budget,
+    ) -> Outcome<Vec<BTreeSet<Tid>>> {
         if budget.forces_sequential() || cqa_exec::threads() <= 1 || self.edges.len() < 2 {
             let mut out: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
             let mut current = BTreeSet::new();
@@ -819,6 +913,56 @@ mod tests {
         let out = g.minimum_hitting_sets_budgeted(&budget);
         assert!(out.is_truncated());
         assert!(out.value().is_empty());
+    }
+
+    #[test]
+    fn seeded_size_search_reports_the_same_minimum() {
+        // Regression for the factorized path: seeding the branch-and-bound
+        // with a known optimum (or any valid hitting-set size) must never
+        // change the reported minimum.
+        let g = figure_1();
+        let unseeded = g.minimum_hitting_set_size();
+        assert_eq!(unseeded, 2);
+        let b = Budget::unlimited();
+        for seed in [None, Some(unseeded), Some(unseeded + 1), Some(5)] {
+            assert_eq!(
+                g.minimum_hitting_set_size_seeded(seed, &b).into_value(),
+                unseeded,
+                "seed={seed:?}"
+            );
+        }
+        let k = 6;
+        let edges: Vec<BTreeSet<Tid>> = (0..k).map(|i| tids(&[2 * i, 2 * i + 1])).collect();
+        let g2 = ConflictHypergraph::new((0..2 * k).map(Tid).collect(), edges);
+        let min = g2.minimum_hitting_set_size();
+        assert_eq!(
+            g2.minimum_hitting_set_size_seeded(Some(min), &b)
+                .into_value(),
+            min
+        );
+    }
+
+    #[test]
+    fn enumeration_at_known_size_matches_full_search() {
+        let g = figure_1();
+        let k = g.minimum_hitting_set_size();
+        let direct = g
+            .minimum_hitting_sets_at(k, &Budget::unlimited())
+            .into_value();
+        assert_eq!(direct, g.minimum_hitting_sets());
+    }
+
+    #[test]
+    fn components_are_cached_and_shared_by_clones() {
+        let g = figure_1();
+        let first = g.components();
+        assert!(std::sync::Arc::ptr_eq(&first, &g.components()));
+        let clone = g.clone();
+        assert!(std::sync::Arc::ptr_eq(&first, &clone.components()));
+        // Derived state stays out of equality and debug formatting.
+        let fresh = figure_1();
+        assert_eq!(g, fresh);
+        assert_eq!(format!("{g:?}"), format!("{fresh:?}"));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! because their violations can be fixed by insertions, not only deletions.
 
 pub mod cfd;
+pub mod components;
 pub mod constraint;
 pub mod denial;
 pub mod fd;
@@ -26,6 +27,7 @@ pub mod ind;
 pub mod parser;
 
 pub use cfd::{CfdLhs, ConditionalFd, Pattern};
+pub use components::{ComponentGraph, ConflictComponents, FactoredFamilies};
 pub use constraint::{Constraint, ConstraintSet};
 pub use denial::DenialConstraint;
 pub use fd::{FunctionalDependency, KeyConstraint};

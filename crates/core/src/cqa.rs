@@ -20,6 +20,7 @@
 
 use crate::attr_repair::attribute_repairs;
 use crate::crepair::{c_repairs_arc, c_repairs_budgeted};
+use crate::factored::{FactoredRepairSet, Factorization};
 use crate::repair::Repair;
 use crate::srepair::{s_repairs_budgeted, s_repairs_with_arc, RepairOptions};
 use cqa_constraints::ConstraintSet;
@@ -606,6 +607,424 @@ fn possible_over_budgeted<F: Facts>(
     Some(out)
 }
 
+// ---------------------------------------------------------------------------
+// Conflict-component factorization (§4.1 + Lopatenko–Bertossi locality).
+//
+// When Σ is denial-class, the repair family is the cross-product of
+// independent per-component families over the frozen core. The folds below
+// exploit that: if no query witness spans two conflict components, certain
+// and possible answers decompose as
+//
+//   certain  = Q(core) ∪ ⋃_c ⋂_{h ∈ family_c} Q(view_{c,h})
+//   possible = Q(core) ∪ ⋃_c ⋃_{h ∈ family_c} Q(view_{c,h})
+//
+// where `view_{c,h}` keeps the core plus component `c` minus the local
+// deletion set `h` (every *other* component's conflicted tuples deleted —
+// the most destructive completion, a sub-instance of every repair choosing
+// `h` for `c`, which is what makes the fold sound for monotone queries).
+// That is `Σ_c |family_c|` query evaluations instead of `∏_c |family_c|`.
+// When a witness does span components (or the query is non-monotone), the
+// fold degrades gracefully to streaming over the *lazy* cross-product — the
+// same set of repairs as the monolithic fold, never materialized as a list.
+// ---------------------------------------------------------------------------
+
+/// Does any witness of `query` over the full instance touch tuples of two
+/// different conflict components? Sound for the factored fold's purposes:
+/// repairs are sub-instances of `base` (deletion-only semantics), so every
+/// witness inside a repair is a witness over `base`; if none of those spans
+/// two components, the per-component decomposition applies.
+fn query_spans_components(
+    base: &Database,
+    query: &UnionQuery,
+    components: &cqa_constraints::ConflictComponents,
+) -> bool {
+    let index = components.component_index();
+    query.disjuncts.iter().any(|cq| {
+        let mut spanning = false;
+        cqa_query::for_each_witness(base, cq, NullSemantics::Sql, &mut |w| {
+            let mut seen: Option<usize> = None;
+            for tid in &w.tids {
+                // Frozen-core tuples belong to every repair; ignore them.
+                let Some(&c) = index.get(tid) else { continue };
+                match seen {
+                    None => seen = Some(c),
+                    Some(prev) if prev != c => {
+                        spanning = true;
+                        return false; // stop the witness scan
+                    }
+                    Some(_) => {}
+                }
+            }
+            true
+        });
+        spanning
+    })
+}
+
+/// `Q(core)` — the factored sibling of [`core_certain_fallback`], reusing
+/// the already-computed factorization instead of re-deriving the isolated
+/// nodes. Empty for non-monotone queries (same soundness argument).
+fn factored_core_answers(
+    fx: &FactoredRepairSet,
+    query: &UnionQuery,
+) -> Result<BTreeSet<Tuple>, RelationError> {
+    if !is_monotone(query) {
+        return Ok(BTreeSet::new());
+    }
+    let core = Repair::from_delta_arc(fx.base(), fx.conflicted(), Vec::new())?;
+    Ok(eval_ucq(&core.view(), query, NullSemantics::Sql)
+        .into_iter()
+        .filter(|t| !t.has_null())
+        .collect())
+}
+
+/// The component-local views for one family, in family order.
+fn component_views(
+    fx: &FactoredRepairSet,
+    comp: usize,
+    family: &[BTreeSet<Tid>],
+) -> Result<Vec<Repair>, RelationError> {
+    family
+        .iter()
+        .map(|h| Repair::from_delta_arc(fx.base(), fx.local_deleted(comp, h), Vec::new()))
+        .collect()
+}
+
+/// Per-component certain fold (monotone, non-spanning case). `None` when
+/// the budget fired mid-fold (caller substitutes the core fallback).
+fn factored_component_certain(
+    fx: &FactoredRepairSet,
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Result<Option<BTreeSet<Tuple>>, RelationError> {
+    let mut certain = factored_core_answers(fx, query)?;
+    for (comp, family) in fx.families().families.iter().enumerate() {
+        let acc = if budget.forces_sequential() {
+            // One tick per local view in canonical order: the cut point is
+            // schedule-independent, like the monolithic sequential fold.
+            let mut acc: Option<BTreeSet<Tuple>> = None;
+            for h in family {
+                if !budget.tick() {
+                    return Ok(None);
+                }
+                let view =
+                    Repair::from_delta_arc(fx.base(), fx.local_deleted(comp, h), Vec::new())?;
+                let here: BTreeSet<Tuple> = eval_ucq(&view.view(), query, NullSemantics::Sql)
+                    .into_iter()
+                    .filter(|t| !t.has_null())
+                    .collect();
+                match &mut acc {
+                    None => acc = Some(here),
+                    Some(a) => a.retain(|t| here.contains(t)),
+                }
+                if acc.as_ref().is_some_and(BTreeSet::is_empty) {
+                    break;
+                }
+            }
+            acc
+        } else {
+            if !budget.check_deadline() {
+                return Ok(None);
+            }
+            let reps = component_views(fx, comp, family)?;
+            let mut sets = cqa_exec::par_map(&views(&reps), |v| {
+                eval_ucq(v, query, NullSemantics::Sql)
+                    .into_iter()
+                    .filter(|t| !t.has_null())
+                    .collect::<BTreeSet<_>>()
+            })
+            .into_iter();
+            let mut acc = sets.next();
+            if let Some(a) = &mut acc {
+                for here in sets {
+                    a.retain(|t| here.contains(t));
+                    if a.is_empty() {
+                        break;
+                    }
+                }
+            }
+            acc
+        };
+        if let Some(a) = acc {
+            certain.extend(a);
+        }
+    }
+    Ok(Some(certain))
+}
+
+/// Per-component possible fold (monotone, non-spanning case).
+fn factored_component_possible(
+    fx: &FactoredRepairSet,
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Result<Option<BTreeSet<Tuple>>, RelationError> {
+    let mut out = factored_core_answers(fx, query)?;
+    for (comp, family) in fx.families().families.iter().enumerate() {
+        if budget.forces_sequential() {
+            for h in family {
+                if !budget.tick() {
+                    return Ok(None);
+                }
+                let view =
+                    Repair::from_delta_arc(fx.base(), fx.local_deleted(comp, h), Vec::new())?;
+                out.extend(
+                    eval_ucq(&view.view(), query, NullSemantics::Sql)
+                        .into_iter()
+                        .filter(|t| !t.has_null()),
+                );
+            }
+        } else {
+            if !budget.check_deadline() {
+                return Ok(None);
+            }
+            let reps = component_views(fx, comp, family)?;
+            for here in cqa_exec::par_map(&views(&reps), |v| {
+                eval_ucq(v, query, NullSemantics::Sql)
+                    .into_iter()
+                    .filter(|t| !t.has_null())
+                    .collect::<BTreeSet<_>>()
+            }) {
+                out.extend(here);
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Certain fold over the **lazy** cross-product (spanning / non-monotone
+/// case): the same repair family as the monolithic fold, streamed from the
+/// odometer iterator, never stored.
+fn factored_product_certain(
+    fx: &FactoredRepairSet,
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Result<Option<BTreeSet<Tuple>>, RelationError> {
+    let mut deltas = fx.deltas();
+    let Some(first) = deltas.next() else {
+        return Ok(Some(BTreeSet::new()));
+    };
+    if !budget.tick() {
+        return Ok(None);
+    }
+    let first = Repair::from_delta_arc(fx.base(), first, Vec::new())?;
+    let mut acc: BTreeSet<Tuple> = eval_ucq(&first.view(), query, NullSemantics::Sql)
+        .into_iter()
+        .filter(|t| !t.has_null())
+        .collect();
+    if budget.forces_sequential() {
+        for delta in deltas {
+            if acc.is_empty() {
+                break;
+            }
+            if !budget.tick() {
+                return Ok(None);
+            }
+            let view = Repair::from_delta_arc(fx.base(), delta, Vec::new())?;
+            let here = eval_ucq(&view.view(), query, NullSemantics::Sql);
+            acc.retain(|t| here.contains(t));
+        }
+        return Ok(Some(acc));
+    }
+    let chunk = cqa_exec::threads() * 8;
+    loop {
+        if acc.is_empty() {
+            break;
+        }
+        if !budget.check_deadline() {
+            return Ok(None);
+        }
+        let batch: Vec<Repair> = deltas
+            .by_ref()
+            .take(chunk)
+            .map(|d| Repair::from_delta_arc(fx.base(), d, Vec::new()))
+            .collect::<Result<_, _>>()?;
+        if batch.is_empty() {
+            break;
+        }
+        let sets = cqa_exec::par_map(&views(&batch), |v| eval_ucq(v, query, NullSemantics::Sql));
+        for here in &sets {
+            acc.retain(|t| here.contains(t));
+        }
+    }
+    Ok(Some(acc))
+}
+
+/// Possible fold over the lazy cross-product.
+fn factored_product_possible(
+    fx: &FactoredRepairSet,
+    query: &UnionQuery,
+    budget: &Budget,
+) -> Result<Option<BTreeSet<Tuple>>, RelationError> {
+    let mut deltas = fx.deltas();
+    let mut out = BTreeSet::new();
+    if budget.forces_sequential() {
+        for delta in deltas {
+            if !budget.tick() {
+                return Ok(None);
+            }
+            let view = Repair::from_delta_arc(fx.base(), delta, Vec::new())?;
+            out.extend(
+                eval_ucq(&view.view(), query, NullSemantics::Sql)
+                    .into_iter()
+                    .filter(|t| !t.has_null()),
+            );
+        }
+        return Ok(Some(out));
+    }
+    let chunk = cqa_exec::threads() * 8;
+    loop {
+        if !budget.check_deadline() {
+            return Ok(None);
+        }
+        let batch: Vec<Repair> = deltas
+            .by_ref()
+            .take(chunk)
+            .map(|d| Repair::from_delta_arc(fx.base(), d, Vec::new()))
+            .collect::<Result<_, _>>()?;
+        if batch.is_empty() {
+            break;
+        }
+        for here in cqa_exec::par_map(&views(&batch), |v| {
+            eval_ucq(v, query, NullSemantics::Sql)
+                .into_iter()
+                .filter(|t| !t.has_null())
+                .collect::<BTreeSet<_>>()
+        }) {
+            out.extend(here);
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Factored certain answers over a pre-built conflict hyper-graph (whose
+/// component decomposition is cached on it). The caller guarantees `graph`
+/// was built from `base`'s instance, Σ is denial-class, and `class` is one
+/// of the deletion-only classes (S / S-deletions-only / C).
+pub(crate) fn factored_certain_with(
+    base: &Arc<Database>,
+    graph: &cqa_constraints::ConflictHypergraph,
+    query: &UnionQuery,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Outcome<(BTreeSet<Tuple>, Factorization)>, RelationError> {
+    let fx = match class {
+        RepairClass::Cardinality => FactoredRepairSet::enumerate_minimum(base, graph, budget),
+        _ => FactoredRepairSet::enumerate_minimal(base, graph, budget),
+    }
+    .into_value();
+    let explored = fx.families().exact_components();
+    if budget.exhausted() {
+        let fallback = factored_core_answers(&fx, query)?;
+        return Ok(budget.outcome_with((fallback, fx.factorization(false)), explored));
+    }
+    let spanning = !is_monotone(query) || query_spans_components(base, query, fx.components());
+    let info = fx.factorization(spanning);
+    let folded = if spanning {
+        factored_product_certain(&fx, query, budget)?
+    } else {
+        factored_component_certain(&fx, query, budget)?
+    };
+    match folded {
+        Some(acc) if !budget.exhausted() => Ok(Outcome::Exact((acc, info))),
+        _ => {
+            let fallback = factored_core_answers(&fx, query)?;
+            Ok(budget.outcome_with((fallback, info), explored))
+        }
+    }
+}
+
+/// Factored possible answers; same contract as [`factored_certain_with`].
+pub(crate) fn factored_possible_with(
+    base: &Arc<Database>,
+    graph: &cqa_constraints::ConflictHypergraph,
+    query: &UnionQuery,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Outcome<(BTreeSet<Tuple>, Factorization)>, RelationError> {
+    let fx = match class {
+        RepairClass::Cardinality => FactoredRepairSet::enumerate_minimum(base, graph, budget),
+        _ => FactoredRepairSet::enumerate_minimal(base, graph, budget),
+    }
+    .into_value();
+    let explored = fx.families().exact_components();
+    // Truncation fallback: `Q(D)` is the sound over-approximation for a
+    // monotone query under deletion-only semantics; empty otherwise (the
+    // enumeration found nothing complete to union over).
+    let fallback = || -> BTreeSet<Tuple> {
+        if is_monotone(query) {
+            eval_ucq(&**base, query, NullSemantics::Sql)
+                .into_iter()
+                .filter(|t| !t.has_null())
+                .collect()
+        } else {
+            BTreeSet::new()
+        }
+    };
+    if budget.exhausted() {
+        let value = fallback();
+        return Ok(budget.outcome_with((value, fx.factorization(false)), explored));
+    }
+    let spanning = !is_monotone(query) || query_spans_components(base, query, fx.components());
+    let info = fx.factorization(spanning);
+    let folded = if spanning {
+        factored_product_possible(&fx, query, budget)?
+    } else {
+        factored_component_possible(&fx, query, budget)?
+    };
+    match folded {
+        Some(out) if !budget.exhausted() => Ok(Outcome::Exact((out, info))),
+        _ => {
+            let value = fallback();
+            Ok(budget.outcome_with((value, info), explored))
+        }
+    }
+}
+
+/// A factored CQA result: the answer set plus the [`Factorization`] shape
+/// summary that produced it.
+pub type FactoredAnswers = Outcome<(BTreeSet<Tuple>, Factorization)>;
+
+/// Component-factorized [`consistent_answers_budgeted`]: `None` when the
+/// factorization does not apply (non-denial Σ or the attribute-null class),
+/// otherwise the certain answers plus the [`Factorization`] shape summary.
+/// The answers equal the monolithic fold's bit for bit whenever the outcome
+/// is exact.
+pub fn consistent_answers_factored_budgeted(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Option<FactoredAnswers>, RelationError> {
+    if matches!(class, RepairClass::AttributeNull) || !sigma.is_denial_class() {
+        return Ok(None);
+    }
+    let base = Arc::new(db.clone());
+    let graph = sigma.conflict_hypergraph(db)?;
+    Ok(Some(factored_certain_with(
+        &base, &graph, query, class, budget,
+    )?))
+}
+
+/// Component-factorized [`possible_answers_budgeted`]; see
+/// [`consistent_answers_factored_budgeted`].
+pub fn possible_answers_factored_budgeted(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    class: &RepairClass,
+    budget: &Budget,
+) -> Result<Option<FactoredAnswers>, RelationError> {
+    if matches!(class, RepairClass::AttributeNull) || !sigma.is_denial_class() {
+        return Ok(None);
+    }
+    let base = Arc::new(db.clone());
+    let graph = sigma.conflict_hypergraph(db)?;
+    Ok(Some(factored_possible_with(
+        &base, &graph, query, class, budget,
+    )?))
+}
+
 /// Budget-aware [`consistent_answers`]: the anytime entry point.
 ///
 /// An [`Outcome::Exact`] result equals the unbudgeted answer bit for bit.
@@ -999,5 +1418,147 @@ mod tests {
         let cons = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
         let plain = cqa_query::eval_ucq(&db, &q, NullSemantics::Structural);
         assert_eq!(cons, plain);
+    }
+
+    /// Two independent key-violation groups plus clean rows: 2 components,
+    /// 4 monolithic S-repairs (2×2).
+    fn two_component_employee() -> (Database, ConstraintSet) {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Employee", ["Name", "Salary"]))
+            .unwrap();
+        db.insert("Employee", tuple!["page", 5000]).unwrap();
+        db.insert("Employee", tuple!["page", 8000]).unwrap();
+        db.insert("Employee", tuple!["miller", 1000]).unwrap();
+        db.insert("Employee", tuple!["miller", 2000]).unwrap();
+        db.insert("Employee", tuple!["smith", 3000]).unwrap();
+        let sigma = ConstraintSet::from_iter([KeyConstraint::new("Employee", ["Name"])]);
+        (db, sigma)
+    }
+
+    #[test]
+    fn factored_certain_matches_monolithic_per_component_path() {
+        let (db, sigma) = two_component_employee();
+        for q in [
+            "Q(x, y) :- Employee(x, y)",
+            "Q(x) :- Employee(x, y)",
+            "Q(y) :- Employee('page', y)",
+        ] {
+            let q = UnionQuery::single(parse_query(q).unwrap());
+            for class in [RepairClass::Subset, RepairClass::Cardinality] {
+                let mono = consistent_answers(&db, &sigma, &q, &class).unwrap();
+                let (fact, info) = consistent_answers_factored_budgeted(
+                    &db,
+                    &sigma,
+                    &q,
+                    &class,
+                    &Budget::unlimited(),
+                )
+                .unwrap()
+                .expect("denial-class")
+                .into_value();
+                assert_eq!(fact, mono, "class {class:?}");
+                assert_eq!(info.components, 2);
+                assert!(!info.spanning, "single-atom witnesses never span");
+                let mono_p = possible_answers(&db, &sigma, &q, &class).unwrap();
+                let (fact_p, _) = possible_answers_factored_budgeted(
+                    &db,
+                    &sigma,
+                    &q,
+                    &class,
+                    &Budget::unlimited(),
+                )
+                .unwrap()
+                .unwrap()
+                .into_value();
+                assert_eq!(fact_p, mono_p, "class {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_query_falls_back_to_lazy_product_and_agrees() {
+        let (db, sigma) = two_component_employee();
+        // A self-join across names joins witnesses from both conflict
+        // components, so the per-component fold is unsound and the lazy
+        // cross-product fold must take over.
+        let q =
+            UnionQuery::single(parse_query("Q(x, u) :- Employee(x, y), Employee(u, w)").unwrap());
+        let mono = consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        let (fact, info) = consistent_answers_factored_budgeted(
+            &db,
+            &sigma,
+            &q,
+            &RepairClass::Subset,
+            &Budget::unlimited(),
+        )
+        .unwrap()
+        .unwrap()
+        .into_value();
+        assert!(info.spanning);
+        assert_eq!(fact, mono);
+        let mono_p = possible_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        let (fact_p, _) = possible_answers_factored_budgeted(
+            &db,
+            &sigma,
+            &q,
+            &RepairClass::Subset,
+            &Budget::unlimited(),
+        )
+        .unwrap()
+        .unwrap()
+        .into_value();
+        assert_eq!(fact_p, mono_p);
+    }
+
+    #[test]
+    fn factored_fold_is_not_applicable_outside_the_denial_class() {
+        let (db, sigma) = supply();
+        let q = UnionQuery::single(parse_query("Q(z) :- Supply(x, y, z)").unwrap());
+        assert!(consistent_answers_factored_budgeted(
+            &db,
+            &sigma,
+            &q,
+            &RepairClass::Subset,
+            &Budget::unlimited()
+        )
+        .unwrap()
+        .is_none());
+        let (db2, sigma2) = two_component_employee();
+        assert!(consistent_answers_factored_budgeted(
+            &db2,
+            &sigma2,
+            &q,
+            &RepairClass::AttributeNull,
+            &Budget::unlimited()
+        )
+        .unwrap()
+        .is_none());
+    }
+
+    #[test]
+    fn factored_truncation_degrades_to_the_sound_bounds() {
+        let (db, sigma) = two_component_employee();
+        let q = UnionQuery::single(parse_query("Q(x) :- Employee(x, y)").unwrap());
+        // One step: enumeration is cut immediately; certain degrades to the
+        // frozen-core answers, possible to Q(D).
+        let budget = Budget::steps(1);
+        let out =
+            consistent_answers_factored_budgeted(&db, &sigma, &q, &RepairClass::Subset, &budget)
+                .unwrap()
+                .unwrap();
+        assert!(out.is_truncated());
+        let (certain, _) = out.into_value();
+        assert_eq!(certain, [tuple!["smith"]].into());
+        let budget = Budget::steps(1);
+        let out =
+            possible_answers_factored_budgeted(&db, &sigma, &q, &RepairClass::Subset, &budget)
+                .unwrap()
+                .unwrap();
+        assert!(out.is_truncated());
+        let (possible, _) = out.into_value();
+        assert_eq!(
+            possible,
+            [tuple!["page"], tuple!["miller"], tuple!["smith"]].into()
+        );
     }
 }

@@ -65,6 +65,21 @@ pub fn c_repairs_budgeted(
 ) -> Result<Outcome<Vec<Repair>>, RelationError> {
     if sigma.is_denial_class() {
         let graph = sigma.conflict_hypergraph(&**db)?;
+        // Factored path: per-component minimum hitting sets (each later size
+        // proof seeded by nothing — they are independent — but enumeration
+        // runs at the proven size directly), crossed only at the end. The
+        // global minima are exactly those products, so output is
+        // byte-identical. Same gate rationale as `denial_class_s_repairs`.
+        if options.limit.is_none()
+            && !budget.forces_sequential()
+            && graph.components().components.len() >= 2
+        {
+            let factored =
+                crate::factored::FactoredRepairSet::enumerate_minimum(db, &graph, budget);
+            let repairs = factored.value().expand()?;
+            let explored = repairs.len() as u64;
+            return Ok(budget.outcome_with(repairs, explored));
+        }
         let hitting_sets = graph.minimum_hitting_sets_budgeted(budget);
         let explored = hitting_sets.value().len() as u64;
         let mut out: Vec<Repair> = hitting_sets
@@ -95,7 +110,16 @@ pub fn c_repairs_budgeted(
 /// (`|D Δ D'|` for any C-repair; 0 iff `db ⊨ sigma`).
 pub fn min_repair_distance(db: &Database, sigma: &ConstraintSet) -> Result<usize, RelationError> {
     if sigma.is_denial_class() {
-        return Ok(sigma.conflict_hypergraph(db)?.minimum_hitting_set_size());
+        let graph = sigma.conflict_hypergraph(db)?;
+        let components = graph.components();
+        if components.components.len() >= 2 {
+            // Global minimum = Σ of per-component minima (components are
+            // independent), each solved by a much smaller branch-and-bound.
+            return Ok(components
+                .minimum_hitting_set_size_budgeted(&Budget::unlimited())
+                .into_value());
+        }
+        return Ok(graph.minimum_hitting_set_size());
     }
     Ok(c_repairs(db, sigma)?
         .first()

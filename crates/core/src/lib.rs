@@ -24,6 +24,7 @@ pub mod attr_repair;
 pub mod checking;
 pub mod cqa;
 pub mod crepair;
+pub mod factored;
 pub mod incremental;
 pub mod measures;
 pub mod nullrepair;
@@ -44,12 +45,18 @@ pub use checking::{
 pub use cqa::{
     aggregate_range_over, aggregate_ranges_over, certain_over, certainly_true, certainly_true_over,
     consistent_aggregate_range, consistent_aggregate_ranges, consistent_answers,
-    consistent_answers_budgeted, cqa_report, cqa_report_budgeted, possible_answers,
-    possible_answers_budgeted, possible_over, repairs_of, CqaReport, RepairClass,
+    consistent_answers_budgeted, consistent_answers_factored_budgeted, cqa_report,
+    cqa_report_budgeted, possible_answers, possible_answers_budgeted,
+    possible_answers_factored_budgeted, possible_over, repairs_of, CqaReport, FactoredAnswers,
+    RepairClass,
 };
 pub use crepair::{
     c_repairs, c_repairs_arc, c_repairs_budgeted, c_repairs_with, c_repairs_with_arc,
     min_repair_distance,
+};
+pub use factored::{
+    factored_c_repairs_budgeted, factored_s_repairs_budgeted, FactoredRepairSet, Factorization,
+    ProductDeltas,
 };
 pub use incremental::{insert_preserves_consistency, repairs_after_insert, IncrementalRepairs};
 pub use measures::{core_gap, inconsistency_degree};

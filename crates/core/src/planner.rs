@@ -10,7 +10,8 @@
 //! The chosen strategy is reported so callers can log/inspect it, mirroring
 //! how ConsEx surfaced its magic-set rewriting decisions.
 
-use crate::cqa::{consistent_answers_budgeted, RepairClass};
+use crate::cqa::{consistent_answers_budgeted, factored_certain_with, RepairClass};
+use crate::factored::Factorization;
 use crate::rewrite::keys::{rewrite_key_query, KeyPositions, KeyRewriteError};
 use cqa_analysis::{lint_constraints, lint_query, DiagCode, Diagnostic};
 use cqa_constraints::{Constraint, ConstraintSet};
@@ -28,6 +29,15 @@ pub enum Strategy {
     RepairEnumeration {
         /// Why rewriting was not used.
         reason: String,
+    },
+    /// Enumerated repairs **per conflict component** and folded
+    /// component-locally (or over the lazy cross-product when a query
+    /// witness spans components) — never materializing the product.
+    FactoredEnumeration {
+        /// Why rewriting was not used.
+        reason: String,
+        /// The factorization shape (component count, product size avoided…).
+        factorization: Factorization,
     },
     /// The instance was consistent: plain evaluation.
     DirectEvaluation,
@@ -164,15 +174,63 @@ fn fallback(
     sigma: &ConstraintSet,
     query: &UnionQuery,
     reason: String,
-    diagnostics: Vec<Diagnostic>,
+    mut diagnostics: Vec<Diagnostic>,
     budget: &Budget,
 ) -> Result<Outcome<PlannedAnswer>, RelationError> {
+    // Factored path: with ≥ 2 conflict components the repair family is a
+    // cross-product of independent per-component families, so enumeration
+    // and the certain fold run per component (see `cqa-core::factored`).
+    // Single-component instances keep the monolithic path — the
+    // factorization would be the identity.
+    if sigma.is_denial_class() {
+        let graph = sigma.conflict_hypergraph(db)?;
+        if graph.components().components.len() >= 2 {
+            let base = std::sync::Arc::new(db.clone());
+            let out = factored_certain_with(&base, &graph, query, &RepairClass::Subset, budget)?;
+            return Ok(out.map(|(answers, factorization)| {
+                diagnostics.push(factorization_diagnostic(&factorization));
+                PlannedAnswer {
+                    answers,
+                    strategy: Strategy::FactoredEnumeration {
+                        reason,
+                        factorization,
+                    },
+                    diagnostics,
+                }
+            }));
+        }
+    }
     let answers = consistent_answers_budgeted(db, sigma, query, &RepairClass::Subset, budget)?;
     Ok(answers.map(|answers| PlannedAnswer {
         answers,
         strategy: Strategy::RepairEnumeration { reason },
         diagnostics,
     }))
+}
+
+/// The A006 informational finding describing a factorized run.
+fn factorization_diagnostic(f: &Factorization) -> Diagnostic {
+    let product = match f.product_repairs {
+        Some(p) => p.to_string(),
+        None => "> usize::MAX".to_string(),
+    };
+    Diagnostic::new(
+        DiagCode::ConflictComponents,
+        format!(
+            "conflict hyper-graph has {} independent components (largest: {} tuples): \
+             folded {} component-local repairs instead of a product of {}{}",
+            f.components,
+            f.largest,
+            f.factored_repairs,
+            product,
+            if f.spanning {
+                "; a query witness spans components, so answers were folded \
+                 over the lazy cross-product"
+            } else {
+                ""
+            },
+        ),
+    )
 }
 
 #[cfg(test)]
@@ -302,5 +360,35 @@ mod tests {
             Strategy::RepairEnumeration { reason } => assert!(reason.contains("union")),
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_component_fallback_uses_factored_enumeration() {
+        let (mut db, sigma) = employee();
+        // A second violating name group: two conflict components.
+        db.insert("Employee", tuple!["smith", 3500]).unwrap();
+        let q = cqa_query::parse_ucq("Q(x) :- Employee(x, y)\nQ(x) :- Employee(x, 3000)").unwrap();
+        let planned = answer_consistently(&db, &sigma, &q).unwrap();
+        match &planned.strategy {
+            Strategy::FactoredEnumeration {
+                reason,
+                factorization,
+            } => {
+                assert!(reason.contains("union"), "reason: {reason}");
+                assert_eq!(factorization.components, 2);
+                assert_eq!(factorization.product_repairs, Some(4));
+                assert_eq!(factorization.factored_repairs, 4);
+            }
+            other => panic!("expected factored fallback, got {other:?}"),
+        }
+        // The A006 finding rides along in the diagnostics.
+        assert!(planned
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ConflictComponents));
+        // And the answers agree with the reference semantics.
+        let reference =
+            crate::cqa::consistent_answers(&db, &sigma, &q, &RepairClass::Subset).unwrap();
+        assert_eq!(planned.answers, reference);
     }
 }

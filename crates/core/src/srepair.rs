@@ -188,6 +188,23 @@ fn denial_class_s_repairs(
         }
         graph = cqa_constraints::ConflictHypergraph::new(graph.nodes, reduced);
     }
+    // Factored path: enumerate per conflict component and expand the
+    // cross-product at the end. The search cost drops from product-shaped to
+    // `Σ_c cost(c)` while the output stays byte-identical (the global minimal
+    // hitting sets are exactly the unions of one local set per component).
+    // Not taken with a `limit` (legacy sequential-DFS prefix semantics) or a
+    // step/item budget (whose deterministic truncation order callers rely
+    // on); deadline budgets are fine — a truncated expansion is still a
+    // sound subset of the true family.
+    if options.limit.is_none()
+        && !budget.forces_sequential()
+        && graph.components().components.len() >= 2
+    {
+        let factored = crate::factored::FactoredRepairSet::enumerate_minimal(db, &graph, budget);
+        let repairs = factored.value().expand()?;
+        let explored = repairs.len() as u64;
+        return Ok(budget.outcome_with(repairs, explored));
+    }
     let hitting_sets = graph.minimal_hitting_sets_budgeted(options.limit, budget);
     let explored = hitting_sets.value().len() as u64;
     let repairs = hitting_sets

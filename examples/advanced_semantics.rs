@@ -61,6 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Strategy::FoRewriting => "FO rewriting",
         Strategy::DirectEvaluation => "direct evaluation",
         Strategy::RepairEnumeration { .. } => "repair enumeration",
+        Strategy::FactoredEnumeration { .. } => "factored repair enumeration",
     };
     println!("Planner answered via: {how}");
 
