@@ -27,8 +27,9 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `A…` = ASP program analysis, `G…` = grounding,
-/// `C…` = constraint-set lints, `Q…` = query lints. Codes never change
-/// meaning once shipped; new checks get new codes.
+/// `C…` = constraint-set lints, `Q…` = query lints, `L…` = workspace audit
+/// lints (the `cqa-audit` static pass over this repository's own sources).
+/// Codes never change meaning once shipped; new checks get new codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiagCode {
     /// A001: a head/negated/comparison variable not bound by a positive
@@ -70,6 +71,36 @@ pub enum DiagCode {
     UnsafeQueryVariable,
     /// Q002: the query body is disconnected — a Cartesian product.
     CartesianProduct,
+    /// Q003: the query's attack graph under the given keys is acyclic —
+    /// certain answers are FO-rewritable and CQA runs in polynomial time.
+    FoRewritable,
+    /// Q004: the attack graph has a cycle (a pair of mutually attacking
+    /// atoms witnesses it) — CQA for this query is coNP-complete and the
+    /// planner must fall back to repair enumeration or a certificate
+    /// backend.
+    AttackCycle,
+    /// L001: iteration over a hash container flows into collected/emitted
+    /// order without an intervening sort or BTree rebuild, inside a
+    /// determinism-contract crate.
+    NondeterministicIteration,
+    /// L002: a recursive or worklist function in a module marked
+    /// `audit:exponential` does not thread a `Budget` (or the module never
+    /// consults one) — the path cannot be cancelled or truncated.
+    UnbudgetedExponentialPath,
+    /// L003: `unwrap`/`expect`/`panic!`-family macros or slice indexing in
+    /// non-test code of an input-surface crate, where untrusted input must
+    /// never panic the process.
+    PanicSurface,
+    /// L004: raw `std::thread::spawn` or an ad-hoc `Mutex` outside
+    /// `cqa-exec` — all parallelism must go through the pool so the
+    /// cancellation and determinism contracts hold.
+    AdHocParallelism,
+    /// L005: `Instant::now`/`SystemTime::now`/environment reads outside the
+    /// sanctioned modules (`cqa-exec` budget/config, the bench harness).
+    AmbientAuthority,
+    /// L006: `unsafe` code anywhere in the workspace (comment/string-aware;
+    /// subsumes the old CI grep).
+    UnsafeCode,
     /// E001: user-supplied input (a database/Σ file, query string, or
     /// command-line flag) failed to parse or validate. Always an error:
     /// execution cannot proceed, but the process reports and exits instead
@@ -79,7 +110,7 @@ pub enum DiagCode {
 
 impl DiagCode {
     /// Every defined code (documentation + CLI catalog order).
-    pub const ALL: [DiagCode; 16] = [
+    pub const ALL: [DiagCode; 24] = [
         DiagCode::UnsafeVariable,
         DiagCode::RecursionThroughNegation,
         DiagCode::HeadCycle,
@@ -95,6 +126,14 @@ impl DiagCode {
         DiagCode::VacuousConstraint,
         DiagCode::UnsafeQueryVariable,
         DiagCode::CartesianProduct,
+        DiagCode::FoRewritable,
+        DiagCode::AttackCycle,
+        DiagCode::NondeterministicIteration,
+        DiagCode::UnbudgetedExponentialPath,
+        DiagCode::PanicSurface,
+        DiagCode::AdHocParallelism,
+        DiagCode::AmbientAuthority,
+        DiagCode::UnsafeCode,
         DiagCode::InvalidInput,
     ];
 
@@ -116,6 +155,14 @@ impl DiagCode {
             DiagCode::VacuousConstraint => "C006",
             DiagCode::UnsafeQueryVariable => "Q001",
             DiagCode::CartesianProduct => "Q002",
+            DiagCode::FoRewritable => "Q003",
+            DiagCode::AttackCycle => "Q004",
+            DiagCode::NondeterministicIteration => "L001",
+            DiagCode::UnbudgetedExponentialPath => "L002",
+            DiagCode::PanicSurface => "L003",
+            DiagCode::AdHocParallelism => "L004",
+            DiagCode::AmbientAuthority => "L005",
+            DiagCode::UnsafeCode => "L006",
             DiagCode::InvalidInput => "E001",
         }
     }
@@ -138,6 +185,14 @@ impl DiagCode {
             DiagCode::VacuousConstraint => "vacuous-constraint",
             DiagCode::UnsafeQueryVariable => "unsafe-query-variable",
             DiagCode::CartesianProduct => "cartesian-product",
+            DiagCode::FoRewritable => "fo-rewritable",
+            DiagCode::AttackCycle => "attack-cycle",
+            DiagCode::NondeterministicIteration => "nondeterministic-iteration",
+            DiagCode::UnbudgetedExponentialPath => "unbudgeted-exponential-path",
+            DiagCode::PanicSurface => "panic-surface",
+            DiagCode::AdHocParallelism => "ad-hoc-parallelism",
+            DiagCode::AmbientAuthority => "ambient-authority",
+            DiagCode::UnsafeCode => "unsafe-code",
             DiagCode::InvalidInput => "invalid-input",
         }
     }
@@ -148,6 +203,7 @@ impl DiagCode {
             DiagCode::UnsafeVariable
             | DiagCode::UnsatisfiableConstraint
             | DiagCode::UnsafeQueryVariable
+            | DiagCode::UnsafeCode
             | DiagCode::InvalidInput => Severity::Error,
             DiagCode::DuplicateRule
             | DiagCode::UndefinedPredicate
@@ -156,10 +212,17 @@ impl DiagCode {
             | DiagCode::SubsumedConstraint
             | DiagCode::IndCycle
             | DiagCode::VacuousConstraint
-            | DiagCode::CartesianProduct => Severity::Warning,
+            | DiagCode::CartesianProduct
+            | DiagCode::NondeterministicIteration
+            | DiagCode::UnbudgetedExponentialPath
+            | DiagCode::PanicSurface
+            | DiagCode::AdHocParallelism
+            | DiagCode::AmbientAuthority => Severity::Warning,
             DiagCode::RecursionThroughNegation
             | DiagCode::HeadCycle
             | DiagCode::FdIsKey
+            | DiagCode::FoRewritable
+            | DiagCode::AttackCycle
             | DiagCode::ConflictComponents => Severity::Info,
         }
     }
@@ -206,6 +269,28 @@ impl DiagCode {
             DiagCode::CartesianProduct => {
                 "the query body is disconnected and evaluates a Cartesian product"
             }
+            DiagCode::FoRewritable => {
+                "the attack graph is acyclic: certain answers are FO-rewritable (PTIME route)"
+            }
+            DiagCode::AttackCycle => {
+                "the attack graph is cyclic: CQA is coNP-complete (witness pair reported)"
+            }
+            DiagCode::NondeterministicIteration => {
+                "hash-container iteration flows into output order without a sort or BTree rebuild"
+            }
+            DiagCode::UnbudgetedExponentialPath => {
+                "a recursive/worklist function on an exponential path does not thread a Budget"
+            }
+            DiagCode::PanicSurface => {
+                "unwrap/expect/panic!/indexing in non-test code of an input-surface crate"
+            }
+            DiagCode::AdHocParallelism => {
+                "thread spawning or ad-hoc locking outside the cqa-exec pool"
+            }
+            DiagCode::AmbientAuthority => {
+                "clock or environment access outside the sanctioned modules"
+            }
+            DiagCode::UnsafeCode => "unsafe code is banned workspace-wide",
             DiagCode::InvalidInput => {
                 "user-supplied input failed to parse; the process reports and exits, never panics"
             }

@@ -21,6 +21,7 @@
 //!   happens sequentially in rule order, so `atom_table` numbering is
 //!   byte-identical at every thread count.
 
+// audit:exponential — grounding can blow up on join-heavy rules; every search loop must thread a Budget.
 use crate::ast::AspProgram;
 use cqa_exec::{Budget, Outcome};
 use cqa_query::{match_atom, Atom, Bindings, NullSemantics};

@@ -25,6 +25,7 @@
 //! Weak-constraint optimization (C-repairs, Ex. 4.2) lives in
 //! [`crate::weak`].
 
+// audit:exponential — DPLL branch-and-propagate stable-model search; every search loop must thread a Budget.
 use crate::ground::{AtomId, GroundProgram, GroundRule};
 use cqa_analysis::{DepGraph, EdgeKind};
 use cqa_exec::{Budget, Outcome};

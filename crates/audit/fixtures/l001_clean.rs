@@ -1,0 +1,26 @@
+// Golden fixture: L001 near-misses that must stay clean — hash iteration
+// is fine when the order is re-established (sort_unstable, BTree rebuild)
+// or never observed (order-insensitive folds).
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+pub fn sorted_afterwards(m: &HashMap<u32, String>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn btree_rebuild(m: &HashMap<u32, String>) -> BTreeSet<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn order_free(s: &HashSet<u32>) -> u32 {
+    s.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: assertion order is the test's own business.
+    pub fn in_test(m: &super::HashMap<u32, String>) -> Vec<u32> {
+        m.keys().copied().collect()
+    }
+}

@@ -1,0 +1,13 @@
+// Golden fixture: L001 must fire — hash-order reaches a collected Vec and
+// a pushed Vec with no sort or BTree rebuild in between.
+use std::collections::{HashMap, HashSet};
+
+pub fn leaked_collect(m: &HashMap<u32, String>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn leaked_loop(s: &HashSet<u32>, out: &mut Vec<u32>) {
+    for x in s {
+        out.push(*x);
+    }
+}

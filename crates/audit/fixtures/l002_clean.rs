@@ -1,0 +1,26 @@
+// Golden fixture: L002 near-miss that must stay clean — the same shapes,
+// but every search path threads a Budget and ticks it.
+// audit:exponential — fixture search module (budgeted).
+
+pub fn subsets(pool: &[u32], cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>, budget: &Budget) {
+    if !budget.tick() {
+        return;
+    }
+    out.push(cur.clone());
+    for (i, x) in pool.iter().enumerate() {
+        cur.push(*x);
+        subsets(&pool[i + 1..], cur, out, budget);
+        cur.pop();
+    }
+}
+
+pub fn drain_frontier(mut frontier: Vec<u32>, budget: &Budget) -> u32 {
+    let mut best = 0;
+    while let Some(x) = frontier.pop() {
+        if !budget.tick() {
+            break;
+        }
+        best = best.max(x);
+    }
+    best
+}

@@ -1,0 +1,21 @@
+// Golden fixture: L002 must fire — a recursive and a worklist function in
+// an audit:exponential module, neither threading a Budget, and the module
+// never charges one.
+// audit:exponential — fixture search module.
+
+pub fn subsets(pool: &[u32], cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    out.push(cur.clone());
+    for (i, x) in pool.iter().enumerate() {
+        cur.push(*x);
+        subsets(&pool[i + 1..], cur, out);
+        cur.pop();
+    }
+}
+
+pub fn drain_frontier(mut frontier: Vec<u32>) -> u32 {
+    let mut best = 0;
+    while let Some(x) = frontier.pop() {
+        best = best.max(x);
+    }
+    best
+}

@@ -1,0 +1,33 @@
+// Golden fixture: L003 near-misses that must stay clean — fallible
+// handling, non-panicking unwrap_or variants, array patterns and literals
+// (which are not index expressions), full-range slices, waived sites, and
+// test code.
+
+pub fn parse_pair(s: &str) -> Option<(u32, u32)> {
+    let mut it = s.split(',');
+    let a = it.next()?.trim().parse().ok()?;
+    let b = it.next()?.trim().parse().ok()?;
+    Some((a, b))
+}
+
+pub fn shapes(v: &[u32]) -> u32 {
+    let arr: [u32; 2] = [1, 2];
+    let [x, y] = arr;
+    let all = &v[..];
+    let macro_made = vec![x, y];
+    all.first().copied().unwrap_or(0) + macro_made.len() as u32
+}
+
+#[allow(clippy::unwrap_used)]
+pub fn locally_proven(x: Option<u32>) -> u32 {
+    // The allow attribute is a reviewed waiver; the audit honors it.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::parse_pair("1, 2").unwrap(), (1, 2));
+    }
+}

@@ -1,0 +1,12 @@
+// Golden fixture: L003 must fire — unwrap/expect, a panicking macro, and
+// expression-position indexing in (nominally) input-surface code.
+
+pub fn parse_pair(s: &str) -> (u32, u32) {
+    let parts: Vec<&str> = s.split(',').collect();
+    let a = parts[0].trim().parse().unwrap();
+    let b = parts[1].trim().parse().expect("second field");
+    if parts.len() > 2 {
+        panic!("too many fields");
+    }
+    (a, b)
+}

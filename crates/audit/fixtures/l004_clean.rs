@@ -1,0 +1,22 @@
+// Golden fixture: L004 near-misses that must stay clean — the words only
+// appear in strings/comments, RwLock is not Mutex, and test code may spawn
+// helper threads to exercise concurrency.
+use std::sync::RwLock;
+
+pub fn documented() -> &'static str {
+    // A comment mentioning thread::spawn and Mutex is not a violation.
+    "prefer the pool over thread::spawn and Mutex"
+}
+
+pub fn shared_cache(l: &RwLock<u32>) -> u32 {
+    *l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        let h = std::thread::spawn(|| 41 + 1);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,11 @@
+// Golden fixture: L004 must fire — raw thread::spawn and an ad-hoc Mutex
+// outside cqa-exec.
+use std::sync::Mutex;
+
+pub fn ad_hoc(n: usize) -> usize {
+    let total = Mutex::new(0usize);
+    std::thread::spawn(move || {
+        // racy accumulation the pool would have made deterministic
+    });
+    n
+}

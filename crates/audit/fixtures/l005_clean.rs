@@ -1,0 +1,20 @@
+// Golden fixture: L005 near-misses that must stay clean — the names in
+// strings/comments, an unrelated `now`/`var`, and test code.
+
+pub fn documented() -> &'static str {
+    // Instant::now and env::var are discussed here, not called.
+    "deadlines come from Budget, configuration from cqa-exec::config"
+}
+
+pub fn unrelated(now: u32, var: u32) -> u32 {
+    now + var
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_clock() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

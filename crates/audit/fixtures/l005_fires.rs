@@ -1,0 +1,8 @@
+// Golden fixture: L005 must fire — wall-clock and environment reads in an
+// unsanctioned module.
+use std::time::Instant;
+
+pub fn ambient() -> bool {
+    let t = Instant::now();
+    std::env::var("CQA_THREADS").is_ok() && t.elapsed().as_millis() > 0
+}

@@ -1,0 +1,16 @@
+// Golden fixture: L006 near-misses that must stay clean — the token only
+// inside a string literal, a raw string, comments, and identifiers that
+// merely contain it. This is exactly what the old CI grep got wrong.
+
+pub fn grep_bait() -> (&'static str, &'static str) {
+    let in_string = "unsafe { transmute() }";
+    let in_raw = r#"unsafe impl Send for X {}"#;
+    (in_string, in_raw)
+}
+
+// unsafe in a line comment
+/* unsafe { } in a block comment */
+
+pub fn unsafe_code_mention(forbid_unsafe_code: bool) -> bool {
+    forbid_unsafe_code
+}

@@ -1,0 +1,13 @@
+// Golden fixture: L006 must fire — real unsafe code, even inside test
+// modules (the workspace forbids unsafe everywhere).
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn also_counts(p: *const u8) -> u8 {
+        unsafe { *p }
+    }
+}

@@ -1,0 +1,220 @@
+//! The audit baseline: justified exceptions, checked in next to the code.
+//!
+//! Format — one entry per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! CODE  path/to/file.rs  scope  count  -- reason the finding is acceptable
+//! ```
+//!
+//! `scope` is the enclosing function name (or `<module>`), `count` is the
+//! number of findings the entry absorbs for that `(code, file, scope)`
+//! triple — findings beyond the count stay active, so new regressions in an
+//! already-baselined function still fail the gate. Entries that no longer
+//! match anything (or allow more than currently fires) are reported as
+//! *stale* and fail `--deny`: the baseline must shrink with the code.
+
+use crate::Finding;
+
+/// One parsed baseline line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Diagnostic code, e.g. `L003`.
+    pub code: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Enclosing function name or `<module>`.
+    pub scope: String,
+    /// Number of findings this entry absorbs.
+    pub count: usize,
+    /// Human justification (after `--`).
+    pub reason: String,
+    /// 1-based line in the baseline file (for stale reports).
+    pub line: u32,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Result of matching findings against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not absorbed by any entry — these are reported.
+    pub active: Vec<Finding>,
+    /// Number of findings absorbed.
+    pub suppressed: usize,
+    /// Entries that matched nothing or allowed more than fired; each string
+    /// is a ready-to-print explanation. Stale entries fail `--deny`.
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    /// Parse a baseline file. Malformed lines are hard errors: a baseline
+    /// that silently ignores a typo would silently stop suppressing.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, reason) = line
+                .split_once("--")
+                .ok_or_else(|| format!("baseline line {line_no}: missing `-- reason`"))?;
+            let fields: Vec<&str> = head.split_whitespace().collect();
+            let [code, file, scope, count] = fields.as_slice() else {
+                return Err(format!(
+                    "baseline line {line_no}: expected `CODE file scope count -- reason`, \
+                     got {} fields",
+                    fields.len()
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {line_no}: count `{count}` is not a number"))?;
+            let reason = reason.trim().to_string();
+            if reason.is_empty() {
+                return Err(format!("baseline line {line_no}: empty reason"));
+            }
+            entries.push(BaselineEntry {
+                code: code.to_string(),
+                file: file.to_string(),
+                scope: scope.to_string(),
+                count,
+                reason,
+                line: line_no,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Match `findings` (already in stable order) against the baseline.
+    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+        let mut used = vec![0usize; self.entries.len()];
+        let mut out = BaselineOutcome::default();
+        for f in findings {
+            let slot = self.entries.iter().enumerate().find(|(k, e)| {
+                used[*k] < e.count
+                    && e.code == f.code.code()
+                    && e.file == f.file
+                    && e.scope == f.scope
+            });
+            match slot {
+                Some((k, _)) => {
+                    used[k] += 1;
+                    out.suppressed += 1;
+                }
+                None => out.active.push(f),
+            }
+        }
+        for (k, e) in self.entries.iter().enumerate() {
+            if used[k] == 0 {
+                out.stale.push(format!(
+                    "baseline line {}: `{} {} {}` matches no current finding — delete it",
+                    e.line, e.code, e.file, e.scope
+                ));
+            } else if used[k] < e.count {
+                out.stale.push(format!(
+                    "baseline line {}: `{} {} {}` allows {} but only {} fire — tighten the count",
+                    e.line, e.code, e.file, e.scope, e.count, used[k]
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render `findings` as a fresh baseline body (reasons left as TODO) —
+    /// the output of `repairctl audit --print-baseline`.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut groups: Vec<((&'static str, &str, &str), usize)> = Vec::new();
+        for f in findings {
+            let key = (f.code.code(), f.file.as_str(), f.scope.as_str());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => groups.push((key, 1)),
+            }
+        }
+        groups.sort();
+        let mut s = String::from(
+            "# cqa-audit baseline: CODE file scope count -- reason\n\
+             # Each entry absorbs `count` findings for that (code, file, scope);\n\
+             # anything beyond the count, and any stale entry, fails --deny.\n",
+        );
+        for ((code, file, scope), n) in groups {
+            s.push_str(&format!("{code} {file} {scope} {n} -- TODO: justify\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_analysis::DiagCode;
+
+    fn f(code: DiagCode, file: &str, scope: &str, line: u32) -> Finding {
+        Finding {
+            code,
+            file: file.to_string(),
+            line,
+            scope: scope.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let b = Baseline::parse(
+            "# header\n\
+             \n\
+             L003 crates/cli/src/lib.rs parse 2 -- argv is process-owned\n",
+        )
+        .unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].count, 2);
+        assert_eq!(b.entries[0].reason, "argv is process-owned");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("L003 f s 2\n").is_err()); // no reason
+        assert!(Baseline::parse("L003 f s x -- r\n").is_err()); // bad count
+        assert!(Baseline::parse("L003 f 2 -- r\n").is_err()); // missing field
+    }
+
+    #[test]
+    fn apply_suppresses_up_to_count_and_reports_stale() {
+        let b = Baseline::parse(
+            "L003 a.rs parse 1 -- ok\n\
+             L004 b.rs <module> 2 -- ok\n\
+             L006 c.rs gone 1 -- ok\n",
+        )
+        .unwrap();
+        let findings = vec![
+            f(DiagCode::PanicSurface, "a.rs", "parse", 1),
+            f(DiagCode::PanicSurface, "a.rs", "parse", 2), // beyond count
+            f(DiagCode::AdHocParallelism, "b.rs", "<module>", 3), // 1 of 2
+        ];
+        let out = b.apply(findings);
+        assert_eq!(out.suppressed, 2);
+        assert_eq!(out.active.len(), 1);
+        assert_eq!(out.active[0].line, 2);
+        assert_eq!(out.stale.len(), 2); // unused L006 + overcounted L004
+    }
+
+    #[test]
+    fn render_groups_and_counts() {
+        let findings = vec![
+            f(DiagCode::PanicSurface, "a.rs", "parse", 1),
+            f(DiagCode::PanicSurface, "a.rs", "parse", 2),
+            f(DiagCode::UnsafeCode, "b.rs", "<module>", 3),
+        ];
+        let s = Baseline::render(&findings);
+        assert!(s.contains("L003 a.rs parse 2 -- TODO: justify"));
+        assert!(s.contains("L006 b.rs <module> 1 -- TODO: justify"));
+    }
+}

@@ -1,0 +1,515 @@
+//! A lightweight, comment/string/char-literal-aware lexer for Rust sources.
+//!
+//! The audit rules need exactly one guarantee the old `grep -R unsafe` CI
+//! gate could not give: a keyword inside a string literal, a doc comment, or
+//! a nested block comment is **not** a finding. This lexer provides that —
+//! it splits a source file into identifier / punctuation / literal tokens
+//! with line numbers, swallowing comments and literal *contents* entirely —
+//! without attempting to be a full Rust parser. Tricky corners it does get
+//! right:
+//!
+//! * nested block comments (`/* /* */ */` — Rust block comments nest),
+//! * raw strings with any hash depth (`r#"…"#`, `br##"…"##`) and the
+//!   raw-identifier ambiguity (`r#type` is an identifier, `r#"…"#` is not),
+//! * byte/C-string prefixes (`b"…"`, `br"…"`, `c"…"`),
+//! * char literals vs lifetimes (`'a'` vs `'a`, `'\u{1F4A9}'`, `'_'` vs
+//!   `'_`),
+//! * escape sequences inside ordinary strings (`"\"/* not a comment"`).
+//!
+//! Comments are not discarded silently: any comment containing `audit:` is
+//! surfaced as a *directive* (with its line number), which is how modules
+//! opt into the `L002` exponential-path contract (`// audit:exponential`).
+
+/// What kind of token this is. Rules mostly match on [`TokKind::Ident`] and
+/// [`TokKind::Punct`]; literal tokens exist so that rules can reason about
+/// expression shape (e.g. indexing) without ever seeing literal contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A single punctuation byte (`{`, `.`, `#`, …).
+    Punct,
+    /// A string literal (contents swallowed): `"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// A numeric literal (value swallowed).
+    Num,
+    /// A lifetime (`'a`); kept distinct so `'a` never looks like a char.
+    Lifetime,
+}
+
+/// One lexed token: kind, text (identifiers and punctuation only), and the
+/// 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token text for identifiers and punctuation; empty for literals.
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation byte `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A lexed file: the token stream plus every `audit:` directive comment.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `(line, trimmed comment text)` for each comment containing `audit:`.
+    pub directives: Vec<(u32, String)>,
+}
+
+impl LexedFile {
+    /// Does any directive comment contain the given marker (e.g.
+    /// `"audit:exponential"`)?
+    pub fn has_directive(&self, marker: &str) -> bool {
+        self.directives.iter().any(|(_, d)| d.contains(marker))
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// How many bytes the UTF-8 character starting at `b` occupies (1 for
+/// ASCII and for any malformed lead byte — the lexer only needs to make
+/// forward progress, not validate UTF-8).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+struct Cursor<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.s.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.s.get(self.i).copied();
+        if let Some(b) = b {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        b
+    }
+
+    /// Advance `n` bytes, maintaining the line count.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consume a line comment (cursor on the second `/`), returning its
+    /// text without the trailing newline.
+    fn line_comment(&mut self) -> String {
+        let start = self.i;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.s[start..self.i]).into_owned()
+    }
+
+    /// Consume a (possibly nested) block comment; cursor just after `/*`.
+    fn block_comment(&mut self) -> String {
+        let start = self.i;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    let end = self.i;
+                    self.bump_n(2);
+                    if depth == 0 {
+                        return String::from_utf8_lossy(&self.s[start..end]).into_owned();
+                    }
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        String::from_utf8_lossy(&self.s[start..self.i]).into_owned()
+    }
+
+    /// Consume an escaped (non-raw) string body; cursor just after the
+    /// opening quote.
+    fn escaped_string(&mut self) {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump(); // whatever is escaped, including `"` and `\`
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw string body with `hashes` trailing hashes; cursor just
+    /// after the opening quote.
+    fn raw_string(&mut self, hashes: usize) {
+        while let Some(b) = self.bump() {
+            if b == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(hashes);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consume a char-literal body; cursor just after the opening `'`.
+    fn char_body(&mut self) {
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump();
+                self.bump(); // the escaped char (or `u`; `{…}` consumed below)
+                while let Some(b) = self.peek(0) {
+                    if b == b'\'' {
+                        self.bump();
+                        return;
+                    }
+                    self.bump();
+                }
+            }
+            Some(b) => {
+                self.bump_n(utf8_len(b));
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+/// Lex `src` into tokens and `audit:` directives. Never panics: malformed
+/// input degrades to punct tokens or swallowed-to-EOF literals, which is
+/// the right behaviour for an auditor (the compiler is the arbiter of
+/// validity; the auditor must merely never mistake a literal for code).
+pub fn lex(src: &str) -> LexedFile {
+    let mut c = Cursor {
+        s: src.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = LexedFile::default();
+    let comment = |line: u32, text: String, out: &mut LexedFile| {
+        if text.contains("audit:") {
+            out.directives.push((line, text.trim().to_string()));
+        }
+    };
+    while let Some(b) = c.peek(0) {
+        let line = c.line;
+        match b {
+            b'/' if c.peek(1) == Some(b'/') => {
+                c.bump_n(2);
+                let text = c.line_comment();
+                comment(line, text, &mut out);
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump_n(2);
+                let text = c.block_comment();
+                comment(line, text, &mut out);
+            }
+            b'"' => {
+                c.bump();
+                c.escaped_string();
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => {
+                c.bump();
+                // Char literal iff an escape follows, or exactly one char
+                // then a closing quote. Otherwise it is a lifetime.
+                let is_char = match c.peek(0) {
+                    Some(b'\\') => true,
+                    Some(ch) => {
+                        let n = utf8_len(ch);
+                        c.peek(n) == Some(b'\'')
+                    }
+                    None => false,
+                };
+                if is_char {
+                    c.char_body();
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    let start = c.i;
+                    while c.peek(0).is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&c.s[start..c.i]).into_owned(),
+                        line,
+                    });
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let start = c.i;
+                while let Some(d) = c.peek(0) {
+                    if is_ident_continue(d) {
+                        c.bump();
+                    } else if d == b'.'
+                        && c.peek(1).is_some_and(|n| n.is_ascii_digit())
+                        && !c.s[start..c.i].contains(&b'.')
+                    {
+                        c.bump(); // decimal point, but never a `..` range
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b if is_ident_start(b) => {
+                let start = c.i;
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                let text = String::from_utf8_lossy(&c.s[start..c.i]).into_owned();
+                // Literal prefixes and raw identifiers.
+                let raw_capable = matches!(text.as_str(), "r" | "br" | "cr");
+                let str_capable = matches!(text.as_str(), "r" | "br" | "cr" | "b" | "c");
+                match c.peek(0) {
+                    Some(b'"') if str_capable => {
+                        c.bump();
+                        if raw_capable {
+                            c.raw_string(0);
+                        } else {
+                            c.escaped_string();
+                        }
+                        out.tokens.push(Token {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line,
+                        });
+                    }
+                    Some(b'#') if raw_capable => {
+                        // Count hashes; a quote after them means raw string,
+                        // anything else means `r#ident`.
+                        let mut hashes = 0usize;
+                        while c.peek(hashes) == Some(b'#') {
+                            hashes += 1;
+                        }
+                        if c.peek(hashes) == Some(b'"') {
+                            c.bump_n(hashes + 1);
+                            c.raw_string(hashes);
+                            out.tokens.push(Token {
+                                kind: TokKind::Str,
+                                text: String::new(),
+                                line,
+                            });
+                        } else if text == "r" && hashes == 1 {
+                            c.bump(); // the `#`
+                            let start = c.i;
+                            while c.peek(0).is_some_and(is_ident_continue) {
+                                c.bump();
+                            }
+                            out.tokens.push(Token {
+                                kind: TokKind::Ident,
+                                text: String::from_utf8_lossy(&c.s[start..c.i]).into_owned(),
+                                line,
+                            });
+                        } else {
+                            out.tokens.push(Token {
+                                kind: TokKind::Ident,
+                                text,
+                                line,
+                            });
+                        }
+                    }
+                    Some(b'\'') if text == "b" => {
+                        c.bump();
+                        c.char_body();
+                        out.tokens.push(Token {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line,
+                        });
+                    }
+                    _ => out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                    }),
+                }
+            }
+            b if b.is_ascii_whitespace() => {
+                c.bump();
+            }
+            _ => {
+                let n = utf8_len(b);
+                c.bump_n(n);
+                if b.is_ascii() {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: (b as char).to_string(),
+                        line,
+                    });
+                }
+                // Non-ASCII bytes outside literals (emoji in macros…) are
+                // skipped: no audit rule matches them.
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_keywords() {
+        let src = r##"
+            // unsafe in a line comment
+            /* unsafe /* nested unsafe */ still comment */
+            let a = "unsafe in a string";
+            let b = r#"unsafe in a raw string "quoted" inner"#;
+            let c = 'u';
+            fn safe() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unsafe"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "safe"));
+    }
+
+    #[test]
+    fn escapes_do_not_terminate_strings() {
+        let src = r#"let s = "ends with backslash-quote \" // not a comment"; unsafe"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "unsafe"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'a'; let u = '\\u{1F4A9}'; x }";
+        let toks = lex(src);
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 3, "{toks:?}");
+        assert_eq!(chars, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_strings() {
+        let src = r##"let r#type = b"bytes"; let x = br#"raw "bytes""#; r#fn"##;
+        let toks = lex(src);
+        let ids: Vec<&str> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, ["let", "type", "let", "x", "fn"]);
+        let strs = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 2);
+    }
+
+    #[test]
+    fn directives_are_collected_with_lines() {
+        let src = "// audit:exponential\nfn f() {}\n/* audit:exempt because reasons */\n";
+        let lexed = lex(src);
+        assert!(lexed.has_directive("audit:exponential"));
+        assert!(lexed.has_directive("audit:exempt"));
+        assert_eq!(lexed.directives[0].0, 1);
+        assert_eq!(lexed.directives[1].0, 3);
+        // The marker inside a *string* is not a directive.
+        let lexed = lex("let s = \"audit:exponential\";");
+        assert!(!lexed.has_directive("audit:exponential"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"line\nline\nline\";\nunsafe";
+        let lexed = lex(src);
+        let last = lexed.tokens.last().unwrap();
+        assert!(last.is_ident("unsafe"));
+        assert_eq!(last.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..n { x[1.5]; }";
+        let toks = lex(src);
+        let dots = toks.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "{toks:?}"); // the two dots of `..`
+    }
+}

@@ -1,0 +1,151 @@
+//! `cqa-audit` — workspace invariant lints (the L-series).
+//!
+//! The repair/CQA semantics implemented by this workspace are *set*
+//! semantics: repair families, certain answers, and responsibilities are
+//! order-free objects. Two load-bearing contracts follow: byte-identical
+//! output at any thread count, and anytime soundness
+//! (`Outcome::Exact`/`Truncated`) on every exponential path. This crate
+//! machine-checks the coding disciplines those contracts rest on, using a
+//! std-only, dependency-free static pass over the workspace's own sources:
+//! a comment/string/char-literal-aware lexer ([`lexer`]), a structural
+//! annotation pass ([`structure`]), and six rules ([`rules`]) emitting
+//! stable `L001`–`L006` codes through the `cqa-analysis` [`Diagnostic`]
+//! framework. Justified exceptions live in a checked-in [`baseline`].
+//!
+//! Run it as `repairctl audit [--deny] [--baseline FILE]`.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cqa_analysis::{DiagCode, Diagnostic};
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod structure;
+
+pub use baseline::{Baseline, BaselineOutcome};
+
+/// One audit finding, anchored to a file, line, and enclosing function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The stable L-series code.
+    pub code: DiagCode,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Enclosing function name, or `<module>`.
+    pub scope: String,
+    /// What fired and why it matters.
+    pub message: String,
+}
+
+impl Finding {
+    /// Render through the shared diagnostic framework, with a
+    /// `file:line (in scope)` context so output is jump-to-able.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::new(self.code, self.message.clone())
+            .with_context(format!("{}:{} (in {})", self.file, self.line, self.scope))
+    }
+}
+
+/// The result of auditing a source tree.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// All findings, sorted by `(file, line, code)` — stable across runs.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Total bytes lexed.
+    pub bytes: usize,
+}
+
+/// Audit a single source text under its workspace-relative path.
+/// This is the pure core: `audit_workspace` is walk + this.
+pub fn audit_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let ann = structure::annotate(&lexed);
+    rules::run_rules(rel_path, &lexed, &ann)
+}
+
+/// Audit every `.rs` file under `root`'s `src/`, `crates/`, and `tests/`
+/// directories. Skips `target/`, `vendor/` (third-party-equivalent stubs),
+/// `fixtures/` (intentionally-firing golden files), and hidden directories.
+/// File order is sorted, so the report is stable across filesystems.
+pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["src", "crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = AuditReport::default();
+    for path in files {
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        report.files += 1;
+        report.bytes += src.len();
+        report.findings.extend(audit_source(&rel, &src));
+    }
+    report.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.code.code(), a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.code.code(),
+            b.message.as_str(),
+        ))
+    });
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_renders_with_file_line_context() {
+        let f = Finding {
+            code: DiagCode::UnsafeCode,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            scope: "f".to_string(),
+            message: "no".to_string(),
+        };
+        let d = f.to_diagnostic();
+        let s = d.to_string();
+        assert!(s.contains("L006"), "{s}");
+        assert!(s.contains("crates/x/src/lib.rs:7 (in f)"), "{s}");
+    }
+}

@@ -1,0 +1,917 @@
+//! The L-series rules. Each rule is a pure function from an annotated
+//! token stream (plus the file's workspace-relative path, which carries the
+//! crate-scoping) to findings.
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | L001 | hash-order must not reach output order in determinism crates |
+//! | L002 | `audit:exponential` modules must thread a `Budget` and tick |
+//! | L003 | input-surface crates must not panic on untrusted data |
+//! | L004 | parallelism goes through `cqa-exec`, not raw threads/locks |
+//! | L005 | wall clocks and env reads stay in sanctioned modules |
+//! | L006 | no `unsafe` anywhere (replaces the CI grep, string-aware) |
+
+use crate::lexer::{LexedFile, TokKind, Token};
+use crate::structure::Annotations;
+use crate::Finding;
+use cqa_analysis::DiagCode;
+
+/// Crates under the byte-identical-output determinism contract (PR 2):
+/// hash-order leaking into emitted/collected order here is a contract bug.
+const DETERMINISM_CRATES: &[&str] = &[
+    "crates/relation/src/",
+    "crates/constraints/src/",
+    "crates/core/src/",
+    "crates/asp/src/",
+    "crates/query/src/",
+    "crates/causality/src/",
+    "crates/exec/src/",
+];
+
+/// Crates whose public surface consumes untrusted input (PR 5's panic-free
+/// contract): parsers, constraint/query loaders, and the CLI itself.
+const INPUT_SURFACE_CRATES: &[&str] = &[
+    "crates/relation/src/",
+    "crates/constraints/src/",
+    "crates/query/src/",
+    "crates/cli/src/",
+];
+
+/// Modules allowed to read wall clocks and the environment: budget
+/// deadlines, thread-count/seed configuration, and the bench harness.
+const AMBIENT_SANCTIONED: &[&str] = &[
+    "crates/exec/src/budget.rs",
+    "crates/exec/src/config.rs",
+    "crates/exec/src/fuzz.rs",
+    "crates/bench/",
+];
+
+/// Iterator-producing methods on hash containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Hash container type names whose iteration order is nondeterministic.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Order-insensitive consumers: if one of these appears in the statement,
+/// hash-order cannot reach the output.
+const ORDER_NEUTRAL: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "sum",
+    "product",
+    "count",
+    "len",
+    "is_empty",
+    "min",
+    "max",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "any",
+    "all",
+    "contains",
+    "contains_key",
+    "position",
+];
+
+/// Order-propagating sinks: the statement materializes or emits a sequence.
+const ORDER_SINKS: &[&str] = &[
+    "collect",
+    "extend",
+    "push",
+    "push_str",
+    "for_each",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "format",
+    "join",
+    "fold",
+    "zip",
+    "enumerate",
+];
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (array patterns, array literals after `return`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move",
+    "static", "const", "dyn", "impl", "for", "where", "as", "use", "pub", "crate", "box",
+];
+
+fn in_any(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+fn sortish(t: &Token) -> bool {
+    t.kind == TokKind::Ident && t.text.starts_with("sort")
+}
+
+/// Run every rule over one annotated file.
+pub fn run_rules(rel_path: &str, lexed: &LexedFile, ann: &Annotations) -> Vec<Finding> {
+    let mut out = Vec::new();
+    l001_nondeterministic_iteration(rel_path, lexed, ann, &mut out);
+    l002_unbudgeted_exponential(rel_path, lexed, ann, &mut out);
+    l003_panic_surface(rel_path, lexed, ann, &mut out);
+    l004_ad_hoc_parallelism(rel_path, lexed, ann, &mut out);
+    l005_ambient_authority(rel_path, lexed, ann, &mut out);
+    l006_unsafe_code(rel_path, lexed, ann, &mut out);
+    out.sort_by(|a, b| {
+        (a.line, a.code.code(), a.message.as_str()).cmp(&(
+            b.line,
+            b.code.code(),
+            b.message.as_str(),
+        ))
+    });
+    out
+}
+
+fn finding(
+    code: DiagCode,
+    rel_path: &str,
+    ann: &Annotations,
+    tok_idx: usize,
+    line: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        code,
+        file: rel_path.to_string(),
+        line,
+        scope: ann.scope_name(tok_idx).to_string(),
+        message,
+    }
+}
+
+/// Start of the statement containing token `i`: the token just after the
+/// previous `;`, `{`, or `}`.
+fn stmt_start(toks: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return j;
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// End (inclusive) of the statement containing token `i`: the next `;` at
+/// bracket level zero, or — if a block opens first (a `for`/`while` body,
+/// a `match` tail) — the end of that block.
+fn stmt_end(toks: &[Token], ann: &Annotations, i: usize) -> usize {
+    let n = toks.len();
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < n {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct(';') {
+            return j;
+        } else if depth <= 0 && t.is_punct('{') {
+            return ann.matching_close(j).unwrap_or(n - 1);
+        } else if depth < 0 || t.is_punct('}') {
+            return j.saturating_sub(1);
+        }
+        j += 1;
+    }
+    n - 1
+}
+
+/// The signature span (from `fn` to the body `{`, exclusive) of the
+/// function enclosing token `i`, located by the annotated scope name.
+fn fn_signature(toks: &[Token], ann: &Annotations, i: usize) -> Option<(usize, usize)> {
+    let name = ann.scope.get(i)?.as_deref()?;
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        if toks[k].is_ident("fn") && toks.get(k + 1).is_some_and(|t| t.is_ident(name)) {
+            let mut j = k + 2;
+            while j < i {
+                if toks[j].is_punct('{') {
+                    return Some((k, j.saturating_sub(1)));
+                }
+                j += 1;
+            }
+            return Some((k, i.saturating_sub(1)));
+        }
+    }
+    None
+}
+
+/// Identifiers bound (via `let` or a `name: Type` ascription) to a hash
+/// container type in this file.
+fn hash_bound_idents(toks: &[Token], ann: &Annotations) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let n = toks.len();
+    for i in 0..n {
+        // `let [mut] name … = … HashMap …;`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                let end = stmt_end(toks, ann, i);
+                if toks[j + 1..=end.min(n - 1)]
+                    .iter()
+                    .any(|t| HASH_TYPES.iter().any(|h| t.is_ident(h)))
+                {
+                    names.push(name.text.clone());
+                }
+            }
+        }
+        // `name: … HashMap<…> …` (fn params, struct fields): scan the type
+        // up to the next `,`/`)`/`{`/`;`/`=` at bracket level zero.
+        if toks[i].is_punct(':')
+            && i > 0
+            && toks[i - 1].kind == TokKind::Ident
+            && !(i > 1 && toks[i - 2].is_punct(':'))
+            && toks.get(i + 1).is_none_or(|t| !t.is_punct(':'))
+        {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < n {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0
+                    && (t.is_punct(',') || t.is_punct('{') || t.is_punct(';') || t.is_punct('='))
+                {
+                    break;
+                } else if HASH_TYPES.iter().any(|h| t.is_ident(h)) {
+                    names.push(toks[i - 1].text.clone());
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// L001 — nondeterministic iteration: in determinism-contract crates, the
+/// tokens of a statement that iterates a hash container must contain an
+/// order-insensitive consumer (or a BTree/sort rebuild) whenever they also
+/// contain an order sink; a `let` binding collected without one may still
+/// be cleared by a later `name.sort*()` in the same function.
+fn l001_nondeterministic_iteration(
+    rel_path: &str,
+    lexed: &LexedFile,
+    ann: &Annotations,
+    out: &mut Vec<Finding>,
+) {
+    if !in_any(rel_path, DETERMINISM_CRATES) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let hash_idents = hash_bound_idents(toks, ann);
+    let is_hash = |t: &Token| t.kind == TokKind::Ident && hash_idents.contains(&t.text);
+
+    let mut flagged_stmts: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if ann.test[i] {
+            continue;
+        }
+        // Receiver pattern: `name . iter_method` or a bare `for x in &name {`.
+        let hash_iter_here = (toks[i].kind == TokKind::Ident
+            && ITER_METHODS.iter().any(|m| toks[i].is_ident(m))
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && is_hash(&toks[i - 2]))
+            || (toks[i].is_ident("in")
+                && (1..=2).any(|d| toks.get(i + d).is_some_and(is_hash))
+                && (1..=4).any(|d| toks.get(i + d).is_some_and(|t| t.is_punct('{'))));
+        if !hash_iter_here {
+            continue;
+        }
+        let s = stmt_start(toks, i);
+        if flagged_stmts.contains(&s) {
+            continue;
+        }
+        let e = stmt_end(toks, ann, i);
+        let span = &toks[s..=e.min(n - 1)];
+        if span
+            .iter()
+            .any(|t| sortish(t) || ORDER_NEUTRAL.iter().any(|z| t.is_ident(z)))
+        {
+            continue;
+        }
+        // A bare `collect()` typed by the fn's return position: if the
+        // enclosing signature mentions an ordered container, the rebuild
+        // neutralizes hash order even without a turbofish.
+        if fn_signature(toks, ann, i).is_some_and(|(a, b)| {
+            toks[a..=b].iter().any(|t| {
+                t.is_ident("BTreeMap") || t.is_ident("BTreeSet") || t.is_ident("BinaryHeap")
+            })
+        }) {
+            continue;
+        }
+        if !span
+            .iter()
+            .any(|t| ORDER_SINKS.iter().any(|z| t.is_ident(z)))
+        {
+            continue;
+        }
+        // Later-sort escape: `let v = m.keys().collect(); … v.sort…();`.
+        if toks[s].is_ident("let") {
+            let mut j = s + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(bound) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                let fn_name = ann.scope_name(i).to_string();
+                let sorted_later = (e + 1..n)
+                    .take_while(|&k| ann.scope_name(k) == fn_name)
+                    .any(|k| {
+                        toks[k].is_ident(&bound.text)
+                            && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+                            && toks.get(k + 2).is_some_and(sortish)
+                    });
+                if sorted_later {
+                    continue;
+                }
+            }
+        }
+        flagged_stmts.push(s);
+        let receiver = if i >= 2 && is_hash(&toks[i - 2]) {
+            toks[i - 2].text.clone()
+        } else {
+            (1..=2)
+                .find_map(|d| {
+                    toks.get(i + d)
+                        .filter(|t| is_hash(t))
+                        .map(|t| t.text.clone())
+                })
+                .unwrap_or_default()
+        };
+        out.push(finding(
+            DiagCode::NondeterministicIteration,
+            rel_path,
+            ann,
+            i,
+            toks[i].line,
+            format!(
+                "hash-order iteration of `{receiver}` flows into an ordered sink \
+                 without a sort or BTree rebuild"
+            ),
+        ));
+    }
+}
+
+/// L002 — unbudgeted exponential path: in files carrying an
+/// `audit:exponential` directive comment, every non-test recursive or
+/// worklist-shaped function must mention a `Budget`/`budget`, and the file
+/// must actually charge one (`tick`/`charge_item`/`check_deadline`).
+fn l002_unbudgeted_exponential(
+    rel_path: &str,
+    lexed: &LexedFile,
+    ann: &Annotations,
+    out: &mut Vec<Finding>,
+) {
+    if !lexed.has_directive("audit:exponential") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut saw_exponential_fn = false;
+    let mut charges = false;
+    for (i, tok) in toks.iter().enumerate() {
+        if !ann.test[i]
+            && (tok.is_ident("tick")
+                || tok.is_ident("charge_item")
+                || tok.is_ident("check_deadline"))
+        {
+            charges = true;
+        }
+    }
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].is_ident("fn") && !ann.test[i] {
+            if let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                let name = name_tok.text.clone();
+                // Locate the body span the same way the structure pass does.
+                let mut depth = 0i32;
+                let mut j = i + 2;
+                let mut body: Option<(usize, usize)> = None;
+                while j < n {
+                    let t = &toks[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(';') {
+                        break;
+                    } else if depth == 0 && t.is_punct('{') {
+                        body = Some((j, ann.matching_close(j).unwrap_or(n - 1)));
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some((open, close)) = body {
+                    let body_toks = &toks[open..=close];
+                    // A call to the fn's own name: `name(…)`, `Self::name(…)`
+                    // or `self.name(…)` — but NOT a call through a different
+                    // receiver or type (`map.insert(…)` inside `fn insert`,
+                    // `OnceLock::new()` inside `fn new`).
+                    let recursive = (1..body_toks.len().saturating_sub(1)).any(|k| {
+                        body_toks[k].is_ident(&name)
+                            && body_toks[k + 1].is_punct('(')
+                            && if body_toks[k - 1].is_punct('.') {
+                                k >= 2 && body_toks[k - 2].is_ident("self")
+                            } else if body_toks[k - 1].is_punct(':') {
+                                k >= 3
+                                    && body_toks[k - 2].is_punct(':')
+                                    && body_toks[k - 3].is_ident("Self")
+                            } else {
+                                true
+                            }
+                    });
+                    let worklist = body_toks
+                        .iter()
+                        .any(|t| t.is_ident("while") || t.is_ident("loop"))
+                        && body_toks.iter().any(|t| {
+                            t.is_ident("pop") || t.is_ident("pop_front") || t.is_ident("pop_back")
+                        });
+                    if recursive || worklist {
+                        saw_exponential_fn = true;
+                        let budgeted = toks[i..=close]
+                            .iter()
+                            .any(|t| t.is_ident("Budget") || t.is_ident("budget"));
+                        if !budgeted {
+                            let shape = if recursive { "recursive" } else { "worklist" };
+                            out.push(finding(
+                                DiagCode::UnbudgetedExponentialPath,
+                                rel_path,
+                                ann,
+                                i + 1,
+                                name_tok.line,
+                                format!(
+                                    "{shape} function `{name}` in an audit:exponential \
+                                     module does not thread a Budget"
+                                ),
+                            ));
+                        }
+                    }
+                    i = open; // descend into the body for nested fns
+                }
+            }
+        }
+        i += 1;
+    }
+    if saw_exponential_fn && !charges {
+        let line = lexed
+            .directives
+            .iter()
+            .find(|(_, d)| d.contains("audit:exponential"))
+            .map(|(l, _)| *l)
+            .unwrap_or(1);
+        out.push(Finding {
+            code: DiagCode::UnbudgetedExponentialPath,
+            file: rel_path.to_string(),
+            line,
+            scope: "<module>".to_string(),
+            message: "module marked audit:exponential never charges its Budget \
+                      (no tick/charge_item/check_deadline call)"
+                .to_string(),
+        });
+    }
+}
+
+/// L003 — panic surface: in input-surface crates, non-test code must not
+/// `unwrap`/`expect`, invoke a panicking macro, or index a slice (all of
+/// which turn malformed input into a process abort instead of an `Err`).
+/// Sites under `#[allow(clippy::unwrap_used/expect_used)]` are treated as
+/// already justified.
+fn l003_panic_surface(
+    rel_path: &str,
+    lexed: &LexedFile,
+    ann: &Annotations,
+    out: &mut Vec<Finding>,
+) {
+    if !in_any(rel_path, INPUT_SURFACE_CRATES) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    for i in 0..n {
+        if ann.test[i] || ann.panic_waived[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(`
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|x| x.is_punct('('))
+        {
+            out.push(finding(
+                DiagCode::PanicSurface,
+                rel_path,
+                ann,
+                i,
+                t.line,
+                format!(
+                    "`.{}()` in input-surface code can abort on malformed input",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // panic-family macros
+        if (t.is_ident("panic")
+            || t.is_ident("unreachable")
+            || t.is_ident("todo")
+            || t.is_ident("unimplemented"))
+            && toks.get(i + 1).is_some_and(|x| x.is_punct('!'))
+        {
+            out.push(finding(
+                DiagCode::PanicSurface,
+                rel_path,
+                ann,
+                i,
+                t.line,
+                format!("`{}!` in input-surface code", t.text),
+            ));
+            continue;
+        }
+        // expression-position slice indexing: `expr[…]` where expr ends in
+        // an identifier, `)` or `]` — but not macro brackets (`vec![`),
+        // attribute brackets (`#[`), or patterns after a keyword.
+        if t.is_punct('[') && i > 0 {
+            let p = &toks[i - 1];
+            let indexing = (p.kind == TokKind::Ident
+                && !NON_INDEX_KEYWORDS.iter().any(|k| p.is_ident(k)))
+                || p.is_punct(')')
+                || p.is_punct(']');
+            // `expr[..]` — a full-range slice — cannot go out of bounds.
+            let full_range = toks.get(i + 1).is_some_and(|a| a.is_punct('.'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct('.'))
+                && toks.get(i + 3).is_some_and(|a| a.is_punct(']'));
+            if indexing && !full_range {
+                out.push(finding(
+                    DiagCode::PanicSurface,
+                    rel_path,
+                    ann,
+                    i,
+                    t.line,
+                    "slice/array indexing in input-surface code can panic out of bounds"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// L004 — ad-hoc parallelism: `std::thread::spawn` and `Mutex` outside
+/// `cqa-exec` bypass the pool's cancellation, budget, and determinism
+/// machinery.
+fn l004_ad_hoc_parallelism(
+    rel_path: &str,
+    lexed: &LexedFile,
+    ann: &Annotations,
+    out: &mut Vec<Finding>,
+) {
+    if rel_path.starts_with("crates/exec/src/") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if ann.test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("spawn")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("thread")
+        {
+            out.push(finding(
+                DiagCode::AdHocParallelism,
+                rel_path,
+                ann,
+                i,
+                t.line,
+                "raw thread::spawn outside cqa-exec bypasses the pool's cancellation \
+                 and determinism contract"
+                    .to_string(),
+            ));
+        }
+        if t.is_ident("Mutex") {
+            out.push(finding(
+                DiagCode::AdHocParallelism,
+                rel_path,
+                ann,
+                i,
+                t.line,
+                "ad-hoc Mutex outside cqa-exec: shared mutable state belongs behind \
+                 the pool's combinators"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// L005 — ambient authority: wall-clock reads (`Instant::now`,
+/// `SystemTime::now`) and environment reads (`env::var*`) outside the
+/// sanctioned modules make behaviour depend on when/where the process runs.
+fn l005_ambient_authority(
+    rel_path: &str,
+    lexed: &LexedFile,
+    ann: &Annotations,
+    out: &mut Vec<Finding>,
+) {
+    if in_any(rel_path, AMBIENT_SANCTIONED) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if ann.test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let qualified_by = |name: &str| {
+            i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident(name)
+        };
+        if t.is_ident("now") && (qualified_by("Instant") || qualified_by("SystemTime")) {
+            out.push(finding(
+                DiagCode::AmbientAuthority,
+                rel_path,
+                ann,
+                i,
+                t.line,
+                format!(
+                    "`{}::now` outside sanctioned modules (budget/config/bench)",
+                    toks[i - 3].text
+                ),
+            ));
+        }
+        if (t.is_ident("var") || t.is_ident("var_os") || t.is_ident("vars")) && qualified_by("env")
+        {
+            out.push(finding(
+                DiagCode::AmbientAuthority,
+                rel_path,
+                ann,
+                i,
+                t.line,
+                format!(
+                    "`env::{}` outside sanctioned modules (budget/config/bench)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// L006 — unsafe code, anywhere (tests included). The comment/string-aware
+/// lexer is what lets this retire the CI grep without false positives.
+fn l006_unsafe_code(rel_path: &str, lexed: &LexedFile, ann: &Annotations, out: &mut Vec<Finding>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.is_ident("unsafe") {
+            out.push(finding(
+                DiagCode::UnsafeCode,
+                rel_path,
+                ann,
+                i,
+                t.line,
+                "`unsafe` is forbidden throughout the workspace".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::audit_source;
+
+    fn codes(rel: &str, src: &str) -> Vec<&'static str> {
+        audit_source(rel, src)
+            .iter()
+            .map(|f| f.code.code())
+            .collect()
+    }
+
+    #[test]
+    fn l001_fires_on_unsorted_collect() {
+        let src = "
+            fn emit(m: &HashMap<u32, u32>) -> Vec<u32> {
+                m.keys().copied().collect()
+            }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), ["L001"]);
+    }
+
+    #[test]
+    fn l001_clean_when_sorted_or_neutral() {
+        let src = "
+            fn emit(m: &HashMap<u32, u32>) -> Vec<u32> {
+                let mut v: Vec<u32> = m.keys().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            fn total(m: &HashMap<u32, u32>) -> u32 { m.values().sum() }
+            fn rebuild(m: &HashMap<u32, u32>) -> BTreeSet<u32> {
+                m.keys().copied().collect()
+            }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l001_ignores_out_of_scope_and_test_code() {
+        let src = "
+            fn emit(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }
+        ";
+        assert_eq!(codes("crates/bench/src/x.rs", src), Vec::<&str>::new());
+        let test_src = "
+            #[cfg(test)]
+            mod tests {
+                fn emit(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }
+            }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", test_src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l001_for_loop_push() {
+        let src = "
+            fn emit(m: &HashSet<u32>, out: &mut Vec<u32>) {
+                for x in &m {
+                    out.push(*x);
+                }
+            }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), ["L001"]);
+    }
+
+    #[test]
+    fn l002_fires_without_budget_and_without_charge() {
+        let src = "
+            // audit:exponential — subset enumeration
+            fn explore(s: &mut Vec<u32>) {
+                explore(s);
+            }
+        ";
+        let found = codes("crates/core/src/x.rs", src);
+        assert_eq!(found, ["L002", "L002"]); // per-fn + module-never-charges
+    }
+
+    #[test]
+    fn l002_clean_with_budget_and_tick() {
+        let src = "
+            // audit:exponential — subset enumeration
+            fn explore(s: &mut Vec<u32>, budget: &Budget) {
+                budget.tick();
+                explore(s, budget);
+            }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l002_method_call_on_other_receiver_is_not_recursion() {
+        // `fn insert` calling `self.seen.insert(…)` is a map insert, not
+        // recursion; `self.insert(…)` is.
+        let src = "
+            // audit:exponential
+            fn insert(s: &mut S) { s.seen.insert(1); }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), Vec::<&str>::new());
+        let src = "
+            // audit:exponential
+            impl S { fn insert(&mut self) { self.insert(); } }
+        ";
+        let found = codes("crates/core/src/x.rs", src);
+        assert_eq!(found, ["L002", "L002"]);
+        // `Type::new()` inside `fn new` is construction, not recursion;
+        // `Self::new()` is.
+        let src = "
+            // audit:exponential
+            fn new() -> S { S { cache: OnceLock::new() } }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), Vec::<&str>::new());
+        let src = "
+            // audit:exponential
+            impl S { fn build(d: u32) -> S { Self::build(d - 1) } }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), ["L002", "L002"]);
+    }
+
+    #[test]
+    fn l003_full_range_slice_is_clean() {
+        let src = "fn f(v: &Vec<u32>) -> &[u32] { &v[..] }";
+        assert_eq!(codes("crates/relation/src/x.rs", src), Vec::<&str>::new());
+        let src = "fn f(v: &Vec<u32>) -> &[u32] { &v[1..] }";
+        assert_eq!(codes("crates/relation/src/x.rs", src), ["L003"]);
+    }
+
+    #[test]
+    fn l002_silent_without_directive() {
+        let src = "fn explore(s: &mut Vec<u32>) { explore(s); }";
+        assert_eq!(codes("crates/core/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l003_unwrap_and_indexing() {
+        let src = "
+            fn parse(s: &str) -> u32 {
+                let parts: Vec<&str> = s.split(',').collect();
+                parts[0].parse().unwrap()
+            }
+        ";
+        let found = codes("crates/relation/src/x.rs", src);
+        assert_eq!(found, ["L003", "L003"]); // indexing + unwrap
+    }
+
+    #[test]
+    fn l003_near_misses_stay_clean() {
+        let src = "
+            fn parse(s: &str) -> Option<u32> {
+                let v = vec![1, 2];
+                let arr: [u32; 2] = [0, 1];
+                let [a, b] = arr;
+                s.parse().ok().map(|x: u32| x + v.first().copied().unwrap_or(a) + b)
+            }
+            #[allow(clippy::unwrap_used)]
+            fn proven(x: Option<u32>) -> u32 { x.unwrap() }
+        ";
+        assert_eq!(codes("crates/relation/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l004_thread_spawn_and_mutex() {
+        let src = "
+            fn go() {
+                let m = Mutex::new(0);
+                std::thread::spawn(move || drop(m));
+            }
+        ";
+        let found = codes("crates/core/src/x.rs", src);
+        assert_eq!(found, ["L004", "L004"]);
+        assert_eq!(codes("crates/exec/src/pool.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l005_instant_and_env() {
+        let src = "
+            fn go() -> bool {
+                let t = Instant::now();
+                std::env::var(\"CQA_THREADS\").is_ok() && t.elapsed().as_secs() > 0
+            }
+        ";
+        let found = codes("crates/core/src/x.rs", src);
+        assert_eq!(found, ["L005", "L005"]);
+        assert_eq!(codes("crates/exec/src/config.rs", src), Vec::<&str>::new());
+        assert_eq!(codes("crates/bench/src/lib.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l006_fires_everywhere_even_in_tests() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                fn f() { unsafe { core::hint::unreachable_unchecked() } }
+            }
+        ";
+        assert_eq!(codes("crates/bench/src/x.rs", src), ["L006"]);
+    }
+
+    #[test]
+    fn l006_clean_when_unsafe_only_in_strings_and_comments() {
+        let src = "
+            // this comment says unsafe
+            fn f() -> &'static str { \"unsafe { }\" }
+        ";
+        assert_eq!(codes("crates/core/src/x.rs", src), Vec::<&str>::new());
+    }
+}

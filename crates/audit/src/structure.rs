@@ -1,0 +1,321 @@
+//! Structural annotation of a lexed file: which tokens are test code,
+//! which function encloses each token, and which tokens sit under an
+//! explicit `#[allow(clippy::unwrap_used/expect_used)]` waiver.
+//!
+//! This is deliberately *not* a parser. Three passes over the token stream
+//! — brace matching, attribute-region marking, and `fn`-scope marking —
+//! give the rules everything they need: `#[cfg(test)] mod tests { … }` and
+//! `#[test] fn …` bodies are excluded from production-code rules, findings
+//! are attributed to the innermost enclosing function (the granularity of
+//! the baseline file), and sites a human already waived for clippy's
+//! unwrap/expect lints are not re-reported by `L003`.
+
+use crate::lexer::{LexedFile, TokKind, Token};
+
+/// Per-token annotations, parallel to `LexedFile::tokens`.
+#[derive(Debug, Clone, Default)]
+pub struct Annotations {
+    /// Token is inside a `#[cfg(test)]` / `#[test]` item.
+    pub test: Vec<bool>,
+    /// Token is inside an item carrying `#[allow(clippy::unwrap_used)]` or
+    /// `#[allow(clippy::expect_used)]` (an already-justified panic site).
+    pub panic_waived: Vec<bool>,
+    /// Name of the innermost enclosing `fn`, if any.
+    pub scope: Vec<Option<String>>,
+    /// `close[i]` = index of the `}` matching the `{` at token `i`.
+    close: Vec<Option<usize>>,
+}
+
+impl Annotations {
+    /// The baseline scope for token `i`: the enclosing function, or
+    /// `"<module>"` for module-level code.
+    pub fn scope_name(&self, i: usize) -> &str {
+        self.scope
+            .get(i)
+            .and_then(|s| s.as_deref())
+            .unwrap_or("<module>")
+    }
+
+    /// Index of the `}` matching the `{` at token `i` (if `i` is an open
+    /// brace with a match).
+    pub fn matching_close(&self, i: usize) -> Option<usize> {
+        self.close.get(i).copied().flatten()
+    }
+}
+
+/// Does the attribute body (tokens strictly between `[` and `]`) mark test
+/// code? Matches `#[test]`, `#[cfg(test)]`, and composites like
+/// `#[cfg(all(test, feature = "x"))]`.
+fn is_test_attr(body: &[Token]) -> bool {
+    match body.first() {
+        Some(t) if t.is_ident("test") => body.len() == 1,
+        Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Does the attribute body waive clippy's unwrap/expect lints?
+fn is_panic_waiver(body: &[Token]) -> bool {
+    body.first().is_some_and(|t| t.is_ident("allow"))
+        && body
+            .iter()
+            .any(|t| t.is_ident("unwrap_used") || t.is_ident("expect_used"))
+}
+
+/// Annotate `lexed`. Single entry point used by the rule engine.
+pub fn annotate(lexed: &LexedFile) -> Annotations {
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut ann = Annotations {
+        test: vec![false; n],
+        panic_waived: vec![false; n],
+        scope: vec![None; n],
+        close: vec![None; n],
+    };
+
+    // Pass 1: brace matching.
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                ann.close[open] = Some(i);
+            }
+        }
+    }
+
+    // Pass 2: attribute regions. For `#[…]` at token i, the governed item
+    // runs from the attribute to the end of the next balanced `{…}` block
+    // opened at the attribute's nesting level — or to the next `;` if the
+    // item is brace-less (`#[cfg(test)] use super::*;`). Inner attributes
+    // (`#![…]`) govern the enclosing block and are skipped here: the only
+    // inner attribute the rules care about (`#![cfg(test)]` on a test-only
+    // file) is handled by marking the whole file.
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].is_punct('#') && i + 1 < n {
+            if toks[i + 1].is_punct('!') {
+                // Inner attribute: `#![cfg(test)]` marks the whole file.
+                let (body, end) = attr_body(toks, i + 2);
+                if is_test_attr(&body) {
+                    for f in ann.test.iter_mut() {
+                        *f = true;
+                    }
+                }
+                i = end;
+                continue;
+            }
+            if toks[i + 1].is_punct('[') {
+                let (body, end) = attr_body(toks, i + 1);
+                let test = is_test_attr(&body);
+                let waived = is_panic_waiver(&body);
+                if test || waived {
+                    let region_end = item_end(toks, &ann, end);
+                    for k in i..=region_end.min(n.saturating_sub(1)) {
+                        if test {
+                            ann.test[k] = true;
+                        }
+                        if waived {
+                            ann.panic_waived[k] = true;
+                        }
+                    }
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 3: fn scopes. Outer functions first, inner (later `fn` tokens
+    // start later) overwrite — so each token ends up with its *innermost*
+    // enclosing function.
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].is_ident("fn") {
+            if let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                let name = name_tok.text.clone();
+                // Find the body `{` at the signature's bracket level; a `;`
+                // first means a trait-method declaration without a body.
+                let mut depth = 0i32;
+                let mut j = i + 2;
+                while j < n {
+                    let t = &toks[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(';') {
+                        break;
+                    } else if depth == 0 && t.is_punct('{') {
+                        let close = ann.matching_close(j).unwrap_or(n - 1);
+                        for k in i..=close {
+                            ann.scope[k] = Some(name.clone());
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    ann
+}
+
+/// Tokens strictly inside the `[…]` starting at `open` (which must point at
+/// the `[`), and the index just past the closing `]`.
+fn attr_body(toks: &[Token], open: usize) -> (Vec<Token>, usize) {
+    if toks.get(open).is_none_or(|t| !t.is_punct('[')) {
+        return (Vec::new(), open + 1);
+    }
+    let mut depth = 0i32;
+    let mut body = Vec::new();
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+            if depth == 1 {
+                continue;
+            }
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (body, j + 1);
+            }
+        }
+        body.push(t.clone());
+    }
+    (body, toks.len())
+}
+
+/// The index of the last token of the item starting at `start` (just past
+/// an attribute): the matching `}` of the first block opened at item level,
+/// or the first item-level `;`, whichever comes first. Skips any further
+/// attributes prefixed to the item.
+fn item_end(toks: &[Token], ann: &Annotations, start: usize) -> usize {
+    let n = toks.len();
+    let mut j = start;
+    let mut depth = 0i32;
+    while j < n {
+        let t = &toks[j];
+        if t.is_punct('#') && j + 1 < n && toks[j + 1].is_punct('[') && depth == 0 {
+            let (_, end) = attr_body(toks, j + 1);
+            j = end;
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            return j;
+        } else if depth == 0 && t.is_punct('{') {
+            return ann.matching_close(j).unwrap_or(n - 1);
+        }
+        j += 1;
+    }
+    n.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ann_of(src: &str) -> (LexedFile, Annotations) {
+        let lexed = lex(src);
+        let ann = annotate(&lexed);
+        (lexed, ann)
+    }
+
+    /// Index of the first token with the given ident text.
+    fn pos(lexed: &LexedFile, ident: &str) -> usize {
+        lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("ident {ident} not found"))
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "
+            fn prod() { body(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { inner(); }
+            }
+            fn also_prod() { tail(); }
+        ";
+        let (lexed, ann) = ann_of(src);
+        assert!(!ann.test[pos(&lexed, "body")]);
+        assert!(ann.test[pos(&lexed, "inner")]);
+        assert!(!ann.test[pos(&lexed, "tail")]);
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_marked() {
+        let src = "#[test]\nfn check() { probe(); }\nfn prod() { real(); }";
+        let (lexed, ann) = ann_of(src);
+        assert!(ann.test[pos(&lexed, "probe")]);
+        assert!(!ann.test[pos(&lexed, "real")]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse super::*;\nfn prod() { real(); }";
+        let (lexed, ann) = ann_of(src);
+        assert!(!ann.test[pos(&lexed, "real")]);
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() { x(); }";
+        let (lexed, ann) = ann_of(src);
+        assert!(ann.test[pos(&lexed, "x")]);
+    }
+
+    #[test]
+    fn scopes_are_innermost() {
+        let src = "
+            const TOP: u32 = 0;
+            fn outer() {
+                first();
+                fn inner() { second(); }
+                third();
+            }
+            fn other() { fourth(); }
+        ";
+        let (lexed, ann) = ann_of(src);
+        assert_eq!(ann.scope_name(pos(&lexed, "first")), "outer");
+        assert_eq!(ann.scope_name(pos(&lexed, "second")), "inner");
+        assert_eq!(ann.scope_name(pos(&lexed, "third")), "outer");
+        assert_eq!(ann.scope_name(pos(&lexed, "fourth")), "other");
+        assert_eq!(ann.scope_name(pos(&lexed, "TOP")), "<module>");
+    }
+
+    #[test]
+    fn panic_waiver_regions() {
+        let src = "
+            #[allow(clippy::unwrap_used)]
+            fn proven() { x.unwrap(); }
+            fn not_proven() { y.unwrap(); }
+        ";
+        let (lexed, ann) = ann_of(src);
+        assert!(ann.panic_waived[pos(&lexed, "x")]);
+        assert!(!ann.panic_waived[pos(&lexed, "y")]);
+    }
+
+    #[test]
+    fn stacked_attributes_reach_the_item() {
+        let src = "
+            #[cfg(test)]
+            #[allow(dead_code)]
+            mod tests { fn f() { marked(); } }
+        ";
+        let (lexed, ann) = ann_of(src);
+        assert!(ann.test[pos(&lexed, "marked")]);
+    }
+}

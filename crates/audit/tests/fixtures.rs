@@ -1,0 +1,94 @@
+//! Golden-fixture tests: one firing file and one clean near-miss per
+//! L-code, checked against `audit_source` with a rel path that puts the
+//! fixture in the rule's scope. The near-misses are the cases the old
+//! grep-based CI gate got wrong (keywords in literals, re-sorted hash
+//! iteration, waived panics, …), so these fixtures double as the
+//! regression suite for the lexer/structure/rule pipeline.
+
+use cqa_audit::audit_source;
+use std::fs;
+use std::path::Path;
+
+/// Read a fixture from `crates/audit/fixtures/`.
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Audit `name` as if it lived at `rel_path`, asserting every finding has
+/// code `code` and that there are at least `min` of them.
+fn assert_fires(name: &str, rel_path: &str, code: &str, min: usize) {
+    let findings = audit_source(rel_path, &fixture(name));
+    assert!(
+        findings.len() >= min,
+        "{name}: expected >= {min} {code} findings, got {findings:?}"
+    );
+    for f in &findings {
+        assert_eq!(
+            f.code.code(),
+            code,
+            "{name}: unexpected code in {findings:?}"
+        );
+    }
+}
+
+/// Audit `name` as if it lived at `rel_path`, asserting zero findings.
+fn assert_clean(name: &str, rel_path: &str) {
+    let findings = audit_source(rel_path, &fixture(name));
+    assert!(
+        findings.is_empty(),
+        "{name}: expected clean, got {findings:?}"
+    );
+}
+
+#[test]
+fn l001_hash_order_fixtures() {
+    assert_fires("l001_fires.rs", "crates/core/src/fx.rs", "L001", 2);
+    assert_clean("l001_clean.rs", "crates/core/src/fx.rs");
+}
+
+#[test]
+fn l002_unbudgeted_search_fixtures() {
+    // Two unbudgeted search fns plus the module-level "never ticks" finding.
+    assert_fires("l002_fires.rs", "crates/core/src/fx.rs", "L002", 3);
+    assert_clean("l002_clean.rs", "crates/core/src/fx.rs");
+}
+
+#[test]
+fn l003_panic_surface_fixtures() {
+    assert_fires("l003_fires.rs", "crates/query/src/fx.rs", "L003", 4);
+    assert_clean("l003_clean.rs", "crates/query/src/fx.rs");
+}
+
+#[test]
+fn l004_ad_hoc_parallelism_fixtures() {
+    assert_fires("l004_fires.rs", "crates/core/src/fx.rs", "L004", 2);
+    assert_clean("l004_clean.rs", "crates/core/src/fx.rs");
+}
+
+#[test]
+fn l005_ambient_authority_fixtures() {
+    assert_fires("l005_fires.rs", "crates/core/src/fx.rs", "L005", 2);
+    assert_clean("l005_clean.rs", "crates/core/src/fx.rs");
+}
+
+#[test]
+fn l006_unsafe_fixtures() {
+    // Unlike every other rule, L006 counts test code too.
+    assert_fires("l006_fires.rs", "crates/core/src/fx.rs", "L006", 2);
+    assert_clean("l006_clean.rs", "crates/core/src/fx.rs");
+}
+
+#[test]
+fn fixtures_respect_rule_scoping() {
+    // The same panic-surface fixture is *clean* outside the input-surface
+    // crates: core internals may index into schema-validated positions.
+    assert_clean("l003_fires.rs", "crates/core/src/fx.rs");
+    // And the same ad-hoc-parallelism fixture is clean inside cqa-exec,
+    // which owns the sanctioned pool.
+    assert_clean("l004_fires.rs", "crates/exec/src/fx.rs");
+    // L006 has no sanctuary: unsafe fires even inside cqa-exec.
+    assert_fires("l006_fires.rs", "crates/exec/src/fx.rs", "L006", 2);
+}

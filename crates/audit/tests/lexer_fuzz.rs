@@ -1,0 +1,122 @@
+//! Property test: the audit lexer never mis-tokenizes comment/string
+//! nestings. Random sequences of literal-bearing segments are concatenated
+//! into a source file; each segment knows how many *real* `unsafe`
+//! identifier tokens and how many `audit:` directives it contributes, so
+//! the lexed file can be checked exactly. Keywords hidden inside comments,
+//! ordinary strings, raw strings of any hash depth, byte strings, and char
+//! literals must never surface as identifiers — the guarantee the old
+//! `grep -R unsafe` CI gate lacked.
+
+use cqa_audit::lexer::{lex, TokKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One generated source segment: its text, the number of genuine `unsafe`
+/// identifier tokens in it, and the number of `audit:` directives.
+#[derive(Debug, Clone)]
+struct Segment {
+    text: String,
+    unsafe_idents: usize,
+    directives: usize,
+}
+
+impl Segment {
+    fn hides(text: String) -> Segment {
+        Segment {
+            text,
+            unsafe_idents: 0,
+            directives: 0,
+        }
+    }
+}
+
+/// Strategy for a filler word that can never collide with the markers the
+/// assertions look for (`unsafe`, `hidden`, `audit:`).
+fn filler() -> impl Strategy<Value = String> {
+    "[a-z]{0,6}".prop_map(|f| format!("w{f}"))
+}
+
+/// Strategy for one segment. Every arm is terminated (an unterminated
+/// literal would legitimately swallow the rest of the file).
+fn segment() -> BoxedStrategy<Segment> {
+    prop_oneof![
+        // Line comment hiding the keyword.
+        filler().prop_map(|f| Segment::hides(format!("// unsafe hidden {f}\n"))),
+        // Nested block comment: both `unsafe`s are inside.
+        filler().prop_map(|f| Segment::hides(format!("/* unsafe /* hidden {f} */ unsafe */"))),
+        // Ordinary string literal.
+        filler().prop_map(|f| Segment::hides(format!("\"unsafe hidden {f}\""))),
+        // String whose escapes try to break out: `\"` must not close it and
+        // `\\` must not escape the real closing quote.
+        filler().prop_map(|f| Segment::hides(format!("\" \\\" unsafe hidden \\\\ {f}\""))),
+        // Multi-line string: line counting must survive it.
+        filler().prop_map(|f| Segment::hides(format!("\"line\nunsafe hidden\n{f}\""))),
+        // Raw string containing quotes.
+        filler().prop_map(|f| Segment::hides(format!("r#\" unsafe \"quoted\" hidden {f} \"#"))),
+        // Raw string with deeper hashes containing a lesser terminator.
+        filler().prop_map(|f| { Segment::hides(format!("r##\" unsafe \"# hidden {f} \"##")) }),
+        // Byte string.
+        filler().prop_map(|f| Segment::hides(format!("b\"unsafe hidden {f}\""))),
+        // Char literals that look like openers: a double quote and an
+        // escaped single quote.
+        Just(Segment::hides("'\"'".to_string())),
+        Just(Segment::hides("'\\''".to_string())),
+        // A comment that IS a directive (and hides a keyword).
+        filler().prop_map(|f| Segment {
+            text: format!("// audit:exponential unsafe hidden {f}\n"),
+            unsafe_idents: 0,
+            directives: 1,
+        }),
+        // A directive marker inside a string is NOT a directive.
+        Just(Segment::hides("\"audit:exponential hidden\"".to_string())),
+        // Genuine code: exactly one real `unsafe` identifier.
+        Just(Segment {
+            text: "unsafe { }".to_string(),
+            unsafe_idents: 1,
+            directives: 0,
+        }),
+        // Genuine safe code, with a lifetime that must not parse as a char.
+        filler().prop_map(|f| Segment::hides(format!("fn {f}<'a>(x: &'a str) -> u32 {{ 1 }}"))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_nestings_never_mistokenize(segs in vec(segment(), 0..12)) {
+        let src: String = segs
+            .iter()
+            .map(|s| s.text.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let want_unsafe: usize = segs.iter().map(|s| s.unsafe_idents).sum();
+        let want_directives: usize = segs.iter().map(|s| s.directives).sum();
+
+        let lexed = lex(&src);
+        let got_unsafe = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+            .count();
+        prop_assert_eq!(got_unsafe, want_unsafe, "source:\n{}", src);
+        prop_assert_eq!(lexed.directives.len(), want_directives, "source:\n{}", src);
+
+        // Literal contents are swallowed entirely: the sentinel word that
+        // every literal/comment carries must never surface in any token.
+        prop_assert!(
+            lexed.tokens.iter().all(|t| !t.text.contains("hidden")),
+            "literal contents leaked into tokens; source:\n{}",
+            src
+        );
+
+        // Line numbers stay monotone and within the file.
+        let lines = src.lines().count() as u32 + 1;
+        let mut prev = 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= prev && t.line <= lines, "line went backwards in:\n{}", src);
+            prev = t.line;
+        }
+    }
+}

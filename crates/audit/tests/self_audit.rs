@@ -1,0 +1,47 @@
+//! The audit applied to its own workspace: every finding must be fixed or
+//! carry a justified baseline entry, and no baseline entry may go stale.
+//! This is the same check CI runs via `repairctl audit --deny`.
+
+use std::path::Path;
+
+use cqa_audit::{audit_workspace, Baseline};
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = audit_workspace(&root).expect("workspace walk");
+    assert!(
+        report.files > 30,
+        "walker found only {} files",
+        report.files
+    );
+
+    let baseline_path = root.join("audit.baseline");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).expect("audit.baseline parses"),
+        Err(_) => Baseline::default(),
+    };
+    let outcome = baseline.apply(report.findings);
+
+    let mut problems = String::new();
+    for f in &outcome.active {
+        problems.push_str(&format!(
+            "  {} {}:{} (in {}) {}\n",
+            f.code.code(),
+            f.file,
+            f.line,
+            f.scope,
+            f.message
+        ));
+    }
+    for s in &outcome.stale {
+        problems.push_str(&format!("  stale: {s}\n"));
+    }
+    assert!(
+        problems.is_empty(),
+        "audit not clean ({} active, {} stale; {} suppressed by baseline):\n{problems}",
+        outcome.active.len(),
+        outcome.stale.len(),
+        outcome.suppressed
+    );
+}

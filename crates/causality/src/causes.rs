@@ -16,6 +16,7 @@
 //! branch-and-bound minimum hitting set through the candidate tuple — the
 //! `FP^NP(log n)`-flavoured part.
 
+// audit:exponential — contingency-set search per candidate cause; every search loop must thread a Budget.
 use cqa_constraints::{ConflictComponents, ConflictHypergraph};
 use cqa_exec::{Budget, Outcome};
 use cqa_query::{witnesses, NullSemantics, UnionQuery};

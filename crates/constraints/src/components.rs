@@ -26,6 +26,7 @@
 //! results byte-identical at every thread count. `cqa-core` builds repair
 //! semantics (`FactoredRepairSet`, component-aware CQA folds) on top.
 
+// audit:exponential — component-local hitting-set enumeration; every search loop must thread a Budget.
 use crate::hypergraph::ConflictHypergraph;
 use cqa_exec::{Budget, Outcome};
 use cqa_relation::Tid;

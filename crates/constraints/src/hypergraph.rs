@@ -23,6 +23,7 @@
 //! the graph, not of the schedule — output is byte-identical at every
 //! thread count.
 
+// audit:exponential — minimal/minimum hitting-set enumeration; every search loop must thread a Budget.
 use crate::components::ConflictComponents;
 use cqa_exec::{Budget, Outcome};
 use cqa_relation::Tid;

@@ -18,6 +18,7 @@
 //! repair order (intersection and union are order-insensitive anyway), so
 //! results are byte-identical at every thread count.
 
+// audit:exponential — folds over the (worst-case exponential) repair family; every search loop must thread a Budget.
 use crate::attr_repair::attribute_repairs;
 use crate::crepair::{c_repairs_arc, c_repairs_budgeted};
 use crate::factored::{FactoredRepairSet, Factorization};

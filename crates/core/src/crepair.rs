@@ -5,6 +5,7 @@
 //! denial-class Σ the minimum-hitting-set branch-and-bound of
 //! `cqa-constraints` avoids enumerating all S-repairs first.
 
+// audit:exponential — minimum-cardinality search over the repair lattice; every search loop must thread a Budget.
 use crate::repair::Repair;
 use crate::srepair::{s_repairs_budgeted, RepairOptions};
 use cqa_constraints::ConstraintSet;

@@ -20,6 +20,7 @@
 //! the lazy iteration when no query witness spans two components, folding
 //! `Σ_c |family_c|` views instead of `∏_c |family_c|` repairs.
 
+// audit:exponential — per-component repair families multiply out; every search loop must thread a Budget.
 use crate::repair::Repair;
 use cqa_constraints::{ConflictComponents, ConflictHypergraph, ConstraintSet, FactoredFamilies};
 use cqa_exec::{Budget, Outcome};

@@ -87,7 +87,9 @@ impl AttackGraph {
         }
         for i in 0..n {
             for &j in &reach[i] {
-                if reach[j].contains(&i) {
+                // Skip the self-loop the closure adds to every atom on a
+                // cycle: the witness must name the two distinct endpoints.
+                if j != i && reach[j].contains(&i) {
                     return Some((i.min(j), i.max(j)));
                 }
             }
@@ -203,6 +205,43 @@ pub fn rewrite_key_query(
         vars,
         free,
         formula,
+    })
+}
+
+/// Surface the attack-graph dichotomy as a stable diagnostic, so
+/// `repairctl analyze --query` reports the complexity class instead of that
+/// knowledge living only inside the planner: `Q003` when the graph is
+/// acyclic (certain answers FO-rewritable, PTIME route), `Q004` with the
+/// witness pair when it is cyclic (CQA coNP-complete, repair enumeration).
+/// Returns `None` when the query is outside the dichotomy's scope — a
+/// self-join, or negation/comparisons.
+pub fn rewritability_diagnostic(
+    q: &ConjunctiveQuery,
+    keys: &KeyPositions,
+) -> Option<cqa_analysis::Diagnostic> {
+    use cqa_analysis::{DiagCode, Diagnostic};
+    if !q.is_self_join_free() || !q.negated.is_empty() || !q.comparisons.is_empty() {
+        return None;
+    }
+    let graph = attack_graph(q, keys);
+    Some(match graph.find_cycle() {
+        None => Diagnostic::new(
+            DiagCode::FoRewritable,
+            format!(
+                "attack graph over {} atom(s) is acyclic: certain answers are \
+                 FO-rewritable (PTIME, see `repairctl sql`)",
+                q.atoms.len()
+            ),
+        ),
+        Some((a, b)) => Diagnostic::new(
+            DiagCode::AttackCycle,
+            format!(
+                "attack graph is cyclic — atoms {} ({}) and {} ({}) attack each \
+                 other: CQA is coNP-complete; answering falls back to repair \
+                 enumeration",
+                a, q.atoms[a].relation, b, q.atoms[b].relation
+            ),
+        ),
     })
 }
 
@@ -402,7 +441,11 @@ mod tests {
         let g = attack_graph(&q, &keys);
         assert!(!g.is_acyclic());
         match rewrite_key_query(&q, &keys) {
-            Err(KeyRewriteError::CyclicAttackGraph { .. }) => {}
+            Err(KeyRewriteError::CyclicAttackGraph { witness: (a, b) }) => {
+                // The witness must name the two distinct cycle endpoints,
+                // not the self-loop the transitive closure adds.
+                assert_eq!((a, b), (0, 1));
+            }
             other => panic!("expected cyclic error, got {other:?}"),
         }
     }

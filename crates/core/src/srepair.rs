@@ -14,6 +14,7 @@
 //!   head tuple), re-check, and finally keep the ⊆-minimal deltas. Inserted
 //!   existential positions take the plain SQL `NULL` (§4.2).
 
+// audit:exponential — delta-space repair search branches per violation; every search loop must thread a Budget.
 use crate::repair::{retain_subset_minimal, Repair};
 use cqa_constraints::ConstraintSet;
 use cqa_exec::{Budget, Outcome};

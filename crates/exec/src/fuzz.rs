@@ -1,0 +1,175 @@
+//! Seeded schedule perturbation for the execution pool.
+//!
+//! The determinism contract ("byte-identical results at any thread count")
+//! is only as strong as the schedules it has been exercised under. This
+//! module lets the test suite *force* unusual schedules instead of hoping
+//! the OS produces them: under the `schedule-fuzz` feature,
+//! [`with_schedule_seed`] arms a thread-local seed, and every pool worker
+//! derives a private xorshift stream from `(seed, worker index)` that
+//! injects random yields/spins before cursor claims ([`crate::par_map`] and
+//! friends) and shuffles which queued branch a [`crate::run_queue`] worker
+//! steals next. Results must not change — the order-restoring sort in the
+//! pool and the order-insensitive folds above the queue are exactly what
+//! the perturbation attacks.
+//!
+//! With the feature disabled (the default), [`Perturber`] is a unit struct
+//! whose methods are empty `#[inline]` bodies: the hooks in `pool.rs` and
+//! `queue.rs` compile away entirely. With the feature enabled but no seed
+//! armed, the perturber state is zero and every method returns on its first
+//! branch, so production behaviour is unchanged there too.
+//!
+//! The sequential paths (effective thread count 1) are deliberately *not*
+//! perturbed: they are the reference the parallel schedules are judged
+//! against.
+
+#[cfg(feature = "schedule-fuzz")]
+mod imp {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// The armed seed; 0 means perturbation is off.
+        static SCHEDULE_SEED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Run `f` with schedule perturbation armed. Workers spawned by pool
+    /// combinators *while `f` runs on this thread* perturb their schedules
+    /// deterministically from `seed`; a `seed` of 0 disables perturbation.
+    /// The previous seed is restored even if `f` panics.
+    pub fn with_schedule_seed<R>(seed: u64, f: impl FnOnce() -> R) -> R {
+        struct Restore(u64);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                SCHEDULE_SEED.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(SCHEDULE_SEED.with(|c| c.replace(seed)));
+        f()
+    }
+
+    /// A per-worker perturbation stream. Constructed on the spawning thread
+    /// (where the seed thread-local lives) and moved into the worker.
+    pub(crate) struct Perturber {
+        state: u64,
+    }
+
+    impl Perturber {
+        /// Derive the stream for worker `worker` from the armed seed.
+        /// Reads the calling thread's seed, so this must run before the
+        /// closure is moved into `thread::scope`'s spawn.
+        pub(crate) fn for_worker(worker: usize) -> Perturber {
+            let seed = SCHEDULE_SEED.with(|c| c.get());
+            let state = if seed == 0 {
+                0
+            } else {
+                // SplitMix64 over seed ⊕ worker decorrelates the per-worker
+                // streams; `| 1` keeps the xorshift state nonzero.
+                let mut z = seed ^ ((worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) | 1
+            };
+            Perturber { state }
+        }
+
+        fn next(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x
+        }
+
+        /// Maybe delay this worker: a quarter of calls yield the timeslice,
+        /// a quarter spin briefly, the rest do nothing. No-op when unarmed.
+        pub(crate) fn maybe_yield(&mut self) {
+            if self.state == 0 {
+                return;
+            }
+            match self.next() % 4 {
+                0 => std::thread::yield_now(),
+                1 => {
+                    let spins = self.next() % 64;
+                    for _ in 0..spins {
+                        std::hint::spin_loop();
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        /// Which of `len` queued tasks to steal next: index 0 (FIFO, the
+        /// unperturbed behaviour) when unarmed, a seeded choice otherwise.
+        pub(crate) fn pick(&mut self, len: usize) -> usize {
+            if self.state == 0 || len <= 1 {
+                0
+            } else {
+                (self.next() % len as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "schedule-fuzz"))]
+mod imp {
+    /// Zero-cost stand-in when `schedule-fuzz` is off: every hook inlines
+    /// to nothing, so the production pool pays for none of this.
+    pub(crate) struct Perturber;
+
+    impl Perturber {
+        #[inline(always)]
+        pub(crate) fn for_worker(_worker: usize) -> Perturber {
+            Perturber
+        }
+
+        #[inline(always)]
+        pub(crate) fn maybe_yield(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn pick(&mut self, _len: usize) -> usize {
+            0
+        }
+    }
+}
+
+#[cfg(feature = "schedule-fuzz")]
+pub use imp::with_schedule_seed;
+pub(crate) use imp::Perturber;
+
+#[cfg(all(test, feature = "schedule-fuzz"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_perturber_is_identity() {
+        let mut p = Perturber::for_worker(3);
+        p.maybe_yield();
+        assert_eq!(p.pick(10), 0);
+        assert_eq!(p.pick(10), 0);
+    }
+
+    #[test]
+    fn armed_perturber_varies_picks_and_restores_seed() {
+        let picks = with_schedule_seed(42, || {
+            let mut p = Perturber::for_worker(0);
+            (0..32).map(|_| p.pick(7)).collect::<Vec<_>>()
+        });
+        assert!(picks.iter().any(|&i| i != 0), "{picks:?}");
+        assert!(picks.iter().all(|&i| i < 7), "{picks:?}");
+        // Seed restored: a perturber built afterwards is unarmed.
+        assert_eq!(Perturber::for_worker(0).pick(7), 0);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed_and_worker() {
+        let run = |seed, worker| {
+            with_schedule_seed(seed, || {
+                let mut p = Perturber::for_worker(worker);
+                (0..16).map(|_| p.pick(100)).collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(7, 1), run(7, 1));
+        assert_ne!(run(7, 1), run(7, 2));
+        assert_ne!(run(7, 1), run(8, 1));
+    }
+}

@@ -30,6 +30,12 @@
 //!   site reached from inside another parallel site (e.g. hitting-set
 //!   search inside per-candidate responsibility) degrades to sequential
 //!   instead of spawning `n²` threads.
+//! * **Adversarially schedulable.** Under the `schedule-fuzz` feature the
+//!   test suite arms a seed (`with_schedule_seed`) that makes workers
+//!   yield/spin at random points and steal queued branches in seeded
+//!   random order; `tests/schedule_fuzz.rs` at the workspace root asserts
+//!   outputs stay byte-identical across ≥ 16 perturbed schedules. The
+//!   feature is off by default and the hooks compile to nothing.
 //!
 //! The effective thread count is resolved, in priority order, from the
 //! thread-local override ([`with_threads`]), the process-wide setting
@@ -41,10 +47,13 @@
 
 mod budget;
 mod config;
+mod fuzz;
 mod pool;
 mod queue;
 
 pub use budget::{Budget, CancelToken, Limits, Outcome, TruncationReason};
 pub use config::{set_threads, threads, with_threads, ExecConfig};
+#[cfg(feature = "schedule-fuzz")]
+pub use fuzz::with_schedule_seed;
 pub use pool::{chunks_of, par_any, par_filter_map, par_for_each, par_map, par_map_cancellable};
 pub use queue::run_queue;

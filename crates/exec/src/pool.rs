@@ -10,6 +10,7 @@
 
 use crate::budget::CancelToken;
 use crate::config::{threads, IN_POOL};
+use crate::fuzz::Perturber;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Claim granularity for the shared cursor. Items are claimed in blocks of
@@ -24,10 +25,14 @@ fn run_workers<T: Sync, R: Send>(
     stop: Option<&AtomicBool>,
 ) -> Vec<(usize, R)> {
     let cursor = AtomicUsize::new(0);
-    let worker = |out: &mut Vec<(usize, R)>| loop {
+    // Schedule-fuzz hook: under an armed seed, each worker jitters before
+    // claiming so the cursor interleaving varies run to run. The
+    // order-restoring sort downstream must absorb every interleaving.
+    let worker = |out: &mut Vec<(usize, R)>, perturb: &mut Perturber| loop {
         if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
             return;
         }
+        perturb.maybe_yield();
         let start = cursor.fetch_add(CLAIM_BLOCK, Ordering::Relaxed);
         if start >= items.len() {
             return;
@@ -42,11 +47,14 @@ fn run_workers<T: Sync, R: Send>(
     };
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                // Built on the spawning thread, where the seed lives.
+                let mut perturb = Perturber::for_worker(w);
+                let worker = &worker;
+                scope.spawn(move || {
                     IN_POOL.with(|c| c.set(true));
                     let mut out = Vec::new();
-                    worker(&mut out);
+                    worker(&mut out, &mut perturb);
                     out
                 })
             })

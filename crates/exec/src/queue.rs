@@ -15,6 +15,7 @@
 //! output deterministic.
 
 use crate::config::{threads, IN_POOL};
+use crate::fuzz::Perturber;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -58,7 +59,7 @@ pub fn run_queue<T: Send, R: Send>(
     });
     let ready = Condvar::new();
 
-    let run_one = || {
+    let run_one = |perturb: &mut Perturber| {
         let mut results = Vec::new();
         let mut spawn = Vec::new();
         let mut guard = shared.lock().expect("queue poisoned");
@@ -66,9 +67,15 @@ pub fn run_queue<T: Send, R: Send>(
             if guard.panicked {
                 return results;
             }
-            if let Some(task) = guard.queue.pop_front() {
+            // Schedule-fuzz hook: under an armed seed a worker steals a
+            // random queued branch instead of the FIFO head (`pick` is 0
+            // when unarmed, and `remove(0)` is exactly `pop_front`). The
+            // no-ordering promise above is what this attacks.
+            let idx = perturb.pick(guard.queue.len());
+            if let Some(task) = guard.queue.remove(idx) {
                 guard.active += 1;
                 drop(guard);
+                perturb.maybe_yield();
                 worker(task, &mut spawn, &mut results);
                 guard = shared.lock().expect("queue poisoned");
                 guard.active -= 1;
@@ -88,8 +95,12 @@ pub fn run_queue<T: Send, R: Send>(
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let mut perturb = Perturber::for_worker(w);
+                let run_one = &run_one;
+                let shared = &shared;
+                let ready = &ready;
+                scope.spawn(move || {
                     IN_POOL.with(|c| c.set(true));
                     // Make sure a worker panic wakes the others up instead
                     // of leaving them waiting on the condvar forever.
@@ -109,11 +120,11 @@ pub fn run_queue<T: Send, R: Send>(
                         }
                     }
                     let mut alarm = Alarm {
-                        shared: &shared,
-                        ready: &ready,
+                        shared,
+                        ready,
                         armed: true,
                     };
-                    let out = run_one();
+                    let out = run_one(&mut perturb);
                     alarm.armed = false;
                     out
                 })

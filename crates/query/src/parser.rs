@@ -488,10 +488,10 @@ pub fn parse_ucq(input: &str) -> PResult<UnionQuery> {
         }
         disjuncts.push(parse_query(line)?);
     }
-    if disjuncts.is_empty() {
+    let Some(first) = disjuncts.first() else {
         return Err(err("empty UCQ"));
-    }
-    let arity = disjuncts[0].head.len();
+    };
+    let arity = first.head.len();
     if disjuncts.iter().any(|d| d.head.len() != arity) {
         return Err(err("UCQ disjuncts have differing head arities"));
     }

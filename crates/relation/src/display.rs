@@ -25,8 +25,8 @@ pub fn write_relation(f: &mut impl fmt::Write, rel: &Relation) -> fmt::Result {
     let cols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
     for row in &rows {
-        for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.chars().count());
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
         }
     }
 
@@ -35,7 +35,8 @@ pub fn write_relation(f: &mut impl fmt::Write, rel: &Relation) -> fmt::Result {
             if i > 0 {
                 write!(f, " | ")?;
             }
-            write!(f, "{cell:<width$}", width = widths[i])?;
+            let width = widths.get(i).copied().unwrap_or(0);
+            write!(f, "{cell:<width$}")?;
         }
         writeln!(f)
     };

@@ -42,7 +42,9 @@ impl Hasher for FxHasher {
         let rest = chunks.remainder();
         if !rest.is_empty() {
             let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
+            for (dst, src) in word.iter_mut().zip(rest) {
+                *dst = *src;
+            }
             self.add_to_hash(u64::from_le_bytes(word));
         }
     }
