@@ -60,7 +60,19 @@ const ITER_METHODS: &[&str] = &[
 ];
 
 /// Hash container type names whose iteration order is nondeterministic.
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+/// `WordHashMap`/`WordHashSet` are `cqa-relation`'s word-keyed aliases (the
+/// dictionary-id join maps): their *lookup* is deterministic but their
+/// iteration order still follows hash order, so they fall under the same
+/// contract — the dictionary only guarantees ids in first-insertion order,
+/// never that id-keyed map iteration is ordered.
+const HASH_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "WordHashMap",
+    "WordHashSet",
+];
 
 /// Order-insensitive consumers: if one of these appears in the statement,
 /// hash-order cannot reach the output.
@@ -760,6 +772,27 @@ mod tests {
             }
         ";
         assert_eq!(codes("crates/core/src/x.rs", test_src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn l001_covers_word_keyed_dictionary_maps() {
+        // The Vid-keyed aliases from cqa-relation's fxhash module are hash
+        // containers too: iterating one into an ordered sink violates the
+        // dictionary's insertion-order contract just like FxHashMap would.
+        let src = "
+            fn emit(m: &WordHashMap<Vid, u32>) -> Vec<Vid> {
+                m.keys().copied().collect()
+            }
+        ";
+        assert_eq!(codes("crates/relation/src/x.rs", src), ["L001"]);
+        let sorted = "
+            fn emit(dict: &ValueDict, m: &WordHashSet<Vid>) -> Vec<Vid> {
+                let mut v: Vec<Vid> = m.iter().copied().collect();
+                v.sort_unstable_by(|a, b| dict.cmp_vids(*a, *b));
+                v
+            }
+        ";
+        assert_eq!(codes("crates/relation/src/x.rs", sorted), Vec::<&str>::new());
     }
 
     #[test]

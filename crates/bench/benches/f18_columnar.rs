@@ -1,0 +1,77 @@
+//! F18: dictionary-encoded columnar storage vs the row-oriented baseline.
+//!
+//! The same generated workload (`Orders`/`Cities`, heavy string repetition)
+//! is loaded into [`cqa_relation::Database`] (dictionary + columns + typed
+//! indexes) and into the preserved row store (`cqa_bench::rowstore`), and
+//! both run violation detection (an FD-shaped self-join plus a comparison
+//! range scan) and the CQA equi-join. Answers are asserted byte-identical
+//! before any measurement; memory is reported by the harness (`F18`
+//! section), not here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqa_bench::rowstore::{f18_rowdb, RowDb};
+use cqa_bench::{f18_columnar, f18_data};
+use cqa_constraints::DenialConstraint;
+use cqa_query::{parse_query, ConjunctiveQuery, NullSemantics};
+use cqa_relation::{Database, Tid, Tuple, Value};
+use std::collections::BTreeSet;
+
+fn columnar_violations(db: &Database, denials: &[DenialConstraint]) -> Vec<BTreeSet<BTreeSet<Tid>>> {
+    denials.iter().map(|dc| dc.violations(db)).collect()
+}
+
+fn row_violations(db: &RowDb) -> Vec<BTreeSet<BTreeSet<Tid>>> {
+    vec![
+        db.fd_violations("Orders", 1, 2),
+        db.range_violations("Orders", 4, &Value::Int(9900)),
+    ]
+}
+
+fn join_query() -> ConjunctiveQuery {
+    parse_query("Q(c, r) :- Orders(o, c, x, s, a), Cities(x, r)").unwrap()
+}
+
+fn columnar_join(db: &Database, q: &ConjunctiveQuery) -> BTreeSet<Tuple> {
+    cqa_query::eval_cq(db, q, NullSemantics::Sql)
+}
+
+fn row_join(db: &RowDb) -> BTreeSet<Tuple> {
+    db.join("Orders", 2, "Cities", 0, &[(0, 1), (1, 1)])
+}
+
+fn bench_f18(c: &mut Criterion) {
+    let q = join_query();
+    for n in [2_000usize, 8_000] {
+        let data = f18_data(n, 18);
+        let (db, sigma) = f18_columnar(&data);
+        let denials = sigma.all_denials(&db).unwrap();
+        let row = f18_rowdb(&data);
+        // Equality gates: both engines agree before either is timed.
+        assert_eq!(columnar_violations(&db, &denials), row_violations(&row));
+        assert_eq!(columnar_join(&db, &q), row_join(&row));
+
+        let mut group = c.benchmark_group("f18_violations");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("columnar", n), &n, |b, _| {
+            b.iter(|| columnar_violations(&db, &denials))
+        });
+        group.bench_with_input(BenchmarkId::new("rowstore", n), &n, |b, _| {
+            b.iter(|| row_violations(&row))
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("f18_cqa_join");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("columnar", n), &n, |b, _| {
+            b.iter(|| columnar_join(&db, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("rowstore", n), &n, |b, _| {
+            b.iter(|| row_join(&row))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_f18);
+criterion_main!(benches);

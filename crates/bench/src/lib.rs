@@ -8,10 +8,12 @@
 //! shapes for the paper's complexity claims). See `src/bin/harness.rs` for
 //! the printable tables and `benches/` for the Criterion versions.
 
+pub mod rowstore;
 pub mod workload;
 
 pub use workload::{
-    cfd_customers, dc_instance, key_conflict_instance, star_instance, university_sources,
+    cfd_customers, dc_instance, f18_columnar, f18_data, key_conflict_instance, star_instance,
+    university_sources, F18Data,
 };
 
 /// Wall-clock one closure, returning (result, seconds).

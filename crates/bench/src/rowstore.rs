@@ -1,0 +1,240 @@
+//! The pre-PR-7 row-oriented engine, preserved as the F18 baseline.
+//!
+//! This is the storage model the workspace used before the dictionary-
+//! encoded columnar rewrite: every tuple is an owned `Box<[Value]>`, every
+//! string cell its own `Arc<str>` allocation (no sharing across rows —
+//! mirroring a loader that allocates per parsed token), and joins key their
+//! hash tables on full [`Value`]s rather than word-sized ids. F18 runs the
+//! same workload through this store and through [`cqa_relation::Database`]
+//! and reports the memory and throughput gap; answers are asserted equal
+//! before any measurement.
+//!
+//! Only the operations F18 measures are implemented: FD-style self-joins,
+//! comparison range scans, and a two-relation equi-join. Deliberately *not*
+//! a second engine — a reference point.
+
+use cqa_query::CmpOp;
+use cqa_relation::{Tid, Tuple, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// One relation: insertion-ordered `(tid, row)` pairs.
+pub struct RowRelation {
+    name: String,
+    rows: Vec<(Tid, Box<[Value]>)>,
+}
+
+/// A minimal row-oriented database: relations of boxed `Value` rows with
+/// sequential tids, matching [`cqa_relation::Database`]'s tid assignment so
+/// results compare 1:1.
+#[derive(Default)]
+pub struct RowDb {
+    relations: Vec<RowRelation>,
+    next_tid: u64,
+}
+
+impl RowDb {
+    /// Empty database.
+    pub fn new() -> RowDb {
+        RowDb {
+            relations: Vec::new(),
+            next_tid: 1,
+        }
+    }
+
+    /// Add a relation (name only; the row store is schema-less).
+    pub fn create_relation(&mut self, name: &str) {
+        self.relations.push(RowRelation {
+            name: name.to_string(),
+            rows: Vec::new(),
+        });
+    }
+
+    fn relation(&self, name: &str) -> &RowRelation {
+        self.relations
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("no relation {name}"))
+    }
+
+    /// Insert a row, returning its tid. Callers pass freshly-allocated
+    /// values (see [`fresh`]) so the baseline pays the per-cell allocation
+    /// the seed engine paid.
+    pub fn insert(&mut self, name: &str, row: Vec<Value>) -> Tid {
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        let rel = self
+            .relations
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("no relation {name}"));
+        rel.rows.push((tid, row.into_boxed_slice()));
+        tid
+    }
+
+    /// Release spare `Vec` capacity (mirrors
+    /// [`cqa_relation::Database::shrink_to_fit`] so the memory comparison is
+    /// fair to both engines).
+    pub fn shrink_to_fit(&mut self) {
+        for rel in &mut self.relations {
+            rel.rows.shrink_to_fit();
+        }
+    }
+
+    /// Estimated retained heap bytes, same analytic policy as
+    /// [`cqa_relation::Database::heap_bytes`]: row boxes, per-cell string
+    /// buffers (each cell owns its own `Arc` block), and the rows vectors.
+    pub fn heap_bytes(&self) -> usize {
+        let cell = |v: &Value| match v {
+            Value::Str(s) => 16 + s.len(),
+            _ => 0,
+        };
+        self.relations
+            .iter()
+            .map(|rel| {
+                let boxes: usize = rel
+                    .rows
+                    .iter()
+                    .map(|(_, row)| {
+                        row.len() * std::mem::size_of::<Value>()
+                            + row.iter().map(cell).sum::<usize>()
+                    })
+                    .sum();
+                boxes
+                    + rel.rows.capacity()
+                        * std::mem::size_of::<(Tid, Box<[Value]>)>()
+            })
+            .sum()
+    }
+
+    /// Violations of the FD-shaped denial `R(.., g, .., x, ..), R(.., g,
+    /// .., y, ..), x < y` (join on column `group_col`, compare column
+    /// `cmp_col`): a Value-keyed hash join, nulls never joining or
+    /// comparing.
+    pub fn fd_violations(
+        &self,
+        name: &str,
+        group_col: usize,
+        cmp_col: usize,
+    ) -> BTreeSet<BTreeSet<Tid>> {
+        let rel = self.relation(name);
+        let mut by_key: HashMap<&Value, Vec<(Tid, &[Value])>> = HashMap::new();
+        for (tid, row) in &rel.rows {
+            let key = &row[group_col];
+            if !key.is_null() {
+                by_key.entry(key).or_default().push((*tid, row));
+            }
+        }
+        let mut out = BTreeSet::new();
+        for (tid, row) in &rel.rows {
+            let key = &row[group_col];
+            if key.is_null() {
+                continue;
+            }
+            let Some(bucket) = by_key.get(key) else {
+                continue;
+            };
+            let x = &row[cmp_col];
+            for (other, orow) in bucket {
+                let y = &orow[cmp_col];
+                if !x.is_null() && !y.is_null() && CmpOp::Lt.eval(x, y) {
+                    out.insert(BTreeSet::from([*tid, *other]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Violations of the range denial `R(..), col > bound`: a full scan
+    /// comparing values, nulls never matching.
+    pub fn range_violations(
+        &self,
+        name: &str,
+        col: usize,
+        bound: &Value,
+    ) -> BTreeSet<BTreeSet<Tid>> {
+        self.relation(name)
+            .rows
+            .iter()
+            .filter(|(_, row)| {
+                let v = &row[col];
+                !v.is_null() && CmpOp::Gt.eval(v, bound)
+            })
+            .map(|(tid, _)| BTreeSet::from([*tid]))
+            .collect()
+    }
+
+    /// The equi-join `R ⋈_{R.c1 = S.c2} S`, projected to `(side, col)`
+    /// pairs (side 0 = left, 1 = right): a Value-keyed hash join.
+    pub fn join(
+        &self,
+        left: &str,
+        c1: usize,
+        right: &str,
+        c2: usize,
+        project: &[(usize, usize)],
+    ) -> BTreeSet<Tuple> {
+        let mut by_key: HashMap<&Value, Vec<&[Value]>> = HashMap::new();
+        for (_, row) in &self.relation(right).rows {
+            let key = &row[c2];
+            if !key.is_null() {
+                by_key.entry(key).or_default().push(row);
+            }
+        }
+        let mut out = BTreeSet::new();
+        for (_, lrow) in &self.relation(left).rows {
+            let key = &lrow[c1];
+            if key.is_null() {
+                continue;
+            }
+            let Some(bucket) = by_key.get(key) else {
+                continue;
+            };
+            for rrow in bucket {
+                let tuple = Tuple::new(project.iter().map(|&(side, col)| {
+                    if side == 0 {
+                        lrow[col].clone()
+                    } else {
+                        rrow[col].clone()
+                    }
+                }));
+                out.insert(tuple);
+            }
+        }
+        out
+    }
+}
+
+/// Allocate a fresh `Value` for one cell the way the seed loader did: a
+/// string cell gets its own `Arc<str>` buffer even when the content
+/// repeats.
+pub fn fresh(v: &Value) -> Value {
+    match v {
+        Value::Str(s) => Value::str(&**s),
+        other => other.clone(),
+    }
+}
+
+/// Load [`crate::workload::F18Data`] into the row store, paying one string
+/// allocation per cell — the same insertion order (and therefore the same
+/// tids) as [`crate::workload::f18_columnar`].
+pub fn f18_rowdb(data: &crate::workload::F18Data) -> RowDb {
+    let mut db = RowDb::new();
+    db.create_relation("Orders");
+    db.create_relation("Cities");
+    for (oid, cust, city, status, amount) in &data.orders {
+        db.insert(
+            "Orders",
+            vec![
+                Value::Int(*oid),
+                Value::str(cust),
+                Value::str(city),
+                Value::str(status),
+                Value::Int(*amount),
+            ],
+        );
+    }
+    for (city, region) in &data.cities {
+        db.insert("Cities", vec![Value::str(city), Value::str(region)]);
+    }
+    db
+}

@@ -125,6 +125,102 @@ pub fn university_sources(n: usize, dirty: usize, seed: u64) -> Database {
     db
 }
 
+/// The F18 dictionary/columnar workload, as raw rows so the same data can
+/// be loaded into both engines (columnar [`Database`] and the
+/// [`crate::rowstore::RowDb`] baseline).
+///
+/// `Orders(OID, Cust, City, Amount)` over small string pools — 200
+/// customers, 50 cities — so string content repeats heavily (where
+/// dictionary encoding pays off), plus `Cities(City, Region)` for the CQA
+/// join. Each customer has a home city; a 1% dirty fraction of orders name
+/// a different city, violating the FD `Cust → City`.
+pub struct F18Data {
+    /// `(oid, customer, city, status, amount)` rows.
+    pub orders: Vec<(i64, String, String, String, i64)>,
+    /// `(city, region)` rows.
+    pub cities: Vec<(String, String)>,
+}
+
+/// Generate `n` order rows (deterministic in `seed`). The string columns are
+/// long and heavily repeated — the shape dictionary encoding exists for: a
+/// row store copies every occurrence, the dictionary stores each distinct
+/// string once and every occurrence is a 4-byte id.
+pub fn f18_data(n: usize, seed: u64) -> F18Data {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let customers: Vec<String> = (0..200)
+        .map(|i| format!("customer_account_holder_{i:04}_primary_billing_contact_record"))
+        .collect();
+    let cities: Vec<String> = (0..50)
+        .map(|i| format!("metropolitan_statistical_area_{i:03}_consolidated_district"))
+        .collect();
+    let statuses = [
+        "pending_review_by_the_regional_fulfilment_operations_team",
+        "confirmed_and_scheduled_for_dispatch_from_central_warehouse",
+        "shipped_via_standard_ground_carrier_with_tracking_enabled",
+        "delivered_and_signed_for_at_the_registered_street_address",
+        "returned_to_sender_after_three_failed_delivery_attempts",
+        "cancelled_at_customer_request_before_payment_settlement",
+    ];
+    let regions = ["north", "south", "east", "west", "centre"];
+    let orders = (0..n)
+        .map(|i| {
+            let c = rng.gen_range(0..customers.len());
+            // Home city is a function of the customer; 1% of orders are
+            // dirty and point somewhere else.
+            let city = if rng.gen_bool(0.01) {
+                cities[rng.gen_range(0..cities.len())].clone()
+            } else {
+                cities[c % cities.len()].clone()
+            };
+            let status = statuses[rng.gen_range(0..statuses.len())].to_string();
+            (
+                i as i64,
+                customers[c].clone(),
+                city,
+                status,
+                rng.gen_range(0..10_000i64),
+            )
+        })
+        .collect();
+    let cities = cities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.clone(), regions[i % regions.len()].to_string()))
+        .collect();
+    F18Data { orders, cities }
+}
+
+/// Load [`F18Data`] into the columnar engine with its two F18 constraints:
+/// the FD-shaped denial on `Cust → City` and a comparison denial
+/// `Amount > 9900`.
+pub fn f18_columnar(data: &F18Data) -> (Database, ConstraintSet) {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new(
+        "Orders",
+        ["OID", "Cust", "City", "Status", "Amount"],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new("Cities", ["City", "Region"]))
+        .unwrap();
+    for (oid, cust, city, status, amount) in &data.orders {
+        db.insert(
+            "Orders",
+            tuple![*oid, cust.as_str(), city.as_str(), status.as_str(), *amount],
+        )
+        .unwrap();
+    }
+    for (city, region) in &data.cities {
+        db.insert("Cities", tuple![city.as_str(), region.as_str()])
+            .unwrap();
+    }
+    let sigma = ConstraintSet::from_iter([
+        DenialConstraint::parse("fd", "Orders(o, c, x, s, a), Orders(p, c, y, t, b), x < y")
+            .unwrap(),
+        DenialConstraint::parse("cap", "Orders(o, c, x, s, a), a > 9900").unwrap(),
+    ]);
+    (db, sigma)
+}
+
 /// Customers for the CFD cleaning experiment: `n` tuples, a fraction of
 /// which violate the paper's CFD `[CC = 44, Zip] → [Street]`.
 pub fn cfd_customers(n: usize, dirty_rate: f64, seed: u64) -> Database {

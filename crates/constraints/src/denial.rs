@@ -6,13 +6,14 @@
 //! the conflict hyper-graph of §4.1 (Figure 1).
 
 use cqa_query::{
-    eval::{for_each_witness, match_atom, Bindings},
-    parse_query, Atom, Comparison, ConjunctiveQuery, NullSemantics, Var, VarTable,
+    eval::{match_atom_vids, AtomVids, VidBindings},
+    parse_query, Atom, CmpOp, Comparison, ConjunctiveQuery, NullSemantics, Term, Var, VarTable,
 };
-use cqa_relation::fxhash::FxHashMap;
-use cqa_relation::{Facts, RelationError, Tid, Value};
+use cqa_relation::fxhash::WordHashMap;
+use cqa_relation::{Facts, RelationError, Tid, Value, Vid, VidRow};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::ops::Bound;
 
 /// A denial constraint. Internally a Boolean conjunctive query (the *body*);
 /// the constraint holds iff the body has no witness.
@@ -91,19 +92,26 @@ impl DenialConstraint {
     /// are collapsed.
     ///
     /// Two-atom bodies with a shared variable — the shape every FD, key and
-    /// CFD compiles to — are evaluated by a hash join on *all* shared join
-    /// columns instead of the generic backtracking evaluator (whose probe
-    /// index covers a single column): build a multi-column hash index over
-    /// the second atom's relation, then probe it once per tuple of the
-    /// first. Nulls never join under SQL semantics, so null keys are left
-    /// out of the index and skipped at probe time.
+    /// CFD compiles to — are evaluated by an **id-space** hash join on *all*
+    /// shared join columns instead of the generic backtracking evaluator:
+    /// build a multi-column vid index over the second atom's visible rows,
+    /// then probe it once per row of the first. Values never leave the
+    /// dictionary — keys are word-sized [`Vid`]s. Nulls never join under SQL
+    /// semantics, so null keys are left out of the index and skipped at
+    /// probe time. Single-atom bodies whose only filter is a comparison
+    /// against a constant range-probe the base's sorted index instead.
     pub fn violations<F: Facts + ?Sized>(&self, facts: &F) -> BTreeSet<BTreeSet<Tid>> {
+        if let Some(out) = self.violations_sorted_range(facts) {
+            return out;
+        }
         if let Some(out) = self.violations_hash_join(facts) {
             return out;
         }
         let mut out = BTreeSet::new();
-        for_each_witness(facts, &self.body, NullSemantics::Sql, &mut |w| {
-            out.insert(w.tids.iter().copied().collect());
+        // Only the matched tids are needed: stay in id space, skip the
+        // per-witness value materialization.
+        cqa_query::eval::for_each_witness_vids(facts, &self.body, NullSemantics::Sql, &mut |_, tids| {
+            out.insert(tids.iter().copied().collect());
             true
         });
         out
@@ -111,9 +119,9 @@ impl DenialConstraint {
 
     /// The hash-join fast path. `None` when the body doesn't have the
     /// two-atom equi-join shape.
-    fn violations_hash_join<F: Facts + ?Sized>(
+    fn violations_hash_join<'f, F: Facts + ?Sized>(
         &self,
-        facts: &F,
+        facts: &'f F,
     ) -> Option<BTreeSet<BTreeSet<Tid>>> {
         let [a0, a1] = self.body.atoms.as_slice() else {
             return None;
@@ -123,7 +131,7 @@ impl DenialConstraint {
         }
         // Join key: every variable shared between the two atoms, keyed at
         // its first position in each atom (repeats inside an atom are
-        // checked by `match_atom`).
+        // checked by `match_atom_vids`).
         let vars0: BTreeSet<Var> = a0.vars().collect();
         let shared: Vec<Var> = a1
             .vars()
@@ -137,57 +145,76 @@ impl DenialConstraint {
         let key_pos0: Vec<usize> = shared.iter().map(|&v| a0.positions_of(v)[0]).collect();
         let key_pos1: Vec<usize> = shared.iter().map(|&v| a1.positions_of(v)[0]).collect();
 
+        if let Some(out) = self.violations_rank_lane(facts, a0, a1, &key_pos0, &key_pos1) {
+            return Some(out);
+        }
+
         let mode = NullSemantics::Sql;
         let n_vars = self.body.vars.len();
         let mut out = BTreeSet::new();
 
-        // Build: index the second atom's visible tuples on the join columns,
-        // pre-filtered to tuples that locally match a1's constants and
+        // A constant the view has never stored (or a null constant, under
+        // SQL semantics) makes its atom unmatchable: no violations at all.
+        let av0 = AtomVids::resolve(facts, a0, mode);
+        let av1 = AtomVids::resolve(facts, a1, mode);
+        if av0.is_unmatchable() || av1.is_unmatchable() {
+            return Some(out);
+        }
+
+        // Build: index the second atom's visible rows on the join-column
+        // vids, pre-filtered to rows that locally match a1's constants and
         // repeated variables.
-        let mut index: FxHashMap<Vec<Value>, Vec<(Tid, &cqa_relation::Tuple)>> =
-            FxHashMap::default();
-        let mut scratch = Bindings::new(n_vars);
-        'build: for (tid1, t1) in facts.facts_in(&a1.relation) {
+        let mut index: WordHashMap<Vec<Vid>, Vec<(Tid, VidRow<'f>)>> = WordHashMap::default();
+        let mut scratch = VidBindings::new(n_vars);
+        'build: for (tid1, row1) in facts.vid_rows(&a1.relation) {
             let mut key = Vec::with_capacity(key_pos1.len());
             for &p in &key_pos1 {
-                let v = t1.at(p);
-                if v.is_null() {
+                let Some(vid) = row1.at(p) else {
+                    continue 'build;
+                };
+                if facts.vid_is_null(vid) {
                     continue 'build; // null never joins
                 }
-                key.push(v.clone());
+                key.push(vid);
             }
-            if let Some(newly) = match_atom(a1, t1, &mut scratch, mode) {
-                index.entry(key).or_default().push((tid1, t1));
+            if let Some(newly) = match_atom_vids(facts, a1, &av1, &row1, &mut scratch, mode) {
+                index.entry(key).or_default().push((tid1, row1));
                 for v in newly {
                     scratch.unset(v);
                 }
             }
         }
 
-        // Probe: per visible tuple of the first atom, bind a0 and look up
-        // the join key.
-        'probe: for (tid0, t0) in facts.facts_in(&a0.relation) {
-            let mut bindings = Bindings::new(n_vars);
-            if match_atom(a0, t0, &mut bindings, mode).is_none() {
+        // Probe: per visible row of the first atom, bind a0 and look up the
+        // join key.
+        'probe: for (tid0, row0) in facts.vid_rows(&a0.relation) {
+            let mut bindings = VidBindings::new(n_vars);
+            if match_atom_vids(facts, a0, &av0, &row0, &mut bindings, mode).is_none() {
                 continue;
             }
             let mut key = Vec::with_capacity(key_pos0.len());
             for &p in &key_pos0 {
-                let v = t0.at(p);
-                if v.is_null() {
+                let Some(vid) = row0.at(p) else {
+                    continue 'probe;
+                };
+                if facts.vid_is_null(vid) {
                     continue 'probe; // null never joins
                 }
-                key.push(v.clone());
+                key.push(vid);
             }
             let Some(bucket) = index.get(&key) else {
                 continue;
             };
-            for &(tid1, t1) in bucket {
-                let Some(newly) = match_atom(a1, t1, &mut bindings, mode) else {
+            for &(tid1, row1) in bucket {
+                let Some(newly) = match_atom_vids(facts, a1, &av1, &row1, &mut bindings, mode)
+                else {
                     continue;
                 };
                 let ok = self.body.comparisons.iter().all(|c| {
-                    match (bindings.resolve(&c.left), bindings.resolve(&c.right)) {
+                    match (
+                        bindings.resolve_value(facts, &c.left),
+                        bindings.resolve_value(facts, &c.right),
+                    ) {
                         (Some(a), Some(b)) => mode.cmp(c.op, &a, &b),
                         _ => false, // unbound comparison variable: no witness
                     }
@@ -201,6 +228,303 @@ impl DenialConstraint {
             }
         }
         Some(out)
+    }
+
+    /// The rank lane inside the hash join: when every term of both atoms is
+    /// a variable, with no variable repeated *within* an atom, a bucket pair
+    /// matches exactly when its join key matches (vid equality is value
+    /// equality), so the per-pair `match_atom_vids` re-check is redundant.
+    /// The comparisons then only ever read whole columns or constants, and
+    /// every comparison-relevant value is resolved through the dictionary
+    /// **once**, into a dense rank table sorted in [`Value`] order — equal
+    /// values collapse to one rank, so rank comparison coincides with
+    /// [`CmpOp::eval`] on the resolved values. The quadratic pair loop then
+    /// compares word-sized ranks without ever taking the dictionary lock.
+    /// Nulls stay out of the rank table, so a null operand misses it and
+    /// the comparison is false, exactly the SQL semantics. `None` means the
+    /// body is not of this shape and the generic bucket loop runs instead.
+    fn violations_rank_lane<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+        a0: &Atom,
+        a1: &Atom,
+        key_pos0: &[usize],
+        key_pos1: &[usize],
+    ) -> Option<BTreeSet<BTreeSet<Tid>>> {
+        for atom in [a0, a1] {
+            let mut seen = BTreeSet::new();
+            for t in &atom.terms {
+                let Term::Var(v) = t else { return None };
+                if !seen.insert(*v) {
+                    return None;
+                }
+            }
+        }
+        // A null constant falsifies its comparison under SQL semantics, and
+        // with it the whole conjunctive body: no violations at all.
+        for c in &self.body.comparisons {
+            if [&c.left, &c.right]
+                .into_iter()
+                .any(|t| matches!(t, Term::Const(k) if k.is_null()))
+            {
+                return Some(BTreeSet::new());
+            }
+        }
+
+        // Compile each comparison operand to a column slot of one of the two
+        // rows (shared variables read a0's copy: the join key made the vids
+        // equal) or to an interned constant.
+        fn slot(cols: &mut Vec<usize>, p: usize) -> usize {
+            match cols.iter().position(|&c| c == p) {
+                Some(i) => i,
+                None => {
+                    cols.push(p);
+                    cols.len() - 1
+                }
+            }
+        }
+        let mut cols0: Vec<usize> = Vec::new();
+        let mut cols1: Vec<usize> = Vec::new();
+        let mut consts: Vec<Value> = Vec::new();
+        let mut compiled: Vec<(CmpOp, RankSrc, RankSrc)> = Vec::new();
+        for c in &self.body.comparisons {
+            let mut side = |t: &Term| -> Option<RankSrc> {
+                match t {
+                    Term::Var(v) => {
+                        if let Some(&p) = a0.positions_of(*v).first() {
+                            Some(RankSrc::Row0(slot(&mut cols0, p)))
+                        } else if let Some(&p) = a1.positions_of(*v).first() {
+                            Some(RankSrc::Row1(slot(&mut cols1, p)))
+                        } else {
+                            None // unbound comparison variable: not this shape
+                        }
+                    }
+                    Term::Const(k) => {
+                        consts.push(k.clone());
+                        Some(RankSrc::Const(consts.len() - 1))
+                    }
+                }
+            };
+            let l = side(&c.left)?;
+            let r = side(&c.right)?;
+            compiled.push((c.op, l, r));
+        }
+
+        // Rank table: every distinct vid in a comparison column, resolved
+        // once and sorted (with the comparison constants) in Value order.
+        let mut distinct: Vec<Vid> = Vec::new();
+        for (cols, atom) in [(&cols0, a0), (&cols1, a1)] {
+            if cols.is_empty() {
+                continue;
+            }
+            for (_, row) in facts.vid_rows(&atom.relation) {
+                for &p in cols.iter() {
+                    if let Some(vid) = row.at(p) {
+                        if !facts.vid_is_null(vid) {
+                            distinct.push(vid);
+                        }
+                    }
+                }
+            }
+        }
+        distinct.sort_unstable_by_key(|v| v.raw());
+        distinct.dedup();
+        let resolved: Vec<(Vid, Value)> = distinct
+            .iter()
+            .filter_map(|&v| facts.resolve_vid(v).map(|val| (v, val)))
+            .collect();
+        let mut domain: Vec<Value> = resolved.iter().map(|(_, v)| v.clone()).collect();
+        domain.extend(consts.iter().cloned());
+        domain.sort_unstable();
+        domain.dedup();
+        let rank_of = |v: &Value| domain.binary_search(v).ok().map(|i| i as u32);
+        let mut ranks: WordHashMap<Vid, u32> = WordHashMap::default();
+        for (vid, val) in &resolved {
+            if let Some(r) = rank_of(val) {
+                ranks.insert(*vid, r);
+            }
+        }
+        let const_ranks: Vec<Option<u32>> = consts.iter().map(&rank_of).collect();
+
+        let fetch_ranks = |row: &VidRow<'_>, cols: &[usize]| -> Vec<Option<u32>> {
+            cols.iter()
+                .map(|&p| row.at(p).and_then(|vid| ranks.get(&vid).copied()))
+                .collect()
+        };
+        let operand = |r0: &[Option<u32>], r1: &[Option<u32>], s: &RankSrc| -> Option<u32> {
+            match *s {
+                RankSrc::Row0(i) => r0.get(i).copied().flatten(),
+                RankSrc::Row1(i) => r1.get(i).copied().flatten(),
+                RankSrc::Const(i) => const_ranks.get(i).copied().flatten(),
+            }
+        };
+
+        // Build and probe exactly like the generic lane, but buckets keep
+        // only (tid, comparison-column ranks): the pair loop is pure u32s.
+        let mut out = BTreeSet::new();
+        let mut index: WordHashMap<Vec<Vid>, Vec<(Tid, Vec<Option<u32>>)>> =
+            WordHashMap::default();
+        'build: for (tid1, row1) in facts.vid_rows(&a1.relation) {
+            let mut key = Vec::with_capacity(key_pos1.len());
+            for &p in key_pos1 {
+                let Some(vid) = row1.at(p) else {
+                    continue 'build;
+                };
+                if facts.vid_is_null(vid) {
+                    continue 'build; // null never joins
+                }
+                key.push(vid);
+            }
+            index
+                .entry(key)
+                .or_default()
+                .push((tid1, fetch_ranks(&row1, &cols1)));
+        }
+        // Probe-side scratch, reused across rows: the hot loop allocates
+        // nothing (bucket lookups borrow the key as a slice).
+        let mut key: Vec<Vid> = Vec::with_capacity(key_pos0.len());
+        let mut r0: Vec<Option<u32>> = Vec::with_capacity(cols0.len());
+        'probe: for (tid0, row0) in facts.vid_rows(&a0.relation) {
+            key.clear();
+            for &p in key_pos0 {
+                let Some(vid) = row0.at(p) else {
+                    continue 'probe;
+                };
+                if facts.vid_is_null(vid) {
+                    continue 'probe; // null never joins
+                }
+                key.push(vid);
+            }
+            let Some(bucket) = index.get(key.as_slice()) else {
+                continue;
+            };
+            r0.clear();
+            r0.extend(
+                cols0
+                    .iter()
+                    .map(|&p| row0.at(p).and_then(|vid| ranks.get(&vid).copied())),
+            );
+            for (tid1, r1) in bucket {
+                let ok = compiled.iter().all(|(op, l, r)| {
+                    match (operand(&r0, r1, l), operand(&r0, r1, r)) {
+                        (Some(a), Some(b)) => rank_cmp(*op, a, b),
+                        _ => false, // a null operand never satisfies SQL cmp
+                    }
+                });
+                if ok {
+                    out.insert([tid0, *tid1].into_iter().collect());
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// The sorted-index fast path for single-atom range constraints like
+    /// `Acct(i, b), b < 0`: instead of scanning the relation, range-probe
+    /// the base's [`cqa_relation::SortedIndex`] on the compared column and
+    /// full-match only the rows inside the bound. `None` when the body
+    /// doesn't have that shape.
+    fn violations_sorted_range<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+    ) -> Option<BTreeSet<BTreeSet<Tid>>> {
+        let ([atom], [cmp], true) = (
+            self.body.atoms.as_slice(),
+            self.body.comparisons.as_slice(),
+            self.body.negated.is_empty(),
+        ) else {
+            return None;
+        };
+        // Orient as `var op const`; `!=` selects two disjoint ranges, so
+        // leave it to the generic path.
+        let (var, op, konst) = match (&cmp.left, &cmp.right) {
+            (Term::Var(v), Term::Const(k)) => (*v, cmp.op, k),
+            (Term::Const(k), Term::Var(v)) => (*v, cmp.op.flipped(), k),
+            _ => return None,
+        };
+        if op == CmpOp::Ne || konst.is_null() {
+            return None;
+        }
+        let col = *atom.positions_of(var).first()?;
+        let rel = facts.base().relation(&atom.relation)?;
+        let sorted = facts.base().sorted_index(&atom.relation, col)?;
+        let (lo, hi): (Bound<&Value>, Bound<&Value>) = match op {
+            CmpOp::Eq => (Bound::Included(konst), Bound::Included(konst)),
+            CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(konst)),
+            CmpOp::Le => (Bound::Unbounded, Bound::Included(konst)),
+            CmpOp::Gt => (Bound::Excluded(konst), Bound::Unbounded),
+            CmpOp::Ge => (Bound::Included(konst), Bound::Unbounded),
+            CmpOp::Ne => return None,
+        };
+
+        let mode = NullSemantics::Sql;
+        let av = AtomVids::resolve(facts, atom, mode);
+        let mut out = BTreeSet::new();
+        let store = rel.store();
+        let dict = facts.base().dict();
+        let mut bindings = VidBindings::new(self.body.vars.len());
+        let mut check = |tid: Tid, row: &VidRow<'_>, out: &mut BTreeSet<BTreeSet<Tid>>| {
+            if let Some(newly) = match_atom_vids(facts, atom, &av, row, &mut bindings, mode) {
+                // Re-check the comparison on the full binding: the range
+                // probe pre-filters, but repeated variables and overlay rows
+                // still need the real test (and nulls must fail it).
+                let ok = match (
+                    bindings.resolve_value(facts, &cmp.left),
+                    bindings.resolve_value(facts, &cmp.right),
+                ) {
+                    (Some(a), Some(b)) => mode.cmp(cmp.op, &a, &b),
+                    _ => false,
+                };
+                if ok {
+                    out.insert([tid].into());
+                }
+                for v in newly {
+                    bindings.unset(v);
+                }
+            }
+        };
+        // Base rows inside the range (value order; nulls sort below any
+        // constant bound but the SQL comparison re-check rejects them).
+        for &(vid, pos) in sorted.range(dict, lo, hi) {
+            if facts.vid_is_null(vid) {
+                continue;
+            }
+            let Some(tid) = store.tid_at(pos as usize) else {
+                continue;
+            };
+            if facts.is_deleted(tid) {
+                continue;
+            }
+            if let Some(row) = store.row(pos as usize) {
+                check(tid, &row, &mut out);
+            }
+        }
+        // Overlay rows: few; full-match them all.
+        for (tid, row) in facts.overlay_rows(&atom.relation) {
+            check(*tid, &VidRow::Slice(row), &mut out);
+        }
+        Some(out)
+    }
+}
+
+/// A compiled comparison operand of the rank lane: a comparison-column slot
+/// of the probe row, of the bucket row, or an interned constant.
+enum RankSrc {
+    Row0(usize),
+    Row1(usize),
+    Const(usize),
+}
+
+/// [`CmpOp`] on ranks. Sound because the rank table is sorted in `Value`
+/// order with equal values collapsed: rank order *is* the value order.
+fn rank_cmp(op: CmpOp, a: u32, b: u32) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
     }
 }
 
@@ -216,6 +540,7 @@ impl fmt::Display for DenialConstraint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cqa_query::eval::for_each_witness;
     use cqa_relation::{tuple, Database, RelationSchema};
 
     /// The instance of Example 3.5.
@@ -332,6 +657,81 @@ mod tests {
     }
 
     #[test]
+    fn rank_lane_agrees_with_generic_evaluator() {
+        // All-variable two-atom bodies take the rank lane; its word-sized
+        // rank comparisons must reproduce the generic evaluator exactly on
+        // mixed strings / ints / floats / nulls, including var-const
+        // comparisons whose constant is absent from the data.
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("T", ["A", "B", "C"]))
+            .unwrap();
+        for i in 0..150i64 {
+            let a = Value::str(format!("grp_{}", i % 12));
+            let b = match i % 5 {
+                0 => cqa_relation::Value::NULL,
+                1 => Value::Int(i % 9 - 4),
+                2 => Value::Float((i % 9 - 4) as f64), // canonicalizes to Int
+                3 => Value::Float((i % 7) as f64 + 0.5),
+                _ => Value::str(format!("lbl_{}", i % 6)),
+            };
+            let c = Value::Int(i % 4);
+            db.insert("T", cqa_relation::Tuple::new([a, b, c])).unwrap();
+        }
+        for body in [
+            "T(x, y, u), T(x, z, v), y < z",  // FD-shaped var-var cmp
+            "T(x, y, u), T(x, z, v), y != z", // inequality
+            "T(x, y, u), T(x, z, v), y < z, u >= 2", // cmp on both rows
+            "T(x, y, u), T(x, z, v), y > 1",  // const present in data
+            "T(x, y, u), T(x, z, v), y < 100", // const absent from data
+            "T(x, y, u), T(x, z, v)",         // no comparison at all
+        ] {
+            let dc = DenialConstraint::parse("dc", body).unwrap();
+            let [a0, a1] = dc.body.atoms.as_slice() else {
+                unreachable!()
+            };
+            let lane = dc.violations_rank_lane(&db, a0, a1, &[0], &[0]);
+            assert!(lane.is_some(), "{body} should take the rank lane");
+            let mut generic = BTreeSet::new();
+            for_each_witness(&db, dc.body(), NullSemantics::Sql, &mut |w| {
+                generic.insert(w.tids.iter().copied().collect());
+                true
+            });
+            assert_eq!(lane.unwrap(), generic, "{body}");
+        }
+        // Constants or repeated variables inside an atom decline the lane
+        // (the generic bucket loop handles them); a null comparison
+        // constant short-circuits to "no violations".
+        for body in ["T(x, y, 0), T(x, z, v)", "T(x, x, u), T(x, z, v)"] {
+            let dc = DenialConstraint::parse("dc", body).unwrap();
+            let [a0, a1] = dc.body.atoms.as_slice() else {
+                unreachable!()
+            };
+            assert!(
+                dc.violations_rank_lane(&db, a0, a1, &[0], &[0]).is_none(),
+                "{body} should decline the rank lane"
+            );
+            // The outer hash join still answers, via the generic bucket loop.
+            let mut generic = BTreeSet::new();
+            for_each_witness(&db, dc.body(), NullSemantics::Sql, &mut |w| {
+                generic.insert(w.tids.iter().copied().collect());
+                true
+            });
+            assert_eq!(dc.violations(&db), generic, "{body}");
+        }
+        let nullk = DenialConstraint::new("n", {
+            let mut q = parse_query("Q() :- T(x, y, u), T(x, z, v)").unwrap();
+            q.comparisons.push(cqa_query::Comparison {
+                left: Term::Var(q.vars.lookup("y").unwrap()),
+                op: CmpOp::Lt,
+                right: Term::Const(cqa_relation::Value::NULL),
+            });
+            q
+        })
+        .unwrap();
+        assert!(nullk.violations(&db).is_empty());
+    }
+
+    #[test]
     fn comparison_constraints() {
         let mut db = Database::new();
         db.create_relation(RelationSchema::new("Acct", ["Id", "Balance"]))
@@ -339,8 +739,51 @@ mod tests {
         db.insert("Acct", tuple![1, 100]).unwrap();
         db.insert("Acct", tuple![2, -5]).unwrap();
         let positive = DenialConstraint::parse("pos", "Acct(i, b), b < 0").unwrap();
+        // The single-atom range shape takes the sorted-index fast path.
+        assert!(positive.violations_sorted_range(&db).is_some());
         let viols = positive.violations(&db);
         assert_eq!(viols.len(), 1);
         assert!(viols.contains(&[Tid(2)].into()));
+    }
+
+    #[test]
+    fn sorted_range_agrees_with_generic_evaluator() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("M", ["K", "V"]))
+            .unwrap();
+        for i in 0..60i64 {
+            let v = if i % 11 == 0 {
+                cqa_relation::Value::NULL
+            } else {
+                cqa_relation::Value::Int(i % 7 - 3)
+            };
+            db.insert(
+                "M",
+                cqa_relation::Tuple::new([cqa_relation::Value::Int(i), v]),
+            )
+            .unwrap();
+        }
+        for body in [
+            "M(k, v), v < 0",
+            "M(k, v), v <= -1",
+            "M(k, v), v > 2",
+            "M(k, v), v >= 3",
+            "M(k, v), v = 1",
+            "M(k, v), 0 > v", // flipped orientation
+        ] {
+            let dc = DenialConstraint::parse("dc", body).unwrap();
+            let fast = dc.violations_sorted_range(&db).unwrap();
+            let mut generic = BTreeSet::new();
+            for_each_witness(&db, dc.body(), NullSemantics::Sql, &mut |w| {
+                generic.insert(w.tids.iter().copied().collect());
+                true
+            });
+            assert_eq!(fast, generic, "{body}");
+        }
+        // `!=` and var-var comparisons decline the fast path.
+        let ne = DenialConstraint::parse("ne", "M(k, v), v != 0").unwrap();
+        assert!(ne.violations_sorted_range(&db).is_none());
+        let vv = DenialConstraint::parse("vv", "M(k, v), k < v").unwrap();
+        assert!(vv.violations_sorted_range(&db).is_none());
     }
 }

@@ -19,7 +19,7 @@ use crate::repair::{retain_subset_minimal, Repair};
 use cqa_constraints::ConstraintSet;
 use cqa_exec::{Budget, Outcome};
 use cqa_relation::fxhash::{FxHashSet, FxHasher};
-use cqa_relation::{Database, Facts, RelationError, Tid, Tuple, Value};
+use cqa_relation::{Database, Facts, RelationError, Tid, Tuple, Value, ValueDict};
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -31,7 +31,17 @@ use std::sync::Arc;
 /// normalization `Repair::from_delta` applies when building the delta set,
 /// so two states collide iff their deltas are equal (up to a ~2⁻¹²⁸ hash
 /// collision — two independently seeded 64-bit FxHashers).
-fn delta_fingerprint(deleted: &BTreeSet<Tid>, inserted: &[(String, Tuple)]) -> (u64, u64) {
+///
+/// Tuple values are hashed as dictionary [`cqa_relation::Vid`]s — one
+/// word per cell instead of re-hashing string bytes on every state. The
+/// fingerprint set is membership-only (never iterated, never ordered), so
+/// hashing schedule-dependent ids is safe: equal values always intern to
+/// equal vids within the process.
+fn delta_fingerprint(
+    dict: &ValueDict,
+    deleted: &BTreeSet<Tid>,
+    inserted: &[(String, Tuple)],
+) -> (u64, u64) {
     let mut canonical: Vec<&(String, Tuple)> = inserted.iter().collect();
     canonical.sort();
     canonical.dedup();
@@ -40,7 +50,14 @@ fn delta_fingerprint(deleted: &BTreeSet<Tid>, inserted: &[(String, Tuple)]) -> (
     h2.write_u64(0x9e37_79b9_7f4a_7c15); // domain-separate the second hash
     for h in [&mut h1, &mut h2] {
         deleted.hash(h);
-        canonical.hash(h);
+        h.write_usize(canonical.len());
+        for (rel, tuple) in &canonical {
+            rel.hash(h);
+            for v in tuple.iter() {
+                h.write_u32(dict.intern(v).raw());
+            }
+            h.write_u8(0xfe); // row separator
+        }
     }
     (h1.finish(), h2.finish())
 }
@@ -258,7 +275,10 @@ fn general_s_repairs(
             // Dedup on the fingerprint *before* building the candidate: the
             // same delta is reachable along many branch orders, and a
             // duplicate must not pay for re-validation and re-checking.
-            if !self.seen.insert(delta_fingerprint(deleted, inserted)) {
+            if !self
+                .seen
+                .insert(delta_fingerprint(self.original.dict(), deleted, inserted))
+            {
                 return;
             }
             let repair =

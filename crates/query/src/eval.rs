@@ -1,22 +1,28 @@
 //! Evaluation of conjunctive queries (with safe negation and comparisons)
 //! and unions thereof, with optional witness (provenance) extraction.
 //!
-//! The evaluator is a straightforward bind-and-filter join with a greedy atom
-//! order (most-bound, smallest-relation first). Per-atom hash probes use the
-//! base instance's *shared* one-column index cache ([`cqa_relation::Database::column_index`])
-//! when a probe position is bound; otherwise the relation is scanned. This is
-//! comfortably fast for the instance sizes the benchmarks sweep (10⁴–10⁵
-//! tuples) and keeps the code honest and auditable, which matters more here:
-//! repairs and CQA are *defined* in terms of query answers, so the evaluator
-//! is the trusted base of the whole workspace.
+//! The evaluator is a bind-and-filter join with a greedy atom order
+//! (most-bound, smallest-relation first) that runs entirely in **id space**:
+//! atom constants are resolved to [`Vid`]s once per query, joins compare
+//! word-sized vids instead of values, and per-atom probes hit the base
+//! instance's shared *multi-column* hash indexes
+//! ([`cqa_relation::Database::hash_index`]) on every bound position at once.
+//! Values reappear only at the emission boundary — a [`Witness`] resolves its
+//! vid assignment back through the dictionary — so answers are byte-identical
+//! to the old value-space evaluator. This keeps the code honest and
+//! auditable, which matters more here than raw speed: repairs and CQA are
+//! *defined* in terms of query answers, so the evaluator is the trusted base
+//! of the whole workspace.
 //!
 //! Every entry point is generic over [`Facts`], so the same code path
 //! evaluates plain [`cqa_relation::Database`]s and zero-clone [`cqa_relation::DeltaView`]
 //! repair views: indexed probes hit the base's cached buckets, filter deleted
-//! tids, and union the insert overlay.
+//! tids, and union the insert overlay (whose novel values carry per-view
+//! extension vids that can never alias base ids).
 
 use crate::ast::{Atom, Comparison, ConjunctiveQuery, Term, UnionQuery, Var};
-use cqa_relation::{sql_eq, ColumnIndex, Facts, Tid, Truth, Tuple, Value};
+use cqa_relation::fxhash::WordHashMap;
+use cqa_relation::{sql_eq, Facts, HashIndex, Tid, Truth, Tuple, Value, Vid, VidRow};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -164,41 +170,258 @@ pub fn match_atom(
     Some(newly)
 }
 
-/// Does any visible tuple match `atom` under `bindings`? (Used for negation.)
-fn atom_has_match<F: Facts + ?Sized>(
-    facts: &F,
-    atom: &Atom,
-    bindings: &Bindings,
-    mode: NullSemantics,
-) -> bool {
-    // Fast path: fully bound atom with structural semantics → hash probe.
-    if mode == NullSemantics::Structural {
-        if let Some(values) = atom
-            .terms
-            .iter()
-            .map(|t| bindings.resolve(t))
-            .collect::<Option<Vec<_>>>()
-        {
-            return facts.contains_fact(&atom.relation, &Tuple::new(values));
+/// A vid-space variable assignment (one slot per variable). This is what the
+/// evaluator joins on internally; the public value-level [`Bindings`] is
+/// materialized from it only at the witness-emission boundary.
+#[derive(Debug, Clone)]
+pub struct VidBindings {
+    slots: Vec<Option<Vid>>,
+}
+
+impl VidBindings {
+    /// All-unbound assignment for `n_vars` variables.
+    pub fn new(n_vars: usize) -> VidBindings {
+        VidBindings {
+            slots: vec![None; n_vars],
         }
     }
-    let mut scratch = bindings.clone();
-    facts.facts_in(&atom.relation).any(|(_, t)| {
-        if let Some(newly) = match_atom(atom, t, &mut scratch, mode) {
-            for v in newly {
-                scratch.unset(v);
+
+    /// Vid bound to `v`, if any.
+    #[inline]
+    pub fn get(&self, v: Var) -> Option<Vid> {
+        self.slots.get(v.0 as usize).copied().flatten()
+    }
+
+    /// Bind `v` (overwrites).
+    pub fn set(&mut self, v: Var, vid: Vid) {
+        let i = v.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        if let Some(slot) = self.slots.get_mut(i) {
+            *slot = Some(vid);
+        }
+    }
+
+    /// Unbind `v`.
+    pub fn unset(&mut self, v: Var) {
+        if let Some(slot) = self.slots.get_mut(v.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Resolve a term to a *value* through the view's dictionary (comparison
+    /// filters operate on values, not ids).
+    pub fn resolve_value<F: Facts + ?Sized>(&self, facts: &F, term: &Term) -> Option<Value> {
+        match term {
+            Term::Const(v) => Some(v.clone()),
+            Term::Var(v) => self.get(*v).and_then(|vid| facts.resolve_vid(vid)),
+        }
+    }
+
+    /// Materialize the public value-level assignment (emission boundary).
+    pub fn to_bindings<F: Facts + ?Sized>(&self, facts: &F) -> Bindings {
+        let mut cache = WordHashMap::default();
+        self.to_bindings_cached(facts, &mut cache)
+    }
+
+    /// Like [`Self::to_bindings`], but each distinct vid resolves through
+    /// the dictionary at most once per `cache` lifetime. An evaluation emits
+    /// many witnesses over few distinct vids (a join key repeats across its
+    /// whole bucket), so keeping one cache per query turns the per-witness
+    /// dictionary-lock round-trips into word-sized map hits. Lookups are
+    /// point reads — the cache is never iterated, so hash order cannot
+    /// reach the output.
+    pub fn to_bindings_cached<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+        cache: &mut WordHashMap<Vid, Value>,
+    ) -> Bindings {
+        let mut out = Bindings::new(self.slots.len());
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(vid) = slot {
+                if let Some(value) = resolve_vid_cached(facts, *vid, cache) {
+                    out.set(Var(i as u32), value);
+                }
             }
-            true
-        } else {
-            false
+        }
+        out
+    }
+}
+
+/// Resolve `vid` through `cache`, falling back to the view's dictionary and
+/// memoizing the hit. Sound because a vid's resolution never changes within
+/// an evaluation (the dictionary is append-only).
+fn resolve_vid_cached<F: Facts + ?Sized>(
+    facts: &F,
+    vid: Vid,
+    cache: &mut WordHashMap<Vid, Value>,
+) -> Option<Value> {
+    if let Some(v) = cache.get(&vid) {
+        return Some(v.clone());
+    }
+    let v = facts.resolve_vid(vid)?;
+    cache.insert(vid, v.clone());
+    Some(v)
+}
+
+/// An atom's constant terms resolved to vids, once per evaluation.
+pub struct AtomVids {
+    /// Aligned with the atom's terms; `Some` only at `Const` positions.
+    consts: Vec<Option<Vid>>,
+    /// True when no visible row can ever match this atom: a constant the
+    /// view has never stored, or (under SQL semantics) a null constant.
+    unmatchable: bool,
+}
+
+impl AtomVids {
+    /// Resolve `atom`'s constants against the view's dictionary.
+    pub fn resolve<F: Facts + ?Sized>(facts: &F, atom: &Atom, mode: NullSemantics) -> AtomVids {
+        resolve_atom_consts(facts, atom, mode)
+    }
+
+    /// Can this atom never match a visible row?
+    pub fn is_unmatchable(&self) -> bool {
+        self.unmatchable
+    }
+}
+
+fn resolve_atom_consts<F: Facts + ?Sized>(
+    facts: &F,
+    atom: &Atom,
+    mode: NullSemantics,
+) -> AtomVids {
+    let mut unmatchable = false;
+    let consts = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => {
+                if mode == NullSemantics::Sql && c.is_null() {
+                    unmatchable = true;
+                }
+                let vid = facts.vid_of(c);
+                if vid.is_none() {
+                    unmatchable = true;
+                }
+                vid
+            }
+            Term::Var(_) => None,
+        })
+        .collect();
+    AtomVids {
+        consts,
+        unmatchable,
+    }
+}
+
+/// One-position join check in vid space. Vid equality *is* structural value
+/// equality (the dictionary canonicalizes), so SQL semantics only adds the
+/// null rejection.
+#[inline]
+fn vids_join<F: Facts + ?Sized>(facts: &F, mode: NullSemantics, expected: Vid, actual: Vid) -> bool {
+    expected == actual && (mode == NullSemantics::Structural || !facts.vid_is_null(actual))
+}
+
+/// Vid-space [`match_atom`]: extend `bindings` by matching `atom` against an
+/// id-space row. Returns the newly bound variables for cheap backtracking.
+/// `av` must be [`AtomVids::resolve`]d for the same atom and mode.
+pub fn match_atom_vids<F: Facts + ?Sized>(
+    facts: &F,
+    atom: &Atom,
+    av: &AtomVids,
+    row: &VidRow<'_>,
+    bindings: &mut VidBindings,
+    mode: NullSemantics,
+) -> Option<Vec<Var>> {
+    if av.unmatchable || row.arity() != atom.terms.len() {
+        return None;
+    }
+    let mut newly = Vec::new();
+    for (pos, term) in atom.terms.iter().enumerate() {
+        let Some(actual) = row.at(pos) else {
+            for v in newly {
+                bindings.unset(v);
+            }
+            return None;
+        };
+        let ok = match term {
+            Term::Const(_) => av
+                .consts
+                .get(pos)
+                .copied()
+                .flatten()
+                .is_some_and(|expected| vids_join(facts, mode, expected, actual)),
+            Term::Var(v) => match bindings.get(*v) {
+                Some(expected) => vids_join(facts, mode, expected, actual),
+                None => {
+                    bindings.set(*v, actual);
+                    newly.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in newly {
+                bindings.unset(v);
+            }
+            return None;
+        }
+    }
+    Some(newly)
+}
+
+/// Does any visible row match `atom` under `bindings`? (Used for negation.)
+fn atom_has_match_vids<F: Facts + ?Sized>(
+    facts: &F,
+    atom: &Atom,
+    av: &AtomVids,
+    bindings: &VidBindings,
+    mode: NullSemantics,
+) -> bool {
+    if av.unmatchable {
+        return false;
+    }
+    // Fast path: fully bound atom → id-space membership probe. Under SQL
+    // semantics a null key can never join, so bail before the probe.
+    let full: Option<Vec<Vid>> = atom
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| match t {
+            Term::Const(_) => av.consts.get(i).copied().flatten(),
+            Term::Var(v) => bindings.get(*v),
+        })
+        .collect();
+    if let Some(key) = full {
+        if mode == NullSemantics::Sql && key.iter().any(|&k| facts.vid_is_null(k)) {
+            return false;
+        }
+        return facts.contains_vids(&atom.relation, &key);
+    }
+    let mut scratch = bindings.clone();
+    facts.vid_rows(&atom.relation).any(|(_, row)| {
+        match match_atom_vids(facts, atom, av, &row, &mut scratch, mode) {
+            Some(newly) => {
+                for v in newly {
+                    scratch.unset(v);
+                }
+                true
+            }
+            None => false,
         }
     })
 }
 
 /// Evaluate a comparison once both sides are bound; `None` if not yet bound.
-fn try_comparison(c: &Comparison, bindings: &Bindings, mode: NullSemantics) -> Option<bool> {
-    let a = bindings.resolve(&c.left)?;
-    let b = bindings.resolve(&c.right)?;
+fn try_comparison_vids<F: Facts + ?Sized>(
+    c: &Comparison,
+    facts: &F,
+    bindings: &VidBindings,
+    mode: NullSemantics,
+) -> Option<bool> {
+    let a = bindings.resolve_value(facts, &c.left)?;
+    let b = bindings.resolve_value(facts, &c.right)?;
     Some(mode.cmp(c.op, &a, &b))
 }
 
@@ -240,26 +463,75 @@ pub fn for_each_witness<F: Facts + ?Sized>(
     mode: NullSemantics,
     sink: &mut dyn FnMut(&Witness) -> bool,
 ) {
+    // Materialize values at this boundary only; the enumeration below stays
+    // in id space. One resolve cache spans every witness of the query.
+    let mut cache: WordHashMap<Vid, Value> = WordHashMap::default();
+    for_each_witness_vids(facts, cq, mode, &mut |bindings, tids| {
+        let witness = Witness {
+            bindings: bindings.to_bindings_cached(facts, &mut cache),
+            tids: tids.to_vec(),
+        };
+        sink(&witness)
+    });
+}
+
+/// The id-space core of [`for_each_witness`]: `sink` receives the raw vid
+/// assignment and the matched tids, with **no** dictionary access on the
+/// emission path. Callers that only need a projection (or just existence)
+/// skip the per-witness value materialization entirely and resolve at the
+/// very end — resolve, then sort, so id order never shapes the output.
+pub fn for_each_witness_vids<F: Facts + ?Sized>(
+    facts: &F,
+    cq: &ConjunctiveQuery,
+    mode: NullSemantics,
+    sink: &mut dyn FnMut(&VidBindings, &[Tid]) -> bool,
+) {
     let order = atom_order(facts, cq);
 
-    // Probe planning: for each atom (in join order), pick one position whose
-    // value will be known when the atom is reached — a constant, or a
-    // variable bound by an earlier atom. Relations larger than the threshold
-    // probe the base's cached one-column hash index on that position, turning
-    // the scan into a bucket lookup (deleted tids filtered, insert overlay
-    // unioned). Under SQL semantics null probe keys bail out before the
-    // lookup, so nulls never join.
+    // Resolve every atom constant to a vid once. A positive atom whose
+    // constant the view has never stored (or, under SQL semantics, whose
+    // constant is a null) can match nothing: the whole CQ is empty.
+    let atom_vids: Vec<AtomVids> = cq
+        .atoms
+        .iter()
+        .map(|a| resolve_atom_consts(facts, a, mode))
+        .collect();
+    if atom_vids.iter().any(|av| av.unmatchable) {
+        return;
+    }
+    let neg_vids: Vec<AtomVids> = cq
+        .negated
+        .iter()
+        .map(|a| resolve_atom_consts(facts, a, mode))
+        .collect();
+
+    // Probe planning: for each atom (in join order), collect *every*
+    // position whose vid will be known when the atom is reached — constants
+    // and variables bound by earlier atoms. Relations at or above the
+    // threshold probe the base's cached multi-column hash index on those
+    // positions, turning the scan into a bucket lookup (deleted tids
+    // filtered, insert overlay unioned). Under SQL semantics null probe keys
+    // bail out before the lookup, so nulls never join.
     const INDEX_THRESHOLD: usize = 32;
-    let mut probe_pos: Vec<Option<usize>> = vec![None; cq.atoms.len()];
+    let mut probe_cols: Vec<Vec<usize>> = vec![Vec::new(); cq.atoms.len()];
     {
         let mut bound: BTreeSet<Var> = BTreeSet::new();
         for &idx in &order {
-            let atom = &cq.atoms[idx];
+            let Some(atom) = cq.atoms.get(idx) else {
+                continue;
+            };
             if facts.relation_len(&atom.relation) >= INDEX_THRESHOLD {
-                probe_pos[idx] = atom.terms.iter().position(|t| match t {
-                    Term::Const(c) => !c.is_null() || mode == NullSemantics::Structural,
-                    Term::Var(v) => bound.contains(v),
-                });
+                if let Some(slot) = probe_cols.get_mut(idx) {
+                    *slot = atom
+                        .terms
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(pos, t)| match t {
+                            Term::Const(_) => Some(pos),
+                            Term::Var(v) => bound.contains(v).then_some(pos),
+                        })
+                        .collect();
+                }
             }
             bound.extend(atom.vars());
         }
@@ -269,85 +541,105 @@ pub fn for_each_witness<F: Facts + ?Sized>(
         facts: &'a F,
         cq: &'a ConjunctiveQuery,
         order: &'b [usize],
-        probe_pos: &'b [Option<usize>],
+        probe_cols: &'b [Vec<usize>],
+        atom_vids: &'b [AtomVids],
+        neg_vids: &'b [AtomVids],
         mode: NullSemantics,
         /// Shared base indexes, one per indexed atom, cloned out of the
         /// base's cache on first use so recursion re-probes lock-free.
-        indexes: Vec<Option<Arc<ColumnIndex>>>,
+        indexes: Vec<Option<Arc<HashIndex>>>,
+        /// Per-evaluation vid → value memo (point reads only): comparisons
+        /// and witness emission resolve each distinct vid once per query
+        /// instead of once per candidate row.
+        resolve_cache: WordHashMap<Vid, Value>,
     }
 
-    impl<'a, F: Facts + ?Sized> Eval<'a, '_, F> {
+    impl<'a, 'b, F: Facts + ?Sized> Eval<'a, 'b, F> {
         fn recurse(
             &mut self,
             depth: usize,
-            bindings: &mut Bindings,
+            bindings: &mut VidBindings,
             tids: &mut Vec<Tid>,
-            sink: &mut dyn FnMut(&Witness) -> bool,
+            sink: &mut dyn FnMut(&VidBindings, &[Tid]) -> bool,
         ) -> bool {
+            let facts: &'a F = self.facts;
             if depth == self.order.len() {
                 // All positive atoms matched: check filters.
-                for c in &self.cq.comparisons {
-                    match try_comparison(c, bindings, self.mode) {
-                        Some(true) => {}
-                        // Unbound comparison variables are a safety
-                        // violation; treat as failure rather than panic.
-                        Some(false) | None => return true,
+                let cq = self.cq;
+                let mode = self.mode;
+                {
+                    let cache = &mut self.resolve_cache;
+                    for c in &cq.comparisons {
+                        let mut resolve = |t: &Term| match t {
+                            Term::Const(v) => Some(v.clone()),
+                            Term::Var(v) => bindings
+                                .get(*v)
+                                .and_then(|vid| resolve_vid_cached(facts, vid, cache)),
+                        };
+                        match (resolve(&c.left), resolve(&c.right)) {
+                            (Some(a), Some(b)) if mode.cmp(c.op, &a, &b) => {}
+                            // Unbound comparison variables are a safety
+                            // violation; treat as failure rather than panic.
+                            _ => return true,
+                        }
                     }
                 }
-                for neg in &self.cq.negated {
-                    if atom_has_match(self.facts, neg, bindings, self.mode) {
+                for (neg, av) in self.cq.negated.iter().zip(self.neg_vids) {
+                    if atom_has_match_vids(facts, neg, av, bindings, self.mode) {
                         return true;
                     }
                 }
-                let witness = Witness {
-                    bindings: bindings.clone(),
-                    tids: tids.clone(),
-                };
-                return sink(&witness);
+                // Emission: hand over the id-space assignment as-is.
+                return sink(bindings, tids);
             }
             let atom_idx = self.order[depth];
-            // Clone the atom (cheap: `Arc<str>` terms) so the `step` closure
-            // below can re-borrow `self` mutably; copy the `&'a F` out so the
-            // fact borrows outlive `self`'s re-borrows.
-            let atom = self.cq.atoms[atom_idx].clone();
-            let facts: &'a F = self.facts;
-            // Candidate tuples: the probe bucket if indexed, else a scan.
-            let bucket: Option<Vec<(Tid, &'a Tuple)>> = match self.probe_pos[atom_idx] {
-                Some(pos) => match bindings.resolve(&atom.terms[pos]) {
+            let atom: &'a Atom = &self.cq.atoms[atom_idx];
+            let av: &'b AtomVids = &self.atom_vids[atom_idx];
+            let cols: &'b [usize] = &self.probe_cols[atom_idx];
+            // Candidate rows: the probe bucket if indexed, else a scan.
+            let bucket: Option<Vec<(Tid, VidRow<'a>)>> = if cols.is_empty() {
+                None
+            } else {
+                let key: Option<Vec<Vid>> = cols
+                    .iter()
+                    .map(|&pos| match &atom.terms[pos] {
+                        Term::Const(_) => av.consts.get(pos).copied().flatten(),
+                        Term::Var(v) => bindings.get(*v),
+                    })
+                    .collect();
+                match key {
                     Some(key) => {
-                        if self.mode == NullSemantics::Sql && key.is_null() {
+                        if self.mode == NullSemantics::Sql
+                            && key.iter().any(|&k| facts.vid_is_null(k))
+                        {
                             return true; // null never joins: no matches
                         }
                         if self.indexes[atom_idx].is_none() {
-                            self.indexes[atom_idx] = facts.base().column_index(&atom.relation, pos);
+                            self.indexes[atom_idx] = facts.base().hash_index(&atom.relation, cols);
                         }
-                        // `column_index` only returns an index for a
-                        // relation the base actually has, so the lookup
-                        // cannot miss; fall back to a scan if it ever did.
                         match self.indexes[atom_idx]
                             .clone()
                             .zip(facts.base().relation(&atom.relation))
                         {
                             Some((index, rel)) => {
-                                let mut pairs: Vec<(Tid, &'a Tuple)> = Vec::new();
-                                if let Some(hits) = index.get(&key) {
-                                    for &tid in hits {
-                                        if facts.is_deleted(tid) {
-                                            continue;
-                                        }
-                                        if let Some(t) = rel.get(tid) {
-                                            pairs.push((tid, t));
-                                        }
-                                    }
-                                }
-                                for (tid, t) in facts.overlay_of(&atom.relation) {
-                                    let v = t.at(pos);
-                                    if self.mode == NullSemantics::Sql && v.is_null() {
+                                let store = rel.store();
+                                let mut pairs: Vec<(Tid, VidRow<'a>)> = Vec::new();
+                                for &pos in index.rows_for(&key) {
+                                    let pos = pos as usize;
+                                    let Some(tid) = store.tid_at(pos) else {
+                                        continue;
+                                    };
+                                    if facts.is_deleted(tid) {
                                         continue;
                                     }
-                                    if *v == key {
-                                        pairs.push((*tid, t));
+                                    if let Some(row) = store.row(pos) {
+                                        pairs.push((tid, row));
                                     }
+                                }
+                                // Overlay rows are few: let the full match in
+                                // `step` filter them instead of pre-probing.
+                                for (tid, row) in facts.overlay_rows(&atom.relation) {
+                                    pairs.push((*tid, VidRow::Slice(row)));
                                 }
                                 Some(pairs)
                             }
@@ -355,24 +647,26 @@ pub fn for_each_witness<F: Facts + ?Sized>(
                         }
                     }
                     None => None, // probe var unbound at runtime: scan
-                },
-                None => None,
+                }
             };
 
             let step = |tid: Tid,
-                        tuple: &Tuple,
+                        row: &VidRow<'_>,
                         this: &mut Self,
-                        bindings: &mut Bindings,
+                        bindings: &mut VidBindings,
                         tids: &mut Vec<Tid>,
-                        sink: &mut dyn FnMut(&Witness) -> bool|
+                        sink: &mut dyn FnMut(&VidBindings, &[Tid]) -> bool|
              -> bool {
-                if let Some(newly) = match_atom(&atom, tuple, bindings, this.mode) {
-                    tids[atom_idx] = tid;
-                    let pruned = this
-                        .cq
-                        .comparisons
-                        .iter()
-                        .any(|c| matches!(try_comparison(c, bindings, this.mode), Some(false)));
+                if let Some(newly) = match_atom_vids(facts, atom, av, row, bindings, this.mode) {
+                    if let Some(t) = tids.get_mut(atom_idx) {
+                        *t = tid;
+                    }
+                    let pruned = this.cq.comparisons.iter().any(|c| {
+                        matches!(
+                            try_comparison_vids(c, facts, bindings, this.mode),
+                            Some(false)
+                        )
+                    });
                     let keep_going = if pruned {
                         true
                     } else {
@@ -389,15 +683,15 @@ pub fn for_each_witness<F: Facts + ?Sized>(
 
             match bucket {
                 Some(pairs) => {
-                    for (tid, tuple) in pairs {
-                        if !step(tid, tuple, self, bindings, tids, sink) {
+                    for (tid, row) in pairs {
+                        if !step(tid, &row, self, bindings, tids, sink) {
                             return false;
                         }
                     }
                 }
                 None => {
-                    for (tid, tuple) in facts.facts_in(&atom.relation) {
-                        if !step(tid, tuple, self, bindings, tids, sink) {
+                    for (tid, row) in facts.vid_rows(&atom.relation) {
+                        if !step(tid, &row, self, bindings, tids, sink) {
                             return false;
                         }
                     }
@@ -411,11 +705,14 @@ pub fn for_each_witness<F: Facts + ?Sized>(
         facts,
         cq,
         order: &order,
-        probe_pos: &probe_pos,
+        probe_cols: &probe_cols,
+        atom_vids: &atom_vids,
+        neg_vids: &neg_vids,
         mode,
         indexes: vec![None; cq.atoms.len()],
+        resolve_cache: WordHashMap::default(),
     };
-    let mut bindings = Bindings::new(cq.vars.len());
+    let mut bindings = VidBindings::new(cq.vars.len());
     let mut tids: Vec<Tid> = vec![Tid(0); cq.atoms.len()];
     eval.recurse(0, &mut bindings, &mut tids, sink);
 }
@@ -443,13 +740,47 @@ pub fn eval_cq<F: Facts + ?Sized>(
     cq: &ConjunctiveQuery,
     mode: NullSemantics,
 ) -> BTreeSet<Tuple> {
-    let mut out = BTreeSet::new();
-    for_each_witness(facts, cq, mode, &mut |w| {
-        if let Some(t) = w.bindings.project(&cq.head) {
-            out.insert(t);
+    // Deduplicate answers in id space: a witness contributes only its head
+    // variables' vids (word-sized; vid equality is value equality), so no
+    // witness touches the dictionary. Values reappear below, once per
+    // *distinct* answer — resolve, then sort into the output set, so the
+    // order is the resolved tuples' Value order, never the id order.
+    let mut distinct: BTreeSet<Vec<Vid>> = BTreeSet::new();
+    for_each_witness_vids(facts, cq, mode, &mut |bindings, _| {
+        let mut key = Vec::with_capacity(cq.head.len());
+        for t in &cq.head {
+            if let Term::Var(v) = t {
+                match bindings.get(*v) {
+                    Some(vid) => key.push(vid),
+                    None => return true, // unbound head var: no projection
+                }
+            }
         }
+        distinct.insert(key);
         true
     });
+
+    let mut cache: WordHashMap<Vid, Value> = WordHashMap::default();
+    let mut out = BTreeSet::new();
+    'answers: for key in &distinct {
+        let mut vals = Vec::with_capacity(cq.head.len());
+        let mut vids = key.iter();
+        for t in &cq.head {
+            match t {
+                Term::Const(v) => vals.push(v.clone()),
+                Term::Var(_) => {
+                    let Some(&vid) = vids.next() else {
+                        continue 'answers;
+                    };
+                    let Some(v) = resolve_vid_cached(facts, vid, &mut cache) else {
+                        continue 'answers; // dangling vid: drop the answer
+                    };
+                    vals.push(v);
+                }
+            }
+        }
+        out.insert(Tuple::new(vals));
+    }
     out
 }
 
@@ -469,7 +800,7 @@ pub fn eval_ucq<F: Facts + ?Sized>(
 /// Does a Boolean CQ hold? (Stops at the first witness.)
 pub fn holds<F: Facts + ?Sized>(facts: &F, cq: &ConjunctiveQuery, mode: NullSemantics) -> bool {
     let mut found = false;
-    for_each_witness(facts, cq, mode, &mut |_| {
+    for_each_witness_vids(facts, cq, mode, &mut |_, _| {
         found = true;
         false
     });

@@ -40,8 +40,8 @@ pub use ast::{
 };
 pub use datalog::{Literal, Program, Rule};
 pub use eval::{
-    eval_cq, eval_ucq, for_each_witness, holds, holds_ucq, match_atom, witnesses, Bindings,
-    NullSemantics, Witness,
+    eval_cq, eval_ucq, for_each_witness, holds, holds_ucq, match_atom, match_atom_vids, witnesses,
+    AtomVids, Bindings, NullSemantics, VidBindings, Witness,
 };
 pub use fo::{eval_fo, holds_fo};
 pub use magic::{magic_rewrite, MagicProgram};

@@ -17,10 +17,10 @@
 //! Round-trips exactly ([`save`] ∘ [`load`] = identity on content); tids are
 //! reassigned in file order on load.
 
+use crate::dict::{ValueDict, Vid};
 use crate::error::RelationError;
 use crate::instance::Database;
 use crate::schema::RelationSchema;
-use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 use std::fmt::Write as _;
@@ -120,15 +120,21 @@ pub fn load(input: &str) -> Result<Database> {
         let rel = current
             .clone()
             .ok_or_else(|| err(indent + 1, "data row before any @relation header".into()))?;
-        let values = parse_row(line).map_err(|(col, msg)| err(indent + col, msg))?;
-        db.insert(&rel, Tuple::new(values))?;
+        let vids = parse_row(line, db.dict()).map_err(|(col, msg)| err(indent + col, msg))?;
+        db.insert_vids(&rel, vids.into())?;
     }
     Ok(db)
 }
 
-/// Tokenize one data row. Errors carry the 1-based column (in characters,
-/// relative to the trimmed line) where the problem starts.
-fn parse_row(line: &str) -> std::result::Result<Vec<Value>, (usize, String)> {
+/// Tokenize one data row, interning each value straight into `dict`.
+///
+/// This is the load fast path: quoted strings go through
+/// [`ValueDict::intern_str`] (no `Arc<str>` allocation when the content has
+/// been seen before) and small values encode inline in their [`Vid`] — no
+/// intermediate [`crate::Tuple`] is ever built. Errors carry the 1-based
+/// column (in characters, relative to the trimmed line) where the problem
+/// starts; malformed input never panics.
+fn parse_row(line: &str, dict: &ValueDict) -> std::result::Result<Vec<Vid>, (usize, String)> {
     let chars: Vec<char> = line.chars().collect();
     let mut values = Vec::new();
     let mut i = 0;
@@ -162,7 +168,7 @@ fn parse_row(line: &str) -> std::result::Result<Vec<Value>, (usize, String)> {
                 if !closed {
                     return Err((start + 1, "unterminated string".into()));
                 }
-                values.push(Value::str(&s));
+                values.push(dict.intern_str(&s));
             }
             Some(_) => {
                 let start = i;
@@ -175,7 +181,8 @@ fn parse_row(line: &str) -> std::result::Result<Vec<Value>, (usize, String)> {
                     i += 1;
                 }
                 let token = token.trim();
-                values.push(parse_bare(token).map_err(|msg| (start + 1, msg))?);
+                let v = parse_bare(token).map_err(|msg| (start + 1, msg))?;
+                values.push(dict.intern(&v));
             }
         }
         // Skip to the next comma (or end).

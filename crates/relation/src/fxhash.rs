@@ -15,6 +15,12 @@ pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// A `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
+/// A `HashMap` for word-sized keys ([`crate::Vid`], `u32`, `Tid`…) hashed
+/// with the single-mix [`WordHasher`].
+pub type WordHashMap<K, V> = HashMap<K, V, BuildHasherDefault<WordHasher>>;
+/// A `HashSet` for word-sized keys hashed with the single-mix [`WordHasher`].
+pub type WordHashSet<T> = HashSet<T, BuildHasherDefault<WordHasher>>;
+
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// The Fx multiply-xor hasher.
@@ -75,6 +81,79 @@ impl Hasher for FxHasher {
     }
 }
 
+/// A hasher specialized for keys that hash as a *single machine word* —
+/// `u32`/`u64` newtypes like [`crate::Vid`] and `Tid`. Where [`FxHasher`]
+/// carries the generic state-update loop (rotate, xor, multiply, repeat),
+/// this performs exactly one xor-multiply-shift mix of the word, which is
+/// both cheaper and better-distributed in the low bits than raw Fx output —
+/// the bits a power-of-two `HashMap` actually indexes with. The id-keyed
+/// indexes in [`crate::index`] use this via [`WordHashMap`].
+///
+/// Multi-word writes still work (they fold into the state first), so using
+/// it on a compound key degrades gracefully instead of miscompiling.
+#[derive(Default, Clone)]
+pub struct WordHasher {
+    hash: u64,
+}
+
+impl WordHasher {
+    /// One full-avalanche mix (the splitmix64/murmur finalizer constants).
+    #[inline]
+    fn mix(word: u64) -> u64 {
+        let mut x = word;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^ (x >> 33)
+    }
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        // Keep multi-word inputs order-sensitive; a single-word write sees
+        // `hash == 0` and reduces to the plain mix.
+        self.hash = Self::mix(self.hash.rotate_left(5) ^ word);
+    }
+}
+
+impl Hasher for WordHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            for (slot, b) in word.iter_mut().zip(chunk) {
+                *slot = *b;
+            }
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +184,39 @@ mod tests {
         }
         assert_eq!(m.len(), 1000);
         assert!(m.contains_key(&999));
+    }
+
+    #[test]
+    fn word_hasher_distributes_low_bits() {
+        // Sequential u32 keys must not collide in the low bits a
+        // power-of-two table indexes with.
+        let mut low: HashSet<u64> = HashSet::new();
+        for i in 0u32..256 {
+            let mut h = WordHasher::default();
+            h.write_u32(i);
+            low.insert(h.finish() & 0xff);
+        }
+        assert!(low.len() > 128, "only {} distinct low bytes", low.len());
+    }
+
+    #[test]
+    fn word_hasher_map_roundtrip() {
+        let mut m: WordHashMap<u32, u32> = WordHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&999), Some(&1998));
+    }
+
+    #[test]
+    fn word_hasher_multiword_is_order_sensitive() {
+        let mut a = WordHasher::default();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = WordHasher::default();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish());
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! The typed index family over columnar storage.
+//!
+//! Two index shapes, both keyed on [`Vid`]s (word-sized, hashed with the
+//! specialized [`crate::fxhash::WordHasher`]) and both storing *row
+//! positions* into the owning [`ColumnStore`]:
+//!
+//! - [`HashIndex`]: a multi-column equality index. Replaces the old
+//!   one-column `ColumnIndex` cache — a join can now probe on *every* bound
+//!   position of an atom at once.
+//! - [`SortedIndex`]: a single-column index sorted in **resolved value
+//!   order** (via [`ValueDict::cmp_vids`]'s resolve path, never raw id
+//!   order), serving range and order probes.
+//!
+//! Indexes describe the base store at build time; the [`crate::Database`]
+//! cache that owns them is invalidated on mutation. Views layered on top
+//! filter deleted tids and union their insert overlay at probe time.
+
+use crate::column::ColumnStore;
+use crate::dict::{ValueDict, Vid};
+use crate::fxhash::WordHashMap;
+use crate::value::Value;
+use std::ops::Bound;
+
+/// A multi-column hash index: projected vid key → row positions (ascending).
+#[derive(Debug)]
+pub struct HashIndex {
+    cols: Box<[usize]>,
+    /// Single-column indexes key on the vid directly (no per-probe
+    /// allocation); multi-column ones on the projected key.
+    keyed: Keyed,
+}
+
+#[derive(Debug)]
+enum Keyed {
+    One(WordHashMap<Vid, Vec<u32>>),
+    Many(WordHashMap<Box<[Vid]>, Vec<u32>>),
+}
+
+impl HashIndex {
+    /// Build over `store`, keying on `cols` (deduplicated, in the given
+    /// order). Returns `None` if `cols` is empty or any column is out of
+    /// range.
+    pub fn build(store: &ColumnStore, cols: &[usize]) -> Option<HashIndex> {
+        if cols.is_empty() || cols.iter().any(|&c| c >= store.arity()) {
+            return None;
+        }
+        let keyed = if let [col] = cols {
+            let mut map: WordHashMap<Vid, Vec<u32>> = WordHashMap::default();
+            for (pos, &vid) in store.column(*col).iter().enumerate() {
+                map.entry(vid).or_default().push(pos as u32);
+            }
+            Keyed::One(map)
+        } else {
+            let mut map: WordHashMap<Box<[Vid]>, Vec<u32>> = WordHashMap::default();
+            for pos in 0..store.len() {
+                let key: Box<[Vid]> = cols
+                    .iter()
+                    .filter_map(|&c| store.vid_at(pos, c))
+                    .collect();
+                map.entry(key).or_default().push(pos as u32);
+            }
+            Keyed::Many(map)
+        };
+        Some(HashIndex {
+            cols: cols.into(),
+            keyed,
+        })
+    }
+
+    /// The key columns, in key order.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match &self.keyed {
+            Keyed::One(m) => m.len(),
+            Keyed::Many(m) => m.len(),
+        }
+    }
+
+    /// Row positions whose projection equals `key` (ascending). The key
+    /// must have one vid per key column.
+    pub fn rows_for(&self, key: &[Vid]) -> &[u32] {
+        match (&self.keyed, key) {
+            (Keyed::One(m), [vid]) => m.get(vid).map_or(&[], Vec::as_slice),
+            (Keyed::Many(m), _) if key.len() == self.cols.len() => {
+                m.get(key).map_or(&[], Vec::as_slice)
+            }
+            _ => &[],
+        }
+    }
+
+    /// Single-vid probe for one-column indexes (allocation-free).
+    pub fn rows_for_vid(&self, vid: Vid) -> &[u32] {
+        match &self.keyed {
+            Keyed::One(m) => m.get(&vid).map_or(&[], Vec::as_slice),
+            Keyed::Many(_) => &[],
+        }
+    }
+
+    /// Estimated retained heap bytes (buckets + keys).
+    pub fn heap_bytes(&self) -> usize {
+        let bucket = |rows: &Vec<u32>| rows.capacity() * 4;
+        match &self.keyed {
+            Keyed::One(m) => m.values().map(bucket).sum::<usize>() + m.capacity() * 16,
+            Keyed::Many(m) => {
+                m.iter()
+                    .map(|(k, rows)| k.len() * 4 + bucket(rows))
+                    .sum::<usize>()
+                    + m.capacity() * 24
+            }
+        }
+    }
+}
+
+/// A single-column index sorted by **resolved value order** (ties broken by
+/// row position, i.e. tid order — deterministic at any thread count).
+#[derive(Debug)]
+pub struct SortedIndex {
+    col: usize,
+    /// `(vid, row position)` sorted by `(value order of vid, position)`.
+    entries: Vec<(Vid, u32)>,
+}
+
+impl SortedIndex {
+    /// Build over one column of `store`, ordering entries through the
+    /// dictionary's resolve path.
+    pub fn build(store: &ColumnStore, col: usize, dict: &ValueDict) -> Option<SortedIndex> {
+        if col >= store.arity() {
+            return None;
+        }
+        // Resolve each cell once, sort by (value, position), strip values.
+        let mut cells: Vec<(Value, u32, Vid)> = store
+            .column(col)
+            .iter()
+            .enumerate()
+            .map(|(pos, &vid)| (dict.resolve(vid).unwrap_or(Value::NULL), pos as u32, vid))
+            .collect();
+        cells.sort();
+        Some(SortedIndex {
+            col,
+            entries: cells.into_iter().map(|(_, pos, vid)| (vid, pos)).collect(),
+        })
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.col
+    }
+
+    /// All `(vid, row position)` entries in value order.
+    pub fn entries(&self) -> &[(Vid, u32)] {
+        &self.entries
+    }
+
+    /// The contiguous run of entries whose value lies in `(lo, hi)`.
+    ///
+    /// Bounds compare in structural [`Value`] order (nulls sort first,
+    /// then bools, ints/floats numerically, then strings) — a comparison
+    /// consumer that must skip nulls under SQL semantics filters the run.
+    pub fn range(
+        &self,
+        dict: &ValueDict,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> &[(Vid, u32)] {
+        let resolve = |vid: Vid| dict.resolve(vid).unwrap_or(Value::NULL);
+        let start = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => self.entries.partition_point(|&(vid, _)| resolve(vid) < *v),
+            Bound::Excluded(v) => self.entries.partition_point(|&(vid, _)| resolve(vid) <= *v),
+        };
+        let end = match hi {
+            Bound::Unbounded => self.entries.len(),
+            Bound::Included(v) => self.entries.partition_point(|&(vid, _)| resolve(vid) <= *v),
+            Bound::Excluded(v) => self.entries.partition_point(|&(vid, _)| resolve(vid) < *v),
+        };
+        self.entries.get(start..end.max(start)).unwrap_or(&[])
+    }
+
+    /// Estimated retained heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(Vid, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tid;
+
+    fn store(dict: &ValueDict, rows: &[(&str, i64)]) -> ColumnStore {
+        let mut s = ColumnStore::new(2);
+        for (i, (name, num)) in rows.iter().enumerate() {
+            let vids = [dict.intern(&Value::str(name)), dict.intern(&Value::Int(*num))];
+            assert!(s.push(Tid(i as u64 + 1), &vids));
+        }
+        s
+    }
+
+    #[test]
+    fn single_column_hash_index() {
+        let dict = ValueDict::new();
+        let s = store(&dict, &[("a", 1), ("b", 2), ("a", 3)]);
+        let ix = HashIndex::build(&s, &[0]).unwrap();
+        assert_eq!(ix.columns(), &[0]);
+        assert_eq!(ix.distinct_keys(), 2);
+        let a = dict.intern(&Value::str("a"));
+        assert_eq!(ix.rows_for_vid(a), &[0, 2]);
+        assert_eq!(ix.rows_for(&[a]), &[0, 2]);
+        assert!(ix.rows_for_vid(dict.intern(&Value::str("zzz"))).is_empty());
+    }
+
+    #[test]
+    fn multi_column_hash_index() {
+        let dict = ValueDict::new();
+        let s = store(&dict, &[("a", 1), ("a", 1), ("a", 2), ("b", 1)]);
+        let ix = HashIndex::build(&s, &[0, 1]).unwrap();
+        let key = [dict.intern(&Value::str("a")), dict.intern(&Value::Int(1))];
+        assert_eq!(ix.rows_for(&key), &[0, 1]);
+        // Wrong-width probes miss instead of panicking.
+        assert!(ix.rows_for(&key[..1]).is_empty());
+        assert_eq!(ix.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn build_rejects_bad_columns() {
+        let dict = ValueDict::new();
+        let s = store(&dict, &[("a", 1)]);
+        assert!(HashIndex::build(&s, &[]).is_none());
+        assert!(HashIndex::build(&s, &[7]).is_none());
+        assert!(SortedIndex::build(&s, 9, &dict).is_none());
+    }
+
+    #[test]
+    fn sorted_index_orders_by_value_not_vid() {
+        let dict = ValueDict::new();
+        // Intern in an order different from value order so raw-id order and
+        // value order disagree.
+        let s = store(&dict, &[("zeta", 30), ("alpha", 10), ("mid", 20)]);
+        let ix = SortedIndex::build(&s, 0, &dict).unwrap();
+        let names: Vec<Value> = ix
+            .entries()
+            .iter()
+            .map(|&(vid, _)| dict.resolve(vid).unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec![Value::str("alpha"), Value::str("mid"), Value::str("zeta")]
+        );
+    }
+
+    #[test]
+    fn sorted_index_range_probes() {
+        let dict = ValueDict::new();
+        let mut s = ColumnStore::new(1);
+        for (i, v) in [5i64, -3, 12, 0, 7].iter().enumerate() {
+            s.push(Tid(i as u64 + 1), &[dict.intern(&Value::Int(*v))]);
+        }
+        let ix = SortedIndex::build(&s, 0, &dict).unwrap();
+        let in_range: Vec<i64> = ix
+            .range(&dict, Bound::Included(&Value::Int(0)), Bound::Excluded(&Value::Int(12)))
+            .iter()
+            .filter_map(|&(vid, _)| match dict.resolve(vid) {
+                Some(Value::Int(i)) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(in_range, vec![0, 5, 7]);
+        // Open-ended ranges.
+        assert_eq!(ix.range(&dict, Bound::Unbounded, Bound::Unbounded).len(), 5);
+        let below: Vec<i64> = ix
+            .range(&dict, Bound::Unbounded, Bound::Excluded(&Value::Int(0)))
+            .iter()
+            .filter_map(|&(vid, _)| match dict.resolve(vid) {
+                Some(Value::Int(i)) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(below, vec![-3]);
+    }
+
+    #[test]
+    fn sorted_index_mixed_types_follow_value_order() {
+        let dict = ValueDict::new();
+        let mut s = ColumnStore::new(1);
+        let vals = [
+            Value::str("s"),
+            Value::Int(1),
+            Value::NULL,
+            Value::Bool(true),
+            Value::Float(0.5),
+        ];
+        for (i, v) in vals.iter().enumerate() {
+            s.push(Tid(i as u64 + 1), &[dict.intern(v)]);
+        }
+        let ix = SortedIndex::build(&s, 0, &dict).unwrap();
+        let sorted: Vec<Value> = ix
+            .entries()
+            .iter()
+            .map(|&(vid, _)| dict.resolve(vid).unwrap())
+            .collect();
+        let mut expect = vals.to_vec();
+        expect.sort();
+        assert_eq!(sorted, expect);
+    }
+}

@@ -1,37 +1,70 @@
-//! Database instances: relations, tuples-with-tids, and delta application.
+//! Database instances: dictionary-encoded columnar relations.
 //!
 //! Instances are **sets** of tuples (the paper's repairs are defined in set
 //! terms), but every stored tuple additionally carries a global [`Tid`], so
 //! that repairs, conflict hyper-graphs and causality all talk about "the third
 //! `Supply` tuple" unambiguously.
+//!
+//! Physically a relation is columnar: one `Vec<Vid>` per attribute over a
+//! shared append-only [`ValueDict`] (see [`crate::dict`]). Every cell is 4
+//! bytes; each distinct value is stored once, process-wide. The value-level
+//! API (`iter`, `get`, `tuples`) survives unchanged on top of a lazy
+//! per-relation row cache that materializes only when a consumer actually
+//! asks for `&Tuple`s — id-space consumers (joins, indexes, CQA folds)
+//! never pay for it.
 
+use crate::column::{ColumnStore, ContentMap, VidRow};
+use crate::dict::{ValueDict, Vid};
 use crate::error::RelationError;
 use crate::fxhash::FxHashMap;
-use crate::schema::{DatabaseSchema, RelationSchema};
+use crate::index::{HashIndex, SortedIndex};
+use crate::schema::{AttrType, DatabaseSchema, RelationSchema};
 use crate::tuple::{Tid, Tuple};
 use crate::value::Value;
-use crate::view::ColumnIndex;
 use crate::Result;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// One relation instance: a schema plus a tid-keyed set of tuples.
-#[derive(Debug, Clone)]
+/// One relation instance: a schema plus a tid-keyed set of rows, stored
+/// columnar over the database's shared dictionary.
+#[derive(Debug)]
 pub struct Relation {
     schema: Arc<RelationSchema>,
-    /// Deterministic iteration in tid (i.e. insertion) order.
-    tuples: BTreeMap<Tid, Tuple>,
-    /// Set-semantics guard: content → tid of the already-present copy.
-    by_content: FxHashMap<Tuple, Tid>,
+    dict: Arc<ValueDict>,
+    /// Columnar rows, tid-sorted.
+    store: ColumnStore,
+    /// Set-semantics guard: content hash → tid of the present copy,
+    /// verified against the columns on probe (no second copy of the rows).
+    by_content: ContentMap,
+    /// Lazy value-level row cache (row-aligned with `store`), built only
+    /// when a caller needs `&Tuple`s; dropped on mutation and on clone.
+    rows: OnceLock<Box<[Tuple]>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            dict: Arc::clone(&self.dict),
+            store: self.store.clone(),
+            by_content: self.by_content.clone(),
+            // The cache is a materialization convenience, not content;
+            // clones (repairs) start columnar-only.
+            rows: OnceLock::new(),
+        }
+    }
 }
 
 impl Relation {
-    fn new(schema: Arc<RelationSchema>) -> Relation {
+    fn new(schema: Arc<RelationSchema>, dict: Arc<ValueDict>) -> Relation {
+        let arity = schema.arity();
         Relation {
             schema,
-            tuples: BTreeMap::new(),
-            by_content: FxHashMap::default(),
+            dict,
+            store: ColumnStore::new(arity),
+            by_content: ContentMap::default(),
+            rows: OnceLock::new(),
         }
     }
 
@@ -47,42 +80,91 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// True iff the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
-    /// Iterate `(tid, tuple)` in tid order.
+    /// The columnar storage (id-space access path).
+    pub fn store(&self) -> &ColumnStore {
+        &self.store
+    }
+
+    /// The dictionary the columns are encoded against.
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
+    }
+
+    /// The value-level rows, materialized on first use.
+    fn rows_cache(&self) -> &[Tuple] {
+        self.rows.get_or_init(|| {
+            (0..self.store.len())
+                .map(|pos| {
+                    Tuple::new(
+                        self.store
+                            .row_key(pos)
+                            .iter()
+                            .map(|&vid| self.dict.resolve(vid).unwrap_or(Value::NULL)),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// Iterate `(tid, tuple)` in tid order. Materializes the value-level
+    /// row cache; id-space consumers use [`Relation::store`] instead.
     pub fn iter(&self) -> impl Iterator<Item = (Tid, &Tuple)> + '_ {
-        self.tuples.iter().map(|(t, tup)| (*t, tup))
+        self.store
+            .tids()
+            .iter()
+            .copied()
+            .zip(self.rows_cache().iter())
     }
 
     /// Iterate tuples only.
     pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.values()
+        self.rows_cache().iter()
     }
 
-    /// Iterate tids only.
+    /// Iterate tids only (no row materialization).
     pub fn tids(&self) -> impl Iterator<Item = Tid> + '_ {
-        self.tuples.keys().copied()
+        self.store.tids().iter().copied()
     }
 
     /// Get a tuple by tid (must belong to this relation).
     pub fn get(&self, tid: Tid) -> Option<&Tuple> {
-        self.tuples.get(&tid)
+        let pos = self.store.position_of(tid)?;
+        self.rows_cache().get(pos)
+    }
+
+    /// The row of `tid` in id-space (no materialization).
+    pub fn vid_row_of(&self, tid: Tid) -> Option<VidRow<'_>> {
+        self.store.row(self.store.position_of(tid)?)
+    }
+
+    /// Encode a value-level tuple against the dictionary. `None` if some
+    /// value was never interned — in that case no stored row can equal it.
+    pub fn encode(&self, tuple: &Tuple) -> Option<Box<[Vid]>> {
+        tuple.iter().map(|v| self.dict.lookup(v)).collect()
     }
 
     /// Does the relation contain a tuple with this exact content?
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.by_content.contains_key(tuple)
+        self.tid_of(tuple).is_some()
     }
 
     /// Tid of the tuple with this content, if present.
     pub fn tid_of(&self, tuple: &Tuple) -> Option<Tid> {
-        self.by_content.get(tuple).copied()
+        self.encode(tuple)
+            .and_then(|key| self.by_content.get(&self.store, &key))
+    }
+
+    /// Tid of the row with this encoded content, if present.
+    pub fn tid_of_vids(&self, key: &[Vid]) -> Option<Tid> {
+        self.by_content.get(&self.store, key)
     }
 
     /// Check that `tuple` fits this relation's schema (arity and attribute
@@ -120,45 +202,59 @@ impl Relation {
         Ok(())
     }
 
-    fn insert_with_tid(&mut self, tid: Tid, tuple: Tuple) {
-        self.by_content.insert(tuple.clone(), tid);
-        self.tuples.insert(tid, tuple);
+    fn invalidate_rows(&mut self) {
+        self.rows.take();
+    }
+
+    /// Append an already-encoded, already-deduplicated row.
+    fn insert_encoded(&mut self, tid: Tid, key: Box<[Vid]>) {
+        self.by_content.insert(&key, tid);
+        self.store.push(tid, &key);
+        self.invalidate_rows();
     }
 
     fn remove(&mut self, tid: Tid) -> Option<Tuple> {
-        let tuple = self.tuples.remove(&tid)?;
-        self.by_content.remove(&tuple);
-        Some(tuple)
+        let key = self.store.remove(tid)?;
+        self.by_content.remove(&key, tid);
+        self.invalidate_rows();
+        Some(Tuple::new(
+            key.iter()
+                .map(|&vid| self.dict.resolve(vid).unwrap_or(Value::NULL)),
+        ))
+    }
+
+    /// Estimated retained heap bytes of this relation's storage (columns,
+    /// spine, content map; shared dictionary payloads not included).
+    pub fn heap_bytes(&self) -> usize {
+        self.store.heap_bytes() + self.by_content.heap_bytes()
+    }
+
+    /// Release over-allocated storage capacity after a bulk load; rows,
+    /// tids and lookups are unaffected.
+    pub fn shrink_to_fit(&mut self) {
+        self.store.shrink_to_fit();
+        self.by_content.shrink_to_fit();
     }
 }
 
-/// Lazily built one-column hash indexes, shared across every view layered
-/// over this instance.
+/// Lazily built, shared indexes over the base columns: multi-column hash
+/// indexes keyed by `(relation index, key columns)` and sorted (value-order)
+/// indexes keyed by `(relation index, column)`.
 ///
-/// Keyed by `(relation index, column)`. Buckets are deterministic regardless
-/// of which thread builds them first (tuples iterate in tid order), so a
-/// benign build race under the `cqa-exec` pool cannot perturb results.
+/// Buckets hold row positions in tid order, so they are deterministic
+/// regardless of which thread builds them first — a benign build race under
+/// the `cqa-exec` pool cannot perturb results. The cache is cleared on every
+/// mutation and reset on clone.
 #[derive(Debug, Default)]
 struct IndexCache {
-    columns: RwLock<FxHashMap<(usize, usize), Arc<ColumnIndex>>>,
+    hash: RwLock<FxHashMap<(usize, Box<[usize]>), Arc<HashIndex>>>,
+    sorted: RwLock<FxHashMap<(usize, usize), Arc<SortedIndex>>>,
 }
 
 impl IndexCache {
-    fn get(&self, key: (usize, usize)) -> Option<Arc<ColumnIndex>> {
-        self.columns
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-            .map(Arc::clone)
-    }
-
-    fn insert(&self, key: (usize, usize), index: Arc<ColumnIndex>) -> Arc<ColumnIndex> {
-        let mut map = self.columns.write().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(map.entry(key).or_insert(index))
-    }
-
     fn invalidate(&self) {
-        self.columns
+        self.hash.write().unwrap_or_else(|e| e.into_inner()).clear();
+        self.sorted
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
@@ -167,10 +263,11 @@ impl IndexCache {
 
 /// A full database instance.
 ///
-/// Owns its relations and a tid counter. Cloning a `Database` (to build a
-/// repair) preserves the tids of all surviving tuples; newly inserted tuples
-/// get fresh tids *from the clone's own counter*, which continues from the
-/// original's, so tids never collide between an instance and its repairs.
+/// Owns its relations and a tid counter, plus an `Arc` handle on the global
+/// [`ValueDict`]. Cloning a `Database` (to build a repair) shares the
+/// dictionary and preserves the tids of all surviving tuples; newly inserted
+/// tuples get fresh tids *from the clone's own counter*, which continues from
+/// the original's, so tids never collide between an instance and its repairs.
 #[derive(Debug, Default)]
 pub struct Database {
     relations: Vec<Relation>,
@@ -178,7 +275,9 @@ pub struct Database {
     index: FxHashMap<String, usize>,
     next_tid: u64,
     next_null: u32,
-    /// Shared one-column index cache; reset on clone, cleared on mutation.
+    /// The shared value dictionary (append-only, `Arc`-shared with clones).
+    dict: Arc<ValueDict>,
+    /// Shared index cache; reset on clone, cleared on mutation.
     cache: IndexCache,
 }
 
@@ -189,6 +288,9 @@ impl Clone for Database {
             index: self.index.clone(),
             next_tid: self.next_tid,
             next_null: self.next_null,
+            // Clones share the append-only dictionary: vids stay comparable
+            // across an instance and all its repairs.
+            dict: Arc::clone(&self.dict),
             // Indexes describe the *content* at build time; a clone starts
             // fresh and rebuilds on demand.
             cache: IndexCache::default(),
@@ -204,6 +306,7 @@ impl Database {
             index: FxHashMap::default(),
             next_tid: 1,
             next_null: 1,
+            dict: Arc::new(ValueDict::new()),
             cache: IndexCache::default(),
         }
     }
@@ -212,11 +315,17 @@ impl Database {
     pub fn with_schema(schema: &DatabaseSchema) -> Database {
         let mut db = Database::new();
         for r in schema.relations() {
-            db.relations.push(Relation::new(Arc::clone(r)));
+            db.relations
+                .push(Relation::new(Arc::clone(r), Arc::clone(&db.dict)));
             db.index
                 .insert(r.name().to_string(), db.relations.len() - 1);
         }
         db
+    }
+
+    /// The shared value dictionary.
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
     }
 
     /// Add a new relation to this database.
@@ -225,7 +334,8 @@ impl Database {
             return Err(RelationError::DuplicateRelation(schema.name().to_string()));
         }
         let name = schema.name().to_string();
-        self.relations.push(Relation::new(Arc::new(schema)));
+        self.relations
+            .push(Relation::new(Arc::new(schema), Arc::clone(&self.dict)));
         self.index.insert(name, self.relations.len() - 1);
         Ok(())
     }
@@ -237,7 +347,7 @@ impl Database {
 
     /// Look up a relation by name.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.index.get(name).map(|&i| &self.relations[i])
+        self.index.get(name).and_then(|&i| self.relations.get(i))
     }
 
     /// Look up a relation by name, with an error on miss.
@@ -248,7 +358,10 @@ impl Database {
 
     fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
         match self.index.get(name) {
-            Some(&i) => Ok(&mut self.relations[i]),
+            Some(&i) => self
+                .relations
+                .get_mut(i)
+                .ok_or_else(|| RelationError::UnknownRelation(name.to_string())),
             None => Err(RelationError::UnknownRelation(name.to_string())),
         }
     }
@@ -259,10 +372,58 @@ impl Database {
         let next = Tid(self.next_tid);
         let rel = self.relation_mut(relation)?;
         rel.validate(&tuple)?;
-        if let Some(existing) = rel.tid_of(&tuple) {
+        let dict = Arc::clone(&rel.dict);
+        let key: Box<[Vid]> = tuple.iter().map(|v| dict.intern(v)).collect();
+        if let Some(existing) = rel.tid_of_vids(&key) {
             return Ok(existing);
         }
-        rel.insert_with_tid(next, tuple);
+        rel.insert_encoded(next, key);
+        self.next_tid += 1;
+        self.cache.invalidate();
+        Ok(next)
+    }
+
+    /// Insert an already-encoded row (the codec fast path): `vids` must come
+    /// from **this** database's dictionary. Arity is checked here; typed
+    /// attributes are checked by resolving only when the schema declares
+    /// types, so the common untyped case stays allocation-free.
+    pub fn insert_vids(&mut self, relation: &str, vids: Box<[Vid]>) -> Result<Tid> {
+        let next = Tid(self.next_tid);
+        let rel = self.relation_mut(relation)?;
+        if vids.len() != rel.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: rel.name().to_string(),
+                expected: rel.schema.arity(),
+                actual: vids.len(),
+            });
+        }
+        if rel
+            .schema
+            .attributes()
+            .iter()
+            .any(|a| a.ty != AttrType::Any)
+        {
+            for (i, (attr, &vid)) in rel.schema.attributes().iter().zip(vids.iter()).enumerate() {
+                let value = rel.dict.resolve(vid).unwrap_or(Value::NULL);
+                if !attr.ty.admits(&value) {
+                    return Err(RelationError::TypeMismatch {
+                        relation: rel.name().to_string(),
+                        position: i,
+                        detail: format!(
+                            "attribute `{}` declared {:?}, got {} value {}",
+                            attr.name,
+                            attr.ty,
+                            value.type_name(),
+                            value
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(existing) = rel.tid_of_vids(&vids) {
+            return Ok(existing);
+        }
+        rel.insert_encoded(next, vids);
         self.next_tid += 1;
         self.cache.invalidate();
         Ok(next)
@@ -300,23 +461,62 @@ impl Database {
     /// Replace one attribute of one tuple *in place* (same tid) — the update
     /// primitive behind attribute-based repairs (§4.3).
     pub fn update_value(&mut self, tid: Tid, position: usize, value: Value) -> Result<()> {
-        for rel in &mut self.relations {
-            if let Some(tuple) = rel.get(tid).cloned() {
-                let updated = tuple.with_value(position, value);
-                rel.validate(&updated)?;
-                rel.by_content.remove(&tuple);
-                // If the updated content collides with an existing tuple the
-                // set shrinks: drop the old copy's tid and keep the update.
-                if let Some(dup) = rel.tid_of(&updated) {
-                    if dup != tid {
-                        rel.tuples.remove(&dup);
-                        rel.by_content.remove(&updated);
-                    }
-                }
-                rel.insert_with_tid(tid, updated);
-                self.cache.invalidate();
-                return Ok(());
+        for idx in 0..self.relations.len() {
+            let Some(rel) = self.relations.get_mut(idx) else {
+                continue;
+            };
+            let Some(pos) = rel.store.position_of(tid) else {
+                continue;
+            };
+            let Some(attr) = rel.schema.attributes().get(position) else {
+                return Err(RelationError::TypeMismatch {
+                    relation: rel.name().to_string(),
+                    position,
+                    detail: format!(
+                        "update position {position} out of range for arity {}",
+                        rel.schema.arity()
+                    ),
+                });
+            };
+            if !attr.ty.admits(&value) {
+                return Err(RelationError::TypeMismatch {
+                    relation: rel.name().to_string(),
+                    position,
+                    detail: format!(
+                        "attribute `{}` declared {:?}, got {} value {}",
+                        attr.name,
+                        attr.ty,
+                        value.type_name(),
+                        value
+                    ),
+                });
             }
+            let new_vid = rel.dict.intern(&value);
+            let old_key = rel.store.row_key(pos);
+            let mut new_key = old_key.clone();
+            if let Some(cell) = new_key.get_mut(position) {
+                *cell = new_vid;
+            }
+            if new_key == old_key {
+                return Ok(()); // no-op update
+            }
+            rel.by_content.remove(&old_key, tid);
+            // If the updated content collides with an existing tuple the
+            // set shrinks: drop the old copy's tid and keep the update.
+            if let Some(dup) = rel.tid_of_vids(&new_key) {
+                if dup != tid {
+                    rel.store.remove(dup);
+                    rel.by_content.remove(&new_key, dup);
+                }
+            }
+            // Positions may have shifted if the duplicate sat before us.
+            if let Some(pos) = rel.store.position_of(tid) {
+                rel.store.set_vid(pos, position, new_vid);
+            }
+            rel.by_content.insert(&new_key, tid);
+            rel.invalidate_rows();
+            self.cache.invalidate();
+            return Ok(());
         }
         Err(RelationError::UnknownTid(tid.0))
     }
@@ -335,29 +535,46 @@ impl Database {
         self.require_relation(relation)?.validate(tuple)
     }
 
-    /// The cached one-column hash index for `(relation, column)`: value →
-    /// tids of the tuples carrying it, in tid order.
+    /// The cached multi-column hash index for `(relation, key columns)`:
+    /// projected vid key → row positions in the relation's store, tid order.
     ///
-    /// Built on first use and shared (via [`Arc`]) with every caller until the
-    /// next mutation invalidates the cache. Returns `None` for unknown
-    /// relations or out-of-range columns. The index is *semantics-agnostic*:
-    /// null keys are indexed too, and it is the probing side's job to skip
-    /// null probes under SQL semantics.
-    pub fn column_index(&self, relation: &str, column: usize) -> Option<Arc<ColumnIndex>> {
+    /// Built on first use and shared (via [`Arc`]) with every caller until
+    /// the next mutation invalidates the cache. Returns `None` for unknown
+    /// relations, empty column lists, or out-of-range columns. The index is
+    /// *semantics-agnostic*: null keys are indexed too, and it is the probing
+    /// side's job to skip null probes under SQL semantics.
+    pub fn hash_index(&self, relation: &str, cols: &[usize]) -> Option<Arc<HashIndex>> {
         let &rel_idx = self.index.get(relation)?;
-        let rel = &self.relations[rel_idx];
-        if column >= rel.schema().arity() {
-            return None;
+        let rel = self.relations.get(rel_idx)?;
+        {
+            let cached = self.cache.hash.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(found) = cached.get(&(rel_idx, cols.into()) as &(usize, Box<[usize]>)) {
+                return Some(Arc::clone(found));
+            }
         }
-        let key = (rel_idx, column);
-        if let Some(cached) = self.cache.get(key) {
-            return Some(cached);
+        let built = Arc::new(HashIndex::build(&rel.store, cols)?);
+        let mut map = self.cache.hash.write().unwrap_or_else(|e| e.into_inner());
+        Some(Arc::clone(
+            map.entry((rel_idx, cols.into())).or_insert(built),
+        ))
+    }
+
+    /// The cached sorted (value-order) index for `(relation, column)`, for
+    /// range and order probes. Caching mirrors [`Database::hash_index`].
+    pub fn sorted_index(&self, relation: &str, column: usize) -> Option<Arc<SortedIndex>> {
+        let &rel_idx = self.index.get(relation)?;
+        let rel = self.relations.get(rel_idx)?;
+        {
+            let cached = self.cache.sorted.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(found) = cached.get(&(rel_idx, column)) {
+                return Some(Arc::clone(found));
+            }
         }
-        let mut built = ColumnIndex::default();
-        for (tid, tuple) in rel.iter() {
-            built.entry(tuple.at(column).clone()).or_default().push(tid);
-        }
-        Some(self.cache.insert(key, Arc::new(built)))
+        let built = Arc::new(SortedIndex::build(&rel.store, column, &rel.dict)?);
+        let mut map = self.cache.sorted.write().unwrap_or_else(|e| e.into_inner());
+        Some(Arc::clone(
+            map.entry((rel_idx, column)).or_insert(built),
+        ))
     }
 
     /// Total tuple count over all relations.
@@ -366,15 +583,20 @@ impl Database {
     }
 
     /// Iterate every `(relation name, tid, tuple)` in deterministic order.
+    /// Materializes value-level row caches; id-space consumers iterate
+    /// [`Relation::store`] instead.
     pub fn facts(&self) -> impl Iterator<Item = (&str, Tid, &Tuple)> + '_ {
         self.relations
             .iter()
             .flat_map(|rel| rel.iter().map(move |(tid, t)| (rel.name(), tid, t)))
     }
 
-    /// The set of all tids.
+    /// The set of all tids (no row materialization).
     pub fn tids(&self) -> BTreeSet<Tid> {
-        self.facts().map(|(_, tid, _)| tid).collect()
+        self.relations
+            .iter()
+            .flat_map(|rel| rel.store.tids().iter().copied())
+            .collect()
     }
 
     /// Mint a fresh labelled null (for existential tgd repairs, §4.2, and for
@@ -408,30 +630,46 @@ impl Database {
         deletions: &BTreeSet<Tid>,
         insertions: &[(String, Tuple)],
     ) -> Result<(Database, Vec<Tid>)> {
-        for &tid in deletions {
-            if self.get(tid).is_none() {
-                return Err(RelationError::UnknownTid(tid.0));
+        let known: usize = deletions
+            .iter()
+            .filter(|&&t| self.relations.iter().any(|r| r.store.position_of(t).is_some()))
+            .count();
+        if known != deletions.len() {
+            // Surface the first unknown tid for a useful error.
+            for &tid in deletions {
+                if !self
+                    .relations
+                    .iter()
+                    .any(|r| r.store.position_of(tid).is_some())
+                {
+                    return Err(RelationError::UnknownTid(tid.0));
+                }
             }
         }
-        // Single filtered pass per relation with `by_content` capacity
-        // reserved up front, instead of clone-then-delete (which re-scans
-        // every relation per deleted tid and grows the hash maps
-        // incrementally).
+        // Single filtered pass per relation, entirely in id-space: columns
+        // and content keys copy as fixed-width vids, no re-interning and no
+        // value materialization.
         let mut relations = Vec::with_capacity(self.relations.len());
         for rel in &self.relations {
-            let mut by_content = FxHashMap::with_capacity_and_hasher(rel.len(), Default::default());
-            let mut tuples = BTreeMap::new();
-            for (tid, tuple) in rel.iter() {
+            let mut store = ColumnStore::new(rel.schema.arity());
+            let mut by_content = ContentMap::default();
+            for pos in 0..rel.store.len() {
+                let Some(tid) = rel.store.tid_at(pos) else {
+                    continue;
+                };
                 if deletions.contains(&tid) {
                     continue;
                 }
-                by_content.insert(tuple.clone(), tid);
-                tuples.insert(tid, tuple.clone());
+                let key = rel.store.row_key(pos);
+                store.push(tid, &key);
+                by_content.insert(&key, tid);
             }
             relations.push(Relation {
                 schema: Arc::clone(&rel.schema),
-                tuples,
+                dict: Arc::clone(&rel.dict),
+                store,
                 by_content,
+                rows: OnceLock::new(),
             });
         }
         let mut db = Database {
@@ -439,6 +677,7 @@ impl Database {
             index: self.index.clone(),
             next_tid: self.next_tid,
             next_null: self.next_null,
+            dict: Arc::clone(&self.dict),
             cache: IndexCache::default(),
         };
         let mut new_tids = Vec::with_capacity(insertions.len());
@@ -451,24 +690,72 @@ impl Database {
     /// Clone this database keeping only the tuples whose tid is in `keep`.
     /// Tuples of relations absent from `keep` are dropped too.
     pub fn restricted_to(&self, keep: &BTreeSet<Tid>) -> Database {
-        let mut db = self.clone();
-        let to_delete: Vec<Tid> = db
-            .facts()
-            .map(|(_, tid, _)| tid)
-            .filter(|tid| !keep.contains(tid))
-            .collect();
-        for tid in to_delete {
-            let _ = db.delete(tid);
+        let mut relations = Vec::with_capacity(self.relations.len());
+        for rel in &self.relations {
+            let mut store = ColumnStore::new(rel.schema.arity());
+            let mut by_content = ContentMap::default();
+            for pos in 0..rel.store.len() {
+                let Some(tid) = rel.store.tid_at(pos) else {
+                    continue;
+                };
+                if !keep.contains(&tid) {
+                    continue;
+                }
+                let key = rel.store.row_key(pos);
+                store.push(tid, &key);
+                by_content.insert(&key, tid);
+            }
+            relations.push(Relation {
+                schema: Arc::clone(&rel.schema),
+                dict: Arc::clone(&rel.dict),
+                store,
+                by_content,
+                rows: OnceLock::new(),
+            });
         }
-        db
+        Database {
+            relations,
+            index: self.index.clone(),
+            next_tid: self.next_tid,
+            next_null: self.next_null,
+            dict: Arc::clone(&self.dict),
+            cache: IndexCache::default(),
+        }
     }
 
     /// The active domain: every constant appearing in some tuple.
+    ///
+    /// Collected as *distinct vids* first (one dictionary resolve per
+    /// distinct value), then emitted through the dictionary in value order —
+    /// never in raw id order.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.facts()
-            .flat_map(|(_, _, t)| t.iter().cloned())
-            .filter(|v| !v.is_null())
+        let mut seen = crate::fxhash::WordHashSet::default();
+        for rel in &self.relations {
+            for col in 0..rel.store.arity() {
+                seen.extend(rel.store.column(col).iter().copied());
+            }
+        }
+        seen.into_iter()
+            .filter(|&vid| !self.dict.is_null(vid))
+            .filter_map(|vid| self.dict.resolve(vid))
             .collect()
+    }
+
+    /// Estimated retained heap bytes of all relation storage (columns,
+    /// spines, content maps). Excludes the shared dictionary — count that
+    /// separately, once, via the bench harness's accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.relations.iter().map(Relation::heap_bytes).sum()
+    }
+
+    /// Compact the whole instance after a bulk load: every relation's
+    /// columns and content guard plus the shared dictionary release their
+    /// spare capacity. Contents, tids and vids are unaffected.
+    pub fn shrink_to_fit(&mut self) {
+        for rel in &mut self.relations {
+            rel.shrink_to_fit();
+        }
+        self.dict.shrink_to_fit();
     }
 }
 
@@ -649,25 +936,118 @@ mod tests {
     }
 
     #[test]
-    fn column_index_caches_and_invalidates() {
+    fn hash_index_caches_and_invalidates() {
         let mut db = supply_db();
-        let ix = db.column_index("Supply", 0).unwrap();
-        assert_eq!(ix.get(&Value::str("C2")).unwrap(), &vec![Tid(2), Tid(3)]);
+        let key = |s: &str| db.dict().lookup(&Value::str(s)).unwrap();
+        let ix = db.hash_index("Supply", &[0]).unwrap();
+        // Rows 1 and 2 (tids 2 and 3) carry company C2.
+        assert_eq!(ix.rows_for_vid(key("C2")), &[1, 2]);
         // Second call returns the same shared index.
-        let again = db.column_index("Supply", 0).unwrap();
+        let again = db.hash_index("Supply", &[0]).unwrap();
         assert!(Arc::ptr_eq(&ix, &again));
         // Out-of-range column and unknown relation yield no index.
-        assert!(db.column_index("Supply", 9).is_none());
-        assert!(db.column_index("Nope", 0).is_none());
+        assert!(db.hash_index("Supply", &[9]).is_none());
+        assert!(db.hash_index("Supply", &[]).is_none());
+        assert!(db.hash_index("Nope", &[0]).is_none());
         // A mutation invalidates: the rebuilt index sees the new tuple.
         db.insert("Supply", tuple!["C2", "R9", "I9"]).unwrap();
-        let rebuilt = db.column_index("Supply", 0).unwrap();
+        let rebuilt = db.hash_index("Supply", &[0]).unwrap();
         assert!(!Arc::ptr_eq(&ix, &rebuilt));
-        assert_eq!(rebuilt.get(&Value::str("C2")).unwrap().len(), 3);
+        assert_eq!(
+            rebuilt
+                .rows_for_vid(db.dict().lookup(&Value::str("C2")).unwrap())
+                .len(),
+            3
+        );
         // Clones start with a fresh (empty) cache but identical content.
         let clone = db.clone();
-        let cloned_ix = clone.column_index("Supply", 0).unwrap();
-        assert_eq!(*cloned_ix, *rebuilt);
+        let cloned_ix = clone.hash_index("Supply", &[0]).unwrap();
+        assert!(!Arc::ptr_eq(&rebuilt, &cloned_ix));
+        assert_eq!(
+            cloned_ix.rows_for_vid(clone.dict().lookup(&Value::str("C2")).unwrap()),
+            rebuilt.rows_for_vid(db.dict().lookup(&Value::str("C2")).unwrap())
+        );
+    }
+
+    #[test]
+    fn multi_column_hash_index_probes() {
+        let db = supply_db();
+        let ix = db.hash_index("Supply", &[0, 1]).unwrap();
+        let key = [
+            db.dict().lookup(&Value::str("C2")).unwrap(),
+            db.dict().lookup(&Value::str("R1")).unwrap(),
+        ];
+        assert_eq!(ix.rows_for(&key), &[2]); // tid 3 at row position 2
+        assert_eq!(
+            db.relation("Supply").unwrap().store().tid_at(2),
+            Some(Tid(3))
+        );
+    }
+
+    #[test]
+    fn sorted_index_caches_and_orders() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("N", ["V"])).unwrap();
+        for v in [5i64, -2, 9, 0] {
+            db.insert("N", tuple![v]).unwrap();
+        }
+        let ix = db.sorted_index("N", 0).unwrap();
+        let again = db.sorted_index("N", 0).unwrap();
+        assert!(Arc::ptr_eq(&ix, &again));
+        let vals: Vec<Value> = ix
+            .entries()
+            .iter()
+            .filter_map(|&(vid, _)| db.dict().resolve(vid))
+            .collect();
+        assert_eq!(
+            vals,
+            vec![Value::Int(-2), Value::Int(0), Value::Int(5), Value::Int(9)]
+        );
+        assert!(db.sorted_index("N", 3).is_none());
+        db.insert("N", tuple![7]).unwrap();
+        let rebuilt = db.sorted_index("N", 0).unwrap();
+        assert!(!Arc::ptr_eq(&ix, &rebuilt));
+        assert_eq!(rebuilt.entries().len(), 5);
+    }
+
+    #[test]
+    fn insert_vids_fast_path_matches_insert() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B"]))
+            .unwrap();
+        let key: Box<[Vid]> = [
+            db.dict().intern(&Value::str("a")),
+            db.dict().intern(&Value::Int(1)),
+        ]
+        .into();
+        let t1 = db.insert_vids("R", key.clone()).unwrap();
+        // Set semantics against the value-level path.
+        let t2 = db.insert("R", tuple!["a", 1]).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(db.total_tuples(), 1);
+        // Arity mismatch errors.
+        assert!(db
+            .insert_vids("R", [db.dict().intern(&Value::Int(1))].into())
+            .is_err());
+        // Typed schemas are enforced on the vid path too.
+        db.create_relation(RelationSchema::with_attributes(
+            "T",
+            vec![crate::Attribute::typed("N", crate::AttrType::Int)],
+        ))
+        .unwrap();
+        let str_vid = db.dict().intern(&Value::str("nope"));
+        assert!(db.insert_vids("T", [str_vid].into()).is_err());
+        let int_vid = db.dict().intern(&Value::Int(3));
+        assert!(db.insert_vids("T", [int_vid].into()).is_ok());
+    }
+
+    #[test]
+    fn shared_dictionary_across_clones() {
+        let db = supply_db();
+        let clone = db.clone();
+        // Same Arc: a vid means the same value in the original and the clone.
+        let vid = db.dict().lookup(&Value::str("C1")).unwrap();
+        assert_eq!(clone.dict().resolve(vid), Some(Value::str("C1")));
     }
 
     #[test]
@@ -692,5 +1072,23 @@ mod tests {
         let mut db = Database::new();
         assert!(db.insert("Nope", tuple![1]).is_err());
         assert!(db.require_relation("Nope").is_err());
+    }
+
+    #[test]
+    fn float_int_canonicalization_keeps_set_semantics() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A"])).unwrap();
+        let t1 = db.insert("R", tuple![2]).unwrap();
+        // Float(2.0) is structurally equal to Int(2): same row.
+        let t2 = db
+            .insert("R", Tuple::new(vec![Value::Float(2.0)]))
+            .unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(db.total_tuples(), 1);
+        // Non-integral floats stay distinct.
+        let t3 = db
+            .insert("R", Tuple::new(vec![Value::Float(2.5)]))
+            .unwrap();
+        assert_ne!(t1, t3);
     }
 }

@@ -25,13 +25,21 @@
 //!    [`Value::Null`] carries a label (labelled nulls for data exchange);
 //!    three-valued comparison lives in [`value::sql_eq`] and friends so that
 //!    *structural* equality stays usable for set semantics.
+//! 4. **Dictionary-encoded columnar storage.** Every value is interned once
+//!    into a shared [`ValueDict`] and stored as a dense 32-bit [`Vid`];
+//!    relations are per-attribute columns ([`ColumnStore`]) indexed by the
+//!    typed index family ([`HashIndex`], [`SortedIndex`]). [`Tuple`]s and
+//!    [`Value`]s survive only at the codec/display/API boundary.
 //!
 //! The crate has no dependencies outside `std`.
 
 pub mod codec;
+pub mod column;
+pub mod dict;
 pub mod display;
 pub mod error;
 pub mod fxhash;
+pub mod index;
 pub mod instance;
 pub mod schema;
 pub mod tuple;
@@ -39,12 +47,15 @@ pub mod value;
 pub mod view;
 
 pub use codec::{load, save};
+pub use column::{ColumnStore, VidRow};
+pub use dict::{ValueDict, Vid};
 pub use error::RelationError;
+pub use index::{HashIndex, SortedIndex};
 pub use instance::{Database, Relation};
 pub use schema::{AttrType, Attribute, DatabaseSchema, RelationSchema};
 pub use tuple::{Tid, Tuple};
 pub use value::{sql_eq, sql_le, sql_lt, Truth, Value};
-pub use view::{ColumnIndex, DeltaView, Facts};
+pub use view::{DeltaView, Facts};
 
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, RelationError>;

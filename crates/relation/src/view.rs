@@ -9,24 +9,29 @@
 //! implements it trivially (empty delta) and [`DeltaView`] implements it as a
 //! zero-clone overlay.
 //!
+//! Since the columnar rewrite, [`Facts`] is also the **id-space seam**: it
+//! exposes vid-level accessors (`vid_of`, `resolve_vid`, `vid_rows`,
+//! `overlay_rows`, `contains_vids`) with defaults derived from the base
+//! dictionary, so consumers port to fixed-width [`Vid`] keys without caring
+//! whether they run over a materialized instance or a repair view. Overlay
+//! rows that carry values the base dictionary has never seen get
+//! **extension ids** minted per view, counted *down* from the top of the
+//! table id space — they can never collide with (append-only, counted-up)
+//! base ids, and they resolve through the view's own extension table.
+//!
 //! Views are immutable and [`Sync`], so they compose with the `cqa-exec`
 //! thread pool without extra synchronization, and synthetic tids are minted
 //! exactly as [`Database::with_changes`] would assign them, so a view and its
 //! materialization agree *byte for byte* on every witness — the PR 2
 //! determinism contract extends to views unchanged.
 
+use crate::column::VidRow;
+use crate::dict::Vid;
 use crate::fxhash::FxHashMap;
 use crate::instance::{Database, Relation};
 use crate::tuple::{Tid, Tuple};
 use crate::value::Value;
 use std::collections::BTreeSet;
-
-/// A one-column hash index over a relation: value at the column → tids of the
-/// base tuples carrying that value, in tid (insertion) order.
-///
-/// Built once per `(relation, column)` in the base's index cache and shared
-/// (via `Arc`) by every view layered over that base.
-pub type ColumnIndex = FxHashMap<Value, Vec<Tid>>;
 
 /// A read-only set of facts: a base instance plus an optional delta overlay.
 ///
@@ -50,6 +55,65 @@ pub trait Facts: Sync {
     /// The insert overlay for `relation`: rows present in the view but not in
     /// the base, with their synthetic tids, in minted order.
     fn overlay_of(&self, relation: &str) -> &[(Tid, Tuple)];
+
+    /// The insert overlay for `relation` in id-space, row-aligned with
+    /// [`Facts::overlay_of`]. Implementations with a non-empty overlay
+    /// **must** override this to mirror `overlay_of` (the default is only
+    /// correct for empty overlays).
+    fn overlay_rows(&self, _relation: &str) -> &[(Tid, Box<[Vid]>)] {
+        &[]
+    }
+
+    /// The vid of `value` *as this view sees it*: the base dictionary id, or
+    /// the view's extension id when only the overlay carries the value.
+    /// `None` means no visible row anywhere can hold this value.
+    fn vid_of(&self, value: &Value) -> Option<Vid> {
+        self.base().dict().lookup(value)
+    }
+
+    /// Resolve a vid (base or view-extension) back to its value.
+    fn resolve_vid(&self, vid: Vid) -> Option<Value> {
+        self.base().dict().resolve(vid)
+    }
+
+    /// Is the value behind `vid` a (labelled) null?
+    fn vid_is_null(&self, vid: Vid) -> bool {
+        vid.is_inline_null() || self.base().dict().is_null(vid)
+    }
+
+    /// Iterate the visible rows of `relation` in id-space, tid order:
+    /// surviving base rows (columnar) first, then the insert overlay.
+    fn vid_rows<'s>(&'s self, relation: &str) -> Box<dyn Iterator<Item = (Tid, VidRow<'s>)> + 's> {
+        let base = self
+            .base()
+            .relation(relation)
+            .map(|rel| rel.store().rows());
+        let overlay = self.overlay_rows(relation);
+        Box::new(
+            base.into_iter()
+                .flatten()
+                .filter(move |&(tid, _)| !self.is_deleted(tid))
+                .chain(
+                    overlay
+                        .iter()
+                        .map(|(tid, key)| (*tid, VidRow::Slice(key))),
+                ),
+        )
+    }
+
+    /// Does the view contain a row with this exact encoded content?
+    fn contains_vids(&self, relation: &str, key: &[Vid]) -> bool {
+        if let Some(rel) = self.base().relation(relation) {
+            if let Some(tid) = rel.tid_of_vids(key) {
+                if !self.is_deleted(tid) {
+                    return true;
+                }
+            }
+        }
+        self.overlay_rows(relation)
+            .iter()
+            .any(|(_, k)| &**k == key)
+    }
 
     /// Number of visible tuples in `relation` (0 for unknown relations).
     fn relation_len(&self, relation: &str) -> usize {
@@ -93,7 +157,9 @@ pub trait Facts: Sync {
     }
 
     /// Iterate the visible `(tid, tuple)` pairs of `relation` in tid order:
-    /// surviving base tuples first, then the insert overlay.
+    /// surviving base tuples first, then the insert overlay. Materializes
+    /// the base's value-level row cache; id-space consumers use
+    /// [`Facts::vid_rows`] instead.
     fn facts_in<'s>(&'s self, relation: &str) -> Box<dyn Iterator<Item = (Tid, &'s Tuple)> + 's> {
         let base = self.base().relation(relation).map(Relation::iter);
         let overlay = self.overlay_of(relation);
@@ -171,6 +237,11 @@ impl Facts for Database {
         self.relation(relation).is_some_and(|r| r.contains(tuple))
     }
 
+    fn contains_vids(&self, relation: &str, key: &[Vid]) -> bool {
+        self.relation(relation)
+            .is_some_and(|r| r.tid_of_vids(key).is_some())
+    }
+
     fn get_fact(&self, tid: Tid) -> Option<(&str, &Tuple)> {
         self.get(tid)
     }
@@ -182,12 +253,80 @@ impl Facts for Database {
         }
     }
 
+    fn vid_rows<'s>(&'s self, relation: &str) -> Box<dyn Iterator<Item = (Tid, VidRow<'s>)> + 's> {
+        match self.relation(relation) {
+            Some(rel) => Box::new(rel.store().rows()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
     fn visible_tids(&self) -> BTreeSet<Tid> {
         self.tids()
     }
 
     fn snapshot(&self) -> Database {
         self.clone()
+    }
+}
+
+/// The value-id extension table a view mints for overlay values the base
+/// dictionary has never interned.
+///
+/// Extension ids are table-tagged vids counted **down** from the top of the
+/// 30-bit table space; base ids count up from 0. The two ranges cannot meet
+/// in practice (2³⁰ distinct values); minting refuses to hand out an id that
+/// would land at or below the base watermark.
+#[derive(Debug, Clone, Default)]
+struct ExtDict {
+    /// Extension values in first-appearance (construction) order.
+    values: Vec<Value>,
+    /// Canonicalized value → slot in `values`.
+    lookup: FxHashMap<Value, u32>,
+    /// Base dictionary table length at view construction.
+    base_len: u32,
+}
+
+impl ExtDict {
+    const TOP: u32 = (1 << 30) - 1;
+
+    fn vid_for_slot(slot: u32) -> Vid {
+        Vid::table(Self::TOP - slot)
+    }
+
+    /// The extension slot of a table vid, if it is one of ours.
+    fn slot_of(&self, vid: Vid) -> Option<u32> {
+        let idx = vid.table_index()?;
+        if idx < self.base_len {
+            return None;
+        }
+        let slot = Self::TOP - idx;
+        ((slot as usize) < self.values.len()).then_some(slot)
+    }
+
+    fn intern(&mut self, value: &Value) -> Option<Vid> {
+        let canon = crate::dict::canonical(value);
+        if let Some(&slot) = self.lookup.get(&canon) {
+            return Some(Self::vid_for_slot(slot));
+        }
+        let slot = self.values.len() as u32;
+        // Refuse to collide with the (append-only) base id range.
+        if Self::TOP - slot <= self.base_len {
+            return None;
+        }
+        self.lookup.insert(canon.clone(), slot);
+        self.values.push(canon);
+        Some(Self::vid_for_slot(slot))
+    }
+
+    fn resolve(&self, vid: Vid) -> Option<Value> {
+        self.slot_of(vid)
+            .and_then(|slot| self.values.get(slot as usize).cloned())
+    }
+
+    fn vid_of(&self, value: &Value) -> Option<Vid> {
+        self.lookup
+            .get(&crate::dict::canonical(value))
+            .map(|&slot| Self::vid_for_slot(slot))
     }
 }
 
@@ -203,6 +342,12 @@ impl Facts for Database {
 /// - surviving insertions receive synthetic tids minted from the base's tid
 ///   watermark in insertion order, so view tids equal materialized tids.
 ///
+/// Overlay rows are additionally encoded into id-space at construction:
+/// values the base dictionary knows keep their base vids, novel values get
+/// deterministic per-view extension ids (see [`Facts::vid_of`]). The
+/// per-relation deleted counts are cached here too, so
+/// [`Facts::relation_len`] is O(1) instead of rescanning tids per call.
+///
 /// Insertions are assumed valid for the base's schema (repair enumeration
 /// validates them up front via [`Database::check_insertable`]); an invalid
 /// overlay makes [`Facts::snapshot`] panic.
@@ -212,8 +357,15 @@ pub struct DeltaView<'a> {
     deleted: &'a BTreeSet<Tid>,
     /// Relation name → normalized overlay rows with synthetic tids.
     overlay: FxHashMap<String, Vec<(Tid, Tuple)>>,
+    /// Id-space mirror of `overlay`, row-aligned.
+    overlay_vids: FxHashMap<String, Vec<(Tid, Box<[Vid]>)>>,
+    /// Extension ids for overlay values absent from the base dictionary.
+    ext: ExtDict,
     /// Total overlay rows across relations (after normalization).
     overlay_len: usize,
+    /// Deleted tids per relation index of the base, computed once at
+    /// construction (the `relation_len` fast path).
+    deleted_per_relation: Vec<usize>,
 }
 
 impl<'a> DeltaView<'a> {
@@ -224,6 +376,11 @@ impl<'a> DeltaView<'a> {
         inserted: &[(String, Tuple)],
     ) -> DeltaView<'a> {
         let mut overlay: FxHashMap<String, Vec<(Tid, Tuple)>> = FxHashMap::default();
+        let mut overlay_vids: FxHashMap<String, Vec<(Tid, Box<[Vid]>)>> = FxHashMap::default();
+        let mut ext = ExtDict {
+            base_len: base.dict().len() as u32,
+            ..ExtDict::default()
+        };
         let mut overlay_len = 0;
         let mut next = base.tid_watermark();
         for (name, tuple) in inserted {
@@ -238,15 +395,43 @@ impl<'a> DeltaView<'a> {
             if rows.iter().any(|(_, t)| t == tuple) {
                 continue; // duplicate insertion collapses
             }
+            let key: Option<Box<[Vid]>> = tuple
+                .iter()
+                .map(|v| base.dict().lookup(v).or_else(|| ext.intern(v)))
+                .collect();
+            if let Some(key) = key {
+                overlay_vids
+                    .entry(name.clone())
+                    .or_default()
+                    .push((Tid(next), key));
+            }
             rows.push((Tid(next), tuple.clone()));
             overlay_len += 1;
             next += 1;
         }
+        let deleted_per_relation = base
+            .relations()
+            .iter()
+            .map(|rel| {
+                if deleted.len() <= rel.len() {
+                    // O(|Δ| log n): probe each deleted tid against the spine.
+                    deleted
+                        .iter()
+                        .filter(|&&t| rel.store().position_of(t).is_some())
+                        .count()
+                } else {
+                    rel.tids().filter(|t| deleted.contains(t)).count()
+                }
+            })
+            .collect();
         DeltaView {
             base,
             deleted,
             overlay,
+            overlay_vids,
+            ext,
             overlay_len,
+            deleted_per_relation,
         }
     }
 
@@ -274,17 +459,51 @@ impl Facts for DeltaView<'_> {
         self.overlay.get(relation).map_or(&[], Vec::as_slice)
     }
 
+    fn overlay_rows(&self, relation: &str) -> &[(Tid, Box<[Vid]>)] {
+        self.overlay_vids.get(relation).map_or(&[], Vec::as_slice)
+    }
+
+    fn vid_of(&self, value: &Value) -> Option<Vid> {
+        // Extension ids first: within this view the construction-time
+        // assignment wins, even if a sibling interned the value into the
+        // shared base dictionary afterwards.
+        self.ext
+            .vid_of(value)
+            .or_else(|| self.base.dict().lookup(value))
+    }
+
+    fn resolve_vid(&self, vid: Vid) -> Option<Value> {
+        self.ext
+            .resolve(vid)
+            .or_else(|| self.base.dict().resolve(vid))
+    }
+
+    fn vid_is_null(&self, vid: Vid) -> bool {
+        if vid.is_inline_null() {
+            return true;
+        }
+        match self.ext.resolve(vid) {
+            Some(v) => v.is_null(),
+            None => self.base.dict().is_null(vid),
+        }
+    }
+
     fn relation_len(&self, relation: &str) -> usize {
-        match self.base.relation(relation) {
-            Some(rel) => {
-                // O(|Δ| log n): probe each deleted tid instead of scanning.
-                let deleted = self
-                    .deleted
-                    .iter()
-                    .filter(|&&t| rel.get(t).is_some())
-                    .count();
-                rel.len() - deleted + self.overlay_of(relation).len()
-            }
+        // Per-relation deleted counts are cached at construction, so this is
+        // O(relations) for the name lookup and O(1) for the count — no
+        // per-call rescan of the tid spine.
+        let rel_pos = self
+            .base
+            .relations()
+            .iter()
+            .position(|r| r.name() == relation);
+        match rel_pos.and_then(|i| {
+            self.base
+                .relations()
+                .get(i)
+                .zip(self.deleted_per_relation.get(i))
+        }) {
+            Some((rel, &dels)) => rel.len() - dels + self.overlay_of(relation).len(),
             None => self.overlay_of(relation).len(),
         }
     }
@@ -315,7 +534,9 @@ mod tests {
         assert!(db.contains_fact("R", &tuple!["a", 1]));
         assert!(!db.is_deleted(Tid(1)));
         assert!(db.overlay_of("R").is_empty());
+        assert!(db.overlay_rows("R").is_empty());
         assert_eq!(db.facts_in("R").count(), 2);
+        assert_eq!(db.vid_rows("R").count(), 2);
         assert_eq!(db.visible_tids(), db.tids());
         assert_eq!(db.get_fact(Tid(3)), Some(("S", &tuple!["a"])));
     }
@@ -402,5 +623,82 @@ mod tests {
         let dyns: Vec<&dyn Facts> = vec![&db, &view];
         assert_eq!(dyns[0].relation_len("S"), 1);
         assert_eq!(dyns[1].relation_len("S"), 0);
+    }
+
+    #[test]
+    fn overlay_rows_mirror_overlay_of() {
+        let db = base_db();
+        let deleted = BTreeSet::new();
+        let inserted = vec![
+            ("R".to_string(), tuple!["a", 7]),     // known values
+            ("S".to_string(), tuple!["novel-v"]),  // novel value → ext id
+        ];
+        let view = DeltaView::new(&db, &deleted, &inserted);
+        for rel in ["R", "S"] {
+            let tuples = view.overlay_of(rel);
+            let vids = view.overlay_rows(rel);
+            assert_eq!(tuples.len(), vids.len());
+            for ((tid_t, t), (tid_v, key)) in tuples.iter().zip(vids) {
+                assert_eq!(tid_t, tid_v);
+                // Round-trip each vid through the view's resolve path.
+                let resolved: Vec<Value> = key
+                    .iter()
+                    .map(|&vid| view.resolve_vid(vid).unwrap())
+                    .collect();
+                assert_eq!(resolved, t.values().to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn extension_ids_for_novel_values() {
+        let db = base_db();
+        let deleted = BTreeSet::new();
+        let inserted = vec![("S".to_string(), tuple!["ghost"])];
+        let view = DeltaView::new(&db, &deleted, &inserted);
+        // The base dictionary has never seen "ghost"…
+        assert!(db.dict().lookup(&Value::str("ghost")).is_none());
+        // …but the view can still encode and resolve it.
+        let vid = view.vid_of(&Value::str("ghost")).unwrap();
+        assert_eq!(view.resolve_vid(vid), Some(Value::str("ghost")));
+        assert!(!view.vid_is_null(vid));
+        // And the base dictionary does not resolve the extension id.
+        assert_eq!(db.dict().resolve(vid), None);
+        // Known values keep their base ids.
+        assert_eq!(view.vid_of(&Value::str("a")), db.dict().lookup(&Value::str("a")));
+        // vid_rows surfaces the overlay row with the extension id.
+        let rows: Vec<(Tid, Box<[Vid]>)> = view
+            .vid_rows("S")
+            .map(|(tid, row)| (tid, row.to_key()))
+            .collect();
+        assert_eq!(rows.len(), 2); // base "a" + overlay "ghost"
+        assert_eq!(rows[1].1, [vid].into());
+    }
+
+    #[test]
+    fn contains_vids_sees_base_and_overlay() {
+        let db = base_db();
+        let deleted: BTreeSet<Tid> = [Tid(3)].into(); // delete S("a")
+        let inserted = vec![("S".to_string(), tuple!["new"])];
+        let view = DeltaView::new(&db, &deleted, &inserted);
+        let a = db.dict().lookup(&Value::str("a")).unwrap();
+        assert!(!view.contains_vids("S", &[a])); // deleted
+        assert!(db.contains_vids("S", &[a])); // still in the plain base
+        let new_vid = view.vid_of(&Value::str("new")).unwrap();
+        assert!(view.contains_vids("S", &[new_vid]));
+    }
+
+    #[test]
+    fn relation_len_uses_cached_deleted_counts() {
+        let db = base_db();
+        let deleted: BTreeSet<Tid> = [Tid(1), Tid(2), Tid(3)].into();
+        let view = DeltaView::new(&db, &deleted, &[]);
+        assert_eq!(view.relation_len("R"), 0);
+        assert_eq!(view.relation_len("S"), 0);
+        let partial: BTreeSet<Tid> = [Tid(2)].into();
+        let view2 = DeltaView::new(&db, &partial, &[]);
+        assert_eq!(view2.relation_len("R"), 1);
+        assert_eq!(view2.relation_len("S"), 1);
+        assert_eq!(view2.relation_len("Nope"), 0);
     }
 }
