@@ -50,6 +50,10 @@ pub enum DiagCode {
     /// components — repair search and CQA factorize per component instead of
     /// exploring the cross-product.
     ConflictComponents,
+    /// A007: how the planner revalidated cached conflict state against the
+    /// instance's mutation epoch — applied the logged delta incrementally,
+    /// found the cache current, or fell back to a full recompute (and why).
+    IncrementalMaintenance,
     /// G001: the estimated grounding size exceeds the blow-up threshold.
     GroundingBlowup,
     /// C001: a constraint is repeated verbatim.
@@ -110,13 +114,14 @@ pub enum DiagCode {
 
 impl DiagCode {
     /// Every defined code (documentation + CLI catalog order).
-    pub const ALL: [DiagCode; 24] = [
+    pub const ALL: [DiagCode; 25] = [
         DiagCode::UnsafeVariable,
         DiagCode::RecursionThroughNegation,
         DiagCode::HeadCycle,
         DiagCode::DuplicateRule,
         DiagCode::UndefinedPredicate,
         DiagCode::ConflictComponents,
+        DiagCode::IncrementalMaintenance,
         DiagCode::GroundingBlowup,
         DiagCode::DuplicateConstraint,
         DiagCode::UnsatisfiableConstraint,
@@ -146,6 +151,7 @@ impl DiagCode {
             DiagCode::DuplicateRule => "A004",
             DiagCode::UndefinedPredicate => "A005",
             DiagCode::ConflictComponents => "A006",
+            DiagCode::IncrementalMaintenance => "A007",
             DiagCode::GroundingBlowup => "G001",
             DiagCode::DuplicateConstraint => "C001",
             DiagCode::UnsatisfiableConstraint => "C002",
@@ -176,6 +182,7 @@ impl DiagCode {
             DiagCode::DuplicateRule => "duplicate-rule",
             DiagCode::UndefinedPredicate => "undefined-predicate",
             DiagCode::ConflictComponents => "conflict-components",
+            DiagCode::IncrementalMaintenance => "incremental-maintenance",
             DiagCode::GroundingBlowup => "grounding-blowup",
             DiagCode::DuplicateConstraint => "duplicate-constraint",
             DiagCode::UnsatisfiableConstraint => "unsatisfiable-constraint",
@@ -223,7 +230,8 @@ impl DiagCode {
             | DiagCode::FdIsKey
             | DiagCode::FoRewritable
             | DiagCode::AttackCycle
-            | DiagCode::ConflictComponents => Severity::Info,
+            | DiagCode::ConflictComponents
+            | DiagCode::IncrementalMaintenance => Severity::Info,
         }
     }
 
@@ -245,6 +253,9 @@ impl DiagCode {
             }
             DiagCode::ConflictComponents => {
                 "the conflict hyper-graph has independent components: repairs and CQA factorize"
+            }
+            DiagCode::IncrementalMaintenance => {
+                "how cached conflict state was revalidated: incremental delta, current, or full recompute"
             }
             DiagCode::GroundingBlowup => {
                 "the estimated grounding size exceeds the blow-up threshold"

@@ -31,15 +31,22 @@ use crate::hypergraph::ConflictHypergraph;
 use cqa_exec::{Budget, Outcome};
 use cqa_relation::Tid;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One connected component of a conflict hyper-graph: the sub-graph induced
 /// by a maximal set of tuples linked through hyper-edges. Every node of a
 /// component is covered by at least one of its edges (conflict-free tuples
 /// live in the frozen core instead), so a component always has a non-empty
 /// edge set and at least one minimal hitting set.
+///
+/// The inner graph is behind an [`Arc`]: cloning a component is a pointer
+/// bump, so [`ConflictComponents::apply_edge_delta`] carries untouched
+/// components over without re-copying their node and edge sets. Equality
+/// still compares by value (with a pointer-equality fast path for shared
+/// components).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComponentGraph {
-    graph: ConflictHypergraph,
+    graph: Arc<ConflictHypergraph>,
 }
 
 impl ComponentGraph {
@@ -224,12 +231,106 @@ impl ConflictComponents {
             .into_iter()
             .zip(edges_per)
             .map(|(nodes, edges)| ComponentGraph {
-                graph: ConflictHypergraph::new(nodes, edges),
+                graph: Arc::new(ConflictHypergraph::new(nodes, edges)),
             })
             .collect();
         ConflictComponents {
             frozen_core: graph.nodes.difference(&covered).copied().collect(),
             components,
+        }
+    }
+
+    /// Incrementally maintain the factorization under an edge delta:
+    /// rebuild **only** the components touched by a removed or added edge,
+    /// carry every untouched component over verbatim, and re-derive the
+    /// frozen core against `new_nodes`.
+    ///
+    /// `removed`/`added` must be the set difference between the old and new
+    /// graph's (canonical, superset-filtered) edge sets — exactly what
+    /// [`ConflictHypergraph::apply_delta`] feeds in. The result is
+    /// byte-identical to `ConflictComponents::compute` on the new graph:
+    ///
+    /// * a [`ComponentGraph`] is a pure function of its edge *set* (the
+    ///   canonical edge order is size-then-lexicographic, which the rebuilt
+    ///   region reproduces by pre-sorting its edges lexicographically), so
+    ///   untouched components can't drift;
+    /// * removing an edge can only split the component that owned it, and
+    ///   adding one can only merge components it touches — both confined to
+    ///   the rebuilt region, whose own union-find re-derives the split or
+    ///   merge;
+    /// * the canonical component order (ascending smallest tid) is restored
+    ///   by one ordered merge of the two disjoint component lists.
+    pub fn apply_edge_delta(
+        &self,
+        new_nodes: &BTreeSet<Tid>,
+        removed: &BTreeSet<BTreeSet<Tid>>,
+        added: &BTreeSet<BTreeSet<Tid>>,
+    ) -> ConflictComponents {
+        if removed.is_empty() && added.is_empty() {
+            // Only the node set may have drifted: conflict-free tuples
+            // entering or leaving the frozen core.
+            let covered: BTreeSet<Tid> = self
+                .components
+                .iter()
+                .flat_map(|c| c.tids())
+                .copied()
+                .collect();
+            return ConflictComponents {
+                frozen_core: new_nodes.difference(&covered).copied().collect(),
+                components: self.components.clone(),
+            };
+        }
+        // Delta edges touch few tuples: locate each one's owning component
+        // by direct membership probe instead of materializing the full
+        // tid → component index over every covered tuple.
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for edge in removed.iter().chain(added) {
+            for t in edge {
+                if let Some(c) = self.components.iter().position(|c| c.tids().contains(t)) {
+                    touched.insert(c);
+                }
+            }
+        }
+        // The rebuilt region: surviving edges of the touched components
+        // plus the added edges, in canonical pre-order (lexicographic; the
+        // constructor's stable size sort then reproduces the size-then-lex
+        // order a from-scratch build derives from its `BTreeSet` input).
+        let mut sub_edges: Vec<BTreeSet<Tid>> = Vec::new();
+        for &c in &touched {
+            for e in self.components[c].edges() {
+                if !removed.contains(e) {
+                    sub_edges.push(e.clone());
+                }
+            }
+        }
+        sub_edges.extend(added.iter().cloned());
+        sub_edges.sort();
+        sub_edges.dedup();
+        let sub_nodes: BTreeSet<Tid> = sub_edges.iter().flatten().copied().collect();
+        let sub = ConflictComponents::compute(&ConflictHypergraph::new(sub_nodes, sub_edges));
+        // Merge (disjoint: every covered tid of an added/removed edge maps
+        // to a touched component, so the rebuilt region shares no node with
+        // the untouched components).
+        let mut merged: Vec<ComponentGraph> = self
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !touched.contains(i))
+            .map(|(_, c)| c.clone())
+            .collect();
+        merged.extend(sub.components);
+        merged.sort_by_key(|c| c.tids().iter().next().copied());
+        // Components are disjoint, so a flat sort beats rebuilding a tree
+        // set over every covered tuple.
+        let mut covered: Vec<Tid> = merged.iter().flat_map(|c| c.tids()).copied().collect();
+        covered.sort_unstable();
+        ConflictComponents {
+            frozen_core: new_nodes
+                .iter()
+                .filter(|t| covered.binary_search(t).is_err())
+                .copied()
+                .collect(),
+            components: merged,
         }
     }
 

@@ -182,6 +182,24 @@ impl ConstraintSet {
         Ok(out)
     }
 
+    /// The denial-class violation sets involving at least one tuple from
+    /// `touched`: the union over Σ's denials of
+    /// [`DenialConstraint::violations_delta`]. Together with the retained
+    /// old sets (those disjoint from `touched`) this reconstitutes
+    /// [`ConstraintSet::denial_violations`] exactly — the incremental
+    /// maintenance identity `cqa-core`'s delta pipeline is built on.
+    pub fn denial_violations_delta<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+        touched: &BTreeSet<Tid>,
+    ) -> Result<BTreeSet<BTreeSet<Tid>>, RelationError> {
+        let mut out = BTreeSet::new();
+        for d in self.all_denials(facts.base())? {
+            out.extend(d.violations_delta(facts, touched));
+        }
+        Ok(out)
+    }
+
     /// All tgd violations of the visible facts against Σ.
     pub fn tgd_violations<F: Facts + ?Sized>(&self, facts: &F) -> Vec<TgdViolation> {
         self.tgds().flat_map(|t| t.violations(facts)).collect()

@@ -110,11 +110,234 @@ impl DenialConstraint {
         let mut out = BTreeSet::new();
         // Only the matched tids are needed: stay in id space, skip the
         // per-witness value materialization.
-        cqa_query::eval::for_each_witness_vids(facts, &self.body, NullSemantics::Sql, &mut |_, tids| {
-            out.insert(tids.iter().copied().collect());
-            true
-        });
+        cqa_query::eval::for_each_witness_vids(
+            facts,
+            &self.body,
+            NullSemantics::Sql,
+            &mut |_, tids| {
+                out.insert(tids.iter().copied().collect());
+                true
+            },
+        );
         out
+    }
+
+    /// The violation sets involving at least one tuple from `touched`:
+    /// exactly `{v ∈ violations(facts) : v ∩ touched ≠ ∅}`, computed by
+    /// pinning each body atom to the touched rows and joining only those
+    /// against the rest of the instance (through the base's cached hash
+    /// indexes where the body has the two-atom equi-join shape), instead
+    /// of rescanning every relation.
+    ///
+    /// This is the primitive behind incremental violation maintenance:
+    /// denial bodies are negation-free conjunctions, hence *monotone* —
+    /// after a mutation, every violation set not intersecting the touched
+    /// tids survives verbatim, and every new one involves a touched tid,
+    /// so `old sets disjoint from touched ∪ violations_delta(touched)` is
+    /// the full violation set of the new instance.
+    pub fn violations_delta<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+        touched: &BTreeSet<Tid>,
+    ) -> BTreeSet<BTreeSet<Tid>> {
+        let mut out = BTreeSet::new();
+        if touched.is_empty() {
+            return out;
+        }
+        if !self.body.negated.is_empty() {
+            // Defensive: constructors reject negation, but a negated body
+            // would not be monotone — filter a full scan instead.
+            return self
+                .violations(facts)
+                .into_iter()
+                .filter(|v| v.iter().any(|t| touched.contains(t)))
+                .collect();
+        }
+        if let Some(found) = self.delta_hash_join(facts, touched) {
+            return found;
+        }
+        // Generic shape (single atom, three-plus atoms, cross products):
+        // pin each atom in turn to each touched visible row, backtrack over
+        // the remaining atoms, check comparisons at the leaf.
+        let mode = NullSemantics::Sql;
+        let avs: Vec<AtomVids> = self
+            .body
+            .atoms
+            .iter()
+            .map(|a| AtomVids::resolve(facts, a, mode))
+            .collect();
+        if avs.iter().any(AtomVids::is_unmatchable) {
+            return out;
+        }
+        let n_atoms = self.body.atoms.len();
+        let n_vars = self.body.vars.len();
+        for pin in 0..n_atoms {
+            let atom = &self.body.atoms[pin];
+            for (tid, row) in delta_rows(facts, &atom.relation, touched) {
+                let mut bindings = VidBindings::new(n_vars);
+                if match_atom_vids(facts, atom, &avs[pin], &row, &mut bindings, mode).is_none() {
+                    continue;
+                }
+                let mut tids = vec![tid; n_atoms];
+                let rest: Vec<usize> = (0..n_atoms).filter(|&i| i != pin).collect();
+                self.extend_rest(facts, &avs, &rest, &mut bindings, &mut tids, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Recursive tail of the generic [`DenialConstraint::violations_delta`]
+    /// lane: bind the remaining atoms in order against all visible rows,
+    /// emit the tid set once every atom is bound and the comparisons hold.
+    fn extend_rest<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+        avs: &[AtomVids],
+        rest: &[usize],
+        bindings: &mut VidBindings,
+        tids: &mut [Tid],
+        out: &mut BTreeSet<BTreeSet<Tid>>,
+    ) {
+        let mode = NullSemantics::Sql;
+        let Some((&i, more)) = rest.split_first() else {
+            let ok = self.body.comparisons.iter().all(|c| {
+                match (
+                    bindings.resolve_value(facts, &c.left),
+                    bindings.resolve_value(facts, &c.right),
+                ) {
+                    (Some(a), Some(b)) => mode.cmp(c.op, &a, &b),
+                    _ => false, // unbound comparison variable: no witness
+                }
+            });
+            if ok {
+                out.insert(tids.iter().copied().collect());
+            }
+            return;
+        };
+        let atom = &self.body.atoms[i];
+        for (tid, row) in facts.vid_rows(&atom.relation) {
+            if let Some(newly) = match_atom_vids(facts, atom, &avs[i], &row, bindings, mode) {
+                tids[i] = tid;
+                self.extend_rest(facts, avs, more, bindings, tids, out);
+                for v in newly {
+                    bindings.unset(v);
+                }
+            }
+        }
+    }
+
+    /// The two-atom indexed lane of [`DenialConstraint::violations_delta`]:
+    /// pin each side to the touched rows and probe the other side through
+    /// the base's cached multi-column hash index (plus a linear pass over
+    /// the few overlay rows), mirroring the applicability conditions of
+    /// [`DenialConstraint::violations_hash_join`]. `None` when the body is
+    /// not that shape; the generic pinned backtracking runs instead.
+    fn delta_hash_join<F: Facts + ?Sized>(
+        &self,
+        facts: &F,
+        touched: &BTreeSet<Tid>,
+    ) -> Option<BTreeSet<BTreeSet<Tid>>> {
+        let [a0, a1] = self.body.atoms.as_slice() else {
+            return None;
+        };
+        let vars0: BTreeSet<Var> = a0.vars().collect();
+        let shared: Vec<Var> = a1
+            .vars()
+            .collect::<BTreeSet<Var>>()
+            .intersection(&vars0)
+            .copied()
+            .collect();
+        if shared.is_empty() {
+            return None; // cross product: nothing to hash on
+        }
+        let key_pos0: Vec<usize> = shared.iter().map(|&v| a0.positions_of(v)[0]).collect();
+        let key_pos1: Vec<usize> = shared.iter().map(|&v| a1.positions_of(v)[0]).collect();
+
+        let mode = NullSemantics::Sql;
+        let n_vars = self.body.vars.len();
+        let mut out = BTreeSet::new();
+        let av0 = AtomVids::resolve(facts, a0, mode);
+        let av1 = AtomVids::resolve(facts, a1, mode);
+        if av0.is_unmatchable() || av1.is_unmatchable() {
+            return Some(out);
+        }
+
+        let sides: [(&Atom, &Atom, &AtomVids, &AtomVids, &[usize], &[usize]); 2] = [
+            (a0, a1, &av0, &av1, &key_pos0, &key_pos1),
+            (a1, a0, &av1, &av0, &key_pos1, &key_pos0),
+        ];
+        for (pin, other, av_pin, av_other, key_pin, key_other) in sides {
+            'pins: for (tid_pin, row_pin) in delta_rows(facts, &pin.relation, touched) {
+                let mut bindings = VidBindings::new(n_vars);
+                if match_atom_vids(facts, pin, av_pin, &row_pin, &mut bindings, mode).is_none() {
+                    continue;
+                }
+                let mut key = Vec::with_capacity(key_pin.len());
+                for &p in key_pin {
+                    let Some(vid) = row_pin.at(p) else {
+                        continue 'pins;
+                    };
+                    if facts.vid_is_null(vid) {
+                        continue 'pins; // null never joins
+                    }
+                    key.push(vid);
+                }
+                // Shared variables are already bound from the pinned row,
+                // so `match_atom_vids` enforces the join; the index probe
+                // only narrows the candidates.
+                let mut consider = |tid_o: Tid, row_o: &VidRow<'_>, bindings: &mut VidBindings| {
+                    let Some(newly) =
+                        match_atom_vids(facts, other, av_other, row_o, bindings, mode)
+                    else {
+                        return;
+                    };
+                    let ok = self.body.comparisons.iter().all(|c| {
+                        match (
+                            bindings.resolve_value(facts, &c.left),
+                            bindings.resolve_value(facts, &c.right),
+                        ) {
+                            (Some(a), Some(b)) => mode.cmp(c.op, &a, &b),
+                            _ => false,
+                        }
+                    });
+                    if ok {
+                        out.insert([tid_pin, tid_o].into_iter().collect());
+                    }
+                    for v in newly {
+                        bindings.unset(v);
+                    }
+                };
+                let indexed = facts
+                    .base()
+                    .relation(&other.relation)
+                    .zip(facts.base().hash_index(&other.relation, key_other));
+                if let Some((rel, ix)) = indexed {
+                    let store = rel.store();
+                    for &pos in ix.rows_for(&key) {
+                        let pos = pos as usize;
+                        let Some(tid_o) = store.tid_at(pos) else {
+                            continue;
+                        };
+                        if facts.is_deleted(tid_o) {
+                            continue;
+                        }
+                        if let Some(row_o) = store.row(pos) {
+                            consider(tid_o, &row_o, &mut bindings);
+                        }
+                    }
+                    for (tid_o, row_o) in facts.overlay_rows(&other.relation) {
+                        consider(*tid_o, &VidRow::Slice(row_o), &mut bindings);
+                    }
+                } else {
+                    // No base index (unknown relation, zero key columns):
+                    // scan every visible row once instead.
+                    for (tid_o, row_o) in facts.vid_rows(&other.relation) {
+                        consider(tid_o, &row_o, &mut bindings);
+                    }
+                }
+            }
+        }
+        Some(out)
     }
 
     /// The hash-join fast path. `None` when the body doesn't have the
@@ -362,8 +585,7 @@ impl DenialConstraint {
         // Build and probe exactly like the generic lane, but buckets keep
         // only (tid, comparison-column ranks): the pair loop is pure u32s.
         let mut out = BTreeSet::new();
-        let mut index: WordHashMap<Vec<Vid>, Vec<(Tid, Vec<Option<u32>>)>> =
-            WordHashMap::default();
+        let mut index: WordHashMap<Vec<Vid>, Vec<(Tid, Vec<Option<u32>>)>> = WordHashMap::default();
         'build: for (tid1, row1) in facts.vid_rows(&a1.relation) {
             let mut key = Vec::with_capacity(key_pos1.len());
             for &p in key_pos1 {
@@ -528,6 +750,33 @@ fn rank_cmp(op: CmpOp, a: u32, b: u32) -> bool {
     }
 }
 
+/// The visible rows of `relation` whose tid is in `touched`: base rows
+/// still present (and not view-deleted) plus matching overlay rows. The
+/// order is irrelevant — every consumer inserts into a [`BTreeSet`].
+fn delta_rows<'f, F: Facts + ?Sized>(
+    facts: &'f F,
+    relation: &str,
+    touched: &BTreeSet<Tid>,
+) -> Vec<(Tid, VidRow<'f>)> {
+    let mut rows = Vec::new();
+    if let Some(rel) = facts.base().relation(relation) {
+        for &tid in touched {
+            if facts.is_deleted(tid) {
+                continue;
+            }
+            if let Some(row) = rel.vid_row_of(tid) {
+                rows.push((tid, row));
+            }
+        }
+    }
+    for (tid, row) in facts.overlay_rows(relation) {
+        if touched.contains(tid) {
+            rows.push((*tid, VidRow::Slice(row)));
+        }
+    }
+    rows
+}
+
 impl fmt::Display for DenialConstraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Render ¬∃(body) reusing the CQ display, stripping the `Q() :- `.
@@ -678,12 +927,12 @@ mod tests {
             db.insert("T", cqa_relation::Tuple::new([a, b, c])).unwrap();
         }
         for body in [
-            "T(x, y, u), T(x, z, v), y < z",  // FD-shaped var-var cmp
-            "T(x, y, u), T(x, z, v), y != z", // inequality
+            "T(x, y, u), T(x, z, v), y < z",         // FD-shaped var-var cmp
+            "T(x, y, u), T(x, z, v), y != z",        // inequality
             "T(x, y, u), T(x, z, v), y < z, u >= 2", // cmp on both rows
-            "T(x, y, u), T(x, z, v), y > 1",  // const present in data
-            "T(x, y, u), T(x, z, v), y < 100", // const absent from data
-            "T(x, y, u), T(x, z, v)",         // no comparison at all
+            "T(x, y, u), T(x, z, v), y > 1",         // const present in data
+            "T(x, y, u), T(x, z, v), y < 100",       // const absent from data
+            "T(x, y, u), T(x, z, v)",                // no comparison at all
         ] {
             let dc = DenialConstraint::parse("dc", body).unwrap();
             let [a0, a1] = dc.body.atoms.as_slice() else {
@@ -729,6 +978,97 @@ mod tests {
         })
         .unwrap();
         assert!(nullk.violations(&db).is_empty());
+    }
+
+    /// Reference semantics of `violations_delta`: filter the full set.
+    fn delta_reference(
+        dc: &DenialConstraint,
+        db: &Database,
+        touched: &BTreeSet<Tid>,
+    ) -> BTreeSet<BTreeSet<Tid>> {
+        dc.violations(db)
+            .into_iter()
+            .filter(|v| v.iter().any(|t| touched.contains(t)))
+            .collect()
+    }
+
+    #[test]
+    fn violations_delta_matches_filtered_full_scan() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("R", ["A", "B", "C"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        for i in 0..80u64 {
+            let c = if i % 13 == 0 {
+                cqa_relation::Value::NULL
+            } else {
+                cqa_relation::Value::Int((i % 3) as i64)
+            };
+            db.insert(
+                "R",
+                cqa_relation::Tuple::new([
+                    cqa_relation::Value::Int((i % 8) as i64),
+                    cqa_relation::Value::Int((i * 7 % 5) as i64),
+                    c,
+                ]),
+            )
+            .unwrap();
+        }
+        for i in 0..6i64 {
+            db.insert("S", tuple![i]).unwrap();
+        }
+        let all = db.tids();
+        let shapes = [
+            "R(x, y, u), R(x, z, v), y != z", // FD, hash-join lane
+            "R(x, y, u), R(x, y, v), u != v", // two join columns
+            "R(x, y, u), u >= 2",             // single atom + cmp
+            "S(x), R(x, y, u), S(y)",         // three atoms (kappa shape)
+            "R(x, y, u), S(z)",               // cross product
+        ];
+        for body in shapes {
+            let dc = DenialConstraint::parse("dc", body).unwrap();
+            // Empty delta, full delta, and a few partial windows.
+            assert!(dc.violations_delta(&db, &BTreeSet::new()).is_empty());
+            assert_eq!(dc.violations_delta(&db, &all), dc.violations(&db), "{body}");
+            for window in [
+                [Tid(1), Tid(2), Tid(3)].into(),
+                [Tid(40), Tid(81)].into(),
+                [Tid(83)].into(),
+                [Tid(999)].into(), // unknown tid: nothing pinned
+            ] as [BTreeSet<Tid>; 4]
+            {
+                assert_eq!(
+                    dc.violations_delta(&db, &window),
+                    delta_reference(&dc, &db, &window),
+                    "{body} / {window:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violations_delta_sees_view_overlays_and_deletions() {
+        use cqa_relation::DeltaView;
+        let db = example_3_5_db();
+        let kappa = DenialConstraint::parse("kappa", "S(x), R(x, y), S(y)").unwrap();
+        // Delete ι6 and insert S(a1): the view's violations change shape.
+        let dels: BTreeSet<Tid> = [Tid(6)].into();
+        let ins = [("S".to_string(), tuple!["a1"])];
+        let view = DeltaView::new(&db, &dels, &ins);
+        let full: BTreeSet<BTreeSet<Tid>> = kappa.violations(&view);
+        let visible: BTreeSet<Tid> = view.visible_tids();
+        assert_eq!(kappa.violations_delta(&view, &visible), full);
+        // A delta pinned to the overlay tid finds the overlay's violations.
+        let overlay_tid = Tid(db.tid_watermark());
+        let pinned = kappa.violations_delta(&view, &[overlay_tid].into());
+        let expected: BTreeSet<BTreeSet<Tid>> = full
+            .iter()
+            .filter(|v| v.contains(&overlay_tid))
+            .cloned()
+            .collect();
+        assert_eq!(pinned, expected);
+        // The deleted tid pins nothing.
+        assert!(kappa.violations_delta(&view, &dels).is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::components::ConflictComponents;
 use cqa_exec::{Budget, Outcome};
 use cqa_relation::Tid;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -39,6 +39,14 @@ fn par_split_depth() -> usize {
     (4 * cqa_exec::threads())
         .next_power_of_two()
         .trailing_zeros() as usize
+}
+
+/// The canonical (size, then lexicographic) edge order: a total order that
+/// is a pure function of the edge set, shared by [`ConflictHypergraph::new`]
+/// and the delta-maintenance paths (which binary-search and merge stored
+/// edge lists under exactly this order).
+fn canonical_edge_order(a: &BTreeSet<Tid>, b: &BTreeSet<Tid>) -> std::cmp::Ordering {
+    a.len().cmp(&b.len()).then_with(|| a.cmp(b))
 }
 
 /// A conflict hyper-graph.
@@ -96,13 +104,48 @@ impl Eq for ConflictHypergraph {}
 impl ConflictHypergraph {
     /// Build from nodes and raw violation sets; dedupes and drops edges that
     /// are supersets of other edges (hitting the subset hits the superset).
+    ///
+    /// Edges are processed in ascending size, so a kept subset always
+    /// precedes the supersets it eliminates. Small edges (denial bodies are
+    /// short, so this is the normal case) test "does a kept subset exist?"
+    /// by enumerating their own proper subsets against a hash set of kept
+    /// edges — `O(E · 2^|e|)` instead of the quadratic `O(E²)` pairwise
+    /// scan, which made instances with ~10⁵ conflict pairs unusable. Edges
+    /// too wide to enumerate fall back to the pairwise scan.
     pub fn new(nodes: BTreeSet<Tid>, raw_edges: impl IntoIterator<Item = BTreeSet<Tid>>) -> Self {
         let mut edges: Vec<BTreeSet<Tid>> = raw_edges.into_iter().collect();
-        edges.sort_by_key(BTreeSet::len);
+        // Full canonical (size, lexicographic) sort: the stored edge order
+        // is a pure function of the edge *set* regardless of input order,
+        // which is what lets `apply_violation_delta` binary-search it and
+        // merge into it.
+        edges.sort_by(canonical_edge_order);
         edges.dedup();
         let mut kept: Vec<BTreeSet<Tid>> = Vec::with_capacity(edges.len());
+        // Keys are sorted element vectors (ascending-order masks over an
+        // ascending element list stay sorted): one flat allocation per
+        // probe instead of a tree, and cheap to hash.
+        let mut kept_index: HashSet<Vec<Tid>> = HashSet::with_capacity(edges.len());
+        const ENUM_WIDTH: usize = 12;
         for e in edges {
-            if !kept.iter().any(|k| k.is_subset(&e)) {
+            let dominated = if e.len() <= ENUM_WIDTH {
+                let elems: Vec<Tid> = e.iter().copied().collect();
+                // Proper non-empty subsets only: the canonical sort makes
+                // exact duplicates adjacent, so `dedup` already removed
+                // them all and the full mask can never hit.
+                (1..(1u32 << elems.len()) - 1).any(|mask| {
+                    let sub: Vec<Tid> = elems
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, t)| *t)
+                        .collect();
+                    kept_index.contains(&sub)
+                })
+            } else {
+                kept.iter().any(|k| k.is_subset(&e))
+            };
+            if !dominated {
+                kept_index.insert(e.iter().copied().collect());
                 kept.push(e);
             }
         }
@@ -122,6 +165,178 @@ impl ConflictHypergraph {
             self.components
                 .get_or_init(|| Arc::new(ConflictComponents::compute(self))),
         )
+    }
+
+    /// Build the graph for a new `(nodes, violations)` pair while
+    /// incrementally maintaining the component factorization: diff the old
+    /// and new canonical edge sets and hand
+    /// [`ConflictComponents::apply_edge_delta`] the removed/added edges, so
+    /// only the touched components are rebuilt — never the whole
+    /// decomposition. If this graph's component cache was never filled
+    /// there is nothing to maintain and the new graph stays lazy.
+    ///
+    /// The result is byte-identical to `ConflictHypergraph::new` followed
+    /// by a fresh [`ConflictHypergraph::components`] call: the edge
+    /// canonicalization (size-then-lexicographic order, superset filter) is
+    /// a pure function of the violation *set*, and the component merge
+    /// preserves canonical component order.
+    pub fn apply_delta(
+        &self,
+        nodes: BTreeSet<Tid>,
+        violations: impl IntoIterator<Item = BTreeSet<Tid>>,
+    ) -> ConflictHypergraph {
+        let next = ConflictHypergraph::new(nodes, violations);
+        if let Some(old) = self.components.get() {
+            // Both edge lists are in canonical (size, lexicographic) order —
+            // a pure function of the edge set — so a single merge walk finds
+            // the symmetric difference without building index sets.
+            let mut removed: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+            let mut added: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+            let (mut i, mut j) = (0, 0);
+            while i < self.edges.len() || j < next.edges.len() {
+                match (self.edges.get(i), next.edges.get(j)) {
+                    (Some(o), Some(n)) => match canonical_edge_order(o, n) {
+                        std::cmp::Ordering::Equal => {
+                            i += 1;
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Less => {
+                            removed.insert(o.clone());
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            added.insert(n.clone());
+                            j += 1;
+                        }
+                    },
+                    (Some(o), None) => {
+                        removed.insert(o.clone());
+                        i += 1;
+                    }
+                    (None, Some(n)) => {
+                        added.insert(n.clone());
+                        j += 1;
+                    }
+                    (None, None) => break,
+                }
+            }
+            let maintained = old.apply_edge_delta(&next.nodes, &removed, &added);
+            // A freshly built graph has an empty cache: this always wins.
+            let _ = next.components.set(Arc::new(maintained));
+        }
+        next
+    }
+
+    /// Build the graph for the post-mutation violation set from the delta
+    /// alone — never re-canonicalizing the full edge list the way
+    /// [`ConflictHypergraph::apply_delta`] does via a from-scratch rebuild.
+    /// `dirty` is the set of touched tids and `added` the violation sets
+    /// re-derived for them; the new violation set is understood to be
+    /// "every old violation disjoint from `dirty`, plus `added`" — the
+    /// monotone-denial maintenance identity. **Every set in `added` must
+    /// intersect `dirty`** (a violation involving no touched tuple is not a
+    /// delta; debug builds assert this).
+    ///
+    /// Why a merge suffices for byte-identity with a from-scratch build:
+    ///
+    /// * a superset of a dirty-touching edge touches dirty itself, so
+    ///   removing the dirty-touching kept edges can never resurrect an edge
+    ///   they dominated — the dominated sets are gone too;
+    /// * surviving kept edges are disjoint from `dirty` while every added
+    ///   set intersects it, so no added set can equal or dominate a
+    ///   surviving kept edge;
+    /// * hence the new canonical edge set is exactly the surviving kept
+    ///   edges merged (in canonical order) with the added sets that are not
+    ///   themselves dominated — and domination of an added set is decided
+    ///   by binary-searching its proper subsets in the stored canonical
+    ///   edge list (skipping dirty-touching hits) and in the added sets
+    ///   accepted so far.
+    ///
+    /// Components are maintained through
+    /// [`ConflictComponents::apply_edge_delta`] exactly as in `apply_delta`.
+    pub fn apply_violation_delta(
+        &self,
+        nodes: BTreeSet<Tid>,
+        dirty: &BTreeSet<Tid>,
+        added: &BTreeSet<BTreeSet<Tid>>,
+    ) -> ConflictHypergraph {
+        debug_assert!(
+            added.iter().all(|a| a.iter().any(|t| dirty.contains(t))),
+            "added violation sets must intersect the dirty tids"
+        );
+        let touches_dirty = |e: &BTreeSet<Tid>| e.iter().any(|t| dirty.contains(t));
+        // Canonically filter the added sets, smallest first. A hit in the
+        // stored edge list only counts when the found edge survives (is
+        // disjoint from `dirty`): the probe target may itself be one of the
+        // edges this delta removes.
+        let mut add_sorted: Vec<&BTreeSet<Tid>> = added.iter().collect();
+        add_sorted.sort_by(|a, b| canonical_edge_order(a, b));
+        let mut accepted: Vec<BTreeSet<Tid>> = Vec::new();
+        const ENUM_WIDTH: usize = 12;
+        for a in add_sorted {
+            let dominated = if a.len() <= ENUM_WIDTH {
+                let elems: Vec<Tid> = a.iter().copied().collect();
+                // Proper non-empty subsets only: equality with a surviving
+                // kept edge is impossible (`a` touches dirty) and `added`
+                // holds no duplicates.
+                (1..(1u32 << elems.len()) - 1).any(|mask| {
+                    let sub: BTreeSet<Tid> = elems
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, t)| *t)
+                        .collect();
+                    let in_kept = self
+                        .edges
+                        .binary_search_by(|e| canonical_edge_order(e, &sub))
+                        .ok()
+                        .and_then(|i| self.edges.get(i))
+                        .is_some_and(|e| !touches_dirty(e));
+                    in_kept
+                        || accepted
+                            .binary_search_by(|e| canonical_edge_order(e, &sub))
+                            .is_ok()
+                })
+            } else {
+                self.edges
+                    .iter()
+                    .any(|k| !touches_dirty(k) && k.is_subset(a))
+                    || accepted.iter().any(|k| k.is_subset(a))
+            };
+            if !dominated {
+                accepted.push(a.clone());
+            }
+        }
+        // Ordered merge: surviving kept edges and accepted added sets, both
+        // already in canonical order (ties are impossible — see above).
+        let mut next_edges: Vec<BTreeSet<Tid>> =
+            Vec::with_capacity(self.edges.len() + accepted.len());
+        let mut removed: BTreeSet<BTreeSet<Tid>> = BTreeSet::new();
+        let mut add_iter = accepted.iter().peekable();
+        for e in &self.edges {
+            if touches_dirty(e) {
+                removed.insert(e.clone());
+                continue;
+            }
+            while let Some(a) =
+                add_iter.next_if(|a| canonical_edge_order(a, e) == std::cmp::Ordering::Less)
+            {
+                next_edges.push(a.clone());
+            }
+            next_edges.push(e.clone());
+        }
+        next_edges.extend(add_iter.cloned());
+        let next = ConflictHypergraph {
+            nodes,
+            edges: next_edges,
+            components: OnceLock::new(),
+        };
+        if let Some(old) = self.components.get() {
+            let added_edges: BTreeSet<BTreeSet<Tid>> = accepted.into_iter().collect();
+            let maintained = old.apply_edge_delta(&next.nodes, &removed, &added_edges);
+            let _ = next.components.set(Arc::new(maintained));
+        }
+        next
     }
 
     /// Number of hyper-edges.
@@ -964,6 +1179,54 @@ mod tests {
         let fresh = figure_1();
         assert_eq!(g, fresh);
         assert_eq!(format!("{g:?}"), format!("{fresh:?}"));
+    }
+
+    #[test]
+    fn apply_delta_maintains_components_identically() {
+        // Drive a mixed add/remove sequence over raw violation sets
+        // (including duplicates and supersets, which canonicalization must
+        // absorb) and check the maintained graph + factorization stay
+        // byte-identical to recompute-from-scratch at every step.
+        let nodes: BTreeSet<Tid> = (1..=20).map(Tid).collect();
+        let mut raw: BTreeSet<BTreeSet<Tid>> = [
+            tids(&[1, 2]),
+            tids(&[3, 4, 5]),
+            tids(&[5, 6]),
+            tids(&[10, 11]),
+            tids(&[1, 2, 9]), // superset: filtered out by canonicalization
+        ]
+        .into();
+        let mut graph = ConflictHypergraph::new(nodes.clone(), raw.iter().cloned());
+        let _ = graph.components(); // prime the cache so deltas maintain it
+        let steps: Vec<(bool, BTreeSet<Tid>)> = vec![
+            (true, tids(&[6, 10])),      // merge two components
+            (false, tids(&[6, 10])),     // split them again
+            (true, tids(&[2, 3])),       // merge
+            (true, tids(&[18, 19, 20])), // brand-new component
+            (false, tids(&[10, 11])),    // remove a whole component
+            (true, tids(&[9])),          // singleton edge dominates {1,2,9}
+            (false, tids(&[1, 2])),      // shrink
+            (false, tids(&[3, 4, 5])),   // shrink more
+        ];
+        for (add, edge) in steps {
+            if add {
+                raw.insert(edge);
+            } else {
+                raw.remove(&edge);
+            }
+            let maintained = graph.apply_delta(nodes.clone(), raw.iter().cloned());
+            let scratch = ConflictHypergraph::new(nodes.clone(), raw.iter().cloned());
+            assert_eq!(maintained, scratch);
+            // The maintained cache was pre-filled by the delta…
+            assert!(maintained.components.get().is_some());
+            // …and is structurally identical to a from-scratch compute.
+            assert_eq!(*maintained.components(), *scratch.components());
+            graph = maintained;
+        }
+        // Without a primed cache, apply_delta stays lazy.
+        let lazy = ConflictHypergraph::new(nodes.clone(), raw.iter().cloned());
+        let next = lazy.apply_delta(nodes, raw.iter().cloned());
+        assert!(next.components.get().is_none());
     }
 
     #[test]

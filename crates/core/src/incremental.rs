@@ -11,7 +11,7 @@
 
 use crate::repair::Repair;
 use cqa_constraints::{ConflictHypergraph, ConstraintSet};
-use cqa_relation::{Database, RelationError, Tid, Tuple};
+use cqa_relation::{Database, DeltaView, Facts, RelationError, Tid, Tuple};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -48,13 +48,13 @@ pub fn repairs_after_insert(
     let (updated, new_tids) = db.with_changes(&BTreeSet::new(), new_tuples)?;
     let updated = Arc::new(updated);
 
-    // All violations of the updated instance involve a new tuple; collect
-    // them and assert the locality property in debug builds.
-    let violations = sigma.denial_violations(&*updated)?;
+    // Every violation of the updated instance involves a new tuple (denial
+    // bodies are monotone and `db` was consistent), so the delta join over
+    // the new tids finds them all — no full rescan. Debug builds assert the
+    // locality property against the reference scan.
     let new_set: BTreeSet<Tid> = new_tids.iter().copied().collect();
-    debug_assert!(violations
-        .iter()
-        .all(|v| v.iter().any(|t| new_set.contains(t))));
+    let violations = sigma.denial_violations_delta(&*updated, &new_set)?;
+    debug_assert_eq!(violations, sigma.denial_violations(&*updated)?);
 
     let graph = ConflictHypergraph::new(updated.tids(), violations);
     let mut repairs = Vec::new();
@@ -71,11 +71,31 @@ pub fn repairs_after_insert(
 
 /// Is the updated instance still consistent after inserting `new_tuples`
 /// (no repair needed)?
+///
+/// For denial-class Σ nothing is materialized: the insertions are overlaid
+/// as a [`DeltaView`] and only the delta join runs — by monotonicity the
+/// updated instance satisfies Σ iff the base did and no new violation
+/// touches an inserted tuple. Σ with tgds falls back to materializing.
 pub fn insert_preserves_consistency(
     db: &Database,
     sigma: &ConstraintSet,
     new_tuples: &[(String, Tuple)],
 ) -> Result<bool, RelationError> {
+    if sigma.is_denial_class() {
+        if !sigma.is_satisfied(db)? {
+            return Ok(false);
+        }
+        let deleted = BTreeSet::new();
+        let view = DeltaView::new(db, &deleted, new_tuples);
+        let touched: BTreeSet<Tid> = new_tuples
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .flat_map(|name| view.overlay_rows(name).iter().map(|(tid, _)| *tid))
+            .collect();
+        return Ok(sigma.denial_violations_delta(&view, &touched)?.is_empty());
+    }
     let (updated, _) = db.with_changes(&BTreeSet::new(), new_tuples)?;
     sigma.is_satisfied(&updated)
 }
@@ -142,6 +162,27 @@ mod tests {
         let (mut db, sigma) = base();
         db.insert("T", tuple![1, 11]).unwrap();
         assert!(repairs_after_insert(&db, &sigma, &[]).is_err());
+    }
+
+    #[test]
+    fn consistency_check_runs_on_the_view_without_materializing() {
+        let (db, sigma) = base();
+        // Conflicting insert: detected by the delta join over the overlay.
+        assert!(
+            !insert_preserves_consistency(&db, &sigma, &[("T".into(), tuple![1, 99])]).unwrap()
+        );
+        // An inconsistent base never becomes consistent by inserting.
+        let (mut dirty, _) = base();
+        dirty.insert("T", tuple![1, 11]).unwrap();
+        assert!(
+            !insert_preserves_consistency(&dirty, &sigma, &[("T".into(), tuple![9, 9])]).unwrap()
+        );
+        // Σ with a tgd takes the materializing fallback.
+        let mut with_tgd = sigma.clone();
+        with_tgd.push(cqa_constraints::Tgd::parse("t", "T(v, v) :- T(k, v)").unwrap());
+        assert!(
+            !insert_preserves_consistency(&db, &with_tgd, &[("T".into(), tuple![4, 40])]).unwrap()
+        );
     }
 
     #[test]

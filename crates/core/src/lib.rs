@@ -18,12 +18,15 @@
 //! * [`rewrite`] — first-order rewritings: the 1999 residue method and the
 //!   Koutris–Wijsen attack-graph rewriting for keys (§2.2, §3.2).
 //! * [`checking`] — repair checking and counting (§3.2).
+//! * [`delta`] — delta-driven incremental maintenance of violations and the
+//!   conflict hyper-graph under updates (incremental repair semantics, §7).
 //! * [`measures`] — repair-based inconsistency degrees (§8).
 
 pub mod attr_repair;
 pub mod checking;
 pub mod cqa;
 pub mod crepair;
+pub mod delta;
 pub mod factored;
 pub mod incremental;
 pub mod measures;
@@ -54,6 +57,7 @@ pub use crepair::{
     c_repairs, c_repairs_arc, c_repairs_budgeted, c_repairs_with, c_repairs_with_arc,
     min_repair_distance,
 };
+pub use delta::{IncrementalState, MaintenanceDecision};
 pub use factored::{
     factored_c_repairs_budgeted, factored_s_repairs_budgeted, FactoredRepairSet, Factorization,
     ProductDeltas,
@@ -62,7 +66,8 @@ pub use incremental::{insert_preserves_consistency, repairs_after_insert, Increm
 pub use measures::{core_gap, inconsistency_degree};
 pub use nullrepair::{has_solution, null_tuple_repairs, NullTupleRepair, RepairStyle};
 pub use planner::{
-    answer_consistently, answer_consistently_budgeted, plan_diagnostics, PlannedAnswer, Strategy,
+    answer_consistently, answer_consistently_budgeted, answer_consistently_incremental,
+    plan_diagnostics, PlannedAnswer, Strategy,
 };
 pub use prioritized::{globally_optimal_repairs, pareto_optimal_repairs, PriorityRelation};
 pub use privacy::SecrecyView;

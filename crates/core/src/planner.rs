@@ -11,10 +11,11 @@
 //! how ConsEx surfaced its magic-set rewriting decisions.
 
 use crate::cqa::{consistent_answers_budgeted, factored_certain_with, RepairClass};
+use crate::delta::IncrementalState;
 use crate::factored::Factorization;
 use crate::rewrite::keys::{rewrite_key_query, KeyPositions, KeyRewriteError};
 use cqa_analysis::{lint_constraints, lint_query, DiagCode, Diagnostic};
-use cqa_constraints::{Constraint, ConstraintSet};
+use cqa_constraints::{ConflictHypergraph, Constraint, ConstraintSet};
 use cqa_exec::{Budget, Outcome};
 use cqa_query::{eval_fo, NullSemantics, UnionQuery};
 use cqa_relation::{Database, RelationError, Tuple};
@@ -107,9 +108,55 @@ pub fn answer_consistently_budgeted(
     budget: &Budget,
 ) -> Result<Outcome<PlannedAnswer>, RelationError> {
     let diagnostics = plan_diagnostics(db, sigma, query);
+    let consistent = sigma.is_satisfied(db)?;
+    plan_with(db, sigma, query, budget, consistent, None, diagnostics)
+}
 
+/// [`answer_consistently_budgeted`] against a delta-maintained
+/// [`IncrementalState`]: the state is refreshed (incrementally when the
+/// change log permits, from scratch otherwise), the maintained hyper-graph
+/// is handed to the repair fallback instead of being rebuilt, and the
+/// refresh decision is reported as the A007 `incremental-maintenance`
+/// diagnostic. Answers are identical to [`answer_consistently_budgeted`]
+/// on the same instance — only the work to get there changes.
+pub fn answer_consistently_incremental(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    state: &mut IncrementalState,
+    budget: &Budget,
+) -> Result<Outcome<PlannedAnswer>, RelationError> {
+    let decision = state.refresh_budgeted(db, sigma, budget)?.clone();
+    let mut diagnostics = plan_diagnostics(db, sigma, query);
+    diagnostics.push(incremental_diagnostic(&decision));
+    // Σ is denial-class (IncrementalState::new enforces it), so the
+    // instance is consistent exactly when the maintained graph is edgeless.
+    let consistent = state.is_consistent();
+    plan_with(
+        db,
+        sigma,
+        query,
+        budget,
+        consistent,
+        Some(state.graph()),
+        diagnostics,
+    )
+}
+
+/// The shared planning core: strategy selection given an already-settled
+/// consistency verdict and, optionally, a prebuilt conflict hyper-graph for
+/// the repair fallback (the incremental path supplies its maintained one).
+fn plan_with(
+    db: &Database,
+    sigma: &ConstraintSet,
+    query: &UnionQuery,
+    budget: &Budget,
+    consistent: bool,
+    prebuilt: Option<&ConflictHypergraph>,
+    diagnostics: Vec<Diagnostic>,
+) -> Result<Outcome<PlannedAnswer>, RelationError> {
     // Consistent instance: certain answers are the plain answers.
-    if sigma.is_satisfied(db)? {
+    if consistent {
         return Ok(Outcome::Exact(PlannedAnswer {
             answers: cqa_query::eval_ucq(db, query, NullSemantics::Sql)
                 .into_iter()
@@ -136,10 +183,18 @@ pub fn answer_consistently_budgeted(
                         "attack graph cyclic at atoms {} and {}: CQA is coNP-complete",
                         witness.0, witness.1
                     );
-                    return fallback(db, sigma, query, reason, diagnostics, budget);
+                    return fallback(db, sigma, query, reason, diagnostics, budget, prebuilt);
                 }
                 Err(e) => {
-                    return fallback(db, sigma, query, e.to_string(), diagnostics, budget);
+                    return fallback(
+                        db,
+                        sigma,
+                        query,
+                        e.to_string(),
+                        diagnostics,
+                        budget,
+                        prebuilt,
+                    );
                 }
             }
         }
@@ -150,6 +205,7 @@ pub fn answer_consistently_budgeted(
             "query is a union, not a single CQ".into(),
             diagnostics,
             budget,
+            prebuilt,
         );
     }
     // Non-key Σ: say *why* in terms of what the lints recognized.
@@ -166,9 +222,10 @@ pub fn answer_consistently_budgeted(
     {
         reason.push_str("; Σ contains redundant constraints (C001/C003)");
     }
-    fallback(db, sigma, query, reason, diagnostics, budget)
+    fallback(db, sigma, query, reason, diagnostics, budget, prebuilt)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fallback(
     db: &Database,
     sigma: &ConstraintSet,
@@ -176,6 +233,7 @@ fn fallback(
     reason: String,
     mut diagnostics: Vec<Diagnostic>,
     budget: &Budget,
+    prebuilt: Option<&ConflictHypergraph>,
 ) -> Result<Outcome<PlannedAnswer>, RelationError> {
     // Factored path: with ≥ 2 conflict components the repair family is a
     // cross-product of independent per-component families, so enumeration
@@ -183,10 +241,17 @@ fn fallback(
     // Single-component instances keep the monolithic path — the
     // factorization would be the identity.
     if sigma.is_denial_class() {
-        let graph = sigma.conflict_hypergraph(db)?;
+        let owned;
+        let graph = match prebuilt {
+            Some(g) => g,
+            None => {
+                owned = sigma.conflict_hypergraph(db)?;
+                &owned
+            }
+        };
         if graph.components().components.len() >= 2 {
             let base = std::sync::Arc::new(db.clone());
-            let out = factored_certain_with(&base, &graph, query, &RepairClass::Subset, budget)?;
+            let out = factored_certain_with(&base, graph, query, &RepairClass::Subset, budget)?;
             return Ok(out.map(|(answers, factorization)| {
                 diagnostics.push(factorization_diagnostic(&factorization));
                 PlannedAnswer {
@@ -206,6 +271,12 @@ fn fallback(
         strategy: Strategy::RepairEnumeration { reason },
         diagnostics,
     }))
+}
+
+/// The A007 informational finding describing how the incremental planner
+/// revalidated its cached conflict state.
+fn incremental_diagnostic(decision: &crate::delta::MaintenanceDecision) -> Diagnostic {
+    Diagnostic::new(DiagCode::IncrementalMaintenance, decision.describe())
 }
 
 /// The A006 informational finding describing a factorized run.
@@ -360,6 +431,44 @@ mod tests {
             Strategy::RepairEnumeration { reason } => assert!(reason.contains("union")),
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn incremental_planner_matches_batch_and_reports_a007() {
+        let (mut db, sigma) = employee();
+        let mut state = IncrementalState::new(&db, &sigma).unwrap();
+        let q = cqa_query::parse_ucq("Q(x) :- Employee(x, y)\nQ(x) :- Employee(x, 3000)").unwrap();
+        // Mutate: a second conflicting name group appears.
+        db.insert("Employee", tuple!["smith", 3500]).unwrap();
+        let budget = Budget::unlimited();
+        let incr = answer_consistently_incremental(&db, &sigma, &q, &mut state, &budget)
+            .unwrap()
+            .into_value();
+        let batch = answer_consistently(&db, &sigma, &q).unwrap();
+        assert_eq!(incr.answers, batch.answers);
+        assert_eq!(incr.strategy, batch.strategy);
+        let a007 = incr
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::IncrementalMaintenance)
+            .expect("A007 diagnostic");
+        assert!(a007.message.contains("incrementally"), "{}", a007.message);
+        // A second call with no new mutations reports a fresh cache.
+        let again = answer_consistently_incremental(&db, &sigma, &q, &mut state, &budget)
+            .unwrap()
+            .into_value();
+        assert_eq!(again.answers, batch.answers);
+        assert!(again
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::IncrementalMaintenance && d.message.contains("current")));
+        // Consistent after removing the conflicts: direct evaluation.
+        db.delete(cqa_relation::Tid(2)).unwrap();
+        db.delete(cqa_relation::Tid(4)).unwrap();
+        let direct = answer_consistently_incremental(&db, &sigma, &q, &mut state, &budget)
+            .unwrap()
+            .into_value();
+        assert_eq!(direct.strategy, Strategy::DirectEvaluation);
     }
 
     #[test]

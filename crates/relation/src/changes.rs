@@ -1,0 +1,197 @@
+//! Mutation epochs and the per-relation change log.
+//!
+//! Every mutation of a [`crate::Database`] bumps a monotone **epoch** and
+//! appends one [`Change`] record naming the touched relation and tid. A
+//! consumer that cached an artifact at epoch `e` can later ask
+//! [`crate::Database::changes_since`]`(e)` for exactly the mutations it
+//! missed and revalidate incrementally instead of recomputing from scratch.
+//!
+//! The log is bounded: once it grows past twice its capacity the oldest
+//! half is compacted away. `changes_since` then answers `None` for epochs
+//! older than the retained window, which consumers must treat as "recompute
+//! from scratch" — never as "nothing changed".
+
+use crate::tuple::Tid;
+
+/// One mutation record: which relation (by index into
+/// [`crate::Database::relations`]) and which tid were touched.
+///
+/// Relations are append-only in the database (never removed), so the index
+/// is a stable name across the log's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Change {
+    /// A tuple was inserted (fresh tid).
+    Insert {
+        /// Index of the touched relation in [`crate::Database::relations`].
+        relation: usize,
+        /// The freshly assigned tid.
+        tid: Tid,
+    },
+    /// A tuple was deleted.
+    Delete {
+        /// Index of the touched relation in [`crate::Database::relations`].
+        relation: usize,
+        /// The removed tid.
+        tid: Tid,
+    },
+    /// A tuple's content changed in place (same tid, new values).
+    Update {
+        /// Index of the touched relation in [`crate::Database::relations`].
+        relation: usize,
+        /// The updated tid.
+        tid: Tid,
+    },
+}
+
+impl Change {
+    /// Index of the relation this change touched.
+    pub fn relation(&self) -> usize {
+        match *self {
+            Change::Insert { relation, .. }
+            | Change::Delete { relation, .. }
+            | Change::Update { relation, .. } => relation,
+        }
+    }
+
+    /// The tid this change touched.
+    pub fn tid(&self) -> Tid {
+        match *self {
+            Change::Insert { tid, .. }
+            | Change::Delete { tid, .. }
+            | Change::Update { tid, .. } => tid,
+        }
+    }
+}
+
+/// Default number of retained change records (see [`ChangeLog`]).
+pub const DEFAULT_LOG_CAPACITY: usize = 4096;
+
+/// A bounded, epoch-indexed log of recent mutations.
+///
+/// Entry `i` of `entries` happened at epoch `first_epoch + i + 1` (epochs
+/// count *completed* mutations: a database at epoch `e` has `e` mutations
+/// behind it, and `changes_since(e0)` returns the records for epochs
+/// `e0+1 ..= e`).
+#[derive(Debug, Clone)]
+pub struct ChangeLog {
+    /// Epoch of the database state just before `entries[0]` was applied.
+    first_epoch: u64,
+    entries: Vec<Change>,
+    capacity: usize,
+}
+
+impl Default for ChangeLog {
+    fn default() -> ChangeLog {
+        ChangeLog::with_capacity(DEFAULT_LOG_CAPACITY)
+    }
+}
+
+impl ChangeLog {
+    /// A log retaining at least `capacity` records before compaction.
+    pub fn with_capacity(capacity: usize) -> ChangeLog {
+        ChangeLog {
+            first_epoch: 0,
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append a record for the mutation that produced `epoch` (the *new*
+    /// epoch, i.e. `old_epoch + 1`). Compacts the oldest half once the log
+    /// exceeds twice its capacity.
+    pub fn push(&mut self, change: Change) {
+        self.entries.push(change);
+        if self.entries.len() > self.capacity * 2 {
+            let drop = self.entries.len() - self.capacity;
+            self.entries.drain(..drop);
+            self.first_epoch += drop as u64;
+        }
+    }
+
+    /// The records for epochs `since+1 ..= now`, oldest first, or `None` if
+    /// `since` predates the retained window (consumer must recompute) or
+    /// lies in the future (stale consumer state from a different database).
+    pub fn changes_since(&self, since: u64, now: u64) -> Option<&[Change]> {
+        if since > now || since < self.first_epoch {
+            return None;
+        }
+        let skip = usize::try_from(since - self.first_epoch).ok()?;
+        self.entries.get(skip..)
+    }
+
+    /// Drop all records and mark everything before `epoch` as unavailable.
+    /// Used for structural mutations (e.g. new relations) that are not
+    /// representable as tuple-level changes.
+    pub fn reset(&mut self, epoch: u64) {
+        self.entries.clear();
+        self.first_epoch = epoch;
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn changes_since_windows() {
+        let mut log = ChangeLog::with_capacity(8);
+        for i in 0..5u64 {
+            log.push(Change::Insert {
+                relation: 0,
+                tid: Tid(i + 1),
+            });
+        }
+        // All five from the start.
+        let all = log.changes_since(0, 5).unwrap();
+        assert_eq!(all.len(), 5);
+        // Tail only.
+        let tail = log.changes_since(3, 5).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].tid(), Tid(4));
+        // Caught up: empty slice, not None.
+        assert_eq!(log.changes_since(5, 5).unwrap().len(), 0);
+        // Future epoch: None.
+        assert!(log.changes_since(6, 5).is_none());
+    }
+
+    #[test]
+    fn compaction_forgets_oldest() {
+        let mut log = ChangeLog::with_capacity(4);
+        for i in 0..9u64 {
+            log.push(Change::Delete {
+                relation: 1,
+                tid: Tid(i + 1),
+            });
+        }
+        // 9 entries exceeds 2*4: compacted down to 4, first_epoch = 5.
+        assert_eq!(log.len(), 4);
+        assert!(log.changes_since(0, 9).is_none());
+        assert!(log.changes_since(4, 9).is_none());
+        let tail = log.changes_since(5, 9).unwrap();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].tid(), Tid(6));
+    }
+
+    #[test]
+    fn reset_invalidates_everything() {
+        let mut log = ChangeLog::with_capacity(4);
+        log.push(Change::Insert {
+            relation: 0,
+            tid: Tid(1),
+        });
+        log.reset(1);
+        assert!(log.is_empty());
+        assert!(log.changes_since(0, 1).is_none());
+        assert_eq!(log.changes_since(1, 1).unwrap().len(), 0);
+    }
+}

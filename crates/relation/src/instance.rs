@@ -13,6 +13,7 @@
 //! asks for `&Tuple`s — id-space consumers (joins, indexes, CQA folds)
 //! never pay for it.
 
+use crate::changes::{Change, ChangeLog};
 use crate::column::{ColumnStore, ContentMap, VidRow};
 use crate::dict::{ValueDict, Vid};
 use crate::error::RelationError;
@@ -252,12 +253,18 @@ struct IndexCache {
 }
 
 impl IndexCache {
-    fn invalidate(&self) {
-        self.hash.write().unwrap_or_else(|e| e.into_inner()).clear();
+    /// Drop only the indexes built over relation `rel_idx`; indexes of
+    /// untouched relations survive the mutation (their columns are
+    /// unchanged, so the cached positions stay valid).
+    fn invalidate_relation(&self, rel_idx: usize) {
+        self.hash
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|(idx, _), _| *idx != rel_idx);
         self.sorted
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .clear();
+            .retain(|(idx, _), _| *idx != rel_idx);
     }
 }
 
@@ -277,8 +284,15 @@ pub struct Database {
     next_null: u32,
     /// The shared value dictionary (append-only, `Arc`-shared with clones).
     dict: Arc<ValueDict>,
-    /// Shared index cache; reset on clone, cleared on mutation.
+    /// Shared index cache; reset on clone, invalidated per relation on
+    /// mutation.
     cache: IndexCache,
+    /// Monotone mutation counter: bumped once per completed tuple-level
+    /// mutation (no-ops — duplicate inserts, identity updates — don't
+    /// count). Consumers key cached artifacts on this.
+    epoch: u64,
+    /// Bounded log of the mutations behind `epoch` (see [`ChangeLog`]).
+    changes: ChangeLog,
 }
 
 impl Clone for Database {
@@ -294,6 +308,11 @@ impl Clone for Database {
             // Indexes describe the *content* at build time; a clone starts
             // fresh and rebuilds on demand.
             cache: IndexCache::default(),
+            // Content is identical, so the epoch and its log carry over:
+            // incremental state tracking the original stays valid against
+            // the clone.
+            epoch: self.epoch,
+            changes: self.changes.clone(),
         }
     }
 }
@@ -308,6 +327,8 @@ impl Database {
             next_null: 1,
             dict: Arc::new(ValueDict::new()),
             cache: IndexCache::default(),
+            epoch: 0,
+            changes: ChangeLog::default(),
         }
     }
 
@@ -337,6 +358,10 @@ impl Database {
         self.relations
             .push(Relation::new(Arc::new(schema), Arc::clone(&self.dict)));
         self.index.insert(name, self.relations.len() - 1);
+        // Structural change: not representable as a tuple-level record, so
+        // bump the epoch and truncate the log — consumers must recompute.
+        self.epoch += 1;
+        self.changes.reset(self.epoch);
         Ok(())
     }
 
@@ -356,21 +381,48 @@ impl Database {
             .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
     }
 
-    fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        match self.index.get(name) {
-            Some(&i) => self
-                .relations
-                .get_mut(i)
-                .ok_or_else(|| RelationError::UnknownRelation(name.to_string())),
-            None => Err(RelationError::UnknownRelation(name.to_string())),
-        }
+    fn relation_idx(&self, name: &str) -> Result<usize> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
+    }
+
+    /// Record one completed tuple-level mutation: bump the epoch, append to
+    /// the change log, and scope index invalidation to the touched relation.
+    fn log_change(&mut self, change: Change) {
+        self.epoch += 1;
+        self.cache.invalidate_relation(change.relation());
+        self.changes.push(change);
+    }
+
+    /// The mutation epoch: the number of completed tuple-level mutations
+    /// (plus structural changes) behind this instance's current content.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The mutations between epoch `since` and [`Database::epoch`], oldest
+    /// first. `None` means the log no longer covers `since` (it was
+    /// compacted, a structural change intervened, or `since` belongs to a
+    /// different database) — the consumer must recompute from scratch.
+    pub fn changes_since(&self, since: u64) -> Option<&[Change]> {
+        self.changes.changes_since(since, self.epoch)
+    }
+
+    /// Does any relation currently hold `tid`?
+    pub fn contains_tid(&self, tid: Tid) -> bool {
+        self.relations
+            .iter()
+            .any(|r| r.store.position_of(tid).is_some())
     }
 
     /// Insert a tuple, returning its tid. Inserting content already present
     /// returns the existing tid (set semantics).
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<Tid> {
         let next = Tid(self.next_tid);
-        let rel = self.relation_mut(relation)?;
+        let idx = self.relation_idx(relation)?;
+        let rel = &mut self.relations[idx];
         rel.validate(&tuple)?;
         let dict = Arc::clone(&rel.dict);
         let key: Box<[Vid]> = tuple.iter().map(|v| dict.intern(v)).collect();
@@ -379,7 +431,10 @@ impl Database {
         }
         rel.insert_encoded(next, key);
         self.next_tid += 1;
-        self.cache.invalidate();
+        self.log_change(Change::Insert {
+            relation: idx,
+            tid: next,
+        });
         Ok(next)
     }
 
@@ -389,7 +444,8 @@ impl Database {
     /// types, so the common untyped case stays allocation-free.
     pub fn insert_vids(&mut self, relation: &str, vids: Box<[Vid]>) -> Result<Tid> {
         let next = Tid(self.next_tid);
-        let rel = self.relation_mut(relation)?;
+        let idx = self.relation_idx(relation)?;
+        let rel = &mut self.relations[idx];
         if vids.len() != rel.schema.arity() {
             return Err(RelationError::ArityMismatch {
                 relation: rel.name().to_string(),
@@ -425,7 +481,10 @@ impl Database {
         }
         rel.insert_encoded(next, vids);
         self.next_tid += 1;
-        self.cache.invalidate();
+        self.log_change(Change::Insert {
+            relation: idx,
+            tid: next,
+        });
         Ok(next)
     }
 
@@ -442,10 +501,11 @@ impl Database {
 
     /// Delete a tuple by tid; returns the removed `(relation name, tuple)`.
     pub fn delete(&mut self, tid: Tid) -> Result<(String, Tuple)> {
-        for rel in &mut self.relations {
-            if let Some(tuple) = rel.remove(tid) {
-                self.cache.invalidate();
-                return Ok((rel.name().to_string(), tuple));
+        for idx in 0..self.relations.len() {
+            if let Some(tuple) = self.relations[idx].remove(tid) {
+                let name = self.relations[idx].name().to_string();
+                self.log_change(Change::Delete { relation: idx, tid });
+                return Ok((name, tuple));
             }
         }
         Err(RelationError::UnknownTid(tid.0))
@@ -503,10 +563,12 @@ impl Database {
             rel.by_content.remove(&old_key, tid);
             // If the updated content collides with an existing tuple the
             // set shrinks: drop the old copy's tid and keep the update.
+            let mut removed_dup = None;
             if let Some(dup) = rel.tid_of_vids(&new_key) {
                 if dup != tid {
                     rel.store.remove(dup);
                     rel.by_content.remove(&new_key, dup);
+                    removed_dup = Some(dup);
                 }
             }
             // Positions may have shifted if the duplicate sat before us.
@@ -515,7 +577,13 @@ impl Database {
             }
             rel.by_content.insert(&new_key, tid);
             rel.invalidate_rows();
-            self.cache.invalidate();
+            if let Some(dup) = removed_dup {
+                self.log_change(Change::Delete {
+                    relation: idx,
+                    tid: dup,
+                });
+            }
+            self.log_change(Change::Update { relation: idx, tid });
             return Ok(());
         }
         Err(RelationError::UnknownTid(tid.0))
@@ -572,9 +640,7 @@ impl Database {
         }
         let built = Arc::new(SortedIndex::build(&rel.store, column, &rel.dict)?);
         let mut map = self.cache.sorted.write().unwrap_or_else(|e| e.into_inner());
-        Some(Arc::clone(
-            map.entry((rel_idx, column)).or_insert(built),
-        ))
+        Some(Arc::clone(map.entry((rel_idx, column)).or_insert(built)))
     }
 
     /// Total tuple count over all relations.
@@ -632,7 +698,11 @@ impl Database {
     ) -> Result<(Database, Vec<Tid>)> {
         let known: usize = deletions
             .iter()
-            .filter(|&&t| self.relations.iter().any(|r| r.store.position_of(t).is_some()))
+            .filter(|&&t| {
+                self.relations
+                    .iter()
+                    .any(|r| r.store.position_of(t).is_some())
+            })
             .count();
         if known != deletions.len() {
             // Surface the first unknown tid for a useful error.
@@ -679,6 +749,9 @@ impl Database {
             next_null: self.next_null,
             dict: Arc::clone(&self.dict),
             cache: IndexCache::default(),
+            // A derived instance is a new identity: epochs restart.
+            epoch: 0,
+            changes: ChangeLog::default(),
         };
         let mut new_tids = Vec::with_capacity(insertions.len());
         for (rel, tuple) in insertions {
@@ -720,6 +793,9 @@ impl Database {
             next_null: self.next_null,
             dict: Arc::clone(&self.dict),
             cache: IndexCache::default(),
+            // A derived instance is a new identity: epochs restart.
+            epoch: 0,
+            changes: ChangeLog::default(),
         }
     }
 
@@ -970,6 +1046,112 @@ mod tests {
     }
 
     #[test]
+    fn index_invalidation_is_scoped_to_touched_relation() {
+        let mut db = supply_db();
+        let supply_ix = db.hash_index("Supply", &[0]).unwrap();
+        let supply_sorted = db.sorted_index("Supply", 0).unwrap();
+        let articles_ix = db.hash_index("Articles", &[0]).unwrap();
+        // Mutating Articles leaves the Supply indexes untouched…
+        db.insert("Articles", tuple!["I9"]).unwrap();
+        assert!(Arc::ptr_eq(
+            &supply_ix,
+            &db.hash_index("Supply", &[0]).unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &supply_sorted,
+            &db.sorted_index("Supply", 0).unwrap()
+        ));
+        // …but rebuilds the Articles index.
+        let articles_again = db.hash_index("Articles", &[0]).unwrap();
+        assert!(!Arc::ptr_eq(&articles_ix, &articles_again));
+        // Deleting from Supply drops only the Supply indexes.
+        let articles_after = db.hash_index("Articles", &[0]).unwrap();
+        db.delete(Tid(3)).unwrap();
+        assert!(!Arc::ptr_eq(
+            &supply_ix,
+            &db.hash_index("Supply", &[0]).unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &articles_after,
+            &db.hash_index("Articles", &[0]).unwrap()
+        ));
+    }
+
+    #[test]
+    fn epoch_and_change_log_track_mutations() {
+        let mut db = supply_db();
+        let e0 = db.epoch();
+        assert_eq!(db.changes_since(e0), Some(&[][..]));
+        let t = db.insert("Articles", tuple!["I9"]).unwrap();
+        // Duplicate insert and identity update are no-ops: no epoch bump.
+        db.insert("Articles", tuple!["I9"]).unwrap();
+        db.update_value(t, 0, Value::str("I9")).unwrap();
+        assert_eq!(db.epoch(), e0 + 1);
+        db.delete(Tid(1)).unwrap();
+        db.update_value(Tid(2), 2, Value::str("I9")).unwrap();
+        assert_eq!(db.epoch(), e0 + 3);
+        let log = db.changes_since(e0).unwrap();
+        assert_eq!(
+            log,
+            &[
+                Change::Insert {
+                    relation: 1,
+                    tid: t
+                },
+                Change::Delete {
+                    relation: 0,
+                    tid: Tid(1)
+                },
+                Change::Update {
+                    relation: 0,
+                    tid: Tid(2)
+                },
+            ]
+        );
+        // Future epochs and structural changes answer None.
+        assert!(db.changes_since(db.epoch() + 1).is_none());
+        db.create_relation(RelationSchema::new("Fresh", ["X"]))
+            .unwrap();
+        assert!(db.changes_since(e0).is_none());
+        assert_eq!(db.changes_since(db.epoch()), Some(&[][..]));
+        // A clone carries the epoch/log forward.
+        let clone = db.clone();
+        assert_eq!(clone.epoch(), db.epoch());
+    }
+
+    #[test]
+    fn update_collision_logs_delete_then_update() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("S", ["A"])).unwrap();
+        let e0 = db.epoch();
+        let t1 = db.insert("S", tuple!["a"]).unwrap();
+        let t2 = db.insert("S", tuple!["b"]).unwrap();
+        db.update_value(t2, 0, Value::str("a")).unwrap();
+        let log = db.changes_since(e0).unwrap();
+        assert_eq!(
+            log,
+            &[
+                Change::Insert {
+                    relation: 0,
+                    tid: t1
+                },
+                Change::Insert {
+                    relation: 0,
+                    tid: t2
+                },
+                Change::Delete {
+                    relation: 0,
+                    tid: t1
+                },
+                Change::Update {
+                    relation: 0,
+                    tid: t2
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn multi_column_hash_index_probes() {
         let db = supply_db();
         let ix = db.hash_index("Supply", &[0, 1]).unwrap();
@@ -1080,15 +1262,11 @@ mod tests {
         db.create_relation(RelationSchema::new("R", ["A"])).unwrap();
         let t1 = db.insert("R", tuple![2]).unwrap();
         // Float(2.0) is structurally equal to Int(2): same row.
-        let t2 = db
-            .insert("R", Tuple::new(vec![Value::Float(2.0)]))
-            .unwrap();
+        let t2 = db.insert("R", Tuple::new(vec![Value::Float(2.0)])).unwrap();
         assert_eq!(t1, t2);
         assert_eq!(db.total_tuples(), 1);
         // Non-integral floats stay distinct.
-        let t3 = db
-            .insert("R", Tuple::new(vec![Value::Float(2.5)]))
-            .unwrap();
+        let t3 = db.insert("R", Tuple::new(vec![Value::Float(2.5)])).unwrap();
         assert_ne!(t1, t3);
     }
 }

@@ -33,6 +33,7 @@
 //!
 //! The crate has no dependencies outside `std`.
 
+pub mod changes;
 pub mod codec;
 pub mod column;
 pub mod dict;
@@ -46,6 +47,7 @@ pub mod tuple;
 pub mod value;
 pub mod view;
 
+pub use changes::{Change, ChangeLog};
 pub use codec::{load, save};
 pub use column::{ColumnStore, VidRow};
 pub use dict::{ValueDict, Vid};
