@@ -26,6 +26,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "crates/query/src/",
     "crates/causality/src/",
     "crates/exec/src/",
+    "crates/server/src/",
 ];
 
 /// Crates whose public surface consumes untrusted input (PR 5's panic-free
@@ -35,6 +36,7 @@ const INPUT_SURFACE_CRATES: &[&str] = &[
     "crates/constraints/src/",
     "crates/query/src/",
     "crates/cli/src/",
+    "crates/server/src/",
 ];
 
 /// Modules allowed to read wall clocks and the environment: budget
@@ -792,7 +794,10 @@ mod tests {
                 v
             }
         ";
-        assert_eq!(codes("crates/relation/src/x.rs", sorted), Vec::<&str>::new());
+        assert_eq!(
+            codes("crates/relation/src/x.rs", sorted),
+            Vec::<&str>::new()
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ use cqa_query::{parse_query, ConjunctiveQuery, NullSemantics};
 use cqa_relation::{Database, Tid, Tuple, Value};
 use std::collections::BTreeSet;
 
-fn columnar_violations(db: &Database, denials: &[DenialConstraint]) -> Vec<BTreeSet<BTreeSet<Tid>>> {
+fn columnar_violations(
+    db: &Database,
+    denials: &[DenialConstraint],
+) -> Vec<BTreeSet<BTreeSet<Tid>>> {
     denials.iter().map(|dc| dc.violations(db)).collect()
 }
 

@@ -1,0 +1,103 @@
+//! F20: session reuse in repaird — warm queries against a live session vs
+//! cold create-query-delete one-shots, driven straight through the request
+//! handler (no sockets), so the measured gap is session state — the loaded
+//! database, its indexes and the warm incremental conflict state — not TCP
+//! framing. The F20 harness section measures the same contrast end-to-end
+//! over loopback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqa_bench::key_conflict_instance;
+use cqa_exec::{AdmissionGate, CancelToken};
+use cqa_server::{api, Json, Request, ServerConfig, ServerState, SessionStore};
+use std::sync::RwLock;
+
+fn call(
+    state: &ServerState,
+    slot: &RwLock<Option<CancelToken>>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: body.as_bytes().to_vec(),
+        close: false,
+    };
+    let reply = api::handle(state, &req, slot);
+    (reply.status, reply.body.to_string())
+}
+
+fn session_id(reply: &str) -> u64 {
+    reply
+        .split("\"session\":")
+        .nth(1)
+        .expect("session id in reply")
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric session id")
+}
+
+fn bench_f20(c: &mut Criterion) {
+    for n in [1_000usize, 8_000] {
+        let (db, _sigma) = key_conflict_instance(n, 12, 2, 7);
+        let create_body = format!(
+            "{{\"db\": {}, \"constraints\": {}}}",
+            Json::str(cqa_relation::save(&db).as_str()),
+            Json::str("key T(K)\n")
+        );
+        let query_body = r#"{"query": "Q(y) :- T(5, y)"}"#;
+        let state = ServerState {
+            config: ServerConfig::default(),
+            sessions: SessionStore::new(1024),
+            gate: AdmissionGate::new(64),
+            stop: CancelToken::new(),
+        };
+        let slot = RwLock::new(None);
+        let (status, reply) = call(&state, &slot, "POST", "/sessions", &create_body);
+        assert_eq!(status, 200, "{reply}");
+        let warm_id = session_id(&reply);
+
+        let mut group = c.benchmark_group("f20_session_reuse");
+        group.sample_size(20);
+        group.bench_with_input(BenchmarkId::new("warm_query", n), &n, |b, _| {
+            b.iter(|| {
+                let (status, reply) = call(
+                    &state,
+                    &slot,
+                    "POST",
+                    &format!("/sessions/{warm_id}/query"),
+                    query_body,
+                );
+                assert_eq!(status, 200, "{reply}");
+                reply.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cold_one_shot", n), &n, |b, _| {
+            b.iter(|| {
+                let (status, reply) = call(&state, &slot, "POST", "/sessions", &create_body);
+                assert_eq!(status, 200, "{reply}");
+                let id = session_id(&reply);
+                let (status, reply) = call(
+                    &state,
+                    &slot,
+                    "POST",
+                    &format!("/sessions/{id}/query"),
+                    query_body,
+                );
+                assert_eq!(status, 200, "{reply}");
+                let len = reply.len();
+                let (status, _) = call(&state, &slot, "DELETE", &format!("/sessions/{id}"), "");
+                assert_eq!(status, 200);
+                len
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_f20);
+criterion_main!(benches);

@@ -93,6 +93,9 @@ fn main() {
     if want("F19") {
         f19_incremental_maintenance();
     }
+    if want("F20") {
+        f20_server();
+    }
 }
 
 /// E-series: one line per paper example, checked programmatically.
@@ -1265,4 +1268,409 @@ fn f19_incremental_maintenance() {
         "\n  violations/components/CQA answers identical at 1/2/8 threads (n = {n}): {invariant}"
     );
     println!();
+}
+
+fn f20_server() {
+    use cqa_exec::{with_threads, AdmissionGate, CancelToken, ServiceGroup};
+    use cqa_server::{api, start, Json, Request, ServerConfig, ServerState, SessionStore};
+    use std::sync::{mpsc, RwLock};
+
+    println!("F20: repaird — multi-tenant CQA serving (sessions, warm caches, admission)");
+    println!("---------------------------------------------------------------------------");
+    println!("  a real repaird instance on loopback: 64 tenant sessions under a");
+    println!("  64-client concurrent burst, session reuse vs create-query-delete");
+    println!("  one-shots, deadline-truncated tails on a 2^14-repair tenant, a");
+    println!("  starved admission gate, and a 1/2/8-thread transcript replay.\n");
+
+    // Tenant workload: 4 000 clean keys plus 12 key-conflict pairs; the
+    // query is a key lookup the planned certain path answers exactly.
+    let (db, _sigma) = key_conflict_instance(4_000, 12, 2, 7);
+    let create_body = format!(
+        "{{\"db\": {}, \"constraints\": {}}}",
+        Json::str(cqa_relation::save(&db).as_str()),
+        Json::str("key T(K)\n")
+    );
+    let query_body = r#"{"query": "Q(y) :- T(5, y)"}"#;
+
+    let handle = start(ServerConfig {
+        max_sessions: 256,
+        max_inflight: 128,
+        ..ServerConfig::default()
+    })
+    .expect("start repaird");
+    let addr = handle.addr();
+
+    // Cold one-shots: connect, load the tenant, ask, tear down — per shot.
+    let cold_shots = 24usize;
+    let mut cold = Vec::new();
+    for _ in 0..cold_shots {
+        let (_, secs) = timed(|| {
+            let mut client = F20Client::connect(addr);
+            let (status, reply) = client.request("POST", "/sessions", &create_body);
+            assert_eq!(status, 200, "{reply}");
+            let id = f20_session_id(&reply);
+            let (status, reply) =
+                client.request("POST", &format!("/sessions/{id}/query"), query_body);
+            assert_eq!(status, 200, "{reply}");
+            assert!(!reply.contains("truncated"), "{reply}");
+            let (status, _) = client.request("DELETE", &format!("/sessions/{id}"), "");
+            assert_eq!(status, 200);
+        });
+        cold.push(secs);
+    }
+
+    // Multi-tenancy burst: 64 live sessions, one concurrent client each,
+    // 16 queries per client — demonstrates concurrent session isolation
+    // and that the gate drains back to zero afterwards.
+    let tenants = 64usize;
+    let per_client = 16usize;
+    let mut ids = Vec::new();
+    for _ in 0..tenants {
+        let (status, reply) = f20_request(addr, "POST", "/sessions", &create_body);
+        assert_eq!(status, 200, "{reply}");
+        ids.push(f20_session_id(&reply));
+    }
+    let (tx, rx) = mpsc::channel::<usize>();
+    let mut clients = ServiceGroup::new();
+    for &id in &ids {
+        let tx = tx.clone();
+        let spawned = clients.spawn("f20-warm-client", move || {
+            let mut client = F20Client::connect(addr);
+            let mut served = 0usize;
+            for _ in 0..per_client {
+                let (status, reply) =
+                    client.request("POST", &format!("/sessions/{id}/query"), query_body);
+                assert_eq!(status, 200, "{reply}");
+                served += 1;
+            }
+            tx.send(served).expect("report served count");
+        });
+        assert!(spawned, "could not spawn a warm client");
+    }
+    drop(tx);
+    let (served, burst_secs) = timed(|| {
+        assert!(clients.join_all().is_empty(), "a warm client panicked");
+        rx.iter().sum::<usize>()
+    });
+    let (status, reply) = f20_request(addr, "GET", "/health", "");
+    assert_eq!(status, 200, "{reply}");
+    println!(
+        "  multi-tenancy: {tenants} live sessions, {served} queries from {tenants} concurrent clients"
+    );
+    println!(
+        "  burst wall time {:.2} s ({:.0} queries/s); drained after — health inflight 0: {}",
+        burst_secs,
+        served as f64 / burst_secs,
+        reply.contains("\"inflight\":0")
+    );
+
+    // Session reuse, measured without queueing: one serial keep-alive
+    // client against one live session, vs the serial cold one-shots above.
+    let mut warm = Vec::new();
+    let mut warm_client = F20Client::connect(addr);
+    for _ in 0..32 {
+        let (_, secs) = timed(|| {
+            let (status, reply) =
+                warm_client.request("POST", &format!("/sessions/{}/query", ids[0]), query_body);
+            assert_eq!(status, 200, "{reply}");
+        });
+        warm.push(secs);
+    }
+    warm.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    cold.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let warm_p50 = f20_percentile(&warm, 0.50);
+    let cold_p50 = f20_percentile(&cold, 0.50);
+    println!(
+        "  warm query     p50 {:>7.2} ms   p99 {:>7.2} ms  (serial, live session)",
+        warm_p50 * 1e3,
+        f20_percentile(&warm, 0.99) * 1e3
+    );
+    println!(
+        "  cold one-shot  p50 {:>7.2} ms   (create + query + delete, {cold_shots} shots)",
+        cold_p50 * 1e3
+    );
+    println!(
+        "  session-reuse speedup (cold p50 / warm p50): {:.1}x; >= 5x: {}",
+        cold_p50 / warm_p50,
+        cold_p50 >= 5.0 * warm_p50
+    );
+
+    // Graceful degradation: a 2^14-repair tenant with a 60 ms deadline on
+    // cardinality-class certain answers. Every reply must come back
+    // promptly as a 200 whose body carries the deadline truncation; the
+    // slack on the bound covers the expansion's post-deadline teardown
+    // (dropping the expanded prefix), not open-ended computation.
+    let (hard, _s) = key_conflict_instance(200, 14, 2, 3);
+    let hard_body = format!(
+        "{{\"db\": {}, \"constraints\": {}}}",
+        Json::str(cqa_relation::save(&hard).as_str()),
+        Json::str("key T(K)\n")
+    );
+    let (status, reply) = f20_request(addr, "POST", "/sessions", &hard_body);
+    assert_eq!(status, 200, "{reply}");
+    let hard_id = f20_session_id(&reply);
+    let timeout_ms = 60u64;
+    let deadline_query = format!(
+        "{{\"query\": \"Q(x) :- T(x, y)\", \"class\": \"cardinality\", \"timeout_ms\": {timeout_ms}}}"
+    );
+    // 2 untimed warmups (first-touch lazy artifacts), then 56 timed
+    // queries: with nearest-rank p99 that index is the second-largest
+    // sample, so one noisy-neighbour scheduling outlier on a shared
+    // single-core box doesn't define the tail.
+    let mut tail = Vec::new();
+    let mut tail_client = F20Client::connect(addr);
+    for i in 0..58 {
+        let (_, secs) = timed(|| {
+            let (status, reply) = tail_client.request(
+                "POST",
+                &format!("/sessions/{hard_id}/query"),
+                &deadline_query,
+            );
+            assert_eq!(status, 200, "{reply}");
+            assert!(
+                reply.contains("\"truncated\":{\"reason\":\"deadline\""),
+                "{reply}"
+            );
+        });
+        if i >= 2 {
+            tail.push(secs);
+        }
+    }
+    tail.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let tail_p99 = f20_percentile(&tail, 0.99);
+    println!(
+        "\n  graceful degradation: 2^14-repair tenant, timeout_ms = {timeout_ms}, 56 queries,"
+    );
+    println!(
+        "  every reply a 200 with a deadline truncation: p50 {:.1} ms, p99 {:.1} ms;",
+        f20_percentile(&tail, 0.50) * 1e3,
+        tail_p99 * 1e3
+    );
+    println!(
+        "  p99 within timeout + 200 ms teardown slack: {}",
+        tail_p99 <= timeout_ms as f64 / 1e3 + 0.200
+    );
+    handle.shutdown();
+    let _ = handle.join();
+
+    // Admission control: a deliberately tiny gate (2 permits) against 10
+    // simultaneous heavy queries. Overflow is an immediate 429 +
+    // Retry-After — never a dropped connection — and every client is
+    // served after backoff.
+    let small = start(ServerConfig {
+        max_inflight: 2,
+        max_sessions: 64,
+        ..ServerConfig::default()
+    })
+    .expect("start repaird");
+    let addr2 = small.addr();
+    let mut storm_ids = Vec::new();
+    for _ in 0..10 {
+        let (status, reply) = f20_request(addr2, "POST", "/sessions", &hard_body);
+        assert_eq!(status, 200, "{reply}");
+        storm_ids.push(f20_session_id(&reply));
+    }
+    let (tx, rx) = mpsc::channel::<u64>();
+    let mut stormers = ServiceGroup::new();
+    for &id in &storm_ids {
+        let tx = tx.clone();
+        let spawned = stormers.spawn("f20-storm-client", move || {
+            let body = r#"{"query": "Q(x) :- T(x, y)", "class": "cardinality", "timeout_ms": 250}"#;
+            // One keep-alive connection per client: a 429 must leave the
+            // connection usable for the retry.
+            let mut client = F20Client::connect(addr2);
+            let mut refused = 0u64;
+            loop {
+                let (status, reply) =
+                    client.request("POST", &format!("/sessions/{id}/query"), body);
+                match status {
+                    200 => break,
+                    429 => {
+                        assert!(reply.contains("retry_after"), "{reply}");
+                        refused += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(40));
+                    }
+                    other => panic!("unexpected status {other}: {reply}"),
+                }
+            }
+            tx.send(refused).expect("report refusals");
+        });
+        assert!(spawned, "could not spawn a storm client");
+    }
+    drop(tx);
+    assert!(stormers.join_all().is_empty(), "a storm client panicked");
+    let refused_per_client: Vec<u64> = rx.iter().collect();
+    let refusals: u64 = refused_per_client.iter().sum();
+    let (status, reply) = f20_request(addr2, "GET", "/health", "");
+    assert_eq!(status, 200, "{reply}");
+    println!("\n  admission control: 10 clients vs a 2-permit gate, {refusals} refusals;");
+    println!(
+        "  every client served after 429 + Retry-After backoff: {}",
+        refused_per_client.len() == storm_ids.len() && refusals > 0
+    );
+    println!(
+        "  gate drained — health reports inflight 0 and refused {refusals}: {}",
+        reply.contains("\"inflight\":0") && reply.contains(&format!("\"refused\":{refusals}"))
+    );
+    small.shutdown();
+    let _ = small.join();
+
+    // Thread invariance: one fixed tenant script dispatched straight into
+    // the request handler (no sockets), replayed at 1, 2 and 8 worker
+    // threads. The transcript — statuses, bodies, truncation points, even
+    // error replies — must be byte-identical.
+    let script: Vec<(&str, String, String)> = vec![
+        (
+            "POST",
+            "/sessions".to_string(),
+            format!(
+                "{{\"db\": {}, \"constraints\": {}}}",
+                Json::str("@relation T(K, V)\n0, 1\n0, 2\n1, 1\n2, 5\n"),
+                Json::str("key T(K)\n")
+            ),
+        ),
+        (
+            "POST",
+            "/sessions/1/query".to_string(),
+            r#"{"query": "Q(x) :- T(x, y)"}"#.to_string(),
+        ),
+        (
+            "POST",
+            "/sessions/1/repairs".to_string(),
+            r#"{"class": "subset", "budget_steps": 2}"#.to_string(),
+        ),
+        (
+            "POST",
+            "/sessions/1/mutate".to_string(),
+            r#"{"ops": [{"op": "insert", "relation": "T", "row": [1, 9]}, {"op": "delete", "tid": 4}]}"#
+                .to_string(),
+        ),
+        (
+            "POST",
+            "/sessions/1/query".to_string(),
+            r#"{"query": "Q(x) :- T(x, y)", "class": "cardinality", "budget_steps": 3}"#.to_string(),
+        ),
+        (
+            "POST",
+            "/sessions/1/query".to_string(),
+            r#"{"query": "Q(x) :- T(x, y)", "kind": "possible"}"#.to_string(),
+        ),
+        (
+            "POST",
+            "/sessions/1/causes".to_string(),
+            r#"{"query": "Q() :- T(1, y)"}"#.to_string(),
+        ),
+        ("DELETE", "/sessions/9".to_string(), String::new()),
+    ];
+    let replay = |threads: usize| {
+        with_threads(threads, || {
+            let state = ServerState {
+                config: ServerConfig::default(),
+                sessions: SessionStore::new(8),
+                gate: AdmissionGate::new(8),
+                stop: CancelToken::new(),
+            };
+            let slot = RwLock::new(None);
+            script
+                .iter()
+                .map(|(method, path, body)| {
+                    let req = Request {
+                        method: (*method).to_string(),
+                        path: path.clone(),
+                        body: body.clone().into_bytes(),
+                        close: false,
+                    };
+                    let reply = api::handle(&state, &req, &slot);
+                    format!("{} {}", reply.status, reply.body)
+                })
+                .collect::<Vec<String>>()
+        })
+    };
+    let t1 = replay(1);
+    let identical = t1 == replay(2) && t1 == replay(8);
+    let truncates = t1.concat().contains("truncated");
+    println!(
+        "\n  transcripts byte-identical at 1/2/8 threads (incl. truncation): {}",
+        identical && truncates
+    );
+    println!();
+}
+
+/// A keep-alive client connection to repaird. Warm clients hold one of
+/// these across queries (no per-request connect/accept cost); one-shot
+/// callers build a fresh one per exchange.
+struct F20Client {
+    writer: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl F20Client {
+    fn connect(addr: std::net::SocketAddr) -> F20Client {
+        let writer = std::net::TcpStream::connect(addr).expect("connect");
+        let _ = writer.set_nodelay(true);
+        let reader = std::io::BufReader::new(writer.try_clone().expect("clone socket"));
+        F20Client { writer, reader }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        use std::io::{BufRead, Read, Write};
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).expect("write head");
+        self.writer.write_all(body.as_bytes()).expect("write body");
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut reply = vec![0u8; content_length];
+        self.reader.read_exact(&mut reply).expect("body");
+        (status, String::from_utf8(reply).expect("utf8 body"))
+    }
+}
+
+/// One HTTP request on a fresh loopback connection; returns status + body.
+fn f20_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    F20Client::connect(addr).request(method, path, body)
+}
+
+/// Pull the `"session":N` id out of a create reply.
+fn f20_session_id(reply: &str) -> u64 {
+    reply
+        .split("\"session\":")
+        .nth(1)
+        .expect("session id in reply")
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric session id")
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn f20_percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
 }

@@ -99,9 +99,7 @@ impl RowDb {
                             + row.iter().map(cell).sum::<usize>()
                     })
                     .sum();
-                boxes
-                    + rel.rows.capacity()
-                        * std::mem::size_of::<(Tid, Box<[Value]>)>()
+                boxes + rel.rows.capacity() * std::mem::size_of::<(Tid, Box<[Value]>)>()
             })
             .sum()
     }

@@ -181,6 +181,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
         "measure" => cmd_measure(&opts, out),
         "clean" => cmd_clean(&opts, out),
         "asp" => cmd_asp(&opts, out),
+        "serve" => cmd_serve(&opts, out),
         "sql" => cmd_sql(&opts, out),
         other => Err(format!("unknown command `{other}`; see `repairctl help`")),
     }
@@ -196,7 +197,11 @@ GLOBAL OPTIONS:
   --threads N      worker threads for repair enumeration / CQA / hitting-set
                    search (1 = sequential; default: $CQA_THREADS, else cores)
   --timeout-ms N   wall-clock budget; on expiry the command reports a sound
-                   partial (anytime) result flagged by a `truncated:` line
+                   partial (anytime) result flagged by a `truncated:` line.
+                   N = 0 truncates *immediately* (it is not \"unlimited\"):
+                   enumeration-backed paths return their sound seed
+                   approximation, while polynomial paths (FO rewriting)
+                   still answer exactly — they are budget-exempt
   --budget-steps N logical-step budget — deterministic: the same N truncates
                    at the same point at any thread count
                    (default: $CQA_BUDGET_STEPS, else unlimited)
@@ -240,6 +245,16 @@ COMMANDS:
   clean     --db F --constraints F [--out F] cost-based FD/CFD cleaning
   asp       --db F --constraints F [--c-repairs]
                                             repair program + stable models
+  serve     [--port N] [--host H] [--max-inflight N] [--max-sessions N]
+            [--default-timeout-ms N] [--max-timeout-ms N]
+                                            run repaird, the multi-tenant CQA
+                                            server (HTTP/1.1 + JSON over
+                                            loopback by default; port 0 picks
+                                            a free port, printed on stdout);
+                                            blocks until POST /shutdown;
+                                            per-request budgets honour the
+                                            same truncation contract as the
+                                            one-shot commands
   sql       --db F --constraints F --query … print the certain FO rewriting
                                             as a DBMS-ready SQL statement
   help                                       this text
@@ -788,6 +803,46 @@ fn cmd_sql(opts: &Opts, out: &mut String) -> Result<i32, String> {
     let fo = cqa_core::rewrite_key_query(cq, &keys).map_err(|e| e.to_string())?;
     let sql = cqa_query::fo_to_sql(&fo, &db).map_err(|e| e.to_string())?;
     let _ = writeln!(out, "{sql}");
+    Ok(0)
+}
+
+/// `repairctl serve`: run `repaird`, the multi-tenant CQA server, until a
+/// client posts `/shutdown`.
+///
+/// The listening line goes straight to stdout (not the buffered `out`):
+/// callers scripting the server need the bound address *before* the
+/// process blocks in the serve loop.
+fn cmd_serve(opts: &Opts, out: &mut String) -> Result<i32, String> {
+    let defaults = cqa_server::ServerConfig::default();
+    let port = match u64_flag(opts, "port")? {
+        Some(p) => {
+            u16::try_from(p).map_err(|_| input_error(format!("port {p} out of range"), "--port"))?
+        }
+        None => defaults.port,
+    };
+    let usize_flag = |name: &str, fallback: usize| -> Result<usize, String> {
+        match u64_flag(opts, name)? {
+            Some(v) => usize::try_from(v)
+                .map_err(|_| input_error(format!("{v} out of range"), &format!("--{name}"))),
+            None => Ok(fallback),
+        }
+    };
+    let config = cqa_server::ServerConfig {
+        host: opts
+            .flag("host")
+            .unwrap_or(defaults.host.as_str())
+            .to_string(),
+        port,
+        max_inflight: usize_flag("max-inflight", defaults.max_inflight)?,
+        max_sessions: usize_flag("max-sessions", defaults.max_sessions)?,
+        default_timeout_ms: u64_flag(opts, "default-timeout-ms")?,
+        max_timeout_ms: u64_flag(opts, "max-timeout-ms")?.unwrap_or(defaults.max_timeout_ms),
+        max_body_bytes: defaults.max_body_bytes,
+    };
+    let handle = cqa_server::start(config).map_err(|e| input_error(e, "serve"))?;
+    println!("repaird listening on {}", handle.addr());
+    let dropped = handle.join();
+    let _ = writeln!(out, "repaird stopped ({dropped} sessions dropped)");
     Ok(0)
 }
 
@@ -1444,6 +1499,67 @@ mod tests {
         for line in out.lines().filter(|l| l.starts_with("  ")) {
             assert!(exact.contains(line), "unsound answer {line}:\n{exact}");
         }
+    }
+
+    /// Regression: `--timeout-ms 0` must mean "a budget born exhausted"
+    /// (truncate immediately), not "no deadline". The repairs command goes
+    /// through enumeration, so zero budget yields the empty sound subset
+    /// and a `truncated: deadline` line.
+    #[test]
+    fn timeout_zero_truncates_immediately_not_unlimited() {
+        let dir = tmpdir("timeout-zero");
+        let (db, sigma) = write_conflict_files(&dir, 4);
+        let (code, out) = run_cmd(&[
+            "repairs",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--timeout-ms",
+            "0",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("truncated: deadline (explored 0)"),
+            "zero timeout must truncate before exploring anything: {out}"
+        );
+        // The FO-rewritable polynomial path stays exact even at zero
+        // budget — it is deliberately budget-exempt.
+        let (code, out) = run_cmd(&[
+            "cqa",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(x) :- T(x, y)",
+            "--timeout-ms",
+            "0",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("truncated"), "{out}");
+    }
+
+    /// Regression: a near-infinite `--timeout-ms` used to overflow the
+    /// deadline computation (`now + u64::MAX ms`); it must behave exactly
+    /// like an unlimited run.
+    #[test]
+    fn huge_timeout_behaves_as_unlimited() {
+        let dir = tmpdir("timeout-huge");
+        let (db, sigma) = write_conflict_files(&dir, 3);
+        let (_, plain) = run_cmd(&["repairs", "--db", &db, "--constraints", &sigma]);
+        let (code, budgeted) = run_cmd(&[
+            "repairs",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--timeout-ms",
+            "18446744073709551615",
+        ]);
+        assert_eq!(code, 0, "{budgeted}");
+        assert_eq!(plain, budgeted, "u64::MAX timeout must not perturb output");
+        assert!(!budgeted.contains("truncated"), "{budgeted}");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! End-to-end smoke test for `repairctl serve`: spawn the real binary,
+//! drive it over TCP, shut it down, and require a clean exit.
+//!
+//! This is the process-level half of the server suite (the in-process
+//! half lives in `crates/server/tests/smoke.rs`): it pins the stdout
+//! contract (`repaird listening on ADDR` printed *before* the serve loop
+//! blocks) that scripted deployments rely on.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write");
+    stream.write_all(body.as_bytes()).expect("write");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8"))
+}
+
+/// Kills the child on panic so a failed assertion can't leak a server.
+struct Reaper(Child);
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_binary_round_trip_and_clean_shutdown() {
+    let child = Command::new(env!("CARGO_BIN_EXE_repairctl"))
+        .args(["serve", "--port", "0", "--max-sessions", "4"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repairctl serve");
+    let mut child = Reaper(child);
+
+    // The listening line must arrive before any client activity.
+    let stdout = child.0.stdout.take().expect("stdout");
+    let mut lines = BufReader::new(stdout);
+    let mut first = String::new();
+    lines.read_line(&mut first).expect("listening line");
+    let addr = first
+        .trim()
+        .strip_prefix("repaird listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {first:?}"))
+        .to_string();
+
+    // Create a session, run an exact query and an immediately-truncated
+    // one, then a mid-request disconnect (the server must survive it).
+    let db = "@relation Employee(Name, Salary)\\n'page', 5000\\n'page', 8000\\n'smith', 3000\\n";
+    let body = format!(r#"{{"db": "{db}", "constraints": "key Employee(Name)\n"}}"#);
+    let (status, reply) = request(&addr, "POST", "/sessions", &body);
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains(r#""session":1"#), "{reply}");
+
+    let (status, reply) = request(
+        &addr,
+        "POST",
+        "/sessions/1/query",
+        r#"{"query": "Q(x) :- Employee(x, y)"}"#,
+    );
+    assert_eq!(status, 200, "{reply}");
+    assert!(
+        reply.contains("(page)") && reply.contains("(smith)"),
+        "{reply}"
+    );
+    assert!(!reply.contains("truncated"), "{reply}");
+
+    let (status, reply) = request(
+        &addr,
+        "POST",
+        "/sessions/1/query",
+        r#"{"query": "Q(x) :- Employee(x, y)", "class": "cardinality", "timeout_ms": 0}"#,
+    );
+    assert_eq!(status, 200, "{reply}");
+    assert!(
+        reply.contains(r#""truncated":{"reason":"deadline""#),
+        "{reply}"
+    );
+
+    // Disconnect mid-request: fire a query and drop the socket unread.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let q = r#"{"query": "Q(x) :- Employee(x, y)"}"#;
+        let head = format!(
+            "POST /sessions/1/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            q.len()
+        );
+        stream.write_all(head.as_bytes()).expect("write");
+        stream.write_all(q.as_bytes()).expect("write");
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, reply) = request(&addr, "GET", "/health", "");
+    assert_eq!(
+        status, 200,
+        "server died after a client disconnect: {reply}"
+    );
+
+    let (status, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    let exit = child.0.wait().expect("wait");
+    let mut stderr = String::new();
+    if let Some(mut e) = child.0.stderr.take() {
+        let _ = e.read_to_string(&mut stderr);
+    }
+    assert!(exit.success(), "non-zero exit: {exit:?} / stderr {stderr}");
+    let mut rest = String::new();
+    lines.read_to_string(&mut rest).expect("stdout tail");
+    assert!(
+        rest.contains("repaird stopped"),
+        "missing shutdown report: {rest:?}"
+    );
+}

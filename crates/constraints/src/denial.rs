@@ -262,7 +262,15 @@ impl DenialConstraint {
             return Some(out);
         }
 
-        let sides: [(&Atom, &Atom, &AtomVids, &AtomVids, &[usize], &[usize]); 2] = [
+        type Side<'s> = (
+            &'s Atom,
+            &'s Atom,
+            &'s AtomVids,
+            &'s AtomVids,
+            &'s [usize],
+            &'s [usize],
+        );
+        let sides: [Side<'_>; 2] = [
             (a0, a1, &av0, &av1, &key_pos0, &key_pos1),
             (a1, a0, &av1, &av0, &key_pos1, &key_pos0),
         ];
@@ -585,7 +593,9 @@ impl DenialConstraint {
         // Build and probe exactly like the generic lane, but buckets keep
         // only (tid, comparison-column ranks): the pair loop is pure u32s.
         let mut out = BTreeSet::new();
-        let mut index: WordHashMap<Vec<Vid>, Vec<(Tid, Vec<Option<u32>>)>> = WordHashMap::default();
+        // Join key -> (tid, comparison-column ranks) build-side buckets.
+        type RankBuckets = WordHashMap<Vec<Vid>, Vec<(Tid, Vec<Option<u32>>)>>;
+        let mut index: RankBuckets = WordHashMap::default();
         'build: for (tid1, row1) in facts.vid_rows(&a1.relation) {
             let mut key = Vec::with_capacity(key_pos1.len());
             for &p in key_pos1 {

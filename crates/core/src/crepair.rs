@@ -77,7 +77,7 @@ pub fn c_repairs_budgeted(
         {
             let factored =
                 crate::factored::FactoredRepairSet::enumerate_minimum(db, &graph, budget);
-            let repairs = factored.value().expand()?;
+            let repairs = factored.value().expand_budgeted(budget)?;
             let explored = repairs.len() as u64;
             return Ok(budget.outcome_with(repairs, explored));
         }

@@ -183,8 +183,23 @@ impl FactoredRepairSet {
     /// the global minimal (resp. minimum) hitting sets are exactly the
     /// unions of one local set per component.
     pub fn expand(&self) -> Result<Vec<Repair>, RelationError> {
+        self.expand_budgeted(&Budget::unlimited())
+    }
+
+    /// [`expand`](FactoredRepairSet::expand) under a meter: each product
+    /// position charges one item before it is materialized, so a budget
+    /// that exhausts (or is cancelled — e.g. the client hung up) stops the
+    /// odometer instead of expanding the full cross-product. The prefix
+    /// kept is a sound subset of the true family; an unexhausted budget
+    /// yields output byte-identical to [`expand`].
+    ///
+    /// [`expand`]: FactoredRepairSet::expand
+    pub fn expand_budgeted(&self, budget: &Budget) -> Result<Vec<Repair>, RelationError> {
         let mut out = Vec::new();
         for deleted in self.deltas() {
+            if !budget.charge_item() {
+                break;
+            }
             out.push(Repair::from_delta_arc(&self.base, deleted, Vec::new())?);
         }
         out.sort_by(|a, b| a.delta().cmp(b.delta()));
@@ -337,6 +352,37 @@ mod tests {
         for d in &all {
             assert_eq!(d.len(), 2); // one deletion per component
         }
+    }
+
+    /// Regression: `expand` used to run the full cross-product regardless
+    /// of the budget, so a cancelled (or born-exhausted) request kept
+    /// burning CPU to the end of a possibly exponential expansion. The
+    /// budgeted variant must stop at the meter and keep a sound prefix.
+    #[test]
+    fn cancelled_expansion_stops_instead_of_running_the_product_out() {
+        let (db, sigma) = two_group_db();
+        let base = Arc::new(db);
+        let budget = Budget::unlimited();
+        let fx = factored_s_repairs_budgeted(&base, &sigma, &budget)
+            .unwrap()
+            .unwrap()
+            .into_value();
+        assert_eq!(fx.product_len(), Some(4));
+        budget.cancel_token().cancel();
+        assert!(
+            fx.expand_budgeted(&budget).unwrap().is_empty(),
+            "a cancelled budget must stop the expansion immediately"
+        );
+        // Born-exhausted deadline: same contract through the repair API.
+        let exhausted = Budget::new(cqa_exec::Limits {
+            deadline_ms: Some(0),
+            ..cqa_exec::Limits::default()
+        });
+        let out =
+            crate::s_repairs_budgeted(&base, &sigma, &crate::RepairOptions::default(), &exhausted)
+                .unwrap();
+        assert!(out.is_truncated());
+        assert!(out.value().is_empty());
     }
 
     #[test]

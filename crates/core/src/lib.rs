@@ -36,6 +36,7 @@ pub mod prioritized;
 pub mod privacy;
 pub mod repair;
 pub mod rewrite;
+pub mod session;
 pub mod srepair;
 pub mod tolerant;
 pub mod update_repair;
@@ -73,6 +74,7 @@ pub use prioritized::{globally_optimal_repairs, pareto_optimal_repairs, Priority
 pub use privacy::SecrecyView;
 pub use repair::{retain_subset_minimal, Change, Repair};
 pub use rewrite::{attack_graph, residue_rewrite, rewrite_key_query, KeyRewriteError};
+pub use session::CqaSession;
 pub use srepair::{
     consistent_core, s_repairs, s_repairs_arc, s_repairs_budgeted, s_repairs_with,
     s_repairs_with_arc, RepairOptions,

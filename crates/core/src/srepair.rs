@@ -219,7 +219,7 @@ fn denial_class_s_repairs(
         && graph.components().components.len() >= 2
     {
         let factored = crate::factored::FactoredRepairSet::enumerate_minimal(db, &graph, budget);
-        let repairs = factored.value().expand()?;
+        let repairs = factored.value().expand_budgeted(budget)?;
         let explored = repairs.len() as u64;
         return Ok(budget.outcome_with(repairs, explored));
     }

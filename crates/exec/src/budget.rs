@@ -262,12 +262,24 @@ impl Default for Budget {
 
 impl Budget {
     /// A budget with the given limits, starting now.
+    ///
+    /// Deadline boundary semantics (pinned by `tests`):
+    ///
+    /// * `deadline_ms: Some(0)` means **truncate immediately**: the budget is
+    ///   born exhausted (`Deadline` latched), so every budgeted path returns
+    ///   its empty-but-sound anytime value without doing any work. It never
+    ///   means "unlimited" — servers rely on `0` keeping admission deadlines
+    ///   armed.
+    /// * A deadline so large that `now + deadline` overflows the platform's
+    ///   `Instant` horizon (e.g. `u64::MAX` ms on some targets) behaves as
+    ///   unlimited: `checked_add` failing cannot panic construction.
     pub fn new(limits: Limits) -> Self {
-        Budget {
+        let budget = Budget {
             inner: Arc::new(Inner {
                 deadline: limits
                     .deadline_ms
-                    .map(|ms| Instant::now() + Duration::from_millis(ms)),
+                    .filter(|&ms| ms > 0)
+                    .and_then(|ms| Instant::now().checked_add(Duration::from_millis(ms))),
                 step_cap: limits.steps,
                 item_cap: limits.items,
                 steps: AtomicU64::new(0),
@@ -275,7 +287,11 @@ impl Budget {
                 cancel: CancelToken::new(),
                 state: AtomicU8::new(0),
             }),
+        };
+        if limits.deadline_ms == Some(0) {
+            budget.latch(TruncationReason::Deadline);
         }
+        budget
     }
 
     /// No limits: counts steps (useful for reporting) but never exhausts.
@@ -373,8 +389,18 @@ impl Budget {
     /// while more items may be emitted; once the cap is reached the budget
     /// latches `ItemLimit` and this returns `false` — the item just charged
     /// is still valid, the caller should simply stop exploring for more.
+    ///
+    /// Like [`tick`](Budget::tick), this path observes cancellation
+    /// immediately and samples the wall clock every
+    /// `DEADLINE_CHECK_INTERVAL` items, so a loop that charges items
+    /// without ever ticking (e.g. a streaming enumerator) still honours a
+    /// deadline within the same overshoot bound as the step path.
     pub fn charge_item(&self) -> bool {
         if self.exhausted() {
+            return false;
+        }
+        if self.inner.cancel.is_cancelled() {
+            self.latch(TruncationReason::Cancelled);
             return false;
         }
         let n = self.inner.items.fetch_add(1, Ordering::Relaxed) + 1;
@@ -383,6 +409,9 @@ impl Budget {
                 self.latch(TruncationReason::ItemLimit);
                 return false;
             }
+        }
+        if self.inner.deadline.is_some() && n % DEADLINE_CHECK_INTERVAL == 1 {
+            return self.check_deadline();
         }
         true
     }
@@ -517,6 +546,77 @@ mod tests {
             }
         }
         assert!(stopped, "tick never consulted the clock");
+    }
+
+    /// Regression (PR 9): paths that only charge items — never ticking —
+    /// used to blow past a wall-clock deadline indefinitely, because the
+    /// clock was sampled exclusively in `tick`. The item path must truncate
+    /// within the same sampling bound as the step path (the F15 overshoot
+    /// bound: one `DEADLINE_CHECK_INTERVAL` window).
+    #[test]
+    fn deadline_observed_through_item_only_loop() {
+        let b = Budget::new(Limits {
+            deadline_ms: Some(1),
+            items: Some(u64::MAX), // item metering on, cap never the stopper
+            steps: None,
+        });
+        std::thread::sleep(Duration::from_millis(3));
+        let mut charged = 0u64;
+        for _ in 0..(DEADLINE_CHECK_INTERVAL * 2) {
+            if !b.charge_item() {
+                break;
+            }
+            charged += 1;
+        }
+        assert!(
+            charged < DEADLINE_CHECK_INTERVAL * 2,
+            "charge_item never consulted the clock ({charged} items after the deadline)"
+        );
+        assert_eq!(b.exhaustion(), Some(TruncationReason::Deadline));
+    }
+
+    #[test]
+    fn item_only_loop_observes_cancellation() {
+        let b = Budget::unlimited();
+        assert!(b.charge_item());
+        b.cancel_token().cancel();
+        assert!(!b.charge_item());
+        assert_eq!(b.exhaustion(), Some(TruncationReason::Cancelled));
+    }
+
+    /// Boundary pin (PR 9): a zero deadline means "truncate immediately,
+    /// empty-but-sound", never "unlimited". The budget is born exhausted.
+    #[test]
+    fn zero_deadline_truncates_immediately() {
+        let b = Budget::deadline_ms(0);
+        assert!(b.exhausted(), "deadline 0 must latch at construction");
+        assert_eq!(b.exhaustion(), Some(TruncationReason::Deadline));
+        assert!(!b.tick());
+        assert!(!b.charge_item());
+        match b.outcome(Vec::<u8>::new()) {
+            Outcome::Truncated { reason, .. } => assert_eq!(reason, TruncationReason::Deadline),
+            Outcome::Exact(_) => panic!("deadline 0 must report truncation"),
+        }
+        // And via `Limits`, as the CLI/server build it.
+        let b = Budget::new(Limits {
+            deadline_ms: Some(0),
+            ..Limits::default()
+        });
+        assert!(b.exhausted());
+    }
+
+    /// Boundary pin (PR 9): a deadline beyond the `Instant` horizon must not
+    /// panic at construction; it degrades to "no deadline".
+    #[test]
+    fn huge_deadline_behaves_as_unlimited() {
+        let b = Budget::deadline_ms(u64::MAX);
+        assert!(!b.exhausted());
+        for _ in 0..(DEADLINE_CHECK_INTERVAL * 3) {
+            assert!(b.tick());
+            assert!(b.charge_item());
+        }
+        assert!(b.check_deadline());
+        assert!(matches!(b.outcome(1), Outcome::Exact(1)));
     }
 
     #[test]

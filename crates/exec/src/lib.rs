@@ -50,6 +50,7 @@ mod config;
 mod fuzz;
 mod pool;
 mod queue;
+mod service;
 
 pub use budget::{Budget, CancelToken, Limits, Outcome, TruncationReason};
 pub use config::{set_threads, threads, with_threads, ExecConfig};
@@ -57,3 +58,4 @@ pub use config::{set_threads, threads, with_threads, ExecConfig};
 pub use fuzz::with_schedule_seed;
 pub use pool::{chunks_of, par_any, par_filter_map, par_for_each, par_map, par_map_cancellable};
 pub use queue::run_queue;
+pub use service::{AdmissionGate, AdmissionPermit, ServiceGroup};

@@ -1,0 +1,270 @@
+//! Long-lived service threads and admission control.
+//!
+//! The fork-join combinators in [`crate::pool`] cover the *compute* side of
+//! the workspace; a network server additionally needs a handful of
+//! **service** threads (an accept loop, per-connection handlers, a
+//! disconnect watcher) that outlive any single call, plus a bounded
+//! admission gate so one expensive request cannot queue unbounded work
+//! behind it. Those primitives live here — inside `cqa-exec` — so the rest
+//! of the workspace never touches `std::thread` or ad-hoc synchronisation
+//! directly (the L004 audit rule enforces exactly that).
+//!
+//! * [`ServiceGroup`] — spawn named service threads and join them all on
+//!   shutdown. Threads receive a shared [`CancelToken`]-style stop flag via
+//!   the closure they were built from; the group only guarantees that
+//!   `join_all` blocks until every spawned thread has exited.
+//! * [`AdmissionGate`] — a lock-free in-flight counter with a hard
+//!   capacity: `try_enter` either hands out an RAII [`AdmissionPermit`] or
+//!   refuses immediately (the caller answers "busy, retry later" — never
+//!   blocks, never queues).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A set of long-lived service threads joined together on shutdown.
+///
+/// Unlike the scoped pool, these threads are `'static`: they own their
+/// state (typically an `Arc` of the server internals plus a stop flag) and
+/// run until that flag tells them to drain.
+#[derive(Debug, Default)]
+pub struct ServiceGroup {
+    handles: Vec<(String, JoinHandle<()>)>,
+}
+
+impl ServiceGroup {
+    /// An empty group.
+    pub fn new() -> ServiceGroup {
+        ServiceGroup::default()
+    }
+
+    /// Spawn a named service thread and track it for [`join_all`]. Returns
+    /// `false` if the OS refused to spawn (resource exhaustion) — the
+    /// closure is dropped unrun and the caller decides how to degrade.
+    ///
+    /// [`join_all`]: ServiceGroup::join_all
+    pub fn spawn(&mut self, name: &str, f: impl FnOnce() + Send + 'static) -> bool {
+        match std::thread::Builder::new().name(name.to_string()).spawn(f) {
+            Ok(handle) => {
+                self.handles.push((name.to_string(), handle));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Detached variant for threads whose lifetime is bounded by something
+    /// else (e.g. a per-connection handler that exits when the peer hangs
+    /// up); the handle is dropped, not tracked. Returns `false` when the OS
+    /// refused to spawn.
+    pub fn spawn_detached(name: &str, f: impl FnOnce() + Send + 'static) -> bool {
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(f)
+            .is_ok()
+    }
+
+    /// Number of tracked (not necessarily still running) threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when no threads are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Block until every tracked thread has exited. Panics in service
+    /// threads are contained: a poisoned handle is reported by name in the
+    /// returned list instead of propagating.
+    pub fn join_all(&mut self) -> Vec<String> {
+        let mut panicked = Vec::new();
+        for (name, handle) in self.handles.drain(..) {
+            if handle.join().is_err() {
+                panicked.push(name);
+            }
+        }
+        panicked
+    }
+}
+
+struct GateInner {
+    in_flight: AtomicUsize,
+    capacity: usize,
+    /// Total requests ever refused; exposed for server stats.
+    refused: AtomicUsize,
+}
+
+/// A bounded, non-blocking admission gate: at most `capacity` permits are
+/// out at any instant. Cloning shares the counter.
+#[derive(Clone)]
+pub struct AdmissionGate {
+    inner: Arc<GateInner>,
+}
+
+impl std::fmt::Debug for AdmissionGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionGate")
+            .field("capacity", &self.inner.capacity)
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `capacity` concurrent holders. A capacity
+    /// of 0 refuses everything (useful to drain a server).
+    pub fn new(capacity: usize) -> AdmissionGate {
+        AdmissionGate {
+            inner: Arc::new(GateInner {
+                in_flight: AtomicUsize::new(0),
+                capacity,
+                refused: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Try to enter: `Some(permit)` on success (released when the permit
+    /// drops), `None` when the gate is at capacity. Never blocks.
+    pub fn try_enter(&self) -> Option<AdmissionPermit> {
+        let mut current = self.inner.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.inner.capacity {
+                self.inner.refused.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inner.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(AdmissionPermit {
+                        gate: Arc::clone(&self.inner),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Permits currently out.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Total `try_enter` calls refused so far.
+    pub fn refused(&self) -> usize {
+        self.inner.refused.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII handle for one admitted unit of work; releases its slot on drop.
+pub struct AdmissionPermit {
+    gate: Arc<GateInner>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AdmissionPermit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_caps_concurrency_and_counts_refusals() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_enter().unwrap();
+        let b = gate.try_enter().unwrap();
+        assert_eq!(gate.in_flight(), 2);
+        assert!(gate.try_enter().is_none());
+        assert_eq!(gate.refused(), 1);
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+        let c = gate.try_enter().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.capacity(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_gate_refuses_everything() {
+        let gate = AdmissionGate::new(0);
+        assert!(gate.try_enter().is_none());
+        assert_eq!(gate.refused(), 1);
+    }
+
+    #[test]
+    fn gate_is_shared_across_clones() {
+        let gate = AdmissionGate::new(1);
+        let clone = gate.clone();
+        let permit = gate.try_enter().unwrap();
+        assert!(clone.try_enter().is_none());
+        drop(permit);
+        assert!(clone.try_enter().is_some());
+    }
+
+    #[test]
+    fn service_group_joins_spawned_threads() {
+        use std::sync::atomic::AtomicUsize;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut group = ServiceGroup::new();
+        for i in 0..4 {
+            let counter = Arc::clone(&counter);
+            group.spawn(&format!("svc-{i}"), move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(group.len(), 4);
+        assert!(group.join_all().is_empty());
+        assert!(group.is_empty());
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn service_group_reports_panicked_threads_by_name() {
+        let mut group = ServiceGroup::new();
+        group.spawn("doomed", || panic!("service thread panic"));
+        let panicked = group.join_all();
+        assert_eq!(panicked, vec!["doomed".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_try_enter_never_exceeds_capacity() {
+        let gate = AdmissionGate::new(3);
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let gate = gate.clone();
+                let peak = Arc::clone(&peak);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        if let Some(_permit) = gate.try_enter() {
+                            let seen = gate.in_flight();
+                            peak.fetch_max(seen, Ordering::Relaxed);
+                            assert!(seen <= 3, "gate admitted {seen} > capacity");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.in_flight(), 0);
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+    }
+}

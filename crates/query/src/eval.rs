@@ -286,11 +286,7 @@ impl AtomVids {
     }
 }
 
-fn resolve_atom_consts<F: Facts + ?Sized>(
-    facts: &F,
-    atom: &Atom,
-    mode: NullSemantics,
-) -> AtomVids {
+fn resolve_atom_consts<F: Facts + ?Sized>(facts: &F, atom: &Atom, mode: NullSemantics) -> AtomVids {
     let mut unmatchable = false;
     let consts = atom
         .terms
@@ -319,7 +315,12 @@ fn resolve_atom_consts<F: Facts + ?Sized>(
 /// equality (the dictionary canonicalizes), so SQL semantics only adds the
 /// null rejection.
 #[inline]
-fn vids_join<F: Facts + ?Sized>(facts: &F, mode: NullSemantics, expected: Vid, actual: Vid) -> bool {
+fn vids_join<F: Facts + ?Sized>(
+    facts: &F,
+    mode: NullSemantics,
+    expected: Vid,
+    actual: Vid,
+) -> bool {
     expected == actual && (mode == NullSemantics::Structural || !facts.vid_is_null(actual))
 }
 

@@ -111,12 +111,32 @@ impl ChangeLog {
     /// The records for epochs `since+1 ..= now`, oldest first, or `None` if
     /// `since` predates the retained window (consumer must recompute) or
     /// lies in the future (stale consumer state from a different database).
+    ///
+    /// **Complete-or-`None` contract.** `Some(slice)` always means *the
+    /// whole delta*: `slice.len() == now - since`, one record per missed
+    /// epoch. Consumers such as `IncrementalState::refresh_budgeted` treat
+    /// `Some` as a complete delta and would silently maintain wrong state
+    /// off a short slice, so any incoherence between the retained window
+    /// and `now` (a log that is missing recent records, or a `now` from a
+    /// different database identity) answers `None` — recompute — instead.
+    /// The exact-compaction/reset boundary `since == first_epoch` is the
+    /// interesting case: it returns the **full retained window** (which is
+    /// complete precisely when `now == first_epoch + len`), never a prefix
+    /// of one.
     pub fn changes_since(&self, since: u64, now: u64) -> Option<&[Change]> {
         if since > now || since < self.first_epoch {
             return None;
         }
         let skip = usize::try_from(since - self.first_epoch).ok()?;
-        self.entries.get(skip..)
+        let tail = self.entries.get(skip..)?;
+        // Coherence check: the tail must cover epochs `since+1 ..= now`
+        // exactly. A mismatch means the log and `now` disagree about how
+        // many mutations happened — returning the tail anyway would hand
+        // the consumer a silently short (or overlong) delta.
+        if (tail.len() as u64) != now - since {
+            return None;
+        }
+        Some(tail)
     }
 
     /// Drop all records and mark everything before `epoch` as unavailable.
@@ -180,6 +200,68 @@ mod tests {
         let tail = log.changes_since(5, 9).unwrap();
         assert_eq!(tail.len(), 4);
         assert_eq!(tail[0].tid(), Tid(6));
+    }
+
+    /// Regression (PR 9): the exact-compaction-boundary case. A consumer
+    /// cached at `since == first_epoch` right after a compaction must get
+    /// the full retained window — complete, `len == now - since` — and a
+    /// consumer whose `now` disagrees with the log (short log, foreign
+    /// epoch counter) must get `None`, never a silently short slice.
+    #[test]
+    fn boundary_at_first_epoch_is_complete_or_none() {
+        let mut log = ChangeLog::with_capacity(4);
+        for i in 0..9u64 {
+            log.push(Change::Insert {
+                relation: 0,
+                tid: Tid(i + 1),
+            });
+        }
+        // Compacted: first_epoch = 5, entries cover epochs 6..=9.
+        let now = 9;
+        let window = log.changes_since(5, now).unwrap();
+        assert_eq!(window.len(), (now - 5) as usize, "full retained window");
+        assert_eq!(window.first().map(Change::tid), Some(Tid(6)));
+        assert_eq!(window.last().map(Change::tid), Some(Tid(9)));
+        // One before the boundary: recompute.
+        assert!(log.changes_since(4, now).is_none());
+        // Incoherent `now` (log is missing records for epochs 10..=12, e.g.
+        // a consumer tracking a different database identity): must be None —
+        // the old behaviour returned the 4-entry tail as if it were the
+        // complete 7-epoch delta.
+        assert!(log.changes_since(5, 12).is_none());
+        assert!(log.changes_since(7, 12).is_none());
+        // `now` behind the log is equally incoherent.
+        assert!(log.changes_since(5, 7).is_none());
+        // Caught-up boundary stays an empty-but-complete slice.
+        assert_eq!(log.changes_since(9, 9).unwrap().len(), 0);
+    }
+
+    /// Regression (PR 9): same boundary immediately after `reset` — the
+    /// reset epoch itself is "caught up" (`Some(&[])`), everything before
+    /// it is unavailable (`None`), and a freshly pushed record makes the
+    /// boundary return exactly that one-record window.
+    #[test]
+    fn boundary_after_reset_is_complete_or_none() {
+        let mut log = ChangeLog::with_capacity(4);
+        for i in 0..3u64 {
+            log.push(Change::Insert {
+                relation: 0,
+                tid: Tid(i + 1),
+            });
+        }
+        log.reset(4); // structural mutation produced epoch 4
+        assert_eq!(log.changes_since(4, 4).unwrap().len(), 0);
+        assert!(log.changes_since(3, 4).is_none());
+        assert!(log.changes_since(0, 4).is_none());
+        log.push(Change::Delete {
+            relation: 1,
+            tid: Tid(9),
+        });
+        let window = log.changes_since(4, 5).unwrap();
+        assert_eq!(window.len(), 1);
+        assert_eq!(window.first().map(Change::tid), Some(Tid(9)));
+        // Still never a short slice when `now` runs ahead of the log.
+        assert!(log.changes_since(4, 6).is_none());
     }
 
     #[test]

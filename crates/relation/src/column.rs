@@ -172,6 +172,7 @@ pub struct ContentMap {
 #[derive(Debug, Clone)]
 enum Bucket {
     One(Tid),
+    #[allow(clippy::box_collection)] // the indirection is the point: 16-byte enum
     Many(Box<Vec<Tid>>),
 }
 
@@ -251,14 +252,12 @@ impl ContentMap {
             .map(|b| match b {
                 Bucket::One(_) => 0,
                 Bucket::Many(tids) => {
-                    std::mem::size_of::<Vec<Tid>>()
-                        + tids.capacity() * std::mem::size_of::<Tid>()
+                    std::mem::size_of::<Vec<Tid>>() + tids.capacity() * std::mem::size_of::<Tid>()
                 }
             })
             .sum();
         spill
-            + self.map.capacity()
-                * (std::mem::size_of::<u64>() + std::mem::size_of::<Bucket>() + 8)
+            + self.map.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Bucket>() + 8)
     }
 
     /// Release over-allocated map capacity (contents untouched).

@@ -53,10 +53,7 @@ impl HashIndex {
         } else {
             let mut map: WordHashMap<Box<[Vid]>, Vec<u32>> = WordHashMap::default();
             for pos in 0..store.len() {
-                let key: Box<[Vid]> = cols
-                    .iter()
-                    .filter_map(|&c| store.vid_at(pos, c))
-                    .collect();
+                let key: Box<[Vid]> = cols.iter().filter_map(|&c| store.vid_at(pos, c)).collect();
                 map.entry(key).or_default().push(pos as u32);
             }
             Keyed::Many(map)
@@ -160,12 +157,7 @@ impl SortedIndex {
     /// Bounds compare in structural [`Value`] order (nulls sort first,
     /// then bools, ints/floats numerically, then strings) — a comparison
     /// consumer that must skip nulls under SQL semantics filters the run.
-    pub fn range(
-        &self,
-        dict: &ValueDict,
-        lo: Bound<&Value>,
-        hi: Bound<&Value>,
-    ) -> &[(Vid, u32)] {
+    pub fn range(&self, dict: &ValueDict, lo: Bound<&Value>, hi: Bound<&Value>) -> &[(Vid, u32)] {
         let resolve = |vid: Vid| dict.resolve(vid).unwrap_or(Value::NULL);
         let start = match lo {
             Bound::Unbounded => 0,
@@ -194,7 +186,10 @@ mod tests {
     fn store(dict: &ValueDict, rows: &[(&str, i64)]) -> ColumnStore {
         let mut s = ColumnStore::new(2);
         for (i, (name, num)) in rows.iter().enumerate() {
-            let vids = [dict.intern(&Value::str(name)), dict.intern(&Value::Int(*num))];
+            let vids = [
+                dict.intern(&Value::str(name)),
+                dict.intern(&Value::Int(*num)),
+            ];
             assert!(s.push(Tid(i as u64 + 1), &vids));
         }
         s
@@ -261,7 +256,11 @@ mod tests {
         }
         let ix = SortedIndex::build(&s, 0, &dict).unwrap();
         let in_range: Vec<i64> = ix
-            .range(&dict, Bound::Included(&Value::Int(0)), Bound::Excluded(&Value::Int(12)))
+            .range(
+                &dict,
+                Bound::Included(&Value::Int(0)),
+                Bound::Excluded(&Value::Int(12)),
+            )
             .iter()
             .filter_map(|&(vid, _)| match dict.resolve(vid) {
                 Some(Value::Int(i)) => Some(i),

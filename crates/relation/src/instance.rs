@@ -248,9 +248,12 @@ impl Relation {
 /// mutation and reset on clone.
 #[derive(Debug, Default)]
 struct IndexCache {
-    hash: RwLock<FxHashMap<(usize, Box<[usize]>), Arc<HashIndex>>>,
+    hash: RwLock<HashIndexMap>,
     sorted: RwLock<FxHashMap<(usize, usize), Arc<SortedIndex>>>,
 }
+
+/// Cached hash indexes keyed by `(relation index, key columns)`.
+type HashIndexMap = FxHashMap<(usize, Box<[usize]>), Arc<HashIndex>>;
 
 impl IndexCache {
     /// Drop only the indexes built over relation `rel_idx`; indexes of

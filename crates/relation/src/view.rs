@@ -84,20 +84,13 @@ pub trait Facts: Sync {
     /// Iterate the visible rows of `relation` in id-space, tid order:
     /// surviving base rows (columnar) first, then the insert overlay.
     fn vid_rows<'s>(&'s self, relation: &str) -> Box<dyn Iterator<Item = (Tid, VidRow<'s>)> + 's> {
-        let base = self
-            .base()
-            .relation(relation)
-            .map(|rel| rel.store().rows());
+        let base = self.base().relation(relation).map(|rel| rel.store().rows());
         let overlay = self.overlay_rows(relation);
         Box::new(
             base.into_iter()
                 .flatten()
                 .filter(move |&(tid, _)| !self.is_deleted(tid))
-                .chain(
-                    overlay
-                        .iter()
-                        .map(|(tid, key)| (*tid, VidRow::Slice(key))),
-                ),
+                .chain(overlay.iter().map(|(tid, key)| (*tid, VidRow::Slice(key)))),
         )
     }
 
@@ -110,9 +103,7 @@ pub trait Facts: Sync {
                 }
             }
         }
-        self.overlay_rows(relation)
-            .iter()
-            .any(|(_, k)| &**k == key)
+        self.overlay_rows(relation).iter().any(|(_, k)| &**k == key)
     }
 
     /// Number of visible tuples in `relation` (0 for unknown relations).
@@ -330,6 +321,9 @@ impl ExtDict {
     }
 }
 
+/// Relation name → row-aligned `(synthetic tid, vid row)` overlay entries.
+type VidOverlay = FxHashMap<String, Vec<(Tid, Box<[Vid]>)>>;
+
 /// A zero-clone repair view: a borrowed base, a borrowed deleted-tid set, and
 /// a normalized insert overlay.
 ///
@@ -358,7 +352,7 @@ pub struct DeltaView<'a> {
     /// Relation name → normalized overlay rows with synthetic tids.
     overlay: FxHashMap<String, Vec<(Tid, Tuple)>>,
     /// Id-space mirror of `overlay`, row-aligned.
-    overlay_vids: FxHashMap<String, Vec<(Tid, Box<[Vid]>)>>,
+    overlay_vids: VidOverlay,
     /// Extension ids for overlay values absent from the base dictionary.
     ext: ExtDict,
     /// Total overlay rows across relations (after normalization).
@@ -376,7 +370,7 @@ impl<'a> DeltaView<'a> {
         inserted: &[(String, Tuple)],
     ) -> DeltaView<'a> {
         let mut overlay: FxHashMap<String, Vec<(Tid, Tuple)>> = FxHashMap::default();
-        let mut overlay_vids: FxHashMap<String, Vec<(Tid, Box<[Vid]>)>> = FxHashMap::default();
+        let mut overlay_vids: VidOverlay = FxHashMap::default();
         let mut ext = ExtDict {
             base_len: base.dict().len() as u32,
             ..ExtDict::default()
@@ -630,8 +624,8 @@ mod tests {
         let db = base_db();
         let deleted = BTreeSet::new();
         let inserted = vec![
-            ("R".to_string(), tuple!["a", 7]),     // known values
-            ("S".to_string(), tuple!["novel-v"]),  // novel value → ext id
+            ("R".to_string(), tuple!["a", 7]),    // known values
+            ("S".to_string(), tuple!["novel-v"]), // novel value → ext id
         ];
         let view = DeltaView::new(&db, &deleted, &inserted);
         for rel in ["R", "S"] {
@@ -665,7 +659,10 @@ mod tests {
         // And the base dictionary does not resolve the extension id.
         assert_eq!(db.dict().resolve(vid), None);
         // Known values keep their base ids.
-        assert_eq!(view.vid_of(&Value::str("a")), db.dict().lookup(&Value::str("a")));
+        assert_eq!(
+            view.vid_of(&Value::str("a")),
+            db.dict().lookup(&Value::str("a"))
+        );
         // vid_rows surfaces the overlay row with the extension id.
         let rows: Vec<(Tid, Box<[Vid]>)> = view
             .vid_rows("S")

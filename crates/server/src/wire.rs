@@ -1,0 +1,147 @@
+//! JSON ↔ domain conversions shared by all handlers.
+//!
+//! The wire format renders answers, repairs and causes with the same
+//! `Display` impls the CLI uses, so a response body carries strings that
+//! are byte-identical to the library/one-shot path — the equivalence suite
+//! and the F20 harness compare them verbatim.
+
+use crate::json::Json;
+use cqa_core::planner::Strategy;
+use cqa_exec::{Budget, Limits, Outcome};
+use cqa_relation::{Tuple, Value};
+
+/// Per-server budget policy: what a request may ask for and what it gets
+/// when it asks for nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetPolicy {
+    /// Applied when a request carries no `timeout_ms`. `None` = no deadline.
+    pub default_timeout_ms: Option<u64>,
+    /// Hard cap on any requested `timeout_ms`.
+    pub max_timeout_ms: u64,
+}
+
+/// Build the request [`Budget`] from a parsed body.
+///
+/// * `timeout_ms` — wall-clock deadline; **`0` means "truncate
+///   immediately"** (the budget is born exhausted — the response is an
+///   empty-but-sound truncated outcome, not an unlimited run), values above
+///   the policy cap are clamped to it.
+/// * `budget_steps` — logical step cap (deterministic truncation).
+/// * `max_repairs` — emitted-item cap.
+pub fn budget_from_body(body: &Json, policy: &BudgetPolicy) -> Budget {
+    let deadline_ms = body
+        .get("timeout_ms")
+        .and_then(Json::as_u64)
+        .or(policy.default_timeout_ms)
+        .map(|ms| ms.min(policy.max_timeout_ms));
+    Budget::new(Limits {
+        deadline_ms,
+        steps: body.get("budget_steps").and_then(Json::as_u64),
+        items: body.get("max_repairs").and_then(Json::as_u64),
+    })
+}
+
+/// Convert a JSON scalar to a [`Value`]; arrays/objects are rejected.
+pub fn value_from_json(j: &Json) -> Result<Value, String> {
+    match j {
+        Json::Null => Ok(Value::NULL),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(n) => Ok(Value::Int(*n)),
+        Json::Float(x) => Ok(Value::Float(*x)),
+        Json::Str(s) => Ok(Value::str(s)),
+        other => Err(format!("row values must be scalars, got {other}")),
+    }
+}
+
+/// Convert a JSON array to a [`Tuple`].
+pub fn tuple_from_json(j: &Json) -> Result<Tuple, String> {
+    let items = j
+        .as_array()
+        .ok_or_else(|| format!("expected a row array, got {j}"))?;
+    let values: Result<Vec<Value>, String> = items.iter().map(value_from_json).collect();
+    Ok(Tuple::new(values?))
+}
+
+/// The `truncated` response field for a truncated outcome, `None` for an
+/// exact one (exact responses carry no field at all, mirroring the CLI's
+/// silent-when-exact convention).
+pub fn truncation_json<T>(outcome: &Outcome<T>) -> Option<Json> {
+    outcome.truncation().map(|(reason, explored)| {
+        Json::obj([
+            ("reason", Json::str(reason.as_str())),
+            ("explored", int_json(explored)),
+        ])
+    })
+}
+
+/// A short machine-readable tag for the planner's strategy.
+pub fn strategy_tag(strategy: &Strategy) -> &'static str {
+    match strategy {
+        Strategy::FoRewriting => "fo-rewriting",
+        Strategy::RepairEnumeration { .. } => "repair-enumeration",
+        Strategy::FactoredEnumeration { .. } => "factored-enumeration",
+        Strategy::DirectEvaluation => "direct-evaluation",
+    }
+}
+
+/// Render an iterator of displayables to a JSON string array.
+pub fn strings_json<T: std::fmt::Display>(items: impl IntoIterator<Item = T>) -> Json {
+    Json::Array(
+        items
+            .into_iter()
+            .map(|t| Json::Str(t.to_string()))
+            .collect(),
+    )
+}
+
+/// A `u64` as wire JSON (saturating into `i64` — epochs and counts never
+/// get near the boundary, but the codec must stay total).
+pub fn int_json(n: u64) -> Json {
+    Json::Int(i64::try_from(n).unwrap_or(i64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use cqa_exec::TruncationReason;
+
+    const POLICY: BudgetPolicy = BudgetPolicy {
+        default_timeout_ms: None,
+        max_timeout_ms: 60_000,
+    };
+
+    #[test]
+    fn zero_timeout_is_born_exhausted_not_unlimited() {
+        let body = parse(r#"{"timeout_ms":0}"#).unwrap();
+        let budget = budget_from_body(&body, &POLICY);
+        assert_eq!(budget.exhaustion(), Some(TruncationReason::Deadline));
+        // And the huge end of the range is clamped to the policy cap, not
+        // interpreted as zero or rejected.
+        let body = parse(&format!(r#"{{"timeout_ms":{}}}"#, u64::MAX)).unwrap();
+        assert!(!budget_from_body(&body, &POLICY).exhausted());
+    }
+
+    #[test]
+    fn absent_limits_are_unlimited_under_default_policy() {
+        let body = parse("{}").unwrap();
+        let budget = budget_from_body(&body, &POLICY);
+        assert!(!budget.exhausted());
+        assert!(!budget.forces_sequential());
+    }
+
+    #[test]
+    fn step_budgets_force_sequential_determinism() {
+        let body = parse(r#"{"budget_steps":100,"max_repairs":3}"#).unwrap();
+        assert!(budget_from_body(&body, &POLICY).forces_sequential());
+    }
+
+    #[test]
+    fn tuples_round_trip_scalars_and_reject_nesting() {
+        let row = parse(r#"[1, "a", 2.5, true, null]"#).unwrap();
+        let t = tuple_from_json(&row).unwrap();
+        assert_eq!(t.to_string(), "(1, a, 2.5, true, NULL)");
+        assert!(tuple_from_json(&parse(r#"[[1]]"#).unwrap()).is_err());
+        assert!(tuple_from_json(&parse(r#"{"a":1}"#).unwrap()).is_err());
+    }
+}

@@ -197,7 +197,7 @@ proptest! {
                 .unwrap();
             (out.is_exact(), out.into_value())
         };
-        prop_assert_eq!(with_threads(1, &run_cqa), with_threads(4, &run_cqa));
+        prop_assert_eq!(with_threads(1, run_cqa), with_threads(4, run_cqa));
 
         let run_repairs = || {
             let budget = Budget::steps(steps);
@@ -207,6 +207,6 @@ proptest! {
             let deltas: Vec<_> = out.into_value().iter().map(|r| r.delta().clone()).collect();
             (exact, deltas)
         };
-        prop_assert_eq!(with_threads(1, &run_repairs), with_threads(4, &run_repairs));
+        prop_assert_eq!(with_threads(1, run_repairs), with_threads(4, run_repairs));
     }
 }

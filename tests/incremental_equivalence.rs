@@ -14,7 +14,6 @@ use cqa_core::{
     answer_consistently, answer_consistently_incremental, IncrementalState, MaintenanceDecision,
 };
 use cqa_exec::{with_threads, Budget};
-use cqa_query::UnionQuery;
 use cqa_relation::{tuple, Database, RelationSchema, Tid, Value};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -102,7 +101,7 @@ proptest! {
     ) {
         let query = cqa_query::parse_ucq("Q(k, v) :- T(k, v)").unwrap();
         let run = |threads: usize| {
-            with_threads(threads, &|| {
+            with_threads(threads, || {
                 let (mut db, sigma) = initial();
                 let mut state = IncrementalState::new(&db, &sigma).unwrap();
                 let mut trace = Vec::new();
@@ -124,7 +123,7 @@ proptest! {
         // The incremental planner agrees with the batch planner on the
         // final instance (exercising the planner's own refresh path).
         let answers = |threads: usize| {
-            with_threads(threads, &|| {
+            with_threads(threads, || {
                 let (mut db, sigma) = initial();
                 let mut state = IncrementalState::new(&db, &sigma).unwrap();
                 for op in batches.iter().flatten() {
