@@ -54,6 +54,10 @@ pub enum DiagCode {
     /// instance's mutation epoch — applied the logged delta incrementally,
     /// found the cache current, or fell back to a full recompute (and why).
     IncrementalMaintenance,
+    /// A008: how the subplan cache behaved during a repair-family fold —
+    /// hits/misses accrued while quantifying the query over repairs, or a
+    /// note that sharing was disabled for the run.
+    PlanCache,
     /// G001: the estimated grounding size exceeds the blow-up threshold.
     GroundingBlowup,
     /// C001: a constraint is repeated verbatim.
@@ -114,7 +118,7 @@ pub enum DiagCode {
 
 impl DiagCode {
     /// Every defined code (documentation + CLI catalog order).
-    pub const ALL: [DiagCode; 25] = [
+    pub const ALL: [DiagCode; 26] = [
         DiagCode::UnsafeVariable,
         DiagCode::RecursionThroughNegation,
         DiagCode::HeadCycle,
@@ -122,6 +126,7 @@ impl DiagCode {
         DiagCode::UndefinedPredicate,
         DiagCode::ConflictComponents,
         DiagCode::IncrementalMaintenance,
+        DiagCode::PlanCache,
         DiagCode::GroundingBlowup,
         DiagCode::DuplicateConstraint,
         DiagCode::UnsatisfiableConstraint,
@@ -152,6 +157,7 @@ impl DiagCode {
             DiagCode::UndefinedPredicate => "A005",
             DiagCode::ConflictComponents => "A006",
             DiagCode::IncrementalMaintenance => "A007",
+            DiagCode::PlanCache => "A008",
             DiagCode::GroundingBlowup => "G001",
             DiagCode::DuplicateConstraint => "C001",
             DiagCode::UnsatisfiableConstraint => "C002",
@@ -183,6 +189,7 @@ impl DiagCode {
             DiagCode::UndefinedPredicate => "undefined-predicate",
             DiagCode::ConflictComponents => "conflict-components",
             DiagCode::IncrementalMaintenance => "incremental-maintenance",
+            DiagCode::PlanCache => "plan-cache",
             DiagCode::GroundingBlowup => "grounding-blowup",
             DiagCode::DuplicateConstraint => "duplicate-constraint",
             DiagCode::UnsatisfiableConstraint => "unsatisfiable-constraint",
@@ -231,7 +238,8 @@ impl DiagCode {
             | DiagCode::FoRewritable
             | DiagCode::AttackCycle
             | DiagCode::ConflictComponents
-            | DiagCode::IncrementalMaintenance => Severity::Info,
+            | DiagCode::IncrementalMaintenance
+            | DiagCode::PlanCache => Severity::Info,
         }
     }
 
@@ -256,6 +264,9 @@ impl DiagCode {
             }
             DiagCode::IncrementalMaintenance => {
                 "how cached conflict state was revalidated: incremental delta, current, or full recompute"
+            }
+            DiagCode::PlanCache => {
+                "subplan-cache behaviour during the repair-family fold: hits, misses, or sharing disabled"
             }
             DiagCode::GroundingBlowup => {
                 "the estimated grounding size exceeds the blow-up threshold"

@@ -133,16 +133,9 @@ impl ProgramAnalysis {
     }
 }
 
-fn saturating_pow(base: u128, exp: u32) -> u128 {
-    let mut acc: u128 = 1;
-    for _ in 0..exp {
-        acc = acc.saturating_mul(base);
-        if acc == u128::MAX {
-            break;
-        }
-    }
-    acc
-}
+// The grounding estimator and the join planner must agree on saturating
+// size arithmetic; both use the planner's helper.
+use cqa_query::plan::saturating_pow;
 
 /// The solver-relevant facts alone: what [`classify_shape`] returns.
 #[derive(Debug, Clone)]

@@ -933,6 +933,28 @@ mod tests {
         assert_eq!(codes("crates/bench/src/lib.rs", src), Vec::<&str>::new());
     }
 
+    /// The planner/subplan-cache module is inside both contracts: its cache
+    /// maps are fingerprint-keyed and must never leak hash order into
+    /// answers (L001), and cache policy must not consult wall clocks or the
+    /// environment directly — `CQA_PLAN_CACHE` goes through `cqa-exec`'s
+    /// sanctioned config module (L005).
+    #[test]
+    fn plan_module_is_covered_by_determinism_and_ambient_rules() {
+        let leak = "
+            fn answers(cache: &HashMap<u64, u32>) -> Vec<u32> {
+                cache.values().copied().collect()
+            }
+        ";
+        assert_eq!(codes("crates/query/src/plan.rs", leak), ["L001"]);
+        let ambient = "
+            fn evict() -> bool {
+                let t = Instant::now();
+                std::env::var(\"CQA_PLAN_CACHE\").is_ok() && t.elapsed().as_secs() > 0
+            }
+        ";
+        assert_eq!(codes("crates/query/src/plan.rs", ambient), ["L005", "L005"]);
+    }
+
     #[test]
     fn l006_fires_everywhere_even_in_tests() {
         let src = "

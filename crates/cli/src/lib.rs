@@ -214,7 +214,7 @@ GLOBAL OPTIONS:
 
 COMMANDS:
   analyze   [--program F.asp] [--constraints F [--db F]] [--query \"…\"]
-            [--catalog] [--components] [--deny]
+            [--catalog] [--components] [--plan] [--deny]
                                             static analysis & diagnostics:
                                             classification (stratified /
                                             head-cycle-free / full), strata,
@@ -225,7 +225,11 @@ COMMANDS:
                                             / Q004 coNP witness);
                                             --components adds the conflict-
                                             component histogram, frozen-core
-                                            fraction and product-size savings
+                                            fraction and product-size savings;
+                                            --plan (with --query + --db) prints
+                                            the cost-based join order, per-step
+                                            cardinality estimates, and the
+                                            subplan-cache hit/miss counters
   audit     [--root DIR] [--baseline F] [--deny] [--print-baseline]
                                             L-series workspace invariant
                                             lints over this repository's own
@@ -412,6 +416,50 @@ fn cmd_analyze(opts: &Opts, out: &mut String) -> Result<i32, String> {
                             &cq, &keys,
                         ));
                     }
+                }
+                // Cost-based plan report: the chosen join order with its
+                // per-step cardinality estimates, plus the subplan-cache
+                // counters that govern repair-family sharing.
+                if opts.has("plan") {
+                    let db_owned;
+                    let db = match &sigma_db {
+                        Some((_, Some(db))) => db,
+                        _ if opts.has("db") => {
+                            db_owned = load_db(opts)?;
+                            &db_owned
+                        }
+                        _ => {
+                            return Err(
+                                "--plan needs --db <file> for cardinality statistics".into()
+                            );
+                        }
+                    };
+                    let plan = cqa_query::plan::explain(db, &cq);
+                    let _ = writeln!(out, "join order: {}", plan.describe());
+                    for step in &plan.steps {
+                        let _ = writeln!(
+                            out,
+                            "  atom {}: {:<16} ~{} row(s) via {}",
+                            step.atom,
+                            step.relation,
+                            step.estimate,
+                            if step.indexed { "index probe" } else { "scan" },
+                        );
+                    }
+                    let _ = writeln!(out, "  estimated witnesses: {}", plan.estimated_witnesses());
+                    let stats = cqa_query::plan_cache_stats();
+                    let _ = writeln!(
+                        out,
+                        "subplan cache: {} (hits {}, misses {}, entries {})",
+                        if cqa_exec::plan_cache_enabled() {
+                            "enabled"
+                        } else {
+                            "disabled"
+                        },
+                        stats.hits,
+                        stats.misses,
+                        stats.entries,
+                    );
                 }
             }
             Err(e) => return Err(input_error(e.to_string(), &format!("--query {q}"))),
@@ -1068,6 +1116,35 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("Q003"), "{out}");
         assert!(out.contains("FO-rewritable"), "{out}");
+    }
+
+    #[test]
+    fn analyze_plan_prints_join_order_and_cache_counters() {
+        let dir = tmpdir("analyze-plan");
+        let (db, sigma) = write_files(&dir);
+        let (code, out) = run_cmd(&[
+            "analyze",
+            "--db",
+            &db,
+            "--constraints",
+            &sigma,
+            "--query",
+            "Q(x, y) :- Employee(x, y)",
+            "--plan",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("join order: Employee"), "{out}");
+        assert!(out.contains("estimated witnesses:"), "{out}");
+        assert!(out.contains("subplan cache:"), "{out}");
+        assert!(out.contains("hits"), "{out}");
+
+        // Without --db the flag is an input error, not a panic.
+        let args: Vec<String> = ["analyze", "--query", "Q(x) :- R(x)", "--plan"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args, &mut String::new()).unwrap_err();
+        assert!(err.contains("--plan needs --db"), "{err}");
     }
 
     #[test]

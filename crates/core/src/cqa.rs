@@ -105,6 +105,24 @@ fn views(repairs: &[Repair]) -> Vec<DeltaView<'_>> {
     repairs.iter().map(Repair::view).collect()
 }
 
+/// Null-filtered SQL-semantics answers of `query` over one instance, via
+/// the shared subplan cache ([`cqa_query::plan`]) when `cache_on`. Every
+/// CQA fold funnels through here: certain folds intersect against the
+/// filtered set (equivalent to filtering per site — the accumulator is
+/// already null-free) and possible folds union it, so the cached unit is
+/// exactly the unit the folds consume. Repairs that leave a query's
+/// relations untouched share one entry — that is where the 2^k fold's
+/// speedup comes from. Callers resolve `cache_on` once on the
+/// coordinating thread ([`cqa_exec::plan_cache_enabled`], the sanctioned
+/// ambient read) so pool workers never consult thread-local state.
+fn sql_answers<F: Facts + ?Sized>(
+    inst: &F,
+    query: &UnionQuery,
+    cache_on: bool,
+) -> Arc<BTreeSet<Tuple>> {
+    cqa_query::plan::cached_certain_answers(inst, query, NullSemantics::Sql, cache_on)
+}
+
 /// Materialize the chosen repair class.
 ///
 /// Kept for callers that genuinely need owned instances (e.g. the virtual
@@ -160,10 +178,8 @@ pub fn certain_over<F: Facts>(instances: &[F], query: &UnionQuery) -> BTreeSet<T
     let Some((first, rest)) = instances.split_first() else {
         return BTreeSet::new();
     };
-    let mut acc: BTreeSet<Tuple> = eval_ucq(first, query, NullSemantics::Sql)
-        .into_iter()
-        .filter(|t| !t.has_null())
-        .collect();
+    let cache_on = cqa_exec::plan_cache_enabled();
+    let mut acc: BTreeSet<Tuple> = (*sql_answers(first, query, cache_on)).clone();
     // Evaluate the remaining repairs in parallel chunks with a barrier
     // between chunks, so the empty-intersection early exit still fires
     // after at most one chunk of wasted work. Set intersection is
@@ -173,9 +189,7 @@ pub fn certain_over<F: Facts>(instances: &[F], query: &UnionQuery) -> BTreeSet<T
         if acc.is_empty() {
             break;
         }
-        let sets = cqa_exec::par_map(&rest[start..end], |inst| {
-            eval_ucq(inst, query, NullSemantics::Sql)
-        });
+        let sets = cqa_exec::par_map(&rest[start..end], |inst| sql_answers(inst, query, cache_on));
         for here in &sets {
             acc.retain(|t| here.contains(t));
         }
@@ -198,15 +212,11 @@ pub fn possible_answers(
 
 /// Possible (brave) answers over an explicit list of instances or views.
 pub fn possible_over<F: Facts>(instances: &[F], query: &UnionQuery) -> BTreeSet<Tuple> {
-    let sets = cqa_exec::par_map(instances, |inst| {
-        eval_ucq(inst, query, NullSemantics::Sql)
-            .into_iter()
-            .filter(|t| !t.has_null())
-            .collect::<BTreeSet<_>>()
-    });
+    let cache_on = cqa_exec::plan_cache_enabled();
+    let sets = cqa_exec::par_map(instances, |inst| sql_answers(inst, query, cache_on));
     let mut out = BTreeSet::new();
     for here in sets {
-        out.extend(here);
+        out.extend(here.iter().cloned());
     }
     out
 }
@@ -357,31 +367,26 @@ pub fn cqa_report(
 ) -> Result<CqaReport, RelationError> {
     let set = repair_set(db, sigma, class)?;
     let repair_count = set.len();
+    let cache_on = cqa_exec::plan_cache_enabled();
     let sets = match &set {
-        RepairSet::Delta(reps) => cqa_exec::par_map(&views(reps), |inst| {
-            eval_ucq(inst, query, NullSemantics::Sql)
-                .into_iter()
-                .filter(|t| !t.has_null())
-                .collect::<BTreeSet<_>>()
-        }),
-        RepairSet::Materialized(dbs) => cqa_exec::par_map(dbs, |inst| {
-            eval_ucq(inst, query, NullSemantics::Sql)
-                .into_iter()
-                .filter(|t| !t.has_null())
-                .collect::<BTreeSet<_>>()
-        }),
+        RepairSet::Delta(reps) => {
+            cqa_exec::par_map(&views(reps), |inst| sql_answers(inst, query, cache_on))
+        }
+        RepairSet::Materialized(dbs) => {
+            cqa_exec::par_map(dbs, |inst| sql_answers(inst, query, cache_on))
+        }
     };
     let mut possible = BTreeSet::new();
     let mut certain: Option<BTreeSet<Tuple>> = None;
     for here in sets {
         certain = Some(match certain {
-            None => here.clone(),
+            None => (*here).clone(),
             Some(mut acc) => {
                 acc.retain(|t| here.contains(t));
                 acc
             }
         });
-        possible.extend(here);
+        possible.extend(here.iter().cloned());
     }
     Ok(CqaReport {
         repair_count,
@@ -444,10 +449,8 @@ fn core_certain_fallback(
     let core = sigma.conflict_hypergraph(&**base)?.isolated_nodes();
     let deleted: BTreeSet<Tid> = base.tids().difference(&core).copied().collect();
     let core_view = Repair::from_delta_arc(base, deleted, Vec::new())?;
-    Ok(eval_ucq(&core_view.view(), query, NullSemantics::Sql)
-        .into_iter()
-        .filter(|t| !t.has_null())
-        .collect())
+    let cache_on = cqa_exec::plan_cache_enabled();
+    Ok((*sql_answers(&core_view.view(), query, cache_on)).clone())
 }
 
 /// The sound **over-approximation** of the possible answers used when a
@@ -465,10 +468,7 @@ fn possible_fallback<F: Facts>(
     explored: &[F],
 ) -> BTreeSet<Tuple> {
     if deletion_only_semantics(sigma, class) && is_monotone(query) {
-        eval_ucq(&**base, query, NullSemantics::Sql)
-            .into_iter()
-            .filter(|t| !t.has_null())
-            .collect()
+        (*sql_answers(&**base, query, cqa_exec::plan_cache_enabled())).clone()
     } else {
         possible_over(explored, query)
     }
@@ -529,13 +529,12 @@ fn certain_over_budgeted<F: Facts>(
     if !budget.tick() {
         return None;
     }
-    let mut acc: BTreeSet<Tuple> = eval_ucq(first, query, NullSemantics::Sql)
-        .into_iter()
-        .filter(|t| !t.has_null())
-        .collect();
+    let cache_on = cqa_exec::plan_cache_enabled();
+    let mut acc: BTreeSet<Tuple> = (*sql_answers(first, query, cache_on)).clone();
     if budget.forces_sequential() {
         // Logical budget: one tick per repair in input order, so the cut
-        // point is schedule-independent.
+        // point is schedule-independent. (Ticks are charged *before*
+        // evaluation, so a cache hit never moves the truncation point.)
         for inst in rest {
             if acc.is_empty() {
                 break;
@@ -543,7 +542,7 @@ fn certain_over_budgeted<F: Facts>(
             if !budget.tick() {
                 return None;
             }
-            let here = eval_ucq(inst, query, NullSemantics::Sql);
+            let here = sql_answers(inst, query, cache_on);
             acc.retain(|t| here.contains(t));
         }
         return Some(acc);
@@ -558,9 +557,7 @@ fn certain_over_budgeted<F: Facts>(
         if !budget.check_deadline() {
             return None;
         }
-        let sets = cqa_exec::par_map(&rest[start..end], |inst| {
-            eval_ucq(inst, query, NullSemantics::Sql)
-        });
+        let sets = cqa_exec::par_map(&rest[start..end], |inst| sql_answers(inst, query, cache_on));
         for here in &sets {
             acc.retain(|t| here.contains(t));
         }
@@ -575,17 +572,14 @@ fn possible_over_budgeted<F: Facts>(
     query: &UnionQuery,
     budget: &Budget,
 ) -> Option<BTreeSet<Tuple>> {
+    let cache_on = cqa_exec::plan_cache_enabled();
     if budget.forces_sequential() {
         let mut out = BTreeSet::new();
         for inst in instances {
             if !budget.tick() {
                 return None;
             }
-            out.extend(
-                eval_ucq(inst, query, NullSemantics::Sql)
-                    .into_iter()
-                    .filter(|t| !t.has_null()),
-            );
+            out.extend(sql_answers(inst, query, cache_on).iter().cloned());
         }
         return Some(out);
     }
@@ -596,13 +590,10 @@ fn possible_over_budgeted<F: Facts>(
             return None;
         }
         let sets = cqa_exec::par_map(&instances[start..end], |inst| {
-            eval_ucq(inst, query, NullSemantics::Sql)
-                .into_iter()
-                .filter(|t| !t.has_null())
-                .collect::<BTreeSet<_>>()
+            sql_answers(inst, query, cache_on)
         });
         for here in sets {
-            out.extend(here);
+            out.extend(here.iter().cloned());
         }
     }
     Some(out)
@@ -673,10 +664,8 @@ fn factored_core_answers(
         return Ok(BTreeSet::new());
     }
     let core = Repair::from_delta_arc(fx.base(), fx.conflicted(), Vec::new())?;
-    Ok(eval_ucq(&core.view(), query, NullSemantics::Sql)
-        .into_iter()
-        .filter(|t| !t.has_null())
-        .collect())
+    let cache_on = cqa_exec::plan_cache_enabled();
+    Ok((*sql_answers(&core.view(), query, cache_on)).clone())
 }
 
 /// The component-local views for one family, in family order.
@@ -699,6 +688,7 @@ fn factored_component_certain(
     budget: &Budget,
 ) -> Result<Option<BTreeSet<Tuple>>, RelationError> {
     let mut certain = factored_core_answers(fx, query)?;
+    let cache_on = cqa_exec::plan_cache_enabled();
     for (comp, family) in fx.families().families.iter().enumerate() {
         let acc = if budget.forces_sequential() {
             // One tick per local view in canonical order: the cut point is
@@ -710,12 +700,9 @@ fn factored_component_certain(
                 }
                 let view =
                     Repair::from_delta_arc(fx.base(), fx.local_deleted(comp, h), Vec::new())?;
-                let here: BTreeSet<Tuple> = eval_ucq(&view.view(), query, NullSemantics::Sql)
-                    .into_iter()
-                    .filter(|t| !t.has_null())
-                    .collect();
+                let here = sql_answers(&view.view(), query, cache_on);
                 match &mut acc {
-                    None => acc = Some(here),
+                    None => acc = Some((*here).clone()),
                     Some(a) => a.retain(|t| here.contains(t)),
                 }
                 if acc.as_ref().is_some_and(BTreeSet::is_empty) {
@@ -728,14 +715,9 @@ fn factored_component_certain(
                 return Ok(None);
             }
             let reps = component_views(fx, comp, family)?;
-            let mut sets = cqa_exec::par_map(&views(&reps), |v| {
-                eval_ucq(v, query, NullSemantics::Sql)
-                    .into_iter()
-                    .filter(|t| !t.has_null())
-                    .collect::<BTreeSet<_>>()
-            })
-            .into_iter();
-            let mut acc = sets.next();
+            let mut sets =
+                cqa_exec::par_map(&views(&reps), |v| sql_answers(v, query, cache_on)).into_iter();
+            let mut acc = sets.next().map(|s| (*s).clone());
             if let Some(a) = &mut acc {
                 for here in sets {
                     a.retain(|t| here.contains(t));
@@ -760,6 +742,7 @@ fn factored_component_possible(
     budget: &Budget,
 ) -> Result<Option<BTreeSet<Tuple>>, RelationError> {
     let mut out = factored_core_answers(fx, query)?;
+    let cache_on = cqa_exec::plan_cache_enabled();
     for (comp, family) in fx.families().families.iter().enumerate() {
         if budget.forces_sequential() {
             for h in family {
@@ -768,24 +751,15 @@ fn factored_component_possible(
                 }
                 let view =
                     Repair::from_delta_arc(fx.base(), fx.local_deleted(comp, h), Vec::new())?;
-                out.extend(
-                    eval_ucq(&view.view(), query, NullSemantics::Sql)
-                        .into_iter()
-                        .filter(|t| !t.has_null()),
-                );
+                out.extend(sql_answers(&view.view(), query, cache_on).iter().cloned());
             }
         } else {
             if !budget.check_deadline() {
                 return Ok(None);
             }
             let reps = component_views(fx, comp, family)?;
-            for here in cqa_exec::par_map(&views(&reps), |v| {
-                eval_ucq(v, query, NullSemantics::Sql)
-                    .into_iter()
-                    .filter(|t| !t.has_null())
-                    .collect::<BTreeSet<_>>()
-            }) {
-                out.extend(here);
+            for here in cqa_exec::par_map(&views(&reps), |v| sql_answers(v, query, cache_on)) {
+                out.extend(here.iter().cloned());
             }
         }
     }
@@ -807,11 +781,9 @@ fn factored_product_certain(
     if !budget.tick() {
         return Ok(None);
     }
+    let cache_on = cqa_exec::plan_cache_enabled();
     let first = Repair::from_delta_arc(fx.base(), first, Vec::new())?;
-    let mut acc: BTreeSet<Tuple> = eval_ucq(&first.view(), query, NullSemantics::Sql)
-        .into_iter()
-        .filter(|t| !t.has_null())
-        .collect();
+    let mut acc: BTreeSet<Tuple> = (*sql_answers(&first.view(), query, cache_on)).clone();
     if budget.forces_sequential() {
         for delta in deltas {
             if acc.is_empty() {
@@ -821,7 +793,7 @@ fn factored_product_certain(
                 return Ok(None);
             }
             let view = Repair::from_delta_arc(fx.base(), delta, Vec::new())?;
-            let here = eval_ucq(&view.view(), query, NullSemantics::Sql);
+            let here = sql_answers(&view.view(), query, cache_on);
             acc.retain(|t| here.contains(t));
         }
         return Ok(Some(acc));
@@ -842,7 +814,7 @@ fn factored_product_certain(
         if batch.is_empty() {
             break;
         }
-        let sets = cqa_exec::par_map(&views(&batch), |v| eval_ucq(v, query, NullSemantics::Sql));
+        let sets = cqa_exec::par_map(&views(&batch), |v| sql_answers(v, query, cache_on));
         for here in &sets {
             acc.retain(|t| here.contains(t));
         }
@@ -858,17 +830,14 @@ fn factored_product_possible(
 ) -> Result<Option<BTreeSet<Tuple>>, RelationError> {
     let mut deltas = fx.deltas();
     let mut out = BTreeSet::new();
+    let cache_on = cqa_exec::plan_cache_enabled();
     if budget.forces_sequential() {
         for delta in deltas {
             if !budget.tick() {
                 return Ok(None);
             }
             let view = Repair::from_delta_arc(fx.base(), delta, Vec::new())?;
-            out.extend(
-                eval_ucq(&view.view(), query, NullSemantics::Sql)
-                    .into_iter()
-                    .filter(|t| !t.has_null()),
-            );
+            out.extend(sql_answers(&view.view(), query, cache_on).iter().cloned());
         }
         return Ok(Some(out));
     }
@@ -885,13 +854,8 @@ fn factored_product_possible(
         if batch.is_empty() {
             break;
         }
-        for here in cqa_exec::par_map(&views(&batch), |v| {
-            eval_ucq(v, query, NullSemantics::Sql)
-                .into_iter()
-                .filter(|t| !t.has_null())
-                .collect::<BTreeSet<_>>()
-        }) {
-            out.extend(here);
+        for here in cqa_exec::par_map(&views(&batch), |v| sql_answers(v, query, cache_on)) {
+            out.extend(here.iter().cloned());
         }
     }
     Ok(Some(out))

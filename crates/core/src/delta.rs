@@ -197,6 +197,12 @@ impl IncrementalState {
         self.violations = violations;
         self.graph = graph;
         self.epoch = db.epoch();
+        // A structural reset means the instance drifted past what the
+        // change log describes; the subplan cache's stamp keys stay sound
+        // regardless, but entries for the abandoned states will never hit
+        // again — drop them rather than letting dead weight ride to the
+        // eviction cap.
+        cqa_query::plan::reset_plan_cache();
         self.last = MaintenanceDecision::Recompute {
             reason: reason.into(),
         };

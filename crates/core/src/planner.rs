@@ -235,6 +235,16 @@ fn fallback(
     budget: &Budget,
     prebuilt: Option<&ConflictHypergraph>,
 ) -> Result<Outcome<PlannedAnswer>, RelationError> {
+    // Both enumeration strategies quantify the query over a repair family;
+    // the subplan cache shares per-view answer sets across that fold.
+    // Snapshot the counters here so A008 reports this fold's delta.
+    let cache_on = cqa_exec::plan_cache_enabled();
+    let cache_before = cqa_query::plan_cache_stats();
+    let reason = if cache_on {
+        format!("{reason}; repair-family subplan sharing on")
+    } else {
+        reason
+    };
     // Factored path: with ≥ 2 conflict components the repair family is a
     // cross-product of independent per-component families, so enumeration
     // and the certain fold run per component (see `cqa-core::factored`).
@@ -254,6 +264,7 @@ fn fallback(
             let out = factored_certain_with(&base, graph, query, &RepairClass::Subset, budget)?;
             return Ok(out.map(|(answers, factorization)| {
                 diagnostics.push(factorization_diagnostic(&factorization));
+                diagnostics.push(plan_cache_diagnostic(cache_on, &cache_before));
                 PlannedAnswer {
                     answers,
                     strategy: Strategy::FactoredEnumeration {
@@ -266,11 +277,33 @@ fn fallback(
         }
     }
     let answers = consistent_answers_budgeted(db, sigma, query, &RepairClass::Subset, budget)?;
-    Ok(answers.map(|answers| PlannedAnswer {
-        answers,
-        strategy: Strategy::RepairEnumeration { reason },
-        diagnostics,
+    Ok(answers.map(|answers| {
+        diagnostics.push(plan_cache_diagnostic(cache_on, &cache_before));
+        PlannedAnswer {
+            answers,
+            strategy: Strategy::RepairEnumeration { reason },
+            diagnostics,
+        }
     }))
+}
+
+/// The A008 informational finding describing how the subplan cache behaved
+/// during the repair fold (hits/misses accrued between the pre-fold
+/// snapshot and now; counters are process-wide, so concurrent folds may
+/// contribute).
+fn plan_cache_diagnostic(enabled: bool, before: &cqa_query::PlanCacheStats) -> Diagnostic {
+    let message = if enabled {
+        let after = cqa_query::plan_cache_stats();
+        format!(
+            "subplan cache over the repair fold: {} hits, {} misses, {} resident entries",
+            after.hits.saturating_sub(before.hits),
+            after.misses.saturating_sub(before.misses),
+            after.entries,
+        )
+    } else {
+        "subplan sharing disabled for this run: every repair re-evaluated the query".to_string()
+    };
+    Diagnostic::new(DiagCode::PlanCache, message)
 }
 
 /// The A007 informational finding describing how the incremental planner

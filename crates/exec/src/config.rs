@@ -23,7 +23,12 @@ thread_local! {
     static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
     /// True on worker threads spawned by this crate's pool.
     pub(crate) static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// 0 = no override, 1 = cache on, 2 = cache off (this thread only).
+    static LOCAL_PLAN_CACHE: Cell<u8> = const { Cell::new(0) };
 }
+
+/// 0 = unset (fall through to env / default-on), 1 = on, 2 = off.
+static GLOBAL_PLAN_CACHE: AtomicUsize = AtomicUsize::new(0);
 
 /// Snapshot of the execution configuration, for display (the bench harness
 /// prints one in its header).
@@ -103,9 +108,75 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Is the `cqa-query` subplan cache enabled? Resolution mirrors
+/// [`threads`], highest priority first: the thread-local override from
+/// [`with_plan_cache`], the process-wide value from [`set_plan_cache`], the
+/// `CQA_PLAN_CACHE` environment variable (`0`/`off`/`false` disable), and
+/// the default **on**. This is the single sanctioned ambient read for the
+/// cache — `cqa-query` itself never touches the environment (L005).
+pub fn plan_cache_enabled() -> bool {
+    let local = LOCAL_PLAN_CACHE.with(Cell::get);
+    if local != 0 {
+        return local == 1;
+    }
+    let global = GLOBAL_PLAN_CACHE.load(Ordering::Relaxed);
+    if global != 0 {
+        return global == 1;
+    }
+    if let Ok(s) = std::env::var("CQA_PLAN_CACHE") {
+        let s = s.trim();
+        if s == "0" || s.eq_ignore_ascii_case("off") || s.eq_ignore_ascii_case("false") {
+            return false;
+        }
+    }
+    true
+}
+
+/// Set the process-wide plan-cache switch (`None` clears it, falling back
+/// to `CQA_PLAN_CACHE` / default-on). Wired to `repaird --no-plan-cache`
+/// style flags.
+pub fn set_plan_cache(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    GLOBAL_PLAN_CACHE.store(v, Ordering::Relaxed);
+}
+
+/// Run `f` with the plan cache pinned on/off on this thread. Restores the
+/// previous override on exit, even on panic — the race-free way for tests
+/// and the harness to compare sharing-on vs sharing-off side by side.
+pub fn with_plan_cache<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_PLAN_CACHE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_PLAN_CACHE.with(|c| c.replace(if on { 1 } else { 2 }));
+    let _restore = Restore(prev);
+    f()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn plan_cache_override_wins_and_restores() {
+        with_plan_cache(false, || {
+            assert!(!plan_cache_enabled());
+            with_plan_cache(true, || assert!(plan_cache_enabled()));
+            assert!(!plan_cache_enabled());
+        });
+        // Global switch applies when no local override is active.
+        set_plan_cache(Some(false));
+        assert!(!plan_cache_enabled());
+        set_plan_cache(Some(true));
+        assert!(plan_cache_enabled());
+        set_plan_cache(None);
+    }
 
     #[test]
     fn with_threads_overrides_and_restores() {

@@ -53,7 +53,10 @@ mod queue;
 mod service;
 
 pub use budget::{Budget, CancelToken, Limits, Outcome, TruncationReason};
-pub use config::{set_threads, threads, with_threads, ExecConfig};
+pub use config::{
+    plan_cache_enabled, set_plan_cache, set_threads, threads, with_plan_cache, with_threads,
+    ExecConfig,
+};
 #[cfg(feature = "schedule-fuzz")]
 pub use fuzz::with_schedule_seed;
 pub use pool::{chunks_of, par_any, par_filter_map, par_for_each, par_map, par_map_cancellable};

@@ -55,11 +55,16 @@ pub fn eval_aggregate<F: Facts + ?Sized>(
     mode: NullSemantics,
 ) -> AggResult {
     let group_terms: Vec<Term> = q.group_by.iter().map(|v| Term::Var(*v)).collect();
-    // group key -> (count, sum, min, max, distinct values)
+    // group key -> (count, addends, min, max, distinct values)
     struct Acc {
         count: u64,
-        sum: f64,
-        numeric: u64,
+        /// Numeric targets, kept unsummed: witness *enumeration* order
+        /// follows the join order the planner picked, and float addition
+        /// is not associative — summing on the fly would let a plan change
+        /// perturb `Sum`/`Avg` in the last ulp. The addends are a set
+        /// regardless of order, so sorting them (`total_cmp`) before the
+        /// fold at finalization makes the result plan-independent.
+        addends: Vec<f64>,
         min: Option<Value>,
         max: Option<Value>,
         distinct: std::collections::BTreeSet<Value>,
@@ -72,8 +77,7 @@ pub fn eval_aggregate<F: Facts + ?Sized>(
         };
         let acc = groups.entry(key).or_insert_with(|| Acc {
             count: 0,
-            sum: 0.0,
-            numeric: 0,
+            addends: Vec::new(),
             min: None,
             max: None,
             distinct: std::collections::BTreeSet::new(),
@@ -84,8 +88,7 @@ pub fn eval_aggregate<F: Facts + ?Sized>(
                 if !value.is_null() {
                     acc.distinct.insert(value.clone());
                     if let Some(f) = value.as_f64() {
-                        acc.sum += f;
-                        acc.numeric += 1;
+                        acc.addends.push(f);
                     }
                     if acc.min.as_ref().is_none_or(|m| value < m) {
                         acc.min = Some(value.clone());
@@ -101,20 +104,23 @@ pub fn eval_aggregate<F: Facts + ?Sized>(
 
     groups
         .into_iter()
-        .filter_map(|(key, acc)| {
+        .filter_map(|(key, mut acc)| {
+            acc.addends.sort_by(f64::total_cmp);
+            let numeric = acc.addends.len() as u64;
+            let sum: f64 = acc.addends.iter().sum();
             let value = match q.op {
                 AggOp::Count => Some(Value::Int(acc.count as i64)),
                 AggOp::CountDistinct => Some(Value::Int(acc.distinct.len() as i64)),
-                AggOp::Sum => (acc.numeric > 0).then(|| {
-                    if acc.sum.fract() == 0.0 && acc.sum.abs() < i64::MAX as f64 {
-                        Value::Int(acc.sum as i64)
+                AggOp::Sum => (numeric > 0).then(|| {
+                    if sum.fract() == 0.0 && sum.abs() < i64::MAX as f64 {
+                        Value::Int(sum as i64)
                     } else {
-                        Value::Float(acc.sum)
+                        Value::Float(sum)
                     }
                 }),
                 AggOp::Min => acc.min,
                 AggOp::Max => acc.max,
-                AggOp::Avg => (acc.numeric > 0).then(|| Value::Float(acc.sum / acc.numeric as f64)),
+                AggOp::Avg => (numeric > 0).then(|| Value::Float(sum / numeric as f64)),
             };
             value.map(|v| (key, v))
         })
@@ -209,6 +215,31 @@ mod tests {
             eval_scalar(&db, &min, NullSemantics::Structural),
             Some(Value::Int(3000))
         );
+    }
+
+    #[test]
+    fn float_sums_are_canonicalized_against_enumeration_order() {
+        // 1e16 swallows 1.0 unless the addends are folded in canonical
+        // (total_cmp) order; pin that insertion order — and hence any join
+        // order the planner might pick — cannot change the sum.
+        let build = |rows: &[f64]| {
+            let mut db = Database::new();
+            db.create_relation(RelationSchema::new("F", ["K", "V"]))
+                .unwrap();
+            for (i, &v) in rows.iter().enumerate() {
+                db.insert("F", tuple![i as i64, v]).unwrap();
+            }
+            db
+        };
+        let s = q("Q() :- F(k, v)", &[], Some("v"), AggOp::Sum);
+        let a = eval_scalar(&build(&[1.0, 1e16, -1e16]), &s, NullSemantics::Structural);
+        let b = eval_scalar(&build(&[1e16, -1e16, 1.0]), &s, NullSemantics::Structural);
+        let c = eval_scalar(&build(&[-1e16, 1.0, 1e16]), &s, NullSemantics::Structural);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        // The canonical fold is the ascending one: -1e16 + 1.0 loses the
+        // 1.0, then + 1e16 lands on exactly zero.
+        assert_eq!(a, Some(Value::Int(0)));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! *materializing* engine: `evaluate` returns a database holding the EDB plus
 //! every derived IDB fact, which the ordinary query evaluator can then query.
 
-use crate::ast::{Atom, Comparison, ConjunctiveQuery, VarTable};
+use crate::ast::{Atom, Comparison, ConjunctiveQuery, Term, VarTable};
 use crate::eval::{for_each_witness, NullSemantics};
 use cqa_relation::{Database, RelationError, RelationSchema, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
@@ -190,6 +190,32 @@ impl Program {
         Ok(clean)
     }
 
+    /// Answer a single goal atom over `edb`, goal-directed when possible:
+    /// the set of `goal.relation` facts matching the goal's constants (and
+    /// repeated-variable equalities).
+    ///
+    /// When the program is positive and the goal is a bound IDB atom, the
+    /// magic-sets rewrite ([`crate::magic`]) passes the goal's bindings
+    /// sideways through rule bodies so evaluation derives only relevant
+    /// facts; otherwise (negation, unbound or EDB goals) it falls back to
+    /// full materialization. Answers are identical either way — pinned by
+    /// `goal_directed_answers_match_full_evaluation`.
+    pub fn answers_for_goal(
+        &self,
+        edb: &Database,
+        goal: &Atom,
+    ) -> Result<BTreeSet<Tuple>, RelationError> {
+        let has_binding = goal.terms.iter().any(|t| matches!(t, Term::Const(_)));
+        if has_binding {
+            if let Ok(magic) = crate::magic::magic_rewrite(self, goal) {
+                let out = magic.program.evaluate(edb)?;
+                return Ok(collect_goal_matches(&out, &magic.goal.relation, goal));
+            }
+        }
+        let out = self.evaluate(edb)?;
+        Ok(collect_goal_matches(&out, &goal.relation, goal))
+    }
+
     fn evaluate_stratum(
         &self,
         db: &mut Database,
@@ -285,6 +311,37 @@ impl Program {
 
 const DELTA_PREFIX: &str = "\u{0394}#"; // "Δ#", cannot clash with user names
 
+/// Facts of `relation` in `db` matching `pattern`'s constants and
+/// repeated-variable equality constraints.
+fn collect_goal_matches(db: &Database, relation: &str, pattern: &Atom) -> BTreeSet<Tuple> {
+    let Some(rel) = db.relation(relation) else {
+        return BTreeSet::new();
+    };
+    rel.tuples()
+        .filter(|t| {
+            if t.values().len() != pattern.terms.len() {
+                return false;
+            }
+            let mut bound: BTreeMap<crate::ast::Var, &cqa_relation::Value> = BTreeMap::new();
+            pattern
+                .terms
+                .iter()
+                .zip(t.values())
+                .all(|(term, val)| match term {
+                    Term::Const(c) => c == val,
+                    Term::Var(v) => match bound.entry(*v) {
+                        std::collections::btree_map::Entry::Occupied(e) => *e.get() == val,
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(val);
+                            true
+                        }
+                    },
+                })
+        })
+        .cloned()
+        .collect()
+}
+
 fn delta_name(pred: &str) -> String {
     format!("{DELTA_PREFIX}{pred}")
 }
@@ -346,6 +403,68 @@ mod tests {
         let db = edge_db(&[(1, 2), (2, 1)]);
         let out = p.evaluate(&db).unwrap();
         assert_eq!(out.relation("Path").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn goal_directed_answers_match_full_evaluation() {
+        let p = parse_program(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        )
+        .unwrap();
+        // Two disconnected chains; a goal bound to source 1 should only
+        // ever need the first chain.
+        let db = edge_db(&[(1, 2), (2, 3), (10, 11), (11, 12), (12, 13)]);
+        let goal_q = parse_query("Q(y) :- Path(1, y)").unwrap();
+        let goal = goal_q.atoms[0].clone();
+
+        let directed = p.answers_for_goal(&db, &goal).unwrap();
+        let full: BTreeSet<Tuple> = p
+            .evaluate(&db)
+            .unwrap()
+            .relation("Path")
+            .unwrap()
+            .tuples()
+            .filter(|t| t.at(0).as_i64() == Some(1))
+            .cloned()
+            .collect();
+        assert_eq!(directed, full);
+        assert_eq!(directed.len(), 2); // Path(1,2), Path(1,3)
+
+        // Unbound goal falls back to full evaluation: all Path facts.
+        let open = parse_query("Q(x, y) :- Path(x, y)").unwrap().atoms[0].clone();
+        let all = p.answers_for_goal(&db, &open).unwrap();
+        assert_eq!(
+            all.len(),
+            p.evaluate(&db).unwrap().relation("Path").unwrap().len()
+        );
+
+        // Repeated variables constrain: Path(x, x) over an acyclic graph
+        // is empty.
+        let diag = parse_query("Q(x) :- Path(x, x)").unwrap().atoms[0].clone();
+        assert!(p.answers_for_goal(&db, &diag).unwrap().is_empty());
+    }
+
+    #[test]
+    fn goal_directed_handles_negation_by_fallback() {
+        let p = parse_program(
+            "Reach(x) :- Source(x).\n\
+             Reach(y) :- Reach(x), Edge(x, y).\n\
+             Unreached(x) :- Node(x), not Reach(x).",
+        )
+        .unwrap();
+        let mut db = edge_db(&[(1, 2)]);
+        db.create_relation(RelationSchema::new("Source", ["N"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Node", ["N"]))
+            .unwrap();
+        db.insert("Source", tuple![1]).unwrap();
+        for n in 1..=3 {
+            db.insert("Node", tuple![n]).unwrap();
+        }
+        // Magic sets reject negation; answers_for_goal must still answer.
+        let goal = parse_query("Q() :- Unreached(3)").unwrap().atoms[0].clone();
+        assert_eq!(p.answers_for_goal(&db, &goal).unwrap().len(), 1);
     }
 
     #[test]

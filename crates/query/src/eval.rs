@@ -426,31 +426,17 @@ fn try_comparison_vids<F: Facts + ?Sized>(
     Some(mode.cmp(c.op, &a, &b))
 }
 
-/// Pick a greedy join order: repeatedly choose the atom with the most terms
-/// bound so far, breaking ties by smaller relation.
+/// Pick the join order for `cq`'s positive atoms.
+///
+/// Delegates to the cost-based planner ([`crate::plan::join_order`]), which
+/// scores candidate atoms by estimated access cost from column statistics
+/// and breaks every tie down to the atom index — a strict total order, so
+/// the chosen order is stable under relation insertion order. (The
+/// boundness-greedy heuristic this replaced used `max_by_key` over a
+/// `swap_remove`-perturbed worklist, where equally-scored atoms resolved
+/// by whichever the perturbed iteration visited last.)
 fn atom_order<F: Facts + ?Sized>(facts: &F, cq: &ConjunctiveQuery) -> Vec<usize> {
-    let n = cq.atoms.len();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut order = Vec::with_capacity(n);
-    let mut bound: BTreeSet<Var> = BTreeSet::new();
-    while let Some((pos, &best)) = remaining.iter().enumerate().max_by_key(|(_, &i)| {
-        let atom = &cq.atoms[i];
-        let bound_terms = atom
-            .terms
-            .iter()
-            .filter(|t| match t {
-                Term::Const(_) => true,
-                Term::Var(v) => bound.contains(v),
-            })
-            .count();
-        let size = facts.relation_len(&atom.relation);
-        (bound_terms, std::cmp::Reverse(size))
-    }) {
-        order.push(best);
-        bound.extend(cq.atoms[best].vars());
-        remaining.swap_remove(pos);
-    }
-    order
+    crate::plan::join_order(facts, cq)
 }
 
 /// Evaluate the positive part of `cq` and call `sink` for every witness that
@@ -488,6 +474,38 @@ pub fn for_each_witness_vids<F: Facts + ?Sized>(
     sink: &mut dyn FnMut(&VidBindings, &[Tid]) -> bool,
 ) {
     let order = atom_order(facts, cq);
+    for_each_witness_vids_ordered(facts, cq, mode, &order, sink);
+}
+
+/// [`for_each_witness_vids`] with a caller-supplied join order. Any
+/// permutation of `0..cq.atoms.len()` is admissible — the evaluator scans
+/// when probe variables are unbound — and every admissible order yields the
+/// same witness *set* (enumeration order differs). Anything that is not a
+/// permutation falls back to the planner's order. Exercised by the
+/// plan-equivalence suite to pin answer/order independence.
+pub fn for_each_witness_vids_ordered<F: Facts + ?Sized>(
+    facts: &F,
+    cq: &ConjunctiveQuery,
+    mode: NullSemantics,
+    order: &[usize],
+    sink: &mut dyn FnMut(&VidBindings, &[Tid]) -> bool,
+) {
+    let n = cq.atoms.len();
+    let planned;
+    let order = {
+        let mut seen = vec![false; n];
+        let valid = order.len() == n
+            && order.iter().all(|&i| match seen.get_mut(i) {
+                Some(s) => !std::mem::replace(s, true),
+                None => false,
+            });
+        if valid {
+            order
+        } else {
+            planned = atom_order(facts, cq);
+            planned.as_slice()
+        }
+    };
 
     // Resolve every atom constant to a vid once. A positive atom whose
     // constant the view has never stored (or, under SQL semantics, whose
@@ -513,11 +531,11 @@ pub fn for_each_witness_vids<F: Facts + ?Sized>(
     // positions, turning the scan into a bucket lookup (deleted tids
     // filtered, insert overlay unioned). Under SQL semantics null probe keys
     // bail out before the lookup, so nulls never join.
-    const INDEX_THRESHOLD: usize = 32;
+    use crate::plan::INDEX_THRESHOLD;
     let mut probe_cols: Vec<Vec<usize>> = vec![Vec::new(); cq.atoms.len()];
     {
         let mut bound: BTreeSet<Var> = BTreeSet::new();
-        for &idx in &order {
+        for &idx in order {
             let Some(atom) = cq.atoms.get(idx) else {
                 continue;
             };
@@ -705,7 +723,7 @@ pub fn for_each_witness_vids<F: Facts + ?Sized>(
     let mut eval = Eval {
         facts,
         cq,
-        order: &order,
+        order,
         probe_cols: &probe_cols,
         atom_vids: &atom_vids,
         neg_vids: &neg_vids,
@@ -760,10 +778,18 @@ pub fn eval_cq<F: Facts + ?Sized>(
         distinct.insert(key);
         true
     });
+    resolve_distinct_answers(facts, cq, &distinct)
+}
 
+/// Resolve deduplicated id-space answer keys into value-space tuples.
+fn resolve_distinct_answers<F: Facts + ?Sized>(
+    facts: &F,
+    cq: &ConjunctiveQuery,
+    distinct: &BTreeSet<Vec<Vid>>,
+) -> BTreeSet<Tuple> {
     let mut cache: WordHashMap<Vid, Value> = WordHashMap::default();
     let mut out = BTreeSet::new();
-    'answers: for key in &distinct {
+    'answers: for key in distinct {
         let mut vals = Vec::with_capacity(cq.head.len());
         let mut vids = key.iter();
         for t in &cq.head {
@@ -783,6 +809,32 @@ pub fn eval_cq<F: Facts + ?Sized>(
         out.insert(Tuple::new(vals));
     }
     out
+}
+
+/// [`eval_cq`] under a caller-supplied join order (see
+/// [`for_each_witness_vids_ordered`] for admissibility). The answer set is
+/// identical for every admissible order; only evaluation cost varies.
+pub fn eval_cq_ordered<F: Facts + ?Sized>(
+    facts: &F,
+    cq: &ConjunctiveQuery,
+    mode: NullSemantics,
+    order: &[usize],
+) -> BTreeSet<Tuple> {
+    let mut distinct: BTreeSet<Vec<Vid>> = BTreeSet::new();
+    for_each_witness_vids_ordered(facts, cq, mode, order, &mut |bindings, _| {
+        let mut key = Vec::with_capacity(cq.head.len());
+        for t in &cq.head {
+            if let Term::Var(v) = t {
+                match bindings.get(*v) {
+                    Some(vid) => key.push(vid),
+                    None => return true,
+                }
+            }
+        }
+        distinct.insert(key);
+        true
+    });
+    resolve_distinct_answers(facts, cq, &distinct)
 }
 
 /// Evaluate a union of conjunctive queries.

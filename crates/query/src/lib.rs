@@ -32,6 +32,7 @@ pub mod eval;
 pub mod fo;
 pub mod magic;
 pub mod parser;
+pub mod plan;
 pub mod sql;
 
 pub use aggregate::{eval_aggregate, eval_scalar, AggOp, AggregateQuery};
@@ -40,10 +41,14 @@ pub use ast::{
 };
 pub use datalog::{Literal, Program, Rule};
 pub use eval::{
-    eval_cq, eval_ucq, for_each_witness, holds, holds_ucq, match_atom, match_atom_vids, witnesses,
-    AtomVids, Bindings, NullSemantics, VidBindings, Witness,
+    eval_cq, eval_cq_ordered, eval_ucq, for_each_witness, holds, holds_ucq, match_atom,
+    match_atom_vids, witnesses, AtomVids, Bindings, NullSemantics, VidBindings, Witness,
 };
 pub use fo::{eval_fo, holds_fo};
 pub use magic::{magic_rewrite, MagicProgram};
 pub use parser::{parse_fo, parse_program, parse_query, parse_ucq};
+pub use plan::{
+    cached_certain_answers, join_order, plan_cache_stats, reset_plan_cache, ucq_signature,
+    PlanCacheStats, PlanExplain, PlanStep,
+};
 pub use sql::fo_to_sql;

@@ -1,0 +1,509 @@
+//! Cost-based join planning and the repair-family subplan cache.
+//!
+//! Two pieces live here, both feeding the CQA folds in `cqa-core`:
+//!
+//! 1. **A cardinality-estimate-driven join orderer** ([`join_order`]).
+//!    The evaluator's original heuristic was boundness-greedy and blind to
+//!    actual cardinalities; this one scores each candidate atom with an
+//!    estimated *access cost* — the relation's visible row count for a
+//!    scan, or `rows / Π distinct(bound column)` for an indexed probe —
+//!    computed from [`cqa_relation::ColumnStats`] (deterministic stride
+//!    samples over the base `ColumnStore`) in saturating `u128` integer
+//!    arithmetic. No floats, no clocks, no randomness: the same query over
+//!    the same content always yields the same order, and the totally
+//!    ordered tie-break (cost, boundness, size, atom index) is stable
+//!    under relation insertion order. Ordering only changes *how fast*
+//!    answers arrive, never *which* answers: evaluation is a bind-and-
+//!    filter join whose output is a set.
+//!
+//! 2. **A shared subplan cache** ([`cached_certain_answers`]). The 2^k /
+//!    per-component repair folds evaluate near-identical UCQs over views
+//!    that differ by tiny deltas. Entries are keyed by a 128-bit
+//!    fingerprint folding the query fragment, the null semantics, and
+//!    [`Facts::plan_fingerprint`] — content stamps of the mentioned
+//!    relations plus the view's delta *scoped to those relations*. Stamps
+//!    are globally unique and re-minted on every mutation over an
+//!    append-only `ValueDict`, so a stale entry can never be keyed like a
+//!    live one: equal key ⟹ identical visible content ⟹ identical
+//!    answers. Cached values are the **null-filtered answer sets** the
+//!    certain/possible folds consume, shared as `Arc`s across repairs,
+//!    components, incremental refreshes, and warm server sessions.
+//!
+//! This module never reads the environment or the clock (L005); whether
+//! the cache is consulted is decided by the caller (see
+//! `cqa_exec::plan_cache_enabled`, the sanctioned ambient read).
+
+use crate::ast::{ConjunctiveQuery, Term, UnionQuery, Var};
+use crate::eval::NullSemantics;
+use cqa_relation::fxhash::{FxHashMap, FxHasher};
+use cqa_relation::{Facts, Tuple};
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Relations at or above this many visible rows use indexed probes in the
+/// evaluator; the cost model scores them as probes, smaller ones as scans.
+pub const INDEX_THRESHOLD: usize = 32;
+
+/// `base^exp` in saturating `u128` arithmetic — shared with the
+/// `cqa-analysis` grounding estimator so both size models agree.
+pub fn saturating_pow(base: u128, exp: u32) -> u128 {
+    let mut out: u128 = 1;
+    for _ in 0..exp {
+        out = out.saturating_mul(base);
+    }
+    out
+}
+
+/// One step of a chosen join order, for observability (`repairctl analyze
+/// --plan`, the `repaird` `/health` endpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index of the atom in the query's body.
+    pub atom: usize,
+    /// The atom's relation name.
+    pub relation: String,
+    /// Estimated rows this step visits (probe or scan).
+    pub estimate: u128,
+    /// Whether the step can use an indexed probe (some column bound and
+    /// the relation is at or above [`INDEX_THRESHOLD`]).
+    pub indexed: bool,
+}
+
+/// A chosen join order plus its per-step estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanExplain {
+    /// Atom indexes in evaluation order.
+    pub order: Vec<usize>,
+    /// Per-step details, aligned with `order`.
+    pub steps: Vec<PlanStep>,
+}
+
+impl PlanExplain {
+    /// Estimated total intermediate-result size: the product of the
+    /// per-step estimates (saturating).
+    pub fn estimated_witnesses(&self) -> u128 {
+        self.steps
+            .iter()
+            .fold(1u128, |acc, s| acc.saturating_mul(s.estimate.max(1)))
+    }
+
+    /// Render the order as `R ⋈ S ⋈ T` for human consumption.
+    pub fn describe(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| s.relation.as_str())
+            .collect::<Vec<_>>()
+            .join(" ⋈ ")
+    }
+}
+
+/// Estimated rows an access to `atom` visits once the variables in `bound`
+/// are known, and whether that access is an indexed probe.
+fn access_estimate<F: Facts + ?Sized>(
+    facts: &F,
+    cq: &ConjunctiveQuery,
+    atom_idx: usize,
+    bound: &BTreeSet<Var>,
+) -> (u128, usize, bool) {
+    let Some(atom) = cq.atoms.get(atom_idx) else {
+        return (0, 0, false);
+    };
+    let size = facts.relation_len(&atom.relation);
+    let bound_cols: Vec<usize> = atom
+        .terms
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, t)| match t {
+            Term::Const(_) => Some(pos),
+            Term::Var(v) => bound.contains(v).then_some(pos),
+        })
+        .collect();
+    if bound_cols.is_empty() || size == 0 {
+        return (size as u128, 0, false);
+    }
+    let indexed = size >= INDEX_THRESHOLD;
+    // Distinct-count statistics come from the shared base columns; the
+    // view's delta is tiny by construction, so clamping the base estimate
+    // to the view's visible size keeps it honest.
+    let est = match facts.base().column_stats(&atom.relation) {
+        Some(stats) if stats.rows() > 0 => stats.probe_estimate(&bound_cols).min(size as u128),
+        // Overlay-only or empty-in-base relation: a bound column still
+        // filters, assume the probe halves the scan as a mild preference.
+        _ => ((size as u128) / 2).max(1),
+    };
+    (est.max(1), bound_cols.len(), indexed)
+}
+
+/// Pick a cost-based greedy join order for `cq`'s positive atoms.
+///
+/// Repeatedly selects the atom minimizing the key `(estimated access cost,
+/// fewer bound columns, larger size, larger atom index)` — i.e. cheapest
+/// first, preferring more boundness, smaller relations, then the earliest
+/// atom in query order. Every component of the key is content-derived and
+/// the last component is a strict total order, so the choice is
+/// deterministic and independent of relation insertion order (pinned by
+/// `stable_tie_break_under_relation_insertion_order`).
+pub fn join_order<F: Facts + ?Sized>(facts: &F, cq: &ConjunctiveQuery) -> Vec<usize> {
+    explain(facts, cq).order
+}
+
+/// [`join_order`] with per-step estimates, for observability surfaces.
+pub fn explain<F: Facts + ?Sized>(facts: &F, cq: &ConjunctiveQuery) -> PlanExplain {
+    let n = cq.atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut steps = Vec::with_capacity(n);
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    // Selection key: (estimate, inverted bound-column count, size, atom
+    // index) — see the comment at the comparison site.
+    type Key = (u128, usize, usize, usize);
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, Key, u128, bool)> = None;
+        for (slot, &i) in remaining.iter().enumerate() {
+            let Some(atom) = cq.atoms.get(i) else {
+                continue;
+            };
+            let (est, bound_cols, indexed) = access_estimate(facts, cq, i, &bound);
+            // Minimized lexicographically: cheaper access, then *more*
+            // bound columns (inverted), then smaller relation, then the
+            // earlier atom. The atom index makes the order total, so no
+            // iteration order can perturb the outcome.
+            let size = facts.relation_len(&atom.relation);
+            let key = (est, usize::MAX - bound_cols, size, i);
+            if best.as_ref().is_none_or(|(_, k, _, _)| key < *k) {
+                best = Some((slot, key, est, indexed));
+            }
+        }
+        // `remaining` is non-empty, so `best` is always set.
+        let Some((slot, (_, _, _, atom_idx), est, indexed)) = best else {
+            break;
+        };
+        let Some(atom) = cq.atoms.get(atom_idx) else {
+            break;
+        };
+        order.push(atom_idx);
+        steps.push(PlanStep {
+            atom: atom_idx,
+            relation: atom.relation.clone(),
+            estimate: est,
+            indexed,
+        });
+        bound.extend(atom.vars());
+        remaining.remove(slot);
+    }
+    PlanExplain { order, steps }
+}
+
+// ---------------------------------------------------------------------------
+// Query fingerprints
+// ---------------------------------------------------------------------------
+
+fn hash_both<T: Hash + ?Sized>(item: &T, h1: &mut FxHasher, h2: &mut FxHasher) {
+    item.hash(h1);
+    item.hash(h2);
+}
+
+fn hash_cq(cq: &ConjunctiveQuery, h1: &mut FxHasher, h2: &mut FxHasher) {
+    // Field-by-field structural hash (ConjunctiveQuery itself carries a
+    // VarTable that doesn't implement Hash and doesn't affect semantics
+    // beyond variable indexes, which the terms already encode).
+    hash_both(&cq.head, h1, h2);
+    hash_both(&cq.atoms, h1, h2);
+    hash_both(&cq.negated, h1, h2);
+    hash_both(&cq.comparisons, h1, h2);
+}
+
+/// A 128-bit structural fingerprint of a union query: equal queries (same
+/// disjuncts, atoms, terms, comparisons) always collide, differing ones
+/// practically never (two independent seeded lanes).
+pub fn ucq_signature(query: &UnionQuery) -> (u64, u64) {
+    let mut h1 = FxHasher::default();
+    let mut h2 = FxHasher::default();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15);
+    hash_both(&query.disjuncts.len(), &mut h1, &mut h2);
+    for cq in &query.disjuncts {
+        hash_cq(cq, &mut h1, &mut h2);
+    }
+    (h1.finish(), h2.finish())
+}
+
+/// Every relation a union query mentions (positive and negated atoms),
+/// sorted and deduplicated — the scope of the cache key's data
+/// fingerprint.
+pub fn mentioned_relations(query: &UnionQuery) -> Vec<&str> {
+    let mut rels: Vec<&str> = query
+        .disjuncts
+        .iter()
+        .flat_map(|cq| {
+            cq.atoms
+                .iter()
+                .chain(cq.negated.iter())
+                .map(|a| a.relation.as_str())
+        })
+        .collect();
+    rels.sort_unstable();
+    rels.dedup();
+    rels
+}
+
+// ---------------------------------------------------------------------------
+// The subplan cache
+// ---------------------------------------------------------------------------
+
+/// Hit/miss/size snapshot of the process-wide subplan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Hits as a share of all lookups, in percent ×100 (integer — the
+    /// workspace keeps floats out of reporting math too). 0 when idle.
+    pub fn hit_permille(&self) -> u64 {
+        (self.hits * 1000)
+            .checked_div(self.hits + self.misses)
+            .unwrap_or(0)
+    }
+}
+
+/// Entries the cache holds before wholesale eviction. Eviction clears the
+/// whole map (deterministic — no recency bookkeeping, no clock): a cleared
+/// entry is simply recomputed on next use, so answers never change.
+const PLAN_CACHE_CAP: usize = 8192;
+
+/// Cache key → shared answer set; the key is the folded 128-bit
+/// (query, content, semantics) fingerprint.
+type CacheMap = FxHashMap<(u64, u64), Arc<BTreeSet<Tuple>>>;
+
+struct PlanCache {
+    map: RwLock<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static CACHE: OnceLock<PlanCache> = OnceLock::new();
+
+fn cache() -> &'static PlanCache {
+    CACHE.get_or_init(|| PlanCache {
+        map: RwLock::new(FxHashMap::default()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Snapshot the cache counters (process-wide).
+pub fn plan_cache_stats() -> PlanCacheStats {
+    let c = cache();
+    let entries = c.map.read().unwrap_or_else(|e| e.into_inner()).len();
+    PlanCacheStats {
+        hits: c.hits.load(Ordering::Relaxed),
+        misses: c.misses.load(Ordering::Relaxed),
+        entries,
+    }
+}
+
+/// Drop every cached entry and zero the counters. Used by tests, the bench
+/// harness, and `cqa-core`'s incremental maintenance on structural resets.
+pub fn reset_plan_cache() {
+    let c = cache();
+    c.map.write().unwrap_or_else(|e| e.into_inner()).clear();
+    c.hits.store(0, Ordering::Relaxed);
+    c.misses.store(0, Ordering::Relaxed);
+}
+
+/// The full cache key: query fragment × semantics × visible-content
+/// fingerprint of the mentioned relations. `None` when the view cannot
+/// certify a fingerprint — the caller then evaluates uncached.
+fn cache_key<F: Facts + ?Sized>(
+    facts: &F,
+    query: &UnionQuery,
+    mode: NullSemantics,
+) -> Option<(u64, u64)> {
+    let rels = mentioned_relations(query);
+    let (d1, d2) = facts.plan_fingerprint(&rels)?;
+    let (q1, q2) = ucq_signature(query);
+    let mut h1 = FxHasher::default();
+    let mut h2 = FxHasher::default();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15);
+    let mode_tag: u8 = match mode {
+        NullSemantics::Structural => 0,
+        NullSemantics::Sql => 1,
+    };
+    hash_both(&(q1, q2, d1, d2, mode_tag), &mut h1, &mut h2);
+    Some((h1.finish(), h2.finish()))
+}
+
+/// The null-filtered answer set of `query` over `facts` — the unit every
+/// certain/possible CQA fold consumes — via the subplan cache when
+/// `enabled` and the view can certify a content fingerprint.
+///
+/// Certain folds intersect (`retain`) against it and possible folds union
+/// null-free answers into it, so the filtered set is exactly equivalent to
+/// filtering at each fold site. Budgeted folds are unaffected: budget
+/// ticks are charged per repair *before* evaluation, so a cache hit
+/// changes elapsed work but never truncation points.
+pub fn cached_certain_answers<F: Facts + ?Sized>(
+    facts: &F,
+    query: &UnionQuery,
+    mode: NullSemantics,
+    enabled: bool,
+) -> Arc<BTreeSet<Tuple>> {
+    let compute = || -> BTreeSet<Tuple> {
+        crate::eval::eval_ucq(facts, query, mode)
+            .into_iter()
+            .filter(|t| !t.has_null())
+            .collect()
+    };
+    let key = if enabled {
+        cache_key(facts, query, mode)
+    } else {
+        None
+    };
+    let Some(key) = key else {
+        return Arc::new(compute());
+    };
+    let c = cache();
+    {
+        let map = c.map.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(found) = map.get(&key) {
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+    }
+    c.misses.fetch_add(1, Ordering::Relaxed);
+    let computed = Arc::new(compute());
+    let mut map = c.map.write().unwrap_or_else(|e| e.into_inner());
+    if map.len() >= PLAN_CACHE_CAP {
+        map.clear();
+    }
+    // Two threads may race to the same key; both computed identical
+    // content (the key certifies it), so keeping the first is sound.
+    Arc::clone(map.entry(key).or_insert(computed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_ucq};
+    use cqa_relation::{tuple, Database, RelationSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Big", ["A", "B"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("Small", ["A"]))
+            .unwrap();
+        for i in 0..100i64 {
+            db.insert("Big", tuple![i % 10, i]).unwrap();
+        }
+        for i in 0..3i64 {
+            db.insert("Small", tuple![i]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn orderer_starts_from_the_cheapest_access() {
+        let d = db();
+        let q = parse_query("Q(a, b) :- Big(a, b), Small(a)").unwrap();
+        let plan = explain(&d, &q);
+        // Small (3 rows) scans cheaper than Big (100 rows); once `a` is
+        // bound, Big is probed through its column-0 index (~10 rows).
+        assert_eq!(plan.order, vec![1, 0]);
+        assert!(plan.steps[1].indexed);
+        assert!(plan.steps[1].estimate <= 10);
+        assert!(!plan.describe().is_empty());
+        assert!(plan.estimated_witnesses() >= 1);
+    }
+
+    #[test]
+    fn constants_make_probes_attractive() {
+        let d = db();
+        let q = parse_query("Q(b) :- Big(3, b)").unwrap();
+        let plan = explain(&d, &q);
+        assert!(plan.steps[0].indexed);
+        assert!(plan.steps[0].estimate <= 10);
+    }
+
+    #[test]
+    fn stable_tie_break_under_relation_insertion_order() {
+        // Two identical-statistics relations: the tie must resolve by atom
+        // index regardless of which relation was created first.
+        let build = |flip: bool| {
+            let mut d = Database::new();
+            let names = if flip { ["T2", "T1"] } else { ["T1", "T2"] };
+            for n in names {
+                d.create_relation(RelationSchema::new(n, ["A"])).unwrap();
+            }
+            for i in 0..5i64 {
+                d.insert("T1", tuple![i]).unwrap();
+                d.insert("T2", tuple![i]).unwrap();
+            }
+            d
+        };
+        let q = parse_query("Q(x) :- T1(x), T2(x)").unwrap();
+        let a = join_order(&build(false), &q);
+        let b = join_order(&build(true), &q);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0, 1]); // tie → earliest atom first
+    }
+
+    #[test]
+    fn signatures_distinguish_queries_and_modes() {
+        let q1 = parse_ucq("Q(x) :- Big(x, y)").unwrap();
+        let q2 = parse_ucq("Q(x) :- Big(y, x)").unwrap();
+        assert_eq!(ucq_signature(&q1), ucq_signature(&q1));
+        assert_ne!(ucq_signature(&q1), ucq_signature(&q2));
+        let d = db();
+        let k_sql = cache_key(&d, &q1, NullSemantics::Sql).unwrap();
+        let k_struct = cache_key(&d, &q1, NullSemantics::Structural).unwrap();
+        assert_ne!(k_sql, k_struct);
+    }
+
+    #[test]
+    fn mentioned_relations_are_sorted_and_deduped() {
+        let q = parse_ucq("Q(x) :- Small(x), Big(x, y), not Small(y)\nQ(x) :- Big(x, x)").unwrap();
+        assert_eq!(mentioned_relations(&q), vec!["Big", "Small"]);
+    }
+
+    #[test]
+    fn cache_hits_on_identical_content_and_misses_after_mutation() {
+        reset_plan_cache();
+        let mut d = db();
+        let q = parse_ucq("Q(a) :- Big(a, b), Small(a)").unwrap();
+        let first = cached_certain_answers(&d, &q, NullSemantics::Sql, true);
+        let again = cached_certain_answers(&d, &q, NullSemantics::Sql, true);
+        assert!(Arc::ptr_eq(&first, &again));
+        let s = plan_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Uncached evaluation agrees byte for byte.
+        let reference = cached_certain_answers(&d, &q, NullSemantics::Sql, false);
+        assert_eq!(*first, *reference);
+        // A mutation re-mints the stamp: next lookup misses and sees the
+        // new row.
+        d.insert("Small", tuple![7]).unwrap();
+        let after = cached_certain_answers(&d, &q, NullSemantics::Sql, true);
+        assert_eq!(plan_cache_stats().misses, 2);
+        assert!(after.len() > first.len());
+        reset_plan_cache();
+        assert_eq!(plan_cache_stats(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn hit_permille_is_integer_math() {
+        let s = PlanCacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 0,
+        };
+        assert_eq!(s.hit_permille(), 750);
+        assert_eq!(PlanCacheStats::default().hit_permille(), 0);
+    }
+}

@@ -20,12 +20,24 @@ use crate::error::RelationError;
 use crate::fxhash::FxHashMap;
 use crate::index::{HashIndex, SortedIndex};
 use crate::schema::{AttrType, DatabaseSchema, RelationSchema};
+use crate::stats::ColumnStats;
 use crate::tuple::{Tid, Tuple};
 use crate::value::Value;
 use crate::Result;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+
+/// Process-wide mint for relation content stamps. Monotone and never
+/// reused, so two relations (or two states of one relation) can share a
+/// stamp only by copying it — which [`Relation`] does exactly when the
+/// content is byte-identical over the same append-only dictionary.
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn mint_stamp() -> u64 {
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One relation instance: a schema plus a tid-keyed set of rows, stored
 /// columnar over the database's shared dictionary.
@@ -41,6 +53,12 @@ pub struct Relation {
     /// Lazy value-level row cache (row-aligned with `store`), built only
     /// when a caller needs `&Tuple`s; dropped on mutation and on clone.
     rows: OnceLock<Box<[Tuple]>>,
+    /// Globally-unique content stamp: re-minted on every mutation, copied
+    /// on clone. Equal stamps imply byte-identical content over the same
+    /// dictionary lineage — the soundness anchor of the plan cache (unlike
+    /// [`Database::epoch`], which restarts at 0 for derived instances and
+    /// can therefore alias across instances).
+    stamp: u64,
 }
 
 impl Clone for Relation {
@@ -53,6 +71,8 @@ impl Clone for Relation {
             // The cache is a materialization convenience, not content;
             // clones (repairs) start columnar-only.
             rows: OnceLock::new(),
+            // Identical content: the stamp carries over.
+            stamp: self.stamp,
         }
     }
 }
@@ -66,7 +86,15 @@ impl Relation {
             store: ColumnStore::new(arity),
             by_content: ContentMap::default(),
             rows: OnceLock::new(),
+            stamp: mint_stamp(),
         }
+    }
+
+    /// The relation's globally-unique content stamp. Two relations report
+    /// the same stamp only if their stored rows (tids and vids) are
+    /// identical and encoded against the same append-only dictionary.
+    pub fn content_stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// The relation's schema.
@@ -203,8 +231,12 @@ impl Relation {
         Ok(())
     }
 
+    /// Mutation funnel: every code path that changes stored rows passes
+    /// through here, so dropping the value cache and re-minting the content
+    /// stamp stay in lockstep.
     fn invalidate_rows(&mut self) {
         self.rows.take();
+        self.stamp = mint_stamp();
     }
 
     /// Append an already-encoded, already-deduplicated row.
@@ -250,6 +282,8 @@ impl Relation {
 struct IndexCache {
     hash: RwLock<HashIndexMap>,
     sorted: RwLock<FxHashMap<(usize, usize), Arc<SortedIndex>>>,
+    /// Planner column statistics, keyed by relation index.
+    stats: RwLock<FxHashMap<usize, Arc<ColumnStats>>>,
 }
 
 /// Cached hash indexes keyed by `(relation index, key columns)`.
@@ -268,6 +302,10 @@ impl IndexCache {
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .retain(|(idx, _), _| *idx != rel_idx);
+        self.stats
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&rel_idx);
     }
 }
 
@@ -630,6 +668,24 @@ impl Database {
         ))
     }
 
+    /// The cached planner statistics for `relation`: row count and
+    /// per-column distinct-vid estimates from a deterministic stride sample
+    /// (see [`ColumnStats`]). Built on first use, shared via [`Arc`], and
+    /// invalidated per relation on mutation like [`Database::hash_index`].
+    pub fn column_stats(&self, relation: &str) -> Option<Arc<ColumnStats>> {
+        let &rel_idx = self.index.get(relation)?;
+        let rel = self.relations.get(rel_idx)?;
+        {
+            let cached = self.cache.stats.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(found) = cached.get(&rel_idx) {
+                return Some(Arc::clone(found));
+            }
+        }
+        let built = Arc::new(ColumnStats::build(&rel.store));
+        let mut map = self.cache.stats.write().unwrap_or_else(|e| e.into_inner());
+        Some(Arc::clone(map.entry(rel_idx).or_insert(built)))
+    }
+
     /// The cached sorted (value-order) index for `(relation, column)`, for
     /// range and order probes. Caching mirrors [`Database::hash_index`].
     pub fn sorted_index(&self, relation: &str, column: usize) -> Option<Arc<SortedIndex>> {
@@ -726,11 +782,13 @@ impl Database {
         for rel in &self.relations {
             let mut store = ColumnStore::new(rel.schema.arity());
             let mut by_content = ContentMap::default();
+            let mut touched = false;
             for pos in 0..rel.store.len() {
                 let Some(tid) = rel.store.tid_at(pos) else {
                     continue;
                 };
                 if deletions.contains(&tid) {
+                    touched = true;
                     continue;
                 }
                 let key = rel.store.row_key(pos);
@@ -743,6 +801,12 @@ impl Database {
                 store,
                 by_content,
                 rows: OnceLock::new(),
+                // An untouched relation is byte-identical to the original
+                // (same rows, same shared dictionary): its content stamp
+                // carries over, so plans and cached subresults keyed on it
+                // stay shareable across the derived instance. Insertions
+                // re-mint below via the normal `insert` funnel.
+                stamp: if touched { mint_stamp() } else { rel.stamp },
             });
         }
         let mut db = Database {
@@ -770,11 +834,13 @@ impl Database {
         for rel in &self.relations {
             let mut store = ColumnStore::new(rel.schema.arity());
             let mut by_content = ContentMap::default();
+            let mut touched = false;
             for pos in 0..rel.store.len() {
                 let Some(tid) = rel.store.tid_at(pos) else {
                     continue;
                 };
                 if !keep.contains(&tid) {
+                    touched = true;
                     continue;
                 }
                 let key = rel.store.row_key(pos);
@@ -787,6 +853,8 @@ impl Database {
                 store,
                 by_content,
                 rows: OnceLock::new(),
+                // Untouched relation: identical content, stamp carries over.
+                stamp: if touched { mint_stamp() } else { rel.stamp },
             });
         }
         Database {
@@ -1152,6 +1220,53 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn content_stamps_remint_on_mutation_and_survive_clones() {
+        let mut db = supply_db();
+        let s0 = db.relation("Supply").unwrap().content_stamp();
+        let a0 = db.relation("Articles").unwrap().content_stamp();
+        assert_ne!(s0, a0); // globally unique
+                            // Clones copy stamps (identical content).
+        let clone = db.clone();
+        assert_eq!(clone.relation("Supply").unwrap().content_stamp(), s0);
+        // A mutation re-mints only the touched relation's stamp.
+        db.insert("Articles", tuple!["I9"]).unwrap();
+        assert_eq!(db.relation("Supply").unwrap().content_stamp(), s0);
+        let a1 = db.relation("Articles").unwrap().content_stamp();
+        assert_ne!(a1, a0);
+        // No-op mutations don't re-mint.
+        db.insert("Articles", tuple!["I9"]).unwrap();
+        assert_eq!(db.relation("Articles").unwrap().content_stamp(), a1);
+        // Derived instances keep stamps of untouched relations and re-mint
+        // the filtered ones.
+        let dels: BTreeSet<Tid> = [Tid(1)].into();
+        let (derived, _) = db.with_changes(&dels, &[]).unwrap();
+        assert_ne!(derived.relation("Supply").unwrap().content_stamp(), s0);
+        assert_eq!(derived.relation("Articles").unwrap().content_stamp(), a1);
+        let kept = db.restricted_to(&db.tids());
+        assert_eq!(kept.relation("Supply").unwrap().content_stamp(), s0);
+    }
+
+    #[test]
+    fn column_stats_cache_and_invalidate() {
+        let mut db = supply_db();
+        let stats = db.column_stats("Supply").unwrap();
+        assert_eq!(stats.rows(), 3);
+        assert_eq!(stats.distinct(0), 2); // C1, C2
+        let again = db.column_stats("Supply").unwrap();
+        assert!(Arc::ptr_eq(&stats, &again));
+        assert!(db.column_stats("Nope").is_none());
+        // Mutation invalidates the touched relation's stats only.
+        let articles = db.column_stats("Articles").unwrap();
+        db.insert("Supply", tuple!["C3", "R9", "I9"]).unwrap();
+        assert!(!Arc::ptr_eq(&stats, &db.column_stats("Supply").unwrap()));
+        assert!(Arc::ptr_eq(
+            &articles,
+            &db.column_stats("Articles").unwrap()
+        ));
+        assert_eq!(db.column_stats("Supply").unwrap().rows(), 4);
     }
 
     #[test]

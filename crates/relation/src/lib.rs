@@ -43,6 +43,7 @@ pub mod fxhash;
 pub mod index;
 pub mod instance;
 pub mod schema;
+pub mod stats;
 pub mod tuple;
 pub mod value;
 pub mod view;
@@ -55,6 +56,7 @@ pub use error::RelationError;
 pub use index::{HashIndex, SortedIndex};
 pub use instance::{Database, Relation};
 pub use schema::{AttrType, Attribute, DatabaseSchema, RelationSchema};
+pub use stats::ColumnStats;
 pub use tuple::{Tid, Tuple};
 pub use value::{sql_eq, sql_le, sql_lt, Truth, Value};
 pub use view::{DeltaView, Facts};

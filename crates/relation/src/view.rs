@@ -27,11 +27,12 @@
 
 use crate::column::VidRow;
 use crate::dict::Vid;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::instance::{Database, Relation};
 use crate::tuple::{Tid, Tuple};
 use crate::value::Value;
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
 
 /// A read-only set of facts: a base instance plus an optional delta overlay.
 ///
@@ -176,6 +177,23 @@ pub trait Facts: Sync {
         out
     }
 
+    /// A fingerprint of the visible content of the given relations, or
+    /// `None` when this view cannot certify one (the default).
+    ///
+    /// Two views reporting the **same** fingerprint for the **same**
+    /// relation list are guaranteed to hold identical visible tuples in
+    /// every listed relation, so any query touching only those relations
+    /// answers identically over both — the soundness contract the
+    /// `cqa-query` plan cache keys on. The guarantee rests on
+    /// [`Relation::content_stamp`]: stamps are globally unique, re-minted
+    /// on every mutation and copied only onto byte-identical content over
+    /// the same append-only dictionary, so a stale fingerprint can never
+    /// equal a live one. Callers should pass `relations` sorted and
+    /// deduplicated; the fingerprint folds them in the order given.
+    fn plan_fingerprint(&self, _relations: &[&str]) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Materialize the view into an owned [`Database`].
     ///
     /// Synthetic tids are preserved (insertions replay in minted order through
@@ -205,6 +223,21 @@ pub trait Facts: Sync {
             .expect("view deltas are validated before construction")
             .0
     }
+}
+
+/// Fold one item into both halves of a 128-bit fingerprint. The second
+/// hasher is domain-separated by its seed so the pair behaves like a single
+/// wide hash (collisions must defeat both lanes at once).
+fn hash_both<T: Hash + ?Sized>(item: &T, h1: &mut FxHasher, h2: &mut FxHasher) {
+    item.hash(h1);
+    item.hash(h2);
+}
+
+fn fingerprint_hashers() -> (FxHasher, FxHasher) {
+    let h1 = FxHasher::default();
+    let mut h2 = FxHasher::default();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15);
+    (h1, h2)
 }
 
 impl Facts for Database {
@@ -253,6 +286,20 @@ impl Facts for Database {
 
     fn visible_tids(&self) -> BTreeSet<Tid> {
         self.tids()
+    }
+
+    fn plan_fingerprint(&self, relations: &[&str]) -> Option<(u64, u64)> {
+        // No delta: the content stamps alone certify the visible content.
+        // The empty-delta separator matches [`DeltaView`]'s format, so a
+        // database and a delta-free view over it share cache entries.
+        let (mut h1, mut h2) = fingerprint_hashers();
+        for name in relations {
+            hash_both(*name, &mut h1, &mut h2);
+            let stamp = self.relation(name).map_or(0, Relation::content_stamp);
+            hash_both(&stamp, &mut h1, &mut h2);
+            hash_both(&0xfeu8, &mut h1, &mut h2);
+        }
+        Some((h1.finish(), h2.finish()))
     }
 
     fn snapshot(&self) -> Database {
@@ -482,6 +529,38 @@ impl Facts for DeltaView<'_> {
         }
     }
 
+    fn plan_fingerprint(&self, relations: &[&str]) -> Option<(u64, u64)> {
+        // Base stamps certify the shared content; the view's delta is folded
+        // in *scoped to the listed relations*: deleted tids outside them and
+        // overlay rows of other relations cannot affect a query that only
+        // touches the listed ones. Overlay rows hash by **value**, not by
+        // vid — extension ids are minted per view and may differ between
+        // views holding identical content.
+        let (mut h1, mut h2) = fingerprint_hashers();
+        for name in relations {
+            hash_both(*name, &mut h1, &mut h2);
+            let rel = self.base.relation(name);
+            let stamp = rel.map_or(0, Relation::content_stamp);
+            hash_both(&stamp, &mut h1, &mut h2);
+            if let Some(rel) = rel {
+                // BTreeSet iteration: ascending tid order, deterministic.
+                for &tid in self.deleted {
+                    if rel.store().position_of(tid).is_some() {
+                        hash_both(&tid, &mut h1, &mut h2);
+                    }
+                }
+            }
+            hash_both(&0xfeu8, &mut h1, &mut h2);
+            for (_, tuple) in self.overlay_of(name) {
+                for v in tuple.iter() {
+                    hash_both(v, &mut h1, &mut h2);
+                }
+                hash_both(&0xfdu8, &mut h1, &mut h2);
+            }
+        }
+        Some((h1.finish(), h2.finish()))
+    }
+
     fn relation_len(&self, relation: &str) -> usize {
         // Per-relation deleted counts are cached at construction, so this is
         // O(relations) for the name lookup and O(1) for the count — no
@@ -683,6 +762,51 @@ mod tests {
         assert!(db.contains_vids("S", &[a])); // still in the plain base
         let new_vid = view.vid_of(&Value::str("new")).unwrap();
         assert!(view.contains_vids("S", &[new_vid]));
+    }
+
+    #[test]
+    fn plan_fingerprints_track_content_not_identity() {
+        let db = base_db();
+        let rels = ["R", "S"];
+        let fp = db.plan_fingerprint(&rels).unwrap();
+        // Clones and untouched derived instances share the fingerprint.
+        assert_eq!(db.clone().plan_fingerprint(&rels), Some(fp));
+        let derived = db.restricted_to(&db.tids());
+        assert_eq!(derived.plan_fingerprint(&rels), Some(fp));
+        // An empty delta view is content-equal but hashes its (empty) delta
+        // sections too, so it agrees with itself deterministically.
+        let none = BTreeSet::new();
+        let v1 = DeltaView::new(&db, &none, &[]);
+        let v2 = DeltaView::new(&db, &none, &[]);
+        assert_eq!(v1.plan_fingerprint(&rels), v2.plan_fingerprint(&rels));
+        // A mutation re-mints: different fingerprint, even after the edit
+        // is reverted (stamps are never reused).
+        let mut edited = db.clone();
+        let t = edited.insert("S", tuple!["zz"]).unwrap();
+        let fp_edit = edited.plan_fingerprint(&rels).unwrap();
+        assert_ne!(fp_edit, fp);
+        edited.delete(t).unwrap();
+        assert_ne!(edited.plan_fingerprint(&rels), Some(fp));
+        // Scoping: a delta touching only R leaves an S-only fingerprint
+        // unchanged, but changes the R-scoped one.
+        let del_r: BTreeSet<Tid> = [Tid(1)].into();
+        let view = DeltaView::new(&db, &del_r, &[]);
+        assert_eq!(view.plan_fingerprint(&["S"]), db.plan_fingerprint(&["S"]));
+        assert_ne!(view.plan_fingerprint(&["R"]), db.plan_fingerprint(&["R"]));
+        // Two views with equal visible content agree even when built from
+        // different insertion vectors (normalization + value hashing).
+        let ins_a = vec![("S".to_string(), tuple!["ghost"])];
+        let ins_b = vec![
+            ("S".to_string(), tuple!["a"]), // visible no-op, dropped
+            ("S".to_string(), tuple!["ghost"]),
+            ("S".to_string(), tuple!["ghost"]), // duplicate, collapsed
+        ];
+        let va = DeltaView::new(&db, &none, &ins_a);
+        let vb = DeltaView::new(&db, &none, &ins_b);
+        assert_eq!(
+            va.plan_fingerprint(&rels).unwrap(),
+            vb.plan_fingerprint(&rels).unwrap()
+        );
     }
 
     #[test]

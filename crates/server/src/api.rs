@@ -134,6 +134,9 @@ fn with_session(state: &ServerState, id: &str, f: impl FnOnce(&mut CqaSession) -
 }
 
 fn health(state: &ServerState) -> Reply {
+    // One subplan cache serves every session: warm sessions over the same
+    // instance share entries, so the hit counter is a fleet-wide signal.
+    let cache = cqa_query::plan_cache_stats();
     Reply::ok(Json::obj([
         (
             "status",
@@ -146,6 +149,15 @@ fn health(state: &ServerState) -> Reply {
         ("sessions", int_json(state.sessions.len() as u64)),
         ("inflight", int_json(state.gate.in_flight() as u64)),
         ("refused", int_json(state.gate.refused() as u64)),
+        (
+            "plan_cache",
+            Json::obj([
+                ("enabled", Json::Bool(cqa_exec::plan_cache_enabled())),
+                ("hits", int_json(cache.hits)),
+                ("misses", int_json(cache.misses)),
+                ("entries", int_json(cache.entries as u64)),
+            ]),
+        ),
     ]))
 }
 

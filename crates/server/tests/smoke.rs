@@ -188,6 +188,10 @@ fn saturated_gate_answers_429_and_health_stays_up() {
     let (status, reply) = request(addr, "GET", "/health", "");
     assert_eq!(status, 200);
     assert!(reply.contains(r#""status":"ok""#), "{reply}");
+    // The fleet-wide subplan-cache counters ride along.
+    assert!(reply.contains(r#""plan_cache""#), "{reply}");
+    assert!(reply.contains(r#""hits""#), "{reply}");
+    assert!(reply.contains(r#""misses""#), "{reply}");
 
     handle.shutdown();
     assert_eq!(handle.join(), 0);
